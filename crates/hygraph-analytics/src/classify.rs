@@ -1,0 +1,204 @@
+//! Cluster classification and instance annotation (Table 2, row C1; the
+//! "classify clusters as ordinary/suspicious and annotate the HyGraph
+//! instance" step of the paper's pipeline).
+
+use crate::cluster::Clustering;
+use hygraph_core::HyGraph;
+use hygraph_types::{Interval, Result, SubgraphId, Value, VertexId};
+use std::collections::HashMap;
+
+/// Verdict for one cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Normal behaviour.
+    Ordinary,
+    /// Flagged for review.
+    Suspicious,
+}
+
+impl Verdict {
+    /// The label written onto annotated subgraphs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Ordinary => "Ordinary",
+            Verdict::Suspicious => "Suspicious",
+        }
+    }
+}
+
+/// A scored, classified cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterVerdict {
+    /// Cluster id in the source clustering.
+    pub cluster: usize,
+    /// Members.
+    pub members: Vec<VertexId>,
+    /// Mean member score.
+    pub mean_score: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// Classifies clusters by thresholding the mean of a per-vertex score
+/// (e.g. confirmed-anomaly scores from `detect`): clusters whose mean
+/// score exceeds `threshold` are suspicious.
+pub fn classify_clusters(
+    clustering: &Clustering,
+    scores: &HashMap<VertexId, f64>,
+    threshold: f64,
+) -> Vec<ClusterVerdict> {
+    clustering
+        .members()
+        .into_iter()
+        .enumerate()
+        .map(|(cluster, members)| {
+            let vals: Vec<f64> = members
+                .iter()
+                .map(|v| scores.get(v).copied().unwrap_or(0.0))
+                .collect();
+            let mean_score = if vals.is_empty() {
+                0.0
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            };
+            let verdict = if mean_score > threshold {
+                Verdict::Suspicious
+            } else {
+                Verdict::Ordinary
+            };
+            ClusterVerdict {
+                cluster,
+                members,
+                mean_score,
+                verdict,
+            }
+        })
+        .collect()
+}
+
+/// Annotates the instance with the verdicts: each cluster becomes a
+/// logical subgraph labelled with its verdict, carrying `cluster_id` and
+/// `score` properties, with all members added for the full time range.
+/// Returns the created subgraph ids, index-aligned with `verdicts`.
+pub fn annotate_instance(
+    hg: &mut HyGraph,
+    verdicts: &[ClusterVerdict],
+) -> Result<Vec<SubgraphId>> {
+    let mut out = Vec::with_capacity(verdicts.len());
+    for v in verdicts {
+        let sg = hg.create_subgraph(
+            [v.verdict.label()],
+            hygraph_types::props! {
+                "cluster_id" => v.cluster as i64,
+                "score" => v.mean_score
+            },
+            Interval::ALL,
+        );
+        for &member in &v.members {
+            hg.add_subgraph_vertex(sg, member, Interval::ALL)?;
+        }
+        out.push(sg);
+    }
+    Ok(out)
+}
+
+/// Reads back the verdict of a vertex from instance annotations: the
+/// label of the most recently created verdict subgraph containing it.
+pub fn verdict_of(hg: &HyGraph, v: VertexId) -> Option<Verdict> {
+    let mut found = None;
+    for sg in hg.subgraphs() {
+        let is_member = sg.vertex_members().iter().any(|&(m, _)| m == v);
+        if !is_member {
+            continue;
+        }
+        if sg.has_label(Verdict::Suspicious.label()) {
+            found = Some(Verdict::Suspicious);
+        } else if sg.has_label(Verdict::Ordinary.label()) {
+            found = Some(Verdict::Ordinary);
+        }
+    }
+    found
+}
+
+/// Convenience: the `score` property of the verdict subgraph containing
+/// `v`, if annotated.
+pub fn score_of(hg: &HyGraph, v: VertexId) -> Option<f64> {
+    let mut found = None;
+    for sg in hg.subgraphs() {
+        if sg.vertex_members().iter().any(|&(m, _)| m == v) {
+            if let Some(Value::Float(s)) = sg.props.static_value("score") {
+                found = Some(*s);
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::props;
+
+    fn clustering(groups: &[&[u64]]) -> Clustering {
+        let mut assignment = HashMap::new();
+        for (c, g) in groups.iter().enumerate() {
+            for &v in *g {
+                assignment.insert(VertexId::new(v), c);
+            }
+        }
+        Clustering {
+            assignment,
+            count: groups.len(),
+            centroids: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn classify_by_mean_score() {
+        let c = clustering(&[&[0, 1], &[2, 3]]);
+        let mut scores = HashMap::new();
+        scores.insert(VertexId::new(0), 9.0);
+        scores.insert(VertexId::new(1), 7.0);
+        scores.insert(VertexId::new(2), 0.1);
+        // vertex 3 missing -> 0
+        let verdicts = classify_clusters(&c, &scores, 1.0);
+        assert_eq!(verdicts.len(), 2);
+        assert_eq!(verdicts[0].verdict, Verdict::Suspicious);
+        assert_eq!(verdicts[0].mean_score, 8.0);
+        assert_eq!(verdicts[1].verdict, Verdict::Ordinary);
+        assert!((verdicts[1].mean_score - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn annotate_and_read_back() {
+        let mut hg = HyGraph::new();
+        let a = hg.add_pg_vertex(["U"], props! {});
+        let b = hg.add_pg_vertex(["U"], props! {});
+        let c = clustering(&[&[0], &[1]]);
+        let mut scores = HashMap::new();
+        scores.insert(a, 10.0);
+        scores.insert(b, 0.0);
+        let verdicts = classify_clusters(&c, &scores, 1.0);
+        let sgs = annotate_instance(&mut hg, &verdicts).unwrap();
+        assert_eq!(sgs.len(), 2);
+        assert_eq!(verdict_of(&hg, a), Some(Verdict::Suspicious));
+        assert_eq!(verdict_of(&hg, b), Some(Verdict::Ordinary));
+        assert_eq!(score_of(&hg, a), Some(10.0));
+        assert!(hg.validate().is_ok());
+        // unannotated vertex
+        let d = hg.add_pg_vertex(["U"], props! {});
+        assert_eq!(verdict_of(&hg, d), None);
+    }
+
+    #[test]
+    fn empty_cluster_is_ordinary() {
+        let c = Clustering {
+            assignment: HashMap::new(),
+            count: 1,
+            centroids: Vec::new(),
+        };
+        let verdicts = classify_clusters(&c, &HashMap::new(), 0.5);
+        assert_eq!(verdicts[0].verdict, Verdict::Ordinary);
+        assert_eq!(verdicts[0].mean_score, 0.0);
+    }
+}

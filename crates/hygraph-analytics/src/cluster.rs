@@ -1,0 +1,270 @@
+//! Clustering over hybrid feature vectors (Table 2, row C2).
+//!
+//! * [`kmeans`] — Lloyd's algorithm with k-means++-style deterministic
+//!   seeding (farthest-point), for feature vectors from any source;
+//! * [`connectivity_constrained`] — the graph-side C2 notion: k-means
+//!   clusters refined so every cluster is connected in the topology
+//!   (split disconnected clusters into their components).
+
+use hygraph_core::HyGraph;
+use hygraph_graph::algorithms::components::UnionFind;
+use hygraph_ts::ops::features::euclidean;
+use hygraph_types::VertexId;
+use std::collections::HashMap;
+
+/// Result of a clustering run.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// Vertex → cluster id (0..count).
+    pub assignment: HashMap<VertexId, usize>,
+    /// Number of clusters.
+    pub count: usize,
+    /// Cluster centroids (empty for constrained refinements).
+    pub centroids: Vec<Vec<f64>>,
+}
+
+impl Clustering {
+    /// Members per cluster, sorted.
+    pub fn members(&self) -> Vec<Vec<VertexId>> {
+        let mut out = vec![Vec::new(); self.count];
+        let mut items: Vec<(VertexId, usize)> =
+            self.assignment.iter().map(|(&v, &c)| (v, c)).collect();
+        items.sort_unstable();
+        for (v, c) in items {
+            out[c].push(v);
+        }
+        out
+    }
+
+    /// Cluster of `v`.
+    pub fn of(&self, v: VertexId) -> Option<usize> {
+        self.assignment.get(&v).copied()
+    }
+}
+
+/// Lloyd's k-means with farthest-point seeding (deterministic).
+/// `k` is clamped to the number of points. Empty input yields an empty
+/// clustering.
+pub fn kmeans(points: &HashMap<VertexId, Vec<f64>>, k: usize, max_iter: usize) -> Clustering {
+    let mut ids: Vec<VertexId> = points.keys().copied().collect();
+    ids.sort_unstable();
+    let n = ids.len();
+    if n == 0 || k == 0 {
+        return Clustering {
+            assignment: HashMap::new(),
+            count: 0,
+            centroids: Vec::new(),
+        };
+    }
+    let k = k.min(n);
+    let dim = points[&ids[0]].len();
+
+    // farthest-point seeding from the lowest-id vertex
+    let mut centroids: Vec<Vec<f64>> = vec![points[&ids[0]].clone()];
+    while centroids.len() < k {
+        let far = ids
+            .iter()
+            .max_by(|&&a, &&b| {
+                let da = min_dist(&points[&a], &centroids);
+                let db = min_dist(&points[&b], &centroids);
+                da.total_cmp(&db).then_with(|| b.cmp(&a))
+            })
+            .expect("non-empty");
+        centroids.push(points[far].clone());
+    }
+
+    let mut assignment: Vec<usize> = vec![0; n];
+    for _ in 0..max_iter {
+        // assign
+        let mut changed = false;
+        for (i, v) in ids.iter().enumerate() {
+            let best = nearest(&points[v], &centroids);
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // update
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, v) in ids.iter().enumerate() {
+            let c = assignment[i];
+            counts[c] += 1;
+            for (slot, x) in sums[c].iter_mut().zip(&points[v]) {
+                *slot += x;
+            }
+        }
+        for (c, sum) in sums.iter_mut().enumerate() {
+            if counts[c] > 0 {
+                sum.iter_mut().for_each(|x| *x /= counts[c] as f64);
+                centroids[c] = sum.clone();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // renumber non-empty clusters densely
+    let mut remap: HashMap<usize, usize> = HashMap::new();
+    let mut final_assignment = HashMap::with_capacity(n);
+    for (i, &v) in ids.iter().enumerate() {
+        let next = remap.len();
+        let c = *remap.entry(assignment[i]).or_insert(next);
+        final_assignment.insert(v, c);
+    }
+    let mut final_centroids = vec![Vec::new(); remap.len()];
+    for (old, new) in remap {
+        final_centroids[new] = centroids[old].clone();
+    }
+    Clustering {
+        count: final_centroids.len(),
+        assignment: final_assignment,
+        centroids: final_centroids,
+    }
+}
+
+fn min_dist(p: &[f64], centroids: &[Vec<f64>]) -> f64 {
+    centroids
+        .iter()
+        .map(|c| euclidean(p, c))
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> usize {
+    centroids
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| euclidean(p, a).total_cmp(&euclidean(p, b)))
+        .map(|(i, _)| i)
+        .expect("k >= 1")
+}
+
+/// Refines a clustering so every cluster is connected in the topology:
+/// each (cluster ∩ connected-component) becomes its own cluster.
+pub fn connectivity_constrained(hg: &HyGraph, base: &Clustering) -> Clustering {
+    let g = hg.topology();
+    let mut uf = UnionFind::new(g.vertex_capacity());
+    for e in g.edges() {
+        // only union endpoints sharing a base cluster
+        if base.of(e.src).is_some() && base.of(e.src) == base.of(e.dst) {
+            uf.union(e.src.index(), e.dst.index());
+        }
+    }
+    let mut remap: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut assignment = HashMap::with_capacity(base.assignment.len());
+    let mut ids: Vec<VertexId> = base.assignment.keys().copied().collect();
+    ids.sort_unstable();
+    for v in ids {
+        let c = base.of(v).expect("listed member");
+        let root = uf.find(v.index());
+        let next = remap.len();
+        let new = *remap.entry((c, root)).or_insert(next);
+        assignment.insert(v, new);
+    }
+    Clustering {
+        count: remap.len(),
+        assignment,
+        centroids: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::props;
+
+    fn pts(groups: &[(f64, f64, usize)]) -> HashMap<VertexId, Vec<f64>> {
+        // groups: (cx, cy, count) — points jittered deterministically
+        let mut out = HashMap::new();
+        let mut id = 0u64;
+        for &(cx, cy, n) in groups {
+            for i in 0..n {
+                let jx = (i as f64 * 0.37).sin() * 0.1;
+                let jy = (i as f64 * 0.53).cos() * 0.1;
+                out.insert(VertexId::new(id), vec![cx + jx, cy + jy]);
+                id += 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn kmeans_recovers_separated_blobs() {
+        let points = pts(&[(0.0, 0.0, 10), (100.0, 0.0, 10), (0.0, 100.0, 10)]);
+        let c = kmeans(&points, 3, 50);
+        assert_eq!(c.count, 3);
+        // all points of one blob share a cluster
+        for blob in 0..3 {
+            let base = c.of(VertexId::new(blob as u64 * 10)).unwrap();
+            for i in 0..10 {
+                assert_eq!(c.of(VertexId::new(blob as u64 * 10 + i)).unwrap(), base);
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_k_clamped() {
+        let points = pts(&[(0.0, 0.0, 3)]);
+        let c = kmeans(&points, 10, 10);
+        assert!(c.count <= 3);
+        let empty = kmeans(&HashMap::new(), 3, 10);
+        assert_eq!(empty.count, 0);
+        let zero_k = kmeans(&points, 0, 10);
+        assert_eq!(zero_k.count, 0);
+    }
+
+    #[test]
+    fn kmeans_deterministic() {
+        let points = pts(&[(0.0, 0.0, 8), (50.0, 50.0, 8)]);
+        let a = kmeans(&points, 2, 50);
+        let b = kmeans(&points, 2, 50);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn members_partition_all_points() {
+        let points = pts(&[(0.0, 0.0, 5), (9.0, 9.0, 5)]);
+        let c = kmeans(&points, 2, 50);
+        let total: usize = c.members().iter().map(Vec::len).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn connectivity_splits_disconnected_cluster() {
+        // two disconnected pairs with identical features: k-means puts all
+        // four in one cluster, the constraint splits them
+        let mut hg = HyGraph::new();
+        let a = hg.add_pg_vertex(["N"], props! {});
+        let b = hg.add_pg_vertex(["N"], props! {});
+        let c = hg.add_pg_vertex(["N"], props! {});
+        let d = hg.add_pg_vertex(["N"], props! {});
+        hg.add_pg_edge(a, b, ["E"], props! {}).unwrap();
+        hg.add_pg_edge(c, d, ["E"], props! {}).unwrap();
+        let mut points = HashMap::new();
+        for v in [a, b, c, d] {
+            points.insert(v, vec![1.0, 1.0]);
+        }
+        let base = kmeans(&points, 1, 10);
+        assert_eq!(base.count, 1);
+        let refined = connectivity_constrained(&hg, &base);
+        assert_eq!(refined.count, 2);
+        assert_eq!(refined.of(a), refined.of(b));
+        assert_eq!(refined.of(c), refined.of(d));
+        assert_ne!(refined.of(a), refined.of(c));
+    }
+
+    #[test]
+    fn connectivity_preserves_connected_clusters() {
+        let mut hg = HyGraph::new();
+        let a = hg.add_pg_vertex(["N"], props! {});
+        let b = hg.add_pg_vertex(["N"], props! {});
+        hg.add_pg_edge(a, b, ["E"], props! {}).unwrap();
+        let mut points = HashMap::new();
+        points.insert(a, vec![0.0]);
+        points.insert(b, vec![0.1]);
+        let base = kmeans(&points, 1, 10);
+        let refined = connectivity_constrained(&hg, &base);
+        assert_eq!(refined.count, 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Evaluation metrics for detection/classification experiments — the
+//! precision/recall machinery behind the Figure-4 comparison.
+
+use std::collections::HashSet;
+
+/// A binary confusion matrix.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True negatives.
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Builds a confusion matrix from predictions and ground truth over
+    /// the item indices `0..n`.
+    pub fn from_sets(n: usize, predicted: &HashSet<usize>, truth: &HashSet<usize>) -> Confusion {
+        let mut c = Confusion::default();
+        for i in 0..n {
+            match (predicted.contains(&i), truth.contains(&i)) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, true) => c.fn_ += 1,
+                (false, false) => c.tn += 1,
+            }
+        }
+        c
+    }
+
+    /// Builds from a per-item predicate pair.
+    pub fn from_fn(
+        n: usize,
+        mut predicted: impl FnMut(usize) -> bool,
+        mut truth: impl FnMut(usize) -> bool,
+    ) -> Confusion {
+        let mut c = Confusion::default();
+        for i in 0..n {
+            match (predicted(i), truth(i)) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, true) => c.fn_ += 1,
+                (false, false) => c.tn += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision `tp / (tp + fp)`; 1.0 when nothing was predicted (no
+    /// false alarms issued).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 1.0 when there was nothing to find.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall); 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy over all items.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.fn_ + self.tn;
+        if total == 0 {
+            1.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// Matthews correlation coefficient, in `[-1, 1]`; 0 for degenerate
+    /// denominators.
+    pub fn mcc(&self) -> f64 {
+        let (tp, fp, fn_, tn) = (
+            self.tp as f64,
+            self.fp as f64,
+            self.fn_ as f64,
+            self.tn as f64,
+        );
+        let denom = ((tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_)).sqrt();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (tp * tn - fp * fn_) / denom
+        }
+    }
+}
+
+impl std::fmt::Display for Confusion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tp={} fp={} fn={} tn={} (P={:.2} R={:.2} F1={:.2})",
+            self.tp,
+            self.fp,
+            self.fn_,
+            self.tn,
+            self.precision(),
+            self.recall(),
+            self.f1()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[usize]) -> HashSet<usize> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let truth = set(&[1, 3]);
+        let c = Confusion::from_sets(5, &truth.clone(), &truth);
+        assert_eq!(c, Confusion { tp: 2, fp: 0, fn_: 0, tn: 3 });
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+        assert!((c.mcc() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_right() {
+        let c = Confusion::from_sets(4, &set(&[0, 1]), &set(&[1, 2]));
+        assert_eq!(c, Confusion { tp: 1, fp: 1, fn_: 1, tn: 1 });
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+        assert_eq!(c.accuracy(), 0.5);
+        assert_eq!(c.mcc(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        // nothing predicted, nothing true
+        let c = Confusion::from_sets(3, &set(&[]), &set(&[]));
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.mcc(), 0.0);
+        // everything predicted, nothing true
+        let c = Confusion::from_sets(3, &set(&[0, 1, 2]), &set(&[]));
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 1.0, "nothing to find");
+        assert_eq!(c.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn from_fn_matches_from_sets() {
+        let truth = set(&[2, 4, 6]);
+        let pred = set(&[2, 3, 6]);
+        let a = Confusion::from_sets(8, &pred, &truth);
+        let b = Confusion::from_fn(8, |i| pred.contains(&i), |i| truth.contains(&i));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_format() {
+        let c = Confusion { tp: 1, fp: 2, fn_: 3, tn: 4 };
+        let text = c.to_string();
+        assert!(text.contains("tp=1") && text.contains("F1="));
+    }
+}

@@ -1,0 +1,133 @@
+//! Criterion benchmarks of the R3 *timeliness* requirement: ingest and
+//! update throughput of the series store and the model's structural
+//! update path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hygraph_core::HyGraph;
+use hygraph_ts::{TimeSeries, TsStore};
+use hygraph_types::{props, Duration, Interval, SeriesId, Timestamp};
+use std::hint::black_box;
+
+fn bench_ts_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ingest");
+    let n = 10_000usize;
+
+    g.bench_function("tsstore_append_in_order", |b| {
+        b.iter(|| {
+            let mut st = TsStore::with_chunk_width(Duration::from_secs(3600));
+            let id = SeriesId::new(0);
+            for i in 0..n {
+                st.insert(id, Timestamp::from_secs(i as i64), i as f64);
+            }
+            black_box(st.len(id))
+        })
+    });
+
+    g.bench_function("tsstore_append_out_of_order", |b| {
+        // reversed arrival order: worst case for the sorted-chunk inserts
+        b.iter(|| {
+            let mut st = TsStore::with_chunk_width(Duration::from_secs(3600));
+            let id = SeriesId::new(0);
+            for i in (0..n).rev() {
+                st.insert(id, Timestamp::from_secs(i as i64), i as f64);
+            }
+            black_box(st.len(id))
+        })
+    });
+
+    g.bench_function("timeseries_push", |b| {
+        b.iter(|| {
+            let mut s = TimeSeries::with_capacity(n);
+            for i in 0..n {
+                s.push(Timestamp::from_secs(i as i64), i as f64).expect("ordered");
+            }
+            black_box(s.len())
+        })
+    });
+
+    g.bench_function("hygraph_series_append", |b| {
+        let mut hg = HyGraph::new();
+        let sid = hg.add_univariate_series(
+            "x",
+            &TimeSeries::generate(Timestamp::ZERO, Duration::from_secs(1), 1, |_| 0.0),
+        );
+        let mut t = 1i64;
+        b.iter(|| {
+            t += 1;
+            hg.append(sid, Timestamp::from_secs(t), &[t as f64]).expect("ordered");
+            black_box(t)
+        })
+    });
+    g.finish();
+}
+
+fn bench_structural_updates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("structural");
+    g.bench_function("add_vertex_edge", |b| {
+        b.iter(|| {
+            let mut hg = HyGraph::new();
+            let mut prev = hg.add_pg_vertex(["N"], props! {});
+            for i in 0..1_000 {
+                let v = hg.add_pg_vertex(["N"], props! {});
+                hg.add_pg_edge_valid(
+                    prev,
+                    v,
+                    ["E"],
+                    props! {},
+                    Interval::from(Timestamp::from_secs(i)),
+                )
+                .expect("vertices exist");
+                prev = v;
+            }
+            black_box(hg.edge_count())
+        })
+    });
+    g.bench_function("close_validity", |b| {
+        // closing validity must not rebuild structures
+        let mut hg = HyGraph::new();
+        let mut vs = Vec::new();
+        for _ in 0..1_000 {
+            vs.push(hg.add_pg_vertex(["N"], props! {}));
+        }
+        for w in vs.windows(2) {
+            hg.add_pg_edge(w[0], w[1], ["E"], props! {}).expect("exists");
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            let v = vs[i % vs.len()];
+            i += 1;
+            hg.close_vertex(v, Timestamp::from_secs(i as i64)).expect("pg vertex");
+            black_box(i)
+        })
+    });
+    g.bench_function("snapshot_1k", |b| {
+        let mut hg = HyGraph::new();
+        let mut vs = Vec::new();
+        for i in 0..1_000i64 {
+            vs.push(hg.add_pg_vertex_valid(
+                ["N"],
+                props! {},
+                Interval::new(Timestamp::from_secs(i), Timestamp::from_secs(i + 500)),
+            ));
+        }
+        b.iter(|| {
+            black_box(
+                hygraph_graph::snapshot::snapshot(hg.topology(), Timestamp::from_secs(600))
+                    .vertex_count(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // CI-friendly precision: 10 samples / short windows; bump for
+    // publication-grade numbers
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_ts_ingest, bench_structural_updates
+}
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Criterion benchmarks of the HyQL engine: parsing, pattern matching,
+//! series aggregates, row aggregation, and variable-length expansion on
+//! the fraud dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hygraph_datagen::fraud::{generate, FraudConfig};
+use hygraph_query::{parser, query};
+use std::hint::black_box;
+
+fn bench_query(c: &mut Criterion) {
+    let data = generate(FraudConfig {
+        users: 200,
+        merchants: 60,
+        hours: 24 * 7,
+        ..Default::default()
+    });
+    let hg = data.hygraph;
+
+    let mut g = c.benchmark_group("hyql");
+    g.bench_function("parse_complex", |b| {
+        b.iter(|| {
+            black_box(
+                parser::parse(
+                    "MATCH (u:User {name: 'user-1'})-[:USES]->(c:CreditCard)-[t:TX]->(m:Merchant) \
+                     WHERE t.amount > 1000 AND MEAN(DELTA(c) IN [0, 604800000)) > 50 \
+                     RETURN u.name AS who, COUNT(DISTINCT m.name) AS n, SUM(t.amount) AS total \
+                     HAVING COUNT(DISTINCT m.name) > 2 ORDER BY who DESC LIMIT 10",
+                )
+                .expect("parses"),
+            )
+        })
+    });
+    g.bench_function("match_one_hop", |b| {
+        b.iter(|| {
+            black_box(
+                query(&hg, "MATCH (u:User)-[:USES]->(c:CreditCard) RETURN u LIMIT 1000")
+                    .expect("runs")
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("match_filtered_two_hop", |b| {
+        b.iter(|| {
+            black_box(
+                query(
+                    &hg,
+                    "MATCH (u:User)-[:USES]->(c:CreditCard)-[t:TX]->(m:Merchant) \
+                     WHERE t.amount > 1000 RETURN u.name AS who",
+                )
+                .expect("runs")
+                .len(),
+            )
+        })
+    });
+    g.bench_function("series_aggregate_filter", |b| {
+        b.iter(|| {
+            black_box(
+                query(
+                    &hg,
+                    "MATCH (c:CreditCard) WHERE MAX(DELTA(c) IN [0, 604800000)) > 1000 \
+                     RETURN COUNT(*) AS n",
+                )
+                .expect("runs")
+                .rows[0][0]
+                    .clone(),
+            )
+        })
+    });
+    g.bench_function("row_aggregation_having", |b| {
+        b.iter(|| {
+            black_box(
+                query(
+                    &hg,
+                    "MATCH (u:User)-[:USES]->(c:CreditCard)-[t:TX]->(m:Merchant) \
+                     WHERE t.amount > 1000 \
+                     RETURN u.name AS who, COUNT(DISTINCT m.name) AS n \
+                     HAVING COUNT(DISTINCT m.name) > 2",
+                )
+                .expect("runs")
+                .len(),
+            )
+        })
+    });
+    g.bench_function("variable_length_2hop", |b| {
+        b.iter(|| {
+            black_box(
+                query(
+                    &hg,
+                    "MATCH (u:User {name: 'user-1'})-[*1..2]->(x) RETURN COUNT(x) AS n",
+                )
+                .expect("runs")
+                .rows[0][0]
+                    .clone(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // CI-friendly precision: 10 samples / short windows; bump for
+    // publication-grade numbers
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_query
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the Table-1 storage backends: each of the
+//! eight queries on both the all-in-graph baseline and the polyglot
+//! store, at a CI-friendly scale. The `table1` binary produces the
+//! full-scale paper table; this bench tracks regressions per query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hygraph_datagen::bike::{generate, BikeConfig};
+use hygraph_storage::harness::{run_query, Workload};
+use hygraph_storage::{backend::QueryId, AllInGraphStore, PolyglotStore};
+use hygraph_types::Duration;
+use std::hint::black_box;
+
+fn bench_storage(c: &mut Criterion) {
+    let dataset = generate(BikeConfig {
+        stations: 50,
+        days: 14,
+        tick: Duration::from_mins(15),
+        avg_degree: 5,
+        seed: 42,
+    });
+    let w = Workload::for_dataset(&dataset);
+    let aig = AllInGraphStore::load(&dataset);
+    let poly = PolyglotStore::load(&dataset);
+
+    let mut group = c.benchmark_group("table1");
+    for q in QueryId::ALL {
+        group.bench_function(format!("{}_all_in_graph", q.name()), |b| {
+            b.iter(|| black_box(run_query(&aig, &w, q)))
+        });
+        group.bench_function(format!("{}_polyglot", q.name()), |b| {
+            b.iter(|| black_box(run_query(&poly, &w, q)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_load(c: &mut Criterion) {
+    let dataset = generate(BikeConfig {
+        stations: 10,
+        days: 7,
+        tick: Duration::from_mins(30),
+        avg_degree: 4,
+        seed: 42,
+    });
+    let mut group = c.benchmark_group("load");
+    group.sample_size(10);
+    group.bench_function("all_in_graph", |b| {
+        b.iter(|| black_box(AllInGraphStore::load(&dataset).observation_property_count()))
+    });
+    group.bench_function("polyglot", |b| {
+        b.iter(|| black_box(PolyglotStore::load(&dataset).ts_store().series_count()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // CI-friendly precision: 10 samples / short windows; bump for
+    // publication-grade numbers
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_storage, bench_load
+}
+criterion_main!(benches);

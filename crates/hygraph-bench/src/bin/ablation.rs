@@ -1,0 +1,129 @@
+//! Ablation study of the polyglot store's design choices:
+//!
+//! 1. **chunk width** — sweep from minutes to weeks, measuring the
+//!    range-fetch and aggregate queries (the partitioning granularity
+//!    trade-off TimescaleDB documents);
+//! 2. **per-chunk sparse aggregates** — the aggregate path with chunk
+//!    summaries (O(#chunks)) vs forced full scans (O(#points));
+//! 3. **query-window scaling** — how both backends degrade as the
+//!    queried range grows (the crossover structure behind Table 1).
+//!
+//! Run with: `cargo run --release -p hygraph-bench --bin ablation [--scale small|medium|large]`
+
+use hygraph_bench::{time_stats, Scale};
+use hygraph_datagen::bike::{self, BikeConfig};
+use hygraph_storage::harness::Workload;
+use hygraph_storage::{AllInGraphStore, PolyglotStore, StorageBackend};
+use hygraph_ts::store::{AggKind, Summary, TsStore};
+use hygraph_types::{Duration, Interval, SeriesId};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (days, runs) = match scale {
+        Scale::Small => (7, 5),
+        Scale::Medium => (30, 10),
+        Scale::Large => (90, 10),
+    };
+    let cfg = BikeConfig {
+        stations: 50,
+        days,
+        tick: Duration::from_mins(5),
+        avg_degree: 5,
+        seed: 42,
+    };
+    let dataset = bike::generate(cfg);
+    let series = &dataset.availability[0];
+    let n = series.len();
+    println!("ablation dataset: {} stations × {} points\n", cfg.stations, n);
+
+    // ---- 1. chunk width sweep ---------------------------------------------
+    println!("1. chunk-width sweep (single series, {n} points)");
+    println!(
+        "{:<12} {:>8} {:>16} {:>16} {:>18}",
+        "chunk", "chunks", "1d range (µs)", "full mean (µs)", "1d-bucket agg (µs)"
+    );
+    let full = Interval::new(dataset.start, dataset.end);
+    let one_day = Interval::new(dataset.start, dataset.start + Duration::from_days(1));
+    for chunk in [
+        Duration::from_mins(30),
+        Duration::from_hours(4),
+        Duration::from_days(1),
+        Duration::from_days(7),
+        Duration::from_days(30),
+    ] {
+        let mut store = TsStore::with_chunk_width(chunk);
+        let id = SeriesId::new(0);
+        store.insert_series(id, series);
+        let (t_range, _) = time_stats(runs * 20, || store.range(id, &one_day).len() as f64);
+        let (t_mean, _) = time_stats(runs * 20, || {
+            store.aggregate(id, &full, AggKind::Mean).unwrap_or(0.0)
+        });
+        let (t_bucket, _) = time_stats(runs * 20, || {
+            store.aggregate_buckets(id, &full, Duration::from_days(1)).len() as f64
+        });
+        println!(
+            "{:<12} {:>8} {:>16.1} {:>16.1} {:>18.1}",
+            format!("{chunk}"),
+            store.chunk_count(id),
+            t_range * 1e3,
+            t_mean * 1e3,
+            t_bucket * 1e3
+        );
+    }
+
+    // ---- 2. chunk summaries on/off -------------------------------------------
+    println!("\n2. per-chunk sparse aggregates (full-range mean, 1-day chunks)");
+    let mut store = TsStore::with_chunk_width(Duration::from_days(1));
+    let id = SeriesId::new(0);
+    store.insert_series(id, series);
+    let (with_summaries, _) = time_stats(runs * 50, || {
+        store.aggregate(id, &full, AggKind::Mean).unwrap_or(0.0)
+    });
+    // forced full scan: same store, same data, no summary shortcut
+    let (without, _) = time_stats(runs * 50, || {
+        let mut acc = Summary::new();
+        store.scan(id, &full, |_, v| acc.add(v));
+        acc.mean().unwrap_or(0.0)
+    });
+    println!(
+        "  with summaries: {:>10.1} µs   forced scan: {:>10.1} µs   speedup: {:.0}x",
+        with_summaries * 1e3,
+        without * 1e3,
+        without / with_summaries.max(1e-12)
+    );
+
+    // ---- 3. query-window scaling ------------------------------------------------
+    println!("\n3. window scaling: single-station mean, both backends");
+    let aig = AllInGraphStore::load(&dataset);
+    let poly = PolyglotStore::load(&dataset);
+    let w = Workload::for_dataset(&dataset);
+    println!(
+        "{:<10} {:>18} {:>18} {:>10}",
+        "window", "all-in-graph (µs)", "polyglot (µs)", "speedup"
+    );
+    let mut windows: Vec<i64> = [1, 3, 7, 14, days as i64]
+        .into_iter()
+        .filter(|&d| d <= days as i64)
+        .collect();
+    windows.dedup();
+    for frac_days in windows {
+        let iv = Interval::new(
+            dataset.start,
+            (dataset.start + Duration::from_days(frac_days)).min(dataset.end),
+        );
+        let (t_a, _) = time_stats(runs * 10, || aig.q3_mean(w.station, &iv).unwrap_or(0.0));
+        let (t_p, _) = time_stats(runs * 10, || poly.q3_mean(w.station, &iv).unwrap_or(0.0));
+        println!(
+            "{:<10} {:>18.1} {:>18.1} {:>9.0}x",
+            format!("{frac_days}d"),
+            t_a * 1e3,
+            t_p * 1e3,
+            t_a / t_p.max(1e-12)
+        );
+    }
+    println!(
+        "\nconclusion: chunk pruning keeps the polyglot cost flat in the window size\n\
+         while the all-in-graph scan is O(all properties) regardless of the window —\n\
+         the asymmetry that produces the Table-1 orders of magnitude."
+    );
+}

@@ -1,0 +1,71 @@
+//! Regenerates **Figure 2** of the paper: the fraud-detection running
+//! example analysed the graph-only way (Listing 1) and the
+//! time-series-only way (Listing 2), showing what each method sees —
+//! and misses — on the exact micro-instance.
+//!
+//! Run with: `cargo run --release -p hygraph-bench --bin figure2`
+
+use hygraph_datagen::fraud;
+use hygraph_query::query;
+use hygraph_ts::ops::anomaly;
+
+fn main() {
+    let data = fraud::figure2_instance();
+    let hg = &data.hygraph;
+    println!("Figure 2 micro-instance:");
+    println!(
+        "  {} users, {} credit cards (ts-vertices), {} merchants, {} TX edges\n",
+        data.users.len(),
+        data.cards.len(),
+        data.merchants.len(),
+        hg.edge_count() - data.users.len() // minus USES edges
+    );
+
+    // ---- the graph-based way (Listing 1) --------------------------------
+    // structural core: high-amount transactions; the full Listing-1
+    // co-location/time-window logic lives in the pipeline (figure4 bin)
+    // Listing-1 core in HyQL: users with >1000 transactions to at least
+    // three distinct merchants (the paper's length(mrs) > 2); the
+    // co-location/time-window constraint is applied by the pipeline
+    let r = query(
+        hg,
+        "MATCH (u:User)-[:USES]->(c:CreditCard)-[t:TX]->(m:Merchant) \
+         WHERE t.amount > 1000 \
+         RETURN u.name AS suspiciousUser, COUNT(DISTINCT m.name) AS merchants \
+         HAVING COUNT(DISTINCT m.name) > 2 ORDER BY suspiciousUser",
+    )
+    .expect("listing 1 runs");
+    println!("Listing 1 — the graph-based way:");
+    print!("{}", r.render());
+    println!("  → flags User 1 (real fraud) AND User 3 (bulk shopper, false positive)\n");
+
+    // ---- the time-series way (Listing 2) ---------------------------------
+    println!("Listing 2 — the time-series way (z-score outliers):");
+    let mut flagged = Vec::new();
+    for (i, &sid) in data.spending.iter().enumerate() {
+        let s = hg
+            .series(sid)
+            .expect("series exists")
+            .to_univariate("spending")
+            .expect("spending column");
+        let hits = anomaly::zscore(&s, 3.0);
+        println!(
+            "  User {}: {} significant peaks{}",
+            i + 1,
+            hits.len(),
+            hits.first()
+                .map(|a| format!(" (first at {}, z = {:.1})", a.time, a.score))
+                .unwrap_or_default()
+        );
+        if !hits.is_empty() {
+            flagged.push(i + 1);
+        }
+    }
+    println!("  → flags {flagged:?}: the burst in [t5, t6) of the figure\n");
+
+    println!(
+        "isolation loses information: the graph view cannot tell User 3's routine\n\
+         from fraud; the series view cannot see User 1's merchant co-location.\n\
+         Run `--bin figure4` for the HyGraph pipeline that combines both."
+    );
+}

@@ -1,0 +1,80 @@
+//! Shared helpers for the benchmark binaries that regenerate the paper's
+//! tables and figures (see `src/bin/`).
+
+use std::time::Instant;
+
+/// Scale presets for the benchmark binaries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-fast smoke scale (CI).
+    Small,
+    /// The default reporting scale.
+    Medium,
+    /// Closer to the paper's dataset size (minutes).
+    Large,
+}
+
+impl Scale {
+    /// Parses `--scale small|medium|large` from process args; defaults to
+    /// `Medium`.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        for pair in args.windows(2) {
+            if pair[0] == "--scale" {
+                return match pair[1].as_str() {
+                    "small" => Scale::Small,
+                    "large" => Scale::Large,
+                    _ => Scale::Medium,
+                };
+            }
+        }
+        Scale::Medium
+    }
+}
+
+/// Times a closure, returning (result, elapsed milliseconds).
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Times `runs` executions, returning (mean ms, cv %). The closure's
+/// output is accumulated into a checksum to prevent dead-code elimination.
+pub fn time_stats(runs: usize, mut f: impl FnMut() -> f64) -> (f64, f64) {
+    let mut samples = Vec::with_capacity(runs);
+    let mut checksum = 0.0;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        checksum += f();
+        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    std::hint::black_box(checksum);
+    let mean = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
+    let var = samples
+        .iter()
+        .map(|x| (x - mean) * (x - mean))
+        .sum::<f64>()
+        / samples.len().max(1) as f64;
+    let cv = if mean > 0.0 { var.sqrt() / mean * 100.0 } else { 0.0 };
+    (mean, cv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_helpers_run() {
+        let (v, ms) = time_ms(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(ms >= 0.0);
+        let (mean, cv) = time_stats(5, || 1.0);
+        assert!(mean >= 0.0 && cv >= 0.0);
+    }
+
+    #[test]
+    fn default_scale() {
+        assert_eq!(Scale::from_args(), Scale::Medium);
+    }
+}

@@ -1,0 +1,349 @@
+//! Fluent construction of HyGraph instances with integrity validation.
+//!
+//! The builder lets callers wire vertices and edges by *name* instead of
+//! juggling ids, then validates the finished instance (R2) in
+//! [`HyGraphBuilder::build`]. Names are purely a construction-time
+//! convenience; the built instance is a plain [`HyGraph`] plus name→id
+//! maps for follow-up queries.
+
+use crate::model::{ElementRef, HyGraph};
+use hygraph_ts::{MultiSeries, TimeSeries};
+use hygraph_types::{
+    EdgeId, HyGraphError, Interval, PropertyMap, Result, SeriesId, VertexId,
+};
+use std::collections::HashMap;
+
+/// A finished build: the instance plus name → id maps.
+#[derive(Debug)]
+pub struct BuiltHyGraph {
+    /// The validated instance.
+    pub hygraph: HyGraph,
+    /// Vertex name → id.
+    pub vertices: HashMap<String, VertexId>,
+    /// Edge name → id (only edges given names).
+    pub edges: HashMap<String, EdgeId>,
+    /// Series name → id (only series given names).
+    pub series: HashMap<String, SeriesId>,
+}
+
+impl BuiltHyGraph {
+    /// Vertex id by name; panics if absent (names are construction-time
+    /// constants, so a miss is a programming error).
+    pub fn v(&self, name: &str) -> VertexId {
+        self.vertices[name]
+    }
+
+    /// Edge id by name.
+    pub fn e(&self, name: &str) -> EdgeId {
+        self.edges[name]
+    }
+
+    /// Series id by name.
+    pub fn s(&self, name: &str) -> SeriesId {
+        self.series[name]
+    }
+}
+
+/// Fluent builder; see the crate docs for an end-to-end example.
+#[derive(Debug, Default)]
+pub struct HyGraphBuilder {
+    hg: HyGraph,
+    vertices: HashMap<String, VertexId>,
+    edges: HashMap<String, EdgeId>,
+    series: HashMap<String, SeriesId>,
+    error: Option<HyGraphError>,
+}
+
+impl HyGraphBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn record_err(&mut self, e: HyGraphError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    fn lookup_vertex(&mut self, name: &str) -> Option<VertexId> {
+        match self.vertices.get(name) {
+            Some(&v) => Some(v),
+            None => {
+                self.record_err(HyGraphError::invalid(format!(
+                    "unknown vertex name '{name}'"
+                )));
+                None
+            }
+        }
+    }
+
+    /// Registers a named multivariate series.
+    pub fn series(mut self, name: &str, s: MultiSeries) -> Self {
+        let id = self.hg.add_series(s);
+        self.series.insert(name.to_owned(), id);
+        self
+    }
+
+    /// Registers a named univariate series.
+    pub fn univariate(self, name: &str, s: &TimeSeries) -> Self {
+        let m = MultiSeries::from_univariate(name, s);
+        self.series(name, m)
+    }
+
+    /// Adds a named property-graph vertex.
+    pub fn pg_vertex(
+        mut self,
+        name: &str,
+        labels: impl IntoIterator<Item = impl Into<hygraph_types::Label>>,
+        props: PropertyMap,
+    ) -> Self {
+        let v = self.hg.add_pg_vertex(labels, props);
+        self.vertices.insert(name.to_owned(), v);
+        self
+    }
+
+    /// Adds a named property-graph vertex with explicit validity.
+    pub fn pg_vertex_valid(
+        mut self,
+        name: &str,
+        labels: impl IntoIterator<Item = impl Into<hygraph_types::Label>>,
+        props: PropertyMap,
+        validity: Interval,
+    ) -> Self {
+        let v = self.hg.add_pg_vertex_valid(labels, props, validity);
+        self.vertices.insert(name.to_owned(), v);
+        self
+    }
+
+    /// Adds a named time-series vertex backed by the named series.
+    pub fn ts_vertex(
+        mut self,
+        name: &str,
+        labels: impl IntoIterator<Item = impl Into<hygraph_types::Label>>,
+        series_name: &str,
+    ) -> Self {
+        let Some(&sid) = self.series.get(series_name) else {
+            self.record_err(HyGraphError::invalid(format!(
+                "unknown series name '{series_name}'"
+            )));
+            return self;
+        };
+        match self.hg.add_ts_vertex(labels, sid) {
+            Ok(v) => {
+                self.vertices.insert(name.to_owned(), v);
+            }
+            Err(e) => self.record_err(e),
+        }
+        self
+    }
+
+    /// Adds a property-graph edge between named vertices.
+    pub fn pg_edge(
+        mut self,
+        name: Option<&str>,
+        src: &str,
+        dst: &str,
+        labels: impl IntoIterator<Item = impl Into<hygraph_types::Label>>,
+        props: PropertyMap,
+    ) -> Self {
+        let (Some(s), Some(d)) = (self.lookup_vertex(src), self.lookup_vertex(dst)) else {
+            return self;
+        };
+        match self.hg.add_pg_edge(s, d, labels, props) {
+            Ok(e) => {
+                if let Some(n) = name {
+                    self.edges.insert(n.to_owned(), e);
+                }
+            }
+            Err(e) => self.record_err(e),
+        }
+        self
+    }
+
+    /// Adds a property-graph edge with explicit validity.
+    pub fn pg_edge_valid(
+        mut self,
+        name: Option<&str>,
+        src: &str,
+        dst: &str,
+        labels: impl IntoIterator<Item = impl Into<hygraph_types::Label>>,
+        props: PropertyMap,
+        validity: Interval,
+    ) -> Self {
+        let (Some(s), Some(d)) = (self.lookup_vertex(src), self.lookup_vertex(dst)) else {
+            return self;
+        };
+        match self.hg.add_pg_edge_valid(s, d, labels, props, validity) {
+            Ok(e) => {
+                if let Some(n) = name {
+                    self.edges.insert(n.to_owned(), e);
+                }
+            }
+            Err(e) => self.record_err(e),
+        }
+        self
+    }
+
+    /// Adds a time-series edge backed by the named series.
+    pub fn ts_edge(
+        mut self,
+        name: Option<&str>,
+        src: &str,
+        dst: &str,
+        labels: impl IntoIterator<Item = impl Into<hygraph_types::Label>>,
+        series_name: &str,
+    ) -> Self {
+        let (Some(s), Some(d)) = (self.lookup_vertex(src), self.lookup_vertex(dst)) else {
+            return self;
+        };
+        let Some(&sid) = self.series.get(series_name) else {
+            self.record_err(HyGraphError::invalid(format!(
+                "unknown series name '{series_name}'"
+            )));
+            return self;
+        };
+        match self.hg.add_ts_edge(s, d, labels, sid) {
+            Ok(e) => {
+                if let Some(n) = name {
+                    self.edges.insert(n.to_owned(), e);
+                }
+            }
+            Err(e) => self.record_err(e),
+        }
+        self
+    }
+
+    /// Attaches a named series as a property of a named pg-vertex.
+    pub fn series_property(mut self, vertex: &str, key: &str, series_name: &str) -> Self {
+        let Some(v) = self.lookup_vertex(vertex) else {
+            return self;
+        };
+        let Some(&sid) = self.series.get(series_name) else {
+            self.record_err(HyGraphError::invalid(format!(
+                "unknown series name '{series_name}'"
+            )));
+            return self;
+        };
+        if let Err(e) = self.hg.set_property(ElementRef::Vertex(v), key, sid) {
+            self.record_err(e);
+        }
+        self
+    }
+
+    /// Finishes the build: reports the first construction error, then
+    /// validates the instance end-to-end.
+    pub fn build(self) -> Result<BuiltHyGraph> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.hg.validate()?;
+        Ok(BuiltHyGraph {
+            hygraph: self.hg,
+            vertices: self.vertices,
+            edges: self.edges,
+            series: self.series,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ElementKind;
+    use hygraph_types::{props, Timestamp};
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn spend() -> TimeSeries {
+        TimeSeries::from_pairs([(ts(0), 10.0), (ts(10), 12.0), (ts(20), 11.0)])
+    }
+
+    #[test]
+    fn fluent_build() {
+        let built = HyGraphBuilder::new()
+            .univariate("card1_balance", &spend())
+            .univariate("tx_flow", &spend())
+            .pg_vertex("alice", ["User"], props! {"name" => "alice"})
+            .pg_vertex("m1", ["Merchant"], props! {})
+            .ts_vertex("card1", ["CreditCard"], "card1_balance")
+            .pg_edge(Some("uses"), "alice", "card1", ["USES"], props! {})
+            .ts_edge(Some("flow"), "card1", "m1", ["TX_FLOW"], "tx_flow")
+            .series_property("alice", "spending", "card1_balance")
+            .build()
+            .unwrap();
+        let hg = &built.hygraph;
+        assert_eq!(hg.vertex_count(), 3);
+        assert_eq!(hg.edge_count(), 2);
+        assert_eq!(hg.vertex_kind(built.v("card1")).unwrap(), ElementKind::Ts);
+        assert_eq!(hg.edge_kind(built.e("flow")).unwrap(), ElementKind::Ts);
+        assert_eq!(
+            hg.phi(ElementRef::Vertex(built.v("alice")), "spending")
+                .unwrap()
+                .unwrap()
+                .as_series(),
+            Some(built.s("card1_balance"))
+        );
+    }
+
+    #[test]
+    fn unknown_vertex_name_fails_build() {
+        let err = HyGraphBuilder::new()
+            .pg_vertex("a", ["X"], props! {})
+            .pg_edge(None, "a", "ghost", ["E"], props! {})
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, HyGraphError::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn unknown_series_name_fails_build() {
+        let err = HyGraphBuilder::new()
+            .pg_vertex("a", ["X"], props! {})
+            .ts_vertex("t", ["T"], "missing_series")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, HyGraphError::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn first_error_wins() {
+        let err = HyGraphBuilder::new()
+            .pg_edge(None, "ghost1", "ghost2", ["E"], props! {})
+            .ts_vertex("t", ["T"], "also_missing")
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            HyGraphError::invalid("unknown vertex name 'ghost1'")
+        );
+    }
+
+    #[test]
+    fn build_validates_instance() {
+        // pg_edge_valid outliving a vertex validity is caught by validate
+        let err = HyGraphBuilder::new()
+            .pg_vertex_valid("a", ["X"], props! {}, Interval::new(ts(0), ts(10)))
+            .pg_vertex("b", ["X"], props! {})
+            .pg_edge_valid(
+                None,
+                "a",
+                "b",
+                ["E"],
+                props! {},
+                Interval::new(ts(0), ts(100)),
+            )
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, HyGraphError::TemporalIntegrity(_)));
+    }
+
+    #[test]
+    fn empty_build_is_valid() {
+        let built = HyGraphBuilder::new().build().unwrap();
+        assert_eq!(built.hygraph.vertex_count(), 0);
+        assert_eq!(built.hygraph.series_count(), 0);
+    }
+}

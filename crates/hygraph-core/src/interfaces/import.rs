@@ -1,0 +1,214 @@
+//! `<X>ToHyGraph`: importing existing data structures into a HyGraph.
+//!
+//! Two directions, mirroring Figure 3's arrows into the hybrid layer:
+//!
+//! * [`graph_to_hygraph`] — a temporal property graph becomes the pg
+//!   partition of a fresh instance, unchanged (arrow ⑧ upward);
+//! * [`series_to_hygraph`] — a collection of series becomes ts-vertices,
+//!   optionally linked by *similarity ts-edges* whose own series is the
+//!   rolling correlation of the endpoints (the "build a graph on top of
+//!   time series" direction, arrow ⑥).
+
+use crate::model::HyGraph;
+use hygraph_graph::TemporalGraph;
+use hygraph_ts::ops::correlate;
+use hygraph_ts::TimeSeries;
+use hygraph_types::{Duration, Label, Result, VertexId};
+
+/// Imports a temporal property graph as the pg-partition of a new
+/// HyGraph. Element ids are preserved (the import iterates ids in order,
+/// and `HyGraph` allocates densely), so callers can keep using their
+/// existing id references.
+pub fn graph_to_hygraph(g: &TemporalGraph) -> HyGraph {
+    let mut hg = HyGraph::new();
+    // preserve dense ids across tombstones by re-adding placeholders
+    let cap = g.vertex_capacity();
+    let mut placeholders = Vec::new();
+    for idx in 0..cap {
+        let vid = VertexId::from(idx);
+        match g.vertex(vid) {
+            Ok(v) => {
+                let nid = hg.add_pg_vertex_valid(v.labels.clone(), v.props.clone(), v.validity);
+                debug_assert_eq!(nid, vid);
+            }
+            Err(_) => {
+                let nid = hg.add_pg_vertex_valid(
+                    Vec::<Label>::new(),
+                    Default::default(),
+                    hygraph_types::Interval::ALL,
+                );
+                debug_assert_eq!(nid, vid);
+                placeholders.push(vid);
+            }
+        }
+    }
+    for e in g.edges() {
+        hg.add_pg_edge_valid(e.src, e.dst, e.labels.clone(), e.props.clone(), e.validity)
+            .expect("endpoints exist");
+    }
+    // placeholders stay as unlabeled isolated vertices only if the source
+    // had tombstones; mark them closed so they do not pollute snapshots.
+    for v in placeholders {
+        let _ = hg.close_vertex(v, hygraph_types::Timestamp::MIN);
+    }
+    hg
+}
+
+/// Configuration for similarity-edge construction in
+/// [`series_to_hygraph`].
+#[derive(Clone, Copy, Debug)]
+pub struct SimilarityConfig {
+    /// Alignment grid step for correlation.
+    pub step: Duration,
+    /// Minimum absolute Pearson correlation for an edge.
+    pub threshold: f64,
+    /// Window (in points) of the rolling correlation stored on the edge.
+    pub window: usize,
+}
+
+impl Default for SimilarityConfig {
+    fn default() -> Self {
+        Self {
+            step: Duration::from_mins(5),
+            threshold: 0.8,
+            window: 12,
+        }
+    }
+}
+
+/// Imports named univariate series as ts-vertices labelled `label`.
+/// When `similarity` is set, every pair with `|pearson| >= threshold`
+/// (after alignment) is linked by a `SIMILAR` ts-edge whose δ is the
+/// rolling correlation series — the paper's "similarity edge between two
+/// credit cards is a TS edge" construction.
+pub fn series_to_hygraph(
+    inputs: &[(String, TimeSeries)],
+    label: &str,
+    similarity: Option<SimilarityConfig>,
+) -> Result<(HyGraph, Vec<VertexId>)> {
+    let mut hg = HyGraph::new();
+    let mut vertices = Vec::with_capacity(inputs.len());
+    for (name, s) in inputs {
+        let sid = hg.add_univariate_series(name, s);
+        let v = hg.add_ts_vertex([label], sid)?;
+        vertices.push(v);
+    }
+    if let Some(cfg) = similarity {
+        for i in 0..inputs.len() {
+            for j in (i + 1)..inputs.len() {
+                let (a, b) = (&inputs[i].1, &inputs[j].1);
+                let Some(r) = correlate::series_correlation(a, b, cfg.step) else {
+                    continue;
+                };
+                if r.abs() < cfg.threshold {
+                    continue;
+                }
+                // the edge's own series: rolling correlation over time
+                let Some((ra, rb)) =
+                    hygraph_ts::ops::resample::align(a, b, cfg.step, hygraph_ts::ops::resample::FillMethod::Linear)
+                else {
+                    continue;
+                };
+                let rolling = correlate::rolling_correlation(&ra, &rb, cfg.window.max(2));
+                let name = format!("similarity:{}:{}", inputs[i].0, inputs[j].0);
+                let sid = hg.add_univariate_series(&name, &rolling);
+                hg.add_ts_edge(vertices[i], vertices[j], ["SIMILAR"], sid)?;
+            }
+        }
+    }
+    Ok((hg, vertices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ElementKind, ElementRef};
+    use hygraph_types::{props, Interval, Timestamp};
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn graph_import_preserves_everything() {
+        let mut g = TemporalGraph::new();
+        let a = g.add_vertex_valid(
+            ["User"],
+            props! {"name" => "a"},
+            Interval::new(ts(0), ts(100)),
+        );
+        let b = g.add_vertex(["Merchant"], props! {});
+        g.add_edge_valid(a, b, ["TX"], props! {"amount" => 5.0}, Interval::new(ts(10), ts(20)))
+            .unwrap();
+        let hg = graph_to_hygraph(&g);
+        assert_eq!(hg.vertex_count(), 2);
+        assert_eq!(hg.edge_count(), 1);
+        assert_eq!(hg.vertex_kind(a).unwrap(), ElementKind::Pg);
+        assert_eq!(
+            hg.props(ElementRef::Vertex(a)).unwrap().static_value("name").unwrap().as_str(),
+            Some("a")
+        );
+        assert_eq!(hg.rho(ElementRef::Vertex(a)).unwrap(), Interval::new(ts(0), ts(100)));
+        assert!(hg.validate().is_ok());
+    }
+
+    #[test]
+    fn graph_import_handles_tombstones() {
+        let mut g = TemporalGraph::new();
+        let a = g.add_vertex(["X"], props! {});
+        let b = g.add_vertex(["Y"], props! {});
+        g.remove_vertex(a).unwrap();
+        let hg = graph_to_hygraph(&g);
+        // b keeps its id
+        assert!(hg
+            .lambda(ElementRef::Vertex(b))
+            .unwrap()
+            .iter()
+            .any(|l| l.as_str() == "Y"));
+    }
+
+    #[test]
+    fn series_import_without_similarity() {
+        let s1 = TimeSeries::generate(ts(0), Duration::from_mins(5), 50, |i| i as f64);
+        let s2 = TimeSeries::generate(ts(0), Duration::from_mins(5), 50, |i| -(i as f64));
+        let (hg, vs) = series_to_hygraph(
+            &[("a".into(), s1), ("b".into(), s2)],
+            "Sensor",
+            None,
+        )
+        .unwrap();
+        assert_eq!(vs.len(), 2);
+        assert_eq!(hg.vertex_count(), 2);
+        assert_eq!(hg.edge_count(), 0);
+        assert_eq!(hg.vertex_kind(vs[0]).unwrap(), ElementKind::Ts);
+        assert_eq!(hg.delta(ElementRef::Vertex(vs[0])).unwrap().len(), 50);
+    }
+
+    #[test]
+    fn similarity_edges_link_correlated_series() {
+        let base = |i: usize| ((i as f64) * 0.3).sin() * 10.0;
+        let s1 = TimeSeries::generate(ts(0), Duration::from_mins(5), 100, base);
+        let s2 = TimeSeries::generate(ts(0), Duration::from_mins(5), 100, |i| base(i) * 2.0 + 1.0);
+        // uncorrelated third series
+        let s3 = TimeSeries::generate(ts(0), Duration::from_mins(5), 100, |i| {
+            let mut x = (i as u64) ^ 0x9E37_79B9;
+            x ^= x >> 13;
+            x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            (x % 97) as f64
+        });
+        let (hg, vs) = series_to_hygraph(
+            &[("a".into(), s1), ("b".into(), s2), ("c".into(), s3)],
+            "Card",
+            Some(SimilarityConfig::default()),
+        )
+        .unwrap();
+        assert_eq!(hg.edge_count(), 1, "only the (a,b) pair is correlated");
+        let e = hg.edges_of_kind(ElementKind::Ts).next().unwrap();
+        let (src, dst) = hg.eta(e).unwrap();
+        assert_eq!((src, dst), (vs[0], vs[1]));
+        // the similarity edge carries its own series
+        let sim = hg.delta(ElementRef::Edge(e)).unwrap();
+        assert!(!sim.is_empty());
+        assert!(hg.validate().is_ok());
+    }
+}

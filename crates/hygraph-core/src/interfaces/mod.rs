@@ -1,0 +1,17 @@
+//! The paper's operator interfaces (Figure 4).
+//!
+//! * [`import`] — the `<X>ToHyGraph` family: lossless integration of
+//!   temporal property graphs and time series into a HyGraph instance;
+//! * [`export`] — the `HyGraphTo<X>` family: extraction of graph or
+//!   series views in their original formats, so existing pipelines keep
+//!   working (requirement R1).
+//!
+//! The `HyGraphToHyGraph` family (clustering, classification,
+//! annotation) lives in the `hygraph-analytics` crate, since it composes
+//! these structural interfaces with the analytic operators.
+
+pub mod export;
+pub mod import;
+
+pub use export::{edges_to_series, extract_series, pattern_value_series, to_temporal_graph, TsProjection};
+pub use import::{graph_to_hygraph, series_to_hygraph, SimilarityConfig};

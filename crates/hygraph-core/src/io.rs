@@ -1,0 +1,770 @@
+//! Plain-text persistence for HyGraph instances.
+//!
+//! A line-oriented, tab-separated format designed for lossless
+//! round-trips of the full HGM tuple — vertices and edges of both kinds,
+//! series, δ mappings, series-valued properties, and subgraphs with
+//! interval-tagged membership. It keeps the storage layer inspectable
+//! with standard tools (`grep`, `cut`) and avoids any serialization
+//! dependency, per the workspace's dependency policy.
+//!
+//! Layout (sections in fixed order):
+//!
+//! ```text
+//! #hygraph v1
+//! S <id> <name;name;...>          series declaration (escaped names)
+//! O <id> <t> <v1,v2,...>          one observation row
+//! V <id> <kind> <labels> <start> <end> <props>
+//! E <id> <kind> <src> <dst> <labels> <start> <end> <props>
+//! D V|E <element-id> <series-id>  δ mapping for ts-elements
+//! G <id> <labels> <start> <end> <props>
+//! M <subgraph> V|E <member-id> <start> <end>
+//! ```
+//!
+//! Property encoding: `key=typed-value` pairs joined by `;`, where the
+//! value is `i:<int>`, `f:<float>`, `s:<escaped string>`, `b:<bool>`,
+//! `t:<millis>`, `d:<millis>`, `n:` (null) or `S:<series-id>`.
+//! Escapes: `\\t`, `\\n`, `\\;`, `\\=`, `\\\\`.
+
+use crate::model::{ElementKind, ElementRef, HyGraph};
+use hygraph_ts::MultiSeries;
+use hygraph_types::{
+    Duration, EdgeId, HyGraphError, Interval, Label, PropertyMap, PropertyValue, Result, SeriesId,
+    SubgraphId, Timestamp, Value, VertexId,
+};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+const HEADER: &str = "#hygraph v1";
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            ';' => out.push_str("\\;"),
+            '=' => out.push_str("\\="),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some(';') => out.push(';'),
+            Some('=') => out.push('='),
+            other => {
+                return Err(HyGraphError::invalid(format!(
+                    "bad escape sequence \\{other:?}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Null => "n:".to_owned(),
+        Value::Bool(b) => format!("b:{b}"),
+        Value::Int(i) => format!("i:{i}"),
+        // {:?} keeps full f64 precision
+        Value::Float(f) => format!("f:{f:?}"),
+        Value::Str(s) => format!("s:{}", escape(s)),
+        Value::Time(t) => format!("t:{}", t.millis()),
+        Value::Span(d) => format!("d:{}", d.millis()),
+    }
+}
+
+fn decode_value(s: &str) -> Result<Value> {
+    let (tag, body) = s
+        .split_once(':')
+        .ok_or_else(|| HyGraphError::invalid(format!("untyped value '{s}'")))?;
+    Ok(match tag {
+        "n" => Value::Null,
+        "b" => Value::Bool(body.parse().map_err(|_| bad(s))?),
+        "i" => Value::Int(body.parse().map_err(|_| bad(s))?),
+        "f" => Value::Float(body.parse().map_err(|_| bad(s))?),
+        "s" => Value::Str(unescape(body)?),
+        "t" => Value::Time(Timestamp::from_millis(body.parse().map_err(|_| bad(s))?)),
+        "d" => Value::Span(Duration::from_millis(body.parse().map_err(|_| bad(s))?)),
+        _ => return Err(bad(s)),
+    })
+}
+
+fn bad(s: &str) -> HyGraphError {
+    HyGraphError::invalid(format!("malformed value '{s}'"))
+}
+
+fn encode_props(props: &PropertyMap) -> String {
+    if props.is_empty() {
+        return "-".to_owned();
+    }
+    props
+        .iter()
+        .map(|(k, v)| {
+            let encoded = match v {
+                PropertyValue::Static(v) => encode_value(v),
+                PropertyValue::Series(id) => format!("S:{}", id.raw()),
+            };
+            format!("{}={encoded}", escape(k.as_str()))
+        })
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+fn decode_props(s: &str) -> Result<PropertyMap> {
+    let mut props = PropertyMap::new();
+    if s == "-" {
+        return Ok(props);
+    }
+    for pair in split_unescaped(s, ';') {
+        let mut kv = split_unescaped(&pair, '=');
+        let (Some(k), Some(v), None) = (kv.next(), kv.next(), kv.next()) else {
+            return Err(HyGraphError::invalid(format!("malformed property '{pair}'")));
+        };
+        let key = unescape(&k)?;
+        if let Some(sid) = v.strip_prefix("S:") {
+            let id: u64 = sid.parse().map_err(|_| bad(&v))?;
+            props.set(key, PropertyValue::Series(SeriesId::new(id)));
+        } else {
+            props.set(key, decode_value(&v)?);
+        }
+    }
+    Ok(props)
+}
+
+/// Splits on `sep` while respecting backslash escapes (the separator
+/// survives inside escaped sequences).
+fn split_unescaped(s: &str, sep: char) -> impl Iterator<Item = String> + '_ {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut escaped = false;
+    for c in s.chars() {
+        if escaped {
+            cur.push('\\');
+            cur.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == sep {
+            parts.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(c);
+        }
+    }
+    if escaped {
+        cur.push('\\');
+    }
+    parts.push(cur);
+    parts.into_iter()
+}
+
+fn encode_bound(t: Timestamp) -> String {
+    if t == Timestamp::MIN {
+        "-inf".to_owned()
+    } else if t == Timestamp::MAX {
+        "+inf".to_owned()
+    } else {
+        t.millis().to_string()
+    }
+}
+
+fn decode_bound(s: &str) -> Result<Timestamp> {
+    Ok(match s {
+        "-inf" => Timestamp::MIN,
+        "+inf" => Timestamp::MAX,
+        other => Timestamp::from_millis(other.parse().map_err(|_| bad(other))?),
+    })
+}
+
+fn encode_labels(labels: &[Label]) -> String {
+    if labels.is_empty() {
+        return "-".to_owned();
+    }
+    labels
+        .iter()
+        .map(|l| escape(l.as_str()))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+fn decode_labels(s: &str) -> Result<Vec<Label>> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    split_unescaped(s, ';')
+        .map(|part| unescape(&part).map(Label::new))
+        .collect()
+}
+
+/// Serialises a HyGraph instance to the text format.
+pub fn to_string(hg: &HyGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER}");
+    // series
+    for (id, s) in hg.all_series() {
+        let names = s
+            .names()
+            .iter()
+            .map(|n| escape(n))
+            .collect::<Vec<_>>()
+            .join(";");
+        let _ = writeln!(out, "S\t{}\t{}", id.raw(), names);
+        for i in 0..s.len() {
+            let (t, row) = s.row(i).expect("index in range");
+            let vals = row
+                .iter()
+                .map(|v| format!("{v:?}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            let _ = writeln!(out, "O\t{}\t{}\t{}", id.raw(), t.millis(), vals);
+        }
+    }
+    // vertices (id order keeps the file deterministic and reload dense)
+    let g = hg.topology();
+    for v in g.vertices() {
+        let kind = hg.vertex_kind(v.id).expect("vertex exists");
+        let _ = writeln!(
+            out,
+            "V\t{}\t{}\t{}\t{}\t{}\t{}",
+            v.id.raw(),
+            kind_tag(kind),
+            encode_labels(&v.labels),
+            encode_bound(v.validity.start),
+            encode_bound(v.validity.end),
+            encode_props(&v.props)
+        );
+    }
+    for e in g.edges() {
+        let kind = hg.edge_kind(e.id).expect("edge exists");
+        let _ = writeln!(
+            out,
+            "E\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            e.id.raw(),
+            kind_tag(kind),
+            e.src.raw(),
+            e.dst.raw(),
+            encode_labels(&e.labels),
+            encode_bound(e.validity.start),
+            encode_bound(e.validity.end),
+            encode_props(&e.props)
+        );
+    }
+    // δ mappings
+    for v in hg.vertices_of_kind(ElementKind::Ts) {
+        let sid = hg.delta_id(ElementRef::Vertex(v)).expect("ts vertex");
+        let _ = writeln!(out, "D\tV\t{}\t{}", v.raw(), sid.raw());
+    }
+    for e in hg.edges_of_kind(ElementKind::Ts) {
+        let sid = hg.delta_id(ElementRef::Edge(e)).expect("ts edge");
+        let _ = writeln!(out, "D\tE\t{}\t{}", e.raw(), sid.raw());
+    }
+    // subgraphs
+    for sg in hg.subgraphs() {
+        let _ = writeln!(
+            out,
+            "G\t{}\t{}\t{}\t{}\t{}",
+            sg.id.raw(),
+            encode_labels(&sg.labels),
+            encode_bound(sg.validity.start),
+            encode_bound(sg.validity.end),
+            encode_props(&sg.props)
+        );
+        for &(v, iv) in sg.vertex_members() {
+            let _ = writeln!(
+                out,
+                "M\t{}\tV\t{}\t{}\t{}",
+                sg.id.raw(),
+                v.raw(),
+                encode_bound(iv.start),
+                encode_bound(iv.end)
+            );
+        }
+        for &(e, iv) in sg.edge_members() {
+            let _ = writeln!(
+                out,
+                "M\t{}\tE\t{}\t{}\t{}",
+                sg.id.raw(),
+                e.raw(),
+                encode_bound(iv.start),
+                encode_bound(iv.end)
+            );
+        }
+    }
+    out
+}
+
+fn kind_tag(k: ElementKind) -> &'static str {
+    match k {
+        ElementKind::Pg => "pg",
+        ElementKind::Ts => "ts",
+    }
+}
+
+fn parse_kind(s: &str) -> Result<ElementKind> {
+    match s {
+        "pg" => Ok(ElementKind::Pg),
+        "ts" => Ok(ElementKind::Ts),
+        other => Err(HyGraphError::invalid(format!("unknown kind '{other}'"))),
+    }
+}
+
+/// Parses a HyGraph instance from the text format and validates it.
+///
+/// Ids are remapped densely in file order; series-valued property
+/// references and δ mappings are translated accordingly.
+pub fn from_str(input: &str) -> Result<HyGraph> {
+    let mut lines = input.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        other => {
+            return Err(HyGraphError::invalid(format!(
+                "missing header '{HEADER}', found {:?}",
+                other.map(|(_, l)| l)
+            )))
+        }
+    }
+
+    struct PendingVertex {
+        id: u64,
+        kind: ElementKind,
+        labels: Vec<Label>,
+        validity: Interval,
+        props: PropertyMap,
+    }
+    struct PendingEdge {
+        id: u64,
+        kind: ElementKind,
+        src: u64,
+        dst: u64,
+        labels: Vec<Label>,
+        validity: Interval,
+        props: PropertyMap,
+    }
+    let mut series_buf: Vec<(u64, MultiSeries)> = Vec::new();
+    let mut vertices: Vec<PendingVertex> = Vec::new();
+    let mut edges: Vec<PendingEdge> = Vec::new();
+    let mut deltas: Vec<(char, u64, u64)> = Vec::new();
+    let mut subgraphs: Vec<(u64, Vec<Label>, Interval, PropertyMap)> = Vec::new();
+    let mut members: Vec<(u64, char, u64, Interval)> = Vec::new();
+
+    for (lineno, line) in lines {
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        let err = |msg: String| HyGraphError::Parse {
+            offset: lineno + 1,
+            message: msg,
+        };
+        let need = |n: usize| -> Result<()> {
+            if fields.len() == n {
+                Ok(())
+            } else {
+                Err(err(format!(
+                    "record '{}' needs {n} fields, got {}",
+                    fields[0],
+                    fields.len()
+                )))
+            }
+        };
+        let parse_u64 = |s: &str, what: &str| -> Result<u64> {
+            s.parse().map_err(|_| err(format!("bad {what} '{s}'")))
+        };
+        let interval = |a: &str, b: &str| -> Result<Interval> {
+            Interval::try_new(decode_bound(a)?, decode_bound(b)?)
+                .ok_or_else(|| err("reversed validity interval".to_owned()))
+        };
+        match fields[0] {
+            "S" => {
+                need(3)?;
+                let raw = parse_u64(fields[1], "series id")?;
+                let names: Vec<String> = split_unescaped(fields[2], ';')
+                    .map(|n| unescape(&n))
+                    .collect::<Result<_>>()?;
+                series_buf.push((raw, MultiSeries::new(names)));
+            }
+            "O" => {
+                need(4)?;
+                let raw = parse_u64(fields[1], "series id")?;
+                let t: i64 = fields[2]
+                    .parse()
+                    .map_err(|_| err(format!("bad timestamp '{}'", fields[2])))?;
+                let row: Vec<f64> = fields[3]
+                    .split(',')
+                    .map(|x| {
+                        x.parse()
+                            .map_err(|_| err(format!("bad observation value '{x}'")))
+                    })
+                    .collect::<Result<_>>()?;
+                let target = series_buf
+                    .iter_mut()
+                    .rev()
+                    .find(|(id, _)| *id == raw)
+                    .ok_or_else(|| err("observation before series declaration".to_owned()))?;
+                target.1.push(Timestamp::from_millis(t), &row)?;
+            }
+            "V" => {
+                need(7)?;
+                vertices.push(PendingVertex {
+                    id: parse_u64(fields[1], "vertex id")?,
+                    kind: parse_kind(fields[2])?,
+                    labels: decode_labels(fields[3])?,
+                    validity: interval(fields[4], fields[5])?,
+                    props: decode_props(fields[6])?,
+                });
+            }
+            "E" => {
+                need(9)?;
+                edges.push(PendingEdge {
+                    id: parse_u64(fields[1], "edge id")?,
+                    kind: parse_kind(fields[2])?,
+                    src: parse_u64(fields[3], "source id")?,
+                    dst: parse_u64(fields[4], "target id")?,
+                    labels: decode_labels(fields[5])?,
+                    validity: interval(fields[6], fields[7])?,
+                    props: decode_props(fields[8])?,
+                });
+            }
+            "D" => {
+                need(4)?;
+                let tag = match fields[1] {
+                    "V" => 'V',
+                    "E" => 'E',
+                    other => return Err(err(format!("bad delta target '{other}'"))),
+                };
+                deltas.push((
+                    tag,
+                    parse_u64(fields[2], "element id")?,
+                    parse_u64(fields[3], "series id")?,
+                ));
+            }
+            "G" => {
+                need(6)?;
+                subgraphs.push((
+                    parse_u64(fields[1], "subgraph id")?,
+                    decode_labels(fields[2])?,
+                    interval(fields[3], fields[4])?,
+                    decode_props(fields[5])?,
+                ));
+            }
+            "M" => {
+                need(6)?;
+                let tag = match fields[2] {
+                    "V" => 'V',
+                    "E" => 'E',
+                    other => return Err(err(format!("bad member target '{other}'"))),
+                };
+                members.push((
+                    parse_u64(fields[1], "subgraph id")?,
+                    tag,
+                    parse_u64(fields[3], "member id")?,
+                    interval(fields[4], fields[5])?,
+                ));
+            }
+            other => return Err(err(format!("unknown record type '{other}'"))),
+        }
+    }
+
+    // materialise: series first (properties and δ reference them)
+    let mut hg = HyGraph::new();
+    let mut series_map: HashMap<u64, SeriesId> = HashMap::new();
+    for (raw, s) in series_buf {
+        let new_id = hg.add_series(s);
+        series_map.insert(raw, new_id);
+    }
+    let remap_props = |props: PropertyMap| -> Result<PropertyMap> {
+        props
+            .iter()
+            .map(|(k, v)| {
+                let v = match v {
+                    PropertyValue::Series(old) => PropertyValue::Series(
+                        *series_map
+                            .get(&old.raw())
+                            .ok_or(HyGraphError::SeriesNotFound(*old))?,
+                    ),
+                    other => other.clone(),
+                };
+                Ok((k.clone(), v))
+            })
+            .collect()
+    };
+
+    // the δ target for each pending ts-element
+    let delta_of = |tag: char, id: u64| -> Option<u64> {
+        deltas
+            .iter()
+            .find(|&&(t, eid, _)| t == tag && eid == id)
+            .map(|&(_, _, sid)| sid)
+    };
+
+    let mut vertex_map: HashMap<u64, VertexId> = HashMap::new();
+    for pv in vertices {
+        let new_id = match pv.kind {
+            ElementKind::Pg => {
+                hg.add_pg_vertex_valid(pv.labels, remap_props(pv.props)?, pv.validity)
+            }
+            ElementKind::Ts => {
+                let raw_sid = delta_of('V', pv.id).ok_or_else(|| {
+                    HyGraphError::invalid(format!("ts vertex {} has no D record", pv.id))
+                })?;
+                let sid = *series_map
+                    .get(&raw_sid)
+                    .ok_or(HyGraphError::SeriesNotFound(SeriesId::new(raw_sid)))?;
+                hg.add_ts_vertex(pv.labels, sid)?
+            }
+        };
+        vertex_map.insert(pv.id, new_id);
+    }
+    let mut edge_map: HashMap<u64, EdgeId> = HashMap::new();
+    for pe in edges {
+        let src = *vertex_map
+            .get(&pe.src)
+            .ok_or(HyGraphError::VertexNotFound(VertexId::new(pe.src)))?;
+        let dst = *vertex_map
+            .get(&pe.dst)
+            .ok_or(HyGraphError::VertexNotFound(VertexId::new(pe.dst)))?;
+        let new_id = match pe.kind {
+            ElementKind::Pg => {
+                hg.add_pg_edge_valid(src, dst, pe.labels, remap_props(pe.props)?, pe.validity)?
+            }
+            ElementKind::Ts => {
+                let raw_sid = delta_of('E', pe.id).ok_or_else(|| {
+                    HyGraphError::invalid(format!("ts edge {} has no D record", pe.id))
+                })?;
+                let sid = *series_map
+                    .get(&raw_sid)
+                    .ok_or(HyGraphError::SeriesNotFound(SeriesId::new(raw_sid)))?;
+                hg.add_ts_edge(src, dst, pe.labels, sid)?
+            }
+        };
+        edge_map.insert(pe.id, new_id);
+    }
+    let mut subgraph_map: HashMap<u64, SubgraphId> = HashMap::new();
+    for (raw, labels, validity, props) in subgraphs {
+        let sid = hg.create_subgraph(labels, remap_props(props)?, validity);
+        subgraph_map.insert(raw, sid);
+    }
+    for (sg_raw, tag, member_raw, iv) in members {
+        let sg = *subgraph_map
+            .get(&sg_raw)
+            .ok_or(HyGraphError::SubgraphNotFound(SubgraphId::new(sg_raw)))?;
+        match tag {
+            'V' => {
+                let v = *vertex_map
+                    .get(&member_raw)
+                    .ok_or(HyGraphError::VertexNotFound(VertexId::new(member_raw)))?;
+                hg.add_subgraph_vertex(sg, v, iv)?;
+            }
+            _ => {
+                let e = *edge_map
+                    .get(&member_raw)
+                    .ok_or(HyGraphError::EdgeNotFound(EdgeId::new(member_raw)))?;
+                hg.add_subgraph_edge(sg, e, iv)?;
+            }
+        }
+    }
+    hg.validate()?;
+    Ok(hg)
+}
+
+/// Writes an instance to a file.
+pub fn write_file(hg: &HyGraph, path: impl AsRef<std::path::Path>) -> Result<()> {
+    std::fs::write(path, to_string(hg))
+        .map_err(|e| HyGraphError::invalid(format!("write failed: {e}")))
+}
+
+/// Reads an instance from a file.
+pub fn read_file(path: impl AsRef<std::path::Path>) -> Result<HyGraph> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| HyGraphError::invalid(format!("read failed: {e}")))?;
+    from_str(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::props;
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn rich_instance() -> HyGraph {
+        let mut hg = HyGraph::new();
+        let mut m = MultiSeries::new(["price", "volume"]);
+        m.push(ts(0), &[100.5, 3.0]).unwrap();
+        m.push(ts(60_000), &[101.25, 7.0]).unwrap();
+        let sid = hg.add_series(m);
+        let extra = hg.add_univariate_series(
+            "load",
+            &hygraph_ts::TimeSeries::from_pairs([(ts(5), 1.5), (ts(10), -2.25)]),
+        );
+        let u = hg.add_pg_vertex_valid(
+            ["User", "Person"],
+            props! {
+                "name" => "a=b;c\td",    // exercises every escape
+                "age" => 34i64,
+                "score" => 0.1234567890123,
+                "vip" => true,
+                "joined" => ts(42),
+                "nothing" => Value::Null
+            },
+            Interval::new(ts(0), ts(1_000)),
+        );
+        let card = hg.add_ts_vertex(["Card"], sid).unwrap();
+        hg.add_pg_edge_valid(
+            u,
+            card,
+            ["USES"],
+            props! {"since" => ts(10)},
+            Interval::new(ts(0), ts(900)),
+        )
+        .unwrap();
+        let flow = hg.add_univariate_series(
+            "flow",
+            &hygraph_ts::TimeSeries::from_pairs([(ts(1), 9.0)]),
+        );
+        hg.add_ts_edge(card, u, ["FLOW"], flow).unwrap();
+        hg.set_property(ElementRef::Vertex(u), "load", extra).unwrap();
+        let sg = hg.create_subgraph(
+            ["Suspicious"],
+            props! {"reason" => "test"},
+            Interval::new(ts(0), ts(500)),
+        );
+        hg.add_subgraph_vertex(sg, u, Interval::new(ts(0), ts(100))).unwrap();
+        hg
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let hg = rich_instance();
+        let text = to_string(&hg);
+        let back = from_str(&text).expect("parses");
+        // structure
+        assert_eq!(back.vertex_count(), hg.vertex_count());
+        assert_eq!(back.edge_count(), hg.edge_count());
+        assert_eq!(back.series_count(), hg.series_count());
+        assert_eq!(back.subgraphs().count(), hg.subgraphs().count());
+        // second serialisation is byte-identical (canonical form)
+        assert_eq!(to_string(&back), text);
+    }
+
+    #[test]
+    fn roundtrip_preserves_values_and_escapes() {
+        let hg = rich_instance();
+        let back = from_str(&to_string(&hg)).unwrap();
+        let u = back
+            .topology()
+            .vertices()
+            .find(|v| v.has_label("User"))
+            .expect("user exists");
+        assert_eq!(
+            u.props.static_value("name").unwrap().as_str(),
+            Some("a=b;c\td")
+        );
+        assert_eq!(u.props.static_value("age").unwrap().as_i64(), Some(34));
+        assert_eq!(
+            u.props.static_value("score").unwrap().as_f64(),
+            Some(0.1234567890123)
+        );
+        assert_eq!(
+            u.props.static_value("joined").unwrap().as_time(),
+            Some(ts(42))
+        );
+        assert!(u.props.static_value("nothing").unwrap().is_null());
+        // series-valued property remapped and intact
+        let sid = u.props.series_value("load").expect("series prop");
+        let s = back.series(sid).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.column(0).unwrap(), &[1.5, -2.25]);
+    }
+
+    #[test]
+    fn roundtrip_preserves_delta_and_kinds() {
+        let hg = rich_instance();
+        let back = from_str(&to_string(&hg)).unwrap();
+        let card = back
+            .topology()
+            .vertices()
+            .find(|v| v.has_label("Card"))
+            .expect("card");
+        assert_eq!(back.vertex_kind(card.id).unwrap(), ElementKind::Ts);
+        let s = back.delta(ElementRef::Vertex(card.id)).unwrap();
+        assert_eq!(s.names(), &["price".to_owned(), "volume".to_owned()]);
+        assert_eq!(s.row_at(ts(60_000)), Some(vec![101.25, 7.0]));
+        // ts edge too
+        let flow_edge = back.edges_of_kind(ElementKind::Ts).next().expect("ts edge");
+        assert!(!back.delta(ElementRef::Edge(flow_edge)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn roundtrip_preserves_subgraphs() {
+        let hg = rich_instance();
+        let back = from_str(&to_string(&hg)).unwrap();
+        let sg = back.subgraphs().next().expect("subgraph");
+        assert!(sg.has_label("Suspicious"));
+        assert_eq!(sg.validity, Interval::new(ts(0), ts(500)));
+        assert_eq!(sg.vertex_members().len(), 1);
+        assert_eq!(sg.vertex_members()[0].1, Interval::new(ts(0), ts(100)));
+    }
+
+    #[test]
+    fn parse_errors_are_positioned() {
+        assert!(from_str("").is_err(), "missing header");
+        assert!(from_str("#hygraph v2\n").is_err(), "wrong version");
+        let cases = [
+            "#hygraph v1\nX\t1",
+            "#hygraph v1\nV\t0\tpg\t-\t0",             // too few fields
+            "#hygraph v1\nV\t0\tzz\t-\t0\t10\t-",      // bad kind
+            "#hygraph v1\nV\t0\tpg\t-\t10\t0\t-",      // reversed interval
+            "#hygraph v1\nO\t0\t5\t1.0",               // observation before series
+            "#hygraph v1\nE\t0\tpg\t0\t1\t-\t0\t1\t-", // edge without vertices
+        ];
+        for case in cases {
+            assert!(from_str(case).is_err(), "should fail: {case:?}");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let hg = rich_instance();
+        let dir = std::env::temp_dir().join("hygraph-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("instance.hg");
+        write_file(&hg, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back.vertex_count(), hg.vertex_count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_instance_roundtrip() {
+        let hg = HyGraph::new();
+        let back = from_str(&to_string(&hg)).unwrap();
+        assert_eq!(back.vertex_count(), 0);
+        assert_eq!(back.series_count(), 0);
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        for s in ["plain", "a\tb", "x;y=z", "back\\slash", "new\nline", ""] {
+            assert_eq!(unescape(&escape(s)).unwrap(), s);
+        }
+        assert!(unescape("bad\\q").is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Logical subgraphs (the set S) with time-dependent membership (γ).
+//!
+//! A subgraph is a labelled, property-carrying, validity-bounded element
+//! whose member sets change over time: each member is tagged with the
+//! interval during which it belongs. `γ(s, t)` evaluates membership at
+//! an instant. Subgraphs are how the pipeline of Figure 4 materialises
+//! clusters ("ordinary"/"suspicious") over the HyGraph instance.
+
+use hygraph_graph::TemporalGraph;
+use hygraph_types::{
+    EdgeId, HyGraphError, Interval, Label, PropertyMap, Result, SubgraphId, Timestamp, VertexId,
+};
+
+/// A logical subgraph with interval-tagged membership.
+#[derive(Clone, Debug)]
+pub struct Subgraph {
+    /// Identifier.
+    pub id: SubgraphId,
+    /// λ(s).
+    pub labels: Vec<Label>,
+    /// φ(s, ·).
+    pub props: PropertyMap,
+    /// ρ(s).
+    pub validity: Interval,
+    vertex_members: Vec<(VertexId, Interval)>,
+    edge_members: Vec<(EdgeId, Interval)>,
+}
+
+impl Subgraph {
+    /// Creates an empty subgraph.
+    pub fn new(id: SubgraphId, labels: Vec<Label>, props: PropertyMap, validity: Interval) -> Self {
+        Self {
+            id,
+            labels,
+            props,
+            validity,
+            vertex_members: Vec::new(),
+            edge_members: Vec::new(),
+        }
+    }
+
+    /// Whether the subgraph carries `label`.
+    pub fn has_label(&self, label: &str) -> bool {
+        self.labels.iter().any(|l| l.as_str() == label)
+    }
+
+    /// Adds vertex membership for `during`.
+    pub fn add_vertex(&mut self, v: VertexId, during: Interval) {
+        self.vertex_members.push((v, during));
+    }
+
+    /// Adds edge membership for `during`.
+    pub fn add_edge(&mut self, e: EdgeId, during: Interval) {
+        self.edge_members.push((e, during));
+    }
+
+    /// All vertex memberships.
+    pub fn vertex_members(&self) -> &[(VertexId, Interval)] {
+        &self.vertex_members
+    }
+
+    /// All edge memberships.
+    pub fn edge_members(&self) -> &[(EdgeId, Interval)] {
+        &self.edge_members
+    }
+
+    /// γ(s, t): members at instant `t` (deduplicated, sorted).
+    pub fn members_at(&self, t: Timestamp) -> (Vec<VertexId>, Vec<EdgeId>) {
+        let mut vs: Vec<VertexId> = self
+            .vertex_members
+            .iter()
+            .filter(|(_, iv)| iv.contains(t))
+            .map(|&(v, _)| v)
+            .collect();
+        vs.sort_unstable();
+        vs.dedup();
+        let mut es: Vec<EdgeId> = self
+            .edge_members
+            .iter()
+            .filter(|(_, iv)| iv.contains(t))
+            .map(|&(e, _)| e)
+            .collect();
+        es.sort_unstable();
+        es.dedup();
+        (vs, es)
+    }
+
+    /// Vertices that are members at any point of `window`.
+    pub fn vertices_during(&self, window: &Interval) -> Vec<VertexId> {
+        let mut vs: Vec<VertexId> = self
+            .vertex_members
+            .iter()
+            .filter(|(_, iv)| iv.overlaps(window))
+            .map(|&(v, _)| v)
+            .collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// Validates membership against the backing graph: members must
+    /// exist, and membership intervals must lie within both the
+    /// subgraph's validity and the member's own validity.
+    pub fn validate(&self, g: &TemporalGraph) -> Result<()> {
+        for &(v, iv) in &self.vertex_members {
+            let data = g.vertex(v)?;
+            if !self.validity.contains_interval(&iv) {
+                return Err(HyGraphError::TemporalIntegrity(format!(
+                    "subgraph {} membership of {} ({iv}) exceeds subgraph validity {}",
+                    self.id, v, self.validity
+                )));
+            }
+            if !data.validity.contains_interval(&iv) {
+                return Err(HyGraphError::TemporalIntegrity(format!(
+                    "subgraph {} membership of {} ({iv}) exceeds vertex validity {}",
+                    self.id, v, data.validity
+                )));
+            }
+        }
+        for &(e, iv) in &self.edge_members {
+            let data = g.edge(e)?;
+            if !self.validity.contains_interval(&iv) || !data.validity.contains_interval(&iv) {
+                return Err(HyGraphError::TemporalIntegrity(format!(
+                    "subgraph {} edge membership of {} ({iv}) violates validity bounds",
+                    self.id, e
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::props;
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn iv(a: i64, b: i64) -> Interval {
+        Interval::new(ts(a), ts(b))
+    }
+
+    #[test]
+    fn membership_at_instant() {
+        let mut s = Subgraph::new(SubgraphId::new(0), vec![Label::new("C")], props! {}, Interval::ALL);
+        s.add_vertex(VertexId::new(1), iv(0, 50));
+        s.add_vertex(VertexId::new(2), iv(25, 75));
+        s.add_edge(EdgeId::new(9), iv(25, 50));
+        let (vs, es) = s.members_at(ts(30));
+        assert_eq!(vs, vec![VertexId::new(1), VertexId::new(2)]);
+        assert_eq!(es, vec![EdgeId::new(9)]);
+        let (vs, es) = s.members_at(ts(60));
+        assert_eq!(vs, vec![VertexId::new(2)]);
+        assert!(es.is_empty());
+        let (vs, _) = s.members_at(ts(100));
+        assert!(vs.is_empty());
+    }
+
+    #[test]
+    fn duplicate_membership_deduplicated() {
+        let mut s = Subgraph::new(SubgraphId::new(0), vec![], props! {}, Interval::ALL);
+        s.add_vertex(VertexId::new(1), iv(0, 50));
+        s.add_vertex(VertexId::new(1), iv(25, 75)); // overlapping re-add
+        let (vs, _) = s.members_at(ts(30));
+        assert_eq!(vs, vec![VertexId::new(1)]);
+        assert_eq!(s.vertices_during(&iv(0, 100)), vec![VertexId::new(1)]);
+    }
+
+    #[test]
+    fn vertices_during_window() {
+        let mut s = Subgraph::new(SubgraphId::new(0), vec![], props! {}, Interval::ALL);
+        s.add_vertex(VertexId::new(1), iv(0, 10));
+        s.add_vertex(VertexId::new(2), iv(90, 100));
+        assert_eq!(s.vertices_during(&iv(0, 50)), vec![VertexId::new(1)]);
+        assert_eq!(s.vertices_during(&iv(5, 95)).len(), 2);
+        assert!(s.vertices_during(&iv(10, 90)).is_empty());
+    }
+
+    #[test]
+    fn validate_against_graph() {
+        let mut g = TemporalGraph::new();
+        let a = g.add_vertex_valid(["N"], props! {}, iv(0, 100));
+        let mut s = Subgraph::new(SubgraphId::new(0), vec![], props! {}, iv(0, 100));
+        s.add_vertex(a, iv(0, 50));
+        assert!(s.validate(&g).is_ok());
+        // membership outside vertex validity
+        let mut bad = Subgraph::new(SubgraphId::new(1), vec![], props! {}, Interval::ALL);
+        bad.add_vertex(a, iv(50, 200));
+        assert!(bad.validate(&g).is_err());
+        // missing member
+        let mut missing = Subgraph::new(SubgraphId::new(2), vec![], props! {}, Interval::ALL);
+        missing.add_vertex(VertexId::new(77), Interval::ALL);
+        assert!(matches!(
+            missing.validate(&g).unwrap_err(),
+            HyGraphError::VertexNotFound(_)
+        ));
+    }
+
+    #[test]
+    fn labels_and_props() {
+        let s = Subgraph::new(
+            SubgraphId::new(3),
+            vec![Label::new("Suspicious")],
+            props! {"score" => 0.9},
+            Interval::ALL,
+        );
+        assert!(s.has_label("Suspicious"));
+        assert!(!s.has_label("Ordinary"));
+        assert_eq!(s.props.static_value("score").unwrap().as_f64(), Some(0.9));
+    }
+}

@@ -1,0 +1,239 @@
+//! Logical views over a HyGraph instance (requirement R2: "enabling
+//! users to define and manage alternative logical views over a model
+//! instance, e.g., via grouping or sampling").
+//!
+//! A [`HyGraphView`] is a cheap, borrow-based restriction of an instance:
+//! a label/kind/time filter on elements plus an optional sampling rate on
+//! series. Views compose (filter-of-filter) and never copy element data;
+//! materialisation is explicit.
+
+use crate::model::{ElementKind, HyGraph};
+use hygraph_ts::TimeSeries;
+use hygraph_types::{EdgeId, Interval, SeriesId, Timestamp, VertexId};
+
+/// A logical, lazily-evaluated view over a [`HyGraph`].
+#[derive(Clone)]
+pub struct HyGraphView<'a> {
+    hg: &'a HyGraph,
+    label: Option<String>,
+    kind: Option<ElementKind>,
+    valid_at: Option<Timestamp>,
+    window: Option<Interval>,
+    series_stride: usize,
+}
+
+impl<'a> HyGraphView<'a> {
+    /// A view of the whole instance.
+    pub fn new(hg: &'a HyGraph) -> Self {
+        Self {
+            hg,
+            label: None,
+            kind: None,
+            valid_at: None,
+            window: None,
+            series_stride: 1,
+        }
+    }
+
+    /// Restricts to vertices carrying `label`.
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.label = Some(label.to_owned());
+        self
+    }
+
+    /// Restricts to elements of `kind`.
+    pub fn with_kind(mut self, kind: ElementKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Restricts to pg-elements valid at `t` (ts-elements are always
+    /// visible — they have no ρ).
+    pub fn valid_at(mut self, t: Timestamp) -> Self {
+        self.valid_at = Some(t);
+        self
+    }
+
+    /// Restricts series observations to `window` when materialising.
+    pub fn with_window(mut self, window: Interval) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// Samples every `k`-th observation when materialising series views.
+    pub fn sample_every(mut self, k: usize) -> Self {
+        self.series_stride = k.max(1);
+        self
+    }
+
+    /// The underlying instance.
+    pub fn base(&self) -> &'a HyGraph {
+        self.hg
+    }
+
+    fn vertex_visible(&self, v: VertexId) -> bool {
+        let g = self.hg.topology();
+        let Ok(data) = g.vertex(v) else { return false };
+        if let Some(l) = &self.label {
+            if !data.has_label(l) {
+                return false;
+            }
+        }
+        if let Some(k) = self.kind {
+            if self.hg.vertex_kind(v) != Ok(k) {
+                return false;
+            }
+        }
+        if let Some(t) = self.valid_at {
+            if self.hg.vertex_kind(v) == Ok(ElementKind::Pg) && !data.validity.contains(t) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Iterates the vertices visible through the view.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.hg
+            .topology()
+            .vertex_ids()
+            .filter(move |&v| self.vertex_visible(v))
+    }
+
+    /// Iterates the edges whose endpoints are both visible (and which
+    /// satisfy the kind/time filters themselves).
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        let g = self.hg.topology();
+        g.edges()
+            .filter(move |e| {
+                if let Some(k) = self.kind {
+                    if self.hg.edge_kind(e.id) != Ok(k) {
+                        return false;
+                    }
+                }
+                if let Some(t) = self.valid_at {
+                    if self.hg.edge_kind(e.id) == Ok(ElementKind::Pg) && !e.validity.contains(t) {
+                        return false;
+                    }
+                }
+                self.vertex_visible(e.src) && self.vertex_visible(e.dst)
+            })
+            .map(|e| e.id)
+    }
+
+    /// Materialises the (windowed, sampled) univariate view of a series'
+    /// first variable.
+    pub fn series_view(&self, id: SeriesId) -> Option<TimeSeries> {
+        let s = self.hg.series(id).ok()?;
+        let name = s.names().first()?.clone();
+        let uni = s.to_univariate(&name)?;
+        let windowed = match &self.window {
+            Some(w) => uni.slice(w),
+            None => uni,
+        };
+        Some(if self.series_stride > 1 {
+            hygraph_ts::ops::downsample::stride(&windowed, self.series_stride)
+        } else {
+            windowed
+        })
+    }
+
+    /// Number of visible vertices (materialises the filter).
+    pub fn vertex_count(&self) -> usize {
+        self.vertices().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::{props, Duration};
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn instance() -> HyGraph {
+        let mut hg = HyGraph::new();
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(10), 10, |i| i as f64);
+        let sid = hg.add_univariate_series("x", &s);
+        let u1 = hg.add_pg_vertex_valid(["User"], props! {}, Interval::new(ts(0), ts(100)));
+        let u2 = hg.add_pg_vertex(["User"], props! {});
+        let m = hg.add_pg_vertex(["Merchant"], props! {});
+        let c = hg.add_ts_vertex(["Card"], sid).unwrap();
+        hg.add_pg_edge(u1, m, ["TX"], props! {}).unwrap();
+        hg.add_pg_edge(u2, c, ["USES"], props! {}).unwrap();
+        hg
+    }
+
+    #[test]
+    fn label_filter() {
+        let hg = instance();
+        let v = HyGraphView::new(&hg).with_label("User");
+        assert_eq!(v.vertex_count(), 2);
+        let v = HyGraphView::new(&hg).with_label("Card");
+        assert_eq!(v.vertex_count(), 1);
+        let v = HyGraphView::new(&hg).with_label("Ghost");
+        assert_eq!(v.vertex_count(), 0);
+    }
+
+    #[test]
+    fn kind_filter() {
+        let hg = instance();
+        assert_eq!(HyGraphView::new(&hg).with_kind(ElementKind::Pg).vertex_count(), 3);
+        assert_eq!(HyGraphView::new(&hg).with_kind(ElementKind::Ts).vertex_count(), 1);
+    }
+
+    #[test]
+    fn time_filter_applies_to_pg_only() {
+        let hg = instance();
+        // u1 expires at t=100; the ts card is timeless
+        let v = HyGraphView::new(&hg).valid_at(ts(150));
+        assert_eq!(v.vertex_count(), 3, "u1 filtered out, card stays");
+    }
+
+    #[test]
+    fn edges_require_visible_endpoints() {
+        let hg = instance();
+        let all = HyGraphView::new(&hg);
+        assert_eq!(all.edges().count(), 2);
+        // restricting to Users hides merchants/cards, dropping both edges
+        let users = HyGraphView::new(&hg).with_label("User");
+        assert_eq!(users.edges().count(), 0);
+        // at t=150 u1 is gone, so the TX edge vanishes
+        let later = HyGraphView::new(&hg).valid_at(ts(150));
+        assert_eq!(later.edges().count(), 1);
+    }
+
+    #[test]
+    fn series_window_and_sampling() {
+        let hg = instance();
+        let sid = hg.all_series().next().unwrap().0;
+        let full = HyGraphView::new(&hg).series_view(sid).unwrap();
+        assert_eq!(full.len(), 10);
+        let windowed = HyGraphView::new(&hg)
+            .with_window(Interval::new(ts(20), ts(70)))
+            .series_view(sid)
+            .unwrap();
+        assert_eq!(windowed.len(), 5);
+        let sampled = HyGraphView::new(&hg).sample_every(3).series_view(sid).unwrap();
+        assert_eq!(sampled.len(), 4); // indices 0,3,6,9
+        assert_eq!(sampled.values(), &[0.0, 3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn views_compose() {
+        let hg = instance();
+        let v = HyGraphView::new(&hg)
+            .with_kind(ElementKind::Pg)
+            .with_label("User")
+            .valid_at(ts(150));
+        assert_eq!(v.vertex_count(), 1, "only the timeless user survives all filters");
+    }
+
+    #[test]
+    fn missing_series_view_is_none() {
+        let hg = instance();
+        assert!(HyGraphView::new(&hg).series_view(SeriesId::new(99)).is_none());
+    }
+}

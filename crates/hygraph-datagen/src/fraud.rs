@@ -1,0 +1,533 @@
+//! Credit-card fraud running example (paper §3, Figures 2 and 4).
+//!
+//! Two generators:
+//!
+//! * [`figure2_instance`] — the exact micro-instance of Figure 2: three
+//!   users whose behaviours reproduce the paper's story. The graph-only
+//!   query (Listing 1) flags **User 1 and User 3**; the series-only
+//!   outlier detector (Listing 2) flags **User 1**; the hybrid pipeline
+//!   confirms User 1 and clears User 3 as a false positive.
+//! * [`generate`] — a scalable version with ground-truth labels:
+//!   fraudsters (burst spending + high transactions to co-located
+//!   merchants in a short window), *bulk shoppers* (benign users whose
+//!   purchasing pattern triggers the graph-only rule every week), and
+//!   ordinary users.
+//!
+//! Cards are **ts-vertices** (δ = hourly spending series), users and
+//! merchants are pg-vertices, `USES` edges are pg-edges, and `TX`
+//! edges are pg-edges carrying `amount` with validity starting at the
+//! transaction instant — exactly the modelling §5 prescribes.
+
+use hygraph_core::HyGraph;
+use hygraph_ts::TimeSeries;
+use hygraph_types::{props, Duration, Interval, SeriesId, Timestamp, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Configuration of the scalable fraud dataset.
+#[derive(Clone, Copy, Debug)]
+pub struct FraudConfig {
+    /// Number of users (one card each).
+    pub users: usize,
+    /// Number of merchants.
+    pub merchants: usize,
+    /// Merchants per geographic plaza (co-location cluster).
+    pub plaza_size: usize,
+    /// Hours of spending history per card.
+    pub hours: usize,
+    /// Fraction of users that are fraudsters.
+    pub fraud_rate: f64,
+    /// Fraction of users that are benign bulk shoppers.
+    pub bulk_rate: f64,
+    /// Fraction of users that are benign one-off big spenders (a single
+    /// large legitimate purchase — the *series-only* false positives).
+    pub vacation_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FraudConfig {
+    fn default() -> Self {
+        Self {
+            users: 200,
+            merchants: 60,
+            plaza_size: 5,
+            hours: 24 * 14,
+            fraud_rate: 0.05,
+            bulk_rate: 0.05,
+            vacation_rate: 0.05,
+            seed: 1337,
+        }
+    }
+}
+
+/// The generated dataset with ground truth.
+pub struct FraudDataset {
+    /// The unified instance.
+    pub hygraph: HyGraph,
+    /// User vertices, index-aligned with `cards` and `spending`.
+    pub users: Vec<VertexId>,
+    /// Card ts-vertices (δ = spending series).
+    pub cards: Vec<VertexId>,
+    /// Spending series ids, one per card.
+    pub spending: Vec<SeriesId>,
+    /// Merchant vertices.
+    pub merchants: Vec<VertexId>,
+    /// Indices (into `users`) of true fraudsters.
+    pub fraudsters: HashSet<usize>,
+    /// Indices of benign bulk shoppers (graph-rule false positives).
+    pub bulk_shoppers: HashSet<usize>,
+    /// Indices of benign one-off big spenders (series-rule false
+    /// positives).
+    pub vacation_spenders: HashSet<usize>,
+    /// Start of the observation window.
+    pub start: Timestamp,
+    /// End of the observation window.
+    pub end: Timestamp,
+}
+
+/// Builds the exact Figure-2 micro-instance. Returns the dataset with
+/// `users[0]` = User 1 (fraudster), `users[1]` = User 2 (ordinary),
+/// `users[2]` = User 3 (bulk shopper / graph false positive).
+pub fn figure2_instance() -> FraudDataset {
+    let start = Timestamp::from_millis(0);
+    let hour = Duration::from_hours(1);
+    let hours = 48usize;
+    let mut hg = HyGraph::new();
+
+    // merchants: m0..m2 co-located in one plaza (≤ 1 km), m3 far away
+    let merchant_pos = [(0.0, 0.0), (300.0, 200.0), (500.0, 400.0), (9000.0, 9000.0)];
+    let merchants: Vec<VertexId> = merchant_pos
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y))| {
+            hg.add_pg_vertex(
+                ["Merchant"],
+                props! {"name" => format!("m{i}"), "x" => x, "y" => y},
+            )
+        })
+        .collect();
+
+    // spending series per user
+    let steady = |base: f64, jitter: f64| {
+        move |i: usize| base + ((i * 2654435761) % 97) as f64 / 97.0 * jitter
+    };
+    // User 1: steady 40±5, with a violent burst in hours 20..24 ([t5,t6) of the figure)
+    let user1_spend = TimeSeries::generate(start, hour, hours, |i| {
+        if (20..24).contains(&i) {
+            1200.0 + (i - 20) as f64 * 150.0
+        } else {
+            steady(40.0, 5.0)(i)
+        }
+    });
+    // User 2: steady
+    let user2_spend = TimeSeries::generate(start, hour, hours, steady(35.0, 6.0));
+    // User 3: steady but at a higher level — a business account doing
+    // regular bulk purchases; high mean, *no local burst*
+    let user3_spend = TimeSeries::generate(start, hour, hours, steady(1100.0, 80.0));
+
+    let mut users = Vec::new();
+    let mut cards = Vec::new();
+    let mut spending = Vec::new();
+    for (i, s) in [user1_spend, user2_spend, user3_spend].iter().enumerate() {
+        let u = hg.add_pg_vertex(
+            ["User"],
+            props! {"name" => format!("User {}", i + 1)},
+        );
+        let sid = hg.add_univariate_series("spending", s);
+        let c = hg.add_ts_vertex(["CreditCard"], sid).expect("series exists");
+        hg.add_pg_edge(u, c, ["USES"], props! {}).expect("vertices exist");
+        users.push(u);
+        cards.push(c);
+        spending.push(sid);
+    }
+
+    let mut tx = |card: VertexId, merchant: VertexId, at_hour: i64, amount: f64| {
+        hg.add_pg_edge_valid(
+            card,
+            merchant,
+            ["TX"],
+            props! {"amount" => amount},
+            Interval::from(start + hour.scale(at_hour)),
+        )
+        .expect("vertices exist");
+    };
+
+    // User 1 (fraud): burst of >1000 tx to the three plaza merchants
+    // within the same hour (hour 21)
+    tx(cards[0], merchants[0], 21, 1250.0);
+    tx(cards[0], merchants[1], 21, 1400.0);
+    tx(cards[0], merchants[2], 21, 1800.0);
+    // plus normal history
+    tx(cards[0], merchants[3], 5, 45.0);
+    tx(cards[0], merchants[0], 10, 38.0);
+
+    // User 2 (ordinary): small scattered transactions
+    tx(cards[1], merchants[1], 8, 25.0);
+    tx(cards[1], merchants[3], 30, 60.0);
+
+    // User 3 (bulk shopper): the same >1000 plaza pattern — every day,
+    // to the same three suppliers (hours 9, 33 = daily restock)
+    for day in 0..2 {
+        let h = 9 + day * 24;
+        tx(cards[2], merchants[0], h, 1100.0);
+        tx(cards[2], merchants[1], h, 1050.0);
+        tx(cards[2], merchants[2], h, 1150.0);
+    }
+
+    let end = start + hour.scale(hours as i64);
+    FraudDataset {
+        hygraph: hg,
+        users,
+        cards,
+        spending,
+        merchants,
+        fraudsters: HashSet::from([0]),
+        bulk_shoppers: HashSet::from([2]),
+        vacation_spenders: HashSet::new(),
+        start,
+        end,
+    }
+}
+
+/// Generates the scalable dataset.
+pub fn generate(cfg: FraudConfig) -> FraudDataset {
+    assert!(cfg.users > 0 && cfg.merchants > 0);
+    assert!(cfg.plaza_size > 0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let start = Timestamp::from_millis(0);
+    let hour = Duration::from_hours(1);
+    let mut hg = HyGraph::new();
+
+    // merchants in plazas: plaza k is centred at (10km * k, 0); members
+    // within a few hundred metres of the centre
+    let merchants: Vec<VertexId> = (0..cfg.merchants)
+        .map(|i| {
+            let plaza = i / cfg.plaza_size;
+            let x = plaza as f64 * 10_000.0 + rng.random_range(-300.0..300.0);
+            let y = rng.random_range(-300.0..300.0);
+            hg.add_pg_vertex(
+                ["Merchant"],
+                props! {"name" => format!("m{i}"), "x" => x, "y" => y, "plaza" => plaza as i64},
+            )
+        })
+        .collect();
+    let plazas = cfg.merchants.div_ceil(cfg.plaza_size);
+
+    // user roles
+    let n_fraud = ((cfg.users as f64) * cfg.fraud_rate).round() as usize;
+    let n_bulk = ((cfg.users as f64) * cfg.bulk_rate).round() as usize;
+    let n_vac = ((cfg.users as f64) * cfg.vacation_rate).round() as usize;
+    let mut roles: Vec<u8> = vec![0; cfg.users];
+    for r in roles.iter_mut().take(n_fraud) {
+        *r = 1; // fraud
+    }
+    for r in roles.iter_mut().skip(n_fraud).take(n_bulk) {
+        *r = 2; // bulk
+    }
+    for r in roles.iter_mut().skip(n_fraud + n_bulk).take(n_vac) {
+        *r = 3; // vacation spender
+    }
+    // deterministic shuffle
+    use rand::seq::SliceRandom;
+    roles.shuffle(&mut rng);
+
+    let mut users = Vec::with_capacity(cfg.users);
+    let mut cards = Vec::with_capacity(cfg.users);
+    let mut spending = Vec::with_capacity(cfg.users);
+    let mut fraudsters = HashSet::new();
+    let mut bulk_shoppers = HashSet::new();
+    let mut vacation_spenders = HashSet::new();
+
+    struct Tx {
+        card: VertexId,
+        merchant: VertexId,
+        at: Timestamp,
+        amount: f64,
+    }
+    let mut txs: Vec<Tx> = Vec::new();
+
+    for (ui, &role) in roles.iter().enumerate() {
+        let base = rng.random_range(20.0..60.0);
+        let jitter = rng.random_range(2.0..10.0);
+        let burst_start = rng.random_range(24..cfg.hours.saturating_sub(6).max(25));
+        let bulk_level = rng.random_range(900.0..1400.0);
+        let home_plaza = rng.random_range(0..plazas);
+
+        // spending series
+        let mut spend = TimeSeries::with_capacity(cfg.hours);
+        let mut t = start;
+        for h in 0..cfg.hours {
+            let v: f64 = match role {
+                1 if (burst_start..burst_start + 4).contains(&h) => {
+                    1000.0 + rng.random_range(0.0..800.0)
+                }
+                2 => bulk_level + rng.random_range(-100.0..100.0),
+                // a single big legitimate purchase: one-hour spike
+                3 if h == burst_start => 2500.0 + rng.random_range(0.0..1000.0),
+                _ => base + rng.random_range(-jitter..jitter),
+            };
+            spend.push(t, v.max(0.0)).expect("hours increase");
+            t += hour;
+        }
+
+        let u = hg.add_pg_vertex(["User"], props! {"name" => format!("user-{ui}")});
+        let sid = hg.add_univariate_series("spending", &spend);
+        let c = hg.add_ts_vertex(["CreditCard"], sid).expect("series exists");
+        hg.add_pg_edge(u, c, ["USES"], props! {}).expect("vertices exist");
+        users.push(u);
+        cards.push(c);
+        spending.push(sid);
+
+        // transactions
+        let plaza_members = |p: usize| -> Vec<VertexId> {
+            let lo = p * cfg.plaza_size;
+            let hi = ((p + 1) * cfg.plaza_size).min(cfg.merchants);
+            merchants[lo..hi].to_vec()
+        };
+        match role {
+            1 => {
+                fraudsters.insert(ui);
+                // fraud burst: 3-5 high tx to one plaza within one hour
+                let plaza = plaza_members(rng.random_range(0..plazas));
+                let k = rng.random_range(3..=plaza.len().clamp(3, 5));
+                let at = start + hour.scale(burst_start as i64);
+                for j in 0..k {
+                    let m = plaza[j % plaza.len()];
+                    txs.push(Tx {
+                        card: c,
+                        merchant: m,
+                        at: at + Duration::from_mins(rng.random_range(0..50)),
+                        amount: 1000.0 + rng.random_range(100.0..2000.0),
+                    });
+                }
+                // plus some normal history
+                for _ in 0..rng.random_range(3..8) {
+                    txs.push(Tx {
+                        card: c,
+                        merchant: merchants[rng.random_range(0..cfg.merchants)],
+                        at: start + hour.scale(rng.random_range(0..cfg.hours as i64)),
+                        amount: rng.random_range(10.0..120.0),
+                    });
+                }
+            }
+            2 => {
+                bulk_shoppers.insert(ui);
+                // daily restock: high tx to the SAME home plaza, every day
+                let plaza = plaza_members(home_plaza);
+                let days = cfg.hours / 24;
+                for d in 0..days {
+                    let at = start + hour.scale((d * 24 + 9) as i64);
+                    for (j, &m) in plaza.iter().enumerate().take(3) {
+                        txs.push(Tx {
+                            card: c,
+                            merchant: m,
+                            at: at + Duration::from_mins(10 * j as i64),
+                            amount: 1000.0 + rng.random_range(50.0..400.0),
+                        });
+                    }
+                }
+            }
+            3 => {
+                vacation_spenders.insert(ui);
+                // one big purchase at a single merchant (no co-location
+                // run), plus ordinary history
+                txs.push(Tx {
+                    card: c,
+                    merchant: merchants[rng.random_range(0..cfg.merchants)],
+                    at: start + hour.scale(burst_start as i64),
+                    amount: 2500.0 + rng.random_range(0.0..1000.0),
+                });
+                for _ in 0..rng.random_range(4..10) {
+                    txs.push(Tx {
+                        card: c,
+                        merchant: merchants[rng.random_range(0..cfg.merchants)],
+                        at: start + hour.scale(rng.random_range(0..cfg.hours as i64)),
+                        amount: rng.random_range(5.0..250.0),
+                    });
+                }
+            }
+            _ => {
+                // ordinary: scattered small tx
+                for _ in 0..rng.random_range(5..15) {
+                    txs.push(Tx {
+                        card: c,
+                        merchant: merchants[rng.random_range(0..cfg.merchants)],
+                        at: start + hour.scale(rng.random_range(0..cfg.hours as i64)),
+                        amount: rng.random_range(5.0..250.0),
+                    });
+                }
+            }
+        }
+    }
+
+    for tx in txs {
+        hg.add_pg_edge_valid(
+            tx.card,
+            tx.merchant,
+            ["TX"],
+            props! {"amount" => tx.amount},
+            Interval::from(tx.at),
+        )
+        .expect("vertices exist");
+    }
+
+    FraudDataset {
+        hygraph: hg,
+        users,
+        cards,
+        spending,
+        merchants,
+        fraudsters,
+        bulk_shoppers,
+        vacation_spenders,
+        start,
+        end: start + hour.scale(cfg.hours as i64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_core::ElementRef;
+    use hygraph_ts::ops::anomaly;
+
+    #[test]
+    fn figure2_shape() {
+        let d = figure2_instance();
+        assert_eq!(d.users.len(), 3);
+        assert_eq!(d.cards.len(), 3);
+        assert_eq!(d.merchants.len(), 4);
+        assert!(d.hygraph.validate().is_ok());
+        assert_eq!(d.fraudsters, HashSet::from([0]));
+        assert_eq!(d.bulk_shoppers, HashSet::from([2]));
+    }
+
+    #[test]
+    fn figure2_listing2_flags_only_user1() {
+        // the series-only detector story of the paper
+        let d = figure2_instance();
+        for (i, &sid) in d.spending.iter().enumerate() {
+            let s = d
+                .hygraph
+                .series(sid)
+                .unwrap()
+                .to_univariate("spending")
+                .unwrap();
+            let flagged = !anomaly::zscore(&s, 3.0).is_empty();
+            assert_eq!(
+                flagged,
+                i == 0,
+                "only User 1 has a spending burst (user index {i})"
+            );
+        }
+    }
+
+    #[test]
+    fn figure2_cards_are_ts_vertices() {
+        let d = figure2_instance();
+        for &c in &d.cards {
+            assert_eq!(
+                d.hygraph.vertex_kind(c).unwrap(),
+                hygraph_core::ElementKind::Ts
+            );
+            assert!(!d.hygraph.delta(ElementRef::Vertex(c)).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn scalable_deterministic() {
+        let cfg = FraudConfig {
+            users: 50,
+            merchants: 20,
+            hours: 24 * 3,
+            ..Default::default()
+        };
+        let a = generate(cfg);
+        let b = generate(cfg);
+        assert_eq!(a.fraudsters, b.fraudsters);
+        assert_eq!(a.hygraph.edge_count(), b.hygraph.edge_count());
+    }
+
+    #[test]
+    fn scalable_ground_truth_rates() {
+        let cfg = FraudConfig {
+            users: 100,
+            ..Default::default()
+        };
+        let d = generate(cfg);
+        assert_eq!(d.fraudsters.len(), 5);
+        assert_eq!(d.bulk_shoppers.len(), 5);
+        assert!(d.fraudsters.is_disjoint(&d.bulk_shoppers));
+        assert!(d.hygraph.validate().is_ok());
+    }
+
+    #[test]
+    fn fraudsters_have_detectable_bursts() {
+        let cfg = FraudConfig {
+            users: 60,
+            hours: 24 * 7,
+            ..Default::default()
+        };
+        let d = generate(cfg);
+        for &ui in &d.fraudsters {
+            let s = d
+                .hygraph
+                .series(d.spending[ui])
+                .unwrap()
+                .to_univariate("spending")
+                .unwrap();
+            assert!(
+                !anomaly::zscore(&s, 3.0).is_empty(),
+                "fraudster {ui} should show a burst"
+            );
+        }
+        // bulk shoppers have flat (high) series: no burst
+        for &ui in &d.bulk_shoppers {
+            let s = d
+                .hygraph
+                .series(d.spending[ui])
+                .unwrap()
+                .to_univariate("spending")
+                .unwrap();
+            assert!(
+                anomaly::zscore(&s, 3.0).is_empty(),
+                "bulk shopper {ui} should be smooth"
+            );
+        }
+    }
+
+    #[test]
+    fn merchants_form_plazas() {
+        let d = generate(FraudConfig {
+            users: 10,
+            merchants: 15,
+            plaza_size: 5,
+            ..Default::default()
+        });
+        // merchants in the same plaza are within ~1 km; different plazas far apart
+        let pos: Vec<(f64, f64, i64)> = d
+            .merchants
+            .iter()
+            .map(|&m| {
+                let p = d.hygraph.props(ElementRef::Vertex(m)).unwrap();
+                (
+                    p.static_value("x").unwrap().as_f64().unwrap(),
+                    p.static_value("y").unwrap().as_f64().unwrap(),
+                    p.static_value("plaza").unwrap().as_i64().unwrap(),
+                )
+            })
+            .collect();
+        for i in 0..pos.len() {
+            for j in (i + 1)..pos.len() {
+                let dist = ((pos[i].0 - pos[j].0).powi(2) + (pos[i].1 - pos[j].1).powi(2)).sqrt();
+                if pos[i].2 == pos[j].2 {
+                    assert!(dist < 1_000.0, "same plaza within 1km");
+                } else {
+                    assert!(dist > 5_000.0, "different plazas far apart");
+                }
+            }
+        }
+    }
+}

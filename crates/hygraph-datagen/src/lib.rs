@@ -1,0 +1,18 @@
+//! Deterministic synthetic dataset generators for HyGraph.
+//!
+//! Three families, each standing in for data the paper uses:
+//!
+//! * [`bike`] — a bike-sharing station network with per-station
+//!   availability time series, shaped like the paper's published NYC
+//!   dataset (Zenodo 13846868). Drives the Table-1 storage benchmark.
+//! * [`fraud`] — the credit-card fraud running example: the exact
+//!   Figure-2 micro-instance plus a scalable generator with ground-truth
+//!   fraud labels. Drives the Figure-2/Figure-4 experiments.
+//! * [`random`] — random temporal graphs and series for property tests
+//!   and operator benchmarks.
+//!
+//! Every generator takes an explicit seed and is fully deterministic.
+
+pub mod bike;
+pub mod fraud;
+pub mod random;

@@ -1,0 +1,129 @@
+//! Random graphs and series for property tests and operator benchmarks.
+
+use hygraph_graph::TemporalGraph;
+use hygraph_ts::TimeSeries;
+use hygraph_types::{props, Duration, Interval, Timestamp, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A G(n, m)-style random labelled temporal graph: `n` vertices, `m`
+/// edges with endpoints chosen uniformly (self-loops allowed), labels
+/// drawn from `labels`, and validity intervals sampled inside `horizon`.
+pub fn random_graph(
+    n: usize,
+    m: usize,
+    labels: &[&str],
+    horizon: Interval,
+    seed: u64,
+) -> TemporalGraph {
+    assert!(n > 0, "need at least one vertex");
+    assert!(!labels.is_empty(), "need at least one label");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = TemporalGraph::with_capacity(n, m);
+    let span = horizon.len().millis().max(2);
+    let rand_iv = |rng: &mut StdRng| {
+        let a = rng.random_range(0..span - 1);
+        let b = rng.random_range(a + 1..span);
+        Interval::new(
+            horizon.start + Duration::from_millis(a),
+            horizon.start + Duration::from_millis(b),
+        )
+    };
+    let vs: Vec<VertexId> = (0..n)
+        .map(|i| {
+            let label = labels[rng.random_range(0..labels.len())];
+            let iv = rand_iv(&mut rng);
+            g.add_vertex_valid([label], props! {"idx" => i as i64}, iv)
+        })
+        .collect();
+    for _ in 0..m {
+        let a = vs[rng.random_range(0..n)];
+        let b = vs[rng.random_range(0..n)];
+        // edge validity inside the intersection of endpoint validities
+        let va = g.vertex(a).expect("exists").validity;
+        let vb = g.vertex(b).expect("exists").validity;
+        let Some(overlap) = va.intersect(&vb) else {
+            continue;
+        };
+        let w = rng.random_range(0.1..10.0);
+        g.add_edge_valid(a, b, ["E"], props! {"w" => w}, overlap)
+            .expect("vertices exist");
+    }
+    g
+}
+
+/// A bounded random walk: `x_{k+1} = x_k + N(0, step)` approximated with
+/// a uniform increment, reflected at `±bound`.
+pub fn random_walk(n: usize, step: f64, bound: f64, seed: u64) -> TimeSeries {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = 0.0f64;
+    TimeSeries::generate(Timestamp::ZERO, Duration::from_secs(1), n, |_| {
+        x += rng.random_range(-step..step);
+        if x > bound {
+            x = 2.0 * bound - x;
+        }
+        if x < -bound {
+            x = -2.0 * bound - x;
+        }
+        x
+    })
+}
+
+/// A seasonal series: `amplitude·sin(2πk/period) + trend·k + noise`.
+pub fn seasonal(
+    n: usize,
+    period: usize,
+    amplitude: f64,
+    trend: f64,
+    noise: f64,
+    seed: u64,
+) -> TimeSeries {
+    assert!(period > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    TimeSeries::generate(Timestamp::ZERO, Duration::from_secs(60), n, |k| {
+        amplitude * ((k % period) as f64 / period as f64 * std::f64::consts::TAU).sin()
+            + trend * k as f64
+            + rng.random_range(-noise..noise)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_respects_counts_and_integrity() {
+        let horizon = Interval::new(Timestamp::ZERO, Timestamp::from_millis(10_000));
+        let g = random_graph(50, 200, &["A", "B"], horizon, 9);
+        assert_eq!(g.vertex_count(), 50);
+        assert!(g.edge_count() <= 200);
+        assert!(g.edge_count() > 60, "a solid majority of edges should materialise");
+        assert!(g.validate().is_ok(), "edge validity within endpoints");
+    }
+
+    #[test]
+    fn graph_deterministic() {
+        let horizon = Interval::new(Timestamp::ZERO, Timestamp::from_millis(1_000));
+        let a = random_graph(20, 50, &["X"], horizon, 5);
+        let b = random_graph(20, 50, &["X"], horizon, 5);
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn walk_bounded_and_deterministic() {
+        let w = random_walk(5_000, 1.0, 50.0, 3);
+        assert_eq!(w.len(), 5_000);
+        for (_, v) in w.iter() {
+            assert!(v.abs() <= 50.0 + 1.0, "reflected at the bound");
+        }
+        assert_eq!(random_walk(100, 1.0, 50.0, 3), random_walk(100, 1.0, 50.0, 3));
+    }
+
+    #[test]
+    fn seasonal_has_period() {
+        let s = seasonal(500, 50, 10.0, 0.0, 0.1, 11);
+        let r = hygraph_ts::ops::stats::autocorrelation(s.values(), 50).unwrap();
+        // biased ACF estimator caps at (n-k)/n = 0.9 for a perfect period
+        assert!(r > 0.85, "period-50 autocorrelation, got {r}");
+    }
+}

@@ -1,0 +1,284 @@
+//! Graph aggregation / grouping (Table 2, row Q2 — graph side).
+//!
+//! Gradoop-style structural grouping: vertices are partitioned by a key
+//! (labels or a property), each group becomes a **super-vertex**, and all
+//! edges between groups collapse into **super-edges** carrying counts and
+//! property aggregates. The paper uses exactly this to "aggregate edges
+//! into super-edges, storing edge information in a time series format" —
+//! the `edge_time_series` helper produces that series from the grouped
+//! edges' validity start times.
+
+use crate::graph::TemporalGraph;
+use hygraph_types::{props, PropertyMap, Timestamp, Value, VertexId};
+use std::collections::HashMap;
+
+/// How vertices are assigned to groups.
+pub enum GroupBy<'a> {
+    /// Group by the (sorted) label set.
+    Labels,
+    /// Group by the string form of a static property value.
+    Property(&'a str),
+    /// Arbitrary key function.
+    Key(Box<dyn Fn(&crate::graph::VertexData) -> String + 'a>),
+}
+
+/// The result of a grouping: a summary graph plus the membership map.
+#[derive(Debug)]
+pub struct GroupedGraph {
+    /// The summary graph: one vertex per group, one edge per ordered
+    /// group pair with at least one underlying edge.
+    pub summary: TemporalGraph,
+    /// Group key of each summary vertex.
+    pub group_keys: HashMap<VertexId, String>,
+    /// Original vertex → summary vertex.
+    pub membership: HashMap<VertexId, VertexId>,
+}
+
+/// Groups `g` by the given key. Super-vertices carry `count`; super-edges
+/// carry `count` plus `sum_<key>` for every numeric static edge property
+/// named in `edge_agg_props`.
+pub fn group_by(g: &TemporalGraph, key: GroupBy<'_>, edge_agg_props: &[&str]) -> GroupedGraph {
+    let key_of = |v: &crate::graph::VertexData| -> String {
+        match &key {
+            GroupBy::Labels => {
+                let mut ls: Vec<&str> = v.labels.iter().map(|l| l.as_str()).collect();
+                ls.sort_unstable();
+                ls.join("+")
+            }
+            GroupBy::Property(p) => v
+                .props
+                .static_value(p)
+                .map(|val| val.to_string())
+                .unwrap_or_else(|| "<none>".to_owned()),
+            GroupBy::Key(f) => f(v),
+        }
+    };
+
+    let mut summary = TemporalGraph::new();
+    let mut group_vertex: HashMap<String, VertexId> = HashMap::new();
+    let mut group_count: HashMap<VertexId, i64> = HashMap::new();
+    let mut membership: HashMap<VertexId, VertexId> = HashMap::new();
+
+    // deterministic group creation order: iterate vertices in id order
+    for v in g.vertices() {
+        let k = key_of(v);
+        let sv = *group_vertex.entry(k.clone()).or_insert_with(|| {
+            summary.add_vertex([format!("Group:{k}")], props! {"key" => k.clone()})
+        });
+        *group_count.entry(sv).or_insert(0) += 1;
+        membership.insert(v.id, sv);
+    }
+    for (&sv, &count) in &group_count {
+        summary
+            .vertex_mut(sv)
+            .expect("just created")
+            .props
+            .set("count", count);
+    }
+
+    // collapse edges
+    struct EdgeAcc {
+        count: i64,
+        sums: Vec<f64>,
+    }
+    let mut edge_acc: HashMap<(VertexId, VertexId), EdgeAcc> = HashMap::new();
+    for e in g.edges() {
+        let (Some(&sf), Some(&st)) = (membership.get(&e.src), membership.get(&e.dst)) else {
+            continue;
+        };
+        let acc = edge_acc.entry((sf, st)).or_insert_with(|| EdgeAcc {
+            count: 0,
+            sums: vec![0.0; edge_agg_props.len()],
+        });
+        acc.count += 1;
+        for (i, p) in edge_agg_props.iter().enumerate() {
+            if let Some(x) = e.props.static_value(p).and_then(Value::as_f64) {
+                acc.sums[i] += x;
+            }
+        }
+    }
+    let mut pairs: Vec<_> = edge_acc.into_iter().collect();
+    pairs.sort_by_key(|&((a, b), _)| (a, b));
+    for ((sf, st), acc) in pairs {
+        let mut props = PropertyMap::new();
+        props.set("count", acc.count);
+        for (i, p) in edge_agg_props.iter().enumerate() {
+            props.set(format!("sum_{p}"), acc.sums[i]);
+        }
+        summary
+            .add_edge(sf, st, ["GROUPED"], props)
+            .expect("group vertices exist");
+    }
+
+    let group_keys = group_vertex
+        .into_iter()
+        .map(|(k, v)| (v, k))
+        .collect();
+
+    GroupedGraph {
+        summary,
+        group_keys,
+        membership,
+    }
+}
+
+/// The paper's super-edge → time-series transform: collects the validity
+/// start times of all edges between two vertex groups and bins them into
+/// counts per `bucket` — an edge-activity time series.
+pub fn edge_time_series(
+    g: &TemporalGraph,
+    grouped: &GroupedGraph,
+    from_group: VertexId,
+    to_group: VertexId,
+    bucket: hygraph_types::Duration,
+) -> hygraph_ts::TimeSeries {
+    let mut stamps: Vec<Timestamp> = g
+        .edges()
+        .filter(|e| {
+            grouped.membership.get(&e.src) == Some(&from_group)
+                && grouped.membership.get(&e.dst) == Some(&to_group)
+        })
+        .map(|e| e.validity.start)
+        .filter(|t| *t != Timestamp::MIN)
+        .collect();
+    stamps.sort_unstable();
+    let mut out = hygraph_ts::TimeSeries::new();
+    for t in stamps {
+        let key = t.truncate(bucket);
+        match out.last() {
+            Some((last_t, n)) if last_t == key => {
+                out.upsert(key, n + 1.0);
+            }
+            _ => out.upsert(key, 1.0),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::{Duration, Interval};
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn two_group_graph() -> TemporalGraph {
+        let mut g = TemporalGraph::new();
+        let u1 = g.add_vertex(["User"], props! {"city" => "lyon"});
+        let u2 = g.add_vertex(["User"], props! {"city" => "leipzig"});
+        let m1 = g.add_vertex(["Merchant"], props! {"city" => "lyon"});
+        let m2 = g.add_vertex(["Merchant"], props! {"city" => "lyon"});
+        g.add_edge(u1, m1, ["TX"], props! {"amount" => 10.0}).unwrap();
+        g.add_edge(u1, m2, ["TX"], props! {"amount" => 20.0}).unwrap();
+        g.add_edge(u2, m1, ["TX"], props! {"amount" => 5.0}).unwrap();
+        g.add_edge(m1, m2, ["PEER"], props! {}).unwrap();
+        g
+    }
+
+    #[test]
+    fn group_by_labels() {
+        let g = two_group_graph();
+        let grouped = group_by(&g, GroupBy::Labels, &["amount"]);
+        assert_eq!(grouped.summary.vertex_count(), 2);
+        // counts
+        let user_group = grouped
+            .summary
+            .vertices()
+            .find(|v| v.props.static_value("key").unwrap().as_str() == Some("User"))
+            .unwrap();
+        assert_eq!(user_group.props.static_value("count").unwrap().as_i64(), Some(2));
+        // super-edge User->Merchant has count 3, sum 35
+        let se = grouped
+            .summary
+            .out_edges(user_group.id)
+            .next()
+            .expect("super edge exists");
+        assert_eq!(se.props.static_value("count").unwrap().as_i64(), Some(3));
+        assert_eq!(se.props.static_value("sum_amount").unwrap().as_f64(), Some(35.0));
+        // membership covers all vertices
+        assert_eq!(grouped.membership.len(), 4);
+    }
+
+    #[test]
+    fn group_by_property() {
+        let g = two_group_graph();
+        let grouped = group_by(&g, GroupBy::Property("city"), &[]);
+        assert_eq!(grouped.summary.vertex_count(), 2, "lyon + leipzig");
+        let lyon = grouped
+            .summary
+            .vertices()
+            .find(|v| v.props.static_value("key").unwrap().as_str() == Some("lyon"))
+            .unwrap();
+        assert_eq!(lyon.props.static_value("count").unwrap().as_i64(), Some(3));
+        // self-edge within lyon (m1 -> m2 PEER and u? no, u1 is lyon too: u1->m1, u1->m2, m1->m2 all intra-lyon)
+        let self_edge = grouped
+            .summary
+            .out_edges(lyon.id)
+            .find(|e| e.dst == lyon.id)
+            .expect("intra-group super edge");
+        assert_eq!(self_edge.props.static_value("count").unwrap().as_i64(), Some(3));
+    }
+
+    #[test]
+    fn group_by_custom_key() {
+        let g = two_group_graph();
+        let grouped = group_by(
+            &g,
+            GroupBy::Key(Box::new(|v| {
+                if v.has_label("User") {
+                    "people".into()
+                } else {
+                    "places".into()
+                }
+            })),
+            &[],
+        );
+        assert_eq!(grouped.summary.vertex_count(), 2);
+        let keys: Vec<&String> = grouped.group_keys.values().collect();
+        assert!(keys.contains(&&"people".to_owned()));
+    }
+
+    #[test]
+    fn missing_property_groups_together() {
+        let mut g = TemporalGraph::new();
+        g.add_vertex(["A"], props! {});
+        g.add_vertex(["B"], props! {});
+        let grouped = group_by(&g, GroupBy::Property("nope"), &[]);
+        assert_eq!(grouped.summary.vertex_count(), 1);
+    }
+
+    #[test]
+    fn empty_graph_grouping() {
+        let g = TemporalGraph::new();
+        let grouped = group_by(&g, GroupBy::Labels, &[]);
+        assert_eq!(grouped.summary.vertex_count(), 0);
+        assert_eq!(grouped.summary.edge_count(), 0);
+    }
+
+    #[test]
+    fn edge_time_series_counts_per_bucket() {
+        let mut g = TemporalGraph::new();
+        let u = g.add_vertex(["User"], props! {});
+        let m = g.add_vertex(["Merchant"], props! {});
+        for i in 0..6 {
+            g.add_edge_valid(
+                u,
+                m,
+                ["TX"],
+                props! {},
+                Interval::from(ts(i * 40)), // 0,40,80,120,160,200
+            )
+            .unwrap();
+        }
+        let grouped = group_by(&g, GroupBy::Labels, &[]);
+        let ug = grouped.membership[&u];
+        let mg = grouped.membership[&m];
+        let series = edge_time_series(&g, &grouped, ug, mg, Duration::from_millis(100));
+        // buckets: [0,100): 3 edges (0,40,80); [100,200): 2; [200,300): 1
+        assert_eq!(series.len(), 3);
+        assert_eq!(series.values(), &[3.0, 2.0, 1.0]);
+        assert_eq!(series.times()[0], ts(0));
+    }
+}

@@ -1,0 +1,232 @@
+//! Vertex centrality measures: degree, closeness, harmonic, and
+//! betweenness (Brandes' algorithm). All operate on the undirected
+//! unweighted simple view, matching the evolution metrics of Rost et
+//! al. that `metricEvolution` tracks over time.
+
+use crate::graph::TemporalGraph;
+use crate::traverse::{bfs, Follow};
+use hygraph_types::VertexId;
+use std::collections::{HashMap, VecDeque};
+
+/// Degree centrality: degree / (n - 1), in `[0, 1]` for simple graphs.
+pub fn degree_centrality(g: &TemporalGraph) -> HashMap<VertexId, f64> {
+    let n = g.vertex_count();
+    let denom = (n.saturating_sub(1)).max(1) as f64;
+    g.vertex_ids()
+        .map(|v| (v, g.degree(v) as f64 / denom))
+        .collect()
+}
+
+/// Closeness centrality: `(reachable - 1) / Σ dist`, normalised by the
+/// fraction of the graph reached (Wasserman-Faust for disconnected
+/// graphs). Isolated vertices score 0.
+pub fn closeness_centrality(g: &TemporalGraph) -> HashMap<VertexId, f64> {
+    let n = g.vertex_count();
+    g.vertex_ids()
+        .map(|v| {
+            let dist = bfs(g, v, Follow::Both);
+            let reached = dist.len() - 1; // excluding self
+            let total: usize = dist.values().sum();
+            let c = if reached == 0 || total == 0 {
+                0.0
+            } else {
+                let base = reached as f64 / total as f64;
+                // scale by coverage so small components do not dominate
+                base * reached as f64 / (n.saturating_sub(1)).max(1) as f64
+            };
+            (v, c)
+        })
+        .collect()
+}
+
+/// Harmonic centrality: `Σ 1/dist(v, u)` over all reachable `u ≠ v` —
+/// well-defined on disconnected graphs.
+pub fn harmonic_centrality(g: &TemporalGraph) -> HashMap<VertexId, f64> {
+    g.vertex_ids()
+        .map(|v| {
+            let dist = bfs(g, v, Follow::Both);
+            let h: f64 = dist
+                .iter()
+                .filter(|&(&u, &d)| u != v && d > 0)
+                .map(|(_, &d)| 1.0 / d as f64)
+                .sum();
+            (v, h)
+        })
+        .collect()
+}
+
+/// Betweenness centrality via Brandes' algorithm on the undirected
+/// unweighted simple view. Scores are unnormalised pair counts (each
+/// unordered pair contributes once).
+pub fn betweenness_centrality(g: &TemporalGraph) -> HashMap<VertexId, f64> {
+    let ids: Vec<VertexId> = g.vertex_ids().collect();
+    let n = ids.len();
+    let index: HashMap<VertexId, usize> = ids.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    // undirected simple adjacency
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in g.edges() {
+        if e.src == e.dst {
+            continue;
+        }
+        let (a, b) = (index[&e.src], index[&e.dst]);
+        if !adj[a].contains(&b) {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+    }
+    let mut cb = vec![0.0f64; n];
+    for s in 0..n {
+        // single-source shortest paths with path counting
+        let mut stack: Vec<usize> = Vec::new();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut sigma = vec![0.0f64; n];
+        let mut dist = vec![-1i64; n];
+        sigma[s] = 1.0;
+        dist[s] = 0;
+        let mut queue = VecDeque::from([s]);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            for &w in &adj[v] {
+                if dist[w] < 0 {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w] == dist[v] + 1 {
+                    sigma[w] += sigma[v];
+                    preds[w].push(v);
+                }
+            }
+        }
+        // accumulation
+        let mut delta = vec![0.0f64; n];
+        while let Some(w) = stack.pop() {
+            for &v in &preds[w] {
+                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+            }
+            if w != s {
+                cb[w] += delta[w];
+            }
+        }
+    }
+    // undirected: every pair was counted twice
+    ids.into_iter().zip(cb.into_iter().map(|x| x / 2.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::props;
+
+    /// Path graph a - b - c - d - e.
+    fn path5() -> (TemporalGraph, Vec<VertexId>) {
+        let mut g = TemporalGraph::new();
+        let vs: Vec<VertexId> = (0..5).map(|_| g.add_vertex(["N"], props! {})).collect();
+        for w in vs.windows(2) {
+            g.add_edge(w[0], w[1], ["E"], props! {}).unwrap();
+        }
+        (g, vs)
+    }
+
+    #[test]
+    fn degree_centrality_path() {
+        let (g, vs) = path5();
+        let c = degree_centrality(&g);
+        assert_eq!(c[&vs[0]], 0.25, "endpoint: 1/(5-1)");
+        assert_eq!(c[&vs[2]], 0.5, "middle: 2/4");
+    }
+
+    #[test]
+    fn closeness_middle_highest() {
+        let (g, vs) = path5();
+        let c = closeness_centrality(&g);
+        assert!(c[&vs[2]] > c[&vs[1]]);
+        assert!(c[&vs[1]] > c[&vs[0]]);
+        // exact: middle distances 2+1+1+2 = 6, closeness = 4/6
+        assert!((c[&vs[2]] - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closeness_isolated_zero() {
+        let mut g = TemporalGraph::new();
+        let a = g.add_vertex(["N"], props! {});
+        let c = closeness_centrality(&g);
+        assert_eq!(c[&a], 0.0);
+    }
+
+    #[test]
+    fn closeness_disconnected_penalised() {
+        // two components: a pair and a triangle; the Wasserman-Faust
+        // factor keeps pair members below triangle members
+        let mut g = TemporalGraph::new();
+        let a = g.add_vertex(["N"], props! {});
+        let b = g.add_vertex(["N"], props! {});
+        g.add_edge(a, b, ["E"], props! {}).unwrap();
+        let t: Vec<VertexId> = (0..3).map(|_| g.add_vertex(["N"], props! {})).collect();
+        for i in 0..3 {
+            g.add_edge(t[i], t[(i + 1) % 3], ["E"], props! {}).unwrap();
+        }
+        let c = closeness_centrality(&g);
+        assert!(c[&t[0]] > c[&a], "triangle members reach more of the graph");
+    }
+
+    #[test]
+    fn harmonic_path() {
+        let (g, vs) = path5();
+        let h = harmonic_centrality(&g);
+        // middle: 1/2 + 1/1 + 1/1 + 1/2 = 3
+        assert!((h[&vs[2]] - 3.0).abs() < 1e-12);
+        // endpoint: 1 + 1/2 + 1/3 + 1/4
+        assert!((h[&vs[0]] - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn betweenness_path() {
+        let (g, vs) = path5();
+        let b = betweenness_centrality(&g);
+        // endpoints carry no shortest paths
+        assert_eq!(b[&vs[0]], 0.0);
+        assert_eq!(b[&vs[4]], 0.0);
+        // the exact middle carries the most: pairs (0,3),(0,4),(1,3),(1,4) = 4
+        assert_eq!(b[&vs[2]], 4.0);
+        // v1 carries (0,2),(0,3),(0,4) = 3
+        assert_eq!(b[&vs[1]], 3.0);
+    }
+
+    #[test]
+    fn betweenness_star() {
+        let mut g = TemporalGraph::new();
+        let hub = g.add_vertex(["N"], props! {});
+        let spokes: Vec<VertexId> = (0..5).map(|_| g.add_vertex(["N"], props! {})).collect();
+        for &s in &spokes {
+            g.add_edge(s, hub, ["E"], props! {}).unwrap();
+        }
+        let b = betweenness_centrality(&g);
+        // hub carries all C(5,2) = 10 spoke pairs
+        assert_eq!(b[&hub], 10.0);
+        for &s in &spokes {
+            assert_eq!(b[&s], 0.0);
+        }
+    }
+
+    #[test]
+    fn betweenness_triangle_symmetric_zero() {
+        let mut g = TemporalGraph::new();
+        let t: Vec<VertexId> = (0..3).map(|_| g.add_vertex(["N"], props! {})).collect();
+        for i in 0..3 {
+            g.add_edge(t[i], t[(i + 1) % 3], ["E"], props! {}).unwrap();
+        }
+        let b = betweenness_centrality(&g);
+        for &v in &t {
+            assert_eq!(b[&v], 0.0, "all pairs adjacent: no intermediaries");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TemporalGraph::new();
+        assert!(degree_centrality(&g).is_empty());
+        assert!(closeness_centrality(&g).is_empty());
+        assert!(harmonic_centrality(&g).is_empty());
+        assert!(betweenness_centrality(&g).is_empty());
+    }
+}

@@ -1,0 +1,294 @@
+//! Community detection (Table 2, row D — graph side).
+//!
+//! Two detectors over the undirected view of the graph:
+//! * **label propagation** — near-linear, seeded deterministically;
+//! * **Louvain (single level + refinement passes)** — greedy modularity
+//!   optimisation, the standard for weighted community structure.
+
+use crate::graph::TemporalGraph;
+use hygraph_types::VertexId;
+use std::collections::HashMap;
+
+/// Community assignment: vertex → community id (renumbered 0..count).
+#[derive(Clone, Debug, Default)]
+pub struct Communities {
+    /// Per-vertex community id.
+    pub assignment: HashMap<VertexId, usize>,
+    /// Number of communities.
+    pub count: usize,
+}
+
+impl Communities {
+    /// Members of each community, indexed by community id.
+    pub fn members(&self) -> Vec<Vec<VertexId>> {
+        let mut out = vec![Vec::new(); self.count];
+        let mut items: Vec<(VertexId, usize)> =
+            self.assignment.iter().map(|(&v, &c)| (v, c)).collect();
+        items.sort_unstable();
+        for (v, c) in items {
+            out[c].push(v);
+        }
+        out
+    }
+
+    /// Community of `v`, if assigned.
+    pub fn of(&self, v: VertexId) -> Option<usize> {
+        self.assignment.get(&v).copied()
+    }
+
+    fn renumber(mut raw: HashMap<VertexId, usize>) -> Communities {
+        let mut ids: Vec<VertexId> = raw.keys().copied().collect();
+        ids.sort_unstable();
+        let mut remap: HashMap<usize, usize> = HashMap::new();
+        for v in ids {
+            let c = raw[&v];
+            let next = remap.len();
+            let new = *remap.entry(c).or_insert(next);
+            raw.insert(v, new);
+        }
+        Communities {
+            count: remap.len(),
+            assignment: raw,
+        }
+    }
+}
+
+/// Asynchronous label propagation with a fixed RNG seed. Visit order is
+/// reshuffled every iteration and ties between equally-frequent labels
+/// are broken randomly, *except* that a vertex keeps its current label
+/// whenever that label is among the maxima — the standard rule that
+/// prevents a single label flooding across community bridges.
+pub fn label_propagation_seeded(g: &TemporalGraph, max_iter: usize, seed: u64) -> Communities {
+    use rand::seq::{IndexedRandom, SliceRandom};
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut ids: Vec<VertexId> = g.vertex_ids().collect();
+    let mut label: HashMap<VertexId, usize> = ids.iter().map(|&v| (v, v.index())).collect();
+    for _ in 0..max_iter {
+        ids.shuffle(&mut rng);
+        let mut changed = false;
+        for &v in &ids {
+            let mut counts: HashMap<usize, usize> = HashMap::new();
+            for (_, n) in g.neighbors(v) {
+                *counts.entry(label[&n]).or_insert(0) += 1;
+            }
+            if counts.is_empty() {
+                continue;
+            }
+            let max = counts.values().copied().max().expect("non-empty");
+            let cur = label[&v];
+            if counts.get(&cur) == Some(&max) {
+                continue; // current label still maximal: stay
+            }
+            let mut best: Vec<usize> = counts
+                .into_iter()
+                .filter_map(|(l, c)| (c == max).then_some(l))
+                .collect();
+            best.sort_unstable();
+            let pick = *best.choose(&mut rng).expect("non-empty maxima");
+            label.insert(v, pick);
+            changed = true;
+        }
+        if !changed {
+            break;
+        }
+    }
+    Communities::renumber(label)
+}
+
+/// [`label_propagation_seeded`] with a fixed default seed — deterministic
+/// across runs.
+pub fn label_propagation(g: &TemporalGraph, max_iter: usize) -> Communities {
+    label_propagation_seeded(g, max_iter, 0x5eed_cafe)
+}
+
+/// Newman modularity of an assignment over the undirected view with
+/// uniform edge weights. Self-loops contribute to their community.
+pub fn modularity(g: &TemporalGraph, communities: &Communities) -> f64 {
+    let m = g.edge_count() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    // degree = undirected degree (self-loop counts twice)
+    let mut intra = 0.0;
+    for e in g.edges() {
+        if communities.of(e.src) == communities.of(e.dst) {
+            intra += 1.0;
+        }
+    }
+    let mut deg_sum: HashMap<usize, f64> = HashMap::new();
+    for v in g.vertex_ids() {
+        if let Some(c) = communities.of(v) {
+            *deg_sum.entry(c).or_insert(0.0) += g.degree(v) as f64;
+        }
+    }
+    let mut q = intra / m;
+    for (_, d) in deg_sum {
+        q -= (d / (2.0 * m)) * (d / (2.0 * m));
+    }
+    q
+}
+
+/// Single-level Louvain: greedy modularity-improving moves until a full
+/// pass makes none. Deterministic visit order (vertex id). Good enough
+/// for the workload sizes here; a multi-level coarsening would be the
+/// production extension.
+pub fn louvain(g: &TemporalGraph, max_passes: usize) -> Communities {
+    let ids: Vec<VertexId> = g.vertex_ids().collect();
+    let m2 = (2 * g.edge_count()) as f64; // 2m
+    if m2 == 0.0 {
+        let assignment = ids.iter().map(|&v| (v, v.index())).collect();
+        return Communities::renumber(assignment);
+    }
+    let mut comm: HashMap<VertexId, usize> = ids.iter().map(|&v| (v, v.index())).collect();
+    // community total degree
+    let mut tot: HashMap<usize, f64> = HashMap::new();
+    let deg: HashMap<VertexId, f64> = ids.iter().map(|&v| (v, g.degree(v) as f64)).collect();
+    for &v in &ids {
+        *tot.entry(comm[&v]).or_insert(0.0) += deg[&v];
+    }
+
+    for _ in 0..max_passes {
+        let mut moved = false;
+        for &v in &ids {
+            let cur = comm[&v];
+            // weights to neighbouring communities (self-loops excluded from gain)
+            let mut w_to: HashMap<usize, f64> = HashMap::new();
+            for (_, n) in g.neighbors(v) {
+                if n != v {
+                    *w_to.entry(comm[&n]).or_insert(0.0) += 1.0;
+                }
+            }
+            // detach v
+            *tot.get_mut(&cur).expect("known community") -= deg[&v];
+            let w_cur = w_to.get(&cur).copied().unwrap_or(0.0);
+            let gain = |c: usize, w: f64| w - tot.get(&c).copied().unwrap_or(0.0) * deg[&v] / m2;
+            let mut best_c = cur;
+            let mut best_gain = gain(cur, w_cur);
+            let mut cands: Vec<(usize, f64)> = w_to.into_iter().collect();
+            cands.sort_unstable_by_key(|a| a.0);
+            for (c, w) in cands {
+                let gn = gain(c, w);
+                if gn > best_gain + 1e-12 {
+                    best_gain = gn;
+                    best_c = c;
+                }
+            }
+            *tot.entry(best_c).or_insert(0.0) += deg[&v];
+            if best_c != cur {
+                comm.insert(v, best_c);
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    Communities::renumber(comm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::props;
+
+    /// Two dense cliques joined by a single bridge edge.
+    fn two_cliques(k: usize) -> (TemporalGraph, Vec<VertexId>, Vec<VertexId>) {
+        let mut g = TemporalGraph::new();
+        let a: Vec<VertexId> = (0..k).map(|_| g.add_vertex(["N"], props! {})).collect();
+        let b: Vec<VertexId> = (0..k).map(|_| g.add_vertex(["N"], props! {})).collect();
+        for set in [&a, &b] {
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    g.add_edge(set[i], set[j], ["E"], props! {}).unwrap();
+                }
+            }
+        }
+        g.add_edge(a[0], b[0], ["BRIDGE"], props! {}).unwrap();
+        (g, a, b)
+    }
+
+    fn same_community(c: &Communities, vs: &[VertexId]) -> bool {
+        let first = c.of(vs[0]);
+        vs.iter().all(|&v| c.of(v) == first)
+    }
+
+    #[test]
+    fn label_propagation_separates_cliques() {
+        let (g, a, b) = two_cliques(6);
+        let c = label_propagation(&g, 50);
+        assert!(same_community(&c, &a), "clique A united");
+        assert!(same_community(&c, &b), "clique B united");
+        assert_ne!(c.of(a[1]), c.of(b[1]), "cliques separated");
+    }
+
+    #[test]
+    fn louvain_separates_cliques() {
+        let (g, a, b) = two_cliques(6);
+        let c = louvain(&g, 20);
+        assert!(same_community(&c, &a));
+        assert!(same_community(&c, &b));
+        assert_ne!(c.of(a[0]), c.of(b[0]));
+        assert_eq!(c.count, 2);
+    }
+
+    #[test]
+    fn modularity_prefers_true_partition() {
+        let (g, a, b) = two_cliques(6);
+        let good = louvain(&g, 20);
+        // everything in one community
+        let mut all_one = HashMap::new();
+        for v in g.vertex_ids() {
+            all_one.insert(v, 0usize);
+        }
+        let bad = Communities {
+            assignment: all_one,
+            count: 1,
+        };
+        assert!(modularity(&g, &good) > modularity(&g, &bad));
+        assert!(modularity(&g, &good) > 0.3);
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn isolated_vertices_self_communities() {
+        let mut g = TemporalGraph::new();
+        let a = g.add_vertex(["N"], props! {});
+        let b = g.add_vertex(["N"], props! {});
+        let c = label_propagation(&g, 10);
+        assert_eq!(c.count, 2);
+        assert_ne!(c.of(a), c.of(b));
+        let c = louvain(&g, 10);
+        assert_eq!(c.count, 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TemporalGraph::new();
+        assert_eq!(label_propagation(&g, 10).count, 0);
+        assert_eq!(louvain(&g, 10).count, 0);
+        assert_eq!(modularity(&g, &Communities::default()), 0.0);
+    }
+
+    #[test]
+    fn members_listing() {
+        let (g, a, b) = two_cliques(4);
+        let c = louvain(&g, 20);
+        let members = c.members();
+        assert_eq!(members.len(), 2);
+        let total: usize = members.iter().map(Vec::len).sum();
+        assert_eq!(total, 8);
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let (g, _, _) = two_cliques(5);
+        let c1 = label_propagation(&g, 50);
+        let c2 = label_propagation(&g, 50);
+        assert_eq!(c1.assignment, c2.assignment);
+        let l1 = louvain(&g, 20);
+        let l2 = louvain(&g, 20);
+        assert_eq!(l1.assignment, l2.assignment);
+    }
+}

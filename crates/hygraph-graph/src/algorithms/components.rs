@@ -1,0 +1,155 @@
+//! Connected components via union-find (weakly connected for directed
+//! graphs).
+
+use crate::graph::TemporalGraph;
+use hygraph_types::VertexId;
+use std::collections::HashMap;
+
+/// Union-find over dense vertex indices with path halving and union by
+/// size.
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            // path halving
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x as usize
+    }
+
+    /// Merges the sets of `a` and `b`; returns whether they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        true
+    }
+
+    /// Whether `a` and `b` share a set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Weakly connected components. Returns vertex → component id, with
+/// component ids renumbered 0.. in order of first appearance (by vertex
+/// id), and the number of components.
+pub fn connected_components(g: &TemporalGraph) -> (HashMap<VertexId, usize>, usize) {
+    let mut uf = UnionFind::new(g.vertex_capacity());
+    for e in g.edges() {
+        uf.union(e.src.index(), e.dst.index());
+    }
+    let mut renumber: HashMap<usize, usize> = HashMap::new();
+    let mut out = HashMap::new();
+    for v in g.vertex_ids().collect::<Vec<_>>() {
+        let root = uf.find(v.index());
+        let next = renumber.len();
+        let cid = *renumber.entry(root).or_insert(next);
+        out.insert(v, cid);
+    }
+    let n = renumber.len();
+    (out, n)
+}
+
+/// Sizes of each component, indexed by component id.
+pub fn component_sizes(assignment: &HashMap<VertexId, usize>, count: usize) -> Vec<usize> {
+    let mut sizes = vec![0usize; count];
+    for &cid in assignment.values() {
+        sizes[cid] += 1;
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::props;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already merged");
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn two_components() {
+        let mut g = TemporalGraph::new();
+        let a = g.add_vertex(["N"], props! {});
+        let b = g.add_vertex(["N"], props! {});
+        let c = g.add_vertex(["N"], props! {});
+        let d = g.add_vertex(["N"], props! {});
+        g.add_edge(a, b, ["E"], props! {}).unwrap();
+        g.add_edge(c, d, ["E"], props! {}).unwrap();
+        let (assign, n) = connected_components(&g);
+        assert_eq!(n, 2);
+        assert_eq!(assign[&a], assign[&b]);
+        assert_eq!(assign[&c], assign[&d]);
+        assert_ne!(assign[&a], assign[&c]);
+        assert_eq!(component_sizes(&assign, n), vec![2, 2]);
+    }
+
+    #[test]
+    fn directedness_ignored() {
+        let mut g = TemporalGraph::new();
+        let a = g.add_vertex(["N"], props! {});
+        let b = g.add_vertex(["N"], props! {});
+        g.add_edge(b, a, ["E"], props! {}).unwrap();
+        let (_, n) = connected_components(&g);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn isolated_vertices_are_components() {
+        let mut g = TemporalGraph::new();
+        g.add_vertex(["N"], props! {});
+        g.add_vertex(["N"], props! {});
+        let (_, n) = connected_components(&g);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TemporalGraph::new();
+        let (assign, n) = connected_components(&g);
+        assert!(assign.is_empty());
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn tombstoned_vertices_skipped() {
+        let mut g = TemporalGraph::new();
+        let a = g.add_vertex(["N"], props! {});
+        let b = g.add_vertex(["N"], props! {});
+        g.add_edge(a, b, ["E"], props! {}).unwrap();
+        g.remove_vertex(a).unwrap();
+        let (assign, n) = connected_components(&g);
+        assert_eq!(n, 1);
+        assert!(assign.contains_key(&b));
+        assert!(!assign.contains_key(&a));
+    }
+}

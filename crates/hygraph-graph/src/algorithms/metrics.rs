@@ -1,0 +1,202 @@
+//! Structural graph metrics (Table 2, rows C1/C2 — graph side), plus
+//! the per-vertex feature vectors the hybrid classifiers consume.
+
+use crate::algorithms::motifs;
+use crate::graph::TemporalGraph;
+use hygraph_types::VertexId;
+use std::collections::HashMap;
+
+/// Number of structural features produced by [`vertex_features`].
+pub const VERTEX_FEATURE_DIM: usize = 5;
+
+/// Names of the structural features, index-aligned with
+/// [`vertex_features`].
+pub const VERTEX_FEATURE_NAMES: [&str; VERTEX_FEATURE_DIM] = [
+    "out_degree",
+    "in_degree",
+    "triangles",
+    "local_clustering",
+    "two_hop_size",
+];
+
+/// Edge density of the directed simple graph: `m / (n·(n-1))`.
+pub fn density(g: &TemporalGraph) -> f64 {
+    let n = g.vertex_count();
+    if n < 2 {
+        return 0.0;
+    }
+    g.edge_count() as f64 / (n * (n - 1)) as f64
+}
+
+/// Histogram of total degrees: index = degree, value = #vertices.
+pub fn degree_histogram(g: &TemporalGraph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in g.vertex_ids() {
+        let d = g.degree(v);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Mean total degree.
+pub fn mean_degree(g: &TemporalGraph) -> f64 {
+    let n = g.vertex_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: usize = g.vertex_ids().map(|v| g.degree(v)).sum();
+    total as f64 / n as f64
+}
+
+/// Local clustering coefficient of each vertex (triangles through the
+/// vertex over its wedge count in the undirected simple view).
+pub fn local_clustering(g: &TemporalGraph) -> HashMap<VertexId, f64> {
+    let tri: HashMap<VertexId, usize> = motifs::triangles_per_vertex(g).into_iter().collect();
+    g.vertex_ids()
+        .map(|v| {
+            // undirected simple degree
+            let mut nbrs: Vec<VertexId> = g.neighbors(v).map(|(_, n)| n).filter(|&n| n != v).collect();
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            let d = nbrs.len();
+            let wedges = d * d.saturating_sub(1) / 2;
+            let c = if wedges == 0 {
+                0.0
+            } else {
+                tri.get(&v).copied().unwrap_or(0) as f64 / wedges as f64
+            };
+            (v, c)
+        })
+        .collect()
+}
+
+/// Fixed-length structural feature vector per vertex: out-degree,
+/// in-degree, triangle count, local clustering, 2-hop neighbourhood size.
+pub fn vertex_features(g: &TemporalGraph) -> HashMap<VertexId, [f64; VERTEX_FEATURE_DIM]> {
+    let tri: HashMap<VertexId, usize> = motifs::triangles_per_vertex(g).into_iter().collect();
+    let clustering = local_clustering(g);
+    g.vertex_ids()
+        .map(|v| {
+            let two_hop = crate::traverse::k_hop(g, v, 2, crate::traverse::Follow::Both).len() - 1;
+            (
+                v,
+                [
+                    g.out_degree(v) as f64,
+                    g.in_degree(v) as f64,
+                    tri.get(&v).copied().unwrap_or(0) as f64,
+                    clustering.get(&v).copied().unwrap_or(0.0),
+                    two_hop as f64,
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Summary statistics of a whole graph — the "graph fingerprint" used by
+/// evolution analysis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphSummary {
+    /// Live vertices.
+    pub vertices: usize,
+    /// Live edges.
+    pub edges: usize,
+    /// Directed edge density.
+    pub density: f64,
+    /// Mean total degree.
+    pub mean_degree: f64,
+    /// Triangles in the undirected simple view.
+    pub triangles: usize,
+    /// Global clustering coefficient.
+    pub clustering: f64,
+}
+
+/// Computes the [`GraphSummary`] of `g`.
+pub fn summarize(g: &TemporalGraph) -> GraphSummary {
+    GraphSummary {
+        vertices: g.vertex_count(),
+        edges: g.edge_count(),
+        density: density(g),
+        mean_degree: mean_degree(g),
+        triangles: motifs::triangle_count(g),
+        clustering: motifs::global_clustering(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::props;
+
+    fn path(n: usize) -> TemporalGraph {
+        let mut g = TemporalGraph::new();
+        let vs: Vec<VertexId> = (0..n).map(|_| g.add_vertex(["N"], props! {})).collect();
+        for w in vs.windows(2) {
+            g.add_edge(w[0], w[1], ["E"], props! {}).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn density_and_mean_degree() {
+        let g = path(4); // 3 edges, 4 vertices
+        assert!((density(&g) - 3.0 / 12.0).abs() < 1e-12);
+        assert!((mean_degree(&g) - 6.0 / 4.0).abs() < 1e-12);
+        assert_eq!(density(&TemporalGraph::new()), 0.0);
+        assert_eq!(mean_degree(&TemporalGraph::new()), 0.0);
+    }
+
+    #[test]
+    fn histogram() {
+        let g = path(4);
+        let h = degree_histogram(&g);
+        // endpoints degree 1 (×2), middles degree 2 (×2)
+        assert_eq!(h, vec![0, 2, 2]);
+    }
+
+    #[test]
+    fn local_clustering_triangle_with_tail() {
+        let mut g = TemporalGraph::new();
+        let a = g.add_vertex(["N"], props! {});
+        let b = g.add_vertex(["N"], props! {});
+        let c = g.add_vertex(["N"], props! {});
+        let d = g.add_vertex(["N"], props! {});
+        g.add_edge(a, b, ["E"], props! {}).unwrap();
+        g.add_edge(b, c, ["E"], props! {}).unwrap();
+        g.add_edge(c, a, ["E"], props! {}).unwrap();
+        g.add_edge(a, d, ["E"], props! {}).unwrap(); // tail
+        let lc = local_clustering(&g);
+        assert_eq!(lc[&b], 1.0);
+        assert_eq!(lc[&c], 1.0);
+        assert!((lc[&a] - 1.0 / 3.0).abs() < 1e-12, "a has 3 nbrs, 1 of 3 wedges closed");
+        assert_eq!(lc[&d], 0.0);
+    }
+
+    #[test]
+    fn vertex_features_shape() {
+        let g = path(5);
+        let f = vertex_features(&g);
+        assert_eq!(f.len(), 5);
+        let first = g.vertex_ids().next().unwrap();
+        let fv = f[&first];
+        assert_eq!(fv[0], 1.0, "out degree of path head");
+        assert_eq!(fv[1], 0.0, "in degree of path head");
+        assert_eq!(fv[4], 2.0, "two-hop from head reaches 2 vertices");
+        assert_eq!(VERTEX_FEATURE_NAMES.len(), VERTEX_FEATURE_DIM);
+    }
+
+    #[test]
+    fn summary_consistency() {
+        let g = path(4);
+        let s = summarize(&g);
+        assert_eq!(s.vertices, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.triangles, 0);
+        assert_eq!(s.clustering, 0.0);
+        let empty = summarize(&TemporalGraph::new());
+        assert_eq!(empty.vertices, 0);
+        assert_eq!(empty.mean_degree, 0.0);
+    }
+}

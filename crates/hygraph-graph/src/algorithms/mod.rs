@@ -1,0 +1,8 @@
+//! Graph algorithms backing the Table-2 graph column.
+
+pub mod centrality;
+pub mod community;
+pub mod components;
+pub mod metrics;
+pub mod motifs;
+pub mod pagerank;

@@ -1,0 +1,243 @@
+//! Motif counting (Table 2, row PM — graph side): triangles, wedges and
+//! the full undirected 3-node census.
+
+use crate::graph::TemporalGraph;
+use hygraph_types::VertexId;
+use std::collections::HashSet;
+
+/// Sorted undirected neighbour lists for all vertices (self-loops and
+/// parallel edges deduplicated).
+fn neighbor_sets(g: &TemporalGraph) -> Vec<Vec<u32>> {
+    let cap = g.vertex_capacity();
+    let mut adj: Vec<HashSet<u32>> = vec![HashSet::new(); cap];
+    for e in g.edges() {
+        if e.src != e.dst {
+            adj[e.src.index()].insert(e.dst.raw() as u32);
+            adj[e.dst.index()].insert(e.src.raw() as u32);
+        }
+    }
+    adj.into_iter()
+        .map(|s| {
+            let mut v: Vec<u32> = s.into_iter().collect();
+            v.sort_unstable();
+            v
+        })
+        .collect()
+}
+
+/// Counts triangles in the undirected simple view via ordered
+/// neighbourhood intersection (node-iterator with degree ordering).
+pub fn triangle_count(g: &TemporalGraph) -> usize {
+    let adj = neighbor_sets(g);
+    let mut count = 0usize;
+    for (u, nu) in adj.iter().enumerate() {
+        for &v in nu {
+            let v = v as usize;
+            if v <= u {
+                continue;
+            }
+            // intersect nu and adj[v], counting w > v to count each triangle once
+            let nv = &adj[v];
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < nu.len() && j < nv.len() {
+                match nu[i].cmp(&nv[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if (nu[i] as usize) > v {
+                            count += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Counts wedges (open 2-paths, i.e. paths u–v–w with u≠w and u,w not
+/// adjacent counted open or closed? here: *all* 2-paths; closed ones are
+/// triangles×3).
+pub fn wedge_count(g: &TemporalGraph) -> usize {
+    neighbor_sets(g)
+        .iter()
+        .map(|n| n.len() * n.len().saturating_sub(1) / 2)
+        .sum()
+}
+
+/// Per-vertex triangle membership counts.
+pub fn triangles_per_vertex(g: &TemporalGraph) -> Vec<(VertexId, usize)> {
+    let adj = neighbor_sets(g);
+    let mut counts = vec![0usize; adj.len()];
+    for (u, nu) in adj.iter().enumerate() {
+        for &v in nu {
+            let v = v as usize;
+            if v <= u {
+                continue;
+            }
+            let nv = &adj[v];
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < nu.len() && j < nv.len() {
+                match nu[i].cmp(&nv[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        let w = nu[i] as usize;
+                        if w > v {
+                            counts[u] += 1;
+                            counts[v] += 1;
+                            counts[w] += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    g.vertex_ids().map(|v| (v, counts[v.index()])).collect()
+}
+
+/// The undirected 3-node census: (triangles, open wedges, single-edge
+/// triples, empty triples) over all C(n,3) vertex triples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TriadCensus {
+    /// Closed triples (each triangle counted once).
+    pub triangles: usize,
+    /// Paths of length two whose endpoints are not adjacent.
+    pub open_wedges: usize,
+    /// Triples with exactly one edge.
+    pub one_edge: usize,
+    /// Triples with no edges.
+    pub empty: usize,
+}
+
+/// Computes the 3-node census in O(triangles + wedges + n).
+pub fn triad_census(g: &TemporalGraph) -> TriadCensus {
+    let n = g.vertex_count();
+    let adj = neighbor_sets(g);
+    let m: usize = adj.iter().map(Vec::len).sum::<usize>() / 2; // simple edges
+    let triangles = triangle_count(g);
+    let wedges_total = wedge_count(g); // closed wedges = 3 * triangles
+    let open_wedges = wedges_total - 3 * triangles;
+    let triples = if n >= 3 { n * (n - 1) * (n - 2) / 6 } else { 0 };
+    // each simple edge participates in (n-2) triples; subtract those also in
+    // wedges/triangles (an edge in a wedge-triple is counted there)
+    let one_edge = m
+        .saturating_mul(n.saturating_sub(2))
+        .saturating_sub(2 * open_wedges)
+        .saturating_sub(3 * triangles);
+    let empty = triples
+        .saturating_sub(triangles)
+        .saturating_sub(open_wedges)
+        .saturating_sub(one_edge);
+    TriadCensus {
+        triangles,
+        open_wedges,
+        one_edge,
+        empty,
+    }
+}
+
+/// Global clustering coefficient: `3·triangles / wedges` (0 when no
+/// wedges exist).
+pub fn global_clustering(g: &TemporalGraph) -> f64 {
+    let w = wedge_count(g);
+    if w == 0 {
+        return 0.0;
+    }
+    3.0 * triangle_count(g) as f64 / w as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::props;
+
+    fn clique(k: usize) -> TemporalGraph {
+        let mut g = TemporalGraph::new();
+        let vs: Vec<VertexId> = (0..k).map(|_| g.add_vertex(["N"], props! {})).collect();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                g.add_edge(vs[i], vs[j], ["E"], props! {}).unwrap();
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn triangle_counts_on_cliques() {
+        assert_eq!(triangle_count(&clique(3)), 1);
+        assert_eq!(triangle_count(&clique(4)), 4);
+        assert_eq!(triangle_count(&clique(5)), 10);
+        assert_eq!(triangle_count(&clique(2)), 0);
+    }
+
+    #[test]
+    fn parallel_edges_and_self_loops_ignored() {
+        let mut g = clique(3);
+        let ids: Vec<VertexId> = g.vertex_ids().collect();
+        g.add_edge(ids[0], ids[1], ["E"], props! {}).unwrap(); // parallel
+        g.add_edge(ids[0], ids[0], ["E"], props! {}).unwrap(); // loop
+        assert_eq!(triangle_count(&g), 1);
+    }
+
+    #[test]
+    fn wedges_and_clustering() {
+        // path a-b-c: one wedge, no triangles
+        let mut g = TemporalGraph::new();
+        let a = g.add_vertex(["N"], props! {});
+        let b = g.add_vertex(["N"], props! {});
+        let c = g.add_vertex(["N"], props! {});
+        g.add_edge(a, b, ["E"], props! {}).unwrap();
+        g.add_edge(b, c, ["E"], props! {}).unwrap();
+        assert_eq!(wedge_count(&g), 1);
+        assert_eq!(global_clustering(&g), 0.0);
+        // triangle: 3 wedges, all closed
+        let t = clique(3);
+        assert_eq!(wedge_count(&t), 3);
+        assert_eq!(global_clustering(&t), 1.0);
+    }
+
+    #[test]
+    fn per_vertex_triangles() {
+        let g = clique(4);
+        for (_, c) in triangles_per_vertex(&g) {
+            assert_eq!(c, 3, "each K4 vertex is in 3 triangles");
+        }
+    }
+
+    #[test]
+    fn census_sums_to_all_triples() {
+        let mut g = clique(4);
+        // add two extra isolated-ish vertices and one pendant edge
+        let x = g.add_vertex(["N"], props! {});
+        let y = g.add_vertex(["N"], props! {});
+        let first = g.vertex_ids().next().unwrap();
+        g.add_edge(x, first, ["E"], props! {}).unwrap();
+        let _ = y;
+        let n = g.vertex_count();
+        let census = triad_census(&g);
+        let total = census.triangles + census.open_wedges + census.one_edge + census.empty;
+        assert_eq!(total, n * (n - 1) * (n - 2) / 6);
+        assert_eq!(census.triangles, 4);
+    }
+
+    #[test]
+    fn census_empty_and_tiny() {
+        let g = TemporalGraph::new();
+        let c = triad_census(&g);
+        assert_eq!(c, TriadCensus { triangles: 0, open_wedges: 0, one_edge: 0, empty: 0 });
+        let g = clique(2);
+        let c = triad_census(&g);
+        assert_eq!(c.triangles, 0);
+        assert_eq!(c.empty, 0);
+    }
+
+    #[test]
+    fn clustering_of_empty_graph() {
+        assert_eq!(global_clustering(&TemporalGraph::new()), 0.0);
+    }
+}

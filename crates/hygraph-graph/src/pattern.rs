@@ -1,0 +1,637 @@
+//! Subgraph pattern matching (Table 2, row Q1 — graph side; the
+//! machinery behind the paper's Listing 1 fraud query).
+//!
+//! A [`Pattern`] is a small graph of variables with label and property
+//! constraints. Matching follows Cypher semantics: *edge-isomorphic*
+//! (each graph edge binds at most one pattern edge per match) with vertex
+//! repetition allowed unless [`Pattern::distinct_vertices`] is set.
+//! Matching is backtracking search seeded from the most selective
+//! pattern vertex, extending along pattern edges through adjacency lists.
+
+use crate::graph::{EdgeData, TemporalGraph, VertexData};
+use hygraph_types::{EdgeId, Label, Timestamp, Value, VertexId};
+use std::collections::HashMap;
+
+/// Comparison operator for property predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates `lhs op rhs` with SQL-ish null semantics (null never
+    /// matches).
+    pub fn eval(self, lhs: &Value, rhs: &Value) -> bool {
+        if lhs.is_null() || rhs.is_null() {
+            return false;
+        }
+        match self {
+            CmpOp::Eq => lhs.sql_eq(rhs).unwrap_or(false),
+            CmpOp::Ne => lhs.sql_eq(rhs).map(|b| !b).unwrap_or(false),
+            CmpOp::Lt => lhs.total_cmp(rhs).is_lt(),
+            CmpOp::Le => lhs.total_cmp(rhs).is_le(),
+            CmpOp::Gt => lhs.total_cmp(rhs).is_gt(),
+            CmpOp::Ge => lhs.total_cmp(rhs).is_ge(),
+        }
+    }
+}
+
+/// A static-property predicate `element.key op value`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PropPredicate {
+    /// Property key to read.
+    pub key: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal to compare against.
+    pub value: Value,
+}
+
+impl PropPredicate {
+    /// Builds a predicate.
+    pub fn new(key: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Self {
+        Self {
+            key: key.into(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    fn holds(&self, props: &hygraph_types::PropertyMap) -> bool {
+        props
+            .static_value(&self.key)
+            .is_some_and(|v| self.op.eval(v, &self.value))
+    }
+}
+
+/// Direction constraint of a pattern edge relative to its `from` vertex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// `(from)-[]->(to)`
+    Out,
+    /// `(from)<-[]-(to)`
+    In,
+    /// `(from)-[]-(to)`
+    Any,
+}
+
+/// A pattern vertex: a variable with optional label and property
+/// constraints.
+#[derive(Clone, Debug)]
+pub struct PatternVertex {
+    /// Variable name the match binds.
+    pub var: String,
+    /// Required labels (all must be present).
+    pub labels: Vec<Label>,
+    /// Static property predicates.
+    pub preds: Vec<PropPredicate>,
+}
+
+/// A pattern edge between two pattern vertices (referenced by index).
+#[derive(Clone, Debug)]
+pub struct PatternEdge {
+    /// Optional variable name binding the matched edge.
+    pub var: Option<String>,
+    /// Index of the source pattern vertex.
+    pub from: usize,
+    /// Index of the target pattern vertex.
+    pub to: usize,
+    /// Required labels (all must be present).
+    pub labels: Vec<Label>,
+    /// Static property predicates.
+    pub preds: Vec<PropPredicate>,
+    /// Direction constraint.
+    pub direction: Direction,
+}
+
+/// One match: variable → element bindings.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Binding {
+    /// Vertex variable bindings.
+    pub vertices: HashMap<String, VertexId>,
+    /// Edge variable bindings.
+    pub edges: HashMap<String, EdgeId>,
+}
+
+/// A declarative subgraph pattern.
+#[derive(Clone, Debug, Default)]
+pub struct Pattern {
+    vertices: Vec<PatternVertex>,
+    edges: Vec<PatternEdge>,
+    valid_at: Option<Timestamp>,
+    distinct_vertices: bool,
+}
+
+impl Pattern {
+    /// An empty pattern.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a pattern vertex; returns its index for edge construction.
+    pub fn vertex(
+        &mut self,
+        var: impl Into<String>,
+        labels: impl IntoIterator<Item = impl Into<Label>>,
+    ) -> usize {
+        self.vertices.push(PatternVertex {
+            var: var.into(),
+            labels: labels.into_iter().map(Into::into).collect(),
+            preds: Vec::new(),
+        });
+        self.vertices.len() - 1
+    }
+
+    /// Adds a property predicate to pattern vertex `idx`.
+    pub fn vertex_pred(&mut self, idx: usize, pred: PropPredicate) -> &mut Self {
+        self.vertices[idx].preds.push(pred);
+        self
+    }
+
+    /// Adds a pattern edge; returns its index.
+    pub fn edge(
+        &mut self,
+        var: Option<&str>,
+        from: usize,
+        to: usize,
+        labels: impl IntoIterator<Item = impl Into<Label>>,
+        direction: Direction,
+    ) -> usize {
+        assert!(from < self.vertices.len() && to < self.vertices.len());
+        self.edges.push(PatternEdge {
+            var: var.map(str::to_owned),
+            from,
+            to,
+            labels: labels.into_iter().map(Into::into).collect(),
+            preds: Vec::new(),
+            direction,
+        });
+        self.edges.len() - 1
+    }
+
+    /// Adds a property predicate to pattern edge `idx`.
+    pub fn edge_pred(&mut self, idx: usize, pred: PropPredicate) -> &mut Self {
+        self.edges[idx].preds.push(pred);
+        self
+    }
+
+    /// Restricts matches to elements valid at `t` (ρ-aware matching).
+    pub fn valid_at(&mut self, t: Timestamp) -> &mut Self {
+        self.valid_at = Some(t);
+        self
+    }
+
+    /// Requires all vertex variables to bind distinct vertices
+    /// (isomorphic matching).
+    pub fn distinct_vertices(&mut self, on: bool) -> &mut Self {
+        self.distinct_vertices = on;
+        self
+    }
+
+    /// Number of pattern vertices.
+    pub fn vertex_len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    fn vertex_ok(&self, pv: &PatternVertex, v: &VertexData) -> bool {
+        if let Some(t) = self.valid_at {
+            if !v.validity.contains(t) {
+                return false;
+            }
+        }
+        pv.labels.iter().all(|l| v.has_label(l.as_str()))
+            && pv.preds.iter().all(|p| p.holds(&v.props))
+    }
+
+    fn edge_ok(&self, pe: &PatternEdge, e: &EdgeData) -> bool {
+        if let Some(t) = self.valid_at {
+            if !e.validity.contains(t) {
+                return false;
+            }
+        }
+        pe.labels.iter().all(|l| e.has_label(l.as_str()))
+            && pe.preds.iter().all(|p| p.holds(&e.props))
+    }
+
+    /// Finds all matches of the pattern in `g`, visiting each via
+    /// `on_match`. Return `false` from the callback to stop early.
+    pub fn find(&self, g: &TemporalGraph, mut on_match: impl FnMut(&Binding) -> bool) {
+        if self.vertices.is_empty() {
+            return;
+        }
+        // Order vertices: seed with the most label/pred-constrained one,
+        // then repeatedly add the vertex most connected to the chosen set.
+        let order = self.plan_order();
+        let mut vbind: Vec<Option<VertexId>> = vec![None; self.vertices.len()];
+        let mut ebind: Vec<Option<EdgeId>> = vec![None; self.edges.len()];
+        self.backtrack(g, &order, 0, &mut vbind, &mut ebind, &mut on_match);
+    }
+
+    /// Collects all matches (convenience over [`Self::find`]).
+    pub fn find_all(&self, g: &TemporalGraph) -> Vec<Binding> {
+        let mut out = Vec::new();
+        self.find(g, |b| {
+            out.push(b.clone());
+            true
+        });
+        out
+    }
+
+    fn selectivity(&self, idx: usize) -> usize {
+        self.vertices[idx].labels.len() * 2 + self.vertices[idx].preds.len() * 3
+    }
+
+    fn plan_order(&self) -> Vec<usize> {
+        let n = self.vertices.len();
+        let mut order = Vec::with_capacity(n);
+        let mut chosen = vec![false; n];
+        // seed: most selective vertex
+        let seed = (0..n)
+            .max_by_key(|&i| self.selectivity(i))
+            .expect("non-empty");
+        order.push(seed);
+        chosen[seed] = true;
+        while order.len() < n {
+            // prefer connected-to-chosen vertices, tie-break on selectivity
+            let next = (0..n)
+                .filter(|&i| !chosen[i])
+                .max_by_key(|&i| {
+                    let connected = self
+                        .edges
+                        .iter()
+                        .any(|e| (e.from == i && chosen[e.to]) || (e.to == i && chosen[e.from]));
+                    (connected as usize, self.selectivity(i))
+                })
+                .expect("remaining vertex exists");
+            order.push(next);
+            chosen[next] = true;
+        }
+        order
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn backtrack(
+        &self,
+        g: &TemporalGraph,
+        order: &[usize],
+        depth: usize,
+        vbind: &mut Vec<Option<VertexId>>,
+        ebind: &mut Vec<Option<EdgeId>>,
+        on_match: &mut impl FnMut(&Binding) -> bool,
+    ) -> bool {
+        if depth == order.len() {
+            // all vertices bound; all edges were bound along the way
+            let binding = self.to_binding(vbind, ebind);
+            return on_match(&binding);
+        }
+        let pv_idx = order[depth];
+        let pv = &self.vertices[pv_idx];
+
+        // candidate vertices: through an already-bound neighbour when
+        // possible, else full scan
+        let anchor = self.edges.iter().enumerate().find(|(ei, e)| {
+            ebind[*ei].is_none()
+                && ((e.from == pv_idx && vbind[e.to].is_some())
+                    || (e.to == pv_idx && vbind[e.from].is_some()))
+        });
+
+        let candidates: Vec<VertexId> = match anchor {
+            Some((_, e)) => {
+                let (bound_idx, from_side) = if e.from == pv_idx {
+                    (e.to, false)
+                } else {
+                    (e.from, true)
+                };
+                let bound_v = vbind[bound_idx].expect("anchor bound");
+                // direction as seen from the bound vertex
+                let dir = match (e.direction, from_side) {
+                    (Direction::Any, _) => Direction::Any,
+                    (Direction::Out, true) => Direction::Out, // bound is `from`
+                    (Direction::Out, false) => Direction::In, // bound is `to`
+                    (Direction::In, true) => Direction::In,
+                    (Direction::In, false) => Direction::Out,
+                };
+                let mut cs: Vec<VertexId> = match dir {
+                    Direction::Out => g.neighbors_out(bound_v).map(|(_, v)| v).collect(),
+                    Direction::In => g.neighbors_in(bound_v).map(|(_, v)| v).collect(),
+                    Direction::Any => g.neighbors(bound_v).map(|(_, v)| v).collect(),
+                };
+                cs.sort_unstable();
+                cs.dedup();
+                cs
+            }
+            // unanchored: seed from the label index when the pattern
+            // vertex is labelled, else the full vertex scan
+            None => match pv.labels.first() {
+                Some(l) => g.vertex_ids_with_label(l.as_str()),
+                None => g.vertex_ids().collect(),
+            },
+        };
+
+        for cand in candidates {
+            let Ok(vdata) = g.vertex(cand) else { continue };
+            if !self.vertex_ok(pv, vdata) {
+                continue;
+            }
+            if self.distinct_vertices && vbind.iter().flatten().any(|&b| b == cand) {
+                continue;
+            }
+            vbind[pv_idx] = Some(cand);
+            // bind every pattern edge whose endpoints are now both bound
+            if self.bind_edges(g, vbind, ebind, pv_idx, |vb, eb| {
+                self.backtrack(g, order, depth + 1, vb, eb, on_match)
+            }) {
+                vbind[pv_idx] = None;
+            } else {
+                vbind[pv_idx] = None;
+                return false; // stop requested
+            }
+        }
+        true
+    }
+
+    /// Binds all unbound pattern edges with both endpoints bound,
+    /// enumerating graph-edge choices; calls `cont` for each complete
+    /// assignment. Returns `false` if `cont` requested stop.
+    fn bind_edges(
+        &self,
+        g: &TemporalGraph,
+        vbind: &mut Vec<Option<VertexId>>,
+        ebind: &mut Vec<Option<EdgeId>>,
+        _just_bound: usize,
+        mut cont: impl FnMut(&mut Vec<Option<VertexId>>, &mut Vec<Option<EdgeId>>) -> bool,
+    ) -> bool {
+        let pending: Vec<usize> = (0..self.edges.len())
+            .filter(|&ei| {
+                ebind[ei].is_none()
+                    && vbind[self.edges[ei].from].is_some()
+                    && vbind[self.edges[ei].to].is_some()
+            })
+            .collect();
+        self.bind_edges_rec(g, &pending, 0, vbind, ebind, &mut cont)
+    }
+
+    fn bind_edges_rec(
+        &self,
+        g: &TemporalGraph,
+        pending: &[usize],
+        k: usize,
+        vbind: &mut Vec<Option<VertexId>>,
+        ebind: &mut Vec<Option<EdgeId>>,
+        cont: &mut impl FnMut(&mut Vec<Option<VertexId>>, &mut Vec<Option<EdgeId>>) -> bool,
+    ) -> bool {
+        if k == pending.len() {
+            return cont(vbind, ebind);
+        }
+        let ei = pending[k];
+        let pe = &self.edges[ei];
+        let from_v = vbind[pe.from].expect("bound");
+        let to_v = vbind[pe.to].expect("bound");
+
+        // enumerate graph edges between from_v and to_v honouring direction
+        let candidates: Vec<EdgeId> = g
+            .incident_edges(from_v)
+            .filter(|e| {
+                let fwd = e.src == from_v && e.dst == to_v;
+                let bwd = e.src == to_v && e.dst == from_v;
+                match pe.direction {
+                    Direction::Out => fwd,
+                    Direction::In => bwd,
+                    Direction::Any => fwd || bwd,
+                }
+            })
+            .filter(|e| self.edge_ok(pe, e))
+            .map(|e| e.id)
+            .collect();
+
+        for ce in candidates {
+            // Cypher semantics: edges are used at most once per match
+            if ebind.iter().flatten().any(|&b| b == ce) {
+                continue;
+            }
+            ebind[ei] = Some(ce);
+            let keep_going = self.bind_edges_rec(g, pending, k + 1, vbind, ebind, cont);
+            ebind[ei] = None;
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn to_binding(&self, vbind: &[Option<VertexId>], ebind: &[Option<EdgeId>]) -> Binding {
+        let mut b = Binding::default();
+        for (pv, bound) in self.vertices.iter().zip(vbind) {
+            if let Some(v) = bound {
+                b.vertices.insert(pv.var.clone(), *v);
+            }
+        }
+        for (pe, bound) in self.edges.iter().zip(ebind) {
+            if let (Some(var), Some(e)) = (&pe.var, bound) {
+                b.edges.insert(var.clone(), *e);
+            }
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::{props, Interval};
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    /// user1 -USES-> card1 -TX{amount}-> m1/m2 ; user2 -USES-> card2 -TX-> m1
+    fn fraud_graph() -> (TemporalGraph, HashMap<&'static str, VertexId>) {
+        let mut g = TemporalGraph::new();
+        let u1 = g.add_vertex(["User"], props! {"name" => "user1"});
+        let u2 = g.add_vertex(["User"], props! {"name" => "user2"});
+        let c1 = g.add_vertex(["CreditCard"], props! {"num" => "c1"});
+        let c2 = g.add_vertex(["CreditCard"], props! {"num" => "c2"});
+        let m1 = g.add_vertex(["Merchant"], props! {"name" => "m1"});
+        let m2 = g.add_vertex(["Merchant"], props! {"name" => "m2"});
+        g.add_edge(u1, c1, ["USES"], props! {}).unwrap();
+        g.add_edge(u2, c2, ["USES"], props! {}).unwrap();
+        g.add_edge(c1, m1, ["TX"], props! {"amount" => 1500.0}).unwrap();
+        g.add_edge(c1, m2, ["TX"], props! {"amount" => 2000.0}).unwrap();
+        g.add_edge(c2, m1, ["TX"], props! {"amount" => 30.0}).unwrap();
+        let mut ids = HashMap::new();
+        ids.insert("u1", u1);
+        ids.insert("u2", u2);
+        ids.insert("c1", c1);
+        ids.insert("c2", c2);
+        ids.insert("m1", m1);
+        ids.insert("m2", m2);
+        (g, ids)
+    }
+
+    #[test]
+    fn single_vertex_pattern() {
+        let (g, _) = fraud_graph();
+        let mut p = Pattern::new();
+        p.vertex("u", ["User"]);
+        assert_eq!(p.find_all(&g).len(), 2);
+        let mut p = Pattern::new();
+        p.vertex("x", ["Nothing"]);
+        assert!(p.find_all(&g).is_empty());
+    }
+
+    #[test]
+    fn listing1_style_high_amount_tx() {
+        // MATCH (u:User)-[:USES]->(c:CreditCard)-[t:TX WHERE t.amount>1000]->(m:Merchant)
+        let (g, ids) = fraud_graph();
+        let mut p = Pattern::new();
+        let u = p.vertex("u", ["User"]);
+        let c = p.vertex("c", ["CreditCard"]);
+        let m = p.vertex("m", ["Merchant"]);
+        p.edge(None, u, c, ["USES"], Direction::Out);
+        let tx = p.edge(Some("t"), c, m, ["TX"], Direction::Out);
+        p.edge_pred(tx, PropPredicate::new("amount", CmpOp::Gt, 1000.0));
+        let matches = p.find_all(&g);
+        assert_eq!(matches.len(), 2, "two high-amount transactions, both by user1");
+        for b in &matches {
+            assert_eq!(b.vertices["u"], ids["u1"]);
+            assert!(b.edges.contains_key("t"));
+        }
+    }
+
+    #[test]
+    fn vertex_predicate() {
+        let (g, ids) = fraud_graph();
+        let mut p = Pattern::new();
+        let u = p.vertex("u", ["User"]);
+        p.vertex_pred(u, PropPredicate::new("name", CmpOp::Eq, "user2"));
+        let matches = p.find_all(&g);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].vertices["u"], ids["u2"]);
+    }
+
+    #[test]
+    fn direction_constraints() {
+        let (g, ids) = fraud_graph();
+        // merchants reached FROM cards: (m)<-[:TX]-(c)
+        let mut p = Pattern::new();
+        let m = p.vertex("m", ["Merchant"]);
+        let c = p.vertex("c", ["CreditCard"]);
+        p.edge(None, m, c, ["TX"], Direction::In);
+        let ms: Vec<VertexId> = p.find_all(&g).iter().map(|b| b.vertices["m"]).collect();
+        assert_eq!(ms.len(), 3);
+        assert!(ms.contains(&ids["m1"]) && ms.contains(&ids["m2"]));
+        // wrong direction yields nothing
+        let mut p = Pattern::new();
+        let m = p.vertex("m", ["Merchant"]);
+        let c = p.vertex("c", ["CreditCard"]);
+        p.edge(None, m, c, ["TX"], Direction::Out);
+        assert!(p.find_all(&g).is_empty());
+        // Any matches regardless
+        let mut p = Pattern::new();
+        let m = p.vertex("m", ["Merchant"]);
+        let c = p.vertex("c", ["CreditCard"]);
+        p.edge(None, m, c, ["TX"], Direction::Any);
+        assert_eq!(p.find_all(&g).len(), 3);
+    }
+
+    #[test]
+    fn edge_uniqueness_cypher_semantics() {
+        // pattern (a)-[e1]->(b), (a)-[e2]->(c): e1 != e2 enforced, so a card
+        // with two TX edges yields exactly the 2 ordered pairs
+        let (g, ids) = fraud_graph();
+        let mut p = Pattern::new();
+        let c = p.vertex("c", ["CreditCard"]);
+        let m1 = p.vertex("m1", ["Merchant"]);
+        let m2 = p.vertex("m2", ["Merchant"]);
+        p.edge(Some("t1"), c, m1, ["TX"], Direction::Out);
+        p.edge(Some("t2"), c, m2, ["TX"], Direction::Out);
+        let matches = p.find_all(&g);
+        // only card1 has two TX edges; ordered pairs (m1,m2) and (m2,m1)
+        assert_eq!(matches.len(), 2);
+        for b in &matches {
+            assert_eq!(b.vertices["c"], ids["c1"]);
+            assert_ne!(b.edges["t1"], b.edges["t2"]);
+        }
+    }
+
+    #[test]
+    fn distinct_vertices_flag() {
+        let (g, _) = fraud_graph();
+        // (a:Merchant), (b:Merchant) without edges: homomorphic gives 4
+        let mut p = Pattern::new();
+        p.vertex("a", ["Merchant"]);
+        p.vertex("b", ["Merchant"]);
+        assert_eq!(p.find_all(&g).len(), 4);
+        p.distinct_vertices(true);
+        assert_eq!(p.find_all(&g).len(), 2);
+    }
+
+    #[test]
+    fn temporal_pattern_matching() {
+        let mut g = TemporalGraph::new();
+        let a = g.add_vertex_valid(["N"], props! {}, Interval::new(ts(0), ts(100)));
+        let b = g.add_vertex(["N"], props! {});
+        g.add_edge_valid(a, b, ["E"], props! {}, Interval::new(ts(0), ts(50)))
+            .unwrap();
+        let mut p = Pattern::new();
+        let x = p.vertex("x", ["N"]);
+        let y = p.vertex("y", ["N"]);
+        p.edge(None, x, y, ["E"], Direction::Out);
+        p.valid_at(ts(25));
+        assert_eq!(p.find_all(&g).len(), 1);
+        p.valid_at(ts(75));
+        assert!(p.find_all(&g).is_empty(), "edge expired at t=50");
+    }
+
+    #[test]
+    fn early_stop() {
+        let (g, _) = fraud_graph();
+        let mut p = Pattern::new();
+        p.vertex("u", ["User"]);
+        let mut count = 0;
+        p.find(&g, |_| {
+            count += 1;
+            false // stop after first
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn multi_hop_path_pattern() {
+        // (u:User)-[:USES]->(c)-[:TX]->(m:Merchant {name=m1})
+        let (g, ids) = fraud_graph();
+        let mut p = Pattern::new();
+        let u = p.vertex("u", ["User"]);
+        let c = p.vertex("c", ["CreditCard"]);
+        let m = p.vertex("m", ["Merchant"]);
+        p.vertex_pred(m, PropPredicate::new("name", CmpOp::Eq, "m1"));
+        p.edge(None, u, c, ["USES"], Direction::Out);
+        p.edge(None, c, m, ["TX"], Direction::Out);
+        let matches = p.find_all(&g);
+        let users: Vec<VertexId> = matches.iter().map(|b| b.vertices["u"]).collect();
+        assert_eq!(users.len(), 2, "both users transact with m1");
+        assert!(users.contains(&ids["u1"]) && users.contains(&ids["u2"]));
+    }
+
+    #[test]
+    fn cmp_op_eval() {
+        use CmpOp::*;
+        assert!(Eq.eval(&Value::Int(1), &Value::Float(1.0)));
+        assert!(Ne.eval(&Value::Int(1), &Value::Int(2)));
+        assert!(Lt.eval(&Value::Int(1), &Value::Int(2)));
+        assert!(Ge.eval(&Value::Float(2.0), &Value::Int(2)));
+        assert!(!Eq.eval(&Value::Null, &Value::Null), "null never matches");
+        assert!(!Gt.eval(&Value::Null, &Value::Int(0)));
+    }
+}

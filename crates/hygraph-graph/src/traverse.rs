@@ -1,0 +1,436 @@
+//! Traversal and reachability (Table 2, row Q3 — graph side).
+//!
+//! Static BFS/DFS/Dijkstra plus *temporal reachability*: time-respecting
+//! paths in the sense of Wu et al. (PVLDB 2014), where consecutive edges
+//! must be traversed at non-decreasing times within each edge's validity.
+
+use crate::graph::TemporalGraph;
+use hygraph_types::{EdgeId, Interval, Timestamp, VertexId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Edge direction to follow during traversal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Follow {
+    /// Only outgoing edges.
+    Out,
+    /// Only incoming edges.
+    In,
+    /// Both directions (undirected view).
+    Both,
+}
+
+fn next_hops<'a>(
+    g: &'a TemporalGraph,
+    v: VertexId,
+    follow: Follow,
+) -> Box<dyn Iterator<Item = (&'a crate::graph::EdgeData, VertexId)> + 'a> {
+    match follow {
+        Follow::Out => Box::new(g.neighbors_out(v)),
+        Follow::In => Box::new(g.neighbors_in(v)),
+        Follow::Both => Box::new(g.neighbors(v)),
+    }
+}
+
+/// Breadth-first search from `start`; returns hop distances for every
+/// reached vertex.
+pub fn bfs(g: &TemporalGraph, start: VertexId, follow: Follow) -> HashMap<VertexId, usize> {
+    let mut dist = HashMap::new();
+    if !g.contains_vertex(start) {
+        return dist;
+    }
+    dist.insert(start, 0);
+    let mut queue = VecDeque::from([start]);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[&v];
+        for (_, n) in next_hops(g, v, follow) {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(n) {
+                e.insert(d + 1);
+                queue.push_back(n);
+            }
+        }
+    }
+    dist
+}
+
+/// Depth-first pre-order from `start`.
+pub fn dfs_order(g: &TemporalGraph, start: VertexId, follow: Follow) -> Vec<VertexId> {
+    let mut seen = HashMap::new();
+    let mut order = Vec::new();
+    if !g.contains_vertex(start) {
+        return order;
+    }
+    let mut stack = vec![start];
+    while let Some(v) = stack.pop() {
+        if seen.insert(v, ()).is_some() {
+            continue;
+        }
+        order.push(v);
+        // push in reverse so lower-id neighbours are visited first
+        let mut hop: Vec<VertexId> = next_hops(g, v, follow).map(|(_, n)| n).collect();
+        hop.sort_unstable();
+        for n in hop.into_iter().rev() {
+            if !seen.contains_key(&n) {
+                stack.push(n);
+            }
+        }
+    }
+    order
+}
+
+/// Whether `target` is reachable from `start`.
+pub fn reachable(g: &TemporalGraph, start: VertexId, target: VertexId, follow: Follow) -> bool {
+    if start == target {
+        return g.contains_vertex(start);
+    }
+    bfs(g, start, follow).contains_key(&target)
+}
+
+/// Vertices within `k` hops of `start` (excluding `start` itself when
+/// `k > 0`; always including it in the returned map with distance 0).
+pub fn k_hop(g: &TemporalGraph, start: VertexId, k: usize, follow: Follow) -> HashMap<VertexId, usize> {
+    let mut dist = HashMap::new();
+    if !g.contains_vertex(start) {
+        return dist;
+    }
+    dist.insert(start, 0);
+    let mut queue = VecDeque::from([start]);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[&v];
+        if d == k {
+            continue;
+        }
+        for (_, n) in next_hops(g, v, follow) {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(n) {
+                e.insert(d + 1);
+                queue.push_back(n);
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest weighted path from `start` to every reachable vertex, with
+/// edge weights from `weight` (must be non-negative; edges yielding
+/// `None` are skipped). Returns `(cost, predecessor-edge)` per vertex.
+pub fn dijkstra(
+    g: &TemporalGraph,
+    start: VertexId,
+    follow: Follow,
+    mut weight: impl FnMut(&crate::graph::EdgeData) -> Option<f64>,
+) -> HashMap<VertexId, (f64, Option<EdgeId>)> {
+    let mut best: HashMap<VertexId, (f64, Option<EdgeId>)> = HashMap::new();
+    if !g.contains_vertex(start) {
+        return best;
+    }
+    // f64 keys via ordered bits; costs are non-negative
+    let mut heap: BinaryHeap<Reverse<(u64, VertexId)>> = BinaryHeap::new();
+    best.insert(start, (0.0, None));
+    heap.push(Reverse((0u64, start)));
+    while let Some(Reverse((dbits, v))) = heap.pop() {
+        let d = f64::from_bits(dbits);
+        if best.get(&v).is_none_or(|&(bd, _)| d > bd) {
+            continue;
+        }
+        for (e, n) in next_hops(g, v, follow) {
+            let Some(w) = weight(e) else { continue };
+            debug_assert!(w >= 0.0, "dijkstra requires non-negative weights");
+            let nd = d + w;
+            if best.get(&n).is_none_or(|&(bd, _)| nd < bd) {
+                best.insert(n, (nd, Some(e.id)));
+                heap.push(Reverse((nd.to_bits(), n)));
+            }
+        }
+    }
+    best
+}
+
+/// Reconstructs the vertex path to `target` from a [`dijkstra`] result.
+pub fn path_to(
+    g: &TemporalGraph,
+    result: &HashMap<VertexId, (f64, Option<EdgeId>)>,
+    target: VertexId,
+) -> Option<Vec<VertexId>> {
+    let mut path = vec![target];
+    let mut cur = target;
+    loop {
+        let &(_, pred) = result.get(&cur)?;
+        match pred {
+            None => break,
+            Some(e) => {
+                let edge = g.edge(e).ok()?;
+                cur = if edge.dst == cur { edge.src } else { edge.dst };
+                path.push(cur);
+            }
+        }
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Earliest-arrival temporal reachability: starting at `start` no earlier
+/// than `window.start`, following outgoing edges whose validity contains
+/// the traversal instant, with non-decreasing traversal times bounded by
+/// `window.end`. An edge is traversed at `max(arrival_at_src,
+/// edge.validity.start)` and must satisfy `traversal < edge.validity.end`.
+///
+/// Returns the earliest arrival time at every temporally reachable vertex.
+pub fn temporal_reachability(
+    g: &TemporalGraph,
+    start: VertexId,
+    window: &Interval,
+) -> HashMap<VertexId, Timestamp> {
+    let mut arrival: HashMap<VertexId, Timestamp> = HashMap::new();
+    if !g.contains_vertex(start) {
+        return arrival;
+    }
+    arrival.insert(start, window.start);
+    // Dijkstra-like on arrival times
+    let mut heap: BinaryHeap<Reverse<(Timestamp, VertexId)>> = BinaryHeap::new();
+    heap.push(Reverse((window.start, start)));
+    while let Some(Reverse((at, v))) = heap.pop() {
+        if arrival.get(&v).is_some_and(|&best| at > best) {
+            continue;
+        }
+        for (e, n) in g.neighbors_out(v) {
+            // traverse as early as possible but not before arriving
+            let depart = if e.validity.start > at { e.validity.start } else { at };
+            if depart >= e.validity.end || depart >= window.end {
+                continue;
+            }
+            if arrival.get(&n).is_none_or(|&best| depart < best) {
+                arrival.insert(n, depart);
+                heap.push(Reverse((depart, n)));
+            }
+        }
+    }
+    arrival
+}
+
+
+/// Earliest-arrival (foremost) temporal path reconstruction: like
+/// [`temporal_reachability`], but also records predecessor edges so the
+/// actual time-respecting path to `target` can be returned.
+///
+/// Returns `(arrival_time, path)` where the path lists
+/// `(edge, traversal_time)` hops from `start` to `target`, or `None`
+/// when `target` is not temporally reachable inside `window`.
+pub fn temporal_path(
+    g: &TemporalGraph,
+    start: VertexId,
+    target: VertexId,
+    window: &Interval,
+) -> Option<(Timestamp, Vec<(EdgeId, Timestamp)>)> {
+    if !g.contains_vertex(start) {
+        return None;
+    }
+    let mut arrival: HashMap<VertexId, Timestamp> = HashMap::new();
+    let mut pred: HashMap<VertexId, (VertexId, EdgeId, Timestamp)> = HashMap::new();
+    arrival.insert(start, window.start);
+    let mut heap: BinaryHeap<Reverse<(Timestamp, VertexId)>> = BinaryHeap::new();
+    heap.push(Reverse((window.start, start)));
+    while let Some(Reverse((at, v))) = heap.pop() {
+        if arrival.get(&v).is_some_and(|&best| at > best) {
+            continue;
+        }
+        if v == target {
+            break; // earliest arrival fixed
+        }
+        for (e, n) in g.neighbors_out(v) {
+            let depart = if e.validity.start > at { e.validity.start } else { at };
+            if depart >= e.validity.end || depart >= window.end {
+                continue;
+            }
+            if arrival.get(&n).is_none_or(|&best| depart < best) {
+                arrival.insert(n, depart);
+                pred.insert(n, (v, e.id, depart));
+                heap.push(Reverse((depart, n)));
+            }
+        }
+    }
+    let &arr = arrival.get(&target)?;
+    // backtrack
+    let mut path = Vec::new();
+    let mut cur = target;
+    while cur != start {
+        let &(prev, edge, t) = pred.get(&cur)?;
+        path.push((edge, t));
+        cur = prev;
+    }
+    path.reverse();
+    Some((arr, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::props;
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    /// Path a -> b -> c -> d plus shortcut a -> d (weight 10).
+    fn weighted_path() -> (TemporalGraph, [VertexId; 4]) {
+        let mut g = TemporalGraph::new();
+        let a = g.add_vertex(["N"], props! {});
+        let b = g.add_vertex(["N"], props! {});
+        let c = g.add_vertex(["N"], props! {});
+        let d = g.add_vertex(["N"], props! {});
+        g.add_edge(a, b, ["E"], props! {"w" => 1.0}).unwrap();
+        g.add_edge(b, c, ["E"], props! {"w" => 1.0}).unwrap();
+        g.add_edge(c, d, ["E"], props! {"w" => 1.0}).unwrap();
+        g.add_edge(a, d, ["E"], props! {"w" => 10.0}).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn bfs_distances() {
+        let (g, [a, b, c, d]) = weighted_path();
+        let dist = bfs(&g, a, Follow::Out);
+        assert_eq!(dist[&a], 0);
+        assert_eq!(dist[&b], 1);
+        assert_eq!(dist[&c], 2);
+        assert_eq!(dist[&d], 1, "shortcut wins in hops");
+        // reverse direction finds nothing from a
+        let dist = bfs(&g, a, Follow::In);
+        assert_eq!(dist.len(), 1);
+        // undirected reaches everything from c
+        let dist = bfs(&g, c, Follow::Both);
+        assert_eq!(dist.len(), 4);
+    }
+
+    #[test]
+    fn bfs_missing_start() {
+        let (g, _) = weighted_path();
+        assert!(bfs(&g, VertexId::new(99), Follow::Out).is_empty());
+    }
+
+    #[test]
+    fn dfs_preorder_deterministic() {
+        let (g, [a, b, c, d]) = weighted_path();
+        let order = dfs_order(&g, a, Follow::Out);
+        assert_eq!(order, vec![a, b, c, d], "lower-id neighbours first");
+    }
+
+    #[test]
+    fn reachability() {
+        let (g, [a, _, _, d]) = weighted_path();
+        assert!(reachable(&g, a, d, Follow::Out));
+        assert!(!reachable(&g, d, a, Follow::Out));
+        assert!(reachable(&g, d, a, Follow::Both));
+        assert!(reachable(&g, a, a, Follow::Out));
+        assert!(!reachable(&g, VertexId::new(99), a, Follow::Out));
+    }
+
+    #[test]
+    fn k_hop_bounded() {
+        let (g, [a, b, c, d]) = weighted_path();
+        let one = k_hop(&g, a, 1, Follow::Out);
+        assert_eq!(one.len(), 3); // a, b, d
+        assert!(one.contains_key(&b) && one.contains_key(&d));
+        assert!(!one.contains_key(&c));
+        let zero = k_hop(&g, a, 0, Follow::Out);
+        assert_eq!(zero.len(), 1);
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_path() {
+        let (g, [a, _, _, d]) = weighted_path();
+        let res = dijkstra(&g, a, Follow::Out, |e| {
+            e.props.static_value("w").and_then(|v| v.as_f64())
+        });
+        let (cost, _) = res[&d];
+        assert_eq!(cost, 3.0, "a->b->c->d beats the weight-10 shortcut");
+        let path = path_to(&g, &res, d).unwrap();
+        assert_eq!(path.len(), 4);
+        assert_eq!(path[0], a);
+        assert_eq!(path[3], d);
+    }
+
+    #[test]
+    fn dijkstra_skips_none_weights() {
+        let (g, [a, b, _, d]) = weighted_path();
+        // only the heavy shortcut is usable
+        let res = dijkstra(&g, a, Follow::Out, |e| {
+            let w = e.props.static_value("w").and_then(|v| v.as_f64())?;
+            (w > 5.0).then_some(w)
+        });
+        assert_eq!(res[&d].0, 10.0);
+        assert!(!res.contains_key(&b));
+    }
+
+    #[test]
+    fn temporal_reachability_respects_time() {
+        // a -[valid 0..10]-> b -[valid 20..30]-> c : reachable (wait at b)
+        // a -[valid 0..10]-> d via edge valid 0..5 only when departing early
+        let mut g = TemporalGraph::new();
+        let a = g.add_vertex(["N"], props! {});
+        let b = g.add_vertex(["N"], props! {});
+        let c = g.add_vertex(["N"], props! {});
+        let d = g.add_vertex(["N"], props! {});
+        g.add_edge_valid(a, b, ["E"], props! {}, Interval::new(ts(0), ts(10)))
+            .unwrap();
+        g.add_edge_valid(b, c, ["E"], props! {}, Interval::new(ts(20), ts(30)))
+            .unwrap();
+        // c -> d valid only BEFORE we can arrive at c: not time-respecting
+        g.add_edge_valid(c, d, ["E"], props! {}, Interval::new(ts(0), ts(15)))
+            .unwrap();
+        let arr = temporal_reachability(&g, a, &Interval::new(ts(0), ts(100)));
+        assert_eq!(arr[&a], ts(0));
+        assert_eq!(arr[&b], ts(0), "depart immediately");
+        assert_eq!(arr[&c], ts(20), "wait at b until the edge opens");
+        assert!(!arr.contains_key(&d), "edge to d expired before arrival");
+    }
+
+    #[test]
+    fn temporal_path_reconstruction() {
+        // a -> b (valid 0..10), b -> c (valid 20..30); direct a -> c via a
+        // late slow edge (valid 50..60)
+        let mut g = TemporalGraph::new();
+        let a = g.add_vertex(["N"], props! {});
+        let b = g.add_vertex(["N"], props! {});
+        let c = g.add_vertex(["N"], props! {});
+        let e1 = g
+            .add_edge_valid(a, b, ["E"], props! {}, Interval::new(ts(0), ts(10)))
+            .unwrap();
+        let e2 = g
+            .add_edge_valid(b, c, ["E"], props! {}, Interval::new(ts(20), ts(30)))
+            .unwrap();
+        let _late = g
+            .add_edge_valid(a, c, ["E"], props! {}, Interval::new(ts(50), ts(60)))
+            .unwrap();
+        let (arr, path) = temporal_path(&g, a, c, &Interval::new(ts(0), ts(100))).unwrap();
+        assert_eq!(arr, ts(20), "waiting path beats the late direct edge");
+        assert_eq!(
+            path,
+            vec![(e1, ts(0)), (e2, ts(20))],
+            "hops with traversal times"
+        );
+        // unreachable target
+        let d = g.add_vertex(["N"], props! {});
+        assert!(temporal_path(&g, a, d, &Interval::new(ts(0), ts(100))).is_none());
+        // start == target: empty path
+        let (arr, path) = temporal_path(&g, a, a, &Interval::new(ts(5), ts(100))).unwrap();
+        assert_eq!(arr, ts(5));
+        assert!(path.is_empty());
+    }
+
+    #[test]
+    fn temporal_reachability_window_bounds() {
+        let mut g = TemporalGraph::new();
+        let a = g.add_vertex(["N"], props! {});
+        let b = g.add_vertex(["N"], props! {});
+        g.add_edge_valid(a, b, ["E"], props! {}, Interval::new(ts(50), ts(60)))
+            .unwrap();
+        // window ends before the edge opens
+        let arr = temporal_reachability(&g, a, &Interval::new(ts(0), ts(40)));
+        assert!(!arr.contains_key(&b));
+        // window starts after the edge closed
+        let arr = temporal_reachability(&g, a, &Interval::new(ts(70), ts(100)));
+        assert!(!arr.contains_key(&b));
+        // window covers it
+        let arr = temporal_reachability(&g, a, &Interval::new(ts(0), ts(100)));
+        assert_eq!(arr[&b], ts(50));
+    }
+}

@@ -1,0 +1,355 @@
+//! The roadmap's four hybrid operators (paper §6, "Querying HyGraph").
+//!
+//! * **Q1 [`hybrid_match`]** — "matches specific temporal patterns with
+//!   corresponding structural patterns": a structural [`Pattern`] plus a
+//!   subsequence-shape constraint on the series of one bound variable.
+//! * **Q2 [`hybrid_aggregate`]** — "summarises and aggregates graph
+//!   elements and adjusts the frequency of associated time series":
+//!   label-grouping of the topology with per-group downsampled series.
+//! * **Q3 [`correlation_reachability`]** — "measures the correlation
+//!   between time-series data of vertices to enhance reachability":
+//!   reachability where an edge is traversable only when its endpoint
+//!   series correlate above a threshold.
+//! * **Q4 [`segmentation_snapshots`]** — "creates graph snapshots at
+//!   significant time intervals identified through time series
+//!   segmentation": PELT changepoints on a driver series become snapshot
+//!   instants.
+
+use hygraph_core::{ElementKind, ElementRef, HyGraph};
+use hygraph_graph::pattern::Binding;
+use hygraph_graph::{snapshot, Pattern, TemporalGraph};
+use hygraph_ts::ops::{correlate, downsample, segment, subsequence};
+use hygraph_ts::TimeSeries;
+use hygraph_types::{Duration, Result, SeriesId, Timestamp, VertexId};
+use std::collections::{HashMap, VecDeque};
+
+/// The first univariate series associated with a vertex: δ for a
+/// ts-vertex, else the first series-valued property of a pg-vertex.
+pub fn vertex_series(hg: &HyGraph, v: VertexId) -> Option<TimeSeries> {
+    let sid = vertex_series_id(hg, v)?;
+    let ms = hg.series(sid).ok()?;
+    let name = ms.names().first()?.clone();
+    ms.to_univariate(&name)
+}
+
+/// The series id associated with a vertex (see [`vertex_series`]).
+pub fn vertex_series_id(hg: &HyGraph, v: VertexId) -> Option<SeriesId> {
+    match hg.vertex_kind(v).ok()? {
+        ElementKind::Ts => hg.delta_id(ElementRef::Vertex(v)).ok(),
+        ElementKind::Pg => {
+            let props = hg.props(ElementRef::Vertex(v)).ok()?;
+            props.series_entries().next().map(|(_, sid)| sid)
+        }
+    }
+}
+
+/// A hybrid structural + temporal pattern (operator Q1).
+pub struct HybridMatchSpec {
+    /// The structural pattern.
+    pub pattern: Pattern,
+    /// The bound vertex variable whose series must contain the shape.
+    pub series_var: String,
+    /// The temporal shape to find (z-normalised matching).
+    pub shape: Vec<f64>,
+    /// Maximum z-normalised Euclidean distance for a shape hit.
+    pub max_dist: f64,
+}
+
+/// One hybrid match: the structural binding plus the best temporal hit.
+pub struct HybridMatch {
+    /// Structural variable bindings.
+    pub binding: Binding,
+    /// Offset/time/distance of the best shape occurrence.
+    pub shape_match: subsequence::Match,
+}
+
+/// Operator Q1: structural matches whose `series_var` series contains
+/// the spec's temporal shape.
+pub fn hybrid_match(hg: &HyGraph, spec: &HybridMatchSpec) -> Vec<HybridMatch> {
+    let mut out = Vec::new();
+    spec.pattern.find(hg.topology(), |binding| {
+        let Some(&v) = binding.vertices.get(&spec.series_var) else {
+            return true;
+        };
+        let Some(series) = vertex_series(hg, v) else {
+            return true;
+        };
+        if let Some(m) = subsequence::best_match(&series, &spec.shape) {
+            if m.distance <= spec.max_dist {
+                out.push(HybridMatch {
+                    binding: binding.clone(),
+                    shape_match: m,
+                });
+            }
+        }
+        true
+    });
+    out
+}
+
+/// Result of operator Q2: the label-grouped summary graph plus one
+/// downsampled aggregate series per group.
+pub struct HybridAggregate {
+    /// The structural grouping (super-vertices/super-edges).
+    pub grouped: hygraph_graph::aggregate::GroupedGraph,
+    /// Per group key: the mean of member series, downsampled to `bucket`.
+    pub group_series: HashMap<String, TimeSeries>,
+}
+
+/// Operator Q2: groups vertices by label and produces one
+/// `bucket`-granularity mean series per group, averaging over every
+/// member's associated series.
+pub fn hybrid_aggregate(hg: &HyGraph, bucket: Duration) -> HybridAggregate {
+    let g = hg.topology();
+    let grouped =
+        hygraph_graph::aggregate::group_by(g, hygraph_graph::aggregate::GroupBy::Labels, &[]);
+    let mut acc: HashMap<String, (TimeSeries, TimeSeries)> = HashMap::new(); // (sum, count)
+    for v in g.vertex_ids() {
+        let Some(series) = vertex_series(hg, v) else {
+            continue;
+        };
+        let down = downsample::bucket_mean(&series, bucket);
+        let Some(&group_v) = grouped.membership.get(&v) else {
+            continue;
+        };
+        let key = grouped.group_keys[&group_v].clone();
+        let entry = acc
+            .entry(key)
+            .or_insert_with(|| (TimeSeries::new(), TimeSeries::new()));
+        for (t, x) in down.iter() {
+            let cur = entry.0.value_at(t).unwrap_or(0.0);
+            entry.0.upsert(t, cur + x);
+            let n = entry.1.value_at(t).unwrap_or(0.0);
+            entry.1.upsert(t, n + 1.0);
+        }
+    }
+    let group_series = acc
+        .into_iter()
+        .map(|(k, (sum, count))| {
+            let mean = TimeSeries::from_pairs(
+                sum.iter()
+                    .zip(count.iter())
+                    .map(|((t, s), (_, n))| (t, s / n)),
+            );
+            (k, mean)
+        })
+        .collect();
+    HybridAggregate {
+        grouped,
+        group_series,
+    }
+}
+
+/// Operator Q3: vertices reachable from `from` through edges whose
+/// endpoint series correlate at least `min_corr` (Pearson after linear
+/// alignment to `step`). Returns `(vertex, correlation-with-predecessor)`
+/// pairs; the start maps to correlation 1.
+pub fn correlation_reachability(
+    hg: &HyGraph,
+    from: VertexId,
+    step: Duration,
+    min_corr: f64,
+) -> Vec<(VertexId, f64)> {
+    let g = hg.topology();
+    let mut out: Vec<(VertexId, f64)> = Vec::new();
+    let Some(start_series) = vertex_series(hg, from) else {
+        return out;
+    };
+    let mut seen: HashMap<VertexId, f64> = HashMap::new();
+    seen.insert(from, 1.0);
+    out.push((from, 1.0));
+    let mut queue: VecDeque<(VertexId, TimeSeries)> = VecDeque::new();
+    queue.push_back((from, start_series));
+    while let Some((v, v_series)) = queue.pop_front() {
+        for (_, n) in g.neighbors(v) {
+            if seen.contains_key(&n) {
+                continue;
+            }
+            let Some(n_series) = vertex_series(hg, n) else {
+                continue;
+            };
+            let Some(r) = correlate::series_correlation(&v_series, &n_series, step) else {
+                continue;
+            };
+            if r >= min_corr {
+                seen.insert(n, r);
+                out.push((n, r));
+                queue.push_back((n, n_series));
+            }
+        }
+    }
+    out.sort_by_key(|&(v, _)| v);
+    out
+}
+
+/// Operator Q4: segments `driver` (PELT, optional penalty override) and
+/// snapshots the topology at each segment boundary. Returns
+/// `(boundary, snapshot)` pairs.
+pub fn segmentation_snapshots(
+    hg: &HyGraph,
+    driver: &TimeSeries,
+    penalty: Option<f64>,
+) -> Result<Vec<(Timestamp, TemporalGraph)>> {
+    let segments = segment::pelt(driver, penalty);
+    let boundaries = segment::boundaries(&segments);
+    Ok(boundaries
+        .into_iter()
+        .map(|t| (t, snapshot::snapshot(hg.topology(), t)))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_graph::Direction;
+    use hygraph_types::{props, Interval};
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn bump_series(offset: usize) -> TimeSeries {
+        TimeSeries::generate(ts(0), Duration::from_millis(1), 200, move |i| {
+            let x = i as f64 - offset as f64;
+            (-(x * x) / 50.0).exp() * 10.0
+        })
+    }
+
+    #[test]
+    fn q1_hybrid_match_filters_by_shape() {
+        let mut hg = HyGraph::new();
+        let bumped = hg.add_univariate_series("a", &bump_series(100));
+        let flat = hg.add_univariate_series(
+            "b",
+            &TimeSeries::generate(ts(0), Duration::from_millis(1), 200, |i| {
+                // structured non-repeating signal with no bump
+                ((i as f64) * 0.7).sin() + (i as f64) * 0.05
+            }),
+        );
+        let owner1 = hg.add_pg_vertex(["User"], props! {});
+        let owner2 = hg.add_pg_vertex(["User"], props! {});
+        let c1 = hg.add_ts_vertex(["Card"], bumped).unwrap();
+        let c2 = hg.add_ts_vertex(["Card"], flat).unwrap();
+        hg.add_pg_edge(owner1, c1, ["USES"], props! {}).unwrap();
+        hg.add_pg_edge(owner2, c2, ["USES"], props! {}).unwrap();
+
+        let mut pattern = Pattern::new();
+        let u = pattern.vertex("u", ["User"]);
+        let c = pattern.vertex("c", ["Card"]);
+        pattern.edge(None, u, c, ["USES"], Direction::Out);
+        // the query shape: a gaussian bump
+        let shape: Vec<f64> = (0..40)
+            .map(|i| {
+                let x = i as f64 - 20.0;
+                (-(x * x) / 50.0).exp()
+            })
+            .collect();
+        let spec = HybridMatchSpec {
+            pattern,
+            series_var: "c".into(),
+            shape,
+            max_dist: 1.0,
+        };
+        let matches = hybrid_match(&hg, &spec);
+        assert_eq!(matches.len(), 1, "only the bumped card matches the shape");
+        assert_eq!(matches[0].binding.vertices["c"], c1);
+        assert!((60..=120).contains(&matches[0].shape_match.offset));
+    }
+
+    #[test]
+    fn q2_hybrid_aggregate_groups_and_downsamples() {
+        let mut hg = HyGraph::new();
+        for i in 0..4 {
+            let s = TimeSeries::generate(ts(0), Duration::from_millis(10), 100, move |k| {
+                (i + 1) as f64 * 10.0 + k as f64 * 0.0
+            });
+            let sid = hg.add_univariate_series("load", &s);
+            let label = if i < 2 { "Hot" } else { "Cold" };
+            hg.add_ts_vertex([label], sid).unwrap();
+        }
+        let agg = hybrid_aggregate(&hg, Duration::from_millis(100));
+        assert_eq!(agg.grouped.summary.vertex_count(), 2);
+        let hot = &agg.group_series["Hot"];
+        let cold = &agg.group_series["Cold"];
+        // Hot members have constant 10, 20 -> mean 15; Cold 30, 40 -> 35
+        assert!(hot.values().iter().all(|&v| (v - 15.0).abs() < 1e-9));
+        assert!(cold.values().iter().all(|&v| (v - 35.0).abs() < 1e-9));
+        assert_eq!(hot.len(), 10, "downsampled 100 points / bucket 10");
+    }
+
+    #[test]
+    fn q3_correlation_reachability_blocks_uncorrelated() {
+        let mut hg = HyGraph::new();
+        let base = |i: usize| ((i as f64) * 0.2).sin() * 5.0;
+        let s1 = TimeSeries::generate(ts(0), Duration::from_millis(10), 200, base);
+        let s2 = TimeSeries::generate(ts(0), Duration::from_millis(10), 200, |i| base(i) * 3.0);
+        let anti = TimeSeries::generate(ts(0), Duration::from_millis(10), 200, |i| -base(i));
+        let sid_a = hg.add_univariate_series("a", &s1);
+        let sid_b = hg.add_univariate_series("b", &s2);
+        let sid_c = hg.add_univariate_series("c", &anti);
+        let a = hg.add_ts_vertex(["S"], sid_a).unwrap();
+        let b = hg.add_ts_vertex(["S"], sid_b).unwrap();
+        let c = hg.add_ts_vertex(["S"], sid_c).unwrap();
+        hg.add_pg_edge(a, b, ["E"], props! {}).unwrap();
+        hg.add_pg_edge(b, c, ["E"], props! {}).unwrap();
+        let reach = correlation_reachability(&hg, a, Duration::from_millis(10), 0.8);
+        let ids: Vec<VertexId> = reach.iter().map(|&(v, _)| v).collect();
+        assert!(ids.contains(&a) && ids.contains(&b));
+        assert!(!ids.contains(&c), "anti-correlated vertex unreachable");
+        // with a permissive threshold everything connects
+        let reach = correlation_reachability(&hg, a, Duration::from_millis(10), -1.0);
+        assert_eq!(reach.len(), 3);
+    }
+
+    #[test]
+    fn q3_start_without_series_is_empty() {
+        let mut hg = HyGraph::new();
+        let a = hg.add_pg_vertex(["X"], props! {});
+        assert!(correlation_reachability(&hg, a, Duration::from_millis(1), 0.5).is_empty());
+    }
+
+    #[test]
+    fn q4_segmentation_snapshots_track_regimes() {
+        let mut hg = HyGraph::new();
+        // vertex alive only in the middle regime
+        let a = hg.add_pg_vertex(["N"], props! {});
+        let b = hg.add_pg_vertex_valid(
+            ["N"],
+            props! {},
+            Interval::new(ts(30), ts(60)),
+        );
+        let _ = (a, b);
+        // driver series with mean shifts at t=30 and t=60
+        let driver = TimeSeries::generate(ts(0), Duration::from_millis(1), 90, |i| {
+            if i < 30 {
+                0.0
+            } else if i < 60 {
+                10.0
+            } else {
+                -5.0
+            }
+        });
+        let snaps = segmentation_snapshots(&hg, &driver, Some(5.0)).unwrap();
+        assert_eq!(snaps.len(), 3);
+        assert_eq!(snaps[0].0, ts(0));
+        assert_eq!(snaps[1].0, ts(30));
+        assert_eq!(snaps[2].0, ts(60));
+        assert_eq!(snaps[0].1.vertex_count(), 1, "b not yet alive");
+        assert_eq!(snaps[1].1.vertex_count(), 2, "b alive in the middle regime");
+        assert_eq!(snaps[2].1.vertex_count(), 1, "b gone again");
+    }
+
+    #[test]
+    fn vertex_series_resolution() {
+        let mut hg = HyGraph::new();
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 5, |i| i as f64);
+        let sid = hg.add_univariate_series("x", &s);
+        let tsv = hg.add_ts_vertex(["T"], sid).unwrap();
+        let pgv = hg.add_pg_vertex(["P"], props! {});
+        hg.set_property(ElementRef::Vertex(pgv), "metric", sid).unwrap();
+        let bare = hg.add_pg_vertex(["P"], props! {});
+        assert_eq!(vertex_series(&hg, tsv).unwrap().len(), 5);
+        assert_eq!(vertex_series(&hg, pgv).unwrap().len(), 5);
+        assert!(vertex_series(&hg, bare).is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! HyQL — the hybrid declarative query engine over HyGraph instances.
+//!
+//! HyQL is a small Cypher-flavoured language whose predicates and
+//! projections range over *both* worlds: static graph properties and
+//! time-series aggregates. A query like
+//!
+//! ```text
+//! MATCH (u:User)-[:USES]->(c:CreditCard)-[t:TX]->(m:Merchant)
+//! WHERE t.amount > 1000 AND MEAN(DELTA(c) IN [0, 86400000)) > 500
+//! RETURN u.name AS user, t.amount
+//! ORDER BY user LIMIT 10
+//! ```
+//!
+//! pattern-matches the topology (pg- and ts-elements uniformly), and the
+//! `MEAN(DELTA(c) IN …)` term aggregates the series δ(c) of the matched
+//! ts-vertex — the unified capability the paper's §4 calls for.
+//!
+//! Pipeline: [`lexer`] → [`parser`] (AST in [`ast`]) → [`exec`] against a
+//! [`hygraph_core::HyGraph`]. The roadmap's four *hybrid operators*
+//! (Q1 hybrid matching, Q2 hybrid aggregation, Q3 correlation
+//! reachability, Q4 segmentation snapshots) have first-class programmatic
+//! APIs in [`hybrid`].
+//!
+//! # Language reference
+//!
+//! ```text
+//! query  := MATCH path (',' path)*
+//!           [WHERE expr]                 -- per-row filter (no row aggregates)
+//!           [VALID AT <millis>]          -- ρ-aware matching at an instant
+//!           RETURN [DISTINCT] item (',' item)*
+//!           [HAVING expr]                -- per-group filter (row aggregates ok)
+//!           [ORDER BY col [ASC|DESC] (',' ...)*]
+//!           [LIMIT n]
+//!
+//! path   := node (edge node)*
+//! node   := '(' [var] (':' Label)* ['{' key ':' literal (',' ...)* '}'] ')'
+//! edge   := '-[' [var] (':' Label)* ['*' min '..' max] ']->'   -- outgoing
+//!         | '<-[' ... ']-'                                     -- incoming
+//!         | '-[' ... ']-'                                      -- undirected
+//! ```
+//!
+//! **Expressions** combine, with the usual precedence
+//! (`OR` < `AND` < `NOT` < comparisons < `+ -` < `* /`):
+//!
+//! * literals: `42`, `3.5`, `-7`, `'text'` (doubled `''` escapes), `TRUE`,
+//!   `FALSE`, `NULL`;
+//! * property access `var.key` (static properties; `NULL` if absent or
+//!   series-valued);
+//! * **series aggregates** `MEAN|SUM|MIN|MAX|COUNT '(' series IN
+//!   '[' t1 ',' t2 ')' ')'` where `series` is `DELTA(var)` (the δ series
+//!   of a ts-element) or `var.key` (a series-valued property) — evaluated
+//!   per matched row over the half-open epoch-millisecond range;
+//! * **row aggregates** `COUNT(*)`, `COUNT([DISTINCT] expr)`,
+//!   `SUM|AVG|MIN|MAX(expr)` — Cypher-style implicit grouping by the
+//!   aggregate-free RETURN items; usable in RETURN and HAVING only.
+//!
+//! Comparisons use SQL three-valued logic: `NULL` never matches.
+//!
+//! ```
+//! use hygraph_core::HyGraphBuilder;
+//! use hygraph_ts::TimeSeries;
+//! use hygraph_types::{props, Duration, Timestamp, Value};
+//!
+//! let spend = TimeSeries::generate(Timestamp::ZERO, Duration::from_hours(1), 24, |h| {
+//!     if h == 12 { 900.0 } else { 25.0 }
+//! });
+//! let built = HyGraphBuilder::new()
+//!     .univariate("spend", &spend)
+//!     .pg_vertex("u", ["User"], props! {"name" => "ada"})
+//!     .ts_vertex("c", ["Card"], "spend")
+//!     .pg_vertex("m1", ["Merchant"], props! {"name" => "m1"})
+//!     .pg_vertex("m2", ["Merchant"], props! {"name" => "m2"})
+//!     .pg_edge(None, "u", "c", ["USES"], props! {})
+//!     .pg_edge(None, "c", "m1", ["TX"], props! {"amount" => 900.0})
+//!     .pg_edge(None, "c", "m2", ["TX"], props! {"amount" => 25.0})
+//!     .build()
+//!     .unwrap();
+//!
+//! // pattern + inline props + series aggregate + row aggregate + HAVING
+//! let r = hygraph_query::query(
+//!     &built.hygraph,
+//!     "MATCH (u:User {name: 'ada'})-[:USES]->(c:Card)-[t:TX]->(m:Merchant) \
+//!      WHERE MAX(DELTA(c) IN [0, 86400000)) > 500 \
+//!      RETURN u.name AS who, COUNT(t) AS txs, SUM(t.amount) AS total \
+//!      HAVING COUNT(t) > 1",
+//! )
+//! .unwrap();
+//! assert_eq!(r.rows[0][0], Value::Str("ada".into()));
+//! assert_eq!(r.rows[0][1], Value::Int(2));
+//! assert_eq!(r.rows[0][2], Value::Float(925.0));
+//!
+//! // variable-length traversal: everything within 2 hops of the user
+//! let r = hygraph_query::query(
+//!     &built.hygraph,
+//!     "MATCH (u:User)-[*1..2]->(x) RETURN COUNT(x) AS reach",
+//! )
+//! .unwrap();
+//! assert_eq!(r.rows[0][0], Value::Int(3)); // card + 2 merchants
+//! ```
+
+pub mod ast;
+pub mod exec;
+pub mod hybrid;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::Query;
+pub use exec::{execute, QueryResult, Row};
+
+use hygraph_core::HyGraph;
+use hygraph_types::Result;
+
+/// Parses and executes `text` against `hg` in one call.
+pub fn query(hg: &HyGraph, text: &str) -> Result<QueryResult> {
+    let q = parser::parse(text)?;
+    execute(hg, &q)
+}

@@ -1,0 +1,723 @@
+//! Recursive-descent parser for HyQL.
+//!
+//! Grammar (EBNF, informal):
+//!
+//! ```text
+//! query      := MATCH path (',' path)* [WHERE expr] [VALID AT int]
+//!               RETURN [DISTINCT] item (',' item)* [HAVING expr]
+//!               [ORDER BY order (',' order)*] [LIMIT int]
+//! path       := node (edge node)*
+//! node       := '(' [ident] (':' ident)* ')'
+//! edge       := '-' '[' [ident] (':' ident)* ['*' int '..' int] ']' ('->' | '-')
+//!             | '<-' '[' [ident] (':' ident)* ['*' int '..' int] ']' '-'
+//! expr       := or
+//! or         := and (OR and)*
+//! and        := not (AND not)*
+//! not        := NOT not | cmp
+//! cmp        := add [cmp_op add]
+//! add        := mul (('+'|'-') mul)*
+//! mul        := atom (('*'|'/') atom)*
+//! atom       := literal | agg | ident ['.' ident] | '(' expr ')'
+//! agg        := FUNC '(' series IN '[' int ',' int ')' ')'   (series agg)
+//!             | FUNC '(' '*' ')'                              (COUNT(*))
+//!             | FUNC '(' [DISTINCT] expr ')'                  (row agg)
+//! series     := DELTA '(' ident ')' | ident '.' ident
+//! ```
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Keyword, Token, TokenKind};
+use hygraph_types::{HyGraphError, Result, Timestamp, Value};
+
+/// Parses a HyQL query.
+pub fn parse(src: &str) -> Result<Query> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        anon: 0,
+    };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    anon: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        if *self.peek() == TokenKind::Keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> HyGraphError {
+        HyGraphError::Parse {
+            offset: self.offset(),
+            message: msg.into(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if *self.peek() == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.error(format!("unexpected trailing input: {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(HyGraphError::Parse {
+                offset: self.tokens[self.pos.saturating_sub(1)].offset,
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn int(&mut self, what: &str) -> Result<i64> {
+        match self.bump() {
+            TokenKind::Int(i) => Ok(i),
+            other => Err(HyGraphError::Parse {
+                offset: self.tokens[self.pos.saturating_sub(1)].offset,
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn fresh_var(&mut self, prefix: &str) -> String {
+        self.anon += 1;
+        format!("_{prefix}{}", self.anon)
+    }
+
+    // ---- clauses -----------------------------------------------------
+
+    fn query(&mut self) -> Result<Query> {
+        if !self.eat_kw(Keyword::Match) {
+            return Err(self.error("query must start with MATCH"));
+        }
+        let mut patterns = vec![self.path()?];
+        while self.eat(&TokenKind::Comma) {
+            patterns.push(self.path()?);
+        }
+        let filter = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let valid_at = if self.eat_kw(Keyword::ValidAt) {
+            Some(Timestamp::from_millis(self.int("timestamp after VALID AT")?))
+        } else {
+            None
+        };
+        if !self.eat_kw(Keyword::Return) {
+            return Err(self.error("expected RETURN clause"));
+        }
+        let distinct = self.eat_kw(Keyword::Distinct);
+        let mut returns = vec![self.return_item()?];
+        while self.eat(&TokenKind::Comma) {
+            returns.push(self.return_item()?);
+        }
+        let having = if self.eat_kw(Keyword::Having) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw(Keyword::OrderBy) {
+            loop {
+                let column = self.ident("column name in ORDER BY")?;
+                let descending = if self.eat_kw(Keyword::Desc) {
+                    true
+                } else {
+                    self.eat_kw(Keyword::Asc);
+                    false
+                };
+                order_by.push(OrderItem { column, descending });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw(Keyword::Limit) {
+            let n = self.int("count after LIMIT")?;
+            if n < 0 {
+                return Err(self.error("LIMIT must be non-negative"));
+            }
+            Some(n as usize)
+        } else {
+            None
+        };
+        Ok(Query {
+            patterns,
+            filter,
+            valid_at,
+            returns,
+            distinct,
+            order_by,
+            limit,
+            having,
+        })
+    }
+
+    fn path(&mut self) -> Result<PathPattern> {
+        let start = self.node()?;
+        let mut hops = Vec::new();
+        while let TokenKind::Dash | TokenKind::ArrowLeft = self.peek() {
+            let edge = self.edge()?;
+            let node = self.node()?;
+            hops.push((edge, node));
+        }
+        Ok(PathPattern { start, hops })
+    }
+
+    fn node(&mut self) -> Result<NodePattern> {
+        self.expect(&TokenKind::LParen, "'(' starting a node pattern")?;
+        let var = match self.peek() {
+            TokenKind::Ident(_) => self.ident("node variable")?,
+            _ => self.fresh_var("v"),
+        };
+        let mut labels = Vec::new();
+        while self.eat(&TokenKind::Colon) {
+            labels.push(self.ident("label after ':'")?);
+        }
+        let mut props = Vec::new();
+        if self.eat(&TokenKind::LBrace) {
+            loop {
+                let key = self.ident("property key in node map")?;
+                self.expect(&TokenKind::Colon, "':' after property key")?;
+                let value = self.literal("literal value in node map")?;
+                props.push((key, value));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RBrace, "'}' closing the property map")?;
+        }
+        self.expect(&TokenKind::RParen, "')' closing the node pattern")?;
+        Ok(NodePattern { var, labels, props })
+    }
+
+    fn literal(&mut self, what: &str) -> Result<hygraph_types::Value> {
+        use hygraph_types::Value;
+        match self.bump() {
+            TokenKind::Int(i) => Ok(Value::Int(i)),
+            TokenKind::Float(f) => Ok(Value::Float(f)),
+            TokenKind::Str(s) => Ok(Value::Str(s)),
+            TokenKind::Keyword(Keyword::True) => Ok(Value::Bool(true)),
+            TokenKind::Keyword(Keyword::False) => Ok(Value::Bool(false)),
+            TokenKind::Keyword(Keyword::Null) => Ok(Value::Null),
+            other => Err(HyGraphError::Parse {
+                offset: self.tokens[self.pos.saturating_sub(1)].offset,
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn edge(&mut self) -> Result<EdgePattern> {
+        // '<-[' .. ']-'   or   '-[' .. ']->'   or   '-[' .. ']-'
+        let leading_left = self.eat(&TokenKind::ArrowLeft);
+        if !leading_left {
+            self.expect(&TokenKind::Dash, "'-' starting an edge pattern")?;
+        }
+        self.expect(&TokenKind::LBracket, "'[' in edge pattern")?;
+        let var = match self.peek() {
+            TokenKind::Ident(_) => self.ident("edge variable")?,
+            _ => self.fresh_var("e"),
+        };
+        let mut labels = Vec::new();
+        while self.eat(&TokenKind::Colon) {
+            labels.push(self.ident("label after ':'")?);
+        }
+        let hops = if self.eat(&TokenKind::Star) {
+            if !var.starts_with('_') {
+                return Err(self.error(
+                    "variable-length edges cannot bind a variable (remove the edge variable)",
+                ));
+            }
+            let lo = self.int("minimum hop count after '*'")?;
+            self.expect(&TokenKind::Dot, "'..' in hop range")?;
+            self.expect(&TokenKind::Dot, "'..' in hop range")?;
+            let hi = self.int("maximum hop count")?;
+            if lo < 1 || hi < lo {
+                return Err(self.error("hop range must satisfy 1 <= min <= max"));
+            }
+            if hi > 8 {
+                return Err(self.error("hop range maximum is capped at 8"));
+            }
+            (lo as usize, hi as usize)
+        } else {
+            (1, 1)
+        };
+        self.expect(&TokenKind::RBracket, "']' in edge pattern")?;
+        let dir = if leading_left {
+            self.expect(&TokenKind::Dash, "'-' ending '<-[..]-'")?;
+            EdgeDir::Left
+        } else if self.eat(&TokenKind::ArrowRight) {
+            EdgeDir::Right
+        } else {
+            self.expect(&TokenKind::Dash, "'-' or '->' ending the edge pattern")?;
+            EdgeDir::Undirected
+        };
+        Ok(EdgePattern { var, labels, dir, hops })
+    }
+
+    fn return_item(&mut self) -> Result<ReturnItem> {
+        let expr = self.expr()?;
+        let alias = if self.eat_kw(Keyword::As) {
+            self.ident("alias after AS")?
+        } else {
+            default_alias(&expr)
+        };
+        Ok(ReturnItem { expr, alias })
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw(Keyword::Or) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw(Keyword::And) {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw(Keyword::Not) {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Dash => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.atom()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.atom()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn atom(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Int(i)))
+            }
+            TokenKind::Float(f) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Float(f)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Bool(true)))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Bool(false)))
+            }
+            TokenKind::Keyword(Keyword::Null) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Null))
+            }
+            TokenKind::Keyword(kw)
+                if matches!(
+                    kw,
+                    Keyword::Mean | Keyword::Sum | Keyword::Min | Keyword::Max | Keyword::Count
+                ) =>
+            {
+                self.bump();
+                // series aggregate and row aggregate share the function
+                // names; try the series form first, then backtrack
+                let mark = self.pos;
+                match self.agg(kw) {
+                    Ok(e) => Ok(e),
+                    Err(_) => {
+                        self.pos = mark;
+                        self.row_agg(kw)
+                    }
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "')' closing the expression")?;
+                Ok(e)
+            }
+            TokenKind::Ident(_) => {
+                let var = self.ident("identifier")?;
+                if self.eat(&TokenKind::Dot) {
+                    let key = self.ident("property key after '.'")?;
+                    Ok(Expr::Prop { var, key })
+                } else {
+                    Ok(Expr::Var(var))
+                }
+            }
+            other => Err(self.error(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+
+    /// `FUNC '(' series IN '[' int ',' int ')' ')'`
+    fn agg(&mut self, kw: Keyword) -> Result<Expr> {
+        let func = match kw {
+            Keyword::Mean => AggFunc::Mean,
+            Keyword::Sum => AggFunc::Sum,
+            Keyword::Min => AggFunc::Min,
+            Keyword::Max => AggFunc::Max,
+            Keyword::Count => AggFunc::Count,
+            _ => unreachable!("caller checked"),
+        };
+        self.expect(&TokenKind::LParen, "'(' after aggregate function")?;
+        let series = if self.eat_kw(Keyword::Delta) {
+            self.expect(&TokenKind::LParen, "'(' after DELTA")?;
+            let var = self.ident("variable inside DELTA(..)")?;
+            self.expect(&TokenKind::RParen, "')' closing DELTA(..)")?;
+            SeriesRef::Delta(var)
+        } else {
+            let var = self.ident("series reference")?;
+            self.expect(&TokenKind::Dot, "'.' in series property reference")?;
+            let key = self.ident("property key")?;
+            SeriesRef::Property { var, key }
+        };
+        if !self.eat_kw(Keyword::In) {
+            return Err(self.error("expected IN before the aggregate range"));
+        }
+        self.expect(&TokenKind::LBracket, "'[' starting the range")?;
+        let from = self.int("range start")?;
+        self.expect(&TokenKind::Comma, "',' between range bounds")?;
+        let to = self.int("range end")?;
+        self.expect(&TokenKind::RParen, "')' closing the half-open range")?;
+        self.expect(&TokenKind::RParen, "')' closing the aggregate")?;
+        Ok(Expr::Agg {
+            func,
+            series,
+            from,
+            to,
+        })
+    }
+
+    /// `FUNC '(' ('*' | [DISTINCT] expr) ')'` — Cypher-style row
+    /// aggregate with implicit grouping.
+    fn row_agg(&mut self, kw: Keyword) -> Result<Expr> {
+        let func = match kw {
+            Keyword::Mean => RowAggFunc::Avg,
+            Keyword::Sum => RowAggFunc::Sum,
+            Keyword::Min => RowAggFunc::Min,
+            Keyword::Max => RowAggFunc::Max,
+            Keyword::Count => RowAggFunc::Count,
+            _ => unreachable!("caller checked"),
+        };
+        self.expect(&TokenKind::LParen, "'(' after aggregate function")?;
+        if self.eat(&TokenKind::Star) {
+            if func != RowAggFunc::Count {
+                return Err(self.error("'*' is only valid in COUNT(*)"));
+            }
+            self.expect(&TokenKind::RParen, "')' closing COUNT(*)")?;
+            return Ok(Expr::RowAgg {
+                func,
+                arg: None,
+                distinct: false,
+            });
+        }
+        let distinct = self.eat_kw(Keyword::Distinct);
+        let arg = self.expr()?;
+        self.expect(&TokenKind::RParen, "')' closing the aggregate")?;
+        Ok(Expr::RowAgg {
+            func,
+            arg: Some(Box::new(arg)),
+            distinct,
+        })
+    }
+}
+
+fn default_alias(expr: &Expr) -> String {
+    match expr {
+        Expr::Var(v) => v.clone(),
+        Expr::Prop { var, key } => format!("{var}.{key}"),
+        Expr::Agg { func, .. } => format!("{func:?}").to_ascii_lowercase(),
+        _ => "expr".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_query() {
+        let q = parse("MATCH (u:User) RETURN u").unwrap();
+        assert_eq!(q.patterns.len(), 1);
+        assert_eq!(q.patterns[0].start.var, "u");
+        assert_eq!(q.patterns[0].start.labels, vec!["User"]);
+        assert!(q.filter.is_none());
+        assert_eq!(q.returns[0].alias, "u");
+    }
+
+    #[test]
+    fn path_with_hops_and_directions() {
+        let q = parse("MATCH (u:User)-[t:TX]->(m:Merchant)<-[s:TX]-(v) RETURN u").unwrap();
+        let p = &q.patterns[0];
+        assert_eq!(p.hops.len(), 2);
+        assert_eq!(p.hops[0].0.dir, EdgeDir::Right);
+        assert_eq!(p.hops[0].0.var, "t");
+        assert_eq!(p.hops[1].0.dir, EdgeDir::Left);
+        assert_eq!(p.hops[1].1.var, "v");
+    }
+
+    #[test]
+    fn undirected_edge() {
+        let q = parse("MATCH (a)-[e:SIMILAR]-(b) RETURN a").unwrap();
+        assert_eq!(q.patterns[0].hops[0].0.dir, EdgeDir::Undirected);
+    }
+
+    #[test]
+    fn anonymous_nodes_and_edges_get_fresh_vars() {
+        let q = parse("MATCH ()-[:USES]->() RETURN 1").unwrap();
+        let p = &q.patterns[0];
+        assert!(p.start.var.starts_with("_v"));
+        assert!(p.hops[0].0.var.starts_with("_e"));
+        assert_ne!(p.start.var, p.hops[0].1.var);
+    }
+
+    #[test]
+    fn where_precedence() {
+        let q = parse("MATCH (a) WHERE a.x > 1 AND a.y < 2 OR NOT a.z = 3 RETURN a").unwrap();
+        // ((x>1 AND y<2) OR (NOT z=3))
+        let Some(Expr::Binary { op: BinOp::Or, lhs, rhs }) = q.filter else {
+            panic!("expected OR at the top");
+        };
+        assert!(matches!(*lhs, Expr::Binary { op: BinOp::And, .. }));
+        assert!(matches!(*rhs, Expr::Not(_)));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = parse("MATCH (a) WHERE a.x + 2 * 3 = 7 RETURN a").unwrap();
+        let Some(Expr::Binary { op: BinOp::Eq, lhs, .. }) = q.filter else {
+            panic!("expected =");
+        };
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = *lhs else {
+            panic!("expected + under =");
+        };
+        assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn aggregate_expression() {
+        let q = parse(
+            "MATCH (c:Card) WHERE MEAN(DELTA(c) IN [0, 1000)) > 50.5 RETURN c",
+        )
+        .unwrap();
+        let Some(Expr::Binary { lhs, .. }) = q.filter else {
+            panic!()
+        };
+        assert_eq!(
+            *lhs,
+            Expr::Agg {
+                func: AggFunc::Mean,
+                series: SeriesRef::Delta("c".into()),
+                from: 0,
+                to: 1000
+            }
+        );
+    }
+
+    #[test]
+    fn aggregate_over_series_property() {
+        let q = parse("MATCH (s:Station) RETURN MAX(s.availability IN [0, 500)) AS peak").unwrap();
+        assert_eq!(q.returns[0].alias, "peak");
+        assert!(matches!(
+            q.returns[0].expr,
+            Expr::Agg {
+                func: AggFunc::Max,
+                series: SeriesRef::Property { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn valid_at_order_limit_distinct() {
+        let q = parse(
+            "MATCH (a:N) VALID AT 500 RETURN DISTINCT a.name AS n ORDER BY n DESC LIMIT 3",
+        )
+        .unwrap();
+        assert_eq!(q.valid_at, Some(Timestamp::from_millis(500)));
+        assert!(q.distinct);
+        assert_eq!(q.order_by.len(), 1);
+        assert!(q.order_by[0].descending);
+        assert_eq!(q.limit, Some(3));
+    }
+
+    #[test]
+    fn multiple_patterns() {
+        let q = parse("MATCH (a:X)-[:E]->(b), (b)-[:F]->(c) RETURN c").unwrap();
+        assert_eq!(q.patterns.len(), 2);
+        assert_eq!(q.patterns[1].start.var, "b");
+    }
+
+    #[test]
+    fn inline_property_map() {
+        let q = parse("MATCH (u:User {name: 'alice', vip: true, age: 30}) RETURN u").unwrap();
+        let n = &q.patterns[0].start;
+        assert_eq!(n.props.len(), 3);
+        assert_eq!(n.props[0], ("name".to_owned(), Value::Str("alice".into())));
+        assert_eq!(n.props[1], ("vip".to_owned(), Value::Bool(true)));
+        assert_eq!(n.props[2], ("age".to_owned(), Value::Int(30)));
+        // empty map is a parse error (must hold at least one pair)
+        assert!(parse("MATCH (u {}) RETURN u").is_err());
+        // missing colon
+        assert!(parse("MATCH (u {name 'x'}) RETURN u").is_err());
+    }
+
+    #[test]
+    fn parse_errors_have_positions() {
+        for bad in [
+            "RETURN 1",
+            "MATCH (a RETURN a",
+            "MATCH (a) RETURN",
+            "MATCH (a) WHERE RETURN a",
+            "MATCH (a) RETURN a LIMIT -1",
+            "MATCH (a)-[e]>(b) RETURN a",
+            "MATCH (a) WHERE MEAN(DELTA(a) IN [0 100)) > 1 RETURN a",
+            "MATCH (a) RETURN a extra_token",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(
+                matches!(err, HyGraphError::Parse { .. }),
+                "expected parse error for {bad:?}, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_literals_in_comparison() {
+        let q = parse("MATCH (a) WHERE a.x > -5 RETURN a").unwrap();
+        let Some(Expr::Binary { rhs, .. }) = q.filter else { panic!() };
+        assert_eq!(*rhs, Expr::Literal(Value::Int(-5)));
+    }
+
+    #[test]
+    fn string_literal_predicates() {
+        let q = parse("MATCH (u:User) WHERE u.name = 'User 1' RETURN u.name").unwrap();
+        let Some(Expr::Binary { rhs, .. }) = q.filter else { panic!() };
+        assert_eq!(*rhs, Expr::Literal(Value::Str("User 1".into())));
+        assert_eq!(q.returns[0].alias, "u.name");
+    }
+}

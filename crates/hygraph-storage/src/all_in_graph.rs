@@ -1,0 +1,287 @@
+//! The all-in-graph baseline (the paper's Neo4j configuration).
+//!
+//! "Each timestamp and its corresponding value are stored as separate
+//! properties": observation `(t, v)` of a station becomes the property
+//! entry `ts:availability:<t> → v` on the station vertex. Property maps
+//! in a graph store are opaque key→value containers — they are not
+//! time-indexed — so *every* temporal query must enumerate the vertex's
+//! full property map, string-parse each key to recover the timestamp,
+//! filter, and sort. That per-observation key-parsing scan is precisely
+//! the architectural bottleneck Table 1 exposes; the paper additionally
+//! notes the "high write overhead" of creating millions of properties,
+//! which [`AllInGraphStore::load`] reproduces.
+
+use crate::backend::{has_sustained_run, DayAgg, StorageBackend};
+use hygraph_datagen::bike::BikeDataset;
+use hygraph_graph::TemporalGraph;
+use hygraph_types::{Duration, Interval, Timestamp, Value, VertexId};
+
+const PREFIX: &str = "ts:availability:";
+
+/// Graph store with per-timestamp observation properties.
+pub struct AllInGraphStore {
+    graph: TemporalGraph,
+    stations: Vec<VertexId>,
+}
+
+impl AllInGraphStore {
+    /// Loads the bike dataset, materialising every observation as a
+    /// discrete vertex property (the paper's high-write-overhead path).
+    pub fn load(dataset: &BikeDataset) -> Self {
+        let mut graph = dataset.graph.clone();
+        for (i, &station) in dataset.stations.iter().enumerate() {
+            let vertex = graph.vertex_mut(station).expect("station exists");
+            for (t, v) in dataset.availability[i].iter() {
+                // zero-padded so keys are unambiguous; parsing cost is
+                // paid on every read either way
+                vertex
+                    .props
+                    .set(format!("{PREFIX}{:020}", t.millis()), Value::Float(v));
+            }
+        }
+        Self {
+            graph,
+            stations: dataset.stations.clone(),
+        }
+    }
+
+    /// The underlying graph (inspection/tests).
+    pub fn graph(&self) -> &TemporalGraph {
+        &self.graph
+    }
+
+    /// Total number of observation properties materialised.
+    pub fn observation_property_count(&self) -> usize {
+        self.stations
+            .iter()
+            .map(|&s| {
+                self.graph
+                    .vertex(s)
+                    .expect("station exists")
+                    .props
+                    .keys()
+                    .filter(|k| k.as_str().starts_with(PREFIX))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// The faithful access path: enumerate ALL properties of the vertex,
+    /// parse keys, filter by interval. Output is time-ordered (keys are
+    /// zero-padded, and the property map iterates in key order — which
+    /// is the *best case* for this design; real property chains are
+    /// unordered).
+    fn scan_observations(
+        &self,
+        station: VertexId,
+        iv: &Interval,
+        mut f: impl FnMut(Timestamp, f64),
+    ) {
+        let Ok(vertex) = self.graph.vertex(station) else {
+            return;
+        };
+        for (key, value) in vertex.props.iter() {
+            let Some(ts_str) = key.as_str().strip_prefix(PREFIX) else {
+                continue;
+            };
+            let Ok(ms) = ts_str.parse::<i64>() else {
+                continue;
+            };
+            let t = Timestamp::from_millis(ms);
+            if !iv.contains(t) {
+                continue;
+            }
+            let Some(v) = value.as_static().and_then(Value::as_f64) else {
+                continue;
+            };
+            f(t, v);
+        }
+    }
+}
+
+impl StorageBackend for AllInGraphStore {
+    fn name(&self) -> &'static str {
+        "all-in-graph"
+    }
+
+    fn q1_range(&self, station: VertexId, iv: &Interval) -> Vec<(Timestamp, f64)> {
+        let mut out = Vec::new();
+        self.scan_observations(station, iv, |t, v| out.push((t, v)));
+        out
+    }
+
+    fn q2_filtered(
+        &self,
+        station: VertexId,
+        iv: &Interval,
+        min_value: f64,
+    ) -> Vec<(Timestamp, f64)> {
+        let mut out = Vec::new();
+        self.scan_observations(station, iv, |t, v| {
+            if v >= min_value {
+                out.push((t, v));
+            }
+        });
+        out
+    }
+
+    fn q3_mean(&self, station: VertexId, iv: &Interval) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        self.scan_observations(station, iv, |_, v| {
+            sum += v;
+            n += 1;
+        });
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    fn q4_mean_all(&self, iv: &Interval) -> Vec<(VertexId, f64)> {
+        self.stations
+            .iter()
+            .filter_map(|&s| self.q3_mean(s, iv).map(|m| (s, m)))
+            .collect()
+    }
+
+    fn q5_top_k(&self, iv: &Interval, k: usize) -> Vec<(VertexId, f64)> {
+        let mut means = self.q4_mean_all(iv);
+        means.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        means.truncate(k);
+        means
+    }
+
+    fn q6_daily(&self, iv: &Interval) -> Vec<(VertexId, Vec<DayAgg>)> {
+        let day = Duration::from_days(1);
+        self.stations
+            .iter()
+            .map(|&s| {
+                // observations arrive in time order (zero-padded keys)
+                let mut rows: Vec<DayAgg> = Vec::new();
+                let mut counts: Vec<usize> = Vec::new();
+                self.scan_observations(s, iv, |t, v| {
+                    let bucket = t.truncate(day);
+                    match rows.last_mut() {
+                        Some(r) if r.day == bucket => {
+                            r.min = r.min.min(v);
+                            r.max = r.max.max(v);
+                            r.mean += v; // running sum; divided below
+                            *counts.last_mut().expect("parallel to rows") += 1;
+                        }
+                        _ => {
+                            rows.push(DayAgg {
+                                day: bucket,
+                                min: v,
+                                max: v,
+                                mean: v,
+                            });
+                            counts.push(1);
+                        }
+                    }
+                });
+                for (r, c) in rows.iter_mut().zip(counts) {
+                    r.mean /= c as f64;
+                }
+                (s, rows)
+            })
+            .collect()
+    }
+
+    fn q7_neighbour_means(&self, station: VertexId, iv: &Interval) -> Vec<(VertexId, f64)> {
+        let mut nbrs: Vec<VertexId> = self
+            .graph
+            .neighbors_out(station)
+            .map(|(_, n)| n)
+            .collect();
+        nbrs.sort_unstable();
+        nbrs.dedup();
+        nbrs.into_iter()
+            .filter_map(|n| self.q3_mean(n, iv).map(|m| (n, m)))
+            .collect()
+    }
+
+    fn q8_sustained_below(&self, iv: &Interval, threshold: f64, min_run: usize) -> Vec<VertexId> {
+        self.stations
+            .iter()
+            .filter(|&&s| {
+                let mut vals = Vec::new();
+                self.scan_observations(s, iv, |_, v| vals.push(v));
+                has_sustained_run(vals.into_iter(), threshold, min_run)
+            })
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_datagen::bike::{generate, BikeConfig};
+
+    fn tiny() -> BikeDataset {
+        generate(BikeConfig {
+            stations: 5,
+            days: 2,
+            tick: Duration::from_hours(1),
+            avg_degree: 2,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn load_materialises_properties() {
+        let d = tiny();
+        let store = AllInGraphStore::load(&d);
+        assert_eq!(store.observation_property_count(), 5 * 48);
+    }
+
+    #[test]
+    fn q1_matches_source_series() {
+        let d = tiny();
+        let store = AllInGraphStore::load(&d);
+        let iv = Interval::new(d.start, d.start + Duration::from_days(1));
+        let got = store.q1_range(d.stations[0], &iv);
+        let want: Vec<(Timestamp, f64)> = d.availability[0].range(&iv).iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn q3_mean_agrees_with_naive() {
+        let d = tiny();
+        let store = AllInGraphStore::load(&d);
+        let iv = Interval::new(d.start, d.end);
+        let m = store.q3_mean(d.stations[1], &iv).unwrap();
+        let want = hygraph_ts::ops::stats::mean(d.availability[1].values()).unwrap();
+        assert!((m - want).abs() < 1e-9);
+        // empty interval
+        assert!(store
+            .q3_mean(d.stations[1], &Interval::new(d.end, d.end))
+            .is_none());
+    }
+
+    #[test]
+    fn q6_daily_rows() {
+        let d = tiny();
+        let store = AllInGraphStore::load(&d);
+        let iv = Interval::new(d.start, d.end);
+        let daily = store.q6_daily(&iv);
+        assert_eq!(daily.len(), 5);
+        for (_, rows) in &daily {
+            assert_eq!(rows.len(), 2, "two days of data");
+            for r in rows {
+                assert!(r.min <= r.mean && r.mean <= r.max);
+            }
+        }
+    }
+
+    #[test]
+    fn q8_threshold_extremes() {
+        let d = tiny();
+        let store = AllInGraphStore::load(&d);
+        let iv = Interval::new(d.start, d.end);
+        assert_eq!(
+            store.q8_sustained_below(&iv, f64::MAX, 1).len(),
+            5,
+            "every station is always below +inf"
+        );
+        assert!(store.q8_sustained_below(&iv, -1.0, 1).is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! The [`StorageBackend`] trait: the eight Table-1 queries.
+//!
+//! The paper describes the workload as "eight distinct queries …,
+//! ranging from straightforward time-range queries to more complex
+//! queries involving aggregations of time series values" over the
+//! bike-sharing dataset. The concrete queries (the TTDB benchmark repo
+//! is university-internal) are reconstructed to cover that spectrum:
+//!
+//! | id | query |
+//! |----|-------|
+//! | Q1 | raw time-range fetch of one station's availability (1 day) |
+//! | Q2 | value-filtered range fetch, one station (7 days) |
+//! | Q3 | mean availability over a range, one station (30 days) |
+//! | Q4 | mean availability over the full range, **all** stations |
+//! | Q5 | top-k stations by mean availability (30 days) |
+//! | Q6 | per-station per-day min/max/mean (30 days) |
+//! | Q7 | graph hop + aggregate: trip-neighbours of a station with their mean availability (7 days) |
+//! | Q8 | sustained-shortage detection: stations below a threshold for ≥ `min_run` consecutive ticks |
+
+use hygraph_types::{Interval, Timestamp, VertexId};
+
+/// Identifier of a Table-1 query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryId {
+    /// Raw range fetch.
+    Q1,
+    /// Filtered range fetch.
+    Q2,
+    /// Single-station mean.
+    Q3,
+    /// All-stations mean.
+    Q4,
+    /// Top-k by mean.
+    Q5,
+    /// Per-day multi-aggregate.
+    Q6,
+    /// Neighbour means (hybrid).
+    Q7,
+    /// Sustained-threshold scan.
+    Q8,
+}
+
+impl QueryId {
+    /// All queries in order.
+    pub const ALL: [QueryId; 8] = [
+        QueryId::Q1,
+        QueryId::Q2,
+        QueryId::Q3,
+        QueryId::Q4,
+        QueryId::Q5,
+        QueryId::Q6,
+        QueryId::Q7,
+        QueryId::Q8,
+    ];
+
+    /// Display name ("Q1"…"Q8").
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryId::Q1 => "Q1",
+            QueryId::Q2 => "Q2",
+            QueryId::Q3 => "Q3",
+            QueryId::Q4 => "Q4",
+            QueryId::Q5 => "Q5",
+            QueryId::Q6 => "Q6",
+            QueryId::Q7 => "Q7",
+            QueryId::Q8 => "Q8",
+        }
+    }
+
+    /// Short description for report output.
+    pub fn describe(self) -> &'static str {
+        match self {
+            QueryId::Q1 => "time-range fetch, 1 station, 1 day",
+            QueryId::Q2 => "filtered range fetch, 1 station, 7 days",
+            QueryId::Q3 => "mean over 30 days, 1 station",
+            QueryId::Q4 => "mean over full range, all stations",
+            QueryId::Q5 => "top-10 stations by mean, 30 days",
+            QueryId::Q6 => "per-day min/max/mean, all stations, 30 days",
+            QueryId::Q7 => "trip-neighbour means, 7 days (hybrid)",
+            QueryId::Q8 => "sustained shortage detection, all stations",
+        }
+    }
+}
+
+/// Per-day aggregate row of Q6.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DayAgg {
+    /// Day bucket start.
+    pub day: Timestamp,
+    /// Minimum availability in the day.
+    pub min: f64,
+    /// Maximum availability in the day.
+    pub max: f64,
+    /// Mean availability in the day.
+    pub mean: f64,
+}
+
+/// A storage backend able to answer the Table-1 workload.
+pub trait StorageBackend {
+    /// Backend display name.
+    fn name(&self) -> &'static str;
+
+    /// Q1: the raw `(t, availability)` observations of `station` in `iv`.
+    fn q1_range(&self, station: VertexId, iv: &Interval) -> Vec<(Timestamp, f64)>;
+
+    /// Q2: observations of `station` in `iv` with `value >= min_value`.
+    fn q2_filtered(&self, station: VertexId, iv: &Interval, min_value: f64)
+        -> Vec<(Timestamp, f64)>;
+
+    /// Q3: mean availability of `station` over `iv`.
+    fn q3_mean(&self, station: VertexId, iv: &Interval) -> Option<f64>;
+
+    /// Q4: mean availability of every station over `iv`, keyed by
+    /// station vertex, in vertex order.
+    fn q4_mean_all(&self, iv: &Interval) -> Vec<(VertexId, f64)>;
+
+    /// Q5: the `k` stations with the highest mean availability over
+    /// `iv`, best first (ties broken by vertex id).
+    fn q5_top_k(&self, iv: &Interval, k: usize) -> Vec<(VertexId, f64)>;
+
+    /// Q6: per-station, per-day min/max/mean over `iv`, in vertex order.
+    fn q6_daily(&self, iv: &Interval) -> Vec<(VertexId, Vec<DayAgg>)>;
+
+    /// Q7: the out-trip-neighbours of `station` with each neighbour's
+    /// mean availability over `iv`, in vertex order (deduplicated).
+    fn q7_neighbour_means(&self, station: VertexId, iv: &Interval) -> Vec<(VertexId, f64)>;
+
+    /// Q8: stations whose availability stays `< threshold` for at least
+    /// `min_run` consecutive observations inside `iv`, in vertex order.
+    fn q8_sustained_below(&self, iv: &Interval, threshold: f64, min_run: usize) -> Vec<VertexId>;
+}
+
+/// Shared helper: detects a run of `min_run` consecutive values below
+/// `threshold` in an ordered value stream.
+pub fn has_sustained_run(values: impl Iterator<Item = f64>, threshold: f64, min_run: usize) -> bool {
+    let mut run = 0usize;
+    for v in values {
+        if v < threshold {
+            run += 1;
+            if run >= min_run {
+                return true;
+            }
+        } else {
+            run = 0;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sustained_run_detection() {
+        let vals = [5.0, 1.0, 1.0, 1.0, 5.0];
+        assert!(has_sustained_run(vals.iter().copied(), 2.0, 3));
+        assert!(!has_sustained_run(vals.iter().copied(), 2.0, 4));
+        // interrupted run resets
+        let vals = [1.0, 1.0, 5.0, 1.0, 1.0];
+        assert!(!has_sustained_run(vals.iter().copied(), 2.0, 3));
+        assert!(has_sustained_run(vals.iter().copied(), 2.0, 2));
+        assert!(!has_sustained_run(std::iter::empty(), 2.0, 1));
+    }
+
+    #[test]
+    fn query_metadata() {
+        assert_eq!(QueryId::ALL.len(), 8);
+        assert_eq!(QueryId::Q4.name(), "Q4");
+        assert!(QueryId::Q7.describe().contains("hybrid"));
+    }
+}

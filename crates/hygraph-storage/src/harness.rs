@@ -1,0 +1,255 @@
+//! Timing harness regenerating Table 1: per-query mean response time
+//! (MRS) and coefficient of variation (CV) for a backend.
+
+use crate::backend::{QueryId, StorageBackend};
+use hygraph_datagen::bike::BikeDataset;
+use hygraph_types::{Duration, Interval, VertexId};
+use std::time::Instant;
+
+/// Measured statistics of one query on one backend.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryStats {
+    /// Which query.
+    pub query: QueryId,
+    /// Mean response time in milliseconds.
+    pub mrs_ms: f64,
+    /// Coefficient of variation in percent (stddev / mean · 100).
+    pub cv_pct: f64,
+    /// Number of timed runs.
+    pub runs: usize,
+    /// A checksum of the result (guards against dead-code elimination
+    /// and lets callers verify backends agree).
+    pub checksum: f64,
+}
+
+/// The standard Table-1 query parameters derived from a dataset.
+#[derive(Clone, Copy, Debug)]
+pub struct Workload {
+    /// Station for the single-station queries.
+    pub station: VertexId,
+    /// Hub station for Q7.
+    pub hub: VertexId,
+    /// One-day window (Q1).
+    pub day: Interval,
+    /// Seven-day window (Q2, Q7).
+    pub week: Interval,
+    /// Thirty-day (or full, if shorter) window (Q3, Q5, Q6).
+    pub month: Interval,
+    /// Full range (Q4, Q8).
+    pub full: Interval,
+    /// Q2 value filter.
+    pub min_value: f64,
+    /// Q5 k.
+    pub k: usize,
+    /// Q8 threshold.
+    pub threshold: f64,
+    /// Q8 minimum run length.
+    pub min_run: usize,
+}
+
+impl Workload {
+    /// Builds the standard workload for a dataset.
+    pub fn for_dataset(d: &BikeDataset) -> Workload {
+        let clamp = |dur: Duration| {
+            let end = d.start + dur;
+            Interval::new(d.start, end.min(d.end))
+        };
+        let hub = d
+            .stations
+            .iter()
+            .copied()
+            .max_by_key(|&s| d.graph.out_degree(s))
+            .expect("non-empty dataset");
+        // thresholds tuned so Q2/Q8 return non-trivial, non-universal sets
+        let mean_avail = hygraph_ts::ops::stats::mean(d.availability[0].values()).unwrap_or(0.0);
+        Workload {
+            station: d.stations[0],
+            hub,
+            day: clamp(Duration::from_days(1)),
+            week: clamp(Duration::from_days(7)),
+            month: clamp(Duration::from_days(30)),
+            full: Interval::new(d.start, d.end),
+            min_value: mean_avail,
+            k: 10,
+            threshold: mean_avail * 0.5,
+            min_run: 6,
+        }
+    }
+}
+
+/// Runs one query against a backend, returning a checksum that forces
+/// full evaluation.
+pub fn run_query<B: StorageBackend>(backend: &B, w: &Workload, q: QueryId) -> f64 {
+    match q {
+        QueryId::Q1 => backend
+            .q1_range(w.station, &w.day)
+            .iter()
+            .map(|(t, v)| t.millis() as f64 * 1e-9 + v)
+            .sum(),
+        QueryId::Q2 => backend
+            .q2_filtered(w.station, &w.week, w.min_value)
+            .iter()
+            .map(|(_, v)| v)
+            .sum(),
+        QueryId::Q3 => backend.q3_mean(w.station, &w.month).unwrap_or(0.0),
+        QueryId::Q4 => backend.q4_mean_all(&w.full).iter().map(|(_, m)| m).sum(),
+        QueryId::Q5 => backend
+            .q5_top_k(&w.month, w.k)
+            .iter()
+            .map(|(s, m)| s.raw() as f64 + m)
+            .sum(),
+        QueryId::Q6 => backend
+            .q6_daily(&w.month)
+            .iter()
+            .flat_map(|(_, rows)| rows.iter().map(|r| r.min + r.max + r.mean))
+            .sum(),
+        QueryId::Q7 => backend
+            .q7_neighbour_means(w.hub, &w.week)
+            .iter()
+            .map(|(s, m)| s.raw() as f64 + m)
+            .sum(),
+        QueryId::Q8 => backend
+            .q8_sustained_below(&w.full, w.threshold, w.min_run)
+            .iter()
+            .map(|s| s.raw() as f64)
+            .sum(),
+    }
+}
+
+/// Times `runs` executions of query `q` (after `warmup` untimed runs).
+pub fn measure<B: StorageBackend>(
+    backend: &B,
+    w: &Workload,
+    q: QueryId,
+    warmup: usize,
+    runs: usize,
+) -> QueryStats {
+    let mut checksum = 0.0;
+    for _ in 0..warmup {
+        checksum = run_query(backend, w, q);
+    }
+    let mut samples_ms = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        checksum = run_query(backend, w, q);
+        samples_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let mean = hygraph_ts::ops::stats::mean(&samples_ms).unwrap_or(0.0);
+    let sd = hygraph_ts::ops::stats::stddev(&samples_ms).unwrap_or(0.0);
+    QueryStats {
+        query: q,
+        mrs_ms: mean,
+        cv_pct: if mean > 0.0 { sd / mean * 100.0 } else { 0.0 },
+        runs,
+        checksum,
+    }
+}
+
+/// Measures the full eight-query workload on a backend.
+pub fn measure_all<B: StorageBackend>(
+    backend: &B,
+    w: &Workload,
+    warmup: usize,
+    runs: usize,
+) -> Vec<QueryStats> {
+    QueryId::ALL
+        .iter()
+        .map(|&q| measure(backend, w, q, warmup, runs))
+        .collect()
+}
+
+/// Renders the two-backend comparison in the paper's Table-1 layout.
+pub fn render_table(baseline: &[QueryStats], polyglot: &[QueryStats]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<6} {:>14} {:>8} {:>14} {:>8} {:>10}  Description",
+        "Query", "AIG MRS (ms)", "CV (%)", "Poly MRS (ms)", "CV (%)", "Speedup"
+    );
+    for (b, p) in baseline.iter().zip(polyglot) {
+        debug_assert_eq!(b.query, p.query);
+        let speedup = if p.mrs_ms > 0.0 { b.mrs_ms / p.mrs_ms } else { f64::INFINITY };
+        let _ = writeln!(
+            out,
+            "{:<6} {:>14.3} {:>8.2} {:>14.3} {:>8.2} {:>9.1}x  {}",
+            b.query.name(),
+            b.mrs_ms,
+            b.cv_pct,
+            p.mrs_ms,
+            p.cv_pct,
+            speedup,
+            b.query.describe()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AllInGraphStore, PolyglotStore};
+    use hygraph_datagen::bike::{generate, BikeConfig};
+
+    fn tiny() -> BikeDataset {
+        generate(BikeConfig {
+            stations: 4,
+            days: 2,
+            tick: Duration::from_hours(2),
+            avg_degree: 2,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn checksums_agree_across_backends() {
+        let d = tiny();
+        let w = Workload::for_dataset(&d);
+        let poly = PolyglotStore::load(&d);
+        let aig = AllInGraphStore::load(&d);
+        for q in QueryId::ALL {
+            let a = run_query(&aig, &w, q);
+            let b = run_query(&poly, &w, q);
+            assert!(
+                (a - b).abs() < 1e-6,
+                "{} checksum mismatch: {a} vs {b}",
+                q.name()
+            );
+        }
+    }
+
+    #[test]
+    fn measure_produces_sane_stats() {
+        let d = tiny();
+        let w = Workload::for_dataset(&d);
+        let poly = PolyglotStore::load(&d);
+        let stats = measure(&poly, &w, QueryId::Q3, 1, 5);
+        assert_eq!(stats.runs, 5);
+        assert!(stats.mrs_ms >= 0.0);
+        assert!(stats.cv_pct >= 0.0);
+        assert!(stats.checksum.is_finite());
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let d = tiny();
+        let w = Workload::for_dataset(&d);
+        let poly = PolyglotStore::load(&d);
+        let aig = AllInGraphStore::load(&d);
+        let sa = measure_all(&aig, &w, 0, 2);
+        let sp = measure_all(&poly, &w, 0, 2);
+        let table = render_table(&sa, &sp);
+        for q in QueryId::ALL {
+            assert!(table.contains(q.name()));
+        }
+        assert!(table.contains("Speedup"));
+    }
+
+    #[test]
+    fn workload_windows_clamped() {
+        let d = tiny(); // only 2 days
+        let w = Workload::for_dataset(&d);
+        assert_eq!(w.month.end, d.end, "30-day window clamps to dataset end");
+        assert!(w.day.len() <= Duration::from_days(1));
+    }
+}

@@ -1,0 +1,257 @@
+//! The polyglot-persistence backend (the paper's TimeTravelDB role).
+//!
+//! Topology stays in the graph store; every station's availability
+//! series lives in a [`TsStore`] — chunked by day, with an ordered chunk
+//! index and per-chunk sparse aggregates. Range queries prune to the
+//! touched chunks; aggregate queries read whole covered chunks in O(1).
+
+use crate::backend::{DayAgg, StorageBackend};
+use hygraph_datagen::bike::BikeDataset;
+use hygraph_graph::TemporalGraph;
+use hygraph_ts::store::AggKind;
+use hygraph_ts::TsStore;
+use hygraph_types::{Duration, Interval, SeriesId, Timestamp, VertexId};
+use std::collections::HashMap;
+
+/// Graph store + dedicated chunked time-series store.
+pub struct PolyglotStore {
+    graph: TemporalGraph,
+    ts: TsStore,
+    stations: Vec<VertexId>,
+    series_of: HashMap<VertexId, SeriesId>,
+}
+
+impl PolyglotStore {
+    /// Loads the bike dataset: topology cloned, series bulk-inserted into
+    /// the chunk store.
+    pub fn load(dataset: &BikeDataset) -> Self {
+        let mut ts = TsStore::with_chunk_width(Duration::from_days(1));
+        let mut series_of = HashMap::with_capacity(dataset.stations.len());
+        for (i, &station) in dataset.stations.iter().enumerate() {
+            let sid = SeriesId::new(i as u64);
+            ts.insert_series(sid, &dataset.availability[i]);
+            series_of.insert(station, sid);
+        }
+        Self {
+            graph: dataset.graph.clone(),
+            ts,
+            stations: dataset.stations.clone(),
+            series_of,
+        }
+    }
+
+    /// The underlying series store (inspection/tests).
+    pub fn ts_store(&self) -> &TsStore {
+        &self.ts
+    }
+
+    fn sid(&self, station: VertexId) -> Option<SeriesId> {
+        self.series_of.get(&station).copied()
+    }
+}
+
+impl StorageBackend for PolyglotStore {
+    fn name(&self) -> &'static str {
+        "polyglot"
+    }
+
+    fn q1_range(&self, station: VertexId, iv: &Interval) -> Vec<(Timestamp, f64)> {
+        let Some(sid) = self.sid(station) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        self.ts.scan(sid, iv, |t, v| out.push((t, v)));
+        out
+    }
+
+    fn q2_filtered(
+        &self,
+        station: VertexId,
+        iv: &Interval,
+        min_value: f64,
+    ) -> Vec<(Timestamp, f64)> {
+        let Some(sid) = self.sid(station) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        self.ts.scan(sid, iv, |t, v| {
+            if v >= min_value {
+                out.push((t, v));
+            }
+        });
+        out
+    }
+
+    fn q3_mean(&self, station: VertexId, iv: &Interval) -> Option<f64> {
+        self.ts.aggregate(self.sid(station)?, iv, AggKind::Mean)
+    }
+
+    fn q4_mean_all(&self, iv: &Interval) -> Vec<(VertexId, f64)> {
+        self.stations
+            .iter()
+            .filter_map(|&s| self.q3_mean(s, iv).map(|m| (s, m)))
+            .collect()
+    }
+
+    fn q5_top_k(&self, iv: &Interval, k: usize) -> Vec<(VertexId, f64)> {
+        let mut means = self.q4_mean_all(iv);
+        means.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        means.truncate(k);
+        means
+    }
+
+    fn q6_daily(&self, iv: &Interval) -> Vec<(VertexId, Vec<DayAgg>)> {
+        let day = Duration::from_days(1);
+        self.stations
+            .iter()
+            .filter_map(|&s| {
+                let sid = self.sid(s)?;
+                let rows = self
+                    .ts
+                    .aggregate_buckets(sid, iv, day)
+                    .into_iter()
+                    .map(|(bucket, summary)| DayAgg {
+                        day: bucket,
+                        min: summary.min,
+                        max: summary.max,
+                        mean: summary.mean().expect("non-empty bucket"),
+                    })
+                    .collect();
+                Some((s, rows))
+            })
+            .collect()
+    }
+
+    fn q7_neighbour_means(&self, station: VertexId, iv: &Interval) -> Vec<(VertexId, f64)> {
+        let mut nbrs: Vec<VertexId> = self
+            .graph
+            .neighbors_out(station)
+            .map(|(_, n)| n)
+            .collect();
+        nbrs.sort_unstable();
+        nbrs.dedup();
+        nbrs.into_iter()
+            .filter_map(|n| self.q3_mean(n, iv).map(|m| (n, m)))
+            .collect()
+    }
+
+    fn q8_sustained_below(&self, iv: &Interval, threshold: f64, min_run: usize) -> Vec<VertexId> {
+        self.stations
+            .iter()
+            .filter(|&&s| {
+                let Some(sid) = self.sid(s) else { return false };
+                // chunk-pruned ordered scan with early exit via run check
+                let mut run = 0usize;
+                let mut found = false;
+                self.ts.scan(sid, iv, |_, v| {
+                    if found {
+                        return;
+                    }
+                    if v < threshold {
+                        run += 1;
+                        if run >= min_run {
+                            found = true;
+                        }
+                    } else {
+                        run = 0;
+                    }
+                });
+                found
+            })
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::all_in_graph::AllInGraphStore;
+    use hygraph_datagen::bike::{generate, BikeConfig};
+
+    fn tiny() -> BikeDataset {
+        generate(BikeConfig {
+            stations: 6,
+            days: 3,
+            tick: Duration::from_mins(30),
+            avg_degree: 3,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn chunking_happens() {
+        let d = tiny();
+        let store = PolyglotStore::load(&d);
+        assert_eq!(store.ts_store().chunk_count(SeriesId::new(0)), 3, "one chunk per day");
+    }
+
+    /// The load-bearing equivalence: both backends answer every query
+    /// identically on the same dataset — they differ only in access path.
+    #[test]
+    fn backends_agree_on_all_queries() {
+        let d = tiny();
+        let poly = PolyglotStore::load(&d);
+        let aig = AllInGraphStore::load(&d);
+        let s0 = d.stations[0];
+        let day1 = Interval::new(d.start, d.start + Duration::from_days(1));
+        let week = Interval::new(d.start, d.end);
+
+        assert_eq!(poly.q1_range(s0, &day1), aig.q1_range(s0, &day1));
+        assert_eq!(
+            poly.q2_filtered(s0, &week, 20.0),
+            aig.q2_filtered(s0, &week, 20.0)
+        );
+        let (pm, am) = (poly.q3_mean(s0, &week).unwrap(), aig.q3_mean(s0, &week).unwrap());
+        assert!((pm - am).abs() < 1e-9);
+        let (p4, a4) = (poly.q4_mean_all(&week), aig.q4_mean_all(&week));
+        assert_eq!(p4.len(), a4.len());
+        for ((pv, pmean), (av, amean)) in p4.iter().zip(&a4) {
+            assert_eq!(pv, av);
+            assert!((pmean - amean).abs() < 1e-9);
+        }
+        let (p5, a5) = (poly.q5_top_k(&week, 3), aig.q5_top_k(&week, 3));
+        assert_eq!(
+            p5.iter().map(|x| x.0).collect::<Vec<_>>(),
+            a5.iter().map(|x| x.0).collect::<Vec<_>>()
+        );
+        let (p6, a6) = (poly.q6_daily(&week), aig.q6_daily(&week));
+        assert_eq!(p6.len(), a6.len());
+        for ((pv, prow), (av, arow)) in p6.iter().zip(&a6) {
+            assert_eq!(pv, av);
+            assert_eq!(prow.len(), arow.len());
+            for (p, a) in prow.iter().zip(arow) {
+                assert_eq!(p.day, a.day);
+                assert_eq!(p.min, a.min);
+                assert_eq!(p.max, a.max);
+                assert!((p.mean - a.mean).abs() < 1e-9);
+            }
+        }
+        // q7 on a station with neighbours
+        let hub = d
+            .stations
+            .iter()
+            .copied()
+            .max_by_key(|&s| d.graph.out_degree(s))
+            .unwrap();
+        let (p7, a7) = (poly.q7_neighbour_means(hub, &week), aig.q7_neighbour_means(hub, &week));
+        assert_eq!(p7.len(), a7.len());
+        for ((pv, pm), (av, am)) in p7.iter().zip(&a7) {
+            assert_eq!(pv, av);
+            assert!((pm - am).abs() < 1e-9);
+        }
+        assert_eq!(
+            poly.q8_sustained_below(&week, 18.0, 4),
+            aig.q8_sustained_below(&week, 18.0, 4)
+        );
+    }
+
+    #[test]
+    fn missing_station_is_empty() {
+        let d = tiny();
+        let poly = PolyglotStore::load(&d);
+        let ghost = VertexId::new(999);
+        assert!(poly.q1_range(ghost, &Interval::ALL).is_empty());
+        assert!(poly.q3_mean(ghost, &Interval::ALL).is_none());
+    }
+}

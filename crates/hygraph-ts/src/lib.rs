@@ -1,0 +1,31 @@
+//! Time-series substrate for HyGraph.
+//!
+//! This crate provides the TS half of the HyGraph model: the in-memory
+//! series representations ([`TimeSeries`], [`MultiSeries`]), a
+//! hypertable-style chunked store ([`store::TsStore`]) used by the
+//! polyglot-persistence backend of the Table-1 experiment, and the full
+//! operator library of the paper's Table 2 time-series column:
+//!
+//! | Table 2 row | module |
+//! |---|---|
+//! | Q1 subsequence matching | [`ops::subsequence`] |
+//! | Q2 downsampling | [`ops::downsample`] |
+//! | Q3 correlation | [`ops::correlate`] |
+//! | Q4 segmentation | [`ops::segment`] |
+//! | D anomalies | [`ops::anomaly`] |
+//! | PM sequence/motif mining | [`ops::motif`], [`ops::sax`] |
+//! | E embeddings | [`ops::pca`], [`ops::features`] |
+//! | C1 classification features | [`ops::features`] |
+//! | C2 temporal proximity | [`ops::features`], [`ops::correlate`] |
+//!
+//! All operators are deterministic and allocation-conscious; range scans
+//! are binary-search based and chunk-pruned in the store.
+
+pub mod multi;
+pub mod ops;
+pub mod series;
+pub mod store;
+
+pub use multi::MultiSeries;
+pub use series::TimeSeries;
+pub use store::TsStore;

@@ -1,0 +1,307 @@
+//! Multivariate time series.
+//!
+//! The paper defines a multivariate series as an ordered set of tuples
+//! `ts = {(t₁,y₁), …, (tₙ,yₙ)}` where each `y = (val₁, …, val_k)` is a
+//! tuple of `k` variable values. [`MultiSeries`] stores this column-wise:
+//! one shared timestamp axis plus `k` named value columns — the layout
+//! Xarray uses in the paper's Python prototype.
+
+use crate::series::TimeSeries;
+use hygraph_types::{HyGraphError, Interval, Result, Timestamp};
+use std::fmt;
+
+/// A multivariate time series: one time axis, `k` named variables.
+#[derive(Clone, Default, PartialEq)]
+pub struct MultiSeries {
+    times: Vec<Timestamp>,
+    names: Vec<String>,
+    columns: Vec<Vec<f64>>,
+}
+
+impl MultiSeries {
+    /// An empty multivariate series with the given variable names.
+    pub fn new(names: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        let columns = names.iter().map(|_| Vec::new()).collect();
+        Self {
+            times: Vec::new(),
+            names,
+            columns,
+        }
+    }
+
+    /// Wraps a single univariate series as a 1-column multivariate one.
+    pub fn from_univariate(name: impl Into<String>, s: &TimeSeries) -> Self {
+        Self {
+            times: s.times().to_vec(),
+            names: vec![name.into()],
+            columns: vec![s.values().to_vec()],
+        }
+    }
+
+    /// Builds from already-aligned univariate series (all must share the
+    /// exact same time axis).
+    pub fn from_aligned(
+        parts: impl IntoIterator<Item = (String, TimeSeries)>,
+    ) -> Result<Self> {
+        let mut names = Vec::new();
+        let mut columns = Vec::new();
+        let mut times: Option<Vec<Timestamp>> = None;
+        for (name, s) in parts {
+            match &times {
+                None => times = Some(s.times().to_vec()),
+                Some(t) => {
+                    if t.as_slice() != s.times() {
+                        return Err(HyGraphError::invalid(format!(
+                            "variable '{name}' is not aligned with the shared time axis"
+                        )));
+                    }
+                }
+            }
+            names.push(name);
+            columns.push(s.values().to_vec());
+        }
+        let times = times.ok_or(HyGraphError::EmptyInput("MultiSeries::from_aligned"))?;
+        Ok(Self {
+            times,
+            names,
+            columns,
+        })
+    }
+
+    /// Number of observations (length of the time axis).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the series has no observations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Number of variables `k`.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Variable names in column order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The shared time axis.
+    pub fn times(&self) -> &[Timestamp] {
+        &self.times
+    }
+
+    /// Index of the variable called `name`.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// The raw value column at position `idx`.
+    pub fn column(&self, idx: usize) -> Option<&[f64]> {
+        self.columns.get(idx).map(Vec::as_slice)
+    }
+
+    /// The raw value column for variable `name`.
+    pub fn column_by_name(&self, name: &str) -> Option<&[f64]> {
+        self.column(self.column_index(name)?)
+    }
+
+    /// Appends an observation tuple; errors on arity mismatch or
+    /// out-of-order timestamp.
+    pub fn push(&mut self, t: Timestamp, y: &[f64]) -> Result<()> {
+        if y.len() != self.arity() {
+            return Err(HyGraphError::ArityMismatch {
+                expected: self.arity(),
+                got: y.len(),
+            });
+        }
+        if let Some(&last) = self.times.last() {
+            if t <= last {
+                return Err(HyGraphError::OutOfOrder { at: t, last });
+            }
+        }
+        self.times.push(t);
+        for (col, &v) in self.columns.iter_mut().zip(y) {
+            col.push(v);
+        }
+        Ok(())
+    }
+
+    /// The observation tuple at time `t`, if present.
+    pub fn row_at(&self, t: Timestamp) -> Option<Vec<f64>> {
+        let i = self.times.binary_search(&t).ok()?;
+        Some(self.columns.iter().map(|c| c[i]).collect())
+    }
+
+    /// The observation tuple at position `i`.
+    pub fn row(&self, i: usize) -> Option<(Timestamp, Vec<f64>)> {
+        let t = *self.times.get(i)?;
+        Some((t, self.columns.iter().map(|c| c[i]).collect()))
+    }
+
+    /// Extracts one variable as an owned univariate [`TimeSeries`] — the
+    /// bridge from multivariate storage to the univariate operator library.
+    pub fn to_univariate(&self, name: &str) -> Option<TimeSeries> {
+        let idx = self.column_index(name)?;
+        Some(TimeSeries::from_pairs(
+            self.times
+                .iter()
+                .copied()
+                .zip(self.columns[idx].iter().copied()),
+        ))
+    }
+
+    /// Owned sub-series of the observations inside `interval`.
+    pub fn slice(&self, interval: &Interval) -> MultiSeries {
+        let lo = self.times.partition_point(|&t| t < interval.start);
+        let hi = self.times.partition_point(|&t| t < interval.end);
+        MultiSeries {
+            times: self.times[lo..hi].to_vec(),
+            names: self.names.clone(),
+            columns: self.columns.iter().map(|c| c[lo..hi].to_vec()).collect(),
+        }
+    }
+
+    /// Adds a new variable column aligned to the existing time axis.
+    pub fn add_column(&mut self, name: impl Into<String>, values: Vec<f64>) -> Result<()> {
+        if values.len() != self.len() {
+            return Err(HyGraphError::ArityMismatch {
+                expected: self.len(),
+                got: values.len(),
+            });
+        }
+        self.names.push(name.into());
+        self.columns.push(values);
+        Ok(())
+    }
+
+    /// Iterates `(Timestamp, row)` pairs. Rows are freshly allocated per
+    /// item; prefer [`Self::column`] access in hot loops.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (Timestamp, Vec<f64>)> + '_ {
+        (0..self.len()).map(move |i| self.row(i).expect("index in range"))
+    }
+
+    /// Checks chronological integrity and column alignment.
+    pub fn validate(&self) -> Result<()> {
+        for col in &self.columns {
+            if col.len() != self.times.len() {
+                return Err(HyGraphError::invalid("column length mismatch"));
+            }
+        }
+        for w in self.times.windows(2) {
+            if w[0] >= w[1] {
+                return Err(HyGraphError::DuplicateTimestamp(w[1]));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for MultiSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MultiSeries(len={}, vars={:?})",
+            self.len(),
+            self.names
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::Duration;
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn sample() -> MultiSeries {
+        let mut m = MultiSeries::new(["price", "volume"]);
+        m.push(ts(10), &[100.0, 5.0]).unwrap();
+        m.push(ts(20), &[101.0, 7.0]).unwrap();
+        m.push(ts(30), &[99.5, 2.0]).unwrap();
+        m
+    }
+
+    #[test]
+    fn push_and_access() {
+        let m = sample();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.arity(), 2);
+        assert_eq!(m.row_at(ts(20)), Some(vec![101.0, 7.0]));
+        assert_eq!(m.row_at(ts(21)), None);
+        assert_eq!(m.column_by_name("volume"), Some(&[5.0, 7.0, 2.0][..]));
+        assert_eq!(m.column_by_name("missing"), None);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut m = sample();
+        let err = m.push(ts(40), &[1.0]).unwrap_err();
+        assert_eq!(err, HyGraphError::ArityMismatch { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let mut m = sample();
+        assert!(matches!(
+            m.push(ts(30), &[0.0, 0.0]).unwrap_err(),
+            HyGraphError::OutOfOrder { .. }
+        ));
+    }
+
+    #[test]
+    fn univariate_roundtrip() {
+        let m = sample();
+        let price = m.to_univariate("price").unwrap();
+        assert_eq!(price.values(), &[100.0, 101.0, 99.5]);
+        let back = MultiSeries::from_univariate("price", &price);
+        assert_eq!(back.column_by_name("price"), m.column_by_name("price"));
+        assert_eq!(back.times(), m.times());
+    }
+
+    #[test]
+    fn from_aligned_checks_axis() {
+        let a = TimeSeries::generate(ts(0), Duration::from_millis(10), 3, |i| i as f64);
+        let b = TimeSeries::generate(ts(0), Duration::from_millis(10), 3, |i| i as f64 * 2.0);
+        let m = MultiSeries::from_aligned([("a".to_owned(), a.clone()), ("b".to_owned(), b)]).unwrap();
+        assert_eq!(m.arity(), 2);
+        let misaligned = TimeSeries::generate(ts(5), Duration::from_millis(10), 3, |_| 0.0);
+        assert!(MultiSeries::from_aligned([("a".to_owned(), a), ("c".to_owned(), misaligned)]).is_err());
+        assert!(MultiSeries::from_aligned(std::iter::empty::<(String, TimeSeries)>()).is_err());
+    }
+
+    #[test]
+    fn slice_multivariate() {
+        let m = sample();
+        let sub = m.slice(&Interval::new(ts(15), ts(35)));
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.column_by_name("price"), Some(&[101.0, 99.5][..]));
+        assert_eq!(sub.arity(), 2);
+    }
+
+    #[test]
+    fn add_column_aligned() {
+        let mut m = sample();
+        m.add_column("spread", vec![0.1, 0.2, 0.3]).unwrap();
+        assert_eq!(m.arity(), 3);
+        assert!(m.add_column("bad", vec![1.0]).is_err());
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn iter_rows_order() {
+        let m = sample();
+        let rows: Vec<_> = m.iter_rows().collect();
+        assert_eq!(rows[0], (ts(10), vec![100.0, 5.0]));
+        assert_eq!(rows[2], (ts(30), vec![99.5, 2.0]));
+    }
+}

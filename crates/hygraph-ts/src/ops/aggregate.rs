@@ -1,0 +1,229 @@
+//! Range and windowed aggregation over series.
+//!
+//! These are the series-side primitives behind HyQL's `AGG` clauses and
+//! the Table-1 aggregate queries. The store offers chunk-accelerated
+//! versions of the same computations; this module is the reference
+//! implementation over in-memory series and the provider of windowed
+//! (tumbling / sliding) variants.
+
+use crate::series::TimeSeries;
+use crate::store::{AggKind, Summary};
+use hygraph_types::{Duration, Interval, Timestamp};
+
+/// Aggregates the observations of `s` inside `interval`.
+pub fn aggregate(s: &TimeSeries, interval: &Interval, kind: AggKind) -> Option<f64> {
+    let view = s.range(interval);
+    Summary::of(view.values).get(kind)
+}
+
+/// Full-series summary.
+pub fn summarize(s: &TimeSeries) -> Summary {
+    Summary::of(s.values())
+}
+
+/// Tumbling-window aggregation: one output point per `bucket`-wide window
+/// (timestamped at the window start). Empty windows are skipped.
+pub fn tumbling(s: &TimeSeries, interval: &Interval, bucket: Duration, kind: AggKind) -> TimeSeries {
+    assert!(bucket.is_positive(), "bucket width must be positive");
+    let mut out = TimeSeries::new();
+    let mut cur_key: Option<Timestamp> = None;
+    let mut acc = Summary::new();
+    let view = s.range(interval);
+    for (t, v) in view.iter() {
+        let key = t.truncate(bucket);
+        match cur_key {
+            Some(k) if k == key => acc.add(v),
+            Some(k) => {
+                if let Some(x) = acc.get(kind) {
+                    out.push(k, x).expect("keys increase");
+                }
+                acc = Summary::new();
+                acc.add(v);
+                cur_key = Some(key);
+            }
+            None => {
+                acc.add(v);
+                cur_key = Some(key);
+            }
+        }
+    }
+    if let (Some(k), Some(x)) = (cur_key, acc.get(kind)) {
+        out.push(k, x).expect("keys increase");
+    }
+    out
+}
+
+/// Sliding-window aggregation: for every observation, aggregates the
+/// window `[t - width, t]` ending at it. O(n) for Count/Sum/Mean via a
+/// two-pointer pass; Min/Max use a monotonic deque, also O(n).
+pub fn sliding(s: &TimeSeries, width: Duration, kind: AggKind) -> TimeSeries {
+    assert!(width.is_positive() || width == Duration::ZERO, "width must be non-negative");
+    let times = s.times();
+    let values = s.values();
+    let mut out = TimeSeries::with_capacity(s.len());
+    match kind {
+        AggKind::Count | AggKind::Sum | AggKind::Mean => {
+            let mut lo = 0usize;
+            let mut sum = 0.0f64;
+            for hi in 0..s.len() {
+                sum += values[hi];
+                let win_start = times[hi] - width;
+                while times[lo] < win_start {
+                    sum -= values[lo];
+                    lo += 1;
+                }
+                let n = (hi - lo + 1) as f64;
+                let x = match kind {
+                    AggKind::Count => n,
+                    AggKind::Sum => sum,
+                    AggKind::Mean => sum / n,
+                    _ => unreachable!(),
+                };
+                out.push(times[hi], x).expect("input is ordered");
+            }
+        }
+        AggKind::Min | AggKind::Max => {
+            // monotonic deque of indices
+            let mut deque: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+            let better = |a: f64, b: f64| match kind {
+                AggKind::Min => a <= b,
+                AggKind::Max => a >= b,
+                _ => unreachable!(),
+            };
+            let mut lo = 0usize;
+            for hi in 0..s.len() {
+                while deque.back().is_some_and(|&j| better(values[hi], values[j])) {
+                    deque.pop_back();
+                }
+                deque.push_back(hi);
+                let win_start = times[hi] - width;
+                while times[lo] < win_start {
+                    lo += 1;
+                }
+                while deque.front().is_some_and(|&j| j < lo) {
+                    deque.pop_front();
+                }
+                let x = values[*deque.front().expect("hi was just pushed")];
+                out.push(times[hi], x).expect("input is ordered");
+            }
+        }
+    }
+    out
+}
+
+/// Cumulative sum on the same time axis.
+pub fn cumsum(s: &TimeSeries) -> TimeSeries {
+    let mut acc = 0.0;
+    let mut out = TimeSeries::with_capacity(s.len());
+    for (t, v) in s.iter() {
+        acc += v;
+        out.push(t, acc).expect("input is ordered");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn series() -> TimeSeries {
+        // t: 0,10,...,90; v: 0..9
+        TimeSeries::generate(ts(0), Duration::from_millis(10), 10, |i| i as f64)
+    }
+
+    #[test]
+    fn range_aggregate() {
+        let s = series();
+        let iv = Interval::new(ts(20), ts(60));
+        assert_eq!(aggregate(&s, &iv, AggKind::Count), Some(4.0));
+        assert_eq!(aggregate(&s, &iv, AggKind::Sum), Some(2.0 + 3.0 + 4.0 + 5.0));
+        assert_eq!(aggregate(&s, &iv, AggKind::Mean), Some(3.5));
+        assert_eq!(aggregate(&s, &iv, AggKind::Min), Some(2.0));
+        assert_eq!(aggregate(&s, &iv, AggKind::Max), Some(5.0));
+        let empty = Interval::new(ts(500), ts(600));
+        assert_eq!(aggregate(&s, &empty, AggKind::Mean), None);
+    }
+
+    #[test]
+    fn tumbling_means() {
+        let s = series();
+        let out = tumbling(&s, &Interval::ALL, Duration::from_millis(30), AggKind::Mean);
+        // windows: [0,30): 0,1,2 -> 1; [30,60): 3,4,5 -> 4; [60,90): 6,7,8 -> 7; [90,120): 9
+        assert_eq!(out.times(), &[ts(0), ts(30), ts(60), ts(90)]);
+        assert_eq!(out.values(), &[1.0, 4.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn tumbling_respects_interval() {
+        let s = series();
+        let out = tumbling(
+            &s,
+            &Interval::new(ts(25), ts(65)),
+            Duration::from_millis(30),
+            AggKind::Count,
+        );
+        // visible points: 30,40,50,60 -> windows [30,60): 3 points, [60,90): 1 point
+        assert_eq!(out.values(), &[3.0, 1.0]);
+    }
+
+    #[test]
+    fn sliding_mean_matches_naive() {
+        let s = series();
+        let w = Duration::from_millis(25);
+        let out = sliding(&s, w, AggKind::Mean);
+        assert_eq!(out.len(), s.len());
+        for (i, (t, got)) in out.iter().enumerate() {
+            let lo = t - w;
+            let expect: Vec<f64> = s
+                .iter()
+                .filter(|(u, _)| *u >= lo && *u <= t)
+                .map(|(_, v)| v)
+                .collect();
+            let m = expect.iter().sum::<f64>() / expect.len() as f64;
+            assert!((got - m).abs() < 1e-12, "at index {i}");
+        }
+    }
+
+    #[test]
+    fn sliding_min_max_monotonic_deque() {
+        let s = TimeSeries::from_pairs([
+            (ts(0), 5.0),
+            (ts(10), 1.0),
+            (ts(20), 4.0),
+            (ts(30), 2.0),
+            (ts(40), 8.0),
+        ]);
+        let w = Duration::from_millis(20);
+        let mins = sliding(&s, w, AggKind::Min);
+        assert_eq!(mins.values(), &[5.0, 1.0, 1.0, 1.0, 2.0]);
+        let maxs = sliding(&s, w, AggKind::Max);
+        assert_eq!(maxs.values(), &[5.0, 5.0, 5.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn sliding_zero_width_is_identity_for_mean() {
+        let s = series();
+        let out = sliding(&s, Duration::ZERO, AggKind::Mean);
+        assert_eq!(out.values(), s.values());
+    }
+
+    #[test]
+    fn cumsum_works() {
+        let s = TimeSeries::from_pairs([(ts(0), 1.0), (ts(1), 2.0), (ts(2), 3.0)]);
+        assert_eq!(cumsum(&s).values(), &[1.0, 3.0, 6.0]);
+        assert!(cumsum(&TimeSeries::new()).is_empty());
+    }
+
+    #[test]
+    fn summarize_full() {
+        let s = series();
+        let sm = summarize(&s);
+        assert_eq!(sm.count, 10);
+        assert_eq!(sm.min, 0.0);
+        assert_eq!(sm.max, 9.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Outlier and anomaly detection (Table 2, row D — time-series side;
+//! Listing 2 of the paper).
+//!
+//! Three detectors, from global to local:
+//! * **z-score** — global deviation from the series mean;
+//! * **IQR** — robust quartile fences (Tukey);
+//! * **sliding-window distance** — the paper's Listing-2 method: a point
+//!   is anomalous when it deviates strongly from its recent local window
+//!   (distance-based local outlier detection).
+//!
+//! All detectors return [`Anomaly`] records carrying a score, so the
+//! hybrid detection operator can re-rank them with community context.
+
+use crate::ops::stats;
+use crate::series::TimeSeries;
+use hygraph_types::{Duration, Timestamp};
+
+/// One detected anomaly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Anomaly {
+    /// Position in the input series.
+    pub index: usize,
+    /// Timestamp of the anomalous observation.
+    pub time: Timestamp,
+    /// The observed value.
+    pub value: f64,
+    /// Detector-specific severity (larger = more anomalous; comparable
+    /// within one detector run only).
+    pub score: f64,
+}
+
+/// Global z-score detector: flags `|x - mean| / stddev > threshold`.
+/// A constant series yields no anomalies.
+pub fn zscore(s: &TimeSeries, threshold: f64) -> Vec<Anomaly> {
+    let Some(m) = stats::mean(s.values()) else {
+        return Vec::new();
+    };
+    let sd = stats::stddev(s.values()).unwrap_or(0.0);
+    if sd <= f64::EPSILON {
+        return Vec::new();
+    }
+    s.iter()
+        .enumerate()
+        .filter_map(|(i, (t, v))| {
+            let z = (v - m).abs() / sd;
+            (z > threshold).then_some(Anomaly {
+                index: i,
+                time: t,
+                value: v,
+                score: z,
+            })
+        })
+        .collect()
+}
+
+/// Tukey IQR fences: flags values outside
+/// `[q1 - k·IQR, q3 + k·IQR]` (classic `k = 1.5`).
+pub fn iqr(s: &TimeSeries, k: f64) -> Vec<Anomaly> {
+    let vals = s.values();
+    if vals.len() < 4 {
+        return Vec::new();
+    }
+    let q1 = stats::percentile(vals, 25.0).expect("non-empty");
+    let q3 = stats::percentile(vals, 75.0).expect("non-empty");
+    let iqr = q3 - q1;
+    let lo = q1 - k * iqr;
+    let hi = q3 + k * iqr;
+    let denom = if iqr <= f64::EPSILON { 1.0 } else { iqr };
+    s.iter()
+        .enumerate()
+        .filter_map(|(i, (t, v))| {
+            let out = if v < lo {
+                lo - v
+            } else if v > hi {
+                v - hi
+            } else {
+                return None;
+            };
+            Some(Anomaly {
+                index: i,
+                time: t,
+                value: v,
+                score: out / denom,
+            })
+        })
+        .collect()
+}
+
+/// Sliding-window distance detector (the Listing-2 method): for each
+/// point, compares it against the mean/stddev of the *preceding* window
+/// `[t - width, t)`; flags local z-scores above `threshold`.
+///
+/// Points whose preceding window holds fewer than `min_points`
+/// observations are skipped (cold start).
+pub fn sliding_window(
+    s: &TimeSeries,
+    width: Duration,
+    threshold: f64,
+    min_points: usize,
+) -> Vec<Anomaly> {
+    let times = s.times();
+    let values = s.values();
+    let mut out = Vec::new();
+    let mut lo = 0usize;
+    // incremental sums over the window [lo, i)
+    let mut sum = 0.0f64;
+    let mut sumsq = 0.0f64;
+    for i in 0..s.len() {
+        let win_start = times[i] - width;
+        while lo < i && times[lo] < win_start {
+            sum -= values[lo];
+            sumsq -= values[lo] * values[lo];
+            lo += 1;
+        }
+        let n = i - lo;
+        if n >= min_points.max(2) {
+            let nf = n as f64;
+            let mean = sum / nf;
+            let var = (sumsq / nf - mean * mean).max(0.0);
+            let sd = var.sqrt();
+            if sd > f64::EPSILON {
+                let z = (values[i] - mean).abs() / sd;
+                if z > threshold {
+                    out.push(Anomaly {
+                        index: i,
+                        time: times[i],
+                        value: values[i],
+                        score: z,
+                    });
+                }
+            }
+        }
+        sum += values[i];
+        sumsq += values[i] * values[i];
+    }
+    out
+}
+
+/// Convenience: per-point anomaly *scores* (local z-scores, 0 when
+/// undefined) on the same time axis — useful as a feature column.
+pub fn local_scores(s: &TimeSeries, width: Duration, min_points: usize) -> TimeSeries {
+    let anomalies = sliding_window(s, width, 0.0, min_points);
+    let mut scores = vec![0.0; s.len()];
+    for a in anomalies {
+        scores[a.index] = a.score;
+    }
+    TimeSeries::from_pairs(s.times().iter().copied().zip(scores))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    /// Mostly-flat signal with spikes at indices 50 and 120.
+    fn spiky() -> TimeSeries {
+        TimeSeries::generate(ts(0), Duration::from_millis(10), 200, |i| match i {
+            50 => 50.0,
+            120 => -40.0,
+            _ => ((i as f64) * 0.7).sin(), // small oscillation
+        })
+    }
+
+    #[test]
+    fn zscore_finds_spikes() {
+        let s = spiky();
+        let found = zscore(&s, 3.0);
+        let idxs: Vec<usize> = found.iter().map(|a| a.index).collect();
+        assert_eq!(idxs, vec![50, 120]);
+        assert!(found[0].score > found[1].score, "bigger spike scores higher");
+    }
+
+    #[test]
+    fn zscore_constant_series_clean() {
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 50, |_| 7.0);
+        assert!(zscore(&s, 1.0).is_empty());
+        assert!(zscore(&TimeSeries::new(), 1.0).is_empty());
+    }
+
+    #[test]
+    fn iqr_finds_spikes() {
+        let s = spiky();
+        let found = iqr(&s, 1.5);
+        let idxs: Vec<usize> = found.iter().map(|a| a.index).collect();
+        assert!(idxs.contains(&50));
+        assert!(idxs.contains(&120));
+        assert!(found.iter().all(|a| a.score > 0.0));
+    }
+
+    #[test]
+    fn iqr_needs_four_points() {
+        let s = TimeSeries::from_pairs([(ts(0), 1.0), (ts(1), 100.0), (ts(2), 1.0)]);
+        assert!(iqr(&s, 1.5).is_empty());
+    }
+
+    #[test]
+    fn sliding_window_detects_local_burst() {
+        // gentle trend with a sudden local burst the global mean would miss
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(10), 300, |i| {
+            let base = i as f64 * 0.5; // strong trend
+            if i == 200 {
+                base + 30.0
+            } else {
+                base
+            }
+        });
+        // global zscore misses it: the trend dominates the variance
+        assert!(zscore(&s, 3.0).is_empty());
+        // local detector catches it
+        let found = sliding_window(&s, Duration::from_millis(200), 5.0, 5);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].index, 200);
+    }
+
+    #[test]
+    fn sliding_window_cold_start_skipped() {
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(10), 10, |i| {
+            if i == 1 {
+                1000.0
+            } else {
+                0.0
+            }
+        });
+        // window of 30ms holds < min_points at i=1
+        let found = sliding_window(&s, Duration::from_millis(30), 2.0, 3);
+        assert!(found.iter().all(|a| a.index != 1));
+    }
+
+    #[test]
+    fn local_scores_axis_matches() {
+        let s = spiky();
+        let scores = local_scores(&s, Duration::from_millis(300), 5);
+        assert_eq!(scores.len(), s.len());
+        assert_eq!(scores.times(), s.times());
+        assert!(scores.values()[50] > 3.0);
+    }
+
+    #[test]
+    fn listing2_expenditure_example() {
+        // The paper's Listing 2: User 1 has several significant peaks in a
+        // short interval [t5, t6); users with steady spending are clean.
+        let user1 = TimeSeries::generate(ts(0), Duration::from_hours(1), 48, |i| {
+            if (20..24).contains(&i) {
+                950.0 + (i - 20) as f64 * 30.0 // fraud burst
+            } else {
+                40.0 + (i % 5) as f64
+            }
+        });
+        let user2 = TimeSeries::generate(ts(0), Duration::from_hours(1), 48, |i| 42.0 + (i % 7) as f64);
+        let threshold = 3.0;
+        assert!(!zscore(&user1, threshold).is_empty(), "user 1 flagged");
+        assert!(zscore(&user2, threshold).is_empty(), "user 2 clean");
+    }
+}

@@ -1,0 +1,171 @@
+//! Downsampling (Table 2, row Q2 — time-series side).
+//!
+//! Two strategies:
+//! * **bucket mean** — classic tumbling-window mean reduction; pairs with
+//!   graph aggregation in the hybrid Q2 operator ("adjust the frequency of
+//!   associated time series to a user-defined granularity").
+//! * **LTTB** (Largest-Triangle-Three-Buckets) — shape-preserving
+//!   downsampling to a fixed point budget, the standard for visual and
+//!   sketch-level reduction.
+
+use crate::ops::aggregate;
+use crate::series::TimeSeries;
+use crate::store::AggKind;
+use hygraph_types::{Duration, Interval};
+
+/// Reduces `s` to one mean point per `bucket`-wide window.
+pub fn bucket_mean(s: &TimeSeries, bucket: Duration) -> TimeSeries {
+    aggregate::tumbling(s, &Interval::ALL, bucket, AggKind::Mean)
+}
+
+/// Reduces `s` to one `kind` aggregate point per `bucket`-wide window.
+pub fn bucket_agg(s: &TimeSeries, bucket: Duration, kind: AggKind) -> TimeSeries {
+    aggregate::tumbling(s, &Interval::ALL, bucket, kind)
+}
+
+/// Largest-Triangle-Three-Buckets downsampling to at most `threshold`
+/// points. Keeps the first and last points, and from each interior bucket
+/// the point forming the largest triangle with the previously selected
+/// point and the next bucket's centroid.
+///
+/// Returns a copy of the input when `threshold >= len` or `threshold < 3`.
+pub fn lttb(s: &TimeSeries, threshold: usize) -> TimeSeries {
+    let n = s.len();
+    if threshold >= n || threshold < 3 || n < 3 {
+        return s.clone();
+    }
+    let times = s.times();
+    let values = s.values();
+    let mut out = TimeSeries::with_capacity(threshold);
+    out.push(times[0], values[0]).expect("first point");
+
+    // interior buckets over indices [1, n-1)
+    let bucket_count = threshold - 2;
+    let span = (n - 2) as f64 / bucket_count as f64;
+    let mut prev_idx = 0usize;
+
+    for b in 0..bucket_count {
+        let start = (b as f64 * span) as usize + 1;
+        let end = (((b + 1) as f64 * span) as usize + 1).min(n - 1);
+        // centroid of the NEXT bucket (or the final point for the last one)
+        let (next_start, next_end) = if b + 1 < bucket_count {
+            (
+                ((b + 1) as f64 * span) as usize + 1,
+                ((((b + 2) as f64 * span) as usize) + 1).min(n - 1),
+            )
+        } else {
+            (n - 1, n)
+        };
+        let m = (next_end - next_start).max(1) as f64;
+        let cx: f64 = times[next_start..next_end]
+            .iter()
+            .map(|t| t.millis() as f64)
+            .sum::<f64>()
+            / m;
+        let cy: f64 = values[next_start..next_end].iter().sum::<f64>() / m;
+
+        let ax = times[prev_idx].millis() as f64;
+        let ay = values[prev_idx];
+        let mut best = start;
+        let mut best_area = -1.0f64;
+        for i in start..end.max(start + 1) {
+            let bx = times[i].millis() as f64;
+            let by = values[i];
+            let area = ((ax - cx) * (by - ay) - (ax - bx) * (cy - ay)).abs();
+            if area > best_area {
+                best_area = area;
+                best = i;
+            }
+        }
+        out.push(times[best], values[best]).expect("indices increase");
+        prev_idx = best;
+    }
+
+    out.push(times[n - 1], values[n - 1]).expect("last point");
+    out
+}
+
+/// Keeps every `k`-th observation (systematic sampling).
+pub fn stride(s: &TimeSeries, k: usize) -> TimeSeries {
+    assert!(k > 0, "stride must be positive");
+    TimeSeries::from_pairs(s.iter().step_by(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::Timestamp;
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn bucket_mean_reduces() {
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(10), 100, |i| i as f64);
+        let d = bucket_mean(&s, Duration::from_millis(100));
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.values()[0], 4.5, "mean of 0..=9");
+        assert_eq!(d.values()[9], 94.5);
+    }
+
+    #[test]
+    fn bucket_agg_max() {
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(10), 20, |i| (i % 5) as f64);
+        let d = bucket_agg(&s, Duration::from_millis(50), AggKind::Max);
+        assert!(d.values().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn lttb_endpoints_and_budget() {
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 1000, |i| {
+            ((i as f64) * 0.05).sin()
+        });
+        let d = lttb(&s, 50);
+        assert_eq!(d.len(), 50);
+        assert_eq!(d.first(), s.first());
+        assert_eq!(d.last(), s.last());
+        assert!(d.validate().is_ok(), "selected points stay ordered");
+    }
+
+    #[test]
+    fn lttb_keeps_spike() {
+        // flat signal with one tall spike: LTTB must keep the spike
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 500, |i| {
+            if i == 250 {
+                100.0
+            } else {
+                0.0
+            }
+        });
+        let d = lttb(&s, 10);
+        assert!(
+            d.values().contains(&100.0),
+            "spike must survive downsampling"
+        );
+    }
+
+    #[test]
+    fn lttb_small_inputs_pass_through() {
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 5, |i| i as f64);
+        assert_eq!(lttb(&s, 10), s, "threshold >= len");
+        assert_eq!(lttb(&s, 2), s, "threshold < 3");
+        let tiny = TimeSeries::from_pairs([(ts(0), 1.0), (ts(1), 2.0)]);
+        assert_eq!(lttb(&tiny, 3), tiny);
+    }
+
+    #[test]
+    fn stride_sampling() {
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 10, |i| i as f64);
+        let d = stride(&s, 3);
+        assert_eq!(d.values(), &[0.0, 3.0, 6.0, 9.0]);
+        assert_eq!(stride(&s, 1), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn stride_zero_panics() {
+        let s = TimeSeries::new();
+        let _ = stride(&s, 0);
+    }
+}

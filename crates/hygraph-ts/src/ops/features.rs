@@ -1,0 +1,213 @@
+//! Temporal feature extraction (Table 2, rows C1/C2 — time-series side).
+//!
+//! Produces fixed-length feature vectors ("temporal FAT": features,
+//! autocorrelation, trends) summarising a series for classification and
+//! clustering — the time-series contribution to the hybrid embedding the
+//! paper proposes for E/C1/C2.
+
+use crate::ops::stats;
+use crate::series::TimeSeries;
+
+/// Number of features produced by [`feature_vector`].
+pub const FEATURE_DIM: usize = 10;
+
+/// Names of the features, index-aligned with [`feature_vector`].
+pub const FEATURE_NAMES: [&str; FEATURE_DIM] = [
+    "mean",
+    "stddev",
+    "min",
+    "max",
+    "median",
+    "trend_slope",
+    "acf_lag1",
+    "acf_lag2",
+    "abs_energy",
+    "mean_abs_change",
+];
+
+/// Fixed-length statistical summary of a series. Empty series map to the
+/// zero vector; undefined entries (e.g. autocorrelation of a constant)
+/// are 0.
+pub fn feature_vector(s: &TimeSeries) -> [f64; FEATURE_DIM] {
+    let xs = s.values();
+    if xs.is_empty() {
+        return [0.0; FEATURE_DIM];
+    }
+    let mean = stats::mean(xs).unwrap_or(0.0);
+    let sd = stats::stddev(xs).unwrap_or(0.0);
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let median = stats::median(xs).unwrap_or(0.0);
+    let slope = stats::linear_fit(xs).map_or(0.0, |(m, _)| m);
+    let acf1 = stats::autocorrelation(xs, 1).unwrap_or(0.0);
+    let acf2 = stats::autocorrelation(xs, 2).unwrap_or(0.0);
+    let energy = xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64;
+    let mac = if xs.len() > 1 {
+        xs.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (xs.len() - 1) as f64
+    } else {
+        0.0
+    };
+    [mean, sd, min, max, median, slope, acf1, acf2, energy, mac]
+}
+
+/// Z-score normalises a set of feature vectors column-wise, in place —
+/// required before distance-based clustering so no single feature
+/// dominates. Constant columns become zeros.
+pub fn normalize_columns(rows: &mut [Vec<f64>]) {
+    if rows.is_empty() {
+        return;
+    }
+    let dim = rows[0].len();
+    for c in 0..dim {
+        let col: Vec<f64> = rows.iter().map(|r| r[c]).collect();
+        let m = stats::mean(&col).unwrap_or(0.0);
+        let sd = stats::stddev(&col).unwrap_or(0.0);
+        for r in rows.iter_mut() {
+            r[c] = if sd <= f64::EPSILON { 0.0 } else { (r[c] - m) / sd };
+        }
+    }
+}
+
+/// Euclidean distance between two equal-length feature vectors.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Cosine similarity between two equal-length vectors; 0 when either is
+/// the zero vector.
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na <= f64::EPSILON || nb <= f64::EPSILON {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Seasonality strength at period `p`: variance explained by the
+/// per-phase means, in `[0, 1]`. 0 for aperiodic or too-short input.
+pub fn seasonality_strength(s: &TimeSeries, p: usize) -> f64 {
+    let xs = s.values();
+    if p < 2 || xs.len() < 2 * p {
+        return 0.0;
+    }
+    let total_var = stats::variance(xs).unwrap_or(0.0);
+    if total_var <= f64::EPSILON {
+        return 0.0;
+    }
+    // mean per phase
+    let mut phase_sum = vec![0.0; p];
+    let mut phase_n = vec![0usize; p];
+    for (i, &x) in xs.iter().enumerate() {
+        phase_sum[i % p] += x;
+        phase_n[i % p] += 1;
+    }
+    let global = stats::mean(xs).unwrap_or(0.0);
+    let mut between = 0.0;
+    let mut total_w = 0.0;
+    for k in 0..p {
+        if phase_n[k] == 0 {
+            continue;
+        }
+        let m = phase_sum[k] / phase_n[k] as f64;
+        between += phase_n[k] as f64 * (m - global) * (m - global);
+        total_w += phase_n[k] as f64;
+    }
+    ((between / total_w) / total_var).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::{Duration, Timestamp};
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn feature_vector_basic() {
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 100, |i| i as f64);
+        let f = feature_vector(&s);
+        assert!((f[0] - 49.5).abs() < 1e-9, "mean");
+        assert_eq!(f[2], 0.0, "min");
+        assert_eq!(f[3], 99.0, "max");
+        assert!((f[5] - 1.0).abs() < 1e-9, "slope of identity ramp");
+        assert!((f[9] - 1.0).abs() < 1e-9, "mean abs change of ramp");
+    }
+
+    #[test]
+    fn empty_and_single_are_defined() {
+        assert_eq!(feature_vector(&TimeSeries::new()), [0.0; FEATURE_DIM]);
+        let one = TimeSeries::from_pairs([(ts(0), 5.0)]);
+        let f = feature_vector(&one);
+        assert_eq!(f[0], 5.0);
+        assert_eq!(f[9], 0.0, "mean abs change undefined -> 0");
+    }
+
+    #[test]
+    fn feature_names_aligned() {
+        assert_eq!(FEATURE_NAMES.len(), FEATURE_DIM);
+        assert_eq!(FEATURE_NAMES[0], "mean");
+        assert_eq!(FEATURE_NAMES[9], "mean_abs_change");
+    }
+
+    #[test]
+    fn normalize_columns_standardises() {
+        let mut rows = vec![vec![1.0, 100.0], vec![2.0, 200.0], vec![3.0, 300.0]];
+        normalize_columns(&mut rows);
+        for c in 0..2 {
+            let col: Vec<f64> = rows.iter().map(|r| r[c]).collect();
+            assert!(stats::mean(&col).unwrap().abs() < 1e-12);
+            assert!((stats::stddev(&col).unwrap() - 1.0).abs() < 1e-12);
+        }
+        // constant column becomes zeros
+        let mut rows = vec![vec![7.0], vec![7.0]];
+        normalize_columns(&mut rows);
+        assert_eq!(rows, vec![vec![0.0], vec![0.0]]);
+        normalize_columns(&mut []);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-12);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0, "zero vector");
+    }
+
+    #[test]
+    fn seasonality_detects_period() {
+        let periodic = TimeSeries::generate(ts(0), Duration::from_millis(1), 200, |i| {
+            ((i % 20) as f64 / 20.0 * std::f64::consts::TAU).sin()
+        });
+        let strength = seasonality_strength(&periodic, 20);
+        assert!(strength > 0.95, "strong period-20 seasonality, got {strength}");
+        let wrong_p = seasonality_strength(&periodic, 13);
+        assert!(wrong_p < 0.3, "no period-13 seasonality, got {wrong_p}");
+        // noise-free ramp: any period explains little
+        let ramp = TimeSeries::generate(ts(0), Duration::from_millis(1), 200, |i| i as f64);
+        assert!(seasonality_strength(&ramp, 20) < 0.2);
+        // degenerate inputs
+        assert_eq!(seasonality_strength(&periodic, 1), 0.0);
+        assert_eq!(seasonality_strength(&TimeSeries::new(), 10), 0.0);
+    }
+
+    #[test]
+    fn similar_series_have_similar_features() {
+        let a = TimeSeries::generate(ts(0), Duration::from_millis(1), 100, |i| ((i as f64) * 0.2).sin());
+        let b = TimeSeries::generate(ts(0), Duration::from_millis(1), 100, |i| ((i as f64) * 0.2).sin() * 1.01);
+        let c = TimeSeries::generate(ts(0), Duration::from_millis(1), 100, |i| (i as f64) * 5.0);
+        let (fa, fb, fc) = (feature_vector(&a), feature_vector(&b), feature_vector(&c));
+        assert!(euclidean(&fa, &fb) < euclidean(&fa, &fc));
+    }
+}

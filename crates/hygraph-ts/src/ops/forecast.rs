@@ -1,0 +1,344 @@
+//! Forecasting (the paper's §1/§2 "predictive tasks": micromobility
+//! demand prediction).
+//!
+//! Three classical forecasters, from baseline to seasonal:
+//! * **seasonal naive** — repeat the last observed season;
+//! * **AR(p)** — autoregression fit by Yule-Walker (Levinson-Durbin);
+//! * **Holt-Winters** — additive triple exponential smoothing.
+//!
+//! All operate on regularly-sampled series and forecast a fixed horizon
+//! on the same grid. The hybrid demand-prediction example combines these
+//! with graph context (correlated neighbour stations).
+
+use crate::ops::stats;
+use crate::series::TimeSeries;
+use hygraph_types::{Duration, HyGraphError, Result, Timestamp};
+
+/// Infers the (regular) sampling step of a series; errors when the
+/// series has fewer than 2 points or irregular spacing.
+pub fn sampling_step(s: &TimeSeries) -> Result<Duration> {
+    if s.len() < 2 {
+        return Err(HyGraphError::EmptyInput("sampling_step needs >= 2 points"));
+    }
+    let times = s.times();
+    let step = times[1] - times[0];
+    for w in times.windows(2) {
+        if w[1] - w[0] != step {
+            return Err(HyGraphError::invalid(
+                "series is not regularly sampled; resample first",
+            ));
+        }
+    }
+    Ok(step)
+}
+
+fn horizon_axis(s: &TimeSeries, step: Duration, horizon: usize) -> Vec<Timestamp> {
+    let (last, _) = s.last().expect("caller checks non-empty");
+    (1..=horizon as i64).map(|k| last + step.scale(k)).collect()
+}
+
+/// Seasonal-naive forecast: `ŷ(t+k) = y(t+k-m)` for season length `m`
+/// points. Falls back to repeating the last value when the history is
+/// shorter than one season.
+pub fn seasonal_naive(s: &TimeSeries, season: usize, horizon: usize) -> Result<TimeSeries> {
+    let step = sampling_step(s)?;
+    let values = s.values();
+    let n = values.len();
+    let axis = horizon_axis(s, step, horizon);
+    let mut out = TimeSeries::with_capacity(horizon);
+    for (k, &t) in axis.iter().enumerate() {
+        let v = if season > 0 && n >= season {
+            values[n - season + (k % season)]
+        } else {
+            values[n - 1]
+        };
+        out.push(t, v).expect("axis increases");
+    }
+    Ok(out)
+}
+
+/// Fits AR(p) coefficients by Yule-Walker / Levinson-Durbin on the
+/// centred series. Returns `(coefficients, mean)`.
+pub fn fit_ar(values: &[f64], p: usize) -> Result<(Vec<f64>, f64)> {
+    if values.len() < p + 2 || p == 0 {
+        return Err(HyGraphError::invalid(format!(
+            "AR({p}) needs at least {} points, got {}",
+            p + 2,
+            values.len()
+        )));
+    }
+    let mean = stats::mean(values).expect("non-empty");
+    let centred: Vec<f64> = values.iter().map(|x| x - mean).collect();
+    // autocovariances r[0..=p]
+    let n = centred.len() as f64;
+    let r: Vec<f64> = (0..=p)
+        .map(|k| {
+            (0..centred.len() - k)
+                .map(|i| centred[i] * centred[i + k])
+                .sum::<f64>()
+                / n
+        })
+        .collect();
+    if r[0] <= f64::EPSILON {
+        return Err(HyGraphError::invalid("constant series has no AR model"));
+    }
+    // Levinson-Durbin recursion
+    let mut a = vec![0.0f64; p];
+    let mut e = r[0];
+    for k in 0..p {
+        let mut acc = r[k + 1];
+        for j in 0..k {
+            acc -= a[j] * r[k - j];
+        }
+        let kappa = acc / e;
+        let mut new_a = a.clone();
+        new_a[k] = kappa;
+        for j in 0..k {
+            new_a[j] = a[j] - kappa * a[k - 1 - j];
+        }
+        a = new_a;
+        e *= 1.0 - kappa * kappa;
+        if e <= f64::EPSILON {
+            break;
+        }
+    }
+    Ok((a, mean))
+}
+
+/// AR(p) forecast: fits on the history and iterates the recursion for
+/// `horizon` steps.
+pub fn ar_forecast(s: &TimeSeries, p: usize, horizon: usize) -> Result<TimeSeries> {
+    let step = sampling_step(s)?;
+    let (coef, mean) = fit_ar(s.values(), p)?;
+    let mut history: Vec<f64> = s.values().iter().map(|x| x - mean).collect();
+    let axis = horizon_axis(s, step, horizon);
+    let mut out = TimeSeries::with_capacity(horizon);
+    for &t in &axis {
+        let m = history.len();
+        let pred: f64 = coef
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| c * history[m - 1 - j])
+            .sum();
+        history.push(pred);
+        out.push(t, pred + mean).expect("axis increases");
+    }
+    Ok(out)
+}
+
+/// Holt-Winters additive configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct HoltWinters {
+    /// Level smoothing in (0, 1).
+    pub alpha: f64,
+    /// Trend smoothing in (0, 1).
+    pub beta: f64,
+    /// Seasonal smoothing in (0, 1).
+    pub gamma: f64,
+    /// Season length in points (>= 2).
+    pub season: usize,
+}
+
+impl Default for HoltWinters {
+    fn default() -> Self {
+        Self {
+            alpha: 0.3,
+            beta: 0.05,
+            gamma: 0.2,
+            season: 24,
+        }
+    }
+}
+
+/// Additive Holt-Winters forecast. Requires at least two full seasons
+/// of history.
+pub fn holt_winters(s: &TimeSeries, cfg: HoltWinters, horizon: usize) -> Result<TimeSeries> {
+    let step = sampling_step(s)?;
+    let m = cfg.season;
+    let values = s.values();
+    if m < 2 || values.len() < 2 * m {
+        return Err(HyGraphError::invalid(format!(
+            "holt-winters needs >= 2 seasons ({} points), got {}",
+            2 * m,
+            values.len()
+        )));
+    }
+    for x in [cfg.alpha, cfg.beta, cfg.gamma] {
+        if !(0.0..1.0).contains(&x) || x == 0.0 {
+            return Err(HyGraphError::invalid("smoothing factors must be in (0, 1)"));
+        }
+    }
+    // initialisation: first-season mean level, mean first-difference of
+    // season means for trend, first-season deviations for seasonals
+    let season1 = &values[..m];
+    let season2 = &values[m..2 * m];
+    let mean1 = stats::mean(season1).expect("non-empty");
+    let mean2 = stats::mean(season2).expect("non-empty");
+    let mut level = mean1;
+    let mut trend = (mean2 - mean1) / m as f64;
+    let mut seasonal: Vec<f64> = season1.iter().map(|x| x - mean1).collect();
+
+    for (i, &y) in values.iter().enumerate().skip(m) {
+        let si = i % m;
+        let last_level = level;
+        level = cfg.alpha * (y - seasonal[si]) + (1.0 - cfg.alpha) * (level + trend);
+        trend = cfg.beta * (level - last_level) + (1.0 - cfg.beta) * trend;
+        seasonal[si] = cfg.gamma * (y - level) + (1.0 - cfg.gamma) * seasonal[si];
+    }
+
+    let n = values.len();
+    let axis = horizon_axis(s, step, horizon);
+    let mut out = TimeSeries::with_capacity(horizon);
+    for (k, &t) in axis.iter().enumerate() {
+        let si = (n + k) % m;
+        let pred = level + trend * (k + 1) as f64 + seasonal[si];
+        out.push(t, pred).expect("axis increases");
+    }
+    Ok(out)
+}
+
+/// Mean absolute error between a forecast and the actual continuation
+/// (aligned by timestamp; unmatched points are skipped). `None` when no
+/// timestamps align.
+pub fn mae(forecast: &TimeSeries, actual: &TimeSeries) -> Option<f64> {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (t, f) in forecast.iter() {
+        if let Some(a) = actual.value_at(t) {
+            total += (f - a).abs();
+            n += 1;
+        }
+    }
+    (n > 0).then(|| total / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn seasonal_series(n: usize, period: usize) -> TimeSeries {
+        TimeSeries::generate(ts(0), Duration::from_mins(1), n, move |i| {
+            50.0 + 10.0 * ((i % period) as f64 / period as f64 * std::f64::consts::TAU).sin()
+        })
+    }
+
+    #[test]
+    fn sampling_step_detection() {
+        let s = seasonal_series(10, 5);
+        assert_eq!(sampling_step(&s).unwrap(), Duration::from_mins(1));
+        let irregular = TimeSeries::from_pairs([(ts(0), 1.0), (ts(10), 2.0), (ts(15), 3.0)]);
+        assert!(sampling_step(&irregular).is_err());
+        let single = TimeSeries::from_pairs([(ts(0), 1.0)]);
+        assert!(sampling_step(&single).is_err());
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_cycle() {
+        let s = seasonal_series(48, 24);
+        let f = seasonal_naive(&s, 24, 24).unwrap();
+        assert_eq!(f.len(), 24);
+        // perfect seasonality: forecast equals the last observed season
+        let err = mae(&f, &seasonal_series(96, 24)).unwrap();
+        assert!(err < 1e-9, "mae {err}");
+        // forecast axis continues the grid
+        assert_eq!(f.first().unwrap().0, ts(48 * 60_000));
+    }
+
+    #[test]
+    fn seasonal_naive_short_history_fallback() {
+        let s = seasonal_series(5, 24);
+        let f = seasonal_naive(&s, 24, 3).unwrap();
+        let last = s.last().unwrap().1;
+        assert!(f.values().iter().all(|&v| v == last));
+    }
+
+    #[test]
+    fn ar_fits_ar1_process() {
+        // stationary AR(1): x_{t+1} = 0.8 x_t + noise (deterministic
+        // hash noise so the test is reproducible)
+        let noise = |i: usize| {
+            let mut x = (i as u64) ^ 0x9E37_79B9_7F4A_7C15;
+            x ^= x >> 33;
+            x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            x ^= x >> 29;
+            (x % 1000) as f64 / 1000.0 - 0.5
+        };
+        let mut x = 0.0f64;
+        let s = TimeSeries::generate(ts(0), Duration::from_mins(1), 500, |i| {
+            x = 0.8 * x + noise(i);
+            x
+        });
+        let (coef, mean) = fit_ar(s.values(), 1).unwrap();
+        assert!((coef[0] - 0.8).abs() < 0.1, "coef {coef:?}");
+        // multi-step forecast reverts toward the series mean
+        let f = ar_forecast(&s, 1, 50).unwrap();
+        let first_dev = (f.values()[0] - mean).abs();
+        let last_dev = (f.values()[49] - mean).abs();
+        assert!(last_dev < first_dev.max(1e-9), "mean reversion: {first_dev} -> {last_dev}");
+        assert_eq!(f.len(), 50);
+    }
+
+    #[test]
+    fn ar_rejects_degenerate() {
+        let flat = TimeSeries::generate(ts(0), Duration::from_mins(1), 30, |_| 5.0);
+        assert!(fit_ar(flat.values(), 2).is_err(), "constant series");
+        let tiny = TimeSeries::generate(ts(0), Duration::from_mins(1), 3, |i| i as f64);
+        assert!(fit_ar(tiny.values(), 5).is_err(), "too short");
+        assert!(fit_ar(tiny.values(), 0).is_err(), "p = 0");
+    }
+
+    #[test]
+    fn holt_winters_tracks_seasonal_trend() {
+        // rising seasonal signal
+        let period = 12;
+        let s = TimeSeries::generate(ts(0), Duration::from_mins(1), 96, move |i| {
+            i as f64 * 0.5
+                + 8.0 * ((i % period) as f64 / period as f64 * std::f64::consts::TAU).sin()
+        });
+        let cfg = HoltWinters {
+            season: period,
+            ..Default::default()
+        };
+        let f = holt_winters(&s, cfg, 24).unwrap();
+        let actual = TimeSeries::generate(ts(0), Duration::from_mins(1), 120, move |i| {
+            i as f64 * 0.5
+                + 8.0 * ((i % period) as f64 / period as f64 * std::f64::consts::TAU).sin()
+        });
+        let err = mae(&f, &actual).unwrap();
+        assert!(err < 2.0, "holt-winters mae {err}");
+        // must beat seasonal naive (which misses the trend)
+        let naive = seasonal_naive(&s, period, 24).unwrap();
+        let naive_err = mae(&naive, &actual).unwrap();
+        assert!(err < naive_err, "hw {err} vs naive {naive_err}");
+    }
+
+    #[test]
+    fn holt_winters_rejects_bad_config() {
+        let s = seasonal_series(100, 24);
+        assert!(holt_winters(&s, HoltWinters { season: 60, ..Default::default() }, 5).is_err());
+        assert!(holt_winters(
+            &s,
+            HoltWinters { alpha: 0.0, ..Default::default() },
+            5
+        )
+        .is_err());
+        assert!(holt_winters(
+            &s,
+            HoltWinters { gamma: 1.0, ..Default::default() },
+            5
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn mae_alignment() {
+        let f = TimeSeries::from_pairs([(ts(10), 5.0), (ts(20), 7.0)]);
+        let a = TimeSeries::from_pairs([(ts(10), 6.0), (ts(30), 0.0)]);
+        assert_eq!(mae(&f, &a), Some(1.0), "only t=10 aligns");
+        assert_eq!(mae(&f, &TimeSeries::new()), None);
+    }
+}

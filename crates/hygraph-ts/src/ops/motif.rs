@@ -1,0 +1,347 @@
+//! Motif and discord discovery via the matrix profile (Table 2, row PM —
+//! time-series side).
+//!
+//! The matrix profile of a series records, for every subsequence of
+//! length `m`, the z-normalised Euclidean distance to its nearest
+//! non-trivial neighbour. Its minima are **motifs** (repeated patterns)
+//! and its maxima are **discords** (the most unusual subsequences).
+//!
+//! This is an O(n²·m)-free implementation using the STOMP identity for
+//! rolling dot products, giving O(n²) overall — ample for the series
+//! sizes of the paper's workloads.
+
+use crate::ops::stats;
+use crate::series::TimeSeries;
+use hygraph_types::Timestamp;
+
+/// The matrix profile of a series.
+#[derive(Clone, Debug)]
+pub struct MatrixProfile {
+    /// Subsequence length the profile was computed for.
+    pub window: usize,
+    /// `profile[i]` = distance from subsequence `i` to its nearest
+    /// non-trivial neighbour.
+    pub profile: Vec<f64>,
+    /// `index[i]` = offset of that nearest neighbour.
+    pub index: Vec<usize>,
+}
+
+/// A discovered motif pair (or discord).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Motif {
+    /// Offset of the first occurrence.
+    pub a: usize,
+    /// Offset of the second occurrence (nearest neighbour).
+    pub b: usize,
+    /// Timestamp of the first occurrence.
+    pub time_a: Timestamp,
+    /// Timestamp of the second occurrence.
+    pub time_b: Timestamp,
+    /// Z-normalised Euclidean distance between the two occurrences.
+    pub distance: f64,
+}
+
+/// Computes the matrix profile of `s` with subsequence length `window`.
+/// Returns `None` when the series is shorter than `2 * window` (no
+/// non-trivial neighbour exists).
+pub fn matrix_profile(s: &TimeSeries, window: usize) -> Option<MatrixProfile> {
+    let n = s.len();
+    let m = window;
+    if m < 2 || n < 2 * m {
+        return None;
+    }
+    let values = s.values();
+    let n_sub = n - m + 1;
+
+    // per-subsequence mean and stddev via prefix sums
+    let mut sum = vec![0.0f64; n + 1];
+    let mut sumsq = vec![0.0f64; n + 1];
+    for i in 0..n {
+        sum[i + 1] = sum[i] + values[i];
+        sumsq[i + 1] = sumsq[i] + values[i] * values[i];
+    }
+    let mf = m as f64;
+    let mean = |i: usize| (sum[i + m] - sum[i]) / mf;
+    let sd = |i: usize| {
+        let mu = mean(i);
+        ((sumsq[i + m] - sumsq[i]) / mf - mu * mu).max(0.0).sqrt()
+    };
+
+    // exclusion zone (trivial matches): |i - j| < m/2 is excluded
+    let excl = (m / 2).max(1);
+
+    let mut profile = vec![f64::INFINITY; n_sub];
+    let mut index = vec![0usize; n_sub];
+
+    // initial dot products: q[j] = <sub_0, sub_j>
+    let mut q = vec![0.0f64; n_sub];
+    for (j, qj) in q.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for k in 0..m {
+            acc += values[k] * values[j + k];
+        }
+        *qj = acc;
+    }
+    let first_row = q.clone();
+
+    for i in 0..n_sub {
+        if i > 0 {
+            // STOMP update: QT(i,j) = QT(i-1,j-1) - x[i-1]x[j-1] + x[i+m-1]x[j+m-1]
+            #[allow(clippy::needless_range_loop)] // j indexes q, q[j-1] and values in lockstep
+            for j in (1..n_sub).rev() {
+                q[j] = q[j - 1] - values[i - 1] * values[j - 1] + values[i + m - 1] * values[j + m - 1];
+            }
+            q[0] = first_row[i];
+        }
+        let mu_i = mean(i);
+        let sd_i = sd(i);
+        #[allow(clippy::needless_range_loop)] // j drives q, mean(j) and sd(j) together
+        for j in 0..n_sub {
+            if j.abs_diff(i) < excl {
+                continue;
+            }
+            let sd_j = sd(j);
+            let d = if sd_i <= f64::EPSILON || sd_j <= f64::EPSILON {
+                // constant subsequence: distance 0 to other constants,
+                // max otherwise
+                if sd_i <= f64::EPSILON && sd_j <= f64::EPSILON {
+                    0.0
+                } else {
+                    (2.0 * mf).sqrt()
+                }
+            } else {
+                let corr = (q[j] - mf * mu_i * mean(j)) / (mf * sd_i * sd_j);
+                (2.0 * mf * (1.0 - corr.clamp(-1.0, 1.0))).max(0.0).sqrt()
+            };
+            if d < profile[i] {
+                profile[i] = d;
+                index[i] = j;
+            }
+        }
+    }
+
+    Some(MatrixProfile {
+        window,
+        profile,
+        index,
+    })
+}
+
+/// Top-`k` motifs: the subsequence pairs with the smallest profile
+/// distances, suppressing occurrences overlapping already-reported ones.
+pub fn motifs(s: &TimeSeries, window: usize, k: usize) -> Vec<Motif> {
+    let Some(mp) = matrix_profile(s, window) else {
+        return Vec::new();
+    };
+    pick(s, &mp, k, false)
+}
+
+/// Top-`k` discords: the subsequences *farthest* from any other
+/// subsequence — the PM-side anomaly notion.
+pub fn discords(s: &TimeSeries, window: usize, k: usize) -> Vec<Motif> {
+    let Some(mp) = matrix_profile(s, window) else {
+        return Vec::new();
+    };
+    pick(s, &mp, k, true)
+}
+
+fn pick(s: &TimeSeries, mp: &MatrixProfile, k: usize, largest: bool) -> Vec<Motif> {
+    let m = mp.window;
+    let mut order: Vec<usize> = (0..mp.profile.len())
+        .filter(|&i| mp.profile[i].is_finite())
+        .collect();
+    order.sort_by(|&a, &b| {
+        if largest {
+            mp.profile[b].total_cmp(&mp.profile[a])
+        } else {
+            mp.profile[a].total_cmp(&mp.profile[b])
+        }
+    });
+    let mut out: Vec<Motif> = Vec::new();
+    let overlaps = |x: usize, y: usize| x.abs_diff(y) < m;
+    for i in order {
+        if out.len() == k {
+            break;
+        }
+        let j = mp.index[i];
+        if out
+            .iter()
+            .any(|mo| overlaps(mo.a, i) || overlaps(mo.b, i) || overlaps(mo.a, j) || overlaps(mo.b, j))
+        {
+            continue;
+        }
+        out.push(Motif {
+            a: i,
+            b: j,
+            time_a: s.times()[i],
+            time_b: s.times()[j],
+            distance: mp.profile[i],
+        });
+    }
+    out
+}
+
+/// Verifies a motif by direct z-normalised distance computation — used in
+/// tests and as a safety net for downstream consumers.
+pub fn verify_distance(s: &TimeSeries, a: usize, b: usize, window: usize) -> Option<f64> {
+    let values = s.values();
+    if a + window > values.len() || b + window > values.len() {
+        return None;
+    }
+    let mut xa = values[a..a + window].to_vec();
+    let mut xb = values[b..b + window].to_vec();
+    stats::znormalize(&mut xa);
+    stats::znormalize(&mut xb);
+    Some(
+        xa.iter()
+            .zip(&xb)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::Duration;
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    /// Pseudo-noise background (so no two background windows match under
+    /// z-normalisation) with the same bump planted at offsets 100 and
+    /// 400, and a unique large sawtooth discord at 250.
+    fn planted() -> TimeSeries {
+        // deterministic hash noise (murmur-style finalizer, no sequential
+        // structure), aperiodic over the series length
+        let noise = |i: usize| {
+            let mut x = (i as u64) ^ 0x9E37_79B9_7F4A_7C15;
+            x ^= x >> 33;
+            x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            x ^= x >> 33;
+            x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+            x ^= x >> 33;
+            (x % 1000) as f64 / 1000.0 - 0.5
+        };
+        TimeSeries::generate(ts(0), Duration::from_millis(1), 600, |i| {
+            let bump = |o: usize| {
+                let x = (i as f64 - o as f64) / 10.0;
+                (-(x * x)).exp() * 20.0
+            };
+            let mut v = noise(i) * 0.6;
+            if (80..140).contains(&i) {
+                v += bump(100);
+            }
+            if (380..440).contains(&i) {
+                v += bump(400);
+            }
+            if (245..265).contains(&i) {
+                v += ((i % 4) as f64) * 8.0; // jagged discord
+            }
+            v
+        })
+    }
+
+    #[test]
+    fn motif_finds_planted_pair() {
+        let s = planted();
+        let found = motifs(&s, 40, 1);
+        assert_eq!(found.len(), 1);
+        let m = &found[0];
+        let (lo, hi) = (m.a.min(m.b), m.a.max(m.b));
+        // the two bump occurrences are exactly 300 samples apart; any
+        // window pair straddling them shares that displacement
+        assert_eq!(hi - lo, 300, "expected displacement 300, got ({lo}, {hi})");
+        assert!((60..=120).contains(&lo), "window should cover bump 1, got {lo}");
+        // profile distance agrees with direct computation
+        let direct = verify_distance(&s, m.a, m.b, 40).unwrap();
+        assert!((direct - m.distance).abs() < 1e-6);
+    }
+
+    #[test]
+    fn discord_finds_anomalous_region() {
+        // periodic background: every normal window has a near-perfect
+        // neighbour one period away; the dent at 250..270 has none.
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 600, |i| {
+            let base = ((i as f64) / 50.0 * std::f64::consts::TAU).sin();
+            if (250..270).contains(&i) {
+                base + 3.0 * (((i - 250) as f64 / 20.0 * std::f64::consts::PI).sin())
+            } else {
+                base
+            }
+        });
+        let found = discords(&s, 25, 1);
+        assert_eq!(found.len(), 1);
+        let d = &found[0];
+        assert!(
+            (226..=270).contains(&d.a),
+            "expected discord overlapping [250,270), got {}",
+            d.a
+        );
+    }
+
+    #[test]
+    fn too_short_series_yields_nothing() {
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 30, |i| i as f64);
+        assert!(matrix_profile(&s, 20).is_none());
+        assert!(motifs(&s, 20, 3).is_empty());
+        assert!(discords(&s, 20, 3).is_empty());
+    }
+
+    #[test]
+    fn exclusion_zone_blocks_trivial_matches() {
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 200, |i| ((i as f64) * 0.1).sin());
+        let mp = matrix_profile(&s, 20).unwrap();
+        for (i, &j) in mp.index.iter().enumerate() {
+            if mp.profile[i].is_finite() {
+                assert!(i.abs_diff(j) >= 10, "trivial self-match at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_motifs_do_not_overlap() {
+        let s = planted();
+        let found = motifs(&s, 30, 3);
+        for x in 0..found.len() {
+            for y in (x + 1)..found.len() {
+                let occ_x = [found[x].a, found[x].b];
+                let occ_y = [found[y].a, found[y].b];
+                for &ox in &occ_x {
+                    for &oy in &occ_y {
+                        assert!(ox.abs_diff(oy) >= 30, "overlapping occurrences");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profile_matches_bruteforce_on_small_input() {
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 64, |i| {
+            ((i as f64) * 0.37).sin() + ((i as f64) * 0.11).cos()
+        });
+        let m = 8;
+        let mp = matrix_profile(&s, m).unwrap();
+        let n_sub = s.len() - m + 1;
+        for i in 0..n_sub {
+            let mut best = f64::INFINITY;
+            for j in 0..n_sub {
+                if i.abs_diff(j) < m / 2 {
+                    continue;
+                }
+                let d = verify_distance(&s, i, j, m).unwrap();
+                if d < best {
+                    best = d;
+                }
+            }
+            assert!(
+                (best - mp.profile[i]).abs() < 1e-6,
+                "profile mismatch at {i}: brute {best} vs stomp {}",
+                mp.profile[i]
+            );
+        }
+    }
+}

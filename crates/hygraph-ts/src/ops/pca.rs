@@ -1,0 +1,364 @@
+//! Principal component analysis via power iteration with deflation —
+//! the paper's proposed tool "PCA for time-series aspects" of the hybrid
+//! embedding (Table 2, row E).
+//!
+//! Operates on row-major data matrices (one row per sample). Suitable for
+//! projecting per-vertex time-series feature matrices down to a few
+//! dimensions before concatenation with structural embeddings.
+
+use crate::ops::stats;
+
+/// Result of a PCA fit.
+#[derive(Clone, Debug)]
+pub struct Pca {
+    /// Column means subtracted before projection.
+    pub mean: Vec<f64>,
+    /// Principal components, one row per component (unit vectors).
+    pub components: Vec<Vec<f64>>,
+    /// Variance explained by each component.
+    pub explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits `k` principal components to `rows` (samples × features).
+    /// Returns `None` for empty input, inconsistent row lengths, or
+    /// `k == 0`.
+    pub fn fit(rows: &[Vec<f64>], k: usize) -> Option<Pca> {
+        let n = rows.len();
+        if n == 0 || k == 0 {
+            return None;
+        }
+        let dim = rows[0].len();
+        if dim == 0 || rows.iter().any(|r| r.len() != dim) {
+            return None;
+        }
+        let k = k.min(dim);
+
+        // centre the data
+        let mut mean = vec![0.0; dim];
+        for r in rows {
+            for (m, &x) in mean.iter_mut().zip(r) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let mut centred: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| r.iter().zip(&mean).map(|(x, m)| x - m).collect())
+            .collect();
+
+        let mut components = Vec::with_capacity(k);
+        let mut explained = Vec::with_capacity(k);
+
+        for c in 0..k {
+            match dominant_direction(&centred, 200, 1e-10, c) {
+                Some((dir, var)) if var > f64::EPSILON => {
+                    // deflate: remove the component from the data
+                    for row in &mut centred {
+                        let proj: f64 = row.iter().zip(&dir).map(|(x, d)| x * d).sum();
+                        for (x, d) in row.iter_mut().zip(&dir) {
+                            *x -= proj * d;
+                        }
+                    }
+                    components.push(dir);
+                    explained.push(var);
+                }
+                _ => break, // remaining variance is zero
+            }
+        }
+        if components.is_empty() {
+            // degenerate (constant) data: return the first axis with zero variance
+            let mut e0 = vec![0.0; dim];
+            e0[0] = 1.0;
+            components.push(e0);
+            explained.push(0.0);
+        }
+        Some(Pca {
+            mean,
+            components,
+            explained_variance: explained,
+        })
+    }
+
+    /// Number of fitted components.
+    pub fn k(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Projects one sample onto the fitted components.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        self.components
+            .iter()
+            .map(|comp| {
+                row.iter()
+                    .zip(&self.mean)
+                    .zip(comp)
+                    .map(|((x, m), c)| (x - m) * c)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Projects many samples.
+    pub fn transform_all(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+
+    /// Fraction of total variance captured by the fitted components,
+    /// relative to the original per-column variances.
+    pub fn explained_ratio(&self, rows: &[Vec<f64>]) -> f64 {
+        let dim = self.mean.len();
+        let mut total = 0.0;
+        for c in 0..dim {
+            let col: Vec<f64> = rows.iter().map(|r| r[c]).collect();
+            total += stats::variance(&col).unwrap_or(0.0);
+        }
+        if total <= f64::EPSILON {
+            return 1.0;
+        }
+        self.explained_variance.iter().sum::<f64>() / total
+    }
+}
+
+/// Power iteration for the dominant eigenvector of the covariance of
+/// `centred` (already mean-free). Returns the unit direction and the
+/// variance along it. `seed_axis` picks a deterministic start vector.
+fn dominant_direction(
+    centred: &[Vec<f64>],
+    max_iter: usize,
+    tol: f64,
+    seed_axis: usize,
+) -> Option<(Vec<f64>, f64)> {
+    let n = centred.len();
+    let dim = centred[0].len();
+    // deterministic start: unit axis rotated by seed, plus small ramp to
+    // avoid pathological orthogonal starts
+    let mut v: Vec<f64> = (0..dim)
+        .map(|i| {
+            if i == seed_axis % dim {
+                1.0
+            } else {
+                1e-3 * ((i + 1) as f64)
+            }
+        })
+        .collect();
+    normalize(&mut v)?;
+
+    let mut lambda = 0.0;
+    for _ in 0..max_iter {
+        // w = Cov · v computed as Xᵀ(Xv)/n without materialising Cov
+        let mut xv = vec![0.0; n];
+        for (i, row) in centred.iter().enumerate() {
+            xv[i] = row.iter().zip(&v).map(|(x, b)| x * b).sum();
+        }
+        let mut w = vec![0.0; dim];
+        for (i, row) in centred.iter().enumerate() {
+            for (wj, &x) in w.iter_mut().zip(row) {
+                *wj += xv[i] * x;
+            }
+        }
+        for wj in &mut w {
+            *wj /= n as f64;
+        }
+        let new_lambda = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if new_lambda <= f64::EPSILON {
+            return Some((v, 0.0));
+        }
+        for wj in &mut w {
+            *wj /= new_lambda;
+        }
+        let delta: f64 = w
+            .iter()
+            .zip(&v)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        v = w;
+        lambda = new_lambda;
+        if delta < tol {
+            break;
+        }
+    }
+    Some((v, lambda))
+}
+
+
+/// PCA similarity factor between two multivariate series (Yang &
+/// Shahabi, 2004): fits `k` principal components to each series' rows
+/// and measures subspace alignment as `(1/k) Σᵢⱼ cos²θᵢⱼ` over the two
+/// component sets — 1.0 for identical subspaces, → 0 for orthogonal
+/// ones. Returns `None` when either side has too little data or the
+/// arities differ.
+pub fn pca_similarity(
+    a: &crate::multi::MultiSeries,
+    b: &crate::multi::MultiSeries,
+    k: usize,
+) -> Option<f64> {
+    if a.arity() != b.arity() || a.arity() == 0 || k == 0 {
+        return None;
+    }
+    let rows = |m: &crate::multi::MultiSeries| -> Vec<Vec<f64>> {
+        (0..m.len())
+            .map(|i| m.row(i).expect("index in range").1)
+            .collect()
+    };
+    let pa = Pca::fit(&rows(a), k)?;
+    let pb = Pca::fit(&rows(b), k)?;
+    let k_eff = pa.k().min(pb.k());
+    if k_eff == 0 {
+        return None;
+    }
+    let mut acc = 0.0;
+    for ca in pa.components.iter().take(k_eff) {
+        for cb in pb.components.iter().take(k_eff) {
+            let dot: f64 = ca.iter().zip(cb).map(|(x, y)| x * y).sum();
+            acc += dot * dot;
+        }
+    }
+    Some((acc / k_eff as f64).clamp(0.0, 1.0))
+}
+
+fn normalize(v: &mut [f64]) -> Option<()> {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm <= f64::EPSILON {
+        return None;
+    }
+    for x in v.iter_mut() {
+        *x /= norm;
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Samples spread along the direction (3, 4)/5 with small noise in the
+    /// orthogonal direction.
+    fn anisotropic() -> Vec<Vec<f64>> {
+        (0..100)
+            .map(|i| {
+                let t = (i as f64 - 50.0) / 10.0;
+                let noise = ((i * 7919) % 13) as f64 / 13.0 - 0.5; // deterministic pseudo-noise
+                vec![3.0 * t - 4.0 * 0.05 * noise, 4.0 * t + 3.0 * 0.05 * noise]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_component_is_main_axis() {
+        let data = anisotropic();
+        let pca = Pca::fit(&data, 1).unwrap();
+        let c = &pca.components[0];
+        // direction (0.6, 0.8) up to sign
+        let dot = (c[0] * 0.6 + c[1] * 0.8).abs();
+        assert!(dot > 0.999, "component {c:?} not aligned, |dot|={dot}");
+        assert!(pca.explained_variance[0] > 1.0);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let data = anisotropic();
+        let pca = Pca::fit(&data, 2).unwrap();
+        assert_eq!(pca.k(), 2);
+        for c in &pca.components {
+            let norm: f64 = c.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-6);
+        }
+        let dot: f64 = pca.components[0]
+            .iter()
+            .zip(&pca.components[1])
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!(dot.abs() < 1e-6, "components not orthogonal: {dot}");
+    }
+
+    #[test]
+    fn transform_reduces_dimension() {
+        let data = anisotropic();
+        let pca = Pca::fit(&data, 1).unwrap();
+        let projected = pca.transform_all(&data);
+        assert_eq!(projected.len(), data.len());
+        assert_eq!(projected[0].len(), 1);
+        // the 1-D projection still separates the extremes
+        let first = projected[0][0];
+        let last = projected[99][0];
+        assert!((first - last).abs() > 10.0);
+    }
+
+    #[test]
+    fn explained_ratio_near_one_for_low_rank_data() {
+        let data = anisotropic();
+        let pca = Pca::fit(&data, 1).unwrap();
+        let r = pca.explained_ratio(&data);
+        assert!(r > 0.99, "one component should explain nearly all, got {r}");
+    }
+
+    #[test]
+    fn variance_ordering() {
+        let data = anisotropic();
+        let pca = Pca::fit(&data, 2).unwrap();
+        assert!(pca.explained_variance[0] >= pca.explained_variance[1]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(Pca::fit(&[], 2).is_none());
+        assert!(Pca::fit(&[vec![1.0, 2.0]], 0).is_none());
+        assert!(Pca::fit(&[vec![1.0], vec![1.0, 2.0]], 1).is_none(), "ragged rows");
+        // constant data: one zero-variance component
+        let constant = vec![vec![5.0, 5.0]; 10];
+        let pca = Pca::fit(&constant, 2).unwrap();
+        assert_eq!(pca.explained_variance[0], 0.0);
+        let p = pca.transform(&[5.0, 5.0]);
+        assert!(p.iter().all(|x| x.abs() < 1e-12));
+    }
+
+
+    #[test]
+    fn pca_similarity_multivariate() {
+        use crate::multi::MultiSeries;
+        use hygraph_types::Timestamp;
+        let mk = |f: &dyn Fn(usize) -> (f64, f64)| {
+            let mut m = MultiSeries::new(["x", "y"]);
+            for i in 0..80 {
+                let (x, y) = f(i);
+                m.push(Timestamp::from_millis(i as i64), &[x, y]).unwrap();
+            }
+            m
+        };
+        // a and b vary along the same direction (1, 2); c along (2, -1)
+        let a = mk(&|i| {
+            let t = (i as f64 * 0.3).sin();
+            (t, 2.0 * t)
+        });
+        let b = mk(&|i| {
+            let t = (i as f64 * 0.17).cos() * 5.0;
+            (t, 2.0 * t)
+        });
+        let c = mk(&|i| {
+            let t = (i as f64 * 0.3).sin();
+            (2.0 * t, -t)
+        });
+        let same = pca_similarity(&a, &b, 1).unwrap();
+        let diff = pca_similarity(&a, &c, 1).unwrap();
+        assert!(same > 0.99, "aligned subspaces: {same}");
+        assert!(diff < 0.05, "orthogonal subspaces: {diff}");
+        // degenerate inputs
+        let one_var = MultiSeries::new(["only"]);
+        assert!(pca_similarity(&a, &one_var, 1).is_none(), "arity mismatch");
+        assert!(pca_similarity(&a, &b, 0).is_none());
+        // full-rank comparison is symmetric
+        let s_ab = pca_similarity(&a, &b, 2).unwrap();
+        let s_ba = pca_similarity(&b, &a, 2).unwrap();
+        assert!((s_ab - s_ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_clamped_to_dim() {
+        let data = anisotropic();
+        let pca = Pca::fit(&data, 10).unwrap();
+        assert!(pca.k() <= 2);
+    }
+}

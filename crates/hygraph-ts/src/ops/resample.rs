@@ -1,0 +1,190 @@
+//! Resampling and alignment onto regular time grids.
+//!
+//! Correlation, PCA and multivariate construction all need series on a
+//! shared time axis; this module provides the interpolation strategies
+//! to get there.
+
+use crate::series::TimeSeries;
+use hygraph_types::{Duration, Timestamp};
+
+/// How to fill grid points that fall between observations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FillMethod {
+    /// Linear interpolation between the surrounding observations.
+    Linear,
+    /// Last observation carried forward (step function).
+    Previous,
+    /// Value of the nearest observation in time.
+    Nearest,
+}
+
+/// Resamples `s` onto the regular grid `start, start+step, …` with `n`
+/// points. Grid points outside the observed span are clamped to the
+/// first/last observation. Returns an empty series if `s` is empty.
+pub fn resample(s: &TimeSeries, start: Timestamp, step: Duration, n: usize, method: FillMethod) -> TimeSeries {
+    assert!(step.is_positive(), "step must be positive");
+    if s.is_empty() {
+        return TimeSeries::new();
+    }
+    let times = s.times();
+    let values = s.values();
+    let mut out = TimeSeries::with_capacity(n);
+    let mut t = start;
+    for _ in 0..n {
+        let v = interpolate_at(times, values, t, method);
+        out.push(t, v).expect("grid is increasing");
+        t += step;
+    }
+    out
+}
+
+/// Aligns two series onto a common regular grid covering the overlap of
+/// their spans. Returns `None` when the spans do not overlap (or either
+/// series is empty).
+pub fn align(
+    a: &TimeSeries,
+    b: &TimeSeries,
+    step: Duration,
+    method: FillMethod,
+) -> Option<(TimeSeries, TimeSeries)> {
+    let sa = a.span()?;
+    let sb = b.span()?;
+    let overlap = sa.intersect(&sb)?;
+    let n = (overlap.len().millis() / step.millis()).max(1) as usize;
+    let ra = resample(a, overlap.start, step, n, method);
+    let rb = resample(b, overlap.start, step, n, method);
+    Some((ra, rb))
+}
+
+/// Interpolated value of the (sorted) observation columns at time `t`.
+pub fn interpolate_at(times: &[Timestamp], values: &[f64], t: Timestamp, method: FillMethod) -> f64 {
+    debug_assert!(!times.is_empty());
+    match times.binary_search(&t) {
+        Ok(i) => values[i],
+        Err(0) => values[0],
+        Err(i) if i == times.len() => values[times.len() - 1],
+        Err(i) => {
+            let (t0, v0) = (times[i - 1], values[i - 1]);
+            let (t1, v1) = (times[i], values[i]);
+            match method {
+                FillMethod::Previous => v0,
+                FillMethod::Nearest => {
+                    if (t - t0) <= (t1 - t) {
+                        v0
+                    } else {
+                        v1
+                    }
+                }
+                FillMethod::Linear => {
+                    let span = (t1 - t0).millis() as f64;
+                    let frac = (t - t0).millis() as f64 / span;
+                    v0 + (v1 - v0) * frac
+                }
+            }
+        }
+    }
+}
+
+/// Fills gaps larger than `max_gap` with NaN markers removed — i.e.
+/// returns the sub-series split points where the sampling interval
+/// exceeds `max_gap`. Useful for detecting sensor outages before
+/// resampling across them.
+pub fn gap_split(s: &TimeSeries, max_gap: Duration) -> Vec<TimeSeries> {
+    if s.is_empty() {
+        return Vec::new();
+    }
+    let mut parts = Vec::new();
+    let mut cur = TimeSeries::new();
+    let mut prev: Option<Timestamp> = None;
+    for (t, v) in s.iter() {
+        if let Some(p) = prev {
+            if t - p > max_gap {
+                parts.push(std::mem::take(&mut cur));
+            }
+        }
+        cur.push(t, v).expect("input ordered");
+        prev = Some(t);
+    }
+    parts.push(cur);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn linear_interpolation() {
+        let s = TimeSeries::from_pairs([(ts(0), 0.0), (ts(10), 10.0)]);
+        let r = resample(&s, ts(0), Duration::from_millis(5), 3, FillMethod::Linear);
+        assert_eq!(r.values(), &[0.0, 5.0, 10.0]);
+    }
+
+    #[test]
+    fn previous_fill() {
+        let s = TimeSeries::from_pairs([(ts(0), 1.0), (ts(10), 2.0)]);
+        let r = resample(&s, ts(0), Duration::from_millis(4), 3, FillMethod::Previous);
+        assert_eq!(r.values(), &[1.0, 1.0, 1.0]);
+        let r = resample(&s, ts(2), Duration::from_millis(8), 2, FillMethod::Previous);
+        assert_eq!(r.values(), &[1.0, 2.0], "exact hit at t=10 uses the observation");
+    }
+
+    #[test]
+    fn nearest_fill_tie_goes_left() {
+        let s = TimeSeries::from_pairs([(ts(0), 1.0), (ts(10), 2.0)]);
+        assert_eq!(interpolate_at(s.times(), s.values(), ts(5), FillMethod::Nearest), 1.0);
+        assert_eq!(interpolate_at(s.times(), s.values(), ts(6), FillMethod::Nearest), 2.0);
+        assert_eq!(interpolate_at(s.times(), s.values(), ts(4), FillMethod::Nearest), 1.0);
+    }
+
+    #[test]
+    fn clamping_outside_span() {
+        let s = TimeSeries::from_pairs([(ts(10), 5.0), (ts(20), 7.0)]);
+        assert_eq!(interpolate_at(s.times(), s.values(), ts(0), FillMethod::Linear), 5.0);
+        assert_eq!(interpolate_at(s.times(), s.values(), ts(100), FillMethod::Linear), 7.0);
+    }
+
+    #[test]
+    fn empty_series_resamples_empty() {
+        let r = resample(&TimeSeries::new(), ts(0), Duration::from_millis(1), 5, FillMethod::Linear);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn align_overlapping() {
+        let a = TimeSeries::generate(ts(0), Duration::from_millis(10), 10, |i| i as f64);
+        let b = TimeSeries::generate(ts(50), Duration::from_millis(10), 10, |i| i as f64);
+        let (ra, rb) = align(&a, &b, Duration::from_millis(10), FillMethod::Linear).unwrap();
+        assert_eq!(ra.len(), rb.len());
+        assert_eq!(ra.times(), rb.times());
+        assert_eq!(ra.first().unwrap().0, ts(50));
+    }
+
+    #[test]
+    fn align_disjoint_is_none() {
+        let a = TimeSeries::generate(ts(0), Duration::from_millis(1), 5, |_| 0.0);
+        let b = TimeSeries::generate(ts(100), Duration::from_millis(1), 5, |_| 0.0);
+        assert!(align(&a, &b, Duration::from_millis(1), FillMethod::Linear).is_none());
+        assert!(align(&a, &TimeSeries::new(), Duration::from_millis(1), FillMethod::Linear).is_none());
+    }
+
+    #[test]
+    fn gap_split_detects_outage() {
+        let s = TimeSeries::from_pairs([
+            (ts(0), 1.0),
+            (ts(10), 2.0),
+            (ts(20), 3.0),
+            (ts(500), 4.0), // outage
+            (ts(510), 5.0),
+        ]);
+        let parts = gap_split(&s, Duration::from_millis(50));
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].len(), 3);
+        assert_eq!(parts[1].len(), 2);
+        assert!(gap_split(&TimeSeries::new(), Duration::from_millis(1)).is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! Symbolic Aggregate approXimation (SAX) — the discretisation behind
+//! sequence pattern mining (Table 2, row PM).
+//!
+//! SAX reduces a series to a short word over a small alphabet: the series
+//! is z-normalised, piecewise-aggregated (PAA) into `word_len` frames,
+//! and each frame mean is mapped to a symbol via Gaussian breakpoints.
+//! Frequent-word counting over sliding windows yields frequent temporal
+//! patterns, which the hybrid PM operator joins with frequent subgraphs.
+
+use crate::ops::stats;
+use crate::series::TimeSeries;
+use std::collections::HashMap;
+
+/// Gaussian breakpoints for alphabet sizes 2..=8 (standard SAX tables).
+fn breakpoints(alphabet: usize) -> &'static [f64] {
+    match alphabet {
+        2 => &[0.0],
+        3 => &[-0.43, 0.43],
+        4 => &[-0.67, 0.0, 0.67],
+        5 => &[-0.84, -0.25, 0.25, 0.84],
+        6 => &[-0.97, -0.43, 0.0, 0.43, 0.97],
+        7 => &[-1.07, -0.57, -0.18, 0.18, 0.57, 1.07],
+        8 => &[-1.15, -0.67, -0.32, 0.0, 0.32, 0.67, 1.15],
+        _ => panic!("alphabet size must be in 2..=8, got {alphabet}"),
+    }
+}
+
+/// Piecewise Aggregate Approximation: mean of each of `frames` equal
+/// slices of `xs` (last frame absorbs the remainder).
+pub fn paa(xs: &[f64], frames: usize) -> Vec<f64> {
+    assert!(frames > 0, "frames must be positive");
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let frames = frames.min(xs.len());
+    let n = xs.len() as f64;
+    let w = n / frames as f64;
+    (0..frames)
+        .map(|f| {
+            let lo = (f as f64 * w).round() as usize;
+            let hi = (((f + 1) as f64 * w).round() as usize).min(xs.len()).max(lo + 1);
+            xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// SAX word of a value slice: z-normalise, PAA, symbolise.
+/// Symbols are lowercase letters starting at `'a'`.
+pub fn sax_word(xs: &[f64], word_len: usize, alphabet: usize) -> String {
+    let bps = breakpoints(alphabet);
+    let mut z = xs.to_vec();
+    stats::znormalize(&mut z);
+    paa(&z, word_len)
+        .into_iter()
+        .map(|v| {
+            let idx = bps.partition_point(|&b| b <= v);
+            (b'a' + idx as u8) as char
+        })
+        .collect()
+}
+
+/// Slides a window of `window` points over the series and emits the SAX
+/// word of each window, with *numerosity reduction*: consecutive
+/// identical words are collapsed to one occurrence (standard in SAX
+/// mining to avoid trivially repeated words).
+pub fn sax_windows(
+    s: &TimeSeries,
+    window: usize,
+    word_len: usize,
+    alphabet: usize,
+) -> Vec<(usize, String)> {
+    let values = s.values();
+    if window == 0 || values.len() < window {
+        return Vec::new();
+    }
+    let mut out: Vec<(usize, String)> = Vec::new();
+    for off in 0..=(values.len() - window) {
+        let w = sax_word(&values[off..off + window], word_len, alphabet);
+        if out.last().map(|(_, prev)| prev.as_str()) != Some(w.as_str()) {
+            out.push((off, w));
+        }
+    }
+    out
+}
+
+/// Counts word frequencies over sliding windows and returns the words
+/// occurring at least `min_support` times, most frequent first.
+pub fn frequent_words(
+    s: &TimeSeries,
+    window: usize,
+    word_len: usize,
+    alphabet: usize,
+    min_support: usize,
+) -> Vec<(String, usize)> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for (_, w) in sax_windows(s, window, word_len, alphabet) {
+        *counts.entry(w).or_insert(0) += 1;
+    }
+    let mut out: Vec<(String, usize)> = counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_support)
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+/// MINDIST lower bound between two SAX words of equal length (Lin et al.):
+/// zero for adjacent symbols, breakpoint gap otherwise, scaled by the
+/// original window length `n`.
+pub fn mindist(a: &str, b: &str, alphabet: usize, n: usize) -> Option<f64> {
+    if a.len() != b.len() || a.is_empty() {
+        return None;
+    }
+    let bps = breakpoints(alphabet);
+    let sym = |c: char| (c as u8).wrapping_sub(b'a') as usize;
+    let w = a.len() as f64;
+    let mut acc = 0.0;
+    for (ca, cb) in a.chars().zip(b.chars()) {
+        let (i, j) = (sym(ca), sym(cb));
+        if i >= alphabet || j >= alphabet {
+            return None;
+        }
+        if i.abs_diff(j) > 1 {
+            let hi = i.max(j);
+            let lo = i.min(j);
+            let gap = bps[hi - 1] - bps[lo];
+            acc += gap * gap;
+        }
+    }
+    Some(((n as f64) / w).sqrt() * acc.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::{Duration, Timestamp};
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn paa_means() {
+        let xs = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        assert_eq!(paa(&xs, 3), vec![1.0, 2.0, 3.0]);
+        assert_eq!(paa(&xs, 1), vec![2.0]);
+        assert!(paa(&[], 3).is_empty());
+        // more frames than points clamps to one point per frame
+        assert_eq!(paa(&[1.0, 2.0], 5), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn sax_word_shape() {
+        // rising ramp: symbols must be non-decreasing
+        let xs: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let w = sax_word(&xs, 4, 4);
+        assert_eq!(w.len(), 4);
+        let bytes = w.as_bytes();
+        assert!(bytes.windows(2).all(|p| p[0] <= p[1]), "ramp word {w} not sorted");
+        assert_eq!(bytes[0], b'a');
+        assert_eq!(bytes[3], b'd');
+    }
+
+    #[test]
+    fn sax_constant_is_middle_symbols() {
+        let xs = vec![5.0; 16];
+        let w = sax_word(&xs, 4, 4);
+        // znormalize maps constants to 0.0; 0.0 falls just above the middle breakpoint
+        assert!(w.chars().all(|c| c == 'c'), "got {w}");
+    }
+
+    #[test]
+    fn numerosity_reduction() {
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 100, |i| ((i as f64) * 0.2).sin());
+        let wins = sax_windows(&s, 20, 4, 4);
+        for p in wins.windows(2) {
+            assert_ne!(p[0].1, p[1].1, "consecutive duplicate word survived");
+        }
+    }
+
+    #[test]
+    fn frequent_words_on_periodic_signal() {
+        // periodic signal: the same few words recur
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 400, |i| ((i % 40) as f64 / 40.0 * std::f64::consts::TAU).sin());
+        let freq = frequent_words(&s, 40, 4, 4, 2);
+        assert!(!freq.is_empty());
+        assert!(freq[0].1 >= 2);
+        // sorted descending by count
+        for w in freq.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn mindist_properties() {
+        // identical words have distance 0
+        assert_eq!(mindist("abca", "abca", 4, 32), Some(0.0));
+        // adjacent symbols contribute 0
+        assert_eq!(mindist("ab", "ba", 4, 32), Some(0.0));
+        // distant symbols contribute
+        let d = mindist("aa", "dd", 4, 32).unwrap();
+        assert!(d > 0.0);
+        // invalid inputs
+        assert_eq!(mindist("abc", "ab", 4, 32), None);
+        assert_eq!(mindist("", "", 4, 32), None);
+        assert_eq!(mindist("az", "aa", 4, 32), None, "symbol outside alphabet");
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet size")]
+    fn alphabet_out_of_range_panics() {
+        let _ = sax_word(&[1.0, 2.0], 2, 9);
+    }
+
+    #[test]
+    fn window_longer_than_series() {
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 5, |i| i as f64);
+        assert!(sax_windows(&s, 10, 4, 4).is_empty());
+        assert!(frequent_words(&s, 10, 4, 4, 1).is_empty());
+    }
+}

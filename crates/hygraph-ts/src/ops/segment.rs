@@ -1,0 +1,312 @@
+//! Time-series segmentation and changepoint detection (Table 2, row Q4 —
+//! time-series side).
+//!
+//! Pairs with graph snapshot retrieval in the hybrid Q4 operator: "create
+//! graph snapshots at significant time intervals identified through time
+//! series segmentation".
+//!
+//! Two algorithms:
+//! * **top-down segmentation** — recursively split at the point that
+//!   minimises total squared error, until a segment budget or an error
+//!   threshold is met (the classic piecewise-constant approximation).
+//! * **PELT-style changepoint detection** — exact dynamic-programming
+//!   minimisation of segmented cost with a per-changepoint penalty and
+//!   pruning, for mean-shift detection.
+
+use crate::series::TimeSeries;
+use hygraph_types::{Interval, Timestamp};
+
+/// A contiguous segment `[start_idx, end_idx)` with its mean and squared
+/// error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Segment {
+    /// First index of the segment (inclusive).
+    pub start_idx: usize,
+    /// One-past-last index (exclusive).
+    pub end_idx: usize,
+    /// Time interval covered (start of first point to just past last point).
+    pub interval: Interval,
+    /// Mean value in the segment.
+    pub mean: f64,
+    /// Sum of squared deviations from the mean.
+    pub sse: f64,
+}
+
+/// Prefix sums enabling O(1) segment cost queries.
+struct Prefix {
+    sum: Vec<f64>,
+    sumsq: Vec<f64>,
+}
+
+impl Prefix {
+    fn new(xs: &[f64]) -> Self {
+        let mut sum = Vec::with_capacity(xs.len() + 1);
+        let mut sumsq = Vec::with_capacity(xs.len() + 1);
+        sum.push(0.0);
+        sumsq.push(0.0);
+        for &x in xs {
+            sum.push(sum.last().unwrap() + x);
+            sumsq.push(sumsq.last().unwrap() + x * x);
+        }
+        Self { sum, sumsq }
+    }
+
+    /// Sum of squared errors of `[lo, hi)` around its own mean.
+    fn sse(&self, lo: usize, hi: usize) -> f64 {
+        let n = (hi - lo) as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let s = self.sum[hi] - self.sum[lo];
+        let ss = self.sumsq[hi] - self.sumsq[lo];
+        (ss - s * s / n).max(0.0)
+    }
+
+    fn mean(&self, lo: usize, hi: usize) -> f64 {
+        let n = (hi - lo) as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        (self.sum[hi] - self.sum[lo]) / n
+    }
+}
+
+fn make_segment(s: &TimeSeries, p: &Prefix, lo: usize, hi: usize) -> Segment {
+    let t0 = s.times()[lo];
+    let t1 = s.times()[hi - 1];
+    Segment {
+        start_idx: lo,
+        end_idx: hi,
+        interval: Interval::new(t0, t1 + hygraph_types::Duration::from_millis(1)),
+        mean: p.mean(lo, hi),
+        sse: p.sse(lo, hi),
+    }
+}
+
+/// Top-down segmentation into at most `max_segments` pieces, stopping
+/// early when every segment's SSE is below `sse_threshold`.
+pub fn topdown(s: &TimeSeries, max_segments: usize, sse_threshold: f64) -> Vec<Segment> {
+    if s.is_empty() || max_segments == 0 {
+        return Vec::new();
+    }
+    let p = Prefix::new(s.values());
+    let mut segs: Vec<(usize, usize)> = vec![(0, s.len())];
+    while segs.len() < max_segments {
+        // pick the segment with the largest SSE above threshold
+        let (worst_pos, worst_sse) = segs
+            .iter()
+            .enumerate()
+            .map(|(i, &(lo, hi))| (i, p.sse(lo, hi)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("segs non-empty");
+        if worst_sse <= sse_threshold {
+            break;
+        }
+        let (lo, hi) = segs[worst_pos];
+        if hi - lo < 2 {
+            break;
+        }
+        // best split point minimising combined SSE
+        let mut best_k = lo + 1;
+        let mut best_cost = f64::INFINITY;
+        for k in (lo + 1)..hi {
+            let cost = p.sse(lo, k) + p.sse(k, hi);
+            if cost < best_cost {
+                best_cost = cost;
+                best_k = k;
+            }
+        }
+        if best_cost >= worst_sse {
+            break; // no split improves
+        }
+        segs[worst_pos] = (lo, best_k);
+        segs.insert(worst_pos + 1, (best_k, hi));
+    }
+    segs.sort_unstable();
+    segs.into_iter()
+        .map(|(lo, hi)| make_segment(s, &p, lo, hi))
+        .collect()
+}
+
+/// PELT-style exact changepoint detection for mean shifts.
+///
+/// Minimises `Σ SSE(segment) + penalty · #changepoints` by dynamic
+/// programming with pruning. Returns the *indices* where new segments
+/// begin (excluding 0). A reasonable default penalty is
+/// `2 · var · ln(n)` (BIC-like).
+pub fn pelt_changepoints(xs: &[f64], penalty: f64) -> Vec<usize> {
+    let n = xs.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let p = Prefix::new(xs);
+    // f[t] = minimal cost of segmenting xs[..t]
+    let mut f = vec![f64::INFINITY; n + 1];
+    f[0] = -penalty;
+    let mut prev = vec![0usize; n + 1];
+    let mut candidates: Vec<usize> = vec![0];
+    for t in 1..=n {
+        let mut best = f64::INFINITY;
+        let mut best_s = 0;
+        for &s in &candidates {
+            let c = f[s] + p.sse(s, t) + penalty;
+            if c < best {
+                best = c;
+                best_s = s;
+            }
+        }
+        f[t] = best;
+        prev[t] = best_s;
+        // PELT pruning: drop candidates that can never win again
+        candidates.retain(|&s| f[s] + p.sse(s, t) <= f[t]);
+        candidates.push(t);
+    }
+    // backtrack
+    let mut cps = Vec::new();
+    let mut t = n;
+    while t > 0 {
+        let s = prev[t];
+        if s > 0 {
+            cps.push(s);
+        }
+        t = s;
+    }
+    cps.reverse();
+    cps
+}
+
+/// Full segmentation of a series via PELT: converts changepoint indices
+/// into [`Segment`]s. `penalty = None` uses the BIC-like default.
+pub fn pelt(s: &TimeSeries, penalty: Option<f64>) -> Vec<Segment> {
+    if s.is_empty() {
+        return Vec::new();
+    }
+    let pen = penalty.unwrap_or_else(|| {
+        let var = crate::ops::stats::variance(s.values()).unwrap_or(0.0);
+        (2.0 * var * (s.len() as f64).ln()).max(f64::EPSILON)
+    });
+    let cps = pelt_changepoints(s.values(), pen);
+    let p = Prefix::new(s.values());
+    let mut bounds = vec![0usize];
+    bounds.extend(cps);
+    bounds.push(s.len());
+    bounds
+        .windows(2)
+        .map(|w| make_segment(s, &p, w[0], w[1]))
+        .collect()
+}
+
+/// The boundary timestamps of a segmentation — the "significant time
+/// instants" the hybrid Q4 operator snapshots the graph at.
+pub fn boundaries(segments: &[Segment]) -> Vec<Timestamp> {
+    segments.iter().map(|seg| seg.interval.start).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::Duration;
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    /// Three clear mean levels: 0, 10, -5.
+    fn step_series() -> TimeSeries {
+        TimeSeries::generate(ts(0), Duration::from_millis(1), 90, |i| {
+            if i < 30 {
+                0.0
+            } else if i < 60 {
+                10.0
+            } else {
+                -5.0
+            }
+        })
+    }
+
+    #[test]
+    fn topdown_finds_steps() {
+        let s = step_series();
+        let segs = topdown(&s, 3, 1e-9);
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].start_idx, 0);
+        assert_eq!(segs[0].end_idx, 30);
+        assert_eq!(segs[1].end_idx, 60);
+        assert_eq!(segs[2].end_idx, 90);
+        assert!((segs[0].mean - 0.0).abs() < 1e-9);
+        assert!((segs[1].mean - 10.0).abs() < 1e-9);
+        assert!((segs[2].mean + 5.0).abs() < 1e-9);
+        for seg in &segs {
+            assert!(seg.sse < 1e-9);
+        }
+    }
+
+    #[test]
+    fn topdown_budget_limits_segments() {
+        let s = step_series();
+        let segs = topdown(&s, 2, 0.0);
+        assert_eq!(segs.len(), 2);
+        // segments must tile the index range
+        assert_eq!(segs[0].start_idx, 0);
+        assert_eq!(segs.last().unwrap().end_idx, 90);
+        assert_eq!(segs[0].end_idx, segs[1].start_idx);
+    }
+
+    #[test]
+    fn topdown_flat_series_single_segment() {
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 50, |_| 3.0);
+        let segs = topdown(&s, 10, 1e-9);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].mean, 3.0);
+    }
+
+    #[test]
+    fn pelt_finds_changepoints() {
+        let s = step_series();
+        let cps = pelt_changepoints(s.values(), 5.0);
+        assert_eq!(cps, vec![30, 60]);
+    }
+
+    #[test]
+    fn pelt_flat_series_no_changepoints() {
+        let xs = vec![1.0; 100];
+        assert!(pelt_changepoints(&xs, 1.0).is_empty());
+        assert!(pelt_changepoints(&[1.0], 1.0).is_empty());
+    }
+
+    #[test]
+    fn pelt_huge_penalty_suppresses_splits() {
+        let s = step_series();
+        let cps = pelt_changepoints(s.values(), 1e12);
+        assert!(cps.is_empty());
+    }
+
+    #[test]
+    fn pelt_segments_and_boundaries() {
+        let s = step_series();
+        let segs = pelt(&s, None);
+        assert_eq!(segs.len(), 3);
+        let b = boundaries(&segs);
+        assert_eq!(b, vec![ts(0), ts(30), ts(60)]);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(topdown(&TimeSeries::new(), 5, 0.0).is_empty());
+        assert!(pelt(&TimeSeries::new(), None).is_empty());
+        let one = TimeSeries::from_pairs([(ts(0), 1.0)]);
+        let segs = pelt(&one, None);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].mean, 1.0);
+    }
+
+    #[test]
+    fn segment_intervals_cover_points() {
+        let s = step_series();
+        for seg in topdown(&s, 3, 1e-9) {
+            for i in seg.start_idx..seg.end_idx {
+                assert!(seg.interval.contains(s.times()[i]));
+            }
+        }
+    }
+}

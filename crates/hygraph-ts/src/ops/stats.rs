@@ -1,0 +1,195 @@
+//! Basic descriptive statistics shared by the other operators.
+
+/// Arithmetic mean; `None` for empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    (!xs.is_empty()).then(|| xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance; `None` for empty input.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation; `None` for empty input.
+pub fn stddev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Sample variance (n-1 denominator); `None` for fewer than 2 points.
+pub fn sample_variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Covariance of two equally-long slices (population); `None` on length
+/// mismatch or empty input.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.is_empty() {
+        return None;
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    Some(
+        xs.iter()
+            .zip(ys)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum::<f64>()
+            / xs.len() as f64,
+    )
+}
+
+/// Median via partial sort (copies the input); `None` for empty input.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    percentile(xs, 50.0)
+}
+
+/// Linear-interpolated percentile `p` in `[0, 100]`; `None` for empty input.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Some(v[lo])
+    } else {
+        let frac = rank - lo as f64;
+        Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+    }
+}
+
+/// Z-normalises a slice in place: zero mean, unit variance. A constant
+/// slice becomes all zeros rather than NaN.
+pub fn znormalize(xs: &mut [f64]) {
+    let Some(m) = mean(xs) else { return };
+    let sd = stddev(xs).unwrap_or(0.0);
+    if sd <= f64::EPSILON {
+        xs.iter_mut().for_each(|x| *x = 0.0);
+        return;
+    }
+    xs.iter_mut().for_each(|x| *x = (*x - m) / sd);
+}
+
+/// Lag-`k` autocorrelation; `None` when the series is too short or
+/// constant.
+pub fn autocorrelation(xs: &[f64], k: usize) -> Option<f64> {
+    if xs.len() <= k || k == 0 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let denom: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    if denom <= f64::EPSILON {
+        return None;
+    }
+    let num: f64 = (0..xs.len() - k)
+        .map(|i| (xs[i] - m) * (xs[i + k] - m))
+        .sum();
+    Some(num / denom)
+}
+
+/// Ordinary-least-squares slope and intercept of `ys` against `0..n`;
+/// `None` for fewer than 2 points.
+pub fn linear_fit(ys: &[f64]) -> Option<(f64, f64)> {
+    let n = ys.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = (nf - 1.0) / 2.0;
+    let my = mean(ys)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (i, &y) in ys.iter().enumerate() {
+        let dx = i as f64 - mx;
+        sxy += dx * (y - my);
+        sxx += dx * dx;
+    }
+    if sxx <= f64::EPSILON {
+        return None;
+    }
+    let slope = sxy / sxx;
+    Some((slope, my - slope * mx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        assert_eq!(variance(&xs), Some(4.0));
+        assert_eq!(stddev(&xs), Some(2.0));
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[]), None);
+    }
+
+    #[test]
+    fn sample_variance_needs_two() {
+        assert_eq!(sample_variance(&[1.0]), None);
+        let v = sample_variance(&[1.0, 3.0]).unwrap();
+        assert!((v - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_cases() {
+        assert_eq!(covariance(&[1.0, 2.0], &[1.0]), None);
+        let c = covariance(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+        assert!((c - 4.0 / 3.0).abs() < 1e-12);
+        // anti-correlated
+        let c = covariance(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]).unwrap();
+        assert!(c < 0.0);
+    }
+
+    #[test]
+    fn median_and_percentiles() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 0.0), Some(1.0));
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 100.0), Some(4.0));
+        assert_eq!(percentile(&[], 50.0), None);
+        // out-of-range p clamps
+        assert_eq!(percentile(&[1.0, 2.0], 150.0), Some(2.0));
+    }
+
+    #[test]
+    fn znormalize_constant_becomes_zero() {
+        let mut xs = [5.0, 5.0, 5.0];
+        znormalize(&mut xs);
+        assert_eq!(xs, [0.0, 0.0, 0.0]);
+        let mut ys = [1.0, 2.0, 3.0];
+        znormalize(&mut ys);
+        assert!((mean(&ys).unwrap()).abs() < 1e-12);
+        assert!((stddev(&ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_periodic_signal() {
+        // period-4 square-ish wave has high lag-4 autocorrelation
+        let xs: Vec<f64> = (0..64).map(|i| if i % 4 < 2 { 1.0 } else { -1.0 }).collect();
+        let r4 = autocorrelation(&xs, 4).unwrap();
+        let r2 = autocorrelation(&xs, 2).unwrap();
+        assert!(r4 > 0.8, "lag-4 should be strongly positive, got {r4}");
+        assert!(r2 < -0.8, "lag-2 should be strongly negative, got {r2}");
+        assert_eq!(autocorrelation(&xs, 0), None);
+        assert_eq!(autocorrelation(&[1.0, 1.0], 1), None, "constant");
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let ys: Vec<f64> = (0..10).map(|i| 3.0 * i as f64 + 7.0).collect();
+        let (slope, intercept) = linear_fit(&ys).unwrap();
+        assert!((slope - 3.0).abs() < 1e-9);
+        assert!((intercept - 7.0).abs() < 1e-9);
+        assert_eq!(linear_fit(&[1.0]), None);
+    }
+}

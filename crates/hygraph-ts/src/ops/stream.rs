@@ -1,0 +1,336 @@
+//! Incremental (streaming) operators.
+//!
+//! The paper positions the hybrid Q2 operator as useful "for summarising
+//! high-frequency data, or even in streaming": these are the one-pass,
+//! O(1)-per-observation counterparts of the batch operators, suitable
+//! for the R3 ingest path. All accept in-order observations and emit
+//! results as windows close.
+
+use crate::ops::anomaly::Anomaly;
+use crate::store::Summary;
+use hygraph_types::{Duration, HyGraphError, Result, Timestamp};
+use std::collections::VecDeque;
+
+/// Streaming tumbling-window aggregator: feeds observations in time
+/// order, emits one [`Summary`] per completed window.
+#[derive(Debug)]
+pub struct TumblingAggregator {
+    bucket: Duration,
+    current: Option<(Timestamp, Summary)>,
+    last_t: Option<Timestamp>,
+}
+
+impl TumblingAggregator {
+    /// Creates an aggregator with the given window width.
+    pub fn new(bucket: Duration) -> Self {
+        assert!(bucket.is_positive(), "bucket width must be positive");
+        Self {
+            bucket,
+            current: None,
+            last_t: None,
+        }
+    }
+
+    /// Feeds one observation. Returns the completed window when `t`
+    /// crosses a bucket boundary. Out-of-order input is rejected.
+    pub fn push(&mut self, t: Timestamp, v: f64) -> Result<Option<(Timestamp, Summary)>> {
+        if let Some(last) = self.last_t {
+            if t < last {
+                return Err(HyGraphError::OutOfOrder { at: t, last });
+            }
+        }
+        self.last_t = Some(t);
+        let key = t.truncate(self.bucket);
+        match &mut self.current {
+            Some((cur_key, acc)) if *cur_key == key => {
+                acc.add(v);
+                Ok(None)
+            }
+            Some(_) => {
+                let done = self.current.take().expect("checked Some");
+                let mut acc = Summary::new();
+                acc.add(v);
+                self.current = Some((key, acc));
+                Ok(Some(done))
+            }
+            None => {
+                let mut acc = Summary::new();
+                acc.add(v);
+                self.current = Some((key, acc));
+                Ok(None)
+            }
+        }
+    }
+
+    /// Flushes the open window (end of stream).
+    pub fn finish(&mut self) -> Option<(Timestamp, Summary)> {
+        self.current.take()
+    }
+}
+
+/// Streaming sliding-window statistics over a time-based window
+/// `[t - width, t]`, maintained in O(1) amortised per observation.
+#[derive(Debug)]
+pub struct SlidingStats {
+    width: Duration,
+    buf: VecDeque<(Timestamp, f64)>,
+    sum: f64,
+    sumsq: f64,
+}
+
+impl SlidingStats {
+    /// Creates sliding statistics with the given window width.
+    pub fn new(width: Duration) -> Self {
+        assert!(width.is_positive(), "window width must be positive");
+        Self {
+            width,
+            buf: VecDeque::new(),
+            sum: 0.0,
+            sumsq: 0.0,
+        }
+    }
+
+    /// Feeds one observation (in time order) and returns the window
+    /// statistics *including* it.
+    pub fn push(&mut self, t: Timestamp, v: f64) -> Result<WindowStats> {
+        if let Some(&(last, _)) = self.buf.back() {
+            if t < last {
+                return Err(HyGraphError::OutOfOrder { at: t, last });
+            }
+        }
+        self.evict(t - self.width);
+        self.buf.push_back((t, v));
+        self.sum += v;
+        self.sumsq += v * v;
+        Ok(self.stats())
+    }
+
+    /// Drops observations strictly before `cutoff`.
+    pub fn evict(&mut self, cutoff: Timestamp) {
+        while let Some(&(front_t, front_v)) = self.buf.front() {
+            if front_t >= cutoff {
+                break;
+            }
+            self.buf.pop_front();
+            self.sum -= front_v;
+            self.sumsq -= front_v * front_v;
+        }
+    }
+
+    /// Current window statistics.
+    pub fn stats(&self) -> WindowStats {
+        let n = self.buf.len();
+        let nf = n as f64;
+        let mean = if n > 0 { self.sum / nf } else { 0.0 };
+        let var = if n > 0 {
+            (self.sumsq / nf - mean * mean).max(0.0)
+        } else {
+            0.0
+        };
+        WindowStats {
+            count: n,
+            mean,
+            stddev: var.sqrt(),
+        }
+    }
+}
+
+/// Statistics of the current sliding window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowStats {
+    /// Observations in the window.
+    pub count: usize,
+    /// Window mean.
+    pub mean: f64,
+    /// Window population standard deviation.
+    pub stddev: f64,
+}
+
+/// Streaming anomaly detector: flags observations deviating more than
+/// `threshold` local z-scores from the *preceding* window — the
+/// incremental form of `anomaly::sliding_window`.
+#[derive(Debug)]
+pub struct StreamingAnomalyDetector {
+    stats: SlidingStats,
+    threshold: f64,
+    min_points: usize,
+    index: usize,
+}
+
+impl StreamingAnomalyDetector {
+    /// Creates a detector with window `width`, z-score `threshold`, and
+    /// a minimum of `min_points` preceding observations before flagging.
+    pub fn new(width: Duration, threshold: f64, min_points: usize) -> Self {
+        Self {
+            stats: SlidingStats::new(width),
+            threshold,
+            min_points: min_points.max(2),
+            index: 0,
+        }
+    }
+
+    /// Feeds one observation; returns an [`Anomaly`] when it deviates
+    /// from its local context.
+    pub fn push(&mut self, t: Timestamp, v: f64) -> Result<Option<Anomaly>> {
+        // compare against the window [t - width, t) BEFORE this point:
+        // evict by the new cutoff first, then read, then insert
+        self.stats.evict(t - self.stats.width);
+        let before = self.stats.stats();
+        self.stats.push(t, v)?;
+        let idx = self.index;
+        self.index += 1;
+        if before.count < self.min_points || before.stddev <= f64::EPSILON {
+            return Ok(None);
+        }
+        let z = (v - before.mean).abs() / before.stddev;
+        Ok((z > self.threshold).then_some(Anomaly {
+            index: idx,
+            time: t,
+            value: v,
+            score: z,
+        }))
+    }
+}
+
+/// Exponentially-weighted moving average (simple online smoother).
+#[derive(Clone, Copy, Debug)]
+pub struct Ewma {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self { alpha, state: None }
+    }
+
+    /// Feeds one value; returns the smoothed value.
+    pub fn push(&mut self, v: f64) -> f64 {
+        let next = match self.state {
+            Some(prev) => prev + self.alpha * (v - prev),
+            None => v,
+        };
+        self.state = Some(next);
+        next
+    }
+
+    /// The current smoothed value.
+    pub fn value(&self) -> Option<f64> {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::aggregate;
+    use crate::series::TimeSeries;
+    use crate::store::AggKind;
+    use hygraph_types::Interval;
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn tumbling_stream_matches_batch() {
+        let s = TimeSeries::generate(ts(3), Duration::from_millis(7), 100, |i| (i % 11) as f64);
+        let bucket = Duration::from_millis(50);
+        // streaming
+        let mut agg = TumblingAggregator::new(bucket);
+        let mut emitted = Vec::new();
+        for (t, v) in s.iter() {
+            if let Some(done) = agg.push(t, v).unwrap() {
+                emitted.push(done);
+            }
+        }
+        if let Some(done) = agg.finish() {
+            emitted.push(done);
+        }
+        // batch
+        let batch = aggregate::tumbling(&s, &Interval::ALL, bucket, AggKind::Mean);
+        assert_eq!(emitted.len(), batch.len());
+        for ((t_stream, summary), (t_batch, mean)) in emitted.iter().zip(batch.iter()) {
+            assert_eq!(*t_stream, t_batch);
+            assert!((summary.mean().unwrap() - mean).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tumbling_rejects_out_of_order() {
+        let mut agg = TumblingAggregator::new(Duration::from_millis(10));
+        agg.push(ts(100), 1.0).unwrap();
+        assert!(matches!(
+            agg.push(ts(50), 2.0),
+            Err(HyGraphError::OutOfOrder { .. })
+        ));
+        // equal timestamps are allowed (same logical instant)
+        assert!(agg.push(ts(100), 3.0).is_ok());
+    }
+
+    #[test]
+    fn sliding_stats_match_batch_window() {
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(5), 50, |i| ((i * 13) % 7) as f64);
+        let width = Duration::from_millis(40);
+        let mut sl = SlidingStats::new(width);
+        for (t, v) in s.iter() {
+            let got = sl.push(t, v).unwrap();
+            let lo = t - width;
+            let window: Vec<f64> = s
+                .iter()
+                .filter(|(u, _)| *u >= lo && *u <= t)
+                .map(|(_, x)| x)
+                .collect();
+            let mean = window.iter().sum::<f64>() / window.len() as f64;
+            assert_eq!(got.count, window.len());
+            assert!((got.mean - mean).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn streaming_detector_matches_batch_detector() {
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(10), 300, |i| {
+            let base = (i as f64 * 0.3).sin();
+            if i == 200 {
+                base + 50.0
+            } else {
+                base
+            }
+        });
+        let width = Duration::from_millis(300);
+        let batch = crate::ops::anomaly::sliding_window(&s, width, 5.0, 5);
+        let mut det = StreamingAnomalyDetector::new(width, 5.0, 5);
+        let mut streamed = Vec::new();
+        for (t, v) in s.iter() {
+            if let Some(a) = det.push(t, v).unwrap() {
+                streamed.push(a);
+            }
+        }
+        assert_eq!(streamed.len(), batch.len());
+        for (a, b) in streamed.iter().zip(&batch) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.time, b.time);
+            assert!((a.score - b.score).abs() < 1e-9);
+        }
+        assert_eq!(streamed.len(), 1);
+        assert_eq!(streamed[0].index, 200);
+    }
+
+    #[test]
+    fn ewma_smooths() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.push(10.0), 10.0);
+        assert_eq!(e.push(0.0), 5.0);
+        assert_eq!(e.push(0.0), 2.5);
+        assert_eq!(e.value(), Some(2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_bad_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+}

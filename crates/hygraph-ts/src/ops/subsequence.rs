@@ -1,0 +1,275 @@
+//! Subsequence matching (Table 2, rows Q1 and E — time-series side).
+//!
+//! Pairs with subgraph matching in the hybrid Q1 operator: "match
+//! specific temporal patterns with corresponding structural patterns".
+//!
+//! * **sliding z-normalised Euclidean distance** — fast whole-matching of
+//!   a short query against every offset of a long series;
+//! * **DTW** with a Sakoe-Chiba band — elastic matching tolerant to
+//!   local time warping (UCR-suite style, without the pruning cascade).
+
+use crate::ops::stats;
+use crate::series::TimeSeries;
+use hygraph_types::Timestamp;
+
+/// One subsequence match.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Match {
+    /// Start offset of the match in the haystack.
+    pub offset: usize,
+    /// Timestamp of the first matched observation.
+    pub time: Timestamp,
+    /// Distance (smaller = better).
+    pub distance: f64,
+}
+
+/// Z-normalised Euclidean distance between `query` and the window of the
+/// same length starting at each offset of `haystack`. Returns all offsets
+/// with distance ≤ `max_dist`, sorted by distance.
+pub fn matches(haystack: &TimeSeries, query: &[f64], max_dist: f64) -> Vec<Match> {
+    let m = query.len();
+    let n = haystack.len();
+    if m == 0 || n < m {
+        return Vec::new();
+    }
+    let mut q = query.to_vec();
+    stats::znormalize(&mut q);
+
+    let values = haystack.values();
+    let times = haystack.times();
+    let mut out = Vec::new();
+    let mut window = vec![0.0f64; m];
+    for off in 0..=(n - m) {
+        window.copy_from_slice(&values[off..off + m]);
+        stats::znormalize(&mut window);
+        let d2: f64 = window
+            .iter()
+            .zip(&q)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        let d = d2.sqrt();
+        if d <= max_dist {
+            out.push(Match {
+                offset: off,
+                time: times[off],
+                distance: d,
+            });
+        }
+    }
+    out.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+    out
+}
+
+/// The best (smallest-distance) match of `query` in `haystack` under
+/// z-normalised Euclidean distance, if the haystack is long enough.
+pub fn best_match(haystack: &TimeSeries, query: &[f64]) -> Option<Match> {
+    matches(haystack, query, f64::INFINITY).into_iter().next()
+}
+
+/// Non-overlapping top-k matches: greedily picks the best match, then
+/// excludes windows overlapping already-selected ones.
+pub fn top_k_matches(haystack: &TimeSeries, query: &[f64], k: usize) -> Vec<Match> {
+    let all = matches(haystack, query, f64::INFINITY);
+    let m = query.len();
+    let mut chosen: Vec<Match> = Vec::with_capacity(k);
+    for cand in all {
+        if chosen.len() == k {
+            break;
+        }
+        let overlaps = chosen
+            .iter()
+            .any(|c| cand.offset < c.offset + m && c.offset < cand.offset + m);
+        if !overlaps {
+            chosen.push(cand);
+        }
+    }
+    chosen
+}
+
+/// Dynamic time warping distance with a Sakoe-Chiba band of half-width
+/// `band` (in samples). `band >= max(len_a, len_b)` gives unconstrained
+/// DTW. Returns `None` when either input is empty.
+pub fn dtw(a: &[f64], b: &[f64], band: usize) -> Option<f64> {
+    let n = a.len();
+    let m = b.len();
+    if n == 0 || m == 0 {
+        return None;
+    }
+    // band must at least cover the diagonal slope difference
+    let band = band.max(n.abs_diff(m));
+    let inf = f64::INFINITY;
+    // rolling two-row DP over the cost matrix
+    let mut prev = vec![inf; m + 1];
+    let mut cur = vec![inf; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        cur[0] = inf;
+        let centre = i * m / n; // diagonal projection
+        let lo = centre.saturating_sub(band).max(1);
+        let hi = (centre + band).min(m);
+        // cells outside [lo, hi] stay infinite
+        for x in cur.iter_mut().take(lo).skip(1) {
+            *x = inf;
+        }
+        for j in lo..=hi {
+            let cost = (a[i - 1] - b[j - 1]) * (a[i - 1] - b[j - 1]);
+            let best = prev[j].min(prev[j - 1]).min(cur[j - 1]);
+            cur[j] = if best.is_finite() { cost + best } else { inf };
+        }
+        for x in cur.iter_mut().take(m + 1).skip(hi + 1) {
+            *x = inf;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d2 = prev[m];
+    d2.is_finite().then(|| d2.sqrt())
+}
+
+/// Z-normalised DTW distance between two slices.
+pub fn dtw_znorm(a: &[f64], b: &[f64], band: usize) -> Option<f64> {
+    let mut za = a.to_vec();
+    let mut zb = b.to_vec();
+    stats::znormalize(&mut za);
+    stats::znormalize(&mut zb);
+    dtw(&za, &zb, band)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::Duration;
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    /// Sine haystack with an embedded triangular bump at offset 300.
+    fn haystack() -> TimeSeries {
+        TimeSeries::generate(ts(0), Duration::from_millis(1), 600, |i| {
+            let base = ((i as f64) * 0.05).sin() * 0.2;
+            if (300..320).contains(&i) {
+                let x = (i - 300) as f64;
+                base + if x < 10.0 { x } else { 20.0 - x }
+            } else {
+                base
+            }
+        })
+    }
+
+    fn triangle(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64;
+                if x < n as f64 / 2.0 {
+                    x
+                } else {
+                    n as f64 - x
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn best_match_finds_embedded_shape() {
+        let h = haystack();
+        let q = triangle(20);
+        let m = best_match(&h, &q).unwrap();
+        assert!(
+            (298..=302).contains(&m.offset),
+            "expected match near 300, got {}",
+            m.offset
+        );
+        assert!(m.distance < 1.0);
+    }
+
+    #[test]
+    fn matches_threshold_filters() {
+        let h = haystack();
+        let q = triangle(20);
+        let strict = matches(&h, &q, 0.5);
+        let loose = matches(&h, &q, 5.0);
+        assert!(strict.len() <= loose.len());
+        assert!(!loose.is_empty());
+        // sorted by distance
+        for w in loose.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn top_k_non_overlapping() {
+        let h = haystack();
+        let q = triangle(20);
+        let top = top_k_matches(&h, &q, 3);
+        assert_eq!(top.len(), 3);
+        for i in 0..top.len() {
+            for j in (i + 1)..top.len() {
+                let a = &top[i];
+                let b = &top[j];
+                assert!(
+                    a.offset + q.len() <= b.offset || b.offset + q.len() <= a.offset,
+                    "matches overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let h = haystack();
+        assert!(matches(&h, &[], 1.0).is_empty());
+        let short = TimeSeries::from_pairs([(ts(0), 1.0)]);
+        assert!(matches(&short, &[1.0, 2.0], 1.0).is_empty());
+        assert_eq!(best_match(&TimeSeries::new(), &[1.0]), None);
+    }
+
+    #[test]
+    fn dtw_identical_is_zero() {
+        let a = [1.0, 2.0, 3.0, 2.0, 1.0];
+        assert_eq!(dtw(&a, &a, 10), Some(0.0));
+    }
+
+    #[test]
+    fn dtw_tolerates_warping_euclidean_does_not() {
+        // same shape, one stretched: DTW small, Euclidean large
+        let a: Vec<f64> = (0..40).map(|i| ((i as f64) * 0.3).sin()).collect();
+        let b: Vec<f64> = (0..40).map(|i| ((i as f64) * 0.3 + 0.9).sin()).collect(); // phase shift
+        let d_dtw = dtw(&a, &b, 10).unwrap();
+        let d_euc: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
+        assert!(d_dtw < d_euc, "dtw {d_dtw} should beat euclidean {d_euc}");
+    }
+
+    #[test]
+    fn dtw_band_zero_is_diagonal_distance() {
+        let a = [0.0, 1.0, 2.0];
+        let b = [0.0, 1.0, 2.0];
+        // band 0 on equal lengths forces the diagonal
+        assert_eq!(dtw(&a, &b, 0), Some(0.0));
+        let c = [1.0, 2.0, 3.0];
+        let d = dtw(&a, &c, 0).unwrap();
+        assert!((d - 3.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtw_unequal_lengths() {
+        let a = [0.0, 1.0, 2.0, 3.0];
+        let b = [0.0, 3.0];
+        let d = dtw(&a, &b, 4).unwrap();
+        assert!(d >= 0.0);
+        assert_eq!(dtw(&[], &b, 4), None);
+        assert_eq!(dtw(&a, &[], 4), None);
+    }
+
+    #[test]
+    fn dtw_znorm_scale_invariant() {
+        let a: Vec<f64> = (0..30).map(|i| ((i as f64) * 0.4).sin()).collect();
+        let scaled: Vec<f64> = a.iter().map(|x| x * 100.0 + 7.0).collect();
+        let d = dtw_znorm(&a, &scaled, 30).unwrap();
+        assert!(d < 1e-9, "z-normalised DTW ignores scale/offset, got {d}");
+    }
+}

@@ -1,0 +1,111 @@
+//! The paper's running example (§3, Figure 2, Listings 1–2, Figure 4):
+//! credit-card fraud detection three ways — graph-only, series-only, and
+//! the HyGraph hybrid pipeline.
+//!
+//! Run with: `cargo run --example fraud_detection`
+
+use hygraph::analytics::pipeline::{self, PipelineConfig};
+use hygraph::datagen::fraud;
+use hygraph::prelude::*;
+use hygraph::query;
+
+fn main() -> Result<()> {
+    // ---- the Figure-2 micro instance -----------------------------------
+    let mut data = fraud::figure2_instance();
+    println!("Figure 2 instance: {} users, {} merchants, {} series",
+        data.users.len(), data.merchants.len(), data.hygraph.series_count());
+
+    // ---- Listing 1: the graph-only way ---------------------------------
+    // the paper's Listing 1 core: >1000 transactions to MORE THAN TWO
+    // distinct merchants (length(mrs) > 2), via row aggregation + HAVING
+    let r = query(
+        &data.hygraph,
+        "MATCH (u:User)-[:USES]->(c:CreditCard)-[t:TX]->(m:Merchant) \
+         WHERE t.amount > 1000 \
+         RETURN u.name AS suspiciousUser, COUNT(DISTINCT m.name) AS merchants \
+         HAVING COUNT(DISTINCT m.name) > 2 ORDER BY suspiciousUser",
+    )?;
+    println!("\nListing 1 (graph-only: >1000 to at least three merchants):");
+    print!("{}", r.render());
+
+    // ---- Listing 2: the time-series-only way ---------------------------
+    println!("Listing 2 (series-only, z-score outliers on spending):");
+    for (i, &sid) in data.spending.iter().enumerate() {
+        let s = data
+            .hygraph
+            .series(sid)?
+            .to_univariate("spending")
+            .expect("spending column");
+        let hits = hygraph::ts::ops::anomaly::zscore(&s, 3.0);
+        println!(
+            "  User {}: {}",
+            i + 1,
+            if hits.is_empty() {
+                "clean".to_owned()
+            } else {
+                format!("{} burst points (max z = {:.1})",
+                    hits.len(),
+                    hits.iter().map(|a| a.score).fold(0.0, f64::max))
+            }
+        );
+    }
+
+    // ---- the HyGraph way: the Figure-4 pipeline -------------------------
+    let report = pipeline::run(&mut data.hygraph, PipelineConfig::default())?;
+    println!("\nFigure 4 pipeline (hybrid):");
+    println!(
+        "{:<8} {:>12} {:>13} {:>13} {:>12}",
+        "user", "graph rule", "series rule", "pattern days", "verdict"
+    );
+    for (i, &u) in data.users.iter().enumerate() {
+        let v = report.verdict(u).expect("user judged");
+        println!(
+            "{:<8} {:>12} {:>13} {:>13} {:>12}",
+            format!("User {}", i + 1),
+            v.graph_flagged,
+            v.series_flagged,
+            v.pattern_days,
+            if v.suspicious { "SUSPICIOUS" } else { "ordinary" }
+        );
+    }
+    println!(
+        "\n→ the graph rule alone flags User 1 AND User 3; the hybrid \
+         pipeline confirms User 1\n  and clears User 3 (recurring bulk \
+         routine with smooth spending = false positive)."
+    );
+
+    // ---- scaled run with ground truth -----------------------------------
+    let scaled = fraud::generate(fraud::FraudConfig {
+        users: 200,
+        merchants: 60,
+        hours: 24 * 7,
+        ..Default::default()
+    });
+    let truth = scaled.fraudsters.clone();
+    let users = scaled.users.clone();
+    let mut hg = scaled.hygraph;
+    let report = pipeline::run(&mut hg, PipelineConfig::default())?;
+    let (mut tp, mut fp, mut fne) = (0, 0, 0);
+    let mut graph_only_fp = 0;
+    for (i, &u) in users.iter().enumerate() {
+        let v = report.verdict(u).expect("user judged");
+        match (v.suspicious, truth.contains(&i)) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fne += 1,
+            _ => {}
+        }
+        if v.graph_flagged && !truth.contains(&i) {
+            graph_only_fp += 1;
+        }
+    }
+    println!("\nScaled dataset (200 users, 1 week):");
+    println!("  graph-only rule:   {} false positives", graph_only_fp);
+    println!(
+        "  hybrid pipeline:   precision {:.2}, recall {:.2} ({} tp / {} fp / {} fn)",
+        tp as f64 / (tp + fp).max(1) as f64,
+        tp as f64 / (tp + fne).max(1) as f64,
+        tp, fp, fne
+    );
+    Ok(())
+}

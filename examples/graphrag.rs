@@ -1,0 +1,116 @@
+//! The paper's GraphRAG integration plan (§6): HyGraph as an extended
+//! knowledge base for retrieval-augmented generation.
+//!
+//! The three steps the paper describes:
+//! 1. a query API + vector similarity search        → `SimilarityIndex`
+//! 2. nodes augmented with embeddings capturing
+//!    evolutionary graph AND time-series features   → `hybrid_embedding`
+//! 3. retrieved nodes used directly as knowledge or
+//!    as starting points for subsequent queries     → HyQL follow-up
+//!
+//! Run with: `cargo run --release --example graphrag`
+
+use hygraph::analytics::embedding::{hybrid_embedding, FastRpConfig, SimilarityIndex};
+use hygraph::datagen::fraud::{self, FraudConfig};
+use hygraph::prelude::*;
+use hygraph::query;
+
+fn main() -> Result<()> {
+    // knowledge base: the fraud HyGraph (entities + behaviours over time)
+    let data = fraud::generate(FraudConfig {
+        users: 120,
+        merchants: 40,
+        hours: 24 * 7,
+        ..Default::default()
+    });
+    let hg = &data.hygraph;
+    println!(
+        "knowledge base: {} vertices, {} edges, {} series",
+        hg.vertex_count(),
+        hg.edge_count(),
+        hg.series_count()
+    );
+
+    // step 1+2: hybrid embeddings (structure ⊕ temporal behaviour) and an index
+    let embeddings = hybrid_embedding(hg, FastRpConfig::default(), Some(4));
+    let index = SimilarityIndex::build(&embeddings);
+    println!("embedded {} vertices (FastRP ⊕ PCA series features)", index.len());
+
+    // retrieval: "find entities that behave like this known fraudster"
+    let known_fraudster_idx = *data
+        .fraudsters
+        .iter()
+        .next()
+        .expect("dataset has fraudsters");
+    let anchor_card = data.cards[known_fraudster_idx];
+    let hits = index.neighbours_of(anchor_card, 8);
+    println!(
+        "\nretrieval: top-8 vertices behaving like {anchor_card} (a known fraud card):"
+    );
+    let mut retrieved_fraud_cards = 0;
+    for (v, score) in &hits {
+        let labels = hg.lambda(ElementRef::Vertex(*v))?;
+        let is_fraud_card = data
+            .cards
+            .iter()
+            .position(|&c| c == *v)
+            .is_some_and(|i| data.fraudsters.contains(&i));
+        if is_fraud_card {
+            retrieved_fraud_cards += 1;
+        }
+        println!(
+            "  {v} {labels:?} cosine={score:.3}{}",
+            if is_fraud_card { "  ← fraud card" } else { "" }
+        );
+    }
+    println!(
+        "{} of the other {} fraud cards retrieved by pure embedding similarity",
+        retrieved_fraud_cards,
+        data.fraudsters.len() - 1
+    );
+
+    // step 3: retrieved nodes as starting points for follow-up queries —
+    // expand each hit into its ego context (the "subsequent queries")
+    println!("\ncontext expansion for the top hit:");
+    if let Some(&(top, _)) = hits.first() {
+        // who uses this card, and where does it transact?
+        let owners = query(
+            hg,
+            "MATCH (u:User)-[:USES]->(c:CreditCard) RETURN u.name AS owner, c AS card",
+        )?;
+        let owner_row = owners
+            .rows
+            .iter()
+            .find(|r| r[1] == Value::Str(top.to_string()));
+        if let Some(row) = owner_row {
+            println!("  owner: {}", row[0]);
+        }
+        let g = hg.topology();
+        let merchants: Vec<String> = g
+            .neighbors_out(top)
+            .filter(|(e, _)| e.has_label("TX"))
+            .filter_map(|(_, m)| {
+                hg.props(ElementRef::Vertex(m))
+                    .ok()?
+                    .static_value("name")
+                    .map(ToString::to_string)
+            })
+            .collect();
+        println!("  transacts with {} merchants: {:?}", merchants.len(), &merchants[..merchants.len().min(5)]);
+        // and its behavioural summary (the series side of the context)
+        if let Ok(series) = hg.delta(ElementRef::Vertex(top)) {
+            let col = series.column(0).expect("spending column");
+            let features = hygraph::ts::ops::features::feature_vector(
+                &series.to_univariate(&series.names()[0]).expect("column"),
+            );
+            println!(
+                "  behaviour: {} observations, mean {:.0}, max {:.0}, trend {:+.2}",
+                col.len(),
+                features[0],
+                features[3],
+                features[5]
+            );
+        }
+    }
+    Ok(())
+}

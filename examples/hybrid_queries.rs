@@ -1,0 +1,111 @@
+//! One operation per arrow of the paper's Figure 3: the state-of-the-art
+//! data models and the transformations HyGraph unifies.
+//!
+//! Run with: `cargo run --example hybrid_queries`
+
+use hygraph::core::interfaces::{export, import};
+use hygraph::core::view::HyGraphView;
+use hygraph::graph::{algorithms, pattern::PropPredicate, snapshot, Direction, Pattern};
+use hygraph::prelude::*;
+use hygraph::ts::ops;
+
+fn main() -> Result<()> {
+    // a small temporal property graph with numeric edge properties
+    let mut g = TemporalGraph::new();
+    let a = g.add_vertex(["Account"], props! {"name" => "acct-a"});
+    let b = g.add_vertex(["Account"], props! {"name" => "acct-b"});
+    let c = g.add_vertex(["Broker"], props! {"name" => "brk-c"});
+    for (i, (src, dst, amt)) in [(a, b, 120.0), (a, c, 340.0), (b, c, 75.0), (a, b, 410.0)]
+        .into_iter()
+        .enumerate()
+    {
+        g.add_edge_valid(
+            src,
+            dst,
+            ["TRANSFER"],
+            props! {"amount" => amt},
+            Interval::from(Timestamp::from_millis(i as i64 * 1_000)),
+        )?;
+    }
+
+    // (1)/(2) operations on labeled (property) graphs: subgraph matching
+    let mut p = Pattern::new();
+    let x = p.vertex("x", ["Account"]);
+    let y = p.vertex("y", ["Account"]);
+    let e = p.edge(Some("t"), x, y, ["TRANSFER"], Direction::Out);
+    p.edge_pred(e, PropPredicate::new("amount", hygraph::graph::pattern::CmpOp::Gt, 100.0));
+    println!("(1,2) LPG pattern matching: {} high transfers between accounts", p.find_all(&g).len());
+
+    // (3) operations on temporal property graphs: snapshot retrieval
+    let snap = snapshot::snapshot(&g, Timestamp::from_millis(1_500));
+    println!("(3) TPG snapshot at t1500: {} of {} edges alive", snap.edge_count(), g.edge_count());
+
+    // (4)/(5) operations on (data) series: sampling / classification features
+    let series = hygraph::datagen::random::seasonal(500, 50, 10.0, 0.02, 0.5, 7);
+    let sampled = ops::downsample::lttb(&series, 100);
+    let feats = ops::features::feature_vector(&series);
+    println!("(4) series downsampled {} -> {} points", series.len(), sampled.len());
+    println!("(5) series features: trend {:.3}, acf1 {:.2}", feats[5], feats[6]);
+
+    // (6) time series -> graph: similarity graph over series
+    let inputs: Vec<(String, TimeSeries)> = (0..4)
+        .map(|i| {
+            let phase = if i < 2 { 0.0 } else { 25.0 };
+            (
+                format!("sensor-{i}"),
+                TimeSeries::generate(Timestamp::ZERO, Duration::from_mins(5), 200, move |k| {
+                    (((k as f64) + phase) / 50.0 * std::f64::consts::TAU).sin()
+                }),
+            )
+        })
+        .collect();
+    let (ts_graph, _) = import::series_to_hygraph(
+        &inputs,
+        "Sensor",
+        Some(import::SimilarityConfig {
+            step: Duration::from_mins(5),
+            threshold: 0.9,
+            window: 24,
+        }),
+    )?;
+    println!(
+        "(6) series-to-graph: {} sensors, {} similarity ts-edges",
+        ts_graph.vertex_count(),
+        ts_graph.edge_count()
+    );
+
+    // (7) LPG -> data series: pattern query emitting property values as a series
+    let hg = import::graph_to_hygraph(&g);
+    let mut p7 = Pattern::new();
+    let x = p7.vertex("x", ["Account"]);
+    let any = p7.vertex("y", Vec::<&str>::new());
+    p7.edge(Some("t"), x, any, ["TRANSFER"], Direction::Out);
+    let amounts = export::pattern_value_series(&hg, &p7, "t", "amount");
+    println!("(7) LPG-to-series: transfer amounts as a time series: {:?}", amounts.values());
+
+    // (8) LPG augmented with time series as properties
+    let mut hg8 = import::graph_to_hygraph(&g);
+    let sid = hg8.add_univariate_series("balance", &series);
+    hg8.set_property(ElementRef::Vertex(a), "balance", sid)?;
+    println!(
+        "(8) series-as-property: acct-a balance series attached ({} points)",
+        hg8.series(sid)?.len()
+    );
+
+    // (9) operations using both: correlation between property series +
+    //     reachability
+    let reach = hygraph::graph::traverse::bfs(&g, a, hygraph::graph::traverse::Follow::Out);
+    println!("(9) hybrid: {} vertices reachable from acct-a; series ops run on their attached series", reach.len());
+
+    // (10) the HyGraph layer: unified instance with views
+    let view = HyGraphView::new(&hg8).with_label("Account");
+    println!(
+        "(10) HyGraph unified view: {} Account vertices visible through a logical view",
+        view.vertex_count()
+    );
+
+    // bonus: graph metrics feed series analytics (the duality)
+    let summary = algorithms::metrics::summarize(&g);
+    println!("\ngraph fingerprint: {summary:?}");
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Quickstart: build a HyGraph instance, inspect the model functions,
+//! and run HyQL queries mixing structure and time series.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hygraph::prelude::*;
+use hygraph::query;
+
+fn main() -> Result<()> {
+    // ---- 1. build an instance -----------------------------------------
+    // A user (pg-vertex) owns a credit card. The card is a *time-series
+    // vertex*: its identity is its hourly spending series (δ function).
+    let spending = TimeSeries::generate(Timestamp::ZERO, Duration::from_hours(1), 48, |h| {
+        if (20..24).contains(&h) {
+            1200.0 + (h - 20) as f64 * 100.0 // fraud-like burst
+        } else {
+            40.0 + (h % 5) as f64
+        }
+    });
+    let temperature = TimeSeries::generate(Timestamp::ZERO, Duration::from_hours(1), 48, |h| {
+        20.0 + ((h as f64) / 24.0 * std::f64::consts::TAU).sin() * 5.0
+    });
+
+    let built = HyGraphBuilder::new()
+        .univariate("spending", &spending)
+        .univariate("temperature", &temperature)
+        .pg_vertex("alice", ["User"], props! {"name" => "alice", "city" => "lyon"})
+        .pg_vertex("shop", ["Merchant"], props! {"name" => "corner-shop"})
+        .ts_vertex("card", ["CreditCard"], "spending")
+        .pg_edge(None, "alice", "card", ["USES"], props! {})
+        .pg_edge(Some("tx"), "card", "shop", ["TX"], props! {"amount" => 1350.0})
+        // a supplementary series attached as a *property* (𝒩_TS value)
+        .series_property("shop", "indoor_temp", "temperature")
+        .build()?;
+    let hg = &built.hygraph;
+
+    println!("instance: {} vertices, {} edges, {} series", hg.vertex_count(), hg.edge_count(), hg.series_count());
+
+    // ---- 2. the model functions ----------------------------------------
+    let card = built.v("card");
+    let alice = built.v("alice");
+    println!("λ(card)  = {:?}", hg.lambda(ElementRef::Vertex(card))?);
+    println!("δ(card)  = {:?}", hg.delta(ElementRef::Vertex(card))?);
+    println!("ρ(alice) = {}", hg.rho(ElementRef::Vertex(alice))?);
+    println!(
+        "φ(alice, name) = {}",
+        hg.phi(ElementRef::Vertex(alice), "name")?.unwrap()
+    );
+
+    // ---- 3. hybrid querying with HyQL ----------------------------------
+    let two_days = 48 * 3_600_000i64;
+    let r = query(
+        hg,
+        &format!(
+            "MATCH (u:User)-[:USES]->(c:CreditCard)-[t:TX]->(m:Merchant) \
+             WHERE t.amount > 1000 AND MAX(DELTA(c) IN [0, {two_days})) > 1000 \
+             RETURN u.name AS who, t.amount AS amount, \
+                    MEAN(DELTA(c) IN [0, {two_days})) AS avg_spend"
+        ),
+    )?;
+    println!("\nsuspicious transactions (structure + series evidence):");
+    print!("{}", r.render());
+
+    // a series-valued *property* participates the same way
+    let r = query(
+        hg,
+        &format!(
+            "MATCH (m:Merchant) \
+             RETURN m.name AS shop, MEAN(m.indoor_temp IN [0, {two_days})) AS avg_temp"
+        ),
+    )?;
+    println!("merchant climate (series-valued property):");
+    print!("{}", r.render());
+
+    // ---- 4. time-series analytics on graph data --------------------------
+    let s = hg.delta(ElementRef::Vertex(card))?.to_univariate("spending").unwrap();
+    let anomalies = hygraph_ts::ops::anomaly::zscore(&s, 3.0);
+    println!("spending anomalies: {} burst points detected", anomalies.len());
+    for a in anomalies.iter().take(3) {
+        println!("  at {} value {:.0} (z = {:.1})", a.time, a.value, a.score);
+    }
+    Ok(())
+}
