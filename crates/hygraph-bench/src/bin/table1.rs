@@ -3,11 +3,15 @@
 //! all-in-graph baseline (the paper's Neo4j configuration) vs the
 //! polyglot-persistence backend (the paper's TimeTravelDB).
 //!
-//! Run with: `cargo run --release -p hygraph-bench --bin table1 [--scale small|medium|large]`
+//! Run with: `cargo run --release -p hygraph-bench --bin table1 [--scale small|medium|large] [--parallel]`
+//!
+//! `--parallel` (or `HYGRAPH_PAR_HARNESS=1`) fans the eight query
+//! trials across the configured thread pool (`HYGRAPH_THREADS`) — same
+//! answers, faster suite, noisier per-query timings.
 
 use hygraph_bench::{time_ms, Scale};
 use hygraph_datagen::bike::{self, BikeConfig};
-use hygraph_storage::harness::{measure_all, render_table, Workload};
+use hygraph_storage::harness::{measure_all, measure_all_parallel, render_table, Workload};
 use hygraph_storage::{AllInGraphStore, PolyglotStore};
 use hygraph_types::Duration;
 
@@ -68,9 +72,24 @@ fn main() {
     let (poly, load_poly_ms) = time_ms(|| PolyglotStore::load(&dataset));
     println!("loaded polyglot store in {load_poly_ms:.0} ms (chunked, 1-day partitions)\n");
 
+    let parallel_harness = std::env::args().any(|a| a == "--parallel")
+        || std::env::var("HYGRAPH_PAR_HARNESS").is_ok_and(|v| v != "0" && !v.is_empty());
     let w = Workload::for_dataset(&dataset);
-    let stats_aig = measure_all(&aig, &w, warmup, runs);
-    let stats_poly = measure_all(&poly, &w, warmup, runs);
+    let (stats_aig, stats_poly) = if parallel_harness {
+        println!(
+            "parallel harness: query trials fan out over {} thread(s)\n",
+            hygraph_types::parallel::configured_threads()
+        );
+        (
+            measure_all_parallel(&aig, &w, warmup, runs),
+            measure_all_parallel(&poly, &w, warmup, runs),
+        )
+    } else {
+        (
+            measure_all(&aig, &w, warmup, runs),
+            measure_all(&poly, &w, warmup, runs),
+        )
+    };
 
     // correctness guard: identical answers
     for (a, p) in stats_aig.iter().zip(&stats_poly) {

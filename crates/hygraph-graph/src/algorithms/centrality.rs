@@ -2,63 +2,118 @@
 //! betweenness (Brandes' algorithm). All operate on the undirected
 //! unweighted simple view, matching the evolution metrics of Rost et
 //! al. that `metricEvolution` tracks over time.
+//!
+//! Closeness, harmonic, and betweenness are embarrassingly parallel per
+//! source vertex. Closeness/harmonic scores are computed independently
+//! per vertex, so a parallel map is bit-identical to the sequential
+//! loop. Betweenness sums per-source contribution vectors; to keep the
+//! floating-point accumulation order independent of the thread count,
+//! sources are grouped into fixed-size blocks ([`BETWEENNESS_BLOCK`]):
+//! each block's partial is accumulated sequentially in source order, and
+//! block partials are combined sequentially in block order — the same
+//! summation tree in both modes, whatever the machine size.
 
 use crate::graph::TemporalGraph;
 use crate::traverse::{bfs, Follow};
+use hygraph_types::parallel::{should_parallelize, ExecMode};
 use hygraph_types::VertexId;
+use rayon::prelude::*;
 use std::collections::{HashMap, VecDeque};
+
+/// Sources per betweenness accumulation block. Fixed (not derived from
+/// the thread count) so the summation tree — and therefore every output
+/// bit — is the same in sequential and parallel mode.
+const BETWEENNESS_BLOCK: usize = 64;
 
 /// Degree centrality: degree / (n - 1), in `[0, 1]` for simple graphs.
 pub fn degree_centrality(g: &TemporalGraph) -> HashMap<VertexId, f64> {
+    degree_centrality_mode(g, ExecMode::Auto)
+}
+
+/// [`degree_centrality`] with an explicit execution mode.
+pub fn degree_centrality_mode(g: &TemporalGraph, mode: ExecMode) -> HashMap<VertexId, f64> {
     let n = g.vertex_count();
     let denom = (n.saturating_sub(1)).max(1) as f64;
-    g.vertex_ids()
-        .map(|v| (v, g.degree(v) as f64 / denom))
-        .collect()
+    let ids: Vec<VertexId> = g.vertex_ids().collect();
+    per_vertex(&ids, mode, |&v| g.degree(v) as f64 / denom)
 }
 
 /// Closeness centrality: `(reachable - 1) / Σ dist`, normalised by the
 /// fraction of the graph reached (Wasserman-Faust for disconnected
 /// graphs). Isolated vertices score 0.
 pub fn closeness_centrality(g: &TemporalGraph) -> HashMap<VertexId, f64> {
+    closeness_centrality_mode(g, ExecMode::Auto)
+}
+
+/// [`closeness_centrality`] with an explicit execution mode. One BFS per
+/// vertex; BFS runs are independent, so fan-out cannot change results.
+pub fn closeness_centrality_mode(g: &TemporalGraph, mode: ExecMode) -> HashMap<VertexId, f64> {
     let n = g.vertex_count();
-    g.vertex_ids()
-        .map(|v| {
-            let dist = bfs(g, v, Follow::Both);
-            let reached = dist.len() - 1; // excluding self
-            let total: usize = dist.values().sum();
-            let c = if reached == 0 || total == 0 {
-                0.0
-            } else {
-                let base = reached as f64 / total as f64;
-                // scale by coverage so small components do not dominate
-                base * reached as f64 / (n.saturating_sub(1)).max(1) as f64
-            };
-            (v, c)
-        })
-        .collect()
+    let ids: Vec<VertexId> = g.vertex_ids().collect();
+    per_vertex(&ids, mode, |&v| {
+        let dist = bfs(g, v, Follow::Both);
+        let reached = dist.len() - 1; // excluding self
+        let total: usize = dist.values().sum();
+        if reached == 0 || total == 0 {
+            0.0
+        } else {
+            let base = reached as f64 / total as f64;
+            // scale by coverage so small components do not dominate
+            base * reached as f64 / (n.saturating_sub(1)).max(1) as f64
+        }
+    })
 }
 
 /// Harmonic centrality: `Σ 1/dist(v, u)` over all reachable `u ≠ v` —
 /// well-defined on disconnected graphs.
 pub fn harmonic_centrality(g: &TemporalGraph) -> HashMap<VertexId, f64> {
-    g.vertex_ids()
-        .map(|v| {
-            let dist = bfs(g, v, Follow::Both);
-            let h: f64 = dist
-                .iter()
-                .filter(|&(&u, &d)| u != v && d > 0)
-                .map(|(_, &d)| 1.0 / d as f64)
-                .sum();
-            (v, h)
-        })
-        .collect()
+    harmonic_centrality_mode(g, ExecMode::Auto)
+}
+
+/// [`harmonic_centrality`] with an explicit execution mode.
+pub fn harmonic_centrality_mode(g: &TemporalGraph, mode: ExecMode) -> HashMap<VertexId, f64> {
+    let ids: Vec<VertexId> = g.vertex_ids().collect();
+    per_vertex(&ids, mode, |&v| {
+        let dist = bfs(g, v, Follow::Both);
+        // sum in sorted distance order: HashMap iteration order is
+        // seeded per instance, which would make the floating-point sum
+        // differ between otherwise identical runs
+        let mut ds: Vec<usize> = dist
+            .iter()
+            .filter(|&(&u, &d)| u != v && d > 0)
+            .map(|(_, &d)| d)
+            .collect();
+        ds.sort_unstable();
+        ds.into_iter().map(|d| 1.0 / d as f64).sum()
+    })
+}
+
+/// Maps `score` over every vertex, in parallel when `mode` allows. The
+/// closure must be pure; results are zipped back in vertex order.
+fn per_vertex<F>(ids: &[VertexId], mode: ExecMode, score: F) -> HashMap<VertexId, f64>
+where
+    F: Fn(&VertexId) -> f64 + Sync,
+{
+    let scores: Vec<f64> = if should_parallelize(mode, ids.len()) {
+        ids.par_iter().map(&score).collect()
+    } else {
+        ids.iter().map(&score).collect()
+    };
+    ids.iter().copied().zip(scores).collect()
 }
 
 /// Betweenness centrality via Brandes' algorithm on the undirected
 /// unweighted simple view. Scores are unnormalised pair counts (each
 /// unordered pair contributes once).
 pub fn betweenness_centrality(g: &TemporalGraph) -> HashMap<VertexId, f64> {
+    betweenness_centrality_mode(g, ExecMode::Auto)
+}
+
+/// [`betweenness_centrality`] with an explicit execution mode. The
+/// per-source dependency accumulations are distributed over fixed-size
+/// source blocks; see the module docs for why this keeps the result
+/// bit-identical across modes and thread counts.
+pub fn betweenness_centrality_mode(g: &TemporalGraph, mode: ExecMode) -> HashMap<VertexId, f64> {
     let ids: Vec<VertexId> = g.vertex_ids().collect();
     let n = ids.len();
     let index: HashMap<VertexId, usize> = ids.iter().enumerate().map(|(i, &v)| (v, i)).collect();
@@ -74,38 +129,69 @@ pub fn betweenness_centrality(g: &TemporalGraph) -> HashMap<VertexId, f64> {
             adj[b].push(a);
         }
     }
-    let mut cb = vec![0.0f64; n];
-    for s in 0..n {
-        // single-source shortest paths with path counting
-        let mut stack: Vec<usize> = Vec::new();
-        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut sigma = vec![0.0f64; n];
-        let mut dist = vec![-1i64; n];
-        sigma[s] = 1.0;
-        dist[s] = 0;
-        let mut queue = VecDeque::from([s]);
-        while let Some(v) = queue.pop_front() {
-            stack.push(v);
-            for &w in &adj[v] {
-                if dist[w] < 0 {
-                    dist[w] = dist[v] + 1;
-                    queue.push_back(w);
+
+    // one Brandes pass: contributions of sources [lo, hi) accumulated
+    // sequentially in source order
+    let block_partial = |lo: usize, hi: usize| {
+        let mut cb = vec![0.0f64; n];
+        for s in lo..hi {
+            // single-source shortest paths with path counting
+            let mut stack: Vec<usize> = Vec::new();
+            let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+            let mut sigma = vec![0.0f64; n];
+            let mut dist = vec![-1i64; n];
+            sigma[s] = 1.0;
+            dist[s] = 0;
+            let mut queue = VecDeque::from([s]);
+            while let Some(v) = queue.pop_front() {
+                stack.push(v);
+                for &w in &adj[v] {
+                    if dist[w] < 0 {
+                        dist[w] = dist[v] + 1;
+                        queue.push_back(w);
+                    }
+                    if dist[w] == dist[v] + 1 {
+                        sigma[w] += sigma[v];
+                        preds[w].push(v);
+                    }
                 }
-                if dist[w] == dist[v] + 1 {
-                    sigma[w] += sigma[v];
-                    preds[w].push(v);
+            }
+            // accumulation
+            let mut delta = vec![0.0f64; n];
+            while let Some(w) = stack.pop() {
+                for &v in &preds[w] {
+                    delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+                }
+                if w != s {
+                    cb[w] += delta[w];
                 }
             }
         }
-        // accumulation
-        let mut delta = vec![0.0f64; n];
-        while let Some(w) = stack.pop() {
-            for &v in &preds[w] {
-                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
-            }
-            if w != s {
-                cb[w] += delta[w];
-            }
+        cb
+    };
+
+    let blocks = n.div_ceil(BETWEENNESS_BLOCK);
+    let partials: Vec<Vec<f64>> = if should_parallelize(mode, n) && blocks > 1 {
+        (0..blocks)
+            .into_par_iter()
+            .map(|b| {
+                let lo = b * BETWEENNESS_BLOCK;
+                block_partial(lo, (lo + BETWEENNESS_BLOCK).min(n))
+            })
+            .collect()
+    } else {
+        (0..blocks)
+            .map(|b| {
+                let lo = b * BETWEENNESS_BLOCK;
+                block_partial(lo, (lo + BETWEENNESS_BLOCK).min(n))
+            })
+            .collect()
+    };
+    // combine block partials sequentially, in block order
+    let mut cb = vec![0.0f64; n];
+    for partial in partials {
+        for (acc, x) in cb.iter_mut().zip(partial) {
+            *acc += x;
         }
     }
     // undirected: every pair was counted twice
@@ -228,5 +314,46 @@ mod tests {
         assert!(closeness_centrality(&g).is_empty());
         assert!(harmonic_centrality(&g).is_empty());
         assert!(betweenness_centrality(&g).is_empty());
+    }
+
+    /// Random-ish graph exercising multiple accumulation blocks: the
+    /// parallel mode must agree with sequential to the last bit.
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let mut g = TemporalGraph::new();
+        let vs: Vec<VertexId> = (0..150).map(|_| g.add_vertex(["N"], props! {})).collect();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for _ in 0..400 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let a = (x % 150) as usize;
+            let b = ((x >> 20) % 149) as usize;
+            if a != b {
+                let _ = g.add_edge(vs[a], vs[b], ["E"], props! {});
+            }
+        }
+        for (name, seq, par) in [
+            (
+                "closeness",
+                closeness_centrality_mode(&g, ExecMode::Sequential),
+                closeness_centrality_mode(&g, ExecMode::Parallel),
+            ),
+            (
+                "harmonic",
+                harmonic_centrality_mode(&g, ExecMode::Sequential),
+                harmonic_centrality_mode(&g, ExecMode::Parallel),
+            ),
+            (
+                "betweenness",
+                betweenness_centrality_mode(&g, ExecMode::Sequential),
+                betweenness_centrality_mode(&g, ExecMode::Parallel),
+            ),
+        ] {
+            assert_eq!(seq.len(), par.len(), "{name}");
+            for (v, s) in &seq {
+                assert_eq!(s.to_bits(), par[v].to_bits(), "{name} at {v:?}");
+            }
+        }
     }
 }

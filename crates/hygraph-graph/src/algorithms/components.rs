@@ -1,8 +1,16 @@
-//! Connected components via union-find (weakly connected for directed
-//! graphs).
+//! Connected components (weakly connected for directed graphs).
+//!
+//! Two interchangeable engines produce the identical assignment:
+//! sequential union-find, and a parallel Jacobi-style min-label
+//! propagation with pointer jumping. Component ids carry no information
+//! beyond the partition — both engines renumber components 0.. by first
+//! appearance in vertex-id order, so the exact output map is the same
+//! either way and [`connected_components_mode`] is free to pick by size.
 
 use crate::graph::TemporalGraph;
+use hygraph_types::parallel::{should_parallelize, ExecMode};
 use hygraph_types::VertexId;
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// Union-find over dense vertex indices with path halving and union by
@@ -54,16 +62,76 @@ impl UnionFind {
 
 /// Weakly connected components. Returns vertex → component id, with
 /// component ids renumbered 0.. in order of first appearance (by vertex
-/// id), and the number of components.
+/// id), and the number of components. Engine chosen automatically from
+/// graph size (see [`connected_components_mode`]).
 pub fn connected_components(g: &TemporalGraph) -> (HashMap<VertexId, usize>, usize) {
-    let mut uf = UnionFind::new(g.vertex_capacity());
+    connected_components_mode(g, ExecMode::Auto)
+}
+
+/// [`connected_components`] with an explicit execution mode.
+pub fn connected_components_mode(
+    g: &TemporalGraph,
+    mode: ExecMode,
+) -> (HashMap<VertexId, usize>, usize) {
+    let cap = g.vertex_capacity();
+    let roots = if should_parallelize(mode, cap) {
+        propagate_min_labels(g, cap)
+    } else {
+        let mut uf = UnionFind::new(cap);
+        for e in g.edges() {
+            uf.union(e.src.index(), e.dst.index());
+        }
+        (0..cap).map(|i| uf.find(i) as u32).collect()
+    };
+    renumber_roots(g, &roots)
+}
+
+/// Parallel engine: every vertex repeatedly adopts the minimum label in
+/// its closed undirected neighbourhood (Jacobi iteration — each round
+/// reads only the previous round's snapshot, so the fixpoint is
+/// independent of thread count and scheduling), with a pointer-jumping
+/// shortcut so convergence takes O(log n) rounds on long paths. At the
+/// fixpoint every vertex's label is the minimum raw index of its
+/// component, a canonical root equivalent to union-find's.
+fn propagate_min_labels(g: &TemporalGraph, cap: usize) -> Vec<u32> {
+    // undirected adjacency over raw indices (tombstoned endpoints never
+    // occur: their edges are removed with them)
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); cap];
     for e in g.edges() {
-        uf.union(e.src.index(), e.dst.index());
+        adj[e.src.index()].push(e.dst.index() as u32);
+        adj[e.dst.index()].push(e.src.index() as u32);
     }
-    let mut renumber: HashMap<usize, usize> = HashMap::new();
+    let mut labels: Vec<u32> = (0..cap as u32).collect();
+    loop {
+        // gather: min over closed neighbourhood, from the old snapshot
+        let gathered: Vec<u32> = (0..cap)
+            .into_par_iter()
+            .map(|i| {
+                let mut m = labels[i];
+                for &j in &adj[i] {
+                    m = m.min(labels[j as usize]);
+                }
+                m
+            })
+            .collect();
+        // shortcut: jump to the label's label (also from a snapshot)
+        let jumped: Vec<u32> = (0..cap)
+            .into_par_iter()
+            .map(|i| gathered[gathered[i] as usize])
+            .collect();
+        if jumped == labels {
+            return jumped;
+        }
+        labels = jumped;
+    }
+}
+
+/// Renumbers per-index roots 0.. by first appearance in vertex-id order.
+fn renumber_roots(g: &TemporalGraph, roots: &[u32]) -> (HashMap<VertexId, usize>, usize) {
+    let mut renumber: HashMap<u32, usize> = HashMap::new();
     let mut out = HashMap::new();
     for v in g.vertex_ids().collect::<Vec<_>>() {
-        let root = uf.find(v.index());
+        let root = roots[v.index()];
         let next = renumber.len();
         let cid = *renumber.entry(root).or_insert(next);
         out.insert(v, cid);
@@ -138,6 +206,42 @@ mod tests {
         let (assign, n) = connected_components(&g);
         assert!(assign.is_empty());
         assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn parallel_engine_matches_union_find_exactly() {
+        let mut g = TemporalGraph::new();
+        let vs: Vec<VertexId> = (0..200).map(|_| g.add_vertex(["N"], props! {})).collect();
+        // several chains and rings plus isolated vertices and a tombstone
+        let mut x = 0x853C49E6748FEA9Bu64;
+        for _ in 0..160 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let a = (x % 200) as usize;
+            let b = ((x >> 24) % 200) as usize;
+            if a != b {
+                let _ = g.add_edge(vs[a], vs[b], ["E"], props! {});
+            }
+        }
+        g.remove_vertex(vs[13]).unwrap();
+        let (seq, n_seq) = connected_components_mode(&g, ExecMode::Sequential);
+        let (par, n_par) = connected_components_mode(&g, ExecMode::Parallel);
+        assert_eq!(n_seq, n_par);
+        assert_eq!(seq, par, "identical assignment incl. component ids");
+    }
+
+    #[test]
+    fn parallel_engine_converges_on_long_path() {
+        // a 500-vertex path stresses the pointer-jumping shortcut
+        let mut g = TemporalGraph::new();
+        let vs: Vec<VertexId> = (0..500).map(|_| g.add_vertex(["N"], props! {})).collect();
+        for w in vs.windows(2) {
+            g.add_edge(w[0], w[1], ["E"], props! {}).unwrap();
+        }
+        let (assign, n) = connected_components_mode(&g, ExecMode::Parallel);
+        assert_eq!(n, 1);
+        assert!(assign.values().all(|&c| c == 0));
     }
 
     #[test]

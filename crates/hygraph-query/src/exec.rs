@@ -8,7 +8,9 @@ use hygraph_core::{ElementRef, HyGraph};
 use hygraph_graph::pattern::Binding;
 use hygraph_graph::{Direction, Pattern};
 use hygraph_ts::store::AggKind;
+use hygraph_types::parallel::{should_parallelize, ExecMode};
 use hygraph_types::{HyGraphError, Interval, Result, Timestamp, Value};
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// One result row (values in column order).
@@ -87,8 +89,22 @@ fn contains_rowagg(expr: &Expr) -> bool {
     }
 }
 
-/// Executes a parsed query against an instance.
+/// Executes a parsed query against an instance. Execution mode is
+/// decided from the number of pattern matches (see [`execute_mode`]).
 pub fn execute(hg: &HyGraph, q: &Query) -> Result<QueryResult> {
+    execute_mode(hg, q, ExecMode::Auto)
+}
+
+/// [`execute`] with an explicit execution mode.
+///
+/// Pattern bindings are materialised up front; per-binding evaluation
+/// (WHERE filter + projections, or group keys + aggregate arguments) is
+/// a pure function of one binding, so it fans out across threads.
+/// Results are re-assembled in binding order, error reporting picks the
+/// first failing binding in that order, and grouped execution folds
+/// aggregate states sequentially in binding order — so the parallel
+/// path returns exactly what the sequential path returns.
+pub fn execute_mode(hg: &HyGraph, q: &Query, mode: ExecMode) -> Result<QueryResult> {
     if let Some(filter) = &q.filter {
         if contains_rowagg(filter) {
             return Err(HyGraphError::query(
@@ -98,11 +114,17 @@ pub fn execute(hg: &HyGraph, q: &Query) -> Result<QueryResult> {
     }
     let grouped = q.having.is_some() || q.returns.iter().any(|r| contains_rowagg(&r.expr));
     let patterns = compile_patterns(q)?;
+    // one materialised binding list, in pattern-then-match order —
+    // identical to the order the streaming visitor would see
+    let bindings: Vec<Binding> = patterns
+        .iter()
+        .flat_map(|p| p.find_all(hg.topology()))
+        .collect();
     let columns: Vec<String> = q.returns.iter().map(|r| r.alias.clone()).collect();
     let mut rows = if grouped {
-        execute_grouped(hg, q, &patterns)?
+        execute_grouped(hg, q, &bindings, mode)?
     } else {
-        execute_flat(hg, q, &patterns)?
+        execute_flat(hg, q, &bindings, mode)?
     };
 
     if q.distinct {
@@ -123,43 +145,34 @@ pub fn execute(hg: &HyGraph, q: &Query) -> Result<QueryResult> {
     Ok(QueryResult { columns, rows })
 }
 
-fn execute_flat(hg: &HyGraph, q: &Query, patterns: &[Pattern]) -> Result<Vec<Row>> {
-    let mut rows: Vec<Row> = Vec::new();
-    let mut eval_err: Option<HyGraphError> = None;
-    for pattern in patterns {
-    pattern.find(hg.topology(), |binding| {
+fn execute_flat(hg: &HyGraph, q: &Query, bindings: &[Binding], mode: ExecMode) -> Result<Vec<Row>> {
+    let eval_one = |binding: &Binding| -> Result<Option<Row>> {
         let ctx = EvalCtx { hg, binding };
         if let Some(filter) = &q.filter {
-            match ctx.eval(filter) {
-                Ok(v) => {
-                    if v.as_bool() != Some(true) {
-                        return true;
-                    }
-                }
-                Err(e) => {
-                    eval_err = Some(e);
-                    return false;
-                }
+            if ctx.eval(filter)?.as_bool() != Some(true) {
+                return Ok(None);
             }
         }
         let mut row = Vec::with_capacity(q.returns.len());
         for ReturnItem { expr, .. } in &q.returns {
-            match ctx.eval(expr) {
-                Ok(v) => row.push(v),
-                Err(e) => {
-                    eval_err = Some(e);
-                    return false;
-                }
-            }
+            row.push(ctx.eval(expr)?);
         }
-        rows.push(row);
-        true
-    });
+        Ok(Some(row))
+    };
+    let evaluated: Vec<Result<Option<Row>>> = if should_parallelize(mode, bindings.len()) {
+        bindings.par_iter().map(eval_one).collect()
+    } else {
+        bindings.iter().map(eval_one).collect()
+    };
+    // assemble in binding order; the first error in that order wins,
+    // matching what streaming evaluation would have reported
+    let mut rows = Vec::new();
+    for r in evaluated {
+        if let Some(row) = r? {
+            rows.push(row);
+        }
     }
-    match eval_err {
-        Some(e) => Err(e),
-        None => Ok(rows),
-    }
+    Ok(rows)
 }
 
 /// Accumulator for one row-aggregate instance within one group.
@@ -304,7 +317,7 @@ fn eval_final(
     }
 }
 
-fn execute_grouped(hg: &HyGraph, q: &Query, patterns: &[Pattern]) -> Result<Vec<Row>> {
+fn execute_grouped(hg: &HyGraph, q: &Query, bindings: &[Binding], mode: ExecMode) -> Result<Vec<Row>> {
     // grouping keys: the aggregate-free RETURN items
     let key_items: Vec<usize> = q
         .returns
@@ -322,40 +335,44 @@ fn execute_grouped(hg: &HyGraph, q: &Query, patterns: &[Pattern]) -> Result<Vec<
         collect_rowaggs(h, &mut specs);
     }
 
+    // phase 1 (parallelisable): per-binding filter, group key, and
+    // aggregate-argument evaluation — independent pure work
+    type KeyedArgs = Option<(Row, Vec<Value>)>;
+    let eval_one = |binding: &Binding| -> Result<KeyedArgs> {
+        let ctx = EvalCtx { hg, binding };
+        if let Some(filter) = &q.filter {
+            if ctx.eval(filter)?.as_bool() != Some(true) {
+                return Ok(None);
+            }
+        }
+        let mut key = Vec::with_capacity(key_items.len());
+        for &i in &key_items {
+            key.push(ctx.eval(&q.returns[i].expr)?);
+        }
+        let mut args = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            args.push(match &spec.arg {
+                None => Value::Int(1), // COUNT(*)
+                Some(arg) => ctx.eval(arg)?,
+            });
+        }
+        Ok(Some((key, args)))
+    };
+    let evaluated: Vec<Result<KeyedArgs>> = if should_parallelize(mode, bindings.len()) {
+        bindings.par_iter().map(eval_one).collect()
+    } else {
+        bindings.iter().map(eval_one).collect()
+    };
+
+    // phase 2 (always sequential, in binding order): fold into groups —
+    // group creation order and aggregate update order stay deterministic
     struct Group {
         key: Row,
         states: Vec<AggState>,
     }
     let mut groups: Vec<Group> = Vec::new();
-    let mut eval_err: Option<HyGraphError> = None;
-
-    for pattern in patterns {
-    pattern.find(hg.topology(), |binding| {
-        let ctx = EvalCtx { hg, binding };
-        if let Some(filter) = &q.filter {
-            match ctx.eval(filter) {
-                Ok(v) => {
-                    if v.as_bool() != Some(true) {
-                        return true;
-                    }
-                }
-                Err(e) => {
-                    eval_err = Some(e);
-                    return false;
-                }
-            }
-        }
-        // group key
-        let mut key = Vec::with_capacity(key_items.len());
-        for &i in &key_items {
-            match ctx.eval(&q.returns[i].expr) {
-                Ok(v) => key.push(v),
-                Err(e) => {
-                    eval_err = Some(e);
-                    return false;
-                }
-            }
-        }
+    for r in evaluated {
+        let Some((key, args)) = r? else { continue };
         let group = match groups.iter_mut().find(|g| rows_equal(&g.key, &key)) {
             Some(g) => g,
             None => {
@@ -366,24 +383,9 @@ fn execute_grouped(hg: &HyGraph, q: &Query, patterns: &[Pattern]) -> Result<Vec<
                 groups.last_mut().expect("just pushed")
             }
         };
-        // update every aggregate
-        for (spec, state) in specs.iter().zip(group.states.iter_mut()) {
-            match &spec.arg {
-                None => state.update(Some(&Value::Int(1)), false), // COUNT(*)
-                Some(arg) => match ctx.eval(arg) {
-                    Ok(v) => state.update(Some(&v), spec.distinct),
-                    Err(e) => {
-                        eval_err = Some(e);
-                        return false;
-                    }
-                },
-            }
+        for ((spec, state), arg) in specs.iter().zip(group.states.iter_mut()).zip(args) {
+            state.update(Some(&arg), spec.distinct && spec.arg.is_some());
         }
-        true
-    });
-    }
-    if let Some(e) = eval_err {
-        return Err(e);
     }
     // Cypher semantics: no grouping keys and no matches -> one empty group
     if groups.is_empty() && key_items.is_empty() {

@@ -20,8 +20,10 @@ use hygraph_graph::pattern::Binding;
 use hygraph_graph::{snapshot, Pattern, TemporalGraph};
 use hygraph_ts::ops::{correlate, downsample, segment, subsequence};
 use hygraph_ts::TimeSeries;
+use hygraph_types::parallel::{should_parallelize, ExecMode};
 use hygraph_types::{Duration, Result, SeriesId, Timestamp, VertexId};
-use std::collections::{HashMap, VecDeque};
+use rayon::prelude::*;
+use std::collections::HashMap;
 
 /// The first univariate series associated with a vertex: δ for a
 /// ts-vertex, else the first series-valued property of a pg-vertex.
@@ -66,25 +68,29 @@ pub struct HybridMatch {
 /// Operator Q1: structural matches whose `series_var` series contains
 /// the spec's temporal shape.
 pub fn hybrid_match(hg: &HyGraph, spec: &HybridMatchSpec) -> Vec<HybridMatch> {
-    let mut out = Vec::new();
-    spec.pattern.find(hg.topology(), |binding| {
-        let Some(&v) = binding.vertices.get(&spec.series_var) else {
-            return true;
-        };
-        let Some(series) = vertex_series(hg, v) else {
-            return true;
-        };
-        if let Some(m) = subsequence::best_match(&series, &spec.shape) {
-            if m.distance <= spec.max_dist {
-                out.push(HybridMatch {
-                    binding: binding.clone(),
-                    shape_match: m,
-                });
-            }
-        }
-        true
-    });
-    out
+    hybrid_match_mode(hg, spec, ExecMode::Auto)
+}
+
+/// [`hybrid_match`] with an explicit execution mode. The per-binding
+/// shape search is pure, so bindings fan out across threads; results
+/// keep the pattern's enumeration order either way.
+pub fn hybrid_match_mode(hg: &HyGraph, spec: &HybridMatchSpec, mode: ExecMode) -> Vec<HybridMatch> {
+    let bindings = spec.pattern.find_all(hg.topology());
+    let eval_one = |binding: &Binding| -> Option<HybridMatch> {
+        let &v = binding.vertices.get(&spec.series_var)?;
+        let series = vertex_series(hg, v)?;
+        let m = subsequence::best_match(&series, &spec.shape)?;
+        (m.distance <= spec.max_dist).then(|| HybridMatch {
+            binding: binding.clone(),
+            shape_match: m,
+        })
+    };
+    let hits: Vec<Option<HybridMatch>> = if should_parallelize(mode, bindings.len()) {
+        bindings.par_iter().map(eval_one).collect()
+    } else {
+        bindings.iter().map(eval_one).collect()
+    };
+    hits.into_iter().flatten().collect()
 }
 
 /// Result of operator Q2: the label-grouped summary graph plus one
@@ -100,15 +106,32 @@ pub struct HybridAggregate {
 /// `bucket`-granularity mean series per group, averaging over every
 /// member's associated series.
 pub fn hybrid_aggregate(hg: &HyGraph, bucket: Duration) -> HybridAggregate {
+    hybrid_aggregate_mode(hg, bucket, ExecMode::Auto)
+}
+
+/// [`hybrid_aggregate`] with an explicit execution mode. Per-vertex
+/// series resolution and downsampling fan out; the accumulation into
+/// label groups stays sequential in vertex-id order, so the float sums
+/// are combined in exactly the same order as the sequential path.
+pub fn hybrid_aggregate_mode(hg: &HyGraph, bucket: Duration, mode: ExecMode) -> HybridAggregate {
     let g = hg.topology();
     let grouped =
         hygraph_graph::aggregate::group_by(g, hygraph_graph::aggregate::GroupBy::Labels, &[]);
+    let ids: Vec<VertexId> = g.vertex_ids().collect();
+    let down_one = |&v: &VertexId| -> Option<(VertexId, TimeSeries)> {
+        let series = vertex_series(hg, v)?;
+        Some((v, downsample::bucket_mean(&series, bucket)))
+    };
+    let downs: Vec<Option<(VertexId, TimeSeries)>> = if should_parallelize(mode, ids.len()) {
+        ids.par_iter().map(down_one).collect()
+    } else {
+        ids.iter().map(down_one).collect()
+    };
     let mut acc: HashMap<String, (TimeSeries, TimeSeries)> = HashMap::new(); // (sum, count)
-    for v in g.vertex_ids() {
-        let Some(series) = vertex_series(hg, v) else {
+    for item in downs {
+        let Some((v, down)) = item else {
             continue;
         };
-        let down = downsample::bucket_mean(&series, bucket);
         let Some(&group_v) = grouped.membership.get(&v) else {
             continue;
         };
@@ -150,6 +173,24 @@ pub fn correlation_reachability(
     step: Duration,
     min_corr: f64,
 ) -> Vec<(VertexId, f64)> {
+    correlation_reachability_mode(hg, from, step, min_corr, ExecMode::Auto)
+}
+
+/// [`correlation_reachability`] with an explicit execution mode.
+///
+/// The traversal is level-synchronous BFS: each wave's candidate edges
+/// are scored (series resolution + Pearson) in parallel, then admitted
+/// sequentially in (frontier-order, neighbor-order) — the exact visit
+/// order of the sequential FIFO queue, so a vertex reachable through
+/// several same-level predecessors records the same first-predecessor
+/// correlation in both modes.
+pub fn correlation_reachability_mode(
+    hg: &HyGraph,
+    from: VertexId,
+    step: Duration,
+    min_corr: f64,
+    mode: ExecMode,
+) -> Vec<(VertexId, f64)> {
     let g = hg.topology();
     let mut out: Vec<(VertexId, f64)> = Vec::new();
     let Some(start_series) = vertex_series(hg, from) else {
@@ -158,25 +199,44 @@ pub fn correlation_reachability(
     let mut seen: HashMap<VertexId, f64> = HashMap::new();
     seen.insert(from, 1.0);
     out.push((from, 1.0));
-    let mut queue: VecDeque<(VertexId, TimeSeries)> = VecDeque::new();
-    queue.push_back((from, start_series));
-    while let Some((v, v_series)) = queue.pop_front() {
-        for (_, n) in g.neighbors(v) {
-            if seen.contains_key(&n) {
-                continue;
-            }
-            let Some(n_series) = vertex_series(hg, n) else {
+    let mut frontier: Vec<(VertexId, TimeSeries)> = vec![(from, start_series)];
+    while !frontier.is_empty() {
+        // candidate edges out of this wave, in FIFO visit order; vertices
+        // already admitted before the wave are pruned up front (scoring
+        // them would be wasted work), intra-wave duplicates are resolved
+        // by the sequential admission pass below
+        let candidates: Vec<(usize, VertexId)> = frontier
+            .iter()
+            .enumerate()
+            .flat_map(|(i, (v, _))| {
+                g.neighbors(*v)
+                    .filter(|(_, n)| !seen.contains_key(n))
+                    .map(move |(_, n)| (i, n))
+            })
+            .collect();
+        let score_one = |&(i, n): &(usize, VertexId)| -> Option<(f64, TimeSeries)> {
+            let n_series = vertex_series(hg, n)?;
+            let r = correlate::series_correlation(&frontier[i].1, &n_series, step)?;
+            Some((r, n_series))
+        };
+        let scored: Vec<Option<(f64, TimeSeries)>> =
+            if should_parallelize(mode, candidates.len()) {
+                candidates.par_iter().map(score_one).collect()
+            } else {
+                candidates.iter().map(score_one).collect()
+            };
+        let mut next: Vec<(VertexId, TimeSeries)> = Vec::new();
+        for (&(_, n), hit) in candidates.iter().zip(scored) {
+            let Some((r, n_series)) = hit else {
                 continue;
             };
-            let Some(r) = correlate::series_correlation(&v_series, &n_series, step) else {
-                continue;
-            };
-            if r >= min_corr {
+            if r >= min_corr && !seen.contains_key(&n) {
                 seen.insert(n, r);
                 out.push((n, r));
-                queue.push_back((n, n_series));
+                next.push((n, n_series));
             }
         }
+        frontier = next;
     }
     out.sort_by_key(|&(v, _)| v);
     out
@@ -337,6 +397,96 @@ mod tests {
         assert_eq!(snaps[0].1.vertex_count(), 1, "b not yet alive");
         assert_eq!(snaps[1].1.vertex_count(), 2, "b alive in the middle regime");
         assert_eq!(snaps[2].1.vertex_count(), 1, "b gone again");
+    }
+
+    /// Tentpole invariant: every hybrid operator's parallel path is
+    /// bit-identical to its sequential path on a graph large enough to
+    /// exercise real fan-out (multi-binding patterns, multi-wave BFS
+    /// with same-level shared successors).
+    #[test]
+    fn hybrid_operators_parallel_match_sequential_bitwise() {
+        let mut hg = HyGraph::new();
+        let mut vs = Vec::new();
+        for i in 0..30usize {
+            let s = TimeSeries::generate(ts(0), Duration::from_millis(5), 120, move |k| {
+                ((k as f64) * 0.11 + i as f64 * 0.37).sin() * (1.0 + (i % 5) as f64)
+                    + if i % 4 == 0 { k as f64 * 0.01 } else { 0.0 }
+            });
+            let sid = hg.add_univariate_series("s", &s);
+            let label = if i % 3 == 0 { "A" } else { "B" };
+            vs.push(hg.add_ts_vertex([label], sid).unwrap());
+        }
+        for i in 0..30 {
+            hg.add_pg_edge(vs[i], vs[(i + 1) % 30], ["E"], props! {}).unwrap();
+            if i % 5 == 0 {
+                // chords create diamonds: same-level shared successors
+                hg.add_pg_edge(vs[i], vs[(i + 7) % 30], ["E"], props! {}).unwrap();
+            }
+        }
+
+        // Q1: loose threshold so several bindings survive
+        let mut pattern = Pattern::new();
+        let a = pattern.vertex("a", ["A"]);
+        let b = pattern.vertex("b", ["B"]);
+        pattern.edge(None, a, b, ["E"], Direction::Out);
+        let shape: Vec<f64> = (0..20).map(|k| ((k as f64) * 0.11).sin()).collect();
+        let spec = HybridMatchSpec {
+            pattern,
+            series_var: "b".into(),
+            shape,
+            max_dist: 3.0,
+        };
+        let m_seq = hybrid_match_mode(&hg, &spec, ExecMode::Sequential);
+        let m_par = hybrid_match_mode(&hg, &spec, ExecMode::Parallel);
+        assert!(!m_seq.is_empty(), "fixture must produce Q1 matches");
+        assert_eq!(m_seq.len(), m_par.len());
+        for (s, p) in m_seq.iter().zip(&m_par) {
+            assert_eq!(s.binding.vertices, p.binding.vertices);
+            assert_eq!(s.shape_match.offset, p.shape_match.offset);
+            assert_eq!(
+                s.shape_match.distance.to_bits(),
+                p.shape_match.distance.to_bits()
+            );
+        }
+
+        // Q2: label-group mean series
+        let g_seq = hybrid_aggregate_mode(&hg, Duration::from_millis(50), ExecMode::Sequential);
+        let g_par = hybrid_aggregate_mode(&hg, Duration::from_millis(50), ExecMode::Parallel);
+        assert_eq!(
+            g_seq.group_series.len(),
+            g_par.group_series.len(),
+            "same group keys"
+        );
+        for (key, s) in &g_seq.group_series {
+            let p = &g_par.group_series[key];
+            assert_eq!(s.len(), p.len());
+            for ((ts_s, x_s), (ts_p, x_p)) in s.iter().zip(p.iter()) {
+                assert_eq!(ts_s, ts_p);
+                assert_eq!(x_s.to_bits(), x_p.to_bits());
+            }
+        }
+
+        // Q3: multi-wave BFS with diamond joins
+        let r_seq = correlation_reachability_mode(
+            &hg,
+            vs[0],
+            Duration::from_millis(5),
+            0.2,
+            ExecMode::Sequential,
+        );
+        let r_par = correlation_reachability_mode(
+            &hg,
+            vs[0],
+            Duration::from_millis(5),
+            0.2,
+            ExecMode::Parallel,
+        );
+        assert!(r_seq.len() > 2, "fixture must reach beyond the start");
+        assert_eq!(r_seq.len(), r_par.len());
+        for ((v_s, c_s), (v_p, c_p)) in r_seq.iter().zip(&r_par) {
+            assert_eq!(v_s, v_p);
+            assert_eq!(c_s.to_bits(), c_p.to_bits());
+        }
     }
 
     #[test]

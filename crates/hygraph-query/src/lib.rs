@@ -105,7 +105,7 @@ pub mod lexer;
 pub mod parser;
 
 pub use ast::Query;
-pub use exec::{execute, QueryResult, Row};
+pub use exec::{execute, execute_mode, QueryResult, Row};
 
 use hygraph_core::HyGraph;
 use hygraph_types::Result;

@@ -4,6 +4,7 @@
 use crate::backend::{QueryId, StorageBackend};
 use hygraph_datagen::bike::BikeDataset;
 use hygraph_types::{Duration, Interval, VertexId};
+use rayon::prelude::*;
 use std::time::Instant;
 
 /// Measured statistics of one query on one backend.
@@ -158,6 +159,27 @@ pub fn measure_all<B: StorageBackend>(
         .collect()
 }
 
+/// [`measure_all`] with the eight query trials fanned out across the
+/// configured thread pool, one trial per query.
+///
+/// Checksums and row order are identical to the sequential harness
+/// (queries are read-only and results collect in `QueryId::ALL` order);
+/// only the wall clock of the whole suite changes. Per-query MRS/CV can
+/// be inflated by cache and memory-bandwidth contention between
+/// concurrent trials, so prefer [`measure_all`] for publishable numbers
+/// and this variant for fast CI smoke trials on multi-core boxes.
+pub fn measure_all_parallel<B: StorageBackend + Sync>(
+    backend: &B,
+    w: &Workload,
+    warmup: usize,
+    runs: usize,
+) -> Vec<QueryStats> {
+    QueryId::ALL
+        .par_iter()
+        .map(|&q| measure(backend, w, q, warmup, runs))
+        .collect()
+}
+
 /// Renders the two-backend comparison in the paper's Table-1 layout.
 pub fn render_table(baseline: &[QueryStats], polyglot: &[QueryStats]) -> String {
     use std::fmt::Write;
@@ -228,6 +250,26 @@ mod tests {
         assert!(stats.mrs_ms >= 0.0);
         assert!(stats.cv_pct >= 0.0);
         assert!(stats.checksum.is_finite());
+    }
+
+    #[test]
+    fn parallel_harness_matches_sequential_checksums() {
+        let d = tiny();
+        let w = Workload::for_dataset(&d);
+        let poly = PolyglotStore::load(&d);
+        let seq = measure_all(&poly, &w, 0, 2);
+        let par = measure_all_parallel(&poly, &w, 0, 2);
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.query, p.query, "row order is QueryId::ALL either way");
+            assert_eq!(
+                s.checksum.to_bits(),
+                p.checksum.to_bits(),
+                "{}: concurrent trials must not change answers",
+                s.query.name()
+            );
+            assert_eq!(s.runs, p.runs);
+        }
     }
 
     #[test]

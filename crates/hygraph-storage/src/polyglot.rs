@@ -10,7 +10,9 @@ use hygraph_datagen::bike::BikeDataset;
 use hygraph_graph::TemporalGraph;
 use hygraph_ts::store::AggKind;
 use hygraph_ts::TsStore;
+use hygraph_types::parallel::auto_parallel;
 use hygraph_types::{Duration, Interval, SeriesId, Timestamp, VertexId};
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// Graph store + dedicated chunked time-series store.
@@ -87,9 +89,20 @@ impl StorageBackend for PolyglotStore {
     }
 
     fn q4_mean_all(&self, iv: &Interval) -> Vec<(VertexId, f64)> {
-        self.stations
+        // one batched store call: per-series aggregates are independent,
+        // so the store may fan them out across threads (results are in
+        // input order either way)
+        let pairs: Vec<(VertexId, SeriesId)> = self
+            .stations
             .iter()
-            .filter_map(|&s| self.q3_mean(s, iv).map(|m| (s, m)))
+            .filter_map(|&s| self.sid(s).map(|sid| (s, sid)))
+            .collect();
+        let sids: Vec<SeriesId> = pairs.iter().map(|&(_, sid)| sid).collect();
+        let means = self.ts.aggregate_batch(&sids, iv, AggKind::Mean);
+        pairs
+            .iter()
+            .zip(means)
+            .filter_map(|(&(s, _), m)| m.map(|m| (s, m)))
             .collect()
     }
 
@@ -136,29 +149,37 @@ impl StorageBackend for PolyglotStore {
     }
 
     fn q8_sustained_below(&self, iv: &Interval, threshold: f64, min_run: usize) -> Vec<VertexId> {
+        // chunk-pruned ordered scan with early exit via run check; the
+        // per-station predicate is independent, so large station sets
+        // fan out — matches flags are zipped back in station order
+        let has_run = |&s: &VertexId| {
+            let Some(sid) = self.sid(s) else { return false };
+            let mut run = 0usize;
+            let mut found = false;
+            self.ts.scan(sid, iv, |_, v| {
+                if found {
+                    return;
+                }
+                if v < threshold {
+                    run += 1;
+                    if run >= min_run {
+                        found = true;
+                    }
+                } else {
+                    run = 0;
+                }
+            });
+            found
+        };
+        let flags: Vec<bool> = if auto_parallel(self.stations.len()) {
+            self.stations.par_iter().map(has_run).collect()
+        } else {
+            self.stations.iter().map(has_run).collect()
+        };
         self.stations
             .iter()
-            .filter(|&&s| {
-                let Some(sid) = self.sid(s) else { return false };
-                // chunk-pruned ordered scan with early exit via run check
-                let mut run = 0usize;
-                let mut found = false;
-                self.ts.scan(sid, iv, |_, v| {
-                    if found {
-                        return;
-                    }
-                    if v < threshold {
-                        run += 1;
-                        if run >= min_run {
-                            found = true;
-                        }
-                    } else {
-                        run = 0;
-                    }
-                });
-                found
-            })
-            .copied()
+            .zip(flags)
+            .filter_map(|(&s, keep)| keep.then_some(s))
             .collect()
     }
 }

@@ -7,7 +7,9 @@
 use crate::ops::resample::{align, FillMethod};
 use crate::ops::stats;
 use crate::series::TimeSeries;
+use hygraph_types::parallel::{should_parallelize, ExecMode};
 use hygraph_types::Duration;
+use rayon::prelude::*;
 
 /// Pearson correlation of two equally-long slices; `None` when either is
 /// constant, empty or lengths mismatch.
@@ -102,16 +104,34 @@ pub fn rolling_correlation(a: &TimeSeries, b: &TimeSeries, window: usize) -> Tim
 
 /// Pairwise correlation matrix of many aligned value slices.
 /// Undefined entries (constant series) are 0; the diagonal is 1.
+/// Execution mode decided from the pair count (see
+/// [`correlation_matrix_mode`]).
 pub fn correlation_matrix(columns: &[&[f64]]) -> Vec<Vec<f64>> {
+    correlation_matrix_mode(columns, ExecMode::Auto)
+}
+
+/// [`correlation_matrix`] with an explicit execution mode. The
+/// `k·(k-1)/2` upper-triangle entries are independent pure computations,
+/// so fanning them out over threads produces the exact same matrix as
+/// the sequential double loop.
+pub fn correlation_matrix_mode(columns: &[&[f64]], mode: ExecMode) -> Vec<Vec<f64>> {
     let k = columns.len();
+    let pairs: Vec<(usize, usize)> = (0..k)
+        .flat_map(|i| ((i + 1)..k).map(move |j| (i, j)))
+        .collect();
+    let cell = |&(i, j): &(usize, usize)| pearson(columns[i], columns[j]).unwrap_or(0.0);
+    let values: Vec<f64> = if should_parallelize(mode, pairs.len()) {
+        pairs.par_iter().map(cell).collect()
+    } else {
+        pairs.iter().map(cell).collect()
+    };
     let mut m = vec![vec![0.0; k]; k];
-    for i in 0..k {
-        m[i][i] = 1.0;
-        for j in (i + 1)..k {
-            let r = pearson(columns[i], columns[j]).unwrap_or(0.0);
-            m[i][j] = r;
-            m[j][i] = r;
-        }
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for (&(i, j), r) in pairs.iter().zip(values) {
+        m[i][j] = r;
+        m[j][i] = r;
     }
     m
 }
@@ -201,6 +221,26 @@ mod tests {
         let a = TimeSeries::generate(ts(0), Duration::from_millis(1), 3, |i| i as f64);
         let r = rolling_correlation(&a, &a, 5);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn matrix_parallel_matches_sequential_bitwise() {
+        // 24 pseudo-random columns -> 276 pairs, enough to span chunks
+        let cols: Vec<Vec<f64>> = (0..24)
+            .map(|c| {
+                (0..64)
+                    .map(|i| ((i * 7 + c * 13) as f64 * 0.37).sin() + c as f64 * 0.01)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        let seq = correlation_matrix_mode(&refs, ExecMode::Sequential);
+        let par = correlation_matrix_mode(&refs, ExecMode::Parallel);
+        for (row_s, row_p) in seq.iter().zip(&par) {
+            for (a, b) in row_s.iter().zip(row_p) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! speedups over the all-in-graph layout.
 
 use crate::series::TimeSeries;
+use hygraph_types::parallel::{should_parallelize, ExecMode};
 use hygraph_types::{Duration, HyGraphError, Interval, Result, SeriesId, Timestamp};
+use rayon::prelude::*;
 use std::collections::BTreeMap;
 
 /// Aggregate functions supported by the store and the query engine.
@@ -350,6 +352,56 @@ impl TsStore {
         self.summarize(id, interval).get(kind)
     }
 
+    /// [`summarize`](Self::summarize) over many series at once, returned
+    /// in input order. Per-series summaries are independent, so the
+    /// batch fans out across threads for large id sets (the multi-series
+    /// scan queries Q4/Q5/Q8 of the storage experiment) with results
+    /// identical to calling `summarize` in a loop.
+    pub fn summarize_batch(&self, ids: &[SeriesId], interval: &Interval) -> Vec<Summary> {
+        self.summarize_batch_mode(ids, interval, ExecMode::Auto)
+    }
+
+    /// [`summarize_batch`](Self::summarize_batch) with an explicit
+    /// execution mode.
+    pub fn summarize_batch_mode(
+        &self,
+        ids: &[SeriesId],
+        interval: &Interval,
+        mode: ExecMode,
+    ) -> Vec<Summary> {
+        if should_parallelize(mode, ids.len()) {
+            ids.par_iter().map(|&id| self.summarize(id, interval)).collect()
+        } else {
+            ids.iter().map(|&id| self.summarize(id, interval)).collect()
+        }
+    }
+
+    /// [`aggregate`](Self::aggregate) over many series at once, in input
+    /// order.
+    pub fn aggregate_batch(
+        &self,
+        ids: &[SeriesId],
+        interval: &Interval,
+        kind: AggKind,
+    ) -> Vec<Option<f64>> {
+        self.aggregate_batch_mode(ids, interval, kind, ExecMode::Auto)
+    }
+
+    /// [`aggregate_batch`](Self::aggregate_batch) with an explicit
+    /// execution mode.
+    pub fn aggregate_batch_mode(
+        &self,
+        ids: &[SeriesId],
+        interval: &Interval,
+        kind: AggKind,
+        mode: ExecMode,
+    ) -> Vec<Option<f64>> {
+        self.summarize_batch_mode(ids, interval, mode)
+            .iter()
+            .map(|s| s.get(kind))
+            .collect()
+    }
+
     /// Bucketed aggregation: one summary per tumbling window of width
     /// `bucket` across `interval`. Returns `(bucket_start, summary)` pairs
     /// for non-empty buckets.
@@ -480,6 +532,63 @@ mod tests {
         let r = st.range(id, &Interval::new(ts(100), ts(300)));
         assert_eq!(r.values(), &[2.0, 3.0, 4.0, 5.0]);
         assert_eq!(r.times()[0], ts(100));
+    }
+
+    #[test]
+    fn duplicate_overwrite_rebuilds_chunk_summary() {
+        // regression: overwriting the value that held a chunk's min or
+        // max must rebuild the sparse summary, not just patch the value
+        // vector — otherwise covered-chunk aggregates report stale
+        // extremes
+        let mut st = store_100ms();
+        let id = SeriesId::new(1);
+        st.insert(id, ts(10), 100.0); // chunk max
+        st.insert(id, ts(20), -100.0); // chunk min
+        st.insert(id, ts(30), 1.0);
+        // overwrite both extremes with interior values (same chunk)
+        st.insert(id, ts(10), 2.0);
+        st.insert(id, ts(20), 3.0);
+        // interval covering the whole chunk takes the precomputed-summary
+        // path
+        let whole = Interval::new(ts(0), ts(100));
+        let s = st.summarize(id, &whole);
+        assert_eq!(s.count, 3, "overwrite must not add observations");
+        assert_eq!(s.min, 1.0, "stale min -100 must be gone");
+        assert_eq!(s.max, 3.0, "stale max 100 must be gone");
+        assert_eq!(s.sum, 6.0);
+        assert_eq!(st.aggregate(id, &whole, AggKind::Mean), Some(2.0));
+        // and the summary path agrees with a raw partial-chunk scan
+        let partial = st.summarize(id, &Interval::new(ts(0), ts(99)));
+        assert_eq!(partial.min, s.min);
+        assert_eq!(partial.max, s.max);
+        assert_eq!(partial.sum, s.sum);
+    }
+
+    #[test]
+    fn batch_summarize_matches_per_series_calls() {
+        let mut st = store_100ms();
+        let ids: Vec<SeriesId> = (1..=40).map(SeriesId::new).collect();
+        for (k, &id) in ids.iter().enumerate() {
+            for i in 0..50 {
+                st.insert(id, ts(i * 20), (i + k as i64) as f64 * 0.5);
+            }
+        }
+        let iv = Interval::new(ts(40), ts(760));
+        for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+            let batch = st.summarize_batch_mode(&ids, &iv, mode);
+            assert_eq!(batch.len(), ids.len());
+            for (&id, b) in ids.iter().zip(&batch) {
+                let single = st.summarize(id, &iv);
+                assert_eq!(b.count, single.count, "{mode:?}");
+                assert_eq!(b.sum.to_bits(), single.sum.to_bits(), "{mode:?}");
+                assert_eq!(b.min, single.min);
+                assert_eq!(b.max, single.max);
+            }
+            let aggs = st.aggregate_batch_mode(&ids, &iv, AggKind::Max, mode);
+            for (&id, a) in ids.iter().zip(&aggs) {
+                assert_eq!(*a, st.aggregate(id, &iv, AggKind::Max));
+            }
+        }
     }
 
     #[test]

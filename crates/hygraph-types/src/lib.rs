@@ -16,6 +16,7 @@
 pub mod error;
 pub mod ids;
 pub mod interval;
+pub mod parallel;
 pub mod property;
 pub mod time;
 pub mod value;

@@ -1,0 +1,378 @@
+//! Offline stand-in for `criterion` (API subset).
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the benchmark surface the workspace uses: `Criterion::default()` with
+//! `sample_size` / `warm_up_time` / `measurement_time`, benchmark
+//! groups, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is plain wall-clock sampling (mean,
+//! median, min) without criterion's outlier analysis or HTML reports.
+//!
+//! Extra over upstream: every measured result is recorded and can be
+//! exported as machine-readable JSON — either explicitly with
+//! [`Criterion::export_json`] (used by custom `fn main` benches) or
+//! automatically by `criterion_main!` when `CRITERION_JSON=<path>` is
+//! set in the environment.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Group name (empty for ungrouped benches).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub name: String,
+    /// Mean time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Median time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Fastest observed iteration, nanoseconds.
+    pub min_ns: f64,
+    /// Number of timed iterations.
+    pub iterations: u64,
+}
+
+impl BenchResult {
+    /// The qualified `group/name` id.
+    pub fn id(&self) -> String {
+        if self.group.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.group, self.name)
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Config {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The benchmark harness handle.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    config: Config,
+    results: Rc<RefCell<Vec<BenchResult>>>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            config: Config::default(),
+            results: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+}
+
+impl Criterion {
+    /// Target number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Untimed warm-up duration before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    /// Measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            config: None,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.config.clone();
+        self.run_one(String::new(), name.into(), &config, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, group: String, name: String, config: &Config, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            config: config.clone(),
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples_ns;
+        if samples.is_empty() {
+            return;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let median = if n % 2 == 1 {
+            samples[n / 2]
+        } else {
+            (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+        };
+        let result = BenchResult {
+            group,
+            name,
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: samples[0],
+            iterations: n as u64,
+        };
+        println!(
+            "{:<50} time: [{} {} {}]  ({} iters)",
+            result.id(),
+            fmt_ns(result.min_ns),
+            fmt_ns(result.mean_ns),
+            fmt_ns(result.median_ns),
+            result.iterations,
+        );
+        self.results.borrow_mut().push(result);
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> Vec<BenchResult> {
+        self.results.borrow().clone()
+    }
+
+    /// Writes every measured result as a JSON array to `path`.
+    pub fn export_json(&self, path: &str) -> std::io::Result<()> {
+        use std::fmt::Write as _;
+        let mut out = String::from("[\n");
+        let results = self.results.borrow();
+        for (i, r) in results.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  {{\"group\": \"{}\", \"name\": \"{}\", \"mean_ns\": {:.1}, \
+                 \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"iterations\": {}}}{}",
+                escape(&r.group),
+                escape(&r.name),
+                r.mean_ns,
+                r.median_ns,
+                r.min_ns,
+                r.iterations,
+                if i + 1 < results.len() { "," } else { "" },
+            );
+        }
+        out.push_str("]\n");
+        std::fs::write(path, out)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    config: Option<Config>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config
+            .get_or_insert_with(|| self.criterion.config.clone())
+            .sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config
+            .get_or_insert_with(|| self.criterion.config.clone())
+            .measurement = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self
+            .config
+            .clone()
+            .unwrap_or_else(|| self.criterion.config.clone());
+        self.criterion
+            .run_one(self.name.clone(), name.into(), &config, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+pub struct Bencher {
+    config: Config,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`: warm-up for the configured duration, then
+    /// repeated timed iterations until the measurement window closes or
+    /// `sample_size * 64` iterations are collected.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_deadline = Instant::now() + self.config.warm_up;
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(routine());
+        }
+        let max_iters = (self.config.sample_size as u64).saturating_mul(64);
+        let deadline = Instant::now() + self.config.measurement;
+        let mut samples = Vec::new();
+        while Instant::now() < deadline && (samples.len() as u64) < max_iters {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            samples.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+        if samples.is_empty() {
+            // routine slower than the window: time one iteration anyway
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            samples.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+        self.samples_ns = samples;
+    }
+}
+
+/// Prevents the optimiser from eliding a value (re-export convenience;
+/// upstream criterion also offers this alongside `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name(criterion: &mut $crate::Criterion) {
+            *criterion = $config.with_results_of(criterion);
+            $($target(criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+impl Criterion {
+    /// Adopts the accumulated results of `other` (macro plumbing: lets a
+    /// group's `config = ...` expression replace the harness while
+    /// keeping earlier groups' measurements).
+    pub fn with_results_of(mut self, other: &Criterion) -> Criterion {
+        self.results = Rc::clone(&other.results);
+        self
+    }
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+/// When `CRITERION_JSON` is set, results are exported there on exit.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            if let Ok(path) = std::env::var("CRITERION_JSON") {
+                criterion
+                    .export_json(&path)
+                    .expect("write CRITERION_JSON output");
+                println!("wrote {path}");
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10))
+    }
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+        let rs = c.results();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].id(), "grp/noop");
+        assert!(rs[0].iterations >= 1);
+        assert!(rs[0].mean_ns >= 0.0);
+        assert!(rs[0].min_ns <= rs[0].mean_ns * 1.0001);
+    }
+
+    #[test]
+    fn group_sample_size_caps_iterations() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_function("capped", |b| b.iter(|| std::hint::black_box(3 * 3)));
+        g.finish();
+        let rs = c.results();
+        assert!(rs[0].iterations <= 2 * 64);
+    }
+
+    #[test]
+    fn json_export_roundtrips_shape() {
+        let mut c = quick();
+        c.bench_function("solo", |b| b.iter(|| 2 + 2));
+        let path = std::env::temp_dir().join("criterion_shim_test.json");
+        let path = path.to_str().unwrap();
+        c.export_json(path).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.contains("\"name\": \"solo\""));
+        assert!(text.contains("mean_ns"));
+        let _ = std::fs::remove_file(path);
+    }
+}

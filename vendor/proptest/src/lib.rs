@@ -1,0 +1,608 @@
+//! Offline stand-in for `proptest` (API subset, no shrinking).
+//!
+//! The build environment has no crates.io access, so this crate vendors
+//! the slice of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (`#[test] fn name(arg in strategy, ...)`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`],
+//! * range strategies (`-10i64..10`, `0.0f64..1.0`, inclusive forms),
+//! * tuple strategies, `prop::collection::vec`, `prop::sample::select`,
+//! * string-regex strategies for the subset of patterns the tests use
+//!   (literals, `[a-z]`-style classes, `\PC`, and `{m,n}` repetition).
+//!
+//! Differences from upstream: failing inputs are *not* shrunk (the
+//! failure message reports the case's deterministic seed instead), and
+//! generation uses a fixed per-test seed derived from the test name so
+//! runs are reproducible. `PROPTEST_CASES` overrides the case count.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------- rng
+
+/// Deterministic generator used to sample strategies (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// A generator for one test case.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next uniform 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let out = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------- strategies
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128 * span) >> 64;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// String strategies from a small regex-like pattern language.
+///
+/// Supported syntax: literal characters, `[a-z0-9_]`-style classes with
+/// ranges, the escape `\PC` (any printable non-control character), and
+/// a `{m,n}` repetition suffix on the preceding atom.
+impl Strategy for str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Printable,
+}
+
+#[derive(Clone, Debug)]
+struct PatternPart {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> Vec<PatternPart> {
+    let mut parts: Vec<PatternPart> = Vec::new();
+    let mut chars = pat.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '\\' => match chars.next() {
+                Some('P') => {
+                    // proptest uses `\PC` = "not in unicode category C
+                    // (control)"; we approximate with printable chars
+                    let class = chars.next();
+                    assert_eq!(class, Some('C'), "only \\PC escapes are supported");
+                    Atom::Printable
+                }
+                Some(esc) => Atom::Literal(esc),
+                None => panic!("dangling escape in pattern {pat:?}"),
+            },
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some(lo) => {
+                            if chars.peek() == Some(&'-') {
+                                chars.next();
+                                let hi = chars
+                                    .next()
+                                    .unwrap_or_else(|| panic!("open range in {pat:?}"));
+                                ranges.push((lo, hi));
+                            } else {
+                                ranges.push((lo, lo));
+                            }
+                        }
+                        None => panic!("unterminated class in pattern {pat:?}"),
+                    }
+                }
+                Atom::Class(ranges)
+            }
+            other => Atom::Literal(other),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("repetition min"),
+                    n.trim().parse().expect("repetition max"),
+                ),
+                None => {
+                    let n: usize = spec.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        parts.push(PatternPart { atom, min, max });
+    }
+    parts
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| (hi as u64).saturating_sub(lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total.max(1));
+            for &(lo, hi) in ranges {
+                let span = (hi as u64) - (lo as u64) + 1;
+                if pick < span {
+                    return char::from_u32(lo as u32 + pick as u32).unwrap_or(lo);
+                }
+                pick -= span;
+            }
+            ranges[0].0
+        }
+        Atom::Printable => {
+            // mostly ASCII printables, occasionally multi-byte chars to
+            // stress UTF-8 handling like upstream's \PC does
+            if rng.below(8) == 0 {
+                const EXOTIC: &[char] = &['é', 'Ω', 'ß', '中', '🦀', '∑', '→', '\u{00A0}'];
+                EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+            } else {
+                char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap_or(' ')
+            }
+        }
+    }
+}
+
+fn sample_pattern(pat: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for part in parse_pattern(pat) {
+        let n = part.min as u64 + rng.below((part.max - part.min + 1) as u64);
+        for _ in 0..n {
+            out.push(sample_atom(&part.atom, rng));
+        }
+    }
+    out
+}
+
+// -------------------------------------------------- prop::* namespaces
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Length specification for collection strategies (upstream's
+    /// `SizeRange`): an exact `usize`, a `Range`, or a `RangeInclusive`.
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange(*r.start()..*r.end() + 1)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A vector of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into().0,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::*;
+
+    /// Strategy choosing uniformly from a fixed list.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// One of the given options, uniformly.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+// ------------------------------------------------------------- runner
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed: the property is violated.
+    Fail(String),
+    /// The inputs did not satisfy a `prop_assume!` precondition.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject => write!(f, "inputs rejected by prop_assume!"),
+        }
+    }
+}
+
+/// Result of one test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Number of cases to run per property (default 64, `PROPTEST_CASES`
+/// overrides).
+pub fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// FNV-1a hash of the test name, mixed with `PROPTEST_SEED` when set —
+/// gives every property its own reproducible stream.
+pub fn base_seed(test_name: &str) -> u64 {
+    let user: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0x9E37_79B9);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ user;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives one property: samples cases, tolerates rejects, panics with
+/// the case seed on failure. Used by the [`proptest!`] macro.
+pub fn run_property(test_name: &str, mut case: impl FnMut(&mut TestRng) -> TestCaseResult) {
+    let cases = case_count();
+    let max_rejects = cases * 16;
+    let mut rejects = 0usize;
+    let mut run = 0usize;
+    let mut i = 0u64;
+    while run < cases {
+        let seed = base_seed(test_name).wrapping_add(i.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        i += 1;
+        let mut rng = TestRng::new(seed);
+        match case(&mut rng) {
+            Ok(()) => run += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                if rejects > max_rejects {
+                    panic!(
+                        "property {test_name}: too many prop_assume! rejections \
+                         ({rejects} rejects for {run} accepted cases)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property {test_name} failed at case {run} (case seed {seed}): {msg}\n\
+                     (re-run with PROPTEST_SEED to reproduce; no shrinking in offline shim)"
+                );
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- macros
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                $crate::run_property(stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), __rng);)+
+                    let __case = move || -> $crate::TestCaseResult {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    };
+                    __case()
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// process) so the runner can report the case seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}: {}",
+                stringify!($cond), file!(), line!(), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} at {}:{} (left: {:?}, right: {:?})",
+                stringify!($lhs), stringify!($rhs), file!(), line!(), l, r
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} at {}:{} (left: {:?}, right: {:?}): {}",
+                stringify!($lhs), stringify!($rhs), file!(), line!(), l, r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if *l == *r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} at {}:{} (both: {:?})",
+                stringify!($lhs), stringify!($rhs), file!(), line!(), l
+            )));
+        }
+    }};
+}
+
+/// Skips the case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Everything a property-test module needs, mirroring
+/// `proptest::prelude::*` (which also republishes the crate as `prop`).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn int_ranges_in_bounds(x in -50i64..50, y in 1usize..10) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((1..10).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_vecs(pairs in prop::collection::vec((-10i64..10, 0.0f64..1.0), 0..20)) {
+            prop_assert!(pairs.len() < 20);
+            for &(a, b) in &pairs {
+                prop_assert!((-10..10).contains(&a));
+                prop_assert!((0.0..1.0).contains(&b));
+            }
+        }
+
+        #[test]
+        fn select_picks_an_option(v in prop::sample::select(vec![2usize, 3, 5, 7])) {
+            prop_assert!([2, 3, 5, 7].contains(&v));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0i64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn string_patterns_match_shape(s in "Lbl[a-z]{0,5}", any in "\\PC{0,40}") {
+            prop_assert!(s.starts_with("Lbl"));
+            prop_assert!(s.len() <= 8);
+            prop_assert!(s[3..].chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(any.chars().count() <= 40);
+            prop_assert!(!any.chars().any(|c| c.is_control()));
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_property("always_fails", |_rng| {
+                Err(crate::TestCaseError::fail("nope"))
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("case seed"), "{msg}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::new(crate::base_seed("t"));
+        let mut b = crate::TestRng::new(crate::base_seed("t"));
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,477 @@
+//! Offline stand-in for `rayon` (API subset).
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the slice of rayon's surface the workspace uses — `par_iter()` /
+//! `into_par_iter()` / `map` / `collect` / `for_each`, plus [`join`] and
+//! the global thread-count knobs — implemented over `std::thread::scope`
+//! with contiguous index chunking instead of work stealing.
+//!
+//! Two deliberate properties make this a good fit for HyGraph's
+//! determinism contract (see DESIGN.md "Threading model"):
+//!
+//! 1. **Order-preserving collect.** `collect()` materialises results in
+//!    index order, so `xs.par_iter().map(f).collect::<Vec<_>>()` is
+//!    *bit-identical* to the sequential `xs.iter().map(f).collect()`
+//!    whenever `f` is pure — regardless of thread count.
+//! 2. **No hidden reductions.** There is intentionally no parallel
+//!    `sum`/`reduce`: floating-point reductions would depend on the
+//!    chunking and therefore on the thread count. Callers collect and
+//!    fold sequentially (O(n) fold after an O(n·k) parallel map is
+//!    noise), keeping results independent of parallelism.
+//!
+//! Work is split into `current_num_threads()` contiguous blocks; each
+//! worker fills its own block and the main thread works block 0, so the
+//! scheduling overhead is one thread spawn per core per call. That is
+//! coarser than rayon's work stealing but appropriate for the uniform
+//! per-element workloads HyGraph parallelises (per-vertex BFS,
+//! per-binding evaluation, per-pair correlation).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+fn env_threads(var: &str) -> Option<usize> {
+    std::env::var(var).ok()?.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// The number of worker threads parallel operations will use.
+///
+/// Resolution order: `ThreadPoolBuilder::build_global` override →
+/// `RAYON_NUM_THREADS` → `HYGRAPH_THREADS` → `available_parallelism()`.
+pub fn current_num_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    if let Some(n) = env_threads("RAYON_NUM_THREADS").or_else(|| env_threads("HYGRAPH_THREADS")) {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Error type of [`ThreadPoolBuilder::build_global`] (never produced
+/// here: re-configuration is allowed, unlike upstream rayon).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Global thread-count configuration, mirroring rayon's builder.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests `n` worker threads (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Installs the configuration globally. Unlike upstream rayon this
+    /// may be called repeatedly; the last call wins.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        THREAD_OVERRIDE.store(self.num_threads.unwrap_or(0), Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Runs two closures, potentially on two threads, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(v) => v,
+            Err(p) => resume_unwind(p),
+        };
+        (ra, rb)
+    })
+}
+
+/// The parallel-iterator abstraction: a length plus a pure indexed
+/// producer. Adapters compose the producer; consumers drive it across
+/// threads in contiguous chunks, preserving index order.
+pub trait ParallelIterator: Sized + Sync {
+    /// Element type.
+    type Item: Send;
+
+    /// Number of elements.
+    fn par_len(&self) -> usize;
+
+    /// Produces element `i` (must be pure: called once per index, from
+    /// an arbitrary worker thread).
+    fn par_get(&self, i: usize) -> Self::Item;
+
+    /// Maps every element through `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects into `C` preserving index order (deterministic).
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Applies `f` to every element for its side effects.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        drive_discard(&self, &f);
+    }
+}
+
+/// Order-preserving collection from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection by driving `iter`.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self {
+        drive(&iter)
+    }
+}
+
+/// Chunked, order-preserving evaluation of all elements.
+fn drive<P: ParallelIterator>(p: &P) -> Vec<P::Item> {
+    let len = p.par_len();
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len < 2 {
+        return (0..len).map(|i| p.par_get(i)).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads - 1);
+        for t in 1..threads {
+            let lo = t * chunk;
+            if lo >= len {
+                break;
+            }
+            let hi = ((t + 1) * chunk).min(len);
+            handles.push(s.spawn(move || {
+                catch_unwind(AssertUnwindSafe(|| {
+                    (lo..hi).map(|i| p.par_get(i)).collect::<Vec<_>>()
+                }))
+            }));
+        }
+        let first = catch_unwind(AssertUnwindSafe(|| {
+            (0..chunk.min(len)).map(|i| p.par_get(i)).collect::<Vec<_>>()
+        }));
+        // join every worker before unwinding so the scope exits cleanly
+        let rest: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread itself never panics"))
+            .collect();
+        let mut out = match first {
+            Ok(v) => v,
+            Err(payload) => resume_unwind(payload),
+        };
+        for r in rest {
+            match r {
+                Ok(v) => out.extend(v),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// Chunked evaluation for pure side effects.
+fn drive_discard<P: ParallelIterator, F: Fn(P::Item) + Sync>(p: &P, f: &F) {
+    let len = p.par_len();
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len < 2 {
+        for i in 0..len {
+            f(p.par_get(i));
+        }
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads - 1);
+        for t in 1..threads {
+            let lo = t * chunk;
+            if lo >= len {
+                break;
+            }
+            let hi = ((t + 1) * chunk).min(len);
+            handles.push(s.spawn(move || {
+                catch_unwind(AssertUnwindSafe(|| {
+                    for i in lo..hi {
+                        f(p.par_get(i));
+                    }
+                }))
+            }));
+        }
+        let first = catch_unwind(AssertUnwindSafe(|| {
+            for i in 0..chunk.min(len) {
+                f(p.par_get(i));
+            }
+        }));
+        let rest: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread itself never panics"))
+            .collect();
+        if let Err(payload) = first {
+            resume_unwind(payload);
+        }
+        for r in rest {
+            if let Err(payload) = r {
+                resume_unwind(payload);
+            }
+        }
+    });
+}
+
+/// Map adapter.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, R> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn par_get(&self, i: usize) -> R {
+        (self.f)(self.base.par_get(i))
+    }
+}
+
+/// Parallel iterator over a shared slice.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn par_get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Parallel iterator over an index range.
+pub struct RangeIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_iter {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+
+            fn par_len(&self) -> usize {
+                self.len
+            }
+
+            fn par_get(&self, i: usize) -> $t {
+                self.start + i as $t
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+
+            fn into_par_iter(self) -> RangeIter<$t> {
+                RangeIter {
+                    start: self.start,
+                    len: (self.end.max(self.start) - self.start) as usize,
+                }
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::RangeInclusive<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+
+            fn into_par_iter(self) -> RangeIter<$t> {
+                let (start, end) = (*self.start(), *self.end());
+                RangeIter {
+                    start,
+                    len: if start > end { 0 } else { (end - start) as usize + 1 },
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_iter!(usize, u64, u32, i64, i32);
+
+/// Conversion into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Borrowing parallel iteration (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a shared reference).
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// The traits a caller needs in scope, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Serialises tests that mutate the global thread override.
+    static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = THREAD_OVERRIDE.swap(n, Ordering::Relaxed);
+        let out = f();
+        THREAD_OVERRIDE.store(prev, Ordering::Relaxed);
+        out
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..10_001).collect();
+        let seq: Vec<u64> = xs.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let par: Vec<u64> =
+                with_threads(threads, || xs.par_iter().map(|x| x * 3 + 1).collect());
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let par: Vec<usize> = with_threads(4, || (5usize..105).into_par_iter().collect());
+        assert_eq!(par, (5..105).collect::<Vec<_>>());
+        let incl: Vec<u64> = with_threads(4, || (5u64..=104).into_par_iter().collect());
+        assert_eq!(incl, (5..=104).collect::<Vec<_>>());
+        let empty: Vec<usize> = with_threads(4, || (9usize..9).into_par_iter().collect());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn float_map_is_bit_identical() {
+        let xs: Vec<f64> = (0..4096).map(|i| i as f64 * 0.1).collect();
+        let seq: Vec<f64> = xs.iter().map(|x| (x.sin() * 1e6).sqrt()).collect();
+        let par: Vec<f64> =
+            with_threads(7, || xs.par_iter().map(|x| (x.sin() * 1e6).sqrt()).collect());
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let sum = AtomicU64::new(0);
+        with_threads(5, || {
+            (1u64..=1000).into_par_iter().for_each(|i| {
+                sum.fetch_add(i, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 500_500);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = with_threads(2, || join(|| 6 * 7, || "ok"));
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                let _: Vec<u32> = (0u32..100)
+                    .into_par_iter()
+                    .map(|i| if i == 77 { panic!("boom") } else { i })
+                    .collect();
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn builder_overrides_thread_count() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = THREAD_OVERRIDE.load(Ordering::Relaxed);
+        ThreadPoolBuilder::new().num_threads(3).build_global().unwrap();
+        assert_eq!(current_num_threads(), 3);
+        THREAD_OVERRIDE.store(prev, Ordering::Relaxed);
+    }
+}
