@@ -80,10 +80,7 @@ pub fn classify_clusters(
 /// logical subgraph labelled with its verdict, carrying `cluster_id` and
 /// `score` properties, with all members added for the full time range.
 /// Returns the created subgraph ids, index-aligned with `verdicts`.
-pub fn annotate_instance(
-    hg: &mut HyGraph,
-    verdicts: &[ClusterVerdict],
-) -> Result<Vec<SubgraphId>> {
+pub fn annotate_instance(hg: &mut HyGraph, verdicts: &[ClusterVerdict]) -> Result<Vec<SubgraphId>> {
     let mut out = Vec::with_capacity(verdicts.len());
     for v in verdicts {
         let sg = hg.create_subgraph(

@@ -105,7 +105,11 @@ pub fn contextual_anomalies(hg: &HyGraph, cfg: DetectConfig) -> Vec<ContextualAn
         let mean = stats::mean(&dists).unwrap_or(0.0);
         let sd = stats::stddev(&dists).unwrap_or(0.0);
         for (&i, &d) in members.iter().zip(&dists) {
-            deviation[i] = if sd > f64::EPSILON { (d - mean) / sd } else { 0.0 };
+            deviation[i] = if sd > f64::EPSILON {
+                (d - mean) / sd
+            } else {
+                0.0
+            };
         }
     }
 
@@ -179,7 +183,8 @@ mod tests {
             }
         }
         // a single bridge
-        hg.add_pg_edge(comm_a[0], comm_b[0], ["BRIDGE"], props! {}).unwrap();
+        hg.add_pg_edge(comm_a[0], comm_b[0], ["BRIDGE"], props! {})
+            .unwrap();
         (hg, comm_a, comm_b)
     }
 

@@ -177,10 +177,8 @@ impl SimilarityIndex {
     /// Builds the index (copies the embeddings, sorted by vertex id for
     /// determinism).
     pub fn build(embeddings: &HashMap<VertexId, Vec<f64>>) -> Self {
-        let mut entries: Vec<(VertexId, Vec<f64>)> = embeddings
-            .iter()
-            .map(|(&v, e)| (v, e.clone()))
-            .collect();
+        let mut entries: Vec<(VertexId, Vec<f64>)> =
+            embeddings.iter().map(|(&v, e)| (v, e.clone())).collect();
         entries.sort_by_key(|&(v, _)| v);
         Self { entries }
     }

@@ -136,7 +136,15 @@ mod tests {
     fn perfect_prediction() {
         let truth = set(&[1, 3]);
         let c = Confusion::from_sets(5, &truth.clone(), &truth);
-        assert_eq!(c, Confusion { tp: 2, fp: 0, fn_: 0, tn: 3 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 0,
+                fn_: 0,
+                tn: 3
+            }
+        );
         assert_eq!(c.precision(), 1.0);
         assert_eq!(c.recall(), 1.0);
         assert_eq!(c.f1(), 1.0);
@@ -147,7 +155,15 @@ mod tests {
     #[test]
     fn half_right() {
         let c = Confusion::from_sets(4, &set(&[0, 1]), &set(&[1, 2]));
-        assert_eq!(c, Confusion { tp: 1, fp: 1, fn_: 1, tn: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 1,
+                fp: 1,
+                fn_: 1,
+                tn: 1
+            }
+        );
         assert_eq!(c.precision(), 0.5);
         assert_eq!(c.recall(), 0.5);
         assert_eq!(c.f1(), 0.5);
@@ -180,7 +196,12 @@ mod tests {
 
     #[test]
     fn display_format() {
-        let c = Confusion { tp: 1, fp: 2, fn_: 3, tn: 4 };
+        let c = Confusion {
+            tp: 1,
+            fp: 2,
+            fn_: 3,
+            tn: 4,
+        };
         let text = c.to_string();
         assert!(text.contains("tp=1") && text.contains("F1="));
     }

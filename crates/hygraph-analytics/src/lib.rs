@@ -14,8 +14,8 @@
 pub mod classify;
 pub mod cluster;
 pub mod detect;
-pub mod evaluate;
 pub mod embedding;
+pub mod evaluate;
 pub mod metric_evolution;
 pub mod mining;
 pub mod pipeline;

@@ -166,7 +166,10 @@ mod tests {
             .unwrap();
         let evolved = metric_evolution(&hg, Metric::CommunityId, &[ts(0), ts(100)]);
         // before: a,b in one community, c,d in another
-        let before: Vec<f64> = [a, b, c, d].iter().map(|v| evolved[v].values()[0]).collect();
+        let before: Vec<f64> = [a, b, c, d]
+            .iter()
+            .map(|v| evolved[v].values()[0])
+            .collect();
         assert_eq!(before[0], before[1]);
         assert_eq!(before[2], before[3]);
         assert_ne!(before[0], before[2]);
@@ -208,8 +211,8 @@ mod tests {
     fn annotate_dedups_and_sorts_instants() {
         let (mut hg, _) = growing_star();
         // unsorted with duplicates must not panic
-        let n =
-            annotate_metric_evolution(&mut hg, Metric::OutDegree, &[ts(45), ts(5), ts(45)]).unwrap();
+        let n = annotate_metric_evolution(&mut hg, Metric::OutDegree, &[ts(45), ts(5), ts(45)])
+            .unwrap();
         assert_eq!(n, 5);
     }
 

@@ -69,7 +69,10 @@ pub fn frequent_edge_patterns(hg: &HyGraph, min_support: usize) -> Vec<(EdgePatt
         .into_iter()
         .filter(|&(_, c)| c >= min_support)
         .collect();
-    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.to_string().cmp(&b.0.to_string())));
+    out.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then_with(|| a.0.to_string().cmp(&b.0.to_string()))
+    });
     out
 }
 
@@ -86,7 +89,11 @@ pub struct PathPattern2 {
 
 impl std::fmt::Display for PathPattern2 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}-[:{}]->(:{})", self.first, self.second_edge, self.final_label)
+        write!(
+            f,
+            "{}-[:{}]->(:{})",
+            self.first, self.second_edge, self.final_label
+        )
     }
 }
 
@@ -120,7 +127,10 @@ pub fn frequent_two_hop_patterns(hg: &HyGraph, min_support: usize) -> Vec<(PathP
         .into_iter()
         .filter(|&(_, c)| c >= min_support)
         .collect();
-    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.to_string().cmp(&b.0.to_string())));
+    out.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then_with(|| a.0.to_string().cmp(&b.0.to_string()))
+    });
     out
 }
 

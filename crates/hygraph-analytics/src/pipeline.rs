@@ -297,7 +297,10 @@ mod tests {
         // hybrid: User 1 suspicious, User 3 cleared (recurring routine)
         assert!(u1.suspicious, "User 1 confirmed");
         assert!(!u2.suspicious);
-        assert!(!u3.suspicious, "User 3 cleared by recurrence + smooth series");
+        assert!(
+            !u3.suspicious,
+            "User 3 cleared by recurrence + smooth series"
+        );
         assert!(u3.pattern_days >= 2, "User 3's pattern recurs daily");
         // annotations written back
         assert!(!report.annotations.is_empty());

@@ -39,7 +39,8 @@ fn bench_ts_ingest(c: &mut Criterion) {
         b.iter(|| {
             let mut s = TimeSeries::with_capacity(n);
             for i in 0..n {
-                s.push(Timestamp::from_secs(i as i64), i as f64).expect("ordered");
+                s.push(Timestamp::from_secs(i as i64), i as f64)
+                    .expect("ordered");
             }
             black_box(s.len())
         })
@@ -54,7 +55,8 @@ fn bench_ts_ingest(c: &mut Criterion) {
         let mut t = 1i64;
         b.iter(|| {
             t += 1;
-            hg.append(sid, Timestamp::from_secs(t), &[t as f64]).expect("ordered");
+            hg.append(sid, Timestamp::from_secs(t), &[t as f64])
+                .expect("ordered");
             black_box(t)
         })
     });
@@ -90,13 +92,15 @@ fn bench_structural_updates(c: &mut Criterion) {
             vs.push(hg.add_pg_vertex(["N"], props! {}));
         }
         for w in vs.windows(2) {
-            hg.add_pg_edge(w[0], w[1], ["E"], props! {}).expect("exists");
+            hg.add_pg_edge(w[0], w[1], ["E"], props! {})
+                .expect("exists");
         }
         let mut i = 0usize;
         b.iter(|| {
             let v = vs[i % vs.len()];
             i += 1;
-            hg.close_vertex(v, Timestamp::from_secs(i as i64)).expect("pg vertex");
+            hg.close_vertex(v, Timestamp::from_secs(i as i64))
+                .expect("pg vertex");
             black_box(i)
         })
     });

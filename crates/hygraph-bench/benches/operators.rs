@@ -86,7 +86,9 @@ fn bench_graph_ops(c: &mut Criterion) {
         b.iter(|| black_box(traverse::temporal_reachability(&graph, start, &horizon).len()))
     });
     g.bench_function("q4_snapshot", |b| {
-        b.iter(|| black_box(snapshot::snapshot(&graph, Timestamp::from_millis(500_000)).vertex_count()))
+        b.iter(|| {
+            black_box(snapshot::snapshot(&graph, Timestamp::from_millis(500_000)).vertex_count())
+        })
     });
     g.bench_function("d_louvain", |b| {
         b.iter(|| black_box(community::louvain(&graph, 10).count))
@@ -142,7 +144,13 @@ fn bench_hybrid_ops(c: &mut Criterion) {
         })
     });
     g.bench_function("q2_hybrid_aggregate", |b| {
-        b.iter(|| black_box(hybrid::hybrid_aggregate(&hg, Duration::from_hours(6)).group_series.len()))
+        b.iter(|| {
+            black_box(
+                hybrid::hybrid_aggregate(&hg, Duration::from_hours(6))
+                    .group_series
+                    .len(),
+            )
+        })
     });
     g.bench_function("q3_correlation_reachability", |b| {
         b.iter(|| {

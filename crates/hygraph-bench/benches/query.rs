@@ -33,9 +33,12 @@ fn bench_query(c: &mut Criterion) {
     g.bench_function("match_one_hop", |b| {
         b.iter(|| {
             black_box(
-                query(&hg, "MATCH (u:User)-[:USES]->(c:CreditCard) RETURN u LIMIT 1000")
-                    .expect("runs")
-                    .len(),
+                query(
+                    &hg,
+                    "MATCH (u:User)-[:USES]->(c:CreditCard) RETURN u LIMIT 1000",
+                )
+                .expect("runs")
+                .len(),
             )
         })
     });

@@ -50,8 +50,13 @@ fn query_fixture() -> HyGraph {
             });
             let sid = hg.add_univariate_series("spend", &s);
             let card = hg.add_ts_vertex(["Card"], sid).unwrap();
-            hg.add_pg_edge(user, card, ["USES"], props! {"fee" => unit_f64(&mut st) * 10.0})
-                .unwrap();
+            hg.add_pg_edge(
+                user,
+                card,
+                ["USES"],
+                props! {"fee" => unit_f64(&mut st) * 10.0},
+            )
+            .unwrap();
         }
     }
     hg
@@ -67,10 +72,24 @@ fn bench_query(c: &mut Criterion) {
     .unwrap();
     let mut group = c.benchmark_group("seq_vs_par/query_execute");
     group.bench_function("seq", |b| {
-        b.iter(|| black_box(execute_mode(&hg, &q, ExecMode::Sequential).unwrap().rows.len()))
+        b.iter(|| {
+            black_box(
+                execute_mode(&hg, &q, ExecMode::Sequential)
+                    .unwrap()
+                    .rows
+                    .len(),
+            )
+        })
     });
     group.bench_function("par", |b| {
-        b.iter(|| black_box(execute_mode(&hg, &q, ExecMode::Parallel).unwrap().rows.len()))
+        b.iter(|| {
+            black_box(
+                execute_mode(&hg, &q, ExecMode::Parallel)
+                    .unwrap()
+                    .rows
+                    .len(),
+            )
+        })
     });
     group.finish();
 }
@@ -122,12 +141,9 @@ fn bench_batch_aggregate(c: &mut Criterion) {
     let mut store = TsStore::with_chunk_width(Duration::from_days(1));
     let k = 96usize;
     for i in 0..k {
-        let s = TimeSeries::generate(
-            Timestamp::ZERO,
-            Duration::from_mins(5),
-            7 * 288,
-            move |t| ((t + i * 17) as f64 * 0.01).sin() * 20.0 + 50.0,
-        );
+        let s = TimeSeries::generate(Timestamp::ZERO, Duration::from_mins(5), 7 * 288, move |t| {
+            ((t + i * 17) as f64 * 0.01).sin() * 20.0 + 50.0
+        });
         store.insert_series(SeriesId::new(i as u64), &s);
     }
     let ids: Vec<SeriesId> = (0..k).map(|i| SeriesId::new(i as u64)).collect();
@@ -166,8 +182,9 @@ fn main() {
     bench_pagerank(&mut criterion);
     bench_correlation(&mut criterion);
     bench_batch_aggregate(&mut criterion);
-    let path =
-        std::env::var("BENCH_PR1_JSON").unwrap_or_else(|_| "BENCH_PR1.json".to_string());
-    criterion.export_json(&path).expect("write seq-vs-par bench json");
+    let path = std::env::var("BENCH_PR1_JSON").unwrap_or_else(|_| "BENCH_PR1.json".to_string());
+    criterion
+        .export_json(&path)
+        .expect("write seq-vs-par bench json");
     println!("wrote {path}");
 }

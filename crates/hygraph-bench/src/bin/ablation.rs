@@ -34,7 +34,10 @@ fn main() {
     let dataset = bike::generate(cfg);
     let series = &dataset.availability[0];
     let n = series.len();
-    println!("ablation dataset: {} stations × {} points\n", cfg.stations, n);
+    println!(
+        "ablation dataset: {} stations × {} points\n",
+        cfg.stations, n
+    );
 
     // ---- 1. chunk width sweep ---------------------------------------------
     println!("1. chunk-width sweep (single series, {n} points)");
@@ -59,7 +62,9 @@ fn main() {
             store.aggregate(id, &full, AggKind::Mean).unwrap_or(0.0)
         });
         let (t_bucket, _) = time_stats(runs * 20, || {
-            store.aggregate_buckets(id, &full, Duration::from_days(1)).len() as f64
+            store
+                .aggregate_buckets(id, &full, Duration::from_days(1))
+                .len() as f64
         });
         println!(
             "{:<12} {:>8} {:>16.1} {:>16.1} {:>18.1}",

@@ -24,23 +24,41 @@ fn main() {
     let a = p.vertex("a", ["User"]);
     let b = p.vertex("b", ["Item"]);
     p.edge(None, a, b, ["E"], Direction::Out);
-    println!("(1,2) LPG subgraph matching: {} (User)->(Item) edges", p.find_all(&graph).len());
+    println!(
+        "(1,2) LPG subgraph matching: {} (User)->(Item) edges",
+        p.find_all(&graph).len()
+    );
 
     // (3) operations on TPGs
     let snap = snapshot::snapshot(&graph, Timestamp::from_millis(50_000));
-    println!("(3)   TPG snapshot retrieval: {} vertices alive at t=50s", snap.vertex_count());
+    println!(
+        "(3)   TPG snapshot retrieval: {} vertices alive at t=50s",
+        snap.vertex_count()
+    );
 
     // (4) data-series operations
     let down = ops::downsample::lttb(&series, 500);
-    println!("(4)   series sampling: {} -> {} points (LTTB)", series.len(), down.len());
+    println!(
+        "(4)   series sampling: {} -> {} points (LTTB)",
+        series.len(),
+        down.len()
+    );
 
     // (5) time-series operations
-    let segs = ops::segment::pelt(&ops::downsample::bucket_mean(&series, Duration::from_secs(60)), None);
+    let segs = ops::segment::pelt(
+        &ops::downsample::bucket_mean(&series, Duration::from_secs(60)),
+        None,
+    );
     println!("(5)   series segmentation: {} regimes (PELT)", segs.len());
 
     // (6) time series -> graph
     let sensors: Vec<(String, hygraph_ts::TimeSeries)> = (0..6)
-        .map(|i| (format!("s{i}"), random::seasonal(400, 50, 5.0, 0.0, if i < 3 { 0.1 } else { 3.0 }, i as u64)))
+        .map(|i| {
+            (
+                format!("s{i}"),
+                random::seasonal(400, 50, 5.0, 0.0, if i < 3 { 0.1 } else { 3.0 }, i as u64),
+            )
+        })
         .collect();
     let (ts_hg, _) = import::series_to_hygraph(
         &sensors,
@@ -65,21 +83,33 @@ fn main() {
     let y = p7.vertex("y", Vec::<&str>::new());
     p7.edge(Some("e"), x, y, ["E"], Direction::Out);
     let ws = export::pattern_value_series(&hg, &p7, "e", "w");
-    println!("(7)   LPG-to-series: pattern query emitted {} weights as a time series", ws.len());
+    println!(
+        "(7)   LPG-to-series: pattern query emitted {} weights as a time series",
+        ws.len()
+    );
 
     // (8) LPG + time series as properties
     let mut hg8 = HyGraph::new();
     let v = hg8.add_pg_vertex(["Station"], props! {"name" => "st"});
     let sid = hg8.add_univariate_series("load", &series);
-    hg8.set_property(ElementRef::Vertex(v), "load", sid).expect("property set");
+    hg8.set_property(ElementRef::Vertex(v), "load", sid)
+        .expect("property set");
     println!(
         "(8)   series-as-property: station carries a {}-point load series",
         hg8.series(sid).expect("series exists").len()
     );
 
     // (9) operations using both models
-    let reach = hybrid::correlation_reachability(&ts_hg, ts_hg.topology().vertex_ids().next().unwrap(), Duration::from_secs(60), 0.7);
-    println!("(9)   hybrid op: correlation-constrained reachability touches {} vertices", reach.len());
+    let reach = hybrid::correlation_reachability(
+        &ts_hg,
+        ts_hg.topology().vertex_ids().next().unwrap(),
+        Duration::from_secs(60),
+        0.7,
+    );
+    println!(
+        "(9)   hybrid op: correlation-constrained reachability touches {} vertices",
+        reach.len()
+    );
 
     // (10) the HyGraph model: unified instance, views, validation
     let view = HyGraphView::new(&hg).with_label("User");

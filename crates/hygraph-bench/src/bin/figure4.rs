@@ -42,8 +42,12 @@ fn main() {
     let mut hg = data.hygraph;
 
     // ---- steps 3-5: hybrid operators, clustering, classification ----------
-    let (report, pipe_ms) = time_ms(|| pipeline::run(&mut hg, PipelineConfig::default()).expect("pipeline runs"));
-    println!("pipeline executed in {pipe_ms:.0} ms; {} annotation subgraphs written\n", report.annotations.len());
+    let (report, pipe_ms) =
+        time_ms(|| pipeline::run(&mut hg, PipelineConfig::default()).expect("pipeline runs"));
+    println!(
+        "pipeline executed in {pipe_ms:.0} ms; {} annotation subgraphs written\n",
+        report.annotations.len()
+    );
 
     // ---- confusion matrices: each method vs ground truth -------------------
     let verdicts: Vec<_> = users_v
@@ -102,6 +106,7 @@ fn main() {
         .filter(|&&u| classify::verdict_of(&hg, u) == Some(classify::Verdict::Suspicious))
         .count();
     println!("users inside 'Suspicious'-labelled subgraph annotations: {annotated_suspicious}");
-    hg.validate().expect("instance remains valid after annotation");
+    hg.validate()
+        .expect("instance remains valid after annotation");
     println!("instance integrity after annotation: ok");
 }

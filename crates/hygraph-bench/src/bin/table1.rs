@@ -3,17 +3,77 @@
 //! all-in-graph baseline (the paper's Neo4j configuration) vs the
 //! polyglot-persistence backend (the paper's TimeTravelDB).
 //!
-//! Run with: `cargo run --release -p hygraph-bench --bin table1 [--scale small|medium|large] [--parallel]`
+//! Run with: `cargo run --release -p hygraph-bench --bin table1 [--scale small|medium|large] [--parallel] [--persist]`
 //!
 //! `--parallel` (or `HYGRAPH_PAR_HARNESS=1`) fans the eight query
 //! trials across the configured thread pool (`HYGRAPH_THREADS`) — same
 //! answers, faster suite, noisier per-query timings.
+//!
+//! `--persist` additionally routes the polyglot ingest through the
+//! durable storage engine (WAL + checkpoint) and reports the durable
+//! write overhead and the cold-start recovery time next to the query
+//! table.
 
 use hygraph_bench::{time_ms, Scale};
 use hygraph_datagen::bike::{self, BikeConfig};
+use hygraph_persist::{DurableStore, PersistConfig, StoreMutation};
 use hygraph_storage::harness::{measure_all, measure_all_parallel, render_table, Workload};
 use hygraph_storage::{AllInGraphStore, PolyglotStore};
 use hygraph_types::Duration;
+
+/// `--persist`: replays the dataset's observations through the durable
+/// engine (group-committed batches) and times cold-start recovery, so
+/// the WAL's write amplification is visible next to the query numbers.
+fn durable_ingest_report(dataset: &bike::BikeDataset, volatile_load_ms: f64) {
+    PersistConfig::new().checkpoint_every(0).install();
+    let dir = std::env::temp_dir().join(format!("hygraph-table1-persist-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let (_, ingest_ms) = time_ms(|| {
+        let mut store: DurableStore<PolyglotStore> =
+            DurableStore::open(&dir).expect("open durable store");
+        for (i, &_station) in dataset.stations.iter().enumerate() {
+            store
+                .commit(StoreMutation::AddStation {
+                    labels: vec!["Station".into()],
+                    props: hygraph_types::PropertyMap::new(),
+                })
+                .expect("add station");
+            let v = *store.get().stations().last().expect("just added");
+            let batch: Vec<StoreMutation> = dataset.availability[i]
+                .iter()
+                .map(|(t, value)| StoreMutation::Observe {
+                    station: v,
+                    t,
+                    value,
+                })
+                .collect();
+            store.commit_batch(batch).expect("observe batch");
+        }
+        store.checkpoint().expect("checkpoint");
+        store.close().expect("close");
+    });
+    let (recover_ms, recovered_points) = {
+        let (store, ms) =
+            time_ms(|| DurableStore::<PolyglotStore>::open(&dir).expect("cold-start recovery"));
+        let pts: usize = {
+            let inner = store.get();
+            inner
+                .stations()
+                .iter()
+                .enumerate()
+                .map(|(i, _)| dataset.availability[i].len())
+                .sum()
+        };
+        (ms, pts)
+    };
+    println!(
+        "durable ingest (WAL + checkpoint): {ingest_ms:.0} ms vs {volatile_load_ms:.0} ms volatile \
+         ({:.1}x write overhead); cold-start recovery {recover_ms:.0} ms for {recovered_points} observations\n",
+        ingest_ms / volatile_load_ms.max(0.001)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
 
 fn main() {
     let scale = Scale::from_args();
@@ -71,6 +131,10 @@ fn main() {
     );
     let (poly, load_poly_ms) = time_ms(|| PolyglotStore::load(&dataset));
     println!("loaded polyglot store in {load_poly_ms:.0} ms (chunked, 1-day partitions)\n");
+
+    if std::env::args().any(|a| a == "--persist") {
+        durable_ingest_report(&dataset, load_poly_ms);
+    }
 
     let parallel_harness = std::env::args().any(|a| a == "--parallel")
         || std::env::var("HYGRAPH_PAR_HARNESS").is_ok_and(|v| v != "0" && !v.is_empty());

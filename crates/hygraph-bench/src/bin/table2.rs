@@ -60,7 +60,13 @@ fn main() {
     // Q2: downsampling vs graph aggregation
     let (d1, t_ts) = time_ms(|| ops::downsample::lttb(&series, 1_000));
     let (d2, t_g) = time_ms(|| aggregate::group_by(&graph, aggregate::GroupBy::Labels, &["w"]));
-    row("Q2", "downsampling (LTTB)", t_ts, "graph aggregation (grouping)", t_g);
+    row(
+        "Q2",
+        "downsampling (LTTB)",
+        t_ts,
+        "graph aggregation (grouping)",
+        t_g,
+    );
     std::hint::black_box((d1.len(), d2.summary.vertex_count()));
 
     // Q3: correlation vs reachability
@@ -68,48 +74,89 @@ fn main() {
     let (c1, t_ts) = time_ms(|| ops::correlate::pearson(series.values(), other.values()));
     let start = graph.vertex_ids().next().expect("non-empty graph");
     let (c2, t_g) = time_ms(|| traverse::bfs(&graph, start, traverse::Follow::Out).len());
-    row("Q3", "correlation (Pearson)", t_ts, "reachability (BFS)", t_g);
+    row(
+        "Q3",
+        "correlation (Pearson)",
+        t_ts,
+        "reachability (BFS)",
+        t_g,
+    );
     std::hint::black_box((c1, c2));
 
     // Q4: segmentation vs snapshot
     let coarse = ops::downsample::bucket_mean(&series, Duration::from_millis(60_000));
     let (s1, t_ts) = time_ms(|| ops::segment::pelt(&coarse, None).len());
-    let (s2, t_g) = time_ms(|| snapshot::snapshot(&graph, Timestamp::from_millis(500_000)).vertex_count());
+    let (s2, t_g) =
+        time_ms(|| snapshot::snapshot(&graph, Timestamp::from_millis(500_000)).vertex_count());
     row("Q4", "segmentation (PELT)", t_ts, "snapshot retrieval", t_g);
     std::hint::black_box((s1, s2));
 
     // D: anomalies vs communities
-    let (a1, t_ts) = time_ms(|| ops::anomaly::sliding_window(&series, Duration::from_millis(5_000), 4.0, 10).len());
+    let (a1, t_ts) = time_ms(|| {
+        ops::anomaly::sliding_window(&series, Duration::from_millis(5_000), 4.0, 10).len()
+    });
     let (a2, t_g) = time_ms(|| community::louvain(&graph, 10).count);
-    row("D", "anomaly detection", t_ts, "community detection (Louvain)", t_g);
+    row(
+        "D",
+        "anomaly detection",
+        t_ts,
+        "community detection (Louvain)",
+        t_g,
+    );
     std::hint::black_box((a1, a2));
 
     // PM: sequence/motif mining vs subgraph motifs
     let motif_input = ops::downsample::stride(&series, (series_len / 5_000).max(1));
     let (p1, t_ts) = time_ms(|| ops::motif::motifs(&motif_input, 50, 2).len());
     let (p2, t_g) = time_ms(|| motifs::triad_census(&graph));
-    row("PM", "motif discovery (matrix profile)", t_ts, "triangle/motif census", t_g);
+    row(
+        "PM",
+        "motif discovery (matrix profile)",
+        t_ts,
+        "triangle/motif census",
+        t_g,
+    );
     std::hint::black_box((p1, p2.triangles));
 
     // E: embeddings
     let (e1, t_ts) = time_ms(|| {
-        let windows: Vec<Vec<f64>> = series.values().chunks_exact(288).take(500).map(<[f64]>::to_vec).collect();
+        let windows: Vec<Vec<f64>> = series
+            .values()
+            .chunks_exact(288)
+            .take(500)
+            .map(<[f64]>::to_vec)
+            .collect();
         ops::pca::Pca::fit(&windows, 4).map(|p| p.k())
     });
     let (e2, t_g) = time_ms(|| {
-        hygraph_analytics::embedding::fastrp(&hg, hygraph_analytics::embedding::FastRpConfig {
-            dim: 32,
-            ..Default::default()
-        })
+        hygraph_analytics::embedding::fastrp(
+            &hg,
+            hygraph_analytics::embedding::FastRpConfig {
+                dim: 32,
+                ..Default::default()
+            },
+        )
         .len()
     });
-    row("E", "PCA series embedding", t_ts, "FastRP vertex embedding", t_g);
+    row(
+        "E",
+        "PCA series embedding",
+        t_ts,
+        "FastRP vertex embedding",
+        t_g,
+    );
     std::hint::black_box((e1, e2));
 
     // C1: classification features
     let (f1, t_ts) = time_ms(|| ops::features::feature_vector(&series));
     let (f2, t_g) = time_ms(|| metrics::degree_histogram(&graph).len());
-    row("C1", "temporal features (FAT/trend)", t_ts, "label/degree features", t_g);
+    row(
+        "C1",
+        "temporal features (FAT/trend)",
+        t_ts,
+        "label/degree features",
+        t_g,
+    );
     std::hint::black_box((f1[0], f2));
 
     // C2: clustering inputs
@@ -118,7 +165,13 @@ fn main() {
         words.len()
     });
     let (k2, t_g) = time_ms(|| community::label_propagation(&graph, 10).count);
-    row("C2", "temporal-proximity grouping (SAX)", t_ts, "connectivity clustering (LPA)", t_g);
+    row(
+        "C2",
+        "temporal-proximity grouping (SAX)",
+        t_ts,
+        "connectivity clustering (LPA)",
+        t_g,
+    );
     std::hint::black_box((k1, k2));
 
     // the hybrid combinations derived from the rows
@@ -139,16 +192,23 @@ fn main() {
         let u = p.vertex("u", ["User"]);
         let c = p.vertex("c", ["CreditCard"]);
         p.edge(None, u, c, ["USES"], Direction::Out);
-        hybrid::hybrid_match(fh, &hybrid::HybridMatchSpec {
-            pattern: p,
-            series_var: "c".into(),
-            shape,
-            max_dist: 2.0,
-        })
+        hybrid::hybrid_match(
+            fh,
+            &hybrid::HybridMatchSpec {
+                pattern: p,
+                series_var: "c".into(),
+                shape,
+                max_dist: 2.0,
+            },
+        )
         .len()
     });
     println!("  Q1 hybrid_match: {h1} structural+temporal matches in {t:.1} ms");
-    let (h2, t) = time_ms(|| hybrid::hybrid_aggregate(fh, Duration::from_hours(6)).group_series.len());
+    let (h2, t) = time_ms(|| {
+        hybrid::hybrid_aggregate(fh, Duration::from_hours(6))
+            .group_series
+            .len()
+    });
     println!("  Q2 hybrid_aggregate: {h2} label groups with 6h series in {t:.1} ms");
     let (h3, t) = time_ms(|| {
         hybrid::correlation_reachability(fh, fraud.cards[0], Duration::from_hours(1), 0.5).len()
@@ -160,5 +220,8 @@ fn main() {
         .to_univariate("spending")
         .expect("column");
     let (h4, t) = time_ms(|| hybrid::segmentation_snapshots(fh, &driver, None).map(|s| s.len()));
-    println!("  Q4 segmentation_snapshots: {:?} regime snapshots in {t:.1} ms", h4.expect("runs"));
+    println!(
+        "  Q4 segmentation_snapshots: {:?} regime snapshots in {t:.1} ms",
+        h4.expect("runs")
+    );
 }

@@ -51,12 +51,13 @@ pub fn time_stats(runs: usize, mut f: impl FnMut() -> f64) -> (f64, f64) {
     }
     std::hint::black_box(checksum);
     let mean = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
-    let var = samples
-        .iter()
-        .map(|x| (x - mean) * (x - mean))
-        .sum::<f64>()
-        / samples.len().max(1) as f64;
-    let cv = if mean > 0.0 { var.sqrt() / mean * 100.0 } else { 0.0 };
+    let var =
+        samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len().max(1) as f64;
+    let cv = if mean > 0.0 {
+        var.sqrt() / mean * 100.0
+    } else {
+        0.0
+    };
     (mean, cv)
 }
 

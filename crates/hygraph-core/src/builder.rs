@@ -8,9 +8,7 @@
 
 use crate::model::{ElementRef, HyGraph};
 use hygraph_ts::{MultiSeries, TimeSeries};
-use hygraph_types::{
-    EdgeId, HyGraphError, Interval, PropertyMap, Result, SeriesId, VertexId,
-};
+use hygraph_types::{EdgeId, HyGraphError, Interval, PropertyMap, Result, SeriesId, VertexId};
 use std::collections::HashMap;
 
 /// A finished build: the instance plus name → id maps.
@@ -315,10 +313,7 @@ mod tests {
             .ts_vertex("t", ["T"], "also_missing")
             .build()
             .unwrap_err();
-        assert_eq!(
-            err,
-            HyGraphError::invalid("unknown vertex name 'ghost1'")
-        );
+        assert_eq!(err, HyGraphError::invalid("unknown vertex name 'ghost1'"));
     }
 
     #[test]

@@ -173,10 +173,20 @@ mod tests {
     fn roundtrip_graph_is_lossless() {
         // R1 expressiveness: TPG -> HGM -> TPG preserves everything
         let mut g = TemporalGraph::new();
-        let a = g.add_vertex_valid(["User"], props! {"name" => "a"}, Interval::new(ts(0), ts(50)));
+        let a = g.add_vertex_valid(
+            ["User"],
+            props! {"name" => "a"},
+            Interval::new(ts(0), ts(50)),
+        );
         let b = g.add_vertex(["Merchant"], props! {"city" => "lyon"});
-        g.add_edge_valid(a, b, ["TX"], props! {"amount" => 7.0}, Interval::new(ts(5), ts(40)))
-            .unwrap();
+        g.add_edge_valid(
+            a,
+            b,
+            ["TX"],
+            props! {"amount" => 7.0},
+            Interval::new(ts(5), ts(40)),
+        )
+        .unwrap();
         let hg = graph_to_hygraph(&g);
         let back = to_temporal_graph(&hg, TsProjection::Exclude);
         assert_eq!(back.vertex_count(), g.vertex_count());
@@ -226,8 +236,14 @@ mod tests {
         assert_eq!(g.vertex_count(), 2);
         assert_eq!(g.edge_count(), 1);
         let card_v = g.vertex(card).unwrap();
-        assert_eq!(card_v.props.static_value("__count").unwrap().as_i64(), Some(2));
-        assert_eq!(card_v.props.static_value("__mean").unwrap().as_f64(), Some(2.0));
+        assert_eq!(
+            card_v.props.static_value("__count").unwrap().as_i64(),
+            Some(2)
+        );
+        assert_eq!(
+            card_v.props.static_value("__mean").unwrap().as_f64(),
+            Some(2.0)
+        );
     }
 
     #[test]
@@ -251,7 +267,11 @@ mod tests {
         p.edge(Some("t"), pu, pm, ["TX"], Direction::Out);
         let series = pattern_value_series(&hg, &p, "t", "amount");
         assert_eq!(series.len(), 3);
-        assert_eq!(series.values(), &[1.0, 2.0, 3.0], "sorted by validity start");
+        assert_eq!(
+            series.values(),
+            &[1.0, 2.0, 3.0],
+            "sorted by validity start"
+        );
         // missing key yields empty
         let empty = pattern_value_series(&hg, &p, "t", "nope");
         assert!(empty.is_empty());
@@ -281,7 +301,10 @@ mod tests {
         let g = to_temporal_graph(&hg, TsProjection::Exclude);
         // the property map still records the series reference
         assert_eq!(
-            g.vertex(station).unwrap().props.series_value("availability"),
+            g.vertex(station)
+                .unwrap()
+                .props
+                .series_value("availability"),
             Some(sid)
         );
     }

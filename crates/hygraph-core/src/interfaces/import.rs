@@ -104,9 +104,12 @@ pub fn series_to_hygraph(
                     continue;
                 }
                 // the edge's own series: rolling correlation over time
-                let Some((ra, rb)) =
-                    hygraph_ts::ops::resample::align(a, b, cfg.step, hygraph_ts::ops::resample::FillMethod::Linear)
-                else {
+                let Some((ra, rb)) = hygraph_ts::ops::resample::align(
+                    a,
+                    b,
+                    cfg.step,
+                    hygraph_ts::ops::resample::FillMethod::Linear,
+                ) else {
                     continue;
                 };
                 let rolling = correlate::rolling_correlation(&ra, &rb, cfg.window.max(2));
@@ -138,17 +141,30 @@ mod tests {
             Interval::new(ts(0), ts(100)),
         );
         let b = g.add_vertex(["Merchant"], props! {});
-        g.add_edge_valid(a, b, ["TX"], props! {"amount" => 5.0}, Interval::new(ts(10), ts(20)))
-            .unwrap();
+        g.add_edge_valid(
+            a,
+            b,
+            ["TX"],
+            props! {"amount" => 5.0},
+            Interval::new(ts(10), ts(20)),
+        )
+        .unwrap();
         let hg = graph_to_hygraph(&g);
         assert_eq!(hg.vertex_count(), 2);
         assert_eq!(hg.edge_count(), 1);
         assert_eq!(hg.vertex_kind(a).unwrap(), ElementKind::Pg);
         assert_eq!(
-            hg.props(ElementRef::Vertex(a)).unwrap().static_value("name").unwrap().as_str(),
+            hg.props(ElementRef::Vertex(a))
+                .unwrap()
+                .static_value("name")
+                .unwrap()
+                .as_str(),
             Some("a")
         );
-        assert_eq!(hg.rho(ElementRef::Vertex(a)).unwrap(), Interval::new(ts(0), ts(100)));
+        assert_eq!(
+            hg.rho(ElementRef::Vertex(a)).unwrap(),
+            Interval::new(ts(0), ts(100))
+        );
         assert!(hg.validate().is_ok());
     }
 
@@ -171,12 +187,8 @@ mod tests {
     fn series_import_without_similarity() {
         let s1 = TimeSeries::generate(ts(0), Duration::from_mins(5), 50, |i| i as f64);
         let s2 = TimeSeries::generate(ts(0), Duration::from_mins(5), 50, |i| -(i as f64));
-        let (hg, vs) = series_to_hygraph(
-            &[("a".into(), s1), ("b".into(), s2)],
-            "Sensor",
-            None,
-        )
-        .unwrap();
+        let (hg, vs) =
+            series_to_hygraph(&[("a".into(), s1), ("b".into(), s2)], "Sensor", None).unwrap();
         assert_eq!(vs.len(), 2);
         assert_eq!(hg.vertex_count(), 2);
         assert_eq!(hg.edge_count(), 0);

@@ -13,5 +13,7 @@
 pub mod export;
 pub mod import;
 
-pub use export::{edges_to_series, extract_series, pattern_value_series, to_temporal_graph, TsProjection};
+pub use export::{
+    edges_to_series, extract_series, pattern_value_series, to_temporal_graph, TsProjection,
+};
 pub use import::{graph_to_hygraph, series_to_hygraph, SimilarityConfig};

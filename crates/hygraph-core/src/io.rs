@@ -32,7 +32,6 @@ use hygraph_types::{
     SubgraphId, Timestamp, Value, VertexId,
 };
 use std::collections::HashMap;
-use std::fmt::Write as _;
 
 const HEADER: &str = "#hygraph v1";
 
@@ -133,7 +132,9 @@ fn decode_props(s: &str) -> Result<PropertyMap> {
     for pair in split_unescaped(s, ';') {
         let mut kv = split_unescaped(&pair, '=');
         let (Some(k), Some(v), None) = (kv.next(), kv.next(), kv.next()) else {
-            return Err(HyGraphError::invalid(format!("malformed property '{pair}'")));
+            return Err(HyGraphError::invalid(format!(
+                "malformed property '{pair}'"
+            )));
         };
         let key = unescape(&k)?;
         if let Some(sid) = v.strip_prefix("S:") {
@@ -210,10 +211,10 @@ fn decode_labels(s: &str) -> Result<Vec<Label>> {
         .collect()
 }
 
-/// Serialises a HyGraph instance to the text format.
-pub fn to_string(hg: &HyGraph) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "{HEADER}");
+/// Serialises a HyGraph instance into any [`std::fmt::Write`] sink,
+/// propagating write failures instead of discarding them.
+pub fn write_graph<W: std::fmt::Write>(hg: &HyGraph, out: &mut W) -> std::fmt::Result {
+    writeln!(out, "{HEADER}")?;
     // series
     for (id, s) in hg.all_series() {
         let names = s
@@ -222,7 +223,7 @@ pub fn to_string(hg: &HyGraph) -> String {
             .map(|n| escape(n))
             .collect::<Vec<_>>()
             .join(";");
-        let _ = writeln!(out, "S\t{}\t{}", id.raw(), names);
+        writeln!(out, "S\t{}\t{}", id.raw(), names)?;
         for i in 0..s.len() {
             let (t, row) = s.row(i).expect("index in range");
             let vals = row
@@ -230,14 +231,14 @@ pub fn to_string(hg: &HyGraph) -> String {
                 .map(|v| format!("{v:?}"))
                 .collect::<Vec<_>>()
                 .join(",");
-            let _ = writeln!(out, "O\t{}\t{}\t{}", id.raw(), t.millis(), vals);
+            writeln!(out, "O\t{}\t{}\t{}", id.raw(), t.millis(), vals)?;
         }
     }
     // vertices (id order keeps the file deterministic and reload dense)
     let g = hg.topology();
     for v in g.vertices() {
         let kind = hg.vertex_kind(v.id).expect("vertex exists");
-        let _ = writeln!(
+        writeln!(
             out,
             "V\t{}\t{}\t{}\t{}\t{}\t{}",
             v.id.raw(),
@@ -246,11 +247,11 @@ pub fn to_string(hg: &HyGraph) -> String {
             encode_bound(v.validity.start),
             encode_bound(v.validity.end),
             encode_props(&v.props)
-        );
+        )?;
     }
     for e in g.edges() {
         let kind = hg.edge_kind(e.id).expect("edge exists");
-        let _ = writeln!(
+        writeln!(
             out,
             "E\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             e.id.raw(),
@@ -261,20 +262,20 @@ pub fn to_string(hg: &HyGraph) -> String {
             encode_bound(e.validity.start),
             encode_bound(e.validity.end),
             encode_props(&e.props)
-        );
+        )?;
     }
     // δ mappings
     for v in hg.vertices_of_kind(ElementKind::Ts) {
         let sid = hg.delta_id(ElementRef::Vertex(v)).expect("ts vertex");
-        let _ = writeln!(out, "D\tV\t{}\t{}", v.raw(), sid.raw());
+        writeln!(out, "D\tV\t{}\t{}", v.raw(), sid.raw())?;
     }
     for e in hg.edges_of_kind(ElementKind::Ts) {
         let sid = hg.delta_id(ElementRef::Edge(e)).expect("ts edge");
-        let _ = writeln!(out, "D\tE\t{}\t{}", e.raw(), sid.raw());
+        writeln!(out, "D\tE\t{}\t{}", e.raw(), sid.raw())?;
     }
     // subgraphs
     for sg in hg.subgraphs() {
-        let _ = writeln!(
+        writeln!(
             out,
             "G\t{}\t{}\t{}\t{}\t{}",
             sg.id.raw(),
@@ -282,29 +283,37 @@ pub fn to_string(hg: &HyGraph) -> String {
             encode_bound(sg.validity.start),
             encode_bound(sg.validity.end),
             encode_props(&sg.props)
-        );
+        )?;
         for &(v, iv) in sg.vertex_members() {
-            let _ = writeln!(
+            writeln!(
                 out,
                 "M\t{}\tV\t{}\t{}\t{}",
                 sg.id.raw(),
                 v.raw(),
                 encode_bound(iv.start),
                 encode_bound(iv.end)
-            );
+            )?;
         }
         for &(e, iv) in sg.edge_members() {
-            let _ = writeln!(
+            writeln!(
                 out,
                 "M\t{}\tE\t{}\t{}\t{}",
                 sg.id.raw(),
                 e.raw(),
                 encode_bound(iv.start),
                 encode_bound(iv.end)
-            );
+            )?;
         }
     }
-    out
+    Ok(())
+}
+
+/// Serialises a HyGraph instance to the text format.
+pub fn to_string(hg: &HyGraph) -> Result<String> {
+    let mut out = String::new();
+    write_graph(hg, &mut out)
+        .map_err(|_| HyGraphError::io("formatting failed while serialising HyGraph"))?;
+    Ok(out)
 }
 
 fn kind_tag(k: ElementKind) -> &'static str {
@@ -582,16 +591,45 @@ pub fn from_str(input: &str) -> Result<HyGraph> {
     Ok(hg)
 }
 
-/// Writes an instance to a file.
+/// Bridges `fmt::Write` serialisation onto an `io::Write` sink while
+/// holding on to the real IO error (the `fmt` layer can only signal a
+/// unitary `fmt::Error`).
+struct IoSink<W: std::io::Write> {
+    inner: W,
+    error: Option<std::io::Error>,
+}
+
+impl<W: std::io::Write> std::fmt::Write for IoSink<W> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.inner.write_all(s.as_bytes()).map_err(|e| {
+            self.error = Some(e);
+            std::fmt::Error
+        })
+    }
+}
+
+/// Writes an instance to a file, streaming — the serialisation never
+/// materialises in memory, and every IO failure is propagated.
 pub fn write_file(hg: &HyGraph, path: impl AsRef<std::path::Path>) -> Result<()> {
-    std::fs::write(path, to_string(hg))
-        .map_err(|e| HyGraphError::invalid(format!("write failed: {e}")))
+    use std::io::Write as _;
+    let file = std::fs::File::create(path)?;
+    let mut sink = IoSink {
+        inner: std::io::BufWriter::new(file),
+        error: None,
+    };
+    if write_graph(hg, &mut sink).is_err() {
+        return Err(match sink.error.take() {
+            Some(e) => HyGraphError::from(e),
+            None => HyGraphError::io("formatting failed while serialising HyGraph"),
+        });
+    }
+    sink.inner.flush()?;
+    Ok(())
 }
 
 /// Reads an instance from a file.
 pub fn read_file(path: impl AsRef<std::path::Path>) -> Result<HyGraph> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| HyGraphError::invalid(format!("read failed: {e}")))?;
+    let text = std::fs::read_to_string(path)?;
     from_str(&text)
 }
 
@@ -635,25 +673,25 @@ mod tests {
             Interval::new(ts(0), ts(900)),
         )
         .unwrap();
-        let flow = hg.add_univariate_series(
-            "flow",
-            &hygraph_ts::TimeSeries::from_pairs([(ts(1), 9.0)]),
-        );
+        let flow =
+            hg.add_univariate_series("flow", &hygraph_ts::TimeSeries::from_pairs([(ts(1), 9.0)]));
         hg.add_ts_edge(card, u, ["FLOW"], flow).unwrap();
-        hg.set_property(ElementRef::Vertex(u), "load", extra).unwrap();
+        hg.set_property(ElementRef::Vertex(u), "load", extra)
+            .unwrap();
         let sg = hg.create_subgraph(
             ["Suspicious"],
             props! {"reason" => "test"},
             Interval::new(ts(0), ts(500)),
         );
-        hg.add_subgraph_vertex(sg, u, Interval::new(ts(0), ts(100))).unwrap();
+        hg.add_subgraph_vertex(sg, u, Interval::new(ts(0), ts(100)))
+            .unwrap();
         hg
     }
 
     #[test]
     fn roundtrip_is_lossless() {
         let hg = rich_instance();
-        let text = to_string(&hg);
+        let text = to_string(&hg).unwrap();
         let back = from_str(&text).expect("parses");
         // structure
         assert_eq!(back.vertex_count(), hg.vertex_count());
@@ -661,13 +699,13 @@ mod tests {
         assert_eq!(back.series_count(), hg.series_count());
         assert_eq!(back.subgraphs().count(), hg.subgraphs().count());
         // second serialisation is byte-identical (canonical form)
-        assert_eq!(to_string(&back), text);
+        assert_eq!(to_string(&back).unwrap(), text);
     }
 
     #[test]
     fn roundtrip_preserves_values_and_escapes() {
         let hg = rich_instance();
-        let back = from_str(&to_string(&hg)).unwrap();
+        let back = from_str(&to_string(&hg).unwrap()).unwrap();
         let u = back
             .topology()
             .vertices()
@@ -697,7 +735,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_delta_and_kinds() {
         let hg = rich_instance();
-        let back = from_str(&to_string(&hg)).unwrap();
+        let back = from_str(&to_string(&hg).unwrap()).unwrap();
         let card = back
             .topology()
             .vertices()
@@ -715,7 +753,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_subgraphs() {
         let hg = rich_instance();
-        let back = from_str(&to_string(&hg)).unwrap();
+        let back = from_str(&to_string(&hg).unwrap()).unwrap();
         let sg = back.subgraphs().next().expect("subgraph");
         assert!(sg.has_label("Suspicious"));
         assert_eq!(sg.validity, Interval::new(ts(0), ts(500)));
@@ -753,9 +791,21 @@ mod tests {
     }
 
     #[test]
+    fn write_file_propagates_io_errors() {
+        let hg = rich_instance();
+        let missing_dir = std::env::temp_dir()
+            .join("hygraph-io-test-does-not-exist")
+            .join("instance.hg");
+        let err = write_file(&hg, &missing_dir).unwrap_err();
+        assert!(matches!(err, HyGraphError::Io(_)), "got {err:?}");
+        let err = read_file(&missing_dir).unwrap_err();
+        assert!(matches!(err, HyGraphError::Io(_)), "got {err:?}");
+    }
+
+    #[test]
     fn empty_instance_roundtrip() {
         let hg = HyGraph::new();
-        let back = from_str(&to_string(&hg)).unwrap();
+        let back = from_str(&to_string(&hg).unwrap()).unwrap();
         assert_eq!(back.vertex_count(), 0);
         assert_eq!(back.series_count(), 0);
     }

@@ -20,6 +20,7 @@
 //! `HyGraphTo<X>`, and the transforms between them); [`view`] provides
 //! logical grouping/sampling views (requirement R2).
 
+pub mod binio;
 pub mod builder;
 pub mod interfaces;
 pub mod io;

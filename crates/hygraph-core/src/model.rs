@@ -49,15 +49,15 @@ pub enum ElementRef {
 /// A unified hybrid graph + time-series instance.
 #[derive(Clone, Debug, Default)]
 pub struct HyGraph {
-    graph: TemporalGraph,
-    vertex_kind: HashMap<VertexId, ElementKind>,
-    edge_kind: HashMap<EdgeId, ElementKind>,
-    series: BTreeMap<SeriesId, MultiSeries>,
-    delta_v: HashMap<VertexId, SeriesId>,
-    delta_e: HashMap<EdgeId, SeriesId>,
-    subgraphs: BTreeMap<SubgraphId, Subgraph>,
-    next_series: u64,
-    next_subgraph: u64,
+    pub(crate) graph: TemporalGraph,
+    pub(crate) vertex_kind: HashMap<VertexId, ElementKind>,
+    pub(crate) edge_kind: HashMap<EdgeId, ElementKind>,
+    pub(crate) series: BTreeMap<SeriesId, MultiSeries>,
+    pub(crate) delta_v: HashMap<VertexId, SeriesId>,
+    pub(crate) delta_e: HashMap<EdgeId, SeriesId>,
+    pub(crate) subgraphs: BTreeMap<SubgraphId, Subgraph>,
+    pub(crate) next_series: u64,
+    pub(crate) next_subgraph: u64,
 }
 
 impl HyGraph {
@@ -169,7 +169,9 @@ impl HyGraph {
         props: PropertyMap,
         validity: Interval,
     ) -> Result<EdgeId> {
-        let e = self.graph.add_edge_valid(src, dst, labels, props, validity)?;
+        let e = self
+            .graph
+            .add_edge_valid(src, dst, labels, props, validity)?;
         self.edge_kind.insert(e, ElementKind::Pg);
         Ok(e)
     }
@@ -355,7 +357,12 @@ impl HyGraph {
         self.next_subgraph += 1;
         self.subgraphs.insert(
             id,
-            Subgraph::new(id, labels.into_iter().map(Into::into).collect(), props, validity),
+            Subgraph::new(
+                id,
+                labels.into_iter().map(Into::into).collect(),
+                props,
+                validity,
+            ),
         );
         id
     }
@@ -549,7 +556,10 @@ mod tests {
         // δ of a pg vertex is a kind mismatch
         assert_eq!(
             hg.delta(ElementRef::Vertex(user)).unwrap_err(),
-            HyGraphError::KindMismatch { expected: "ts", got: "pg" }
+            HyGraphError::KindMismatch {
+                expected: "ts",
+                got: "pg"
+            }
         );
         // φ of a ts vertex is a kind mismatch
         assert!(hg.props(ElementRef::Vertex(card)).is_err());
@@ -588,7 +598,10 @@ mod tests {
             .unwrap();
         assert_eq!(pv.as_series(), Some(sid));
         // static property still readable
-        let name = hg.phi(ElementRef::Vertex(station), "name").unwrap().unwrap();
+        let name = hg
+            .phi(ElementRef::Vertex(station), "name")
+            .unwrap()
+            .unwrap();
         assert_eq!(name.as_static().unwrap().as_str(), Some("st-1"));
         // dangling series reference is rejected at set time
         let err = hg
@@ -621,14 +634,13 @@ mod tests {
         let a = hg.add_pg_vertex(["N"], props! {});
         let b = hg.add_pg_vertex(["N"], props! {});
         let e = hg.add_pg_edge(a, b, ["E"], props! {}).unwrap();
-        let s = hg.create_subgraph(
-            ["Cluster"],
-            props! {"cluster_id" => 1i64},
-            Interval::ALL,
-        );
-        hg.add_subgraph_vertex(s, a, Interval::new(ts(0), ts(100))).unwrap();
-        hg.add_subgraph_vertex(s, b, Interval::from(ts(50))).unwrap();
-        hg.add_subgraph_edge(s, e, Interval::new(ts(50), ts(100))).unwrap();
+        let s = hg.create_subgraph(["Cluster"], props! {"cluster_id" => 1i64}, Interval::ALL);
+        hg.add_subgraph_vertex(s, a, Interval::new(ts(0), ts(100)))
+            .unwrap();
+        hg.add_subgraph_vertex(s, b, Interval::from(ts(50)))
+            .unwrap();
+        hg.add_subgraph_edge(s, e, Interval::new(ts(50), ts(100)))
+            .unwrap();
         let (vs, es) = hg.gamma(s, ts(25)).unwrap();
         assert_eq!(vs, vec![a]);
         assert!(es.is_empty());
@@ -674,12 +686,15 @@ mod tests {
         let a = hg.add_pg_vertex(["A"], props! {});
         let card = hg.add_ts_vertex(["Card"], sid).unwrap();
         hg.add_pg_edge(a, card, ["OWNS"], props! {}).unwrap();
-        hg.set_property(ElementRef::Vertex(a), "metric", sid).unwrap();
+        hg.set_property(ElementRef::Vertex(a), "metric", sid)
+            .unwrap();
         let s = hg.create_subgraph(["G"], props! {}, Interval::new(ts(0), ts(100)));
-        hg.add_subgraph_vertex(s, a, Interval::new(ts(0), ts(50))).unwrap();
+        hg.add_subgraph_vertex(s, a, Interval::new(ts(0), ts(50)))
+            .unwrap();
         assert!(hg.validate().is_ok());
         // membership outside subgraph validity fails validation
-        hg.add_subgraph_vertex(s, a, Interval::new(ts(0), ts(200))).unwrap();
+        hg.add_subgraph_vertex(s, a, Interval::new(ts(0), ts(200)))
+            .unwrap();
         assert!(matches!(
             hg.validate().unwrap_err(),
             HyGraphError::TemporalIntegrity(_)
@@ -694,7 +709,8 @@ mod tests {
         let b = hg.add_ts_vertex(["B"], sid).unwrap();
         hg.add_pg_edge(a, b, ["E"], props! {}).unwrap();
         // graph algorithms see both kinds uniformly
-        let (assign, n) = hygraph_graph::algorithms::components::connected_components(hg.topology());
+        let (assign, n) =
+            hygraph_graph::algorithms::components::connected_components(hg.topology());
         assert_eq!(n, 1);
         assert_eq!(assign.len(), 2);
     }

@@ -145,7 +145,12 @@ mod tests {
 
     #[test]
     fn membership_at_instant() {
-        let mut s = Subgraph::new(SubgraphId::new(0), vec![Label::new("C")], props! {}, Interval::ALL);
+        let mut s = Subgraph::new(
+            SubgraphId::new(0),
+            vec![Label::new("C")],
+            props! {},
+            Interval::ALL,
+        );
         s.add_vertex(VertexId::new(1), iv(0, 50));
         s.add_vertex(VertexId::new(2), iv(25, 75));
         s.add_edge(EdgeId::new(9), iv(25, 50));

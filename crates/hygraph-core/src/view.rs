@@ -180,8 +180,18 @@ mod tests {
     #[test]
     fn kind_filter() {
         let hg = instance();
-        assert_eq!(HyGraphView::new(&hg).with_kind(ElementKind::Pg).vertex_count(), 3);
-        assert_eq!(HyGraphView::new(&hg).with_kind(ElementKind::Ts).vertex_count(), 1);
+        assert_eq!(
+            HyGraphView::new(&hg)
+                .with_kind(ElementKind::Pg)
+                .vertex_count(),
+            3
+        );
+        assert_eq!(
+            HyGraphView::new(&hg)
+                .with_kind(ElementKind::Ts)
+                .vertex_count(),
+            1
+        );
     }
 
     #[test]
@@ -216,7 +226,10 @@ mod tests {
             .series_view(sid)
             .unwrap();
         assert_eq!(windowed.len(), 5);
-        let sampled = HyGraphView::new(&hg).sample_every(3).series_view(sid).unwrap();
+        let sampled = HyGraphView::new(&hg)
+            .sample_every(3)
+            .series_view(sid)
+            .unwrap();
         assert_eq!(sampled.len(), 4); // indices 0,3,6,9
         assert_eq!(sampled.values(), &[0.0, 3.0, 6.0, 9.0]);
     }
@@ -228,12 +241,18 @@ mod tests {
             .with_kind(ElementKind::Pg)
             .with_label("User")
             .valid_at(ts(150));
-        assert_eq!(v.vertex_count(), 1, "only the timeless user survives all filters");
+        assert_eq!(
+            v.vertex_count(),
+            1,
+            "only the timeless user survives all filters"
+        );
     }
 
     #[test]
     fn missing_series_view_is_none() {
         let hg = instance();
-        assert!(HyGraphView::new(&hg).series_view(SeriesId::new(99)).is_none());
+        assert!(HyGraphView::new(&hg)
+            .series_view(SeriesId::new(99))
+            .is_none());
     }
 }

@@ -251,10 +251,7 @@ mod tests {
 
     #[test]
     fn daily_seasonality_present() {
-        let cfg = BikeConfig {
-            days: 7,
-            ..small()
-        };
+        let cfg = BikeConfig { days: 7, ..small() };
         let d = generate(cfg);
         let ticks_per_day = 48;
         // average lag-1-day autocorrelation across stations should be high
@@ -280,7 +277,9 @@ mod tests {
         assert_eq!(s.len(), d.points_per_station());
         // series content identical to the raw dataset
         assert_eq!(
-            s.to_univariate("availability").unwrap().slice(&Interval::ALL),
+            s.to_univariate("availability")
+                .unwrap()
+                .slice(&Interval::ALL),
             d.availability[3]
         );
     }

@@ -131,13 +131,13 @@ pub fn figure2_instance() -> FraudDataset {
     let mut cards = Vec::new();
     let mut spending = Vec::new();
     for (i, s) in [user1_spend, user2_spend, user3_spend].iter().enumerate() {
-        let u = hg.add_pg_vertex(
-            ["User"],
-            props! {"name" => format!("User {}", i + 1)},
-        );
+        let u = hg.add_pg_vertex(["User"], props! {"name" => format!("User {}", i + 1)});
         let sid = hg.add_univariate_series("spending", s);
-        let c = hg.add_ts_vertex(["CreditCard"], sid).expect("series exists");
-        hg.add_pg_edge(u, c, ["USES"], props! {}).expect("vertices exist");
+        let c = hg
+            .add_ts_vertex(["CreditCard"], sid)
+            .expect("series exists");
+        hg.add_pg_edge(u, c, ["USES"], props! {})
+            .expect("vertices exist");
         users.push(u);
         cards.push(c);
         spending.push(sid);
@@ -274,8 +274,11 @@ pub fn generate(cfg: FraudConfig) -> FraudDataset {
 
         let u = hg.add_pg_vertex(["User"], props! {"name" => format!("user-{ui}")});
         let sid = hg.add_univariate_series("spending", &spend);
-        let c = hg.add_ts_vertex(["CreditCard"], sid).expect("series exists");
-        hg.add_pg_edge(u, c, ["USES"], props! {}).expect("vertices exist");
+        let c = hg
+            .add_ts_vertex(["CreditCard"], sid)
+            .expect("series exists");
+        hg.add_pg_edge(u, c, ["USES"], props! {})
+            .expect("vertices exist");
         users.push(u);
         cards.push(c);
         spending.push(sid);

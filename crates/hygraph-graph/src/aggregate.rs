@@ -110,10 +110,7 @@ pub fn group_by(g: &TemporalGraph, key: GroupBy<'_>, edge_agg_props: &[&str]) ->
             .expect("group vertices exist");
     }
 
-    let group_keys = group_vertex
-        .into_iter()
-        .map(|(k, v)| (v, k))
-        .collect();
+    let group_keys = group_vertex.into_iter().map(|(k, v)| (v, k)).collect();
 
     GroupedGraph {
         summary,
@@ -170,9 +167,12 @@ mod tests {
         let u2 = g.add_vertex(["User"], props! {"city" => "leipzig"});
         let m1 = g.add_vertex(["Merchant"], props! {"city" => "lyon"});
         let m2 = g.add_vertex(["Merchant"], props! {"city" => "lyon"});
-        g.add_edge(u1, m1, ["TX"], props! {"amount" => 10.0}).unwrap();
-        g.add_edge(u1, m2, ["TX"], props! {"amount" => 20.0}).unwrap();
-        g.add_edge(u2, m1, ["TX"], props! {"amount" => 5.0}).unwrap();
+        g.add_edge(u1, m1, ["TX"], props! {"amount" => 10.0})
+            .unwrap();
+        g.add_edge(u1, m2, ["TX"], props! {"amount" => 20.0})
+            .unwrap();
+        g.add_edge(u2, m1, ["TX"], props! {"amount" => 5.0})
+            .unwrap();
         g.add_edge(m1, m2, ["PEER"], props! {}).unwrap();
         g
     }
@@ -188,7 +188,10 @@ mod tests {
             .vertices()
             .find(|v| v.props.static_value("key").unwrap().as_str() == Some("User"))
             .unwrap();
-        assert_eq!(user_group.props.static_value("count").unwrap().as_i64(), Some(2));
+        assert_eq!(
+            user_group.props.static_value("count").unwrap().as_i64(),
+            Some(2)
+        );
         // super-edge User->Merchant has count 3, sum 35
         let se = grouped
             .summary
@@ -196,7 +199,10 @@ mod tests {
             .next()
             .expect("super edge exists");
         assert_eq!(se.props.static_value("count").unwrap().as_i64(), Some(3));
-        assert_eq!(se.props.static_value("sum_amount").unwrap().as_f64(), Some(35.0));
+        assert_eq!(
+            se.props.static_value("sum_amount").unwrap().as_f64(),
+            Some(35.0)
+        );
         // membership covers all vertices
         assert_eq!(grouped.membership.len(), 4);
     }
@@ -218,7 +224,10 @@ mod tests {
             .out_edges(lyon.id)
             .find(|e| e.dst == lyon.id)
             .expect("intra-group super edge");
-        assert_eq!(self_edge.props.static_value("count").unwrap().as_i64(), Some(3));
+        assert_eq!(
+            self_edge.props.static_value("count").unwrap().as_i64(),
+            Some(3)
+        );
     }
 
     #[test]

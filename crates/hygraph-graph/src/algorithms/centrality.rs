@@ -195,7 +195,9 @@ pub fn betweenness_centrality_mode(g: &TemporalGraph, mode: ExecMode) -> HashMap
         }
     }
     // undirected: every pair was counted twice
-    ids.into_iter().zip(cb.into_iter().map(|x| x / 2.0)).collect()
+    ids.into_iter()
+        .zip(cb.into_iter().map(|x| x / 2.0))
+        .collect()
 }
 
 #[cfg(test)]

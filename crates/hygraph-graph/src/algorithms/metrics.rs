@@ -58,7 +58,8 @@ pub fn local_clustering(g: &TemporalGraph) -> HashMap<VertexId, f64> {
     g.vertex_ids()
         .map(|v| {
             // undirected simple degree
-            let mut nbrs: Vec<VertexId> = g.neighbors(v).map(|(_, n)| n).filter(|&n| n != v).collect();
+            let mut nbrs: Vec<VertexId> =
+                g.neighbors(v).map(|(_, n)| n).filter(|&n| n != v).collect();
             nbrs.sort_unstable();
             nbrs.dedup();
             let d = nbrs.len();
@@ -170,7 +171,10 @@ mod tests {
         let lc = local_clustering(&g);
         assert_eq!(lc[&b], 1.0);
         assert_eq!(lc[&c], 1.0);
-        assert!((lc[&a] - 1.0 / 3.0).abs() < 1e-12, "a has 3 nbrs, 1 of 3 wedges closed");
+        assert!(
+            (lc[&a] - 1.0 / 3.0).abs() < 1e-12,
+            "a has 3 nbrs, 1 of 3 wedges closed"
+        );
         assert_eq!(lc[&d], 0.0);
     }
 

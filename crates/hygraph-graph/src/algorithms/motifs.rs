@@ -229,7 +229,15 @@ mod tests {
     fn census_empty_and_tiny() {
         let g = TemporalGraph::new();
         let c = triad_census(&g);
-        assert_eq!(c, TriadCensus { triangles: 0, open_wedges: 0, one_edge: 0, empty: 0 });
+        assert_eq!(
+            c,
+            TriadCensus {
+                triangles: 0,
+                open_wedges: 0,
+                one_edge: 0,
+                empty: 0
+            }
+        );
         let g = clique(2);
         let c = triad_census(&g);
         assert_eq!(c.triangles, 0);

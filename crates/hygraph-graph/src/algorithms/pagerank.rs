@@ -122,7 +122,8 @@ mod tests {
         let mut g = TemporalGraph::new();
         let vs: Vec<VertexId> = (0..5).map(|_| g.add_vertex(["N"], props! {})).collect();
         for i in 0..5 {
-            g.add_edge(vs[i], vs[(i + 1) % 5], ["E"], props! {}).unwrap();
+            g.add_edge(vs[i], vs[(i + 1) % 5], ["E"], props! {})
+                .unwrap();
         }
         let pr = pagerank(&g, PageRankConfig::default());
         let total: f64 = pr.values().sum();
@@ -147,7 +148,10 @@ mod tests {
             assert!(pr[&hub] > pr[&s] * 2.0, "hub dominates");
         }
         let total: f64 = pr.values().sum();
-        assert!((total - 1.0).abs() < 1e-9, "dangling hub mass redistributed");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "dangling hub mass redistributed"
+        );
     }
 
     #[test]

@@ -73,16 +73,16 @@ impl EdgeData {
 /// A directed temporal property graph.
 #[derive(Clone, Debug, Default)]
 pub struct TemporalGraph {
-    vertices: Vec<Option<VertexData>>,
-    edges: Vec<Option<EdgeData>>,
-    out_adj: Vec<Vec<EdgeId>>,
-    in_adj: Vec<Vec<EdgeId>>,
+    pub(crate) vertices: Vec<Option<VertexData>>,
+    pub(crate) edges: Vec<Option<EdgeData>>,
+    pub(crate) out_adj: Vec<Vec<EdgeId>>,
+    pub(crate) in_adj: Vec<Vec<EdgeId>>,
     // label -> vertices carrying it (kept in insertion order; tombstoned
     // entries are pruned on removal). Accelerates label-seeded pattern
     // matching and HyQL candidate generation.
-    vertex_label_index: HashMap<Label, Vec<VertexId>>,
-    live_vertices: usize,
-    live_edges: usize,
+    pub(crate) vertex_label_index: HashMap<Label, Vec<VertexId>>,
+    pub(crate) live_vertices: usize,
+    pub(crate) live_edges: usize,
 }
 
 impl TemporalGraph {
@@ -136,7 +136,10 @@ impl TemporalGraph {
         let id = VertexId::from(self.vertices.len());
         let labels: Vec<Label> = labels.into_iter().map(Into::into).collect();
         for l in &labels {
-            self.vertex_label_index.entry(l.clone()).or_default().push(id);
+            self.vertex_label_index
+                .entry(l.clone())
+                .or_default()
+                .push(id);
         }
         self.vertices.push(Some(VertexData {
             id,
@@ -472,7 +475,9 @@ mod tests {
     fn edge_requires_endpoints() {
         let mut g = TemporalGraph::new();
         let a = g.add_vertex(["X"], props! {});
-        let err = g.add_edge(a, VertexId::new(7), ["E"], props! {}).unwrap_err();
+        let err = g
+            .add_edge(a, VertexId::new(7), ["E"], props! {})
+            .unwrap_err();
         assert_eq!(err, HyGraphError::VertexNotFound(VertexId::new(7)));
     }
 
@@ -547,11 +552,7 @@ mod tests {
     #[test]
     fn validate_temporal_integrity() {
         let mut g = TemporalGraph::new();
-        let a = g.add_vertex_valid(
-            ["X"],
-            props! {},
-            Interval::new(ts(0), ts(100)),
-        );
+        let a = g.add_vertex_valid(["X"], props! {}, Interval::new(ts(0), ts(100)));
         let b = g.add_vertex(["X"], props! {});
         // edge valid beyond a's lifetime
         g.add_edge_valid(a, b, ["E"], props! {}, Interval::new(ts(50), ts(200)))
@@ -573,7 +574,12 @@ mod tests {
         let (mut g, [a, _, _], _) = triangle();
         g.vertex_mut(a).unwrap().props.set("flag", true);
         assert_eq!(
-            g.vertex(a).unwrap().props.static_value("flag").unwrap().as_bool(),
+            g.vertex(a)
+                .unwrap()
+                .props
+                .static_value("flag")
+                .unwrap()
+                .as_bool(),
             Some(true)
         );
     }

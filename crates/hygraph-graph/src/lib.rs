@@ -18,6 +18,7 @@
 
 pub mod aggregate;
 pub mod algorithms;
+pub mod codec;
 pub mod graph;
 pub mod pattern;
 pub mod snapshot;

@@ -466,9 +466,12 @@ mod tests {
         let m2 = g.add_vertex(["Merchant"], props! {"name" => "m2"});
         g.add_edge(u1, c1, ["USES"], props! {}).unwrap();
         g.add_edge(u2, c2, ["USES"], props! {}).unwrap();
-        g.add_edge(c1, m1, ["TX"], props! {"amount" => 1500.0}).unwrap();
-        g.add_edge(c1, m2, ["TX"], props! {"amount" => 2000.0}).unwrap();
-        g.add_edge(c2, m1, ["TX"], props! {"amount" => 30.0}).unwrap();
+        g.add_edge(c1, m1, ["TX"], props! {"amount" => 1500.0})
+            .unwrap();
+        g.add_edge(c1, m2, ["TX"], props! {"amount" => 2000.0})
+            .unwrap();
+        g.add_edge(c2, m1, ["TX"], props! {"amount" => 30.0})
+            .unwrap();
         let mut ids = HashMap::new();
         ids.insert("u1", u1);
         ids.insert("u2", u2);
@@ -502,7 +505,11 @@ mod tests {
         let tx = p.edge(Some("t"), c, m, ["TX"], Direction::Out);
         p.edge_pred(tx, PropPredicate::new("amount", CmpOp::Gt, 1000.0));
         let matches = p.find_all(&g);
-        assert_eq!(matches.len(), 2, "two high-amount transactions, both by user1");
+        assert_eq!(
+            matches.len(),
+            2,
+            "two high-amount transactions, both by user1"
+        );
         for b in &matches {
             assert_eq!(b.vertices["u"], ids["u1"]);
             assert!(b.edges.contains_key("t"));

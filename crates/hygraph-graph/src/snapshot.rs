@@ -40,7 +40,11 @@ fn filtered(g: &TemporalGraph, keep: impl Fn(&Interval) -> bool) -> TemporalGrap
             }
             _ => {
                 // placeholder to keep ids aligned, tombstoned below
-                let nid = out.add_vertex_valid(Vec::<hygraph_types::Label>::new(), Default::default(), Interval::ALL);
+                let nid = out.add_vertex_valid(
+                    Vec::<hygraph_types::Label>::new(),
+                    Default::default(),
+                    Interval::ALL,
+                );
                 debug_assert_eq!(nid, vid);
                 dropped.push(vid);
             }
@@ -111,8 +115,10 @@ mod tests {
         let a = g.add_vertex_valid(["N"], props! {"name" => "a"}, iv(0, 100));
         let b = g.add_vertex_valid(["N"], props! {"name" => "b"}, iv(50, 200));
         let c = g.add_vertex(["N"], props! {"name" => "c"});
-        g.add_edge_valid(a, b, ["E"], props! {}, iv(50, 100)).unwrap();
-        g.add_edge_valid(b, c, ["E"], props! {}, iv(60, 150)).unwrap();
+        g.add_edge_valid(a, b, ["E"], props! {}, iv(50, 100))
+            .unwrap();
+        g.add_edge_valid(b, c, ["E"], props! {}, iv(60, 150))
+            .unwrap();
         g.add_edge_valid(c, a, ["E"], props! {}, iv(0, 90)).unwrap();
         (g, [a, b, c])
     }
@@ -145,7 +151,12 @@ mod tests {
         let (g, [a, _, c]) = evolving();
         let s = snapshot(&g, ts(25));
         assert_eq!(
-            s.vertex(a).unwrap().props.static_value("name").unwrap().as_str(),
+            s.vertex(a)
+                .unwrap()
+                .props
+                .static_value("name")
+                .unwrap()
+                .as_str(),
             Some("a")
         );
         assert_eq!(s.vertex(c).unwrap().id, c);
@@ -157,7 +168,8 @@ mod tests {
         let mut g = TemporalGraph::new();
         let a = g.add_vertex_valid(["N"], props! {}, iv(0, 10));
         let b = g.add_vertex(["N"], props! {});
-        g.add_edge_valid(a, b, ["E"], props! {}, iv(0, 100)).unwrap();
+        g.add_edge_valid(a, b, ["E"], props! {}, iv(0, 100))
+            .unwrap();
         let s = snapshot(&g, ts(50));
         assert!(!s.contains_vertex(a));
         assert_eq!(s.edge_count(), 0, "edge endpoint dead at t=50");

@@ -88,7 +88,12 @@ pub fn reachable(g: &TemporalGraph, start: VertexId, target: VertexId, follow: F
 
 /// Vertices within `k` hops of `start` (excluding `start` itself when
 /// `k > 0`; always including it in the returned map with distance 0).
-pub fn k_hop(g: &TemporalGraph, start: VertexId, k: usize, follow: Follow) -> HashMap<VertexId, usize> {
+pub fn k_hop(
+    g: &TemporalGraph,
+    start: VertexId,
+    k: usize,
+    follow: Follow,
+) -> HashMap<VertexId, usize> {
     let mut dist = HashMap::new();
     if !g.contains_vertex(start) {
         return dist;
@@ -194,7 +199,11 @@ pub fn temporal_reachability(
         }
         for (e, n) in g.neighbors_out(v) {
             // traverse as early as possible but not before arriving
-            let depart = if e.validity.start > at { e.validity.start } else { at };
+            let depart = if e.validity.start > at {
+                e.validity.start
+            } else {
+                at
+            };
             if depart >= e.validity.end || depart >= window.end {
                 continue;
             }
@@ -206,7 +215,6 @@ pub fn temporal_reachability(
     }
     arrival
 }
-
 
 /// Earliest-arrival (foremost) temporal path reconstruction: like
 /// [`temporal_reachability`], but also records predecessor edges so the
@@ -237,7 +245,11 @@ pub fn temporal_path(
             break; // earliest arrival fixed
         }
         for (e, n) in g.neighbors_out(v) {
-            let depart = if e.validity.start > at { e.validity.start } else { at };
+            let depart = if e.validity.start > at {
+                e.validity.start
+            } else {
+                at
+            };
             if depart >= e.validity.end || depart >= window.end {
                 continue;
             }

@@ -1,0 +1,208 @@
+//! Binary full-state checkpoints.
+//!
+//! A checkpoint file `ckpt-<lsn>.ck` (16-hex-digit LSN) captures the
+//! complete store state as of that LSN:
+//!
+//! ```text
+//! ┌─────────┬───────┬──────────┬──────────┬─────────────────────┐
+//! │ "HGCK1" │ tag 4 │ len u32  │ crc u32  │ payload (len bytes) │
+//! └─────────┴───────┴──────────┴──────────┴─────────────────────┘
+//! ```
+//!
+//! Checkpoints are written directly under their final name: a crash
+//! mid-write leaves a file whose length or CRC disagrees with its
+//! header, and [`load_latest`] skips it and falls back to the previous
+//! checkpoint — a scenario the fault-injection tests exercise
+//! explicitly. After a checkpoint is fully synced, WAL segments below
+//! its LSN are purged; never before, so the fallback always has the
+//! log it needs.
+
+use hygraph_types::bytes::crc32;
+use hygraph_types::{HyGraphError, Result};
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+const CKPT_MAGIC: &[u8; 5] = b"HGCK1";
+const CKPT_HEADER_BYTES: usize = CKPT_MAGIC.len() + 4 + 4 + 4;
+
+fn checkpoint_name(lsn: u64) -> String {
+    format!("ckpt-{lsn:016x}.ck")
+}
+
+fn parse_checkpoint_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("ckpt-")?.strip_suffix(".ck")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Lists `(LSN, path)` of every checkpoint file in `dir`, sorted by LSN.
+pub fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(lsn) = entry.file_name().to_str().and_then(parse_checkpoint_name) {
+            out.push((lsn, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Writes and fsyncs a checkpoint of `state` at `lsn`. Returns its path.
+pub fn write_checkpoint(dir: &Path, tag: [u8; 4], lsn: u64, state: &[u8]) -> Result<PathBuf> {
+    let path = dir.join(checkpoint_name(lsn));
+    let mut file = File::create(&path)?;
+    file.write_all(CKPT_MAGIC)?;
+    file.write_all(&tag)?;
+    file.write_all(&(state.len() as u32).to_le_bytes())?;
+    file.write_all(&crc32(state).to_le_bytes())?;
+    file.write_all(state)?;
+    file.sync_all()?;
+    if let Ok(d) = File::open(dir) {
+        d.sync_all()?;
+    }
+    Ok(path)
+}
+
+/// Validates one checkpoint file: `Ok(Some(payload))` if intact,
+/// `Ok(None)` if torn/corrupt, `Err` if it is a healthy checkpoint of a
+/// *different* store (intact magic, foreign tag) — skipping that one
+/// silently would make the caller re-initialise over live data.
+fn read_checkpoint(path: &Path, tag: [u8; 4]) -> Result<Option<Vec<u8>>> {
+    let Ok(bytes) = std::fs::read(path) else {
+        return Ok(None);
+    };
+    if bytes.len() < CKPT_HEADER_BYTES || &bytes[..CKPT_MAGIC.len()] != CKPT_MAGIC {
+        return Ok(None);
+    }
+    if bytes[CKPT_MAGIC.len()..CKPT_MAGIC.len() + 4] != tag {
+        return Err(HyGraphError::corrupt(format!(
+            "checkpoint {} belongs to store tag {:?}, expected {:?}",
+            path.display(),
+            String::from_utf8_lossy(&bytes[CKPT_MAGIC.len()..CKPT_MAGIC.len() + 4]),
+            String::from_utf8_lossy(&tag),
+        )));
+    }
+    let len = u32::from_le_bytes(bytes[9..13].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[13..17].try_into().expect("4 bytes"));
+    let Some(payload) = bytes.get(CKPT_HEADER_BYTES..CKPT_HEADER_BYTES.saturating_add(len)) else {
+        return Ok(None);
+    };
+    if bytes.len() != CKPT_HEADER_BYTES + len || crc32(payload) != crc {
+        return Ok(None);
+    }
+    Ok(Some(payload.to_vec()))
+}
+
+/// Loads the newest *intact* checkpoint: torn or corrupt files are
+/// skipped, falling back to older ones. Returns `(lsn, payload)`.
+/// A checkpoint belonging to a different store is a hard error.
+pub fn load_latest(dir: &Path, tag: [u8; 4]) -> Result<Option<(u64, Vec<u8>)>> {
+    let mut candidates = list_checkpoints(dir)?;
+    while let Some((lsn, path)) = candidates.pop() {
+        if let Some(payload) = read_checkpoint(&path, tag)? {
+            return Ok(Some((lsn, payload)));
+        }
+    }
+    Ok(None)
+}
+
+/// Deletes every checkpoint older than `keep_lsn` (the newest intact
+/// one stays by construction, since its LSN equals `keep_lsn`).
+pub fn purge_older(dir: &Path, keep_lsn: u64) -> Result<()> {
+    for (lsn, path) in list_checkpoints(dir)? {
+        if lsn < keep_lsn {
+            std::fs::remove_file(path)?;
+        }
+    }
+    Ok(())
+}
+
+/// Deletes checkpoint files *newer* than `latest_valid_lsn` — by
+/// definition torn (recovery just established that none of them load),
+/// and left in place they would shadow the LSN namespace of future
+/// checkpoints.
+pub fn purge_newer_than(dir: &Path, latest_valid_lsn: u64) -> Result<()> {
+    for (lsn, path) in list_checkpoints(dir)? {
+        if lsn > latest_valid_lsn {
+            std::fs::remove_file(path)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{flip_byte, scratch_dir, truncate_file};
+
+    const TAG: [u8; 4] = *b"TEST";
+
+    #[test]
+    fn write_load_roundtrip_picks_newest() {
+        let dir = scratch_dir("ckpt");
+        write_checkpoint(&dir, TAG, 5, b"old-state").unwrap();
+        write_checkpoint(&dir, TAG, 12, b"new-state").unwrap();
+        let (lsn, payload) = load_latest(&dir, TAG).unwrap().unwrap();
+        assert_eq!(lsn, 12);
+        assert_eq!(payload, b"new-state");
+        purge_older(&dir, 12).unwrap();
+        assert_eq!(list_checkpoints(&dir).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_checkpoint_falls_back_to_previous() {
+        let dir = scratch_dir("ckpt-torn");
+        write_checkpoint(&dir, TAG, 3, b"good").unwrap();
+        let newer = write_checkpoint(&dir, TAG, 9, b"doomed-by-crash").unwrap();
+        let len = std::fs::metadata(&newer).unwrap().len();
+        truncate_file(&newer, len - 4).unwrap();
+        let (lsn, payload) = load_latest(&dir, TAG).unwrap().unwrap();
+        assert_eq!((lsn, payload.as_slice()), (3, &b"good"[..]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_payload_detected_at_every_byte() {
+        let dir = scratch_dir("ckpt-flip");
+        let path = write_checkpoint(&dir, TAG, 1, b"payload-bytes").unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+        for off in 0..len {
+            flip_byte(&path, off).unwrap();
+            // a flipped tag byte surfaces as a hard error, every other
+            // flip as "no intact checkpoint" — never as a clean load
+            assert!(
+                !matches!(load_latest(&dir, TAG), Ok(Some(_))),
+                "flip at {off} accepted"
+            );
+            flip_byte(&path, off).unwrap(); // restore
+        }
+        assert!(load_latest(&dir, TAG).unwrap().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_tag_is_a_hard_error() {
+        let dir = scratch_dir("ckpt-tag");
+        write_checkpoint(&dir, TAG, 1, b"x").unwrap();
+        assert!(load_latest(&dir, *b"OTHR").is_err(), "foreign store opened");
+        // the file survives for its rightful owner
+        assert_eq!(list_checkpoints(&dir).unwrap().len(), 1);
+        assert!(load_latest(&dir, TAG).unwrap().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_state_checkpoint_roundtrips() {
+        let dir = scratch_dir("ckpt-empty");
+        write_checkpoint(&dir, TAG, 0, b"").unwrap();
+        let (lsn, payload) = load_latest(&dir, TAG).unwrap().unwrap();
+        assert_eq!(lsn, 0);
+        assert!(payload.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

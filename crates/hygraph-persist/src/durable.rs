@@ -1,0 +1,301 @@
+//! The [`Durable`] trait and the [`DurableStore`] engine that wraps any
+//! implementor with write-ahead logging, periodic checkpoints, and
+//! crash recovery.
+//!
+//! # Protocol
+//!
+//! * **WAL before apply.** [`DurableStore::stage`] encodes the mutation
+//!   and appends it to the log's group-commit batch *before* touching
+//!   the in-memory state; if the state rejects the mutation, the frame
+//!   is retracted (it was never synced), so the log only ever holds
+//!   mutations that applied cleanly.
+//! * **Committed = synced prefix.** Staged mutations become durable at
+//!   the next [`DurableStore::sync`] / [`DurableStore::commit`] — one
+//!   `write` + `fdatasync` for the whole batch (group commit).
+//! * **Checkpoint, then purge.** [`DurableStore::checkpoint`] syncs the
+//!   log, snapshots the full state at the current LSN, and only after
+//!   the snapshot is fsynced rotates and purges segments the snapshot
+//!   covers. A crash at any point leaves either the new checkpoint or
+//!   the old checkpoint + the segments it needs.
+//! * **Recovery.** [`DurableStore::open`] loads the newest *intact*
+//!   checkpoint (torn ones are skipped and deleted), replays intact
+//!   WAL frames above it, and truncates the log at the first torn or
+//!   corrupt frame instead of failing — the recovered state is
+//!   bit-identical to the committed state at the crash.
+//!
+//! One directory holds one store's log: segment and checkpoint files
+//! carry the store's [`Durable::STORE_TAG`] as a guard against mixups,
+//! but recovery treats unrecognised files as corruption, so never point
+//! two stores at the same directory.
+
+use crate::checkpoint;
+use crate::config;
+use crate::wal::Wal;
+use hygraph_types::bytes::{ByteReader, ByteWriter};
+use hygraph_types::{HyGraphError, Result};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+/// A store whose state and mutations have exact binary codecs — the
+/// contract the WAL engine needs to make it durable.
+pub trait Durable: Sized {
+    /// The store's logged operation vocabulary.
+    type Mutation;
+
+    /// Four-byte tag stamped into segment and checkpoint headers.
+    const STORE_TAG: [u8; 4];
+
+    /// An empty store (the state before LSN 0).
+    fn fresh() -> Self;
+
+    /// Encodes the complete physical state. Must be deterministic and
+    /// exact: `decode_state(encode_state(s))` re-encodes to the same
+    /// bytes, bit for bit.
+    fn encode_state(&self, w: &mut ByteWriter);
+
+    /// Decodes a state written by [`Durable::encode_state`]. Input is
+    /// untrusted: errors, never panics, on malformed bytes.
+    fn decode_state(r: &mut ByteReader<'_>) -> Result<Self>;
+
+    /// Encodes one mutation as a WAL record.
+    fn encode_mutation(m: &Self::Mutation, w: &mut ByteWriter);
+
+    /// Decodes a WAL record. Input is untrusted.
+    fn decode_mutation(r: &mut ByteReader<'_>) -> Result<Self::Mutation>;
+
+    /// Applies one mutation. Must be deterministic — replaying the same
+    /// mutations against the same state reproduces every allocated id
+    /// and every bit of the result.
+    fn apply(&mut self, m: &Self::Mutation) -> Result<()>;
+}
+
+fn encode_record<S: Durable>(m: &S::Mutation) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    S::encode_mutation(m, &mut w);
+    w.into_bytes()
+}
+
+fn decode_record<S: Durable>(record: &[u8]) -> Result<S::Mutation> {
+    let mut r = ByteReader::new(record);
+    let m = S::decode_mutation(&mut r)?;
+    r.expect_exhausted()?;
+    Ok(m)
+}
+
+/// A [`Durable`] store wrapped with a write-ahead log and checkpoints.
+pub struct DurableStore<S: Durable> {
+    state: S,
+    wal: Wal,
+    checkpoint_lsn: u64,
+    /// Records staged since the last checkpoint (drives auto-checkpoint).
+    since_checkpoint: u64,
+}
+
+impl<S: Durable> DurableStore<S> {
+    /// Opens (or initialises) the store in `dir`, recovering committed
+    /// state after a crash: newest intact checkpoint + intact WAL
+    /// suffix, truncated at the first torn frame.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let segment_bytes = config::configured_segment_bytes();
+
+        let (checkpoint_lsn, mut state) = match checkpoint::load_latest(&dir, S::STORE_TAG)? {
+            Some((lsn, payload)) => {
+                let mut r = ByteReader::new(&payload);
+                let state = S::decode_state(&mut r)?;
+                r.expect_exhausted()?;
+                // anything newer than the checkpoint we just loaded
+                // failed to load — torn; clear the namespace
+                checkpoint::purge_newer_than(&dir, lsn)?;
+                (lsn, state)
+            }
+            None => (0, S::fresh()),
+        };
+
+        let wal = Wal::recover(
+            &dir,
+            S::STORE_TAG,
+            segment_bytes,
+            checkpoint_lsn,
+            |_lsn, record| {
+                let m = decode_record::<S>(record)?;
+                state.apply(&m)
+            },
+        )?;
+
+        let mut store = Self {
+            state,
+            wal,
+            checkpoint_lsn,
+            since_checkpoint: 0,
+        };
+        if checkpoint::list_checkpoints(store.dir())?.is_empty() {
+            // first open of a fresh directory: pin the empty state so
+            // recovery always has a checkpoint to start from
+            store.checkpoint()?;
+        }
+        Ok(store)
+    }
+
+    /// Opens the store under `$HYGRAPH_WAL_DIR/<sub>`.
+    pub fn open_default(sub: &str) -> Result<Self> {
+        let base = config::configured_wal_dir().ok_or_else(|| {
+            HyGraphError::invalid("HYGRAPH_WAL_DIR is not set; use DurableStore::open(dir)")
+        })?;
+        Self::open(base.join(sub))
+    }
+
+    /// Creates a durable store in an *empty* `dir` from an existing
+    /// in-memory state (the bulk-load-then-go-durable path): writes the
+    /// initial checkpoint of `initial` at LSN 0.
+    pub fn create(dir: impl Into<PathBuf>, initial: S) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        if !checkpoint::list_checkpoints(&dir)?.is_empty()
+            || !crate::wal::list_segments(&dir)?.is_empty()
+        {
+            return Err(HyGraphError::invalid(format!(
+                "DurableStore::create: {} already holds a log",
+                dir.display()
+            )));
+        }
+        let wal = Wal::create(&dir, S::STORE_TAG, config::configured_segment_bytes())?;
+        let mut store = Self {
+            state: initial,
+            wal,
+            checkpoint_lsn: 0,
+            since_checkpoint: 0,
+        };
+        store.checkpoint()?;
+        Ok(store)
+    }
+
+    /// The wrapped state. All mutation goes through
+    /// [`DurableStore::commit`] / [`DurableStore::stage`]; reads are
+    /// direct.
+    pub fn get(&self) -> &S {
+        &self.state
+    }
+
+    /// Stages one mutation: WAL-append, then apply. Returns its LSN.
+    /// Not durable until the next [`DurableStore::sync`]. A mutation
+    /// the state rejects is retracted from the log and the error
+    /// returned.
+    pub fn stage(&mut self, m: S::Mutation) -> Result<u64> {
+        let record = encode_record::<S>(&m);
+        let mark = self.wal.mark();
+        let lsn = self.wal.append(&record);
+        match self.state.apply(&m) {
+            Ok(()) => {
+                self.since_checkpoint += 1;
+                Ok(lsn)
+            }
+            Err(e) => {
+                self.wal.rollback_to(mark);
+                Err(e)
+            }
+        }
+    }
+
+    /// Commits one mutation: stage + fsync. On return it is durable.
+    pub fn commit(&mut self, m: S::Mutation) -> Result<u64> {
+        let lsn = self.stage(m)?;
+        self.sync()?;
+        Ok(lsn)
+    }
+
+    /// Group commit: stages every mutation, then makes the whole batch
+    /// durable with a single fsync. Returns the batch's LSN range. If a
+    /// mutation is rejected the batch stops there — earlier mutations
+    /// stay staged (and are synced) — and the error is returned.
+    pub fn commit_batch(
+        &mut self,
+        mutations: impl IntoIterator<Item = S::Mutation>,
+    ) -> Result<Range<u64>> {
+        let start = self.wal.next_lsn();
+        let mut staged = Ok(());
+        for m in mutations {
+            if let Err(e) = self.stage(m) {
+                staged = Err(e);
+                break;
+            }
+        }
+        let end = self.wal.next_lsn();
+        self.sync()?;
+        staged.map(|()| start..end)
+    }
+
+    /// Makes every staged mutation durable (one fsync for the batch),
+    /// then checkpoints automatically if the configured interval
+    /// (`HYGRAPH_CHECKPOINT_EVERY`) has elapsed.
+    pub fn sync(&mut self) -> Result<()> {
+        self.wal.sync()?;
+        let every = config::configured_checkpoint_every();
+        if every > 0 && self.since_checkpoint >= every {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Snapshots the full state at the current LSN, then rotates the
+    /// log and purges segments and checkpoints the snapshot supersedes.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.wal.sync()?;
+        let lsn = self.wal.next_lsn();
+        let bytes = self.state_bytes();
+        checkpoint::write_checkpoint(self.wal.dir(), S::STORE_TAG, lsn, &bytes)?;
+        // only after the snapshot is durable may its inputs be deleted
+        checkpoint::purge_older(self.wal.dir(), lsn)?;
+        self.wal.rotate();
+        self.wal.purge_up_to(lsn)?;
+        self.checkpoint_lsn = lsn;
+        self.since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// The exact state encoding — what a checkpoint at this instant
+    /// would contain; recovery tests compare these bytes for
+    /// bit-identity.
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.state.encode_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// LSN the next mutation will receive.
+    pub fn next_lsn(&self) -> u64 {
+        self.wal.next_lsn()
+    }
+
+    /// Everything below this LSN is durable.
+    pub fn durable_lsn(&self) -> u64 {
+        self.wal.durable_lsn()
+    }
+
+    /// LSN of the newest durable checkpoint.
+    pub fn checkpoint_lsn(&self) -> u64 {
+        self.checkpoint_lsn
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        self.wal.dir()
+    }
+
+    /// Flushes staged mutations and closes the store.
+    pub fn close(mut self) -> Result<()> {
+        self.wal.sync()
+    }
+}
+
+impl<S: Durable> std::fmt::Debug for DurableStore<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableStore")
+            .field("dir", &self.dir())
+            .field("next_lsn", &self.next_lsn())
+            .field("durable_lsn", &self.durable_lsn())
+            .field("checkpoint_lsn", &self.checkpoint_lsn)
+            .finish()
+    }
+}

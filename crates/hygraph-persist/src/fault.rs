@@ -1,0 +1,170 @@
+//! Process-free fault injection for the recovery test harness.
+//!
+//! Crashes are simulated by mutating on-disk state the way a real crash
+//! would leave it — no subprocesses, no signals:
+//!
+//! * a torn append = the file truncated mid-frame ([`truncate_file`]);
+//! * a damaged sector = one byte flipped ([`flip_byte`]);
+//! * a crash at an arbitrary point = a byte-exact snapshot of the WAL
+//!   directory taken earlier ([`snapshot_dir`]) and restored.
+//!
+//! [`FailingWriter`] additionally proves the write path propagates IO
+//! errors: it accepts a byte quota and fails with `ErrorKind::Other`
+//! once the quota is spent, after which the bytes that did get through
+//! must parse as a clean (possibly empty) frame prefix.
+
+use std::io;
+use std::path::Path;
+
+/// An [`io::Write`] sink that fails once its byte quota is exhausted,
+/// keeping whatever was "written" before the fault — the in-memory
+/// equivalent of a disk filling up or a device erroring mid-write.
+#[derive(Debug)]
+pub struct FailingWriter {
+    written: Vec<u8>,
+    remaining: usize,
+}
+
+impl FailingWriter {
+    /// A writer that accepts exactly `quota` bytes, then errors.
+    pub fn failing_after(quota: usize) -> Self {
+        Self {
+            written: Vec::new(),
+            remaining: quota,
+        }
+    }
+
+    /// The bytes that made it through before (or without) the fault.
+    pub fn written(&self) -> &[u8] {
+        &self.written
+    }
+}
+
+impl io::Write for FailingWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.remaining == 0 {
+            return Err(io::Error::other("injected write fault"));
+        }
+        let n = buf.len().min(self.remaining);
+        self.written.extend_from_slice(&buf[..n]);
+        self.remaining -= n;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Truncates `path` to `len` bytes — a crash mid-append.
+pub fn truncate_file(path: impl AsRef<Path>, len: u64) -> io::Result<()> {
+    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(len)
+}
+
+/// Flips every bit of the byte at `offset` in `path` — a damaged sector.
+pub fn flip_byte(path: impl AsRef<Path>, offset: u64) -> io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom, Write};
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)?;
+    f.seek(SeekFrom::Start(offset))?;
+    let mut b = [0u8];
+    f.read_exact(&mut b)?;
+    b[0] ^= 0xFF;
+    f.seek(SeekFrom::Start(offset))?;
+    f.write_all(&b)
+}
+
+/// Byte-exact snapshot of a flat directory (the WAL layout has no
+/// subdirectories): returns `(file name, contents)` pairs.
+pub fn snapshot_dir(dir: impl AsRef<Path>) -> io::Result<Vec<(String, Vec<u8>)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry.file_type()?.is_file() {
+            out.push((
+                entry.file_name().to_string_lossy().into_owned(),
+                std::fs::read(entry.path())?,
+            ));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Restores a directory to a [`snapshot_dir`] state: extra files are
+/// removed, snapshot files are rewritten byte-exactly — the disk as the
+/// crash left it.
+pub fn restore_dir(dir: impl AsRef<Path>, snapshot: &[(String, Vec<u8>)]) -> io::Result<()> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry.file_type()?.is_file()
+            && !snapshot
+                .iter()
+                .any(|(name, _)| entry.file_name().to_string_lossy() == name.as_str())
+        {
+            std::fs::remove_file(entry.path())?;
+        }
+    }
+    for (name, contents) in snapshot {
+        std::fs::write(dir.join(name), contents)?;
+    }
+    Ok(())
+}
+
+/// A fresh scratch directory under the system temp dir, unique per
+/// process and call.
+pub fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("hygraph-wal-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn failing_writer_honours_quota() {
+        let mut w = FailingWriter::failing_after(5);
+        assert_eq!(w.write(b"abc").unwrap(), 3);
+        assert_eq!(w.write(b"defg").unwrap(), 2, "partial write at the edge");
+        assert!(w.write(b"h").is_err());
+        assert_eq!(w.written(), b"abcde");
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let dir = scratch_dir("snap");
+        std::fs::write(dir.join("a.seg"), b"alpha").unwrap();
+        std::fs::write(dir.join("b.seg"), b"beta").unwrap();
+        let snap = snapshot_dir(&dir).unwrap();
+        // mutate: modify one file, add another
+        std::fs::write(dir.join("a.seg"), b"ALTERED").unwrap();
+        std::fs::write(dir.join("c.seg"), b"new").unwrap();
+        restore_dir(&dir, &snap).unwrap();
+        let back = snapshot_dir(&dir).unwrap();
+        assert_eq!(back, snap);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_and_flip() {
+        let dir = scratch_dir("mutate");
+        let p = dir.join("x.bin");
+        std::fs::write(&p, b"0123456789").unwrap();
+        truncate_file(&p, 4).unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"0123");
+        flip_byte(&p, 0).unwrap();
+        assert_eq!(std::fs::read(&p).unwrap()[0], b'0' ^ 0xFF);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

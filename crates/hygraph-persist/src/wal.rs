@@ -1,0 +1,559 @@
+//! Append-only, segmented write-ahead log.
+//!
+//! A log is a directory of segment files named `wal-<base>.seg`, where
+//! `<base>` is the 16-hex-digit LSN of the segment's first frame.
+//! Every segment starts with a 9-byte header — magic `HGWL1` plus the
+//! 4-byte store tag — followed by CRC-guarded frames
+//! ([`crate::frame`]). Appends buffer frames in memory (group commit);
+//! [`Wal::sync`] writes the batch with one `write` + `fdatasync` pair,
+//! rotating to a fresh segment once the active one exceeds the
+//! configured size.
+//!
+//! Recovery ([`Wal::recover`]) replays segments in base order, checks
+//! header, checksum, and LSN continuity, and — on the first torn or
+//! corrupt frame — truncates the segment at the last intact frame and
+//! discards any later segments, exactly reproducing the "committed =
+//! synced prefix" contract.
+
+use crate::frame::{append_frame, read_frame, FrameOutcome};
+use hygraph_types::{HyGraphError, Result};
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+const SEGMENT_MAGIC: &[u8; 5] = b"HGWL1";
+const SEGMENT_HEADER_BYTES: usize = SEGMENT_MAGIC.len() + 4;
+
+fn segment_name(base: u64) -> String {
+    format!("wal-{base:016x}.seg")
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("wal-")?.strip_suffix(".seg")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Lists `(base LSN, path)` of every segment in `dir`, sorted by base.
+pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(base) = entry.file_name().to_str().and_then(parse_segment_name) {
+            out.push((base, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn sync_dir(dir: &Path) -> Result<()> {
+    // directory fsync makes created/removed segment names durable; on
+    // platforms where directories cannot be opened this is a no-op
+    if let Ok(d) = File::open(dir) {
+        d.sync_all()?;
+    }
+    Ok(())
+}
+
+struct ActiveSegment {
+    path: PathBuf,
+    file: File,
+    len: u64,
+}
+
+/// An opaque position in the unsynced batch (see [`Wal::mark`]).
+#[derive(Clone, Copy, Debug)]
+pub struct PendingMark {
+    pending_len: usize,
+    next_lsn: u64,
+}
+
+/// The segmented write-ahead log of one durable store.
+pub struct Wal {
+    dir: PathBuf,
+    tag: [u8; 4],
+    segment_bytes: u64,
+    active: Option<ActiveSegment>,
+    /// Frames appended but not yet written+synced (the group-commit
+    /// batch).
+    pending: Vec<u8>,
+    /// LSN of the first pending frame (base for a new segment).
+    pending_base: u64,
+    next_lsn: u64,
+    /// `next_lsn` as of the last successful [`Wal::sync`] — everything
+    /// below this is durable.
+    durable_lsn: u64,
+}
+
+impl Wal {
+    /// Opens a fresh, empty log in `dir` (created if missing).
+    pub fn create(dir: impl Into<PathBuf>, tag: [u8; 4], segment_bytes: u64) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            tag,
+            segment_bytes: segment_bytes.max(1),
+            active: None,
+            pending: Vec::new(),
+            pending_base: 0,
+            next_lsn: 0,
+            durable_lsn: 0,
+        })
+    }
+
+    /// Recovers the log from `dir`: replays every intact frame with
+    /// LSN ≥ `from_lsn` through `apply` (in LSN order), truncates at the
+    /// first torn or corrupt frame, and positions the log for appends.
+    pub fn recover(
+        dir: impl Into<PathBuf>,
+        tag: [u8; 4],
+        segment_bytes: u64,
+        from_lsn: u64,
+        mut apply: impl FnMut(u64, &[u8]) -> Result<()>,
+    ) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let segments = list_segments(&dir)?;
+        let mut expected: Option<u64> = None;
+        let mut survivors: Vec<(u64, PathBuf, u64)> = Vec::new(); // (base, path, file len)
+        let mut torn = false;
+
+        for (idx, (base, path)) in segments.iter().enumerate() {
+            if torn {
+                std::fs::remove_file(path)?;
+                continue;
+            }
+            let bytes = std::fs::read(path)?;
+            let magic_ok = bytes.len() >= SEGMENT_HEADER_BYTES
+                && &bytes[..SEGMENT_MAGIC.len()] == SEGMENT_MAGIC;
+            if magic_ok && bytes[SEGMENT_MAGIC.len()..SEGMENT_HEADER_BYTES] != tag {
+                // a healthy segment of a *different* store: refuse to
+                // open (deleting it here would destroy someone else's
+                // data; a truly corrupt header fails the magic instead)
+                return Err(HyGraphError::corrupt(format!(
+                    "WAL segment {} belongs to store tag {:?}, expected {:?}",
+                    path.display(),
+                    String::from_utf8_lossy(&bytes[SEGMENT_MAGIC.len()..SEGMENT_HEADER_BYTES]),
+                    String::from_utf8_lossy(&tag),
+                )));
+            }
+            let header_ok = magic_ok;
+            // a later segment whose base disagrees with the running LSN
+            // means frames in between vanished: stop at the gap
+            let continuous = match expected {
+                None => true,
+                Some(e) => *base == e,
+            };
+            if !header_ok || !continuous {
+                // nothing in this segment (or anything later) is usable
+                torn = true;
+                std::fs::remove_file(path)?;
+                continue;
+            }
+            let body = &bytes[SEGMENT_HEADER_BYTES..];
+            let mut offset = 0usize;
+            let mut lsn_here = *base;
+            loop {
+                match read_frame(body, offset) {
+                    FrameOutcome::Frame {
+                        lsn,
+                        record,
+                        next_offset,
+                    } => {
+                        if lsn != lsn_here {
+                            break; // LSN discontinuity: corrupt from here
+                        }
+                        if lsn >= from_lsn {
+                            apply(lsn, record)?;
+                        }
+                        lsn_here += 1;
+                        offset = next_offset;
+                    }
+                    FrameOutcome::End => break,
+                    FrameOutcome::Torn => break,
+                }
+            }
+            let valid_file_len = (SEGMENT_HEADER_BYTES + offset) as u64;
+            if valid_file_len < bytes.len() as u64 {
+                // torn tail: truncate to the intact prefix, drop the rest
+                crate::fault::truncate_file(path, valid_file_len)?;
+                torn = true;
+            }
+            expected = Some(lsn_here);
+            survivors.push((*base, path.clone(), valid_file_len));
+            let _ = idx;
+        }
+        // If the log ends below the recovery watermark (a crash landed
+        // between checkpoint-write and segment purge), every surviving
+        // segment is fully covered by the checkpoint: drop them all so
+        // the next append opens a fresh segment at the watermark —
+        // otherwise the LSN jump would read as a gap on the *next*
+        // recovery.
+        if expected.unwrap_or(0) < from_lsn {
+            for (_, path, _) in survivors.drain(..) {
+                std::fs::remove_file(path)?;
+            }
+            torn = true; // force the directory fsync below
+        }
+        if torn {
+            sync_dir(&dir)?;
+        }
+
+        let next_lsn = expected.unwrap_or(0).max(from_lsn);
+        let active = match survivors.last() {
+            Some((_, path, len)) => Some(ActiveSegment {
+                path: path.clone(),
+                file: OpenOptions::new().append(true).open(path)?,
+                len: *len,
+            }),
+            None => None,
+        };
+        Ok(Self {
+            dir,
+            tag,
+            segment_bytes: segment_bytes.max(1),
+            active,
+            pending: Vec::new(),
+            pending_base: next_lsn,
+            next_lsn,
+            durable_lsn: next_lsn,
+        })
+    }
+
+    /// The LSN the next appended record will receive.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Everything below this LSN is durable on disk.
+    pub fn durable_lsn(&self) -> u64 {
+        self.durable_lsn
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one record to the group-commit batch and returns its
+    /// LSN. The record is *not* durable until [`Wal::sync`] returns.
+    pub fn append(&mut self, record: &[u8]) -> u64 {
+        let lsn = self.next_lsn;
+        if self.pending.is_empty() {
+            self.pending_base = lsn;
+        }
+        append_frame(&mut self.pending, lsn, record);
+        self.next_lsn += 1;
+        lsn
+    }
+
+    /// Bytes currently buffered (group-commit batch size).
+    pub fn pending_bytes(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// A position in the unsynced batch, for [`Wal::rollback_to`].
+    pub fn mark(&self) -> PendingMark {
+        PendingMark {
+            pending_len: self.pending.len(),
+            next_lsn: self.next_lsn,
+        }
+    }
+
+    /// Retracts every append made after `mark` — valid only while none
+    /// of them has been synced (the WAL-before-apply protocol appends,
+    /// tries to apply, and retracts the frame if the apply is rejected,
+    /// so rejected mutations never reach disk).
+    pub fn rollback_to(&mut self, mark: PendingMark) {
+        assert!(
+            mark.pending_len <= self.pending.len() && mark.next_lsn <= self.next_lsn,
+            "rollback mark is from after a sync"
+        );
+        self.pending.truncate(mark.pending_len);
+        self.next_lsn = mark.next_lsn;
+        if self.pending.is_empty() {
+            self.pending_base = self.next_lsn;
+        }
+    }
+
+    /// Writes the batch with one `write` + `fdatasync`, rotating first
+    /// if the active segment is over the size threshold. On success the
+    /// whole batch is durable.
+    pub fn sync(&mut self) -> Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        if let Some(a) = &self.active {
+            if a.len >= self.segment_bytes {
+                self.active = None; // finalized; a fresh segment follows
+            }
+        }
+        if self.active.is_none() {
+            let path = self.dir.join(segment_name(self.pending_base));
+            let mut file = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&path)?;
+            file.write_all(SEGMENT_MAGIC)?;
+            file.write_all(&self.tag)?;
+            sync_dir(&self.dir)?;
+            self.active = Some(ActiveSegment {
+                path,
+                file,
+                len: SEGMENT_HEADER_BYTES as u64,
+            });
+        }
+        let a = self.active.as_mut().expect("active segment opened above");
+        a.file.write_all(&self.pending)?;
+        a.file.sync_data()?;
+        a.len += self.pending.len() as u64;
+        self.pending.clear();
+        self.pending_base = self.next_lsn;
+        self.durable_lsn = self.next_lsn;
+        Ok(())
+    }
+
+    /// Closes the active segment so the next [`Wal::sync`] starts a new
+    /// one — called after a checkpoint, making the closed segment
+    /// purgeable by the following checkpoint.
+    pub fn rotate(&mut self) {
+        self.active = None;
+    }
+
+    /// Deletes every segment whose frames all have LSN < `lsn` (they
+    /// are covered by a checkpoint). The active segment is never
+    /// deleted.
+    pub fn purge_up_to(&mut self, lsn: u64) -> Result<()> {
+        let segments = list_segments(&self.dir)?;
+        let active_path = self.active.as_ref().map(|a| a.path.clone());
+        for window in segments.windows(2) {
+            let (_, ref path) = window[0];
+            let (next_base, _) = window[1];
+            // every frame of window[0] has LSN < next_base
+            if next_base <= lsn && Some(path) != active_path.as_ref() {
+                std::fs::remove_file(path)?;
+            }
+        }
+        // the last segment is covered only if it holds nothing ≥ lsn
+        // AND appends have moved on (it is not active)
+        if let Some((base, path)) = segments.last() {
+            if *base >= lsn && self.next_lsn == *base && Some(path) != active_path.as_ref() {
+                // empty tail segment fully superseded: leave it; it will
+                // carry the next appends
+            }
+        }
+        sync_dir(&self.dir)?;
+        Ok(())
+    }
+
+    /// Flushes and closes the log. Dropping without this loses any
+    /// unsynced batch — by design (that is the crash the WAL protects
+    /// against).
+    pub fn close(mut self) -> Result<()> {
+        self.sync()
+    }
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.dir)
+            .field("next_lsn", &self.next_lsn)
+            .field("durable_lsn", &self.durable_lsn)
+            .field("pending_bytes", &self.pending.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{flip_byte, scratch_dir, truncate_file};
+
+    const TAG: [u8; 4] = *b"TEST";
+
+    fn collect(dir: &Path, from: u64) -> (Vec<(u64, Vec<u8>)>, Wal) {
+        let mut seen = Vec::new();
+        let wal = Wal::recover(dir, TAG, 64, from, |lsn, rec| {
+            seen.push((lsn, rec.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        (seen, wal)
+    }
+
+    #[test]
+    fn append_sync_recover_roundtrip() {
+        let dir = scratch_dir("roundtrip");
+        let mut wal = Wal::create(&dir, TAG, 1024).unwrap();
+        for i in 0..10u64 {
+            assert_eq!(wal.append(format!("r{i}").as_bytes()), i);
+        }
+        wal.sync().unwrap();
+        let (seen, wal2) = collect(&dir, 0);
+        assert_eq!(seen.len(), 10);
+        assert_eq!(seen[3], (3, b"r3".to_vec()));
+        assert_eq!(wal2.next_lsn(), 10);
+        // replay from a watermark skips the prefix
+        let (tail, _) = collect(&dir, 7);
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail[0].0, 7);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unsynced_batch_is_lost_synced_prefix_survives() {
+        let dir = scratch_dir("unsynced");
+        let mut wal = Wal::create(&dir, TAG, 1024).unwrap();
+        wal.append(b"durable");
+        wal.sync().unwrap();
+        wal.append(b"volatile");
+        drop(wal); // crash: batch never synced
+        let (seen, wal2) = collect(&dir, 0);
+        assert_eq!(seen, vec![(0, b"durable".to_vec())]);
+        assert_eq!(wal2.next_lsn(), 1, "lost LSN is reused");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_produces_multiple_segments_and_replays_in_order() {
+        let dir = scratch_dir("rotate");
+        let mut wal = Wal::create(&dir, TAG, 64).unwrap(); // tiny segments
+        for i in 0..50u64 {
+            wal.append(format!("record-{i:04}").as_bytes());
+            wal.sync().unwrap();
+        }
+        assert!(list_segments(&dir).unwrap().len() > 1, "rotation happened");
+        let (seen, _) = collect(&dir, 0);
+        assert_eq!(seen.len(), 50);
+        for (i, (lsn, rec)) in seen.iter().enumerate() {
+            assert_eq!(*lsn, i as u64);
+            assert_eq!(rec, format!("record-{i:04}").as_bytes());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_truncated_on_recovery() {
+        let dir = scratch_dir("torn");
+        let mut wal = Wal::create(&dir, TAG, 4096).unwrap();
+        for i in 0..5u64 {
+            wal.append(format!("r{i}").as_bytes());
+        }
+        wal.sync().unwrap();
+        let (base, path) = list_segments(&dir).unwrap().pop().unwrap();
+        assert_eq!(base, 0);
+        let full = std::fs::metadata(&path).unwrap().len();
+        truncate_file(&path, full - 3).unwrap(); // tear the last frame
+        let (seen, wal2) = collect(&dir, 0);
+        assert_eq!(seen.len(), 4, "last frame gone, prefix intact");
+        assert_eq!(wal2.next_lsn(), 4);
+        // the file was physically truncated to the intact prefix
+        let after = std::fs::metadata(&path).unwrap().len();
+        assert!(after < full - 3);
+        // and the log accepts new appends at the reused LSN
+        let mut wal2 = wal2;
+        assert_eq!(wal2.append(b"replacement"), 4);
+        wal2.sync().unwrap();
+        let (seen, _) = collect(&dir, 0);
+        assert_eq!(seen[4], (4, b"replacement".to_vec()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_mid_segment_drops_suffix_and_later_segments() {
+        let dir = scratch_dir("corrupt");
+        let mut wal = Wal::create(&dir, TAG, 64).unwrap();
+        for i in 0..30u64 {
+            wal.append(format!("record-{i:05}").as_bytes());
+            wal.sync().unwrap();
+        }
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() >= 3);
+        // flip a byte in the middle of the second segment
+        let (_, ref second) = segments[1];
+        let len = std::fs::metadata(second).unwrap().len();
+        flip_byte(second, len / 2).unwrap();
+        let (seen, _) = collect(&dir, 0);
+        assert!(!seen.is_empty() && seen.len() < 30);
+        // the surviving prefix is sequential from 0
+        for (i, (lsn, _)) in seen.iter().enumerate() {
+            assert_eq!(*lsn, i as u64);
+        }
+        // later segments were deleted
+        let remaining = list_segments(&dir).unwrap();
+        assert!(remaining.len() < segments.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_tag_segment_is_rejected() {
+        let dir = scratch_dir("tag");
+        let mut wal = Wal::create(&dir, TAG, 1024).unwrap();
+        wal.append(b"x");
+        wal.sync().unwrap();
+        drop(wal);
+        let res = Wal::recover(&dir, *b"OTHR", 1024, 0, |_, _| Ok(()));
+        assert!(res.is_err(), "foreign log must not open");
+        // the segment survives untouched for its rightful owner
+        assert_eq!(list_segments(&dir).unwrap().len(), 1);
+        let mut seen = Vec::new();
+        Wal::recover(&dir, TAG, 1024, 0, |lsn, rec| {
+            seen.push((lsn, rec.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, vec![(0, b"x".to_vec())]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn purge_removes_covered_segments() {
+        let dir = scratch_dir("purge");
+        let mut wal = Wal::create(&dir, TAG, 64).unwrap();
+        for i in 0..30u64 {
+            wal.append(format!("record-{i:05}").as_bytes());
+            wal.sync().unwrap();
+        }
+        let before = list_segments(&dir).unwrap().len();
+        assert!(before >= 3);
+        wal.rotate();
+        wal.purge_up_to(wal.next_lsn()).unwrap();
+        let after = list_segments(&dir).unwrap();
+        assert!(after.len() < before, "covered segments deleted");
+        // recovery over the purged log replays only what remains — and
+        // what remains is still sequential up to next_lsn
+        let mut max_seen = None;
+        let wal2 = Wal::recover(&dir, TAG, 64, 0, |lsn, _| {
+            max_seen = Some(lsn);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(wal2.next_lsn(), 30);
+        let _ = max_seen;
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_commit_batches_into_one_segment_write() {
+        let dir = scratch_dir("group");
+        let mut wal = Wal::create(&dir, TAG, 1 << 20).unwrap();
+        for i in 0..100u64 {
+            wal.append(format!("batched-{i}").as_bytes());
+        }
+        assert!(wal.pending_bytes() > 0);
+        assert_eq!(wal.durable_lsn(), 0);
+        wal.sync().unwrap();
+        assert_eq!(wal.durable_lsn(), 100);
+        assert_eq!(wal.pending_bytes(), 0);
+        assert_eq!(list_segments(&dir).unwrap().len(), 1);
+        let (seen, _) = collect(&dir, 0);
+        assert_eq!(seen.len(), 100);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

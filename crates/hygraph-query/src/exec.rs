@@ -317,7 +317,12 @@ fn eval_final(
     }
 }
 
-fn execute_grouped(hg: &HyGraph, q: &Query, bindings: &[Binding], mode: ExecMode) -> Result<Vec<Row>> {
+fn execute_grouped(
+    hg: &HyGraph,
+    q: &Query,
+    bindings: &[Binding],
+    mode: ExecMode,
+) -> Result<Vec<Row>> {
     // grouping keys: the aggregate-free RETURN items
     let key_items: Vec<usize> = q
         .returns
@@ -414,7 +419,13 @@ fn execute_grouped(hg: &HyGraph, q: &Query, bindings: &[Binding], mode: ExecMode
         let mut row = Vec::with_capacity(q.returns.len());
         let mut keep = true;
         for r in &q.returns {
-            row.push(eval_final(None, &r.expr, &agg_values, &mut cursor, &key_lookup)?);
+            row.push(eval_final(
+                None,
+                &r.expr,
+                &agg_values,
+                &mut cursor,
+                &key_lookup,
+            )?);
         }
         if let Some(h) = &q.having {
             let v = eval_final(None, h, &agg_values, &mut cursor, &key_lookup)?;
@@ -444,7 +455,10 @@ fn sort_rows(rows: &mut [Row], columns: &[String], order: &[OrderItem]) -> Resul
             .iter()
             .position(|c| c == &item.column)
             .ok_or_else(|| {
-                HyGraphError::query(format!("ORDER BY references unknown column '{}'", item.column))
+                HyGraphError::query(format!(
+                    "ORDER BY references unknown column '{}'",
+                    item.column
+                ))
             })?;
         keys.push((idx, item.descending));
     }
@@ -506,8 +520,8 @@ fn compile_one(q: &Query, lengths: &[usize]) -> Result<Pattern> {
     let mut anon = 0usize;
 
     let node_idx = |pattern: &mut Pattern,
-                        var_index: &mut HashMap<String, usize>,
-                        node: &crate::ast::NodePattern|
+                    var_index: &mut HashMap<String, usize>,
+                    node: &crate::ast::NodePattern|
      -> usize {
         let idx = match var_index.get(&node.var) {
             Some(&idx) => {
@@ -617,10 +631,7 @@ impl EvalCtx<'_> {
                 let el = self.element(var)?;
                 // ts-elements have no φ: a static-property read on them is Null
                 match self.hg.props(el) {
-                    Ok(props) => Ok(props
-                        .static_value(key)
-                        .cloned()
-                        .unwrap_or(Value::Null)),
+                    Ok(props) => Ok(props.static_value(key).cloned().unwrap_or(Value::Null)),
                     Err(HyGraphError::KindMismatch { .. }) => Ok(Value::Null),
                     Err(e) => Err(e),
                 }
@@ -731,14 +742,18 @@ fn apply_binop(op: BinOp, l: &Value, r: &Value) -> Value {
         }
         BinOp::Add => l.add(r).unwrap_or(Value::Null),
         BinOp::Sub => match (l, r) {
-            (Value::Int(a), Value::Int(b)) => a.checked_sub(*b).map(Value::Int).unwrap_or(Value::Null),
+            (Value::Int(a), Value::Int(b)) => {
+                a.checked_sub(*b).map(Value::Int).unwrap_or(Value::Null)
+            }
             _ => match (l.as_f64(), r.as_f64()) {
                 (Some(a), Some(b)) => Value::Float(a - b),
                 _ => Value::Null,
             },
         },
         BinOp::Mul => match (l, r) {
-            (Value::Int(a), Value::Int(b)) => a.checked_mul(*b).map(Value::Int).unwrap_or(Value::Null),
+            (Value::Int(a), Value::Int(b)) => {
+                a.checked_mul(*b).map(Value::Int).unwrap_or(Value::Null)
+            }
             _ => match (l.as_f64(), r.as_f64()) {
                 (Some(a), Some(b)) => Value::Float(a * b),
                 _ => Value::Null,
@@ -778,7 +793,11 @@ mod tests {
         HyGraphBuilder::new()
             .univariate("hot", &spend_hot)
             .univariate("cold", &spend_cold)
-            .pg_vertex("alice", ["User"], props! {"name" => "alice", "age" => 34i64})
+            .pg_vertex(
+                "alice",
+                ["User"],
+                props! {"name" => "alice", "age" => 34i64},
+            )
             .pg_vertex("bob", ["User"], props! {"name" => "bob", "age" => 19i64})
             .pg_vertex("m1", ["Merchant"], props! {"name" => "m1"})
             .pg_vertex("m2", ["Merchant"], props! {"name" => "m2"})
@@ -796,11 +815,18 @@ mod tests {
     #[test]
     fn simple_match_return() {
         let b = instance();
-        let r = query(&b.hygraph, "MATCH (u:User) RETURN u.name AS name ORDER BY name").unwrap();
+        let r = query(
+            &b.hygraph,
+            "MATCH (u:User) RETURN u.name AS name ORDER BY name",
+        )
+        .unwrap();
         assert_eq!(r.columns, vec!["name"]);
         assert_eq!(
             r.rows,
-            vec![vec![Value::Str("alice".into())], vec![Value::Str("bob".into())]]
+            vec![
+                vec![Value::Str("alice".into())],
+                vec![Value::Str("bob".into())]
+            ]
         );
     }
 
@@ -842,11 +868,14 @@ mod tests {
              COUNT(DELTA(c) IN [0, 250)) AS n ORDER BY who",
         )
         .unwrap();
-        assert_eq!(r.rows[0], vec![
-            Value::Str("alice".into()),
-            Value::Float(900.0),
-            Value::Int(25)
-        ]);
+        assert_eq!(
+            r.rows[0],
+            vec![
+                Value::Str("alice".into()),
+                Value::Float(900.0),
+                Value::Int(25)
+            ]
+        );
         assert_eq!(r.rows[1][1], Value::Float(12.0));
     }
 
@@ -875,11 +904,7 @@ mod tests {
             "MATCH (c:CreditCard)-[t:TX]->(m) RETURN t.amount AS a ORDER BY a DESC",
         )
         .unwrap();
-        let amounts: Vec<f64> = r
-            .rows
-            .iter()
-            .map(|row| row[0].as_f64().unwrap())
-            .collect();
+        let amounts: Vec<f64> = r.rows.iter().map(|row| row[0].as_f64().unwrap()).collect();
         assert_eq!(amounts, vec![1500.0, 30.0, 20.0]);
     }
 
@@ -896,7 +921,11 @@ mod tests {
     #[test]
     fn ts_vertex_props_are_null() {
         let b = instance();
-        let r = query(&b.hygraph, "MATCH (c:CreditCard) RETURN c.anything AS x LIMIT 1").unwrap();
+        let r = query(
+            &b.hygraph,
+            "MATCH (c:CreditCard) RETURN c.anything AS x LIMIT 1",
+        )
+        .unwrap();
         assert_eq!(r.rows[0][0], Value::Null);
     }
 
@@ -947,7 +976,11 @@ mod tests {
     #[test]
     fn render_table_output() {
         let b = instance();
-        let r = query(&b.hygraph, "MATCH (u:User) RETURN u.name AS name ORDER BY name").unwrap();
+        let r = query(
+            &b.hygraph,
+            "MATCH (u:User) RETURN u.name AS name ORDER BY name",
+        )
+        .unwrap();
         let text = r.render();
         assert!(text.contains("name"));
         assert!(text.contains("alice"));
@@ -982,10 +1015,13 @@ mod tests {
              RETURN u.name AS who, COUNT(t) AS n ORDER BY who",
         )
         .unwrap();
-        assert_eq!(r.rows, vec![
-            vec![Value::Str("alice".into()), Value::Int(2)],
-            vec![Value::Str("bob".into()), Value::Int(1)],
-        ]);
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Str("alice".into()), Value::Int(2)],
+                vec![Value::Str("bob".into()), Value::Int(1)],
+            ]
+        );
     }
 
     #[test]
@@ -1039,28 +1075,23 @@ mod tests {
              RETURN u.name AS who, COUNT(t) AS n HAVING COUNT(t) > 1 ORDER BY who",
         )
         .unwrap();
-        assert_eq!(r.rows, vec![vec![Value::Str("alice".into()), Value::Int(2)]]);
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::Str("alice".into()), Value::Int(2)]]
+        );
     }
 
     #[test]
     fn rowagg_in_arithmetic() {
         let b = instance();
-        let r = query(
-            &b.hygraph,
-            "MATCH (u:User) RETURN COUNT(*) * 10 + 1 AS x",
-        )
-        .unwrap();
+        let r = query(&b.hygraph, "MATCH (u:User) RETURN COUNT(*) * 10 + 1 AS x").unwrap();
         assert_eq!(r.rows[0][0], Value::Int(21));
     }
 
     #[test]
     fn rowagg_rejected_in_where() {
         let b = instance();
-        let err = query(
-            &b.hygraph,
-            "MATCH (u:User) WHERE COUNT(*) > 1 RETURN u",
-        )
-        .unwrap_err();
+        let err = query(&b.hygraph, "MATCH (u:User) WHERE COUNT(*) > 1 RETURN u").unwrap_err();
         assert!(matches!(err, HyGraphError::Query(_)), "{err:?}");
     }
 
@@ -1115,15 +1146,12 @@ mod tests {
     fn variable_length_parse_errors() {
         let b = instance();
         for bad in [
-            "MATCH (a)-[t:TX*1..2]->(b) RETURN a",   // bound var on var-length
-            "MATCH (a)-[:TX*0..2]->(b) RETURN a",    // min < 1
-            "MATCH (a)-[:TX*3..2]->(b) RETURN a",    // reversed
-            "MATCH (a)-[:TX*1..9]->(b) RETURN a",    // cap exceeded
+            "MATCH (a)-[t:TX*1..2]->(b) RETURN a", // bound var on var-length
+            "MATCH (a)-[:TX*0..2]->(b) RETURN a",  // min < 1
+            "MATCH (a)-[:TX*3..2]->(b) RETURN a",  // reversed
+            "MATCH (a)-[:TX*1..9]->(b) RETURN a",  // cap exceeded
         ] {
-            assert!(
-                query(&b.hygraph, bad).is_err(),
-                "should reject: {bad}"
-            );
+            assert!(query(&b.hygraph, bad).is_err(), "should reject: {bad}");
         }
     }
 
@@ -1137,7 +1165,13 @@ mod tests {
             apply_binop(BinOp::Or, &Value::Null, &Value::Bool(true)),
             Value::Bool(true)
         );
-        assert_eq!(apply_binop(BinOp::And, &Value::Null, &Value::Bool(true)), Value::Null);
-        assert_eq!(apply_binop(BinOp::Eq, &Value::Null, &Value::Int(1)), Value::Null);
+        assert_eq!(
+            apply_binop(BinOp::And, &Value::Null, &Value::Bool(true)),
+            Value::Null
+        );
+        assert_eq!(
+            apply_binop(BinOp::Eq, &Value::Null, &Value::Int(1)),
+            Value::Null
+        );
     }
 }

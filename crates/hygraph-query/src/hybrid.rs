@@ -219,12 +219,11 @@ pub fn correlation_reachability_mode(
             let r = correlate::series_correlation(&frontier[i].1, &n_series, step)?;
             Some((r, n_series))
         };
-        let scored: Vec<Option<(f64, TimeSeries)>> =
-            if should_parallelize(mode, candidates.len()) {
-                candidates.par_iter().map(score_one).collect()
-            } else {
-                candidates.iter().map(score_one).collect()
-            };
+        let scored: Vec<Option<(f64, TimeSeries)>> = if should_parallelize(mode, candidates.len()) {
+            candidates.par_iter().map(score_one).collect()
+        } else {
+            candidates.iter().map(score_one).collect()
+        };
         let mut next: Vec<(VertexId, TimeSeries)> = Vec::new();
         for (&(_, n), hit) in candidates.iter().zip(scored) {
             let Some((r, n_series)) = hit else {
@@ -373,11 +372,7 @@ mod tests {
         let mut hg = HyGraph::new();
         // vertex alive only in the middle regime
         let a = hg.add_pg_vertex(["N"], props! {});
-        let b = hg.add_pg_vertex_valid(
-            ["N"],
-            props! {},
-            Interval::new(ts(30), ts(60)),
-        );
+        let b = hg.add_pg_vertex_valid(["N"], props! {}, Interval::new(ts(30), ts(60)));
         let _ = (a, b);
         // driver series with mean shifts at t=30 and t=60
         let driver = TimeSeries::generate(ts(0), Duration::from_millis(1), 90, |i| {
@@ -417,10 +412,12 @@ mod tests {
             vs.push(hg.add_ts_vertex([label], sid).unwrap());
         }
         for i in 0..30 {
-            hg.add_pg_edge(vs[i], vs[(i + 1) % 30], ["E"], props! {}).unwrap();
+            hg.add_pg_edge(vs[i], vs[(i + 1) % 30], ["E"], props! {})
+                .unwrap();
             if i % 5 == 0 {
                 // chords create diamonds: same-level shared successors
-                hg.add_pg_edge(vs[i], vs[(i + 7) % 30], ["E"], props! {}).unwrap();
+                hg.add_pg_edge(vs[i], vs[(i + 7) % 30], ["E"], props! {})
+                    .unwrap();
             }
         }
 
@@ -496,7 +493,8 @@ mod tests {
         let sid = hg.add_univariate_series("x", &s);
         let tsv = hg.add_ts_vertex(["T"], sid).unwrap();
         let pgv = hg.add_pg_vertex(["P"], props! {});
-        hg.set_property(ElementRef::Vertex(pgv), "metric", sid).unwrap();
+        hg.set_property(ElementRef::Vertex(pgv), "metric", sid)
+            .unwrap();
         let bare = hg.add_pg_vertex(["P"], props! {});
         assert_eq!(vertex_series(&hg, tsv).unwrap().len(), 5);
         assert_eq!(vertex_series(&hg, pgv).unwrap().len(), 5);

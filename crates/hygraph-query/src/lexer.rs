@@ -160,60 +160,102 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             '(' => {
-                out.push(Token { offset: start, kind: TokenKind::LParen });
+                out.push(Token {
+                    offset: start,
+                    kind: TokenKind::LParen,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { offset: start, kind: TokenKind::RParen });
+                out.push(Token {
+                    offset: start,
+                    kind: TokenKind::RParen,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Token { offset: start, kind: TokenKind::LBracket });
+                out.push(Token {
+                    offset: start,
+                    kind: TokenKind::LBracket,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Token { offset: start, kind: TokenKind::RBracket });
+                out.push(Token {
+                    offset: start,
+                    kind: TokenKind::RBracket,
+                });
                 i += 1;
             }
             '{' => {
-                out.push(Token { offset: start, kind: TokenKind::LBrace });
+                out.push(Token {
+                    offset: start,
+                    kind: TokenKind::LBrace,
+                });
                 i += 1;
             }
             '}' => {
-                out.push(Token { offset: start, kind: TokenKind::RBrace });
+                out.push(Token {
+                    offset: start,
+                    kind: TokenKind::RBrace,
+                });
                 i += 1;
             }
             ':' => {
-                out.push(Token { offset: start, kind: TokenKind::Colon });
+                out.push(Token {
+                    offset: start,
+                    kind: TokenKind::Colon,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { offset: start, kind: TokenKind::Comma });
+                out.push(Token {
+                    offset: start,
+                    kind: TokenKind::Comma,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Token { offset: start, kind: TokenKind::Dot });
+                out.push(Token {
+                    offset: start,
+                    kind: TokenKind::Dot,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Token { offset: start, kind: TokenKind::Plus });
+                out.push(Token {
+                    offset: start,
+                    kind: TokenKind::Plus,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Token { offset: start, kind: TokenKind::Star });
+                out.push(Token {
+                    offset: start,
+                    kind: TokenKind::Star,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(Token { offset: start, kind: TokenKind::Slash });
+                out.push(Token {
+                    offset: start,
+                    kind: TokenKind::Slash,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Token { offset: start, kind: TokenKind::Eq });
+                out.push(Token {
+                    offset: start,
+                    kind: TokenKind::Eq,
+                });
                 i += 1;
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Token { offset: start, kind: TokenKind::ArrowRight });
+                    out.push(Token {
+                        offset: start,
+                        kind: TokenKind::ArrowRight,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
                     && matches!(
@@ -240,34 +282,55 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                     out.push(tok);
                     i = next;
                 } else {
-                    out.push(Token { offset: start, kind: TokenKind::Dash });
+                    out.push(Token {
+                        offset: start,
+                        kind: TokenKind::Dash,
+                    });
                     i += 1;
                 }
             }
             '<' => match bytes.get(i + 1) {
                 Some(b'-') => {
-                    out.push(Token { offset: start, kind: TokenKind::ArrowLeft });
+                    out.push(Token {
+                        offset: start,
+                        kind: TokenKind::ArrowLeft,
+                    });
                     i += 2;
                 }
                 Some(b'>') => {
-                    out.push(Token { offset: start, kind: TokenKind::Ne });
+                    out.push(Token {
+                        offset: start,
+                        kind: TokenKind::Ne,
+                    });
                     i += 2;
                 }
                 Some(b'=') => {
-                    out.push(Token { offset: start, kind: TokenKind::Le });
+                    out.push(Token {
+                        offset: start,
+                        kind: TokenKind::Le,
+                    });
                     i += 2;
                 }
                 _ => {
-                    out.push(Token { offset: start, kind: TokenKind::Lt });
+                    out.push(Token {
+                        offset: start,
+                        kind: TokenKind::Lt,
+                    });
                     i += 1;
                 }
             },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { offset: start, kind: TokenKind::Ge });
+                    out.push(Token {
+                        offset: start,
+                        kind: TokenKind::Ge,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { offset: start, kind: TokenKind::Gt });
+                    out.push(Token {
+                        offset: start,
+                        kind: TokenKind::Gt,
+                    });
                     i += 1;
                 }
             }
@@ -293,7 +356,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                         }
                     }
                 }
-                out.push(Token { offset: start, kind: TokenKind::Str(s) });
+                out.push(Token {
+                    offset: start,
+                    kind: TokenKind::Str(s),
+                });
                 i = j;
             }
             c if c.is_ascii_digit() => {
@@ -325,9 +391,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                     {
                         l += 1;
                     }
-                    if let Some(kw) =
-                        Keyword::parse2(&upper, &src[k..l].to_ascii_uppercase())
-                    {
+                    if let Some(kw) = Keyword::parse2(&upper, &src[k..l].to_ascii_uppercase()) {
                         kind = Some(TokenKind::Keyword(kw));
                         consumed = l;
                     }
@@ -336,13 +400,19 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                     Some(kw) => TokenKind::Keyword(kw),
                     None => TokenKind::Ident(word.to_owned()),
                 });
-                out.push(Token { offset: start, kind });
+                out.push(Token {
+                    offset: start,
+                    kind,
+                });
                 i = consumed;
             }
             _ => return Err(err(start, &format!("unexpected character '{c}'"))),
         }
     }
-    out.push(Token { offset: src.len(), kind: TokenKind::Eof });
+    out.push(Token {
+        offset: src.len(),
+        kind: TokenKind::Eof,
+    });
     Ok(out)
 }
 
@@ -383,7 +453,13 @@ fn scan_number(bytes: &[u8], start: usize) -> Result<(Token, usize)> {
             message: "integer literal out of range".into(),
         })?)
     };
-    Ok((Token { offset: start, kind }, j))
+    Ok((
+        Token {
+            offset: start,
+            kind,
+        },
+        j,
+    ))
 }
 
 #[cfg(test)]

@@ -146,7 +146,9 @@ impl Parser {
             None
         };
         let valid_at = if self.eat_kw(Keyword::ValidAt) {
-            Some(Timestamp::from_millis(self.int("timestamp after VALID AT")?))
+            Some(Timestamp::from_millis(
+                self.int("timestamp after VALID AT")?,
+            ))
         } else {
             None
         };
@@ -299,7 +301,12 @@ impl Parser {
             self.expect(&TokenKind::Dash, "'-' or '->' ending the edge pattern")?;
             EdgeDir::Undirected
         };
-        Ok(EdgePattern { var, labels, dir, hops })
+        Ok(EdgePattern {
+            var,
+            labels,
+            dir,
+            hops,
+        })
     }
 
     fn return_item(&mut self) -> Result<ReturnItem> {
@@ -599,7 +606,12 @@ mod tests {
     fn where_precedence() {
         let q = parse("MATCH (a) WHERE a.x > 1 AND a.y < 2 OR NOT a.z = 3 RETURN a").unwrap();
         // ((x>1 AND y<2) OR (NOT z=3))
-        let Some(Expr::Binary { op: BinOp::Or, lhs, rhs }) = q.filter else {
+        let Some(Expr::Binary {
+            op: BinOp::Or,
+            lhs,
+            rhs,
+        }) = q.filter
+        else {
             panic!("expected OR at the top");
         };
         assert!(matches!(*lhs, Expr::Binary { op: BinOp::And, .. }));
@@ -609,10 +621,18 @@ mod tests {
     #[test]
     fn arithmetic_precedence() {
         let q = parse("MATCH (a) WHERE a.x + 2 * 3 = 7 RETURN a").unwrap();
-        let Some(Expr::Binary { op: BinOp::Eq, lhs, .. }) = q.filter else {
+        let Some(Expr::Binary {
+            op: BinOp::Eq, lhs, ..
+        }) = q.filter
+        else {
             panic!("expected =");
         };
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = *lhs else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = *lhs
+        else {
             panic!("expected + under =");
         };
         assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
@@ -620,10 +640,7 @@ mod tests {
 
     #[test]
     fn aggregate_expression() {
-        let q = parse(
-            "MATCH (c:Card) WHERE MEAN(DELTA(c) IN [0, 1000)) > 50.5 RETURN c",
-        )
-        .unwrap();
+        let q = parse("MATCH (c:Card) WHERE MEAN(DELTA(c) IN [0, 1000)) > 50.5 RETURN c").unwrap();
         let Some(Expr::Binary { lhs, .. }) = q.filter else {
             panic!()
         };
@@ -654,10 +671,9 @@ mod tests {
 
     #[test]
     fn valid_at_order_limit_distinct() {
-        let q = parse(
-            "MATCH (a:N) VALID AT 500 RETURN DISTINCT a.name AS n ORDER BY n DESC LIMIT 3",
-        )
-        .unwrap();
+        let q =
+            parse("MATCH (a:N) VALID AT 500 RETURN DISTINCT a.name AS n ORDER BY n DESC LIMIT 3")
+                .unwrap();
         assert_eq!(q.valid_at, Some(Timestamp::from_millis(500)));
         assert!(q.distinct);
         assert_eq!(q.order_by.len(), 1);
@@ -709,14 +725,18 @@ mod tests {
     #[test]
     fn negative_literals_in_comparison() {
         let q = parse("MATCH (a) WHERE a.x > -5 RETURN a").unwrap();
-        let Some(Expr::Binary { rhs, .. }) = q.filter else { panic!() };
+        let Some(Expr::Binary { rhs, .. }) = q.filter else {
+            panic!()
+        };
         assert_eq!(*rhs, Expr::Literal(Value::Int(-5)));
     }
 
     #[test]
     fn string_literal_predicates() {
         let q = parse("MATCH (u:User) WHERE u.name = 'User 1' RETURN u.name").unwrap();
-        let Some(Expr::Binary { rhs, .. }) = q.filter else { panic!() };
+        let Some(Expr::Binary { rhs, .. }) = q.filter else {
+            panic!()
+        };
         assert_eq!(*rhs, Expr::Literal(Value::Str("User 1".into())));
         assert_eq!(q.returns[0].alias, "u.name");
     }

@@ -104,8 +104,12 @@ pub trait StorageBackend {
     fn q1_range(&self, station: VertexId, iv: &Interval) -> Vec<(Timestamp, f64)>;
 
     /// Q2: observations of `station` in `iv` with `value >= min_value`.
-    fn q2_filtered(&self, station: VertexId, iv: &Interval, min_value: f64)
-        -> Vec<(Timestamp, f64)>;
+    fn q2_filtered(
+        &self,
+        station: VertexId,
+        iv: &Interval,
+        min_value: f64,
+    ) -> Vec<(Timestamp, f64)>;
 
     /// Q3: mean availability of `station` over `iv`.
     fn q3_mean(&self, station: VertexId, iv: &Interval) -> Option<f64>;
@@ -132,7 +136,11 @@ pub trait StorageBackend {
 
 /// Shared helper: detects a run of `min_run` consecutive values below
 /// `threshold` in an ordered value stream.
-pub fn has_sustained_run(values: impl Iterator<Item = f64>, threshold: f64, min_run: usize) -> bool {
+pub fn has_sustained_run(
+    values: impl Iterator<Item = f64>,
+    threshold: f64,
+    min_run: usize,
+) -> bool {
     let mut run = 0usize;
     for v in values {
         if v < threshold {

@@ -191,7 +191,11 @@ pub fn render_table(baseline: &[QueryStats], polyglot: &[QueryStats]) -> String 
     );
     for (b, p) in baseline.iter().zip(polyglot) {
         debug_assert_eq!(b.query, p.query);
-        let speedup = if p.mrs_ms > 0.0 { b.mrs_ms / p.mrs_ms } else { f64::INFINITY };
+        let speedup = if p.mrs_ms > 0.0 {
+            b.mrs_ms / p.mrs_ms
+        } else {
+            f64::INFINITY
+        };
         let _ = writeln!(
             out,
             "{:<6} {:>14.3} {:>8.2} {:>14.3} {:>8.2} {:>9.1}x  {}",

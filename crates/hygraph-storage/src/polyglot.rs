@@ -10,8 +10,12 @@ use hygraph_datagen::bike::BikeDataset;
 use hygraph_graph::TemporalGraph;
 use hygraph_ts::store::AggKind;
 use hygraph_ts::TsStore;
+use hygraph_types::bytes::{ByteReader, ByteWriter};
 use hygraph_types::parallel::auto_parallel;
-use hygraph_types::{Duration, Interval, SeriesId, Timestamp, VertexId};
+use hygraph_types::{
+    Duration, EdgeId, HyGraphError, Interval, Label, PropertyMap, Result, SeriesId, Timestamp,
+    VertexId,
+};
 use rayon::prelude::*;
 use std::collections::HashMap;
 
@@ -23,7 +27,24 @@ pub struct PolyglotStore {
     series_of: HashMap<VertexId, SeriesId>,
 }
 
+impl Default for PolyglotStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl PolyglotStore {
+    /// An empty store, ready for incremental [`Self::add_station`] /
+    /// [`Self::observe`] ingest (the durable-storage write path).
+    pub fn new() -> Self {
+        Self {
+            graph: TemporalGraph::new(),
+            ts: TsStore::with_chunk_width(Duration::from_days(1)),
+            stations: Vec::new(),
+            series_of: HashMap::new(),
+        }
+    }
+
     /// Loads the bike dataset: topology cloned, series bulk-inserted into
     /// the chunk store.
     pub fn load(dataset: &BikeDataset) -> Self {
@@ -42,6 +63,50 @@ impl PolyglotStore {
         }
     }
 
+    /// Adds a station vertex and its dedicated (initially empty) series.
+    /// Vertex ids and series ids are allocated densely and
+    /// deterministically, so replaying the same mutation sequence yields
+    /// the same ids — the property WAL recovery depends on.
+    pub fn add_station(
+        &mut self,
+        labels: impl IntoIterator<Item = impl Into<Label>>,
+        props: PropertyMap,
+    ) -> VertexId {
+        let v = self.graph.add_vertex_valid(labels, props, Interval::ALL);
+        let sid = SeriesId::new(self.stations.len() as u64);
+        self.ts.create_series(sid);
+        self.stations.push(v);
+        self.series_of.insert(v, sid);
+        v
+    }
+
+    /// Adds a trip edge between two stations.
+    pub fn add_trip(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        labels: impl IntoIterator<Item = impl Into<Label>>,
+        props: PropertyMap,
+    ) -> Result<EdgeId> {
+        self.graph
+            .add_edge_valid(src, dst, labels, props, Interval::ALL)
+    }
+
+    /// Records one availability observation into the chunked series
+    /// store — the fast polyglot write path.
+    pub fn observe(&mut self, station: VertexId, t: Timestamp, value: f64) -> Result<()> {
+        let sid = self
+            .sid(station)
+            .ok_or(HyGraphError::VertexNotFound(station))?;
+        self.ts.insert(sid, t, value);
+        Ok(())
+    }
+
+    /// Station vertices in insertion order.
+    pub fn stations(&self) -> &[VertexId] {
+        &self.stations
+    }
+
     /// The underlying series store (inspection/tests).
     pub fn ts_store(&self) -> &TsStore {
         &self.ts
@@ -49,6 +114,45 @@ impl PolyglotStore {
 
     fn sid(&self, station: VertexId) -> Option<SeriesId> {
         self.series_of.get(&station).copied()
+    }
+
+    /// Encodes the full physical state (checkpoint payload).
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        hygraph_graph::codec::encode_graph(&self.graph, w);
+        hygraph_ts::persist::encode_store(&self.ts, w);
+        w.len_of(self.stations.len());
+        for &s in &self.stations {
+            w.u64(s.raw());
+            w.u64(self.series_of[&s].raw());
+        }
+    }
+
+    /// Decodes a state previously written by [`Self::encode_state`].
+    pub fn decode_state(r: &mut ByteReader<'_>) -> Result<Self> {
+        let graph = hygraph_graph::codec::decode_graph(r)?;
+        let ts = hygraph_ts::persist::decode_store(r)?;
+        let known: std::collections::HashSet<SeriesId> = ts.series_ids().collect();
+        let n = r.len_of()?;
+        let mut stations = Vec::with_capacity(n.min(1 << 20));
+        let mut series_of = HashMap::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let v = VertexId::new(r.u64()?);
+            let sid = SeriesId::new(r.u64()?);
+            graph
+                .vertex(v)
+                .map_err(|_| HyGraphError::corrupt("station vertex missing from graph"))?;
+            if !known.contains(&sid) {
+                return Err(HyGraphError::corrupt("station series missing from store"));
+            }
+            stations.push(v);
+            series_of.insert(v, sid);
+        }
+        Ok(Self {
+            graph,
+            ts,
+            stations,
+            series_of,
+        })
     }
 }
 
@@ -136,11 +240,7 @@ impl StorageBackend for PolyglotStore {
     }
 
     fn q7_neighbour_means(&self, station: VertexId, iv: &Interval) -> Vec<(VertexId, f64)> {
-        let mut nbrs: Vec<VertexId> = self
-            .graph
-            .neighbors_out(station)
-            .map(|(_, n)| n)
-            .collect();
+        let mut nbrs: Vec<VertexId> = self.graph.neighbors_out(station).map(|(_, n)| n).collect();
         nbrs.sort_unstable();
         nbrs.dedup();
         nbrs.into_iter()
@@ -204,7 +304,11 @@ mod tests {
     fn chunking_happens() {
         let d = tiny();
         let store = PolyglotStore::load(&d);
-        assert_eq!(store.ts_store().chunk_count(SeriesId::new(0)), 3, "one chunk per day");
+        assert_eq!(
+            store.ts_store().chunk_count(SeriesId::new(0)),
+            3,
+            "one chunk per day"
+        );
     }
 
     /// The load-bearing equivalence: both backends answer every query
@@ -223,7 +327,10 @@ mod tests {
             poly.q2_filtered(s0, &week, 20.0),
             aig.q2_filtered(s0, &week, 20.0)
         );
-        let (pm, am) = (poly.q3_mean(s0, &week).unwrap(), aig.q3_mean(s0, &week).unwrap());
+        let (pm, am) = (
+            poly.q3_mean(s0, &week).unwrap(),
+            aig.q3_mean(s0, &week).unwrap(),
+        );
         assert!((pm - am).abs() < 1e-9);
         let (p4, a4) = (poly.q4_mean_all(&week), aig.q4_mean_all(&week));
         assert_eq!(p4.len(), a4.len());
@@ -255,7 +362,10 @@ mod tests {
             .copied()
             .max_by_key(|&s| d.graph.out_degree(s))
             .unwrap();
-        let (p7, a7) = (poly.q7_neighbour_means(hub, &week), aig.q7_neighbour_means(hub, &week));
+        let (p7, a7) = (
+            poly.q7_neighbour_means(hub, &week),
+            aig.q7_neighbour_means(hub, &week),
+        );
         assert_eq!(p7.len(), a7.len());
         for ((pv, pm), (av, am)) in p7.iter().zip(&a7) {
             assert_eq!(pv, av);
@@ -265,6 +375,58 @@ mod tests {
             poly.q8_sustained_below(&week, 18.0, 4),
             aig.q8_sustained_below(&week, 18.0, 4)
         );
+    }
+
+    #[test]
+    fn incremental_ingest_matches_bulk_load() {
+        let d = tiny();
+        let bulk = PolyglotStore::load(&d);
+        let mut inc = PolyglotStore::new();
+        for &station in &d.stations {
+            let data = d.graph.vertex(station).unwrap();
+            let v = inc.add_station(data.labels.clone(), data.props.clone());
+            assert_eq!(v, station, "dense deterministic ids");
+        }
+        for (i, &station) in d.stations.iter().enumerate() {
+            for (t, v) in d.availability[i].iter() {
+                inc.observe(station, t, v).unwrap();
+            }
+        }
+        let iv = Interval::new(d.start, d.end);
+        assert_eq!(
+            inc.q1_range(d.stations[0], &iv),
+            bulk.q1_range(d.stations[0], &iv)
+        );
+        assert_eq!(inc.q4_mean_all(&iv).len(), bulk.q4_mean_all(&iv).len());
+        assert!(inc
+            .observe(VertexId::new(999), Timestamp::from_millis(0), 1.0)
+            .is_err());
+    }
+
+    #[test]
+    fn state_codec_roundtrip_is_bit_exact() {
+        let d = tiny();
+        let mut store = PolyglotStore::load(&d);
+        store
+            .add_trip(d.stations[0], d.stations[1], ["TRIP"], Default::default())
+            .unwrap();
+        let mut w = hygraph_types::bytes::ByteWriter::new();
+        store.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = hygraph_types::bytes::ByteReader::new(&bytes);
+        let back = PolyglotStore::decode_state(&mut r).unwrap();
+        r.expect_exhausted().unwrap();
+        let mut w2 = hygraph_types::bytes::ByteWriter::new();
+        back.encode_state(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes, "canonical re-encode");
+        assert_eq!(back.stations(), store.stations());
+        let iv = Interval::new(d.start, d.end);
+        assert_eq!(
+            back.q1_range(d.stations[2], &iv),
+            store.q1_range(d.stations[2], &iv)
+        );
+        let mut r = hygraph_types::bytes::ByteReader::new(&bytes[..bytes.len() / 2]);
+        assert!(PolyglotStore::decode_state(&mut r).is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 pub mod multi;
 pub mod ops;
+pub mod persist;
 pub mod series;
 pub mod store;
 

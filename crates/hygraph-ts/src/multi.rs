@@ -41,9 +41,7 @@ impl MultiSeries {
 
     /// Builds from already-aligned univariate series (all must share the
     /// exact same time axis).
-    pub fn from_aligned(
-        parts: impl IntoIterator<Item = (String, TimeSeries)>,
-    ) -> Result<Self> {
+    pub fn from_aligned(parts: impl IntoIterator<Item = (String, TimeSeries)>) -> Result<Self> {
         let mut names = Vec::new();
         let mut columns = Vec::new();
         let mut times: Option<Vec<Timestamp>> = None;
@@ -205,12 +203,7 @@ impl MultiSeries {
 
 impl fmt::Debug for MultiSeries {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "MultiSeries(len={}, vars={:?})",
-            self.len(),
-            self.names
-        )
+        write!(f, "MultiSeries(len={}, vars={:?})", self.len(), self.names)
     }
 }
 
@@ -246,7 +239,13 @@ mod tests {
     fn arity_mismatch_rejected() {
         let mut m = sample();
         let err = m.push(ts(40), &[1.0]).unwrap_err();
-        assert_eq!(err, HyGraphError::ArityMismatch { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            HyGraphError::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]
@@ -272,10 +271,13 @@ mod tests {
     fn from_aligned_checks_axis() {
         let a = TimeSeries::generate(ts(0), Duration::from_millis(10), 3, |i| i as f64);
         let b = TimeSeries::generate(ts(0), Duration::from_millis(10), 3, |i| i as f64 * 2.0);
-        let m = MultiSeries::from_aligned([("a".to_owned(), a.clone()), ("b".to_owned(), b)]).unwrap();
+        let m =
+            MultiSeries::from_aligned([("a".to_owned(), a.clone()), ("b".to_owned(), b)]).unwrap();
         assert_eq!(m.arity(), 2);
         let misaligned = TimeSeries::generate(ts(5), Duration::from_millis(10), 3, |_| 0.0);
-        assert!(MultiSeries::from_aligned([("a".to_owned(), a), ("c".to_owned(), misaligned)]).is_err());
+        assert!(
+            MultiSeries::from_aligned([("a".to_owned(), a), ("c".to_owned(), misaligned)]).is_err()
+        );
         assert!(MultiSeries::from_aligned(std::iter::empty::<(String, TimeSeries)>()).is_err());
     }
 

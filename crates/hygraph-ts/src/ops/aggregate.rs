@@ -23,7 +23,12 @@ pub fn summarize(s: &TimeSeries) -> Summary {
 
 /// Tumbling-window aggregation: one output point per `bucket`-wide window
 /// (timestamped at the window start). Empty windows are skipped.
-pub fn tumbling(s: &TimeSeries, interval: &Interval, bucket: Duration, kind: AggKind) -> TimeSeries {
+pub fn tumbling(
+    s: &TimeSeries,
+    interval: &Interval,
+    bucket: Duration,
+    kind: AggKind,
+) -> TimeSeries {
     assert!(bucket.is_positive(), "bucket width must be positive");
     let mut out = TimeSeries::new();
     let mut cur_key: Option<Timestamp> = None;
@@ -57,7 +62,10 @@ pub fn tumbling(s: &TimeSeries, interval: &Interval, bucket: Duration, kind: Agg
 /// window `[t - width, t]` ending at it. O(n) for Count/Sum/Mean via a
 /// two-pointer pass; Min/Max use a monotonic deque, also O(n).
 pub fn sliding(s: &TimeSeries, width: Duration, kind: AggKind) -> TimeSeries {
-    assert!(width.is_positive() || width == Duration::ZERO, "width must be non-negative");
+    assert!(
+        width.is_positive() || width == Duration::ZERO,
+        "width must be non-negative"
+    );
     let times = s.times();
     let values = s.values();
     let mut out = TimeSeries::with_capacity(s.len());
@@ -140,7 +148,10 @@ mod tests {
         let s = series();
         let iv = Interval::new(ts(20), ts(60));
         assert_eq!(aggregate(&s, &iv, AggKind::Count), Some(4.0));
-        assert_eq!(aggregate(&s, &iv, AggKind::Sum), Some(2.0 + 3.0 + 4.0 + 5.0));
+        assert_eq!(
+            aggregate(&s, &iv, AggKind::Sum),
+            Some(2.0 + 3.0 + 4.0 + 5.0)
+        );
         assert_eq!(aggregate(&s, &iv, AggKind::Mean), Some(3.5));
         assert_eq!(aggregate(&s, &iv, AggKind::Min), Some(2.0));
         assert_eq!(aggregate(&s, &iv, AggKind::Max), Some(5.0));

@@ -170,7 +170,10 @@ mod tests {
         let found = zscore(&s, 3.0);
         let idxs: Vec<usize> = found.iter().map(|a| a.index).collect();
         assert_eq!(idxs, vec![50, 120]);
-        assert!(found[0].score > found[1].score, "bigger spike scores higher");
+        assert!(
+            found[0].score > found[1].score,
+            "bigger spike scores higher"
+        );
     }
 
     #[test]
@@ -249,7 +252,9 @@ mod tests {
                 40.0 + (i % 5) as f64
             }
         });
-        let user2 = TimeSeries::generate(ts(0), Duration::from_hours(1), 48, |i| 42.0 + (i % 7) as f64);
+        let user2 = TimeSeries::generate(ts(0), Duration::from_hours(1), 48, |i| {
+            42.0 + (i % 7) as f64
+        });
         let threshold = 3.0;
         assert!(!zscore(&user1, threshold).is_empty(), "user 1 flagged");
         assert!(zscore(&user2, threshold).is_empty(), "user 2 clean");

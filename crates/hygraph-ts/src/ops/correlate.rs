@@ -191,7 +191,9 @@ mod tests {
     fn series_correlation_aligns_axes() {
         let a = TimeSeries::generate(ts(0), Duration::from_millis(10), 50, |i| i as f64);
         // same trend, offset sampling grid
-        let b = TimeSeries::generate(ts(5), Duration::from_millis(10), 50, |i| 2.0 * i as f64 + 1.0);
+        let b = TimeSeries::generate(ts(5), Duration::from_millis(10), 50, |i| {
+            2.0 * i as f64 + 1.0
+        });
         let r = series_correlation(&a, &b, Duration::from_millis(10)).unwrap();
         assert!(r > 0.999, "linear trends correlate, got {r}");
     }
@@ -200,7 +202,9 @@ mod tests {
     fn rolling_correlation_regime_change() {
         // first half correlated, second half anti-correlated
         let n = 40;
-        let a = TimeSeries::generate(ts(0), Duration::from_millis(1), n, |i| (i as f64 * 0.9).sin());
+        let a = TimeSeries::generate(ts(0), Duration::from_millis(1), n, |i| {
+            (i as f64 * 0.9).sin()
+        });
         let b = TimeSeries::generate(ts(0), Duration::from_millis(1), n, |i| {
             let v = (i as f64 * 0.9).sin();
             if i < n / 2 {

@@ -77,7 +77,8 @@ pub fn lttb(s: &TimeSeries, threshold: usize) -> TimeSeries {
                 best = i;
             }
         }
-        out.push(times[best], values[best]).expect("indices increase");
+        out.push(times[best], values[best])
+            .expect("indices increase");
         prev_idx = best;
     }
 

@@ -63,7 +63,11 @@ pub fn normalize_columns(rows: &mut [Vec<f64>]) {
         let m = stats::mean(&col).unwrap_or(0.0);
         let sd = stats::stddev(&col).unwrap_or(0.0);
         for r in rows.iter_mut() {
-            r[c] = if sd <= f64::EPSILON { 0.0 } else { (r[c] - m) / sd };
+            r[c] = if sd <= f64::EPSILON {
+                0.0
+            } else {
+                (r[c] - m) / sd
+            };
         }
     }
 }
@@ -191,7 +195,10 @@ mod tests {
             ((i % 20) as f64 / 20.0 * std::f64::consts::TAU).sin()
         });
         let strength = seasonality_strength(&periodic, 20);
-        assert!(strength > 0.95, "strong period-20 seasonality, got {strength}");
+        assert!(
+            strength > 0.95,
+            "strong period-20 seasonality, got {strength}"
+        );
         let wrong_p = seasonality_strength(&periodic, 13);
         assert!(wrong_p < 0.3, "no period-13 seasonality, got {wrong_p}");
         // noise-free ramp: any period explains little
@@ -204,8 +211,12 @@ mod tests {
 
     #[test]
     fn similar_series_have_similar_features() {
-        let a = TimeSeries::generate(ts(0), Duration::from_millis(1), 100, |i| ((i as f64) * 0.2).sin());
-        let b = TimeSeries::generate(ts(0), Duration::from_millis(1), 100, |i| ((i as f64) * 0.2).sin() * 1.01);
+        let a = TimeSeries::generate(ts(0), Duration::from_millis(1), 100, |i| {
+            ((i as f64) * 0.2).sin()
+        });
+        let b = TimeSeries::generate(ts(0), Duration::from_millis(1), 100, |i| {
+            ((i as f64) * 0.2).sin() * 1.01
+        });
         let c = TimeSeries::generate(ts(0), Duration::from_millis(1), 100, |i| (i as f64) * 5.0);
         let (fa, fb, fc) = (feature_vector(&a), feature_vector(&b), feature_vector(&c));
         assert!(euclidean(&fa, &fb) < euclidean(&fa, &fc));

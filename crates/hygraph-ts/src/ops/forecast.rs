@@ -278,7 +278,10 @@ mod tests {
         let f = ar_forecast(&s, 1, 50).unwrap();
         let first_dev = (f.values()[0] - mean).abs();
         let last_dev = (f.values()[49] - mean).abs();
-        assert!(last_dev < first_dev.max(1e-9), "mean reversion: {first_dev} -> {last_dev}");
+        assert!(
+            last_dev < first_dev.max(1e-9),
+            "mean reversion: {first_dev} -> {last_dev}"
+        );
         assert_eq!(f.len(), 50);
     }
 
@@ -319,16 +322,30 @@ mod tests {
     #[test]
     fn holt_winters_rejects_bad_config() {
         let s = seasonal_series(100, 24);
-        assert!(holt_winters(&s, HoltWinters { season: 60, ..Default::default() }, 5).is_err());
         assert!(holt_winters(
             &s,
-            HoltWinters { alpha: 0.0, ..Default::default() },
+            HoltWinters {
+                season: 60,
+                ..Default::default()
+            },
             5
         )
         .is_err());
         assert!(holt_winters(
             &s,
-            HoltWinters { gamma: 1.0, ..Default::default() },
+            HoltWinters {
+                alpha: 0.0,
+                ..Default::default()
+            },
+            5
+        )
+        .is_err());
+        assert!(holt_winters(
+            &s,
+            HoltWinters {
+                gamma: 1.0,
+                ..Default::default()
+            },
             5
         )
         .is_err());

@@ -89,7 +89,8 @@ pub fn matrix_profile(s: &TimeSeries, window: usize) -> Option<MatrixProfile> {
             // STOMP update: QT(i,j) = QT(i-1,j-1) - x[i-1]x[j-1] + x[i+m-1]x[j+m-1]
             #[allow(clippy::needless_range_loop)] // j indexes q, q[j-1] and values in lockstep
             for j in (1..n_sub).rev() {
-                q[j] = q[j - 1] - values[i - 1] * values[j - 1] + values[i + m - 1] * values[j + m - 1];
+                q[j] = q[j - 1] - values[i - 1] * values[j - 1]
+                    + values[i + m - 1] * values[j + m - 1];
             }
             q[0] = first_row[i];
         }
@@ -164,10 +165,9 @@ fn pick(s: &TimeSeries, mp: &MatrixProfile, k: usize, largest: bool) -> Vec<Moti
             break;
         }
         let j = mp.index[i];
-        if out
-            .iter()
-            .any(|mo| overlaps(mo.a, i) || overlaps(mo.b, i) || overlaps(mo.a, j) || overlaps(mo.b, j))
-        {
+        if out.iter().any(|mo| {
+            overlaps(mo.a, i) || overlaps(mo.b, i) || overlaps(mo.a, j) || overlaps(mo.b, j)
+        }) {
             continue;
         }
         out.push(Motif {
@@ -254,7 +254,10 @@ mod tests {
         // the two bump occurrences are exactly 300 samples apart; any
         // window pair straddling them shares that displacement
         assert_eq!(hi - lo, 300, "expected displacement 300, got ({lo}, {hi})");
-        assert!((60..=120).contains(&lo), "window should cover bump 1, got {lo}");
+        assert!(
+            (60..=120).contains(&lo),
+            "window should cover bump 1, got {lo}"
+        );
         // profile distance agrees with direct computation
         let direct = verify_distance(&s, m.a, m.b, 40).unwrap();
         assert!((direct - m.distance).abs() < 1e-6);
@@ -292,7 +295,9 @@ mod tests {
 
     #[test]
     fn exclusion_zone_blocks_trivial_matches() {
-        let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 200, |i| ((i as f64) * 0.1).sin());
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 200, |i| {
+            ((i as f64) * 0.1).sin()
+        });
         let mp = matrix_profile(&s, 20).unwrap();
         for (i, &j) in mp.index.iter().enumerate() {
             if mp.profile[i].is_finite() {

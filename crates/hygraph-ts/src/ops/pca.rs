@@ -183,7 +183,6 @@ fn dominant_direction(
     Some((v, lambda))
 }
 
-
 /// PCA similarity factor between two multivariate series (Yang &
 /// Shahabi, 2004): fits `k` principal components to each series' rows
 /// and measures subspace alignment as `(1/k) Σᵢⱼ cos²θᵢⱼ` over the two
@@ -306,7 +305,10 @@ mod tests {
     fn degenerate_inputs() {
         assert!(Pca::fit(&[], 2).is_none());
         assert!(Pca::fit(&[vec![1.0, 2.0]], 0).is_none());
-        assert!(Pca::fit(&[vec![1.0], vec![1.0, 2.0]], 1).is_none(), "ragged rows");
+        assert!(
+            Pca::fit(&[vec![1.0], vec![1.0, 2.0]], 1).is_none(),
+            "ragged rows"
+        );
         // constant data: one zero-variance component
         let constant = vec![vec![5.0, 5.0]; 10];
         let pca = Pca::fit(&constant, 2).unwrap();
@@ -314,7 +316,6 @@ mod tests {
         let p = pca.transform(&[5.0, 5.0]);
         assert!(p.iter().all(|x| x.abs() < 1e-12));
     }
-
 
     #[test]
     fn pca_similarity_multivariate() {

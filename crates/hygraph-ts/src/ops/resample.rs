@@ -21,7 +21,13 @@ pub enum FillMethod {
 /// Resamples `s` onto the regular grid `start, start+step, …` with `n`
 /// points. Grid points outside the observed span are clamped to the
 /// first/last observation. Returns an empty series if `s` is empty.
-pub fn resample(s: &TimeSeries, start: Timestamp, step: Duration, n: usize, method: FillMethod) -> TimeSeries {
+pub fn resample(
+    s: &TimeSeries,
+    start: Timestamp,
+    step: Duration,
+    n: usize,
+    method: FillMethod,
+) -> TimeSeries {
     assert!(step.is_positive(), "step must be positive");
     if s.is_empty() {
         return TimeSeries::new();
@@ -57,7 +63,12 @@ pub fn align(
 }
 
 /// Interpolated value of the (sorted) observation columns at time `t`.
-pub fn interpolate_at(times: &[Timestamp], values: &[f64], t: Timestamp, method: FillMethod) -> f64 {
+pub fn interpolate_at(
+    times: &[Timestamp],
+    values: &[f64],
+    t: Timestamp,
+    method: FillMethod,
+) -> f64 {
     debug_assert!(!times.is_empty());
     match times.binary_search(&t) {
         Ok(i) => values[i],
@@ -130,27 +141,52 @@ mod tests {
         let r = resample(&s, ts(0), Duration::from_millis(4), 3, FillMethod::Previous);
         assert_eq!(r.values(), &[1.0, 1.0, 1.0]);
         let r = resample(&s, ts(2), Duration::from_millis(8), 2, FillMethod::Previous);
-        assert_eq!(r.values(), &[1.0, 2.0], "exact hit at t=10 uses the observation");
+        assert_eq!(
+            r.values(),
+            &[1.0, 2.0],
+            "exact hit at t=10 uses the observation"
+        );
     }
 
     #[test]
     fn nearest_fill_tie_goes_left() {
         let s = TimeSeries::from_pairs([(ts(0), 1.0), (ts(10), 2.0)]);
-        assert_eq!(interpolate_at(s.times(), s.values(), ts(5), FillMethod::Nearest), 1.0);
-        assert_eq!(interpolate_at(s.times(), s.values(), ts(6), FillMethod::Nearest), 2.0);
-        assert_eq!(interpolate_at(s.times(), s.values(), ts(4), FillMethod::Nearest), 1.0);
+        assert_eq!(
+            interpolate_at(s.times(), s.values(), ts(5), FillMethod::Nearest),
+            1.0
+        );
+        assert_eq!(
+            interpolate_at(s.times(), s.values(), ts(6), FillMethod::Nearest),
+            2.0
+        );
+        assert_eq!(
+            interpolate_at(s.times(), s.values(), ts(4), FillMethod::Nearest),
+            1.0
+        );
     }
 
     #[test]
     fn clamping_outside_span() {
         let s = TimeSeries::from_pairs([(ts(10), 5.0), (ts(20), 7.0)]);
-        assert_eq!(interpolate_at(s.times(), s.values(), ts(0), FillMethod::Linear), 5.0);
-        assert_eq!(interpolate_at(s.times(), s.values(), ts(100), FillMethod::Linear), 7.0);
+        assert_eq!(
+            interpolate_at(s.times(), s.values(), ts(0), FillMethod::Linear),
+            5.0
+        );
+        assert_eq!(
+            interpolate_at(s.times(), s.values(), ts(100), FillMethod::Linear),
+            7.0
+        );
     }
 
     #[test]
     fn empty_series_resamples_empty() {
-        let r = resample(&TimeSeries::new(), ts(0), Duration::from_millis(1), 5, FillMethod::Linear);
+        let r = resample(
+            &TimeSeries::new(),
+            ts(0),
+            Duration::from_millis(1),
+            5,
+            FillMethod::Linear,
+        );
         assert!(r.is_empty());
     }
 
@@ -169,7 +205,13 @@ mod tests {
         let a = TimeSeries::generate(ts(0), Duration::from_millis(1), 5, |_| 0.0);
         let b = TimeSeries::generate(ts(100), Duration::from_millis(1), 5, |_| 0.0);
         assert!(align(&a, &b, Duration::from_millis(1), FillMethod::Linear).is_none());
-        assert!(align(&a, &TimeSeries::new(), Duration::from_millis(1), FillMethod::Linear).is_none());
+        assert!(align(
+            &a,
+            &TimeSeries::new(),
+            Duration::from_millis(1),
+            FillMethod::Linear
+        )
+        .is_none());
     }
 
     #[test]

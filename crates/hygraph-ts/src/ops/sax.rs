@@ -38,7 +38,9 @@ pub fn paa(xs: &[f64], frames: usize) -> Vec<f64> {
     (0..frames)
         .map(|f| {
             let lo = (f as f64 * w).round() as usize;
-            let hi = (((f + 1) as f64 * w).round() as usize).min(xs.len()).max(lo + 1);
+            let hi = (((f + 1) as f64 * w).round() as usize)
+                .min(xs.len())
+                .max(lo + 1);
             xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
         })
         .collect()
@@ -156,7 +158,10 @@ mod tests {
         let w = sax_word(&xs, 4, 4);
         assert_eq!(w.len(), 4);
         let bytes = w.as_bytes();
-        assert!(bytes.windows(2).all(|p| p[0] <= p[1]), "ramp word {w} not sorted");
+        assert!(
+            bytes.windows(2).all(|p| p[0] <= p[1]),
+            "ramp word {w} not sorted"
+        );
         assert_eq!(bytes[0], b'a');
         assert_eq!(bytes[3], b'd');
     }
@@ -171,7 +176,9 @@ mod tests {
 
     #[test]
     fn numerosity_reduction() {
-        let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 100, |i| ((i as f64) * 0.2).sin());
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 100, |i| {
+            ((i as f64) * 0.2).sin()
+        });
         let wins = sax_windows(&s, 20, 4, 4);
         for p in wins.windows(2) {
             assert_ne!(p[0].1, p[1].1, "consecutive duplicate word survived");
@@ -181,7 +188,9 @@ mod tests {
     #[test]
     fn frequent_words_on_periodic_signal() {
         // periodic signal: the same few words recur
-        let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 400, |i| ((i % 40) as f64 / 40.0 * std::f64::consts::TAU).sin());
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 400, |i| {
+            ((i % 40) as f64 / 40.0 * std::f64::consts::TAU).sin()
+        });
         let freq = frequent_words(&s, 40, 4, 4, 2);
         assert!(!freq.is_empty());
         assert!(freq[0].1 >= 2);

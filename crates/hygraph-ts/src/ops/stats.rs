@@ -175,7 +175,9 @@ mod tests {
     #[test]
     fn autocorrelation_periodic_signal() {
         // period-4 square-ish wave has high lag-4 autocorrelation
-        let xs: Vec<f64> = (0..64).map(|i| if i % 4 < 2 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..64)
+            .map(|i| if i % 4 < 2 { 1.0 } else { -1.0 })
+            .collect();
         let r4 = autocorrelation(&xs, 4).unwrap();
         let r2 = autocorrelation(&xs, 2).unwrap();
         assert!(r4 > 0.8, "lag-4 should be strongly positive, got {r4}");

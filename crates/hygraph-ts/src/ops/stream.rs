@@ -272,7 +272,9 @@ mod tests {
 
     #[test]
     fn sliding_stats_match_batch_window() {
-        let s = TimeSeries::generate(ts(0), Duration::from_millis(5), 50, |i| ((i * 13) % 7) as f64);
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(5), 50, |i| {
+            ((i * 13) % 7) as f64
+        });
         let width = Duration::from_millis(40);
         let mut sl = SlidingStats::new(width);
         for (t, v) in s.iter() {

@@ -42,11 +42,7 @@ pub fn matches(haystack: &TimeSeries, query: &[f64], max_dist: f64) -> Vec<Match
     for off in 0..=(n - m) {
         window.copy_from_slice(&values[off..off + m]);
         stats::znormalize(&mut window);
-        let d2: f64 = window
-            .iter()
-            .zip(&q)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum();
+        let d2: f64 = window.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
         let d = d2.sqrt();
         if d <= max_dist {
             out.push(Match {

@@ -1,0 +1,219 @@
+//! Exact binary state codec for [`TsStore`].
+//!
+//! Serialises the store's physical layout — per-series chunk maps with
+//! each chunk's time/value columns *and* its incrementally-maintained
+//! sparse [`Summary`] — rather than replaying observations through
+//! [`TsStore::insert`]. Re-inserting would recompute chunk summaries in
+//! time order, and floating-point accumulation is order-sensitive: a
+//! store built from out-of-order inserts could decode to one whose
+//! `sum` differs in the last bit. Capturing the summary bits directly
+//! makes the round-trip exactly lossless, which the crash-recovery
+//! tests in `hygraph-persist` rely on (recovered store must be
+//! bit-identical to the committed state).
+//!
+//! Times inside a chunk are delta-encoded against the previous
+//! timestamp (they are sorted, so deltas are small non-negative
+//! varints); values are raw IEEE-754 bits.
+
+use crate::store::{Chunk, SeriesChunks, Summary, TsStore};
+use hygraph_types::bytes::{ByteReader, ByteWriter};
+use hygraph_types::{HyGraphError, Result, SeriesId, Timestamp};
+use std::collections::BTreeMap;
+
+/// Encodes the full store state into `w`.
+pub fn encode_store(store: &TsStore, w: &mut ByteWriter) {
+    w.duration(store.chunk_width);
+    w.len_of(store.series.len());
+    for (id, sc) in &store.series {
+        w.u64(id.raw());
+        w.len_of(sc.len);
+        w.len_of(sc.chunks.len());
+        for (key, chunk) in &sc.chunks {
+            w.timestamp(*key);
+            w.len_of(chunk.times.len());
+            let mut prev = key.millis();
+            for t in &chunk.times {
+                w.u64((t.millis() - prev) as u64);
+                prev = t.millis();
+            }
+            for v in &chunk.values {
+                w.f64(*v);
+            }
+            w.u64(chunk.summary.count);
+            w.f64(chunk.summary.sum);
+            w.f64(chunk.summary.min);
+            w.f64(chunk.summary.max);
+        }
+    }
+}
+
+/// Decodes a store previously written by [`encode_store`].
+pub fn decode_store(r: &mut ByteReader<'_>) -> Result<TsStore> {
+    let chunk_width = r.duration()?;
+    if !chunk_width.is_positive() {
+        return Err(HyGraphError::corrupt("non-positive chunk width"));
+    }
+    let mut store = TsStore::with_chunk_width(chunk_width);
+    let n_series = r.len_of()?;
+    for _ in 0..n_series {
+        let id = SeriesId::new(r.u64()?);
+        let total = r.len_of()?;
+        let n_chunks = r.len_of()?;
+        let mut sc = SeriesChunks {
+            chunks: BTreeMap::new(),
+            len: total,
+        };
+        let mut counted = 0usize;
+        for _ in 0..n_chunks {
+            let key = r.timestamp()?;
+            let n = r.len_of()?;
+            let mut times = Vec::with_capacity(n);
+            let mut prev = key.millis();
+            for _ in 0..n {
+                let delta = r.u64()?;
+                let t = prev
+                    .checked_add(delta as i64)
+                    .ok_or_else(|| HyGraphError::corrupt("timestamp delta overflow"))?;
+                times.push(Timestamp::from_millis(t));
+                prev = t;
+            }
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(r.f64()?);
+            }
+            let summary = Summary {
+                count: r.u64()?,
+                sum: r.f64()?,
+                min: r.f64()?,
+                max: r.f64()?,
+            };
+            counted += n;
+            if sc
+                .chunks
+                .insert(
+                    key,
+                    Chunk {
+                        times,
+                        values,
+                        summary,
+                    },
+                )
+                .is_some()
+            {
+                return Err(HyGraphError::corrupt("duplicate chunk key"));
+            }
+        }
+        if counted != total {
+            return Err(HyGraphError::corrupt(
+                "series length disagrees with chunk contents",
+            ));
+        }
+        if store.series.insert(id, sc).is_some() {
+            return Err(HyGraphError::corrupt("duplicate series id"));
+        }
+    }
+    Ok(store)
+}
+
+/// Convenience: encodes into a fresh byte vector.
+pub fn store_to_bytes(store: &TsStore) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    encode_store(store, &mut w);
+    w.into_bytes()
+}
+
+/// Convenience: decodes from a standalone byte slice, requiring the
+/// slice to be fully consumed.
+pub fn store_from_bytes(bytes: &[u8]) -> Result<TsStore> {
+    let mut r = ByteReader::new(bytes);
+    let store = decode_store(&mut r)?;
+    r.expect_exhausted()?;
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::{Duration, Interval};
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn sample() -> TsStore {
+        let mut st = TsStore::with_chunk_width(Duration::from_millis(100));
+        let a = SeriesId::new(1);
+        let b = SeriesId::new(9);
+        for i in 0..25 {
+            st.insert(a, ts(i * 40), (i as f64).sin() * 100.0);
+        }
+        // out-of-order + overwrite: summary bits now depend on op order
+        st.insert(b, ts(500), 5.0);
+        st.insert(b, ts(100), 1.0);
+        st.insert(b, ts(300), 3.0);
+        st.insert(b, ts(300), -3.0);
+        st.create_series(SeriesId::new(42)); // empty series survives too
+        st
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let st = sample();
+        let bytes = store_to_bytes(&st);
+        let back = store_from_bytes(&bytes).unwrap();
+        assert_eq!(store_to_bytes(&back), bytes, "canonical re-encode");
+        assert_eq!(back.chunk_width(), st.chunk_width());
+        assert_eq!(back.series_count(), st.series_count());
+        for id in st.series_ids() {
+            assert_eq!(back.len(id), st.len(id));
+            assert_eq!(back.chunk_count(id), st.chunk_count(id));
+            let (s1, s2) = (
+                st.summarize(id, &Interval::ALL),
+                back.summarize(id, &Interval::ALL),
+            );
+            assert_eq!(s1.count, s2.count);
+            assert_eq!(s1.sum.to_bits(), s2.sum.to_bits());
+            assert_eq!(s1.min.to_bits(), s2.min.to_bits());
+            assert_eq!(s1.max.to_bits(), s2.max.to_bits());
+            let (r1, r2) = (st.range(id, &Interval::ALL), back.range(id, &Interval::ALL));
+            assert_eq!(r1.times(), r2.times());
+            assert_eq!(r1.values(), r2.values());
+        }
+    }
+
+    #[test]
+    fn decoded_store_keeps_working() {
+        let st = sample();
+        let mut back = store_from_bytes(&store_to_bytes(&st)).unwrap();
+        let id = SeriesId::new(1);
+        let before = back.len(id);
+        back.insert(id, ts(10_000), 7.0);
+        assert_eq!(back.len(id), before + 1);
+        back.retain_from(id, ts(200)).unwrap();
+        assert!(back.range(id, &Interval::ALL).times()[0] >= ts(200));
+    }
+
+    #[test]
+    fn empty_store_roundtrip() {
+        let st = TsStore::new();
+        let back = store_from_bytes(&store_to_bytes(&st)).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.chunk_width(), TsStore::DEFAULT_CHUNK);
+    }
+
+    #[test]
+    fn corrupt_inputs_error_not_panic() {
+        let bytes = store_to_bytes(&sample());
+        assert!(store_from_bytes(&bytes[..bytes.len() / 3]).is_err());
+        assert!(store_from_bytes(&[]).is_err());
+        // zero chunk width
+        let mut w = ByteWriter::new();
+        w.duration(Duration::from_millis(0));
+        w.len_of(0);
+        assert!(store_from_bytes(w.as_bytes()).is_err());
+        // trailing garbage
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(store_from_bytes(&extended).is_err());
+    }
+}

@@ -56,7 +56,12 @@ impl TimeSeries {
 
     /// Builds a regular series: `n` observations starting at `start`,
     /// spaced `step` apart, with values produced by `f(i)`.
-    pub fn generate(start: Timestamp, step: Duration, n: usize, mut f: impl FnMut(usize) -> f64) -> Self {
+    pub fn generate(
+        start: Timestamp,
+        step: Duration,
+        n: usize,
+        mut f: impl FnMut(usize) -> f64,
+    ) -> Self {
         assert!(step.is_positive(), "step must be positive");
         let mut s = Self::with_capacity(n);
         let mut t = start;
@@ -307,7 +312,8 @@ mod tests {
 
     #[test]
     fn from_pairs_sorts_and_dedups_last_wins() {
-        let s = TimeSeries::from_pairs([(ts(30), 3.0), (ts(10), 1.0), (ts(30), 99.0), (ts(20), 2.0)]);
+        let s =
+            TimeSeries::from_pairs([(ts(30), 3.0), (ts(10), 1.0), (ts(30), 99.0), (ts(20), 2.0)]);
         assert_eq!(s.len(), 3);
         assert_eq!(s.value_at(ts(30)), Some(99.0));
         assert!(s.validate().is_ok());
@@ -319,7 +325,13 @@ mod tests {
         s.push(ts(10), 1.0).unwrap();
         s.push(ts(20), 2.0).unwrap();
         let err = s.push(ts(20), 3.0).unwrap_err();
-        assert_eq!(err, HyGraphError::OutOfOrder { at: ts(20), last: ts(20) });
+        assert_eq!(
+            err,
+            HyGraphError::OutOfOrder {
+                at: ts(20),
+                last: ts(20)
+            }
+        );
         let err = s.push(ts(5), 3.0).unwrap_err();
         assert!(matches!(err, HyGraphError::OutOfOrder { .. }));
         assert_eq!(s.len(), 2);

@@ -131,10 +131,10 @@ impl Summary {
 
 /// One time partition of one series.
 #[derive(Clone, Debug, Default)]
-struct Chunk {
-    times: Vec<Timestamp>,
-    values: Vec<f64>,
-    summary: Summary,
+pub(crate) struct Chunk {
+    pub(crate) times: Vec<Timestamp>,
+    pub(crate) values: Vec<f64>,
+    pub(crate) summary: Summary,
 }
 
 impl Chunk {
@@ -175,16 +175,16 @@ impl Chunk {
 
 /// Per-series chunk index.
 #[derive(Clone, Debug, Default)]
-struct SeriesChunks {
-    chunks: BTreeMap<Timestamp, Chunk>,
-    len: usize,
+pub(crate) struct SeriesChunks {
+    pub(crate) chunks: BTreeMap<Timestamp, Chunk>,
+    pub(crate) len: usize,
 }
 
 /// A chunked, time-partitioned store for many series.
 #[derive(Clone, Debug)]
 pub struct TsStore {
-    chunk_width: Duration,
-    series: BTreeMap<SeriesId, SeriesChunks>,
+    pub(crate) chunk_width: Duration,
+    pub(crate) series: BTreeMap<SeriesId, SeriesChunks>,
 }
 
 impl TsStore {
@@ -305,12 +305,7 @@ impl TsStore {
 
     /// Visits each observation of `id` inside `interval` without
     /// materialising, in time order.
-    pub fn scan(
-        &self,
-        id: SeriesId,
-        interval: &Interval,
-        mut f: impl FnMut(Timestamp, f64),
-    ) {
+    pub fn scan(&self, id: SeriesId, interval: &Interval, mut f: impl FnMut(Timestamp, f64)) {
         let Some(sc) = self.series.get(&id) else {
             return;
         };
@@ -370,7 +365,9 @@ impl TsStore {
         mode: ExecMode,
     ) -> Vec<Summary> {
         if should_parallelize(mode, ids.len()) {
-            ids.par_iter().map(|&id| self.summarize(id, interval)).collect()
+            ids.par_iter()
+                .map(|&id| self.summarize(id, interval))
+                .collect()
         } else {
             ids.iter().map(|&id| self.summarize(id, interval)).collect()
         }
@@ -417,8 +414,7 @@ impl TsStore {
         bucket: Duration,
     ) -> Vec<(Timestamp, Summary)> {
         let mut out: Vec<(Timestamp, Summary)> = Vec::new();
-        let aligned = bucket.millis() > 0
-            && bucket.millis() % self.chunk_width.millis() == 0;
+        let aligned = bucket.millis() > 0 && bucket.millis() % self.chunk_width.millis() == 0;
         if aligned {
             if let Some(sc) = self.series.get(&id) {
                 let first_key = interval.start.truncate(self.chunk_width);
@@ -476,11 +472,7 @@ impl TsStore {
             .ok_or(HyGraphError::SeriesNotFound(id))?;
         let boundary_key = t.truncate(self.chunk_width);
         // drop whole chunks before the boundary chunk
-        let dead: Vec<Timestamp> = sc
-            .chunks
-            .range(..boundary_key)
-            .map(|(&k, _)| k)
-            .collect();
+        let dead: Vec<Timestamp> = sc.chunks.range(..boundary_key).map(|(&k, _)| k).collect();
         for k in dead {
             let c = sc.chunks.remove(&k).expect("key just listed");
             sc.len -= c.times.len();
@@ -721,7 +713,9 @@ mod tests {
     fn aligned_bucket_fast_path_matches_scan_path() {
         let mut st = store_100ms();
         let id = SeriesId::new(1);
-        let s = TimeSeries::generate(ts(7), Duration::from_millis(13), 200, |i| ((i * 31) % 17) as f64);
+        let s = TimeSeries::generate(ts(7), Duration::from_millis(13), 200, |i| {
+            ((i * 31) % 17) as f64
+        });
         st.insert_series(id, &s);
         // bucket = 2 chunks (aligned fast path) vs odd bucket (scan path)
         for (a, b) in [(200i64, 200i64)] {

@@ -59,6 +59,17 @@ pub enum HyGraphError {
     },
     /// Query plan/execution error.
     Query(String),
+    /// Operating-system I/O failure (message form of `std::io::Error`,
+    /// kept `Clone`/`PartialEq` like the rest of the enum).
+    Io(String),
+    /// Malformed persistent data: a checkpoint or WAL frame whose bytes
+    /// fail structural validation (bad tag, truncated run, CRC mismatch).
+    Corrupt {
+        /// Byte offset inside the payload being decoded.
+        offset: usize,
+        /// What failed to decode.
+        message: String,
+    },
 }
 
 impl HyGraphError {
@@ -70,6 +81,25 @@ impl HyGraphError {
     /// Shorthand for a [`HyGraphError::Query`] error.
     pub fn query(msg: impl Into<String>) -> Self {
         HyGraphError::Query(msg.into())
+    }
+
+    /// Wraps a `std::io::Error` (or any displayable I/O failure).
+    pub fn io(err: impl std::fmt::Display) -> Self {
+        HyGraphError::Io(err.to_string())
+    }
+
+    /// Shorthand for a [`HyGraphError::Corrupt`] error at offset 0.
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        HyGraphError::Corrupt {
+            offset: 0,
+            message: msg.into(),
+        }
+    }
+}
+
+impl From<std::io::Error> for HyGraphError {
+    fn from(err: std::io::Error) -> Self {
+        HyGraphError::Io(err.to_string())
     }
 }
 
@@ -89,7 +119,10 @@ impl fmt::Display for HyGraphError {
             ),
             HyGraphError::DuplicateTimestamp(t) => write!(f, "duplicate timestamp {t}"),
             HyGraphError::ArityMismatch { expected, got } => {
-                write!(f, "arity mismatch: expected {expected} variables, got {got}")
+                write!(
+                    f,
+                    "arity mismatch: expected {expected} variables, got {got}"
+                )
             }
             HyGraphError::EmptyInput(what) => write!(f, "empty input: {what}"),
             HyGraphError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
@@ -98,6 +131,10 @@ impl fmt::Display for HyGraphError {
                 write!(f, "parse error at byte {offset}: {message}")
             }
             HyGraphError::Query(m) => write!(f, "query error: {m}"),
+            HyGraphError::Io(m) => write!(f, "io error: {m}"),
+            HyGraphError::Corrupt { offset, message } => {
+                write!(f, "corrupt data at byte {offset}: {message}")
+            }
         }
     }
 }

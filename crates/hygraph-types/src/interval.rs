@@ -210,7 +210,10 @@ mod tests {
     fn overlap_cases() {
         assert!(iv(0, 10).overlaps(&iv(5, 15)));
         assert!(iv(5, 15).overlaps(&iv(0, 10)));
-        assert!(!iv(0, 10).overlaps(&iv(10, 20)), "adjacent half-open intervals do not overlap");
+        assert!(
+            !iv(0, 10).overlaps(&iv(10, 20)),
+            "adjacent half-open intervals do not overlap"
+        );
         assert!(iv(0, 10).is_adjacent(&iv(10, 20)));
         assert!(!iv(0, 10).overlaps(&iv(11, 20)));
         assert!(iv(0, 100).overlaps(&iv(40, 50)));

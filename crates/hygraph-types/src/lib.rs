@@ -13,6 +13,7 @@
 //! time-series values 𝒩_TS, and every property-graph element carries a
 //! validity interval given by the function ρ.
 
+pub mod bytes;
 pub mod error;
 pub mod ids;
 pub mod interval;

@@ -102,7 +102,9 @@ impl ParallelConfig {
     pub fn install(self) {
         if let Some(n) = self.threads {
             THREADS_OVERRIDE.store(n, Ordering::Relaxed);
-            let _ = rayon::ThreadPoolBuilder::new().num_threads(n).build_global();
+            let _ = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build_global();
         }
         if let Some(t) = self.seq_threshold {
             THRESHOLD_OVERRIDE.store(t, Ordering::Relaxed);
@@ -140,9 +142,7 @@ pub fn should_parallelize(mode: ExecMode, items: usize) -> bool {
     match mode {
         ExecMode::Sequential => false,
         ExecMode::Parallel => items > 1,
-        ExecMode::Auto => {
-            items >= configured_seq_threshold().max(2) && configured_threads() > 1
-        }
+        ExecMode::Auto => items >= configured_seq_threshold().max(2) && configured_threads() > 1,
     }
 }
 

@@ -192,7 +192,10 @@ mod tests {
         assert_eq!(m.set("a", 1i64), None);
         assert_eq!(m.set("a", 2i64), Some(PropertyValue::Static(Value::Int(1))));
         assert_eq!(m.static_value("a"), Some(&Value::Int(2)));
-        assert_eq!(m.remove(&PropertyKey::new("a")), Some(PropertyValue::Static(Value::Int(2))));
+        assert_eq!(
+            m.remove(&PropertyKey::new("a")),
+            Some(PropertyValue::Static(Value::Int(2)))
+        );
         assert!(m.is_empty());
     }
 
@@ -202,11 +205,18 @@ mod tests {
         m.set("balance", SeriesId::new(3));
         m.set("name", "acct-1");
         assert_eq!(m.series_value("balance"), Some(SeriesId::new(3)));
-        assert_eq!(m.static_value("balance"), None, "series value is not static");
+        assert_eq!(
+            m.static_value("balance"),
+            None,
+            "series value is not static"
+        );
         assert_eq!(m.series_value("name"), None);
         assert!(m.get_str("balance").unwrap().is_series());
         let series: Vec<_> = m.series_entries().collect();
-        assert_eq!(series, vec![(&PropertyKey::new("balance"), SeriesId::new(3))]);
+        assert_eq!(
+            series,
+            vec![(&PropertyKey::new("balance"), SeriesId::new(3))]
+        );
     }
 
     #[test]

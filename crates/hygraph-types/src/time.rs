@@ -272,7 +272,10 @@ mod tests {
     #[test]
     fn arithmetic() {
         let t = Timestamp::from_millis(1_000);
-        assert_eq!(t + Duration::from_millis(500), Timestamp::from_millis(1_500));
+        assert_eq!(
+            t + Duration::from_millis(500),
+            Timestamp::from_millis(1_500)
+        );
         assert_eq!(t - Duration::from_millis(500), Timestamp::from_millis(500));
         assert_eq!(
             Timestamp::from_millis(1_500) - Timestamp::from_millis(1_000),
@@ -286,25 +289,40 @@ mod tests {
 
     #[test]
     fn saturating_ops() {
-        assert_eq!(Timestamp::MAX.saturating_add(Duration::from_millis(1)), Timestamp::MAX);
-        assert_eq!(Timestamp::MIN.saturating_sub(Duration::from_millis(1)), Timestamp::MIN);
+        assert_eq!(
+            Timestamp::MAX.saturating_add(Duration::from_millis(1)),
+            Timestamp::MAX
+        );
+        assert_eq!(
+            Timestamp::MIN.saturating_sub(Duration::from_millis(1)),
+            Timestamp::MIN
+        );
     }
 
     #[test]
     fn truncate_floors_toward_negative_infinity() {
         let b = Duration::from_millis(100);
-        assert_eq!(Timestamp::from_millis(250).truncate(b), Timestamp::from_millis(200));
-        assert_eq!(Timestamp::from_millis(200).truncate(b), Timestamp::from_millis(200));
-        assert_eq!(Timestamp::from_millis(-1).truncate(b), Timestamp::from_millis(-100));
-        assert_eq!(Timestamp::from_millis(-100).truncate(b), Timestamp::from_millis(-100));
+        assert_eq!(
+            Timestamp::from_millis(250).truncate(b),
+            Timestamp::from_millis(200)
+        );
+        assert_eq!(
+            Timestamp::from_millis(200).truncate(b),
+            Timestamp::from_millis(200)
+        );
+        assert_eq!(
+            Timestamp::from_millis(-1).truncate(b),
+            Timestamp::from_millis(-100)
+        );
+        assert_eq!(
+            Timestamp::from_millis(-100).truncate(b),
+            Timestamp::from_millis(-100)
+        );
     }
 
     #[test]
     fn midpoint_no_overflow() {
-        assert_eq!(
-            Timestamp::MAX.midpoint(Timestamp::MAX),
-            Timestamp::MAX
-        );
+        assert_eq!(Timestamp::MAX.midpoint(Timestamp::MAX), Timestamp::MAX);
         assert_eq!(
             Timestamp::from_millis(2).midpoint(Timestamp::from_millis(4)),
             Timestamp::from_millis(3)

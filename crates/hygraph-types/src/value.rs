@@ -235,7 +235,10 @@ mod tests {
             Value::Str("a".into()).total_cmp(&Value::Str("b".into())),
             Ordering::Less
         );
-        assert_eq!(Value::Bool(false).total_cmp(&Value::Int(i64::MIN)), Ordering::Less);
+        assert_eq!(
+            Value::Bool(false).total_cmp(&Value::Int(i64::MIN)),
+            Ordering::Less
+        );
         // NaN sorts above +inf under total_cmp
         assert_eq!(
             Value::Float(f64::NAN).total_cmp(&Value::Float(f64::INFINITY)),
@@ -255,7 +258,10 @@ mod tests {
     #[test]
     fn add_semantics() {
         assert_eq!(Value::Int(1).add(&Value::Int(2)), Some(Value::Int(3)));
-        assert_eq!(Value::Int(1).add(&Value::Float(0.5)), Some(Value::Float(1.5)));
+        assert_eq!(
+            Value::Int(1).add(&Value::Float(0.5)),
+            Some(Value::Float(1.5))
+        );
         assert_eq!(
             Value::Str("ab".into()).add(&Value::Str("cd".into())),
             Some(Value::Str("abcd".into()))

@@ -4,9 +4,9 @@
 //! Run with: `cargo run --release --example bike_sharing`
 
 use hygraph::datagen::bike::{self, BikeConfig};
-use hygraph::query_engine::hybrid;
 use hygraph::prelude::*;
 use hygraph::query;
+use hygraph::query_engine::hybrid;
 
 fn main() -> Result<()> {
     let data = bike::generate(BikeConfig {
@@ -62,14 +62,22 @@ fn main() -> Result<()> {
     let driver = &data.availability[0];
     let weekly = hygraph::ts::ops::downsample::bucket_mean(driver, Duration::from_hours(12));
     let snaps = hybrid::segmentation_snapshots(&hg, &weekly, None)?;
-    println!("Q4 segmentation snapshots: {} regimes detected", snaps.len());
+    println!(
+        "Q4 segmentation snapshots: {} regimes detected",
+        snaps.len()
+    );
     for (t, snap) in snaps.iter().take(4) {
-        println!("  regime starting {}: {} stations active", t, snap.vertex_count());
+        println!(
+            "  regime starting {}: {} stations active",
+            t,
+            snap.vertex_count()
+        );
     }
 
     // ---- seasonality & anomaly analytics on a station ----------------------
     let s = &data.availability[3];
-    let ticks_per_day = (Duration::from_days(1).millis() / Duration::from_mins(15).millis()) as usize;
+    let ticks_per_day =
+        (Duration::from_days(1).millis() / Duration::from_mins(15).millis()) as usize;
     let strength = hygraph::ts::ops::features::seasonality_strength(s, ticks_per_day);
     println!("\nstation-3 daily seasonality strength: {strength:.2}");
     let motifs = hygraph::ts::ops::motif::motifs(s, ticks_per_day / 4, 1);

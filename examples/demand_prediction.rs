@@ -63,7 +63,11 @@ fn main() -> Result<()> {
     for &(i, _, hw_mae, _) in rows.iter().take(5) {
         let v = data.stations[i];
         let vd = data.graph.vertex(v)?;
-        let cap = vd.props.static_value("capacity").and_then(Value::as_i64).unwrap_or(0);
+        let cap = vd
+            .props
+            .static_value("capacity")
+            .and_then(Value::as_i64)
+            .unwrap_or(0);
         println!(
             "{:<12} {:>8.2} {:>10} {:>12} {:>10}",
             format!("station-{i}"),

@@ -12,8 +12,12 @@ use hygraph::query;
 fn main() -> Result<()> {
     // ---- the Figure-2 micro instance -----------------------------------
     let mut data = fraud::figure2_instance();
-    println!("Figure 2 instance: {} users, {} merchants, {} series",
-        data.users.len(), data.merchants.len(), data.hygraph.series_count());
+    println!(
+        "Figure 2 instance: {} users, {} merchants, {} series",
+        data.users.len(),
+        data.merchants.len(),
+        data.hygraph.series_count()
+    );
 
     // ---- Listing 1: the graph-only way ---------------------------------
     // the paper's Listing 1 core: >1000 transactions to MORE THAN TWO
@@ -43,9 +47,11 @@ fn main() -> Result<()> {
             if hits.is_empty() {
                 "clean".to_owned()
             } else {
-                format!("{} burst points (max z = {:.1})",
+                format!(
+                    "{} burst points (max z = {:.1})",
                     hits.len(),
-                    hits.iter().map(|a| a.score).fold(0.0, f64::max))
+                    hits.iter().map(|a| a.score).fold(0.0, f64::max)
+                )
             }
         );
     }
@@ -65,7 +71,11 @@ fn main() -> Result<()> {
             v.graph_flagged,
             v.series_flagged,
             v.pattern_days,
-            if v.suspicious { "SUSPICIOUS" } else { "ordinary" }
+            if v.suspicious {
+                "SUSPICIOUS"
+            } else {
+                "ordinary"
+            }
         );
     }
     println!(
@@ -105,7 +115,9 @@ fn main() -> Result<()> {
         "  hybrid pipeline:   precision {:.2}, recall {:.2} ({} tp / {} fp / {} fn)",
         tp as f64 / (tp + fp).max(1) as f64,
         tp as f64 / (tp + fne).max(1) as f64,
-        tp, fp, fne
+        tp,
+        fp,
+        fne
     );
     Ok(())
 }

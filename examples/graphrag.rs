@@ -34,7 +34,10 @@ fn main() -> Result<()> {
     // step 1+2: hybrid embeddings (structure ⊕ temporal behaviour) and an index
     let embeddings = hybrid_embedding(hg, FastRpConfig::default(), Some(4));
     let index = SimilarityIndex::build(&embeddings);
-    println!("embedded {} vertices (FastRP ⊕ PCA series features)", index.len());
+    println!(
+        "embedded {} vertices (FastRP ⊕ PCA series features)",
+        index.len()
+    );
 
     // retrieval: "find entities that behave like this known fraudster"
     let known_fraudster_idx = *data
@@ -44,9 +47,7 @@ fn main() -> Result<()> {
         .expect("dataset has fraudsters");
     let anchor_card = data.cards[known_fraudster_idx];
     let hits = index.neighbours_of(anchor_card, 8);
-    println!(
-        "\nretrieval: top-8 vertices behaving like {anchor_card} (a known fraud card):"
-    );
+    println!("\nretrieval: top-8 vertices behaving like {anchor_card} (a known fraud card):");
     let mut retrieved_fraud_cards = 0;
     for (v, score) in &hits {
         let labels = hg.lambda(ElementRef::Vertex(*v))?;
@@ -60,7 +61,11 @@ fn main() -> Result<()> {
         }
         println!(
             "  {v} {labels:?} cosine={score:.3}{}",
-            if is_fraud_card { "  ← fraud card" } else { "" }
+            if is_fraud_card {
+                "  ← fraud card"
+            } else {
+                ""
+            }
         );
     }
     println!(
@@ -96,7 +101,11 @@ fn main() -> Result<()> {
                     .map(ToString::to_string)
             })
             .collect();
-        println!("  transacts with {} merchants: {:?}", merchants.len(), &merchants[..merchants.len().min(5)]);
+        println!(
+            "  transacts with {} merchants: {:?}",
+            merchants.len(),
+            &merchants[..merchants.len().min(5)]
+        );
         // and its behavioural summary (the series side of the context)
         if let Ok(series) = hg.delta(ElementRef::Vertex(top)) {
             let col = series.column(0).expect("spending column");

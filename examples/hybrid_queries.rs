@@ -33,19 +33,36 @@ fn main() -> Result<()> {
     let x = p.vertex("x", ["Account"]);
     let y = p.vertex("y", ["Account"]);
     let e = p.edge(Some("t"), x, y, ["TRANSFER"], Direction::Out);
-    p.edge_pred(e, PropPredicate::new("amount", hygraph::graph::pattern::CmpOp::Gt, 100.0));
-    println!("(1,2) LPG pattern matching: {} high transfers between accounts", p.find_all(&g).len());
+    p.edge_pred(
+        e,
+        PropPredicate::new("amount", hygraph::graph::pattern::CmpOp::Gt, 100.0),
+    );
+    println!(
+        "(1,2) LPG pattern matching: {} high transfers between accounts",
+        p.find_all(&g).len()
+    );
 
     // (3) operations on temporal property graphs: snapshot retrieval
     let snap = snapshot::snapshot(&g, Timestamp::from_millis(1_500));
-    println!("(3) TPG snapshot at t1500: {} of {} edges alive", snap.edge_count(), g.edge_count());
+    println!(
+        "(3) TPG snapshot at t1500: {} of {} edges alive",
+        snap.edge_count(),
+        g.edge_count()
+    );
 
     // (4)/(5) operations on (data) series: sampling / classification features
     let series = hygraph::datagen::random::seasonal(500, 50, 10.0, 0.02, 0.5, 7);
     let sampled = ops::downsample::lttb(&series, 100);
     let feats = ops::features::feature_vector(&series);
-    println!("(4) series downsampled {} -> {} points", series.len(), sampled.len());
-    println!("(5) series features: trend {:.3}, acf1 {:.2}", feats[5], feats[6]);
+    println!(
+        "(4) series downsampled {} -> {} points",
+        series.len(),
+        sampled.len()
+    );
+    println!(
+        "(5) series features: trend {:.3}, acf1 {:.2}",
+        feats[5], feats[6]
+    );
 
     // (6) time series -> graph: similarity graph over series
     let inputs: Vec<(String, TimeSeries)> = (0..4)
@@ -81,7 +98,10 @@ fn main() -> Result<()> {
     let any = p7.vertex("y", Vec::<&str>::new());
     p7.edge(Some("t"), x, any, ["TRANSFER"], Direction::Out);
     let amounts = export::pattern_value_series(&hg, &p7, "t", "amount");
-    println!("(7) LPG-to-series: transfer amounts as a time series: {:?}", amounts.values());
+    println!(
+        "(7) LPG-to-series: transfer amounts as a time series: {:?}",
+        amounts.values()
+    );
 
     // (8) LPG augmented with time series as properties
     let mut hg8 = import::graph_to_hygraph(&g);
@@ -95,7 +115,10 @@ fn main() -> Result<()> {
     // (9) operations using both: correlation between property series +
     //     reachability
     let reach = hygraph::graph::traverse::bfs(&g, a, hygraph::graph::traverse::Follow::Out);
-    println!("(9) hybrid: {} vertices reachable from acct-a; series ops run on their attached series", reach.len());
+    println!(
+        "(9) hybrid: {} vertices reachable from acct-a; series ops run on their attached series",
+        reach.len()
+    );
 
     // (10) the HyGraph layer: unified instance with views
     let view = HyGraphView::new(&hg8).with_label("Account");

@@ -24,17 +24,32 @@ fn main() -> Result<()> {
     let built = HyGraphBuilder::new()
         .univariate("spending", &spending)
         .univariate("temperature", &temperature)
-        .pg_vertex("alice", ["User"], props! {"name" => "alice", "city" => "lyon"})
+        .pg_vertex(
+            "alice",
+            ["User"],
+            props! {"name" => "alice", "city" => "lyon"},
+        )
         .pg_vertex("shop", ["Merchant"], props! {"name" => "corner-shop"})
         .ts_vertex("card", ["CreditCard"], "spending")
         .pg_edge(None, "alice", "card", ["USES"], props! {})
-        .pg_edge(Some("tx"), "card", "shop", ["TX"], props! {"amount" => 1350.0})
+        .pg_edge(
+            Some("tx"),
+            "card",
+            "shop",
+            ["TX"],
+            props! {"amount" => 1350.0},
+        )
         // a supplementary series attached as a *property* (𝒩_TS value)
         .series_property("shop", "indoor_temp", "temperature")
         .build()?;
     let hg = &built.hygraph;
 
-    println!("instance: {} vertices, {} edges, {} series", hg.vertex_count(), hg.edge_count(), hg.series_count());
+    println!(
+        "instance: {} vertices, {} edges, {} series",
+        hg.vertex_count(),
+        hg.edge_count(),
+        hg.series_count()
+    );
 
     // ---- 2. the model functions ----------------------------------------
     let card = built.v("card");
@@ -73,9 +88,15 @@ fn main() -> Result<()> {
     print!("{}", r.render());
 
     // ---- 4. time-series analytics on graph data --------------------------
-    let s = hg.delta(ElementRef::Vertex(card))?.to_univariate("spending").unwrap();
+    let s = hg
+        .delta(ElementRef::Vertex(card))?
+        .to_univariate("spending")
+        .unwrap();
     let anomalies = hygraph_ts::ops::anomaly::zscore(&s, 3.0);
-    println!("spending anomalies: {} burst points detected", anomalies.len());
+    println!(
+        "spending anomalies: {} burst points detected",
+        anomalies.len()
+    );
     for a in anomalies.iter().take(3) {
         println!("  at {} value {:.0} (z = {:.1})", a.time, a.value, a.score);
     }

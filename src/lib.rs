@@ -47,11 +47,13 @@
 //! | [`analytics`] | metricEvolution, hybrid embeddings/clustering/classification, contextual detection, pattern mining, the fraud pipeline |
 //! | [`datagen`] | deterministic synthetic datasets (bike sharing, fraud, random) |
 //! | [`storage`] | the Table-1 experiment: all-in-graph vs polyglot persistence backends |
+//! | [`persist`] | durable storage engine: write-ahead log, checkpoints, crash recovery |
 
 pub use hygraph_analytics as analytics;
 pub use hygraph_core as core;
 pub use hygraph_datagen as datagen;
 pub use hygraph_graph as graph;
+pub use hygraph_persist as persist;
 pub use hygraph_query as query_engine;
 pub use hygraph_storage as storage;
 pub use hygraph_ts as ts;

@@ -212,12 +212,12 @@ fn persistence_roundtrip_preserves_query_results() {
              ORDER BY who";
     let before = query(&hg, q).expect("query runs");
 
-    let text = io::to_string(&hg);
+    let text = io::to_string(&hg).expect("serialises");
     let reloaded = io::from_str(&text).expect("parses");
     let after = query(&reloaded, q).expect("query runs after reload");
     assert_eq!(before, after, "results identical after text round-trip");
     // canonical form: serialising the reloaded instance is byte-identical
-    assert_eq!(io::to_string(&reloaded), text);
+    assert_eq!(io::to_string(&reloaded).expect("serialises"), text);
 }
 
 #[test]

@@ -287,12 +287,12 @@ proptest! {
             let _ = hg.add_pg_edge(a, b, ["E"], PropertyMap::new());
         }
         prop_assume!(hg.validate().is_ok());
-        let text = io::to_string(&hg);
+        let text = io::to_string(&hg).expect("serialises");
         let back = io::from_str(&text).expect("round-trip parses");
         prop_assert_eq!(back.vertex_count(), hg.vertex_count());
         prop_assert_eq!(back.edge_count(), hg.edge_count());
         prop_assert_eq!(back.series_count(), hg.series_count());
         // canonical: re-serialisation is identical
-        prop_assert_eq!(io::to_string(&back), text);
+        prop_assert_eq!(io::to_string(&back).expect("serialises"), text);
     }
 }

@@ -518,7 +518,11 @@ macro_rules! prop_assert_ne {
         if *l == *r {
             return Err($crate::TestCaseError::fail(format!(
                 "assertion failed: {} != {} at {}:{} (both: {:?})",
-                stringify!($lhs), stringify!($rhs), file!(), line!(), l
+                stringify!($lhs),
+                stringify!($rhs),
+                file!(),
+                line!(),
+                l
             )));
         }
     }};

@@ -32,7 +32,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
 fn env_threads(var: &str) -> Option<usize> {
-    std::env::var(var).ok()?.trim().parse::<usize>().ok().filter(|&n| n > 0)
+    std::env::var(var)
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
 }
 
 /// The number of worker threads parallel operations will use.
@@ -183,7 +188,9 @@ fn drive<P: ParallelIterator>(p: &P) -> Vec<P::Item> {
             }));
         }
         let first = catch_unwind(AssertUnwindSafe(|| {
-            (0..chunk.min(len)).map(|i| p.par_get(i)).collect::<Vec<_>>()
+            (0..chunk.min(len))
+                .map(|i| p.par_get(i))
+                .collect::<Vec<_>>()
         }));
         // join every worker before unwinding so the scope exits cleanly
         let rest: Vec<_> = handles
@@ -427,8 +434,9 @@ mod tests {
     fn float_map_is_bit_identical() {
         let xs: Vec<f64> = (0..4096).map(|i| i as f64 * 0.1).collect();
         let seq: Vec<f64> = xs.iter().map(|x| (x.sin() * 1e6).sqrt()).collect();
-        let par: Vec<f64> =
-            with_threads(7, || xs.par_iter().map(|x| (x.sin() * 1e6).sqrt()).collect());
+        let par: Vec<f64> = with_threads(7, || {
+            xs.par_iter().map(|x| (x.sin() * 1e6).sqrt()).collect()
+        });
         assert_eq!(seq.len(), par.len());
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.to_bits(), b.to_bits());
@@ -470,7 +478,10 @@ mod tests {
     fn builder_overrides_thread_count() {
         let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let prev = THREAD_OVERRIDE.load(Ordering::Relaxed);
-        ThreadPoolBuilder::new().num_threads(3).build_global().unwrap();
+        ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .unwrap();
         assert_eq!(current_num_threads(), 3);
         THREAD_OVERRIDE.store(prev, Ordering::Relaxed);
     }
