@@ -9,13 +9,16 @@
 //! └─────────┴───────┴──────────┴──────────┴─────────────────────┘
 //! ```
 //!
-//! Checkpoints are written directly under their final name: a crash
-//! mid-write leaves a file whose length or CRC disagrees with its
-//! header, and [`load_latest`] skips it and falls back to the previous
-//! checkpoint — a scenario the fault-injection tests exercise
-//! explicitly. After a checkpoint is fully synced, WAL segments below
-//! its LSN are purged; never before, so the fallback always has the
-//! log it needs.
+//! Checkpoints are staged to a `.tmp` sibling and renamed over the
+//! final name only after `fsync`: an existing intact checkpoint is
+//! never truncated, and a crash mid-write leaves at most a stray
+//! `.tmp` (ignored on load, swept by [`purge_older`]). Should a file
+//! under the final name still end up with a length or CRC that
+//! disagrees with its header, [`load_latest`] skips it and falls back
+//! to the previous checkpoint — a scenario the fault-injection tests
+//! exercise explicitly. After a checkpoint is fully synced, WAL
+//! segments below its LSN are purged; never before, so the fallback
+//! always has the log it needs.
 
 use hygraph_types::bytes::crc32;
 use hygraph_types::{HyGraphError, Result};
@@ -52,15 +55,34 @@ pub fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
 }
 
 /// Writes and fsyncs a checkpoint of `state` at `lsn`. Returns its path.
+///
+/// The bytes are staged to a `.tmp` sibling and renamed into place
+/// only after `fsync`, so a checkpoint already under the final name is
+/// never truncated: a crash at any point leaves either the old file or
+/// the complete new one.
 pub fn write_checkpoint(dir: &Path, tag: [u8; 4], lsn: u64, state: &[u8]) -> Result<PathBuf> {
+    let len = u32::try_from(state.len()).map_err(|_| {
+        // refuse before any file is touched: an oversized length field
+        // would be silently wrapped, and the unreadable checkpoint would
+        // then license purging the WAL needed to recover
+        HyGraphError::invalid(format!(
+            "checkpoint state is {} bytes, above the {}-byte u32 header limit",
+            state.len(),
+            u32::MAX,
+        ))
+    })?;
     let path = dir.join(checkpoint_name(lsn));
-    let mut file = File::create(&path)?;
-    file.write_all(CKPT_MAGIC)?;
-    file.write_all(&tag)?;
-    file.write_all(&(state.len() as u32).to_le_bytes())?;
-    file.write_all(&crc32(state).to_le_bytes())?;
-    file.write_all(state)?;
-    file.sync_all()?;
+    let tmp = dir.join(format!("{}.tmp", checkpoint_name(lsn)));
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(CKPT_MAGIC)?;
+        file.write_all(&tag)?;
+        file.write_all(&len.to_le_bytes())?;
+        file.write_all(&crc32(state).to_le_bytes())?;
+        file.write_all(state)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, &path)?;
     if let Ok(d) = File::open(dir) {
         d.sync_all()?;
     }
@@ -111,11 +133,20 @@ pub fn load_latest(dir: &Path, tag: [u8; 4]) -> Result<Option<(u64, Vec<u8>)>> {
 }
 
 /// Deletes every checkpoint older than `keep_lsn` (the newest intact
-/// one stays by construction, since its LSN equals `keep_lsn`).
+/// one stays by construction, since its LSN equals `keep_lsn`), plus
+/// any stray `.tmp` a crashed [`write_checkpoint`] left behind.
 pub fn purge_older(dir: &Path, keep_lsn: u64) -> Result<()> {
     for (lsn, path) in list_checkpoints(dir)? {
         if lsn < keep_lsn {
             std::fs::remove_file(path)?;
+        }
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("ckpt-") && name.ends_with(".ck.tmp") {
+            std::fs::remove_file(entry.path())?;
         }
     }
     Ok(())
@@ -192,6 +223,26 @@ mod tests {
         assert!(load_latest(&dir, *b"OTHR").is_err(), "foreign store opened");
         // the file survives for its rightful owner
         assert_eq!(list_checkpoints(&dir).unwrap().len(), 1);
+        assert!(load_latest(&dir, TAG).unwrap().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rewrite_at_same_lsn_never_truncates_the_intact_file() {
+        let dir = scratch_dir("ckpt-rewrite");
+        write_checkpoint(&dir, TAG, 7, b"first").unwrap();
+        // a rewrite at the same LSN replaces the file atomically…
+        write_checkpoint(&dir, TAG, 7, b"second").unwrap();
+        let (lsn, payload) = load_latest(&dir, TAG).unwrap().unwrap();
+        assert_eq!((lsn, payload.as_slice()), (7, &b"second"[..]));
+        // …and a crash mid-rewrite leaves only a torn .tmp, which can
+        // neither shadow the intact file nor survive the next purge
+        let tmp = dir.join("ckpt-0000000000000007.ck.tmp");
+        std::fs::write(&tmp, b"HGCK1ga").unwrap();
+        let (lsn, payload) = load_latest(&dir, TAG).unwrap().unwrap();
+        assert_eq!((lsn, payload.as_slice()), (7, &b"second"[..]));
+        purge_older(&dir, 7).unwrap();
+        assert!(!tmp.exists(), "stray tmp swept by purge");
         assert!(load_latest(&dir, TAG).unwrap().is_some());
         std::fs::remove_dir_all(&dir).ok();
     }

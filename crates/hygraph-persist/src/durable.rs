@@ -87,6 +87,10 @@ pub struct DurableStore<S: Durable> {
     state: S,
     wal: Wal,
     checkpoint_lsn: u64,
+    /// Whether an intact checkpoint at `checkpoint_lsn` exists on disk —
+    /// false only while `open`/`create` bootstrap a fresh directory, so
+    /// the initial checkpoint is never skipped as "already written".
+    checkpoint_on_disk: bool,
     /// Records staged since the last checkpoint (drives auto-checkpoint).
     since_checkpoint: u64,
 }
@@ -124,13 +128,15 @@ impl<S: Durable> DurableStore<S> {
             },
         )?;
 
+        let checkpoint_on_disk = !checkpoint::list_checkpoints(&dir)?.is_empty();
         let mut store = Self {
             state,
             wal,
             checkpoint_lsn,
+            checkpoint_on_disk,
             since_checkpoint: 0,
         };
-        if checkpoint::list_checkpoints(store.dir())?.is_empty() {
+        if !checkpoint_on_disk {
             // first open of a fresh directory: pin the empty state so
             // recovery always has a checkpoint to start from
             store.checkpoint()?;
@@ -165,6 +171,7 @@ impl<S: Durable> DurableStore<S> {
             state: initial,
             wal,
             checkpoint_lsn: 0,
+            checkpoint_on_disk: false,
             since_checkpoint: 0,
         };
         store.checkpoint()?;
@@ -240,9 +247,17 @@ impl<S: Durable> DurableStore<S> {
 
     /// Snapshots the full state at the current LSN, then rotates the
     /// log and purges segments and checkpoints the snapshot supersedes.
+    ///
+    /// On a quiescent store (no mutations since the last checkpoint)
+    /// this is a no-op: the checkpoint on disk already captures the
+    /// exact state, and rewriting it would only put the sole intact
+    /// snapshot back at risk for nothing.
     pub fn checkpoint(&mut self) -> Result<()> {
         self.wal.sync()?;
         let lsn = self.wal.next_lsn();
+        if self.checkpoint_on_disk && lsn == self.checkpoint_lsn {
+            return Ok(());
+        }
         let bytes = self.state_bytes();
         checkpoint::write_checkpoint(self.wal.dir(), S::STORE_TAG, lsn, &bytes)?;
         // only after the snapshot is durable may its inputs be deleted
@@ -250,6 +265,7 @@ impl<S: Durable> DurableStore<S> {
         self.wal.rotate();
         self.wal.purge_up_to(lsn)?;
         self.checkpoint_lsn = lsn;
+        self.checkpoint_on_disk = true;
         self.since_checkpoint = 0;
         Ok(())
     }

@@ -86,6 +86,15 @@ pub struct Wal {
     /// `next_lsn` as of the last successful [`Wal::sync`] — everything
     /// below this is durable.
     durable_lsn: u64,
+    /// Set when a failed sync left the active segment in a state that
+    /// could not be wound back: further syncs refuse, because retrying
+    /// would append the batch *after* the torn bytes and then claim it
+    /// durable while recovery truncates at the tear.
+    poisoned: bool,
+    /// Test-only fault injection: the next batch write persists at most
+    /// this many bytes, then errors (a disk filling up mid-`write`).
+    #[cfg(test)]
+    fail_write_after: Option<usize>,
 }
 
 impl Wal {
@@ -102,6 +111,9 @@ impl Wal {
             pending_base: 0,
             next_lsn: 0,
             durable_lsn: 0,
+            poisoned: false,
+            #[cfg(test)]
+            fail_write_after: None,
         })
     }
 
@@ -118,6 +130,19 @@ impl Wal {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         let segments = list_segments(&dir)?;
+        if let Some((first_base, _)) = segments.first() {
+            // the log must reach back to the recovery watermark: a first
+            // segment starting above it means the prefix (and whatever
+            // checkpoint covered it) is gone — replaying the suffix onto
+            // a state missing those mutations would be silently wrong
+            if *first_base > from_lsn {
+                return Err(HyGraphError::corrupt(format!(
+                    "WAL in {} starts at LSN {first_base} but recovery needs LSN {from_lsn}: \
+                     the log prefix (or the checkpoint covering it) is missing",
+                    dir.display(),
+                )));
+            }
+        }
         let mut expected: Option<u64> = None;
         let mut survivors: Vec<(u64, PathBuf, u64)> = Vec::new(); // (base, path, file len)
         let mut torn = false;
@@ -221,6 +246,9 @@ impl Wal {
             pending_base: next_lsn,
             next_lsn,
             durable_lsn: next_lsn,
+            poisoned: false,
+            #[cfg(test)]
+            fail_write_after: None,
         })
     }
 
@@ -283,7 +311,20 @@ impl Wal {
     /// Writes the batch with one `write` + `fdatasync`, rotating first
     /// if the active segment is over the size threshold. On success the
     /// whole batch is durable.
+    ///
+    /// A failed sync is safe to retry: a partially written batch is
+    /// wound back to the segment's known-good length first, so the
+    /// retry cannot land the batch after torn bytes. If the wind-back
+    /// itself fails (or the `fdatasync` fails, after which the kernel
+    /// may silently drop the error state), the log is poisoned and
+    /// refuses all further syncs — reopen the store to recover the
+    /// durable prefix.
     pub fn sync(&mut self) -> Result<()> {
+        if self.poisoned {
+            return Err(HyGraphError::corrupt(
+                "WAL poisoned by an earlier failed sync; reopen the store to recover",
+            ));
+        }
         if self.pending.is_empty() {
             return Ok(());
         }
@@ -308,9 +349,43 @@ impl Wal {
                 len: SEGMENT_HEADER_BYTES as u64,
             });
         }
+        #[cfg(test)]
+        let injected_quota = self.fail_write_after.take();
         let a = self.active.as_mut().expect("active segment opened above");
-        a.file.write_all(&self.pending)?;
-        a.file.sync_data()?;
+        #[cfg(test)]
+        let write_res = match injected_quota {
+            Some(quota) => {
+                let n = quota.min(self.pending.len());
+                a.file
+                    .write_all(&self.pending[..n])
+                    .and_then(|()| Err(std::io::Error::other("injected write fault")))
+            }
+            None => a.file.write_all(&self.pending),
+        };
+        #[cfg(not(test))]
+        let write_res = a.file.write_all(&self.pending);
+        if let Err(e) = write_res {
+            // part of the batch may already be in the file: wind the
+            // segment (and the write cursor) back to the known-good
+            // length so a retried sync starts exactly where the last
+            // successful one ended
+            use std::io::{Seek as _, SeekFrom};
+            let rewound = a
+                .file
+                .set_len(a.len)
+                .and_then(|()| a.file.seek(SeekFrom::Start(a.len)).map(|_| ()));
+            if rewound.is_err() {
+                self.poisoned = true;
+            }
+            return Err(e.into());
+        }
+        if let Err(e) = a.file.sync_data() {
+            // after a failed fdatasync the fate of the just-written
+            // bytes is unknowable (the kernel may clear the error), so
+            // nothing later can be trusted to reach disk
+            self.poisoned = true;
+            return Err(e.into());
+        }
         a.len += self.pending.len() as u64;
         self.pending.clear();
         self.pending_base = self.next_lsn;
@@ -331,20 +406,14 @@ impl Wal {
     pub fn purge_up_to(&mut self, lsn: u64) -> Result<()> {
         let segments = list_segments(&self.dir)?;
         let active_path = self.active.as_ref().map(|a| a.path.clone());
+        // windows(2) never visits the last segment, so the tail — which
+        // may be active or carry the next appends — is always kept
         for window in segments.windows(2) {
             let (_, ref path) = window[0];
             let (next_base, _) = window[1];
             // every frame of window[0] has LSN < next_base
             if next_base <= lsn && Some(path) != active_path.as_ref() {
                 std::fs::remove_file(path)?;
-            }
-        }
-        // the last segment is covered only if it holds nothing ≥ lsn
-        // AND appends have moved on (it is not active)
-        if let Some((base, path)) = segments.last() {
-            if *base >= lsn && self.next_lsn == *base && Some(path) != active_path.as_ref() {
-                // empty tail segment fully superseded: leave it; it will
-                // carry the next appends
             }
         }
         sync_dir(&self.dir)?;
@@ -526,16 +595,63 @@ mod tests {
         wal.purge_up_to(wal.next_lsn()).unwrap();
         let after = list_segments(&dir).unwrap();
         assert!(after.len() < before, "covered segments deleted");
-        // recovery over the purged log replays only what remains — and
-        // what remains is still sequential up to next_lsn
-        let mut max_seen = None;
-        let wal2 = Wal::recover(&dir, TAG, 64, 0, |lsn, _| {
-            max_seen = Some(lsn);
-            Ok(())
-        })
-        .unwrap();
+        // a purged log only opens from a watermark the surviving
+        // segments cover (the checkpoint's LSN); recovering from 0
+        // would silently skip the purged prefix and must fail loudly
+        assert!(Wal::recover(&dir, TAG, 64, 0, |_, _| Ok(())).is_err());
+        // ...while recovery from the watermark replays what remains and
+        // positions the log at next_lsn
+        let wal2 = Wal::recover(&dir, TAG, 64, 30, |_, _| Ok(())).unwrap();
         assert_eq!(wal2.next_lsn(), 30);
-        let _ = max_seen;
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_log_prefix_is_a_loud_error() {
+        let dir = scratch_dir("prefix");
+        let mut wal = Wal::create(&dir, TAG, 64).unwrap();
+        for i in 0..30u64 {
+            wal.append(format!("record-{i:05}").as_bytes());
+            wal.sync().unwrap();
+        }
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() >= 3);
+        // the first segment vanishes (lost checkpoint scenario): the
+        // remaining suffix must not be replayed onto a state missing
+        // the prefix mutations
+        std::fs::remove_file(&segments[0].1).unwrap();
+        let res = Wal::recover(&dir, TAG, 64, 0, |_, _| Ok(()));
+        assert!(res.is_err(), "missing prefix silently skipped");
+        // the error is detected before anything is deleted
+        assert_eq!(list_segments(&dir).unwrap().len(), segments.len() - 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_sync_is_safe_to_retry() {
+        let dir = scratch_dir("retry");
+        let mut wal = Wal::create(&dir, TAG, 4096).unwrap();
+        wal.append(b"first");
+        wal.sync().unwrap();
+        wal.append(b"second");
+        wal.append(b"third");
+        // the write persists 7 bytes of the batch, then errors (ENOSPC)
+        wal.fail_write_after = Some(7);
+        assert!(wal.sync().is_err());
+        assert_eq!(wal.durable_lsn(), 1, "failed batch not reported durable");
+        // the retry must not append the batch after the torn fragment:
+        // all three records recover, in order, with nothing in between
+        wal.sync().unwrap();
+        assert_eq!(wal.durable_lsn(), 3);
+        let (seen, _) = collect(&dir, 0);
+        assert_eq!(
+            seen,
+            vec![
+                (0, b"first".to_vec()),
+                (1, b"second".to_vec()),
+                (2, b"third".to_vec()),
+            ]
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -312,6 +312,46 @@ fn hygraph_recovery_is_exact_under_faults() {
     fault_suite::<hygraph_core::HyGraph>("faults-hg", ops, &[8]);
 }
 
+/// Re-checkpointing a quiescent store (periodic checkpointer ticking
+/// with no traffic, or an explicit checkpoint at shutdown right after
+/// an auto-checkpoint) must never endanger the — after purge, only —
+/// intact checkpoint: it is a no-op, and even a crash mid-rewrite
+/// leaves the old snapshot loadable.
+#[test]
+fn quiescent_recheckpoint_never_endangers_the_only_checkpoint() {
+    configure();
+    let dir = scratch_dir("faults-quiesce");
+    let mut store: DurableStore<PolyglotStore> = DurableStore::open(&dir).expect("open fresh");
+    for m in station_workload() {
+        store.commit(m).expect("commit");
+    }
+    store.checkpoint().expect("checkpoint");
+    let golden = store.state_bytes();
+    let after_first = snapshot_dir(&dir).expect("snapshot");
+    // a second checkpoint with nothing new to capture changes no bytes
+    store.checkpoint().expect("re-checkpoint");
+    assert_eq!(
+        snapshot_dir(&dir).expect("snapshot"),
+        after_first,
+        "quiescent checkpoint rewrote on-disk state"
+    );
+    store.close().expect("close");
+    // a crash mid-rewrite of the same checkpoint leaves only a torn
+    // .tmp sibling, which must not shadow the intact snapshot
+    let ck_name = after_first
+        .iter()
+        .map(|(n, _)| n.clone())
+        .find(|n| n.starts_with("ckpt-"))
+        .expect("checkpoint on disk");
+    std::fs::write(dir.join(format!("{ck_name}.tmp")), b"HGCK1torn").expect("write torn tmp");
+    let recovered = recovered_state::<PolyglotStore>(&dir);
+    assert_eq!(
+        recovered, golden,
+        "crashed quiescent re-checkpoint lost committed state"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The bulk-load-then-go-durable path: `DurableStore::create` seeds the
 /// log with a full checkpoint of a dataset-loaded store, incremental
 /// commits ride the WAL, and an unclean drop recovers bit-exactly.
