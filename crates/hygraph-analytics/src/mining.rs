@@ -170,13 +170,14 @@ impl Default for SaxParams {
 /// Joins frequent structural edge patterns with frequent temporal words
 /// of the source vertices' series. A hybrid pattern's support is the
 /// number of edge instances whose source vertex exhibits the word at
-/// least once.
+/// least once. Errors on invalid SAX parameters (alphabet outside
+/// 2..=8, zero word length) instead of panicking.
 pub fn hybrid_patterns(
     hg: &HyGraph,
     min_structural_support: usize,
     min_word_support: usize,
     params: SaxParams,
-) -> Vec<HybridPattern> {
+) -> hygraph_types::Result<Vec<HybridPattern>> {
     let structural = frequent_edge_patterns(hg, min_structural_support);
     let g = hg.topology();
     // per-vertex set of words it exhibits
@@ -186,7 +187,7 @@ pub fn hybrid_patterns(
     for v in ids {
         if let Some(series) = vertex_series(hg, v) {
             let freq =
-                sax::frequent_words(&series, params.window, params.word_len, params.alphabet, 1);
+                sax::frequent_words(&series, params.window, params.word_len, params.alphabet, 1)?;
             words_of.insert(v, freq.into_iter().map(|(w, _)| w).collect());
         }
     }
@@ -221,7 +222,7 @@ pub fn hybrid_patterns(
         }
     }
     out.sort_by(|a, b| b.support.cmp(&a.support).then_with(|| a.word.cmp(&b.word)));
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -285,7 +286,7 @@ mod tests {
     #[test]
     fn hybrid_patterns_join_structure_and_words() {
         let hg = fraud_like();
-        let hybrids = hybrid_patterns(&hg, 2, 2, SaxParams::default());
+        let hybrids = hybrid_patterns(&hg, 2, 2, SaxParams::default()).unwrap();
         assert!(!hybrids.is_empty(), "rising cards share SAX words");
         let top = &hybrids[0];
         assert_eq!(top.structure.to_string(), "(:Card)-[:TX]->(:Merchant)");
@@ -300,6 +301,18 @@ mod tests {
         let hg = HyGraph::new();
         assert!(frequent_edge_patterns(&hg, 1).is_empty());
         assert!(frequent_two_hop_patterns(&hg, 1).is_empty());
-        assert!(hybrid_patterns(&hg, 1, 1, SaxParams::default()).is_empty());
+        assert!(hybrid_patterns(&hg, 1, 1, SaxParams::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn invalid_sax_params_error_not_panic() {
+        let hg = fraud_like();
+        let bad = SaxParams {
+            alphabet: 9,
+            ..SaxParams::default()
+        };
+        assert!(hybrid_patterns(&hg, 1, 1, bad).is_err());
     }
 }

@@ -49,7 +49,13 @@ fn bench_series_ops(c: &mut Criterion) {
         b.iter(|| black_box(ops::features::feature_vector(&series)))
     });
     g.bench_function("c2_sax_words", |b| {
-        b.iter(|| black_box(ops::sax::frequent_words(&series, 288, 6, 4, 2).len()))
+        b.iter(|| {
+            black_box(
+                ops::sax::frequent_words(&series, 288, 6, 4, 2)
+                    .expect("valid SAX params")
+                    .len(),
+            )
+        })
     });
     g.finish();
 }

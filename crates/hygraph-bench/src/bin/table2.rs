@@ -161,7 +161,7 @@ fn main() {
 
     // C2: clustering inputs
     let (k1, t_ts) = time_ms(|| {
-        let words = ops::sax::frequent_words(&series, 288, 6, 4, 2);
+        let words = ops::sax::frequent_words(&series, 288, 6, 4, 2).expect("valid SAX params");
         words.len()
     });
     let (k2, t_g) = time_ms(|| community::label_propagation(&graph, 10).count);

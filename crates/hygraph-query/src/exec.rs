@@ -47,6 +47,44 @@ impl QueryResult {
         Some(self.rows.iter().map(|r| &r[idx]).collect())
     }
 
+    /// Encodes the result with the workspace binary codecs — column
+    /// names, then rows of tagged [`Value`]s. This is the wire form the
+    /// serving layer ships to clients.
+    pub fn encode(&self, w: &mut hygraph_types::bytes::ByteWriter) {
+        w.len_of(self.columns.len());
+        for c in &self.columns {
+            w.str(c);
+        }
+        w.len_of(self.rows.len());
+        for row in &self.rows {
+            w.len_of(row.len());
+            for v in row {
+                w.value(v);
+            }
+        }
+    }
+
+    /// Decodes a result written by [`QueryResult::encode`]. Input is
+    /// untrusted: malformed bytes error, never panic.
+    pub fn decode(r: &mut hygraph_types::bytes::ByteReader<'_>) -> Result<Self> {
+        let n_cols = r.len_of()?;
+        let mut columns = Vec::with_capacity(n_cols.min(1 << 12));
+        for _ in 0..n_cols {
+            columns.push(r.str()?);
+        }
+        let n_rows = r.len_of()?;
+        let mut rows = Vec::with_capacity(n_rows.min(1 << 16));
+        for _ in 0..n_rows {
+            let n = r.len_of()?;
+            let mut row = Vec::with_capacity(n.min(1 << 12));
+            for _ in 0..n {
+                row.push(r.value()?);
+            }
+            rows.push(row);
+        }
+        Ok(Self { columns, rows })
+    }
+
     /// Renders an aligned text table (for examples and bench binaries).
     pub fn render(&self) -> String {
         use std::fmt::Write;
@@ -810,6 +848,31 @@ mod tests {
             .pg_edge(Some("t3"), "c2", "m1", ["TX"], props! {"amount" => 20.0})
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn query_result_wire_roundtrip() {
+        let b = instance();
+        let r = query(
+            &b.hygraph,
+            "MATCH (u:User)-[:USES]->(c:CreditCard)-[t:TX]->(m:Merchant) \
+             RETURN u.name AS who, t.amount AS amount, \
+             MEAN(DELTA(c) IN [0, 1000)) AS spend ORDER BY who, amount",
+        )
+        .unwrap();
+        let mut w = hygraph_types::bytes::ByteWriter::new();
+        r.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut rd = hygraph_types::bytes::ByteReader::new(&bytes);
+        let back = QueryResult::decode(&mut rd).unwrap();
+        rd.expect_exhausted().unwrap();
+        assert_eq!(back, r);
+        // re-encoding is byte-identical (the serving layer's contract)
+        let mut w2 = hygraph_types::bytes::ByteWriter::new();
+        back.encode(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+        // malformed input errors instead of panicking
+        assert!(QueryResult::decode(&mut hygraph_types::bytes::ByteReader::new(&[0x80])).is_err());
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Clients: a blocking TCP [`Client`] speaking the wire protocol, and
+//! an in-process [`LocalClient`] that shares a server's engine directly
+//! (same locks, same execution paths, no sockets).
+//!
+//! The TCP client supports pipelining: [`Client::send`] returns the
+//! request id immediately, [`Client::recv`] returns the next response
+//! off the wire, and [`Client::call`] does a full round trip, holding
+//! out-of-order responses aside until the matching id arrives.
+
+use crate::engine::Engine;
+use crate::proto::{Request, Response};
+use hygraph_persist::HgMutation;
+use hygraph_query::QueryResult;
+use hygraph_types::net::{self, FrameRead, DEFAULT_MAX_FRAME_BYTES};
+use hygraph_types::{HyGraphError, Result};
+use std::collections::HashMap;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+/// A blocking TCP client for the HyGraph wire protocol.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    max_frame_bytes: usize,
+    /// Responses read while waiting for a different request id.
+    pending: HashMap<u64, Response>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            stream,
+            next_id: 1,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            pending: HashMap::new(),
+        })
+    }
+
+    /// Overrides the frame-size limit (must match the server's to make
+    /// use of a raised limit).
+    pub fn max_frame_bytes(mut self, n: usize) -> Self {
+        self.max_frame_bytes = n;
+        self
+    }
+
+    /// Sends a request without waiting for its response; returns the
+    /// request id to match against [`Client::recv`]. This is the
+    /// pipelining half — a load generator can keep several ids in
+    /// flight per connection.
+    pub fn send(&mut self, req: &Request) -> Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = req.to_frame(id);
+        net::write_frame(&mut self.stream, &frame, self.max_frame_bytes)?;
+        Ok(id)
+    }
+
+    /// Receives the next response off the wire as `(request_id,
+    /// response)`. Responses may arrive in any order relative to sends.
+    pub fn recv(&mut self) -> Result<(u64, Response)> {
+        match net::read_frame(&mut self.stream, self.max_frame_bytes)? {
+            FrameRead::Frame(frame) => {
+                let id = frame.request_id;
+                Ok((id, Response::from_frame(&frame)?))
+            }
+            FrameRead::Eof => Err(HyGraphError::unavailable(
+                "connection closed by server".to_owned(),
+            )),
+            FrameRead::Corrupt(msg) => Err(HyGraphError::corrupt(format!(
+                "response frame corrupt: {msg}"
+            ))),
+        }
+    }
+
+    /// Full round trip: send, then receive until the matching response
+    /// arrives. Out-of-order responses for other in-flight ids are held
+    /// aside for their own `call`/`recv_for`. A connection-level error
+    /// (request id 0, e.g. a frame the server could not CRC-verify)
+    /// surfaces immediately — its real id is unknowable.
+    pub fn call(&mut self, req: &Request) -> Result<Response> {
+        let id = self.send(req)?;
+        self.recv_for(id)
+    }
+
+    /// Receives until the response for `id` arrives (see
+    /// [`Client::call`]).
+    pub fn recv_for(&mut self, id: u64) -> Result<Response> {
+        if let Some(resp) = self.pending.remove(&id) {
+            return Ok(resp);
+        }
+        loop {
+            let (got, resp) = self.recv()?;
+            if got == id {
+                return Ok(resp);
+            }
+            if got == 0 {
+                return resp
+                    .into_result()
+                    .map(|_| unreachable!("id-0 frames are always connection-level errors"));
+            }
+            self.pending.insert(got, resp);
+        }
+    }
+
+    fn expect<T>(
+        &mut self,
+        req: &Request,
+        extract: impl FnOnce(Response) -> Option<T>,
+    ) -> Result<T> {
+        let resp = self.call(req)?.into_result()?;
+        let kind = resp.kind();
+        extract(resp).ok_or_else(|| {
+            HyGraphError::corrupt(format!("unexpected response kind {kind} for request"))
+        })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        self.expect(&Request::Ping, |r| {
+            matches!(r, Response::Pong).then_some(())
+        })
+    }
+
+    /// Executes a HyQL query and returns its rows.
+    pub fn query(&mut self, text: impl Into<String>) -> Result<QueryResult> {
+        self.expect(&Request::Query(text.into()), |r| match r {
+            Response::Rows(rows) => Some(rows),
+            _ => None,
+        })
+    }
+
+    /// Commits one mutation; returns `(lsn, 1)`.
+    pub fn mutate(&mut self, m: HgMutation) -> Result<(u64, u64)> {
+        self.expect(&Request::Mutate(m), |r| match r {
+            Response::Committed { first_lsn, count } => Some((first_lsn, count)),
+            _ => None,
+        })
+    }
+
+    /// Group-commits a batch; returns `(first_lsn, count)`.
+    pub fn mutate_batch(&mut self, ms: Vec<HgMutation>) -> Result<(u64, u64)> {
+        self.expect(&Request::MutateBatch(ms), |r| match r {
+            Response::Committed { first_lsn, count } => Some((first_lsn, count)),
+            _ => None,
+        })
+    }
+
+    /// Forces a checkpoint; returns its LSN.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        self.expect(&Request::Checkpoint, |r| match r {
+            Response::CheckpointDone { lsn } => Some(lsn),
+            _ => None,
+        })
+    }
+
+    /// Parks a server worker for `ms` milliseconds (capped server-side
+    /// at [`crate::proto::MAX_SLEEP_MS`]). Load tests use this to
+    /// saturate the pool deterministically.
+    pub fn sleep(&mut self, ms: u64) -> Result<()> {
+        self.expect(&Request::Sleep(ms), |r| {
+            matches!(r, Response::Pong).then_some(())
+        })
+    }
+
+    /// Closes the connection (dropping the client does the same).
+    pub fn close(self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("peer", &self.stream.peer_addr().ok())
+            .field("next_id", &self.next_id)
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+/// An in-process client over a shared [`Engine`] — the zero-copy
+/// baseline the integration tests compare served results against, and
+/// the way embedded callers reach a running server's state without a
+/// socket.
+#[derive(Clone, Debug)]
+pub struct LocalClient {
+    engine: Arc<Engine>,
+}
+
+impl LocalClient {
+    /// A client over `engine` (see [`crate::Server::local_client`]).
+    pub fn new(engine: Arc<Engine>) -> Self {
+        Self { engine }
+    }
+
+    /// Executes a HyQL query under the engine's read lock.
+    pub fn query(&self, text: &str) -> Result<QueryResult> {
+        self.engine.query(text)
+    }
+
+    /// Commits a batch of mutations; returns `(first_lsn, count)`.
+    pub fn mutate_batch(&self, ms: Vec<HgMutation>) -> Result<(u64, u64)> {
+        self.engine.mutate_batch(ms)
+    }
+
+    /// Forces a checkpoint; returns its LSN.
+    pub fn checkpoint(&self) -> Result<u64> {
+        self.engine.checkpoint()
+    }
+
+    /// Runs `f` against the live graph under the read lock.
+    pub fn with_graph<R>(&self, f: impl FnOnce(&hygraph_core::HyGraph) -> R) -> R {
+        self.engine.with_graph(f)
+    }
+
+    /// Executes one protocol request exactly as a worker would (minus
+    /// the queue and deadline).
+    pub fn handle(&self, req: &Request) -> Response {
+        self.engine.handle(req)
+    }
+}

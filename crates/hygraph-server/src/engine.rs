@@ -1,0 +1,297 @@
+//! The session-shared execution engine: one HyGraph instance — plain or
+//! durable — behind a readers/writer lock.
+//!
+//! Queries take the read lock and run concurrently; mutations take the
+//! write lock and go through the durable store's group-commit path when
+//! persistence is on. The engine is the single place that maps
+//! [`Request`]s to [`Response`]s, so the TCP server, the in-process
+//! [`crate::LocalClient`], and the load generator all execute requests
+//! identically.
+
+use crate::proto::{ErrorCode, Request, Response};
+use hygraph_core::HyGraph;
+use hygraph_persist::{Durable, DurableStore, HgMutation};
+use hygraph_query::QueryResult;
+use hygraph_types::bytes::ByteWriter;
+use hygraph_types::Result;
+use std::sync::RwLock;
+
+/// The state a server serves: the full hybrid model, either purely in
+/// memory or wrapped in the WAL/checkpoint engine.
+pub enum Backend {
+    /// In-memory only — mutations die with the process. `applied`
+    /// counts mutations so replies carry monotone pseudo-LSNs.
+    Memory {
+        /// The instance.
+        hg: Box<HyGraph>,
+        /// Mutations applied so far (the pseudo-LSN counter).
+        applied: u64,
+    },
+    /// Durable: every committed mutation is WAL-logged and survives a
+    /// crash (see `hygraph-persist`).
+    Durable(Box<DurableStore<HyGraph>>),
+}
+
+impl Backend {
+    /// An in-memory backend over `hg`.
+    pub fn memory(hg: HyGraph) -> Self {
+        Backend::Memory {
+            hg: Box::new(hg),
+            applied: 0,
+        }
+    }
+
+    /// A durable backend over an opened store.
+    pub fn durable(store: DurableStore<HyGraph>) -> Self {
+        Backend::Durable(Box::new(store))
+    }
+
+    /// The wrapped instance, whichever backend holds it.
+    pub fn graph(&self) -> &HyGraph {
+        match self {
+            Backend::Memory { hg, .. } => hg,
+            Backend::Durable(store) => store.get(),
+        }
+    }
+
+    /// The exact binary state encoding (recovery tests compare these
+    /// bytes for bit-identity across a shutdown/reopen cycle).
+    pub fn state_bytes(&self) -> Vec<u8> {
+        match self {
+            Backend::Memory { hg, .. } => {
+                let mut w = ByteWriter::new();
+                hg.encode_state(&mut w);
+                w.into_bytes()
+            }
+            Backend::Durable(store) => store.state_bytes(),
+        }
+    }
+}
+
+/// Thread-safe request executor over a [`Backend`] (see module docs).
+pub struct Engine {
+    inner: RwLock<Backend>,
+}
+
+impl Engine {
+    /// An engine serving `backend`.
+    pub fn new(backend: Backend) -> Self {
+        Self {
+            inner: RwLock::new(backend),
+        }
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Backend> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Backend> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Executes a HyQL query under the read lock (concurrent with other
+    /// queries).
+    pub fn query(&self, text: &str) -> Result<QueryResult> {
+        let guard = self.read();
+        hygraph_query::query(guard.graph(), text)
+    }
+
+    /// Runs `f` against the instance under the read lock — how tests
+    /// compare served results against direct library calls.
+    pub fn with_graph<R>(&self, f: impl FnOnce(&HyGraph) -> R) -> R {
+        f(self.read().graph())
+    }
+
+    /// Applies a batch of mutations under the write lock. Durable
+    /// backends group-commit (WAL append + one fsync); on reply the
+    /// batch is on disk. Returns `(first_lsn, count)`.
+    pub fn mutate_batch(&self, mutations: Vec<HgMutation>) -> Result<(u64, u64)> {
+        let count = mutations.len() as u64;
+        let mut guard = self.write();
+        match &mut *guard {
+            Backend::Memory { hg, applied } => {
+                let first = *applied;
+                for m in &mutations {
+                    hg.apply(m)?;
+                    *applied += 1;
+                }
+                Ok((first, count))
+            }
+            Backend::Durable(store) => {
+                let range = store.commit_batch(mutations)?;
+                Ok((range.start, range.end - range.start))
+            }
+        }
+    }
+
+    /// Forces a checkpoint on a durable backend; a no-op pseudo-LSN
+    /// report on a memory backend.
+    pub fn checkpoint(&self) -> Result<u64> {
+        let mut guard = self.write();
+        match &mut *guard {
+            Backend::Memory { applied, .. } => Ok(*applied),
+            Backend::Durable(store) => {
+                store.checkpoint()?;
+                Ok(store.checkpoint_lsn())
+            }
+        }
+    }
+
+    /// Makes every staged mutation durable — the shutdown path's final
+    /// WAL sync. A no-op for memory backends.
+    pub fn sync(&self) -> Result<()> {
+        match &mut *self.write() {
+            Backend::Memory { .. } => Ok(()),
+            Backend::Durable(store) => store.sync(),
+        }
+    }
+
+    /// Executes one request, mapping every failure to a typed error
+    /// response — the engine never panics on client input and never
+    /// loses an error. [`Request::Sleep`] is *not* handled here (it
+    /// would hold no lock but would still occupy this call); the worker
+    /// pool services it before consulting the engine.
+    pub fn handle(&self, request: &Request) -> Response {
+        let result = match request {
+            Request::Ping | Request::Sleep(_) => return Response::Pong,
+            Request::Query(text) => self.query(text).map(Response::Rows),
+            Request::Mutate(m) => self
+                .mutate_batch(vec![m.clone()])
+                .map(|(first_lsn, count)| Response::Committed { first_lsn, count }),
+            Request::MutateBatch(ms) => self
+                .mutate_batch(ms.clone())
+                .map(|(first_lsn, count)| Response::Committed { first_lsn, count }),
+            Request::Checkpoint => self
+                .checkpoint()
+                .map(|lsn| Response::CheckpointDone { lsn }),
+        };
+        result.unwrap_or_else(|e| Response::Error {
+            code: ErrorCode::Exec,
+            message: e.to_string(),
+        })
+    }
+
+    /// The exact binary state encoding at this instant.
+    pub fn state_bytes(&self) -> Vec<u8> {
+        self.read().state_bytes()
+    }
+
+    /// Consumes the engine, returning the backend (the shutdown path
+    /// hands it back for inspection or reuse).
+    pub fn into_backend(self) -> Backend {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let guard = self.read();
+        let kind = match &*guard {
+            Backend::Memory { .. } => "memory",
+            Backend::Durable(_) => "durable",
+        };
+        f.debug_struct("Engine")
+            .field("backend", &kind)
+            .field("vertices", &guard.graph().vertex_count())
+            .finish()
+    }
+}
+
+// `HyGraphError` values crossing the engine are plain data; the lock
+// poisoning strategy above (into_inner) means a panicking writer cannot
+// wedge the server — but engine code paths return errors instead of
+// panicking in the first place.
+fn _engine_is_send_sync(e: Engine) -> impl Send + Sync {
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::{Interval, Label, PropertyMap, SeriesId, Timestamp};
+
+    fn seed_mutations() -> Vec<HgMutation> {
+        vec![
+            HgMutation::AddSeries {
+                names: vec!["avail".into()],
+                rows: vec![],
+            },
+            HgMutation::AddTsVertex {
+                labels: vec![Label::new("Station")],
+                series: SeriesId::new(0),
+            },
+            HgMutation::AddPgVertex {
+                labels: vec![Label::new("User")],
+                props: PropertyMap::new(),
+                validity: Interval::ALL,
+            },
+            HgMutation::Append {
+                series: SeriesId::new(0),
+                t: Timestamp::from_millis(5),
+                row: vec![3.5],
+            },
+        ]
+    }
+
+    #[test]
+    fn memory_engine_serves_queries_and_mutations() {
+        let engine = Engine::new(Backend::memory(HyGraph::new()));
+        let (first, count) = engine.mutate_batch(seed_mutations()).unwrap();
+        assert_eq!((first, count), (0, 4));
+        let r = engine
+            .query("MATCH (s:Station) RETURN COUNT(s) AS n")
+            .unwrap();
+        assert_eq!(r.rows[0][0], hygraph_types::Value::Int(1));
+        // pseudo-LSNs advance monotonically
+        let (first, _) = engine
+            .mutate_batch(vec![HgMutation::AddPgVertex {
+                labels: vec![Label::new("User")],
+                props: PropertyMap::new(),
+                validity: Interval::ALL,
+            }])
+            .unwrap();
+        assert_eq!(first, 4);
+    }
+
+    #[test]
+    fn handle_maps_failures_to_error_responses() {
+        let engine = Engine::new(Backend::memory(HyGraph::new()));
+        // bad query text
+        let resp = engine.handle(&Request::Query("MTCH oops".into()));
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::Exec,
+                ..
+            }
+        ));
+        // mutation referencing a missing series
+        let resp = engine.handle(&Request::Mutate(HgMutation::Append {
+            series: SeriesId::new(99),
+            t: Timestamp::from_millis(0),
+            row: vec![1.0],
+        }));
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::Exec,
+                ..
+            }
+        ));
+        assert_eq!(engine.handle(&Request::Ping), Response::Pong);
+    }
+
+    #[test]
+    fn partial_batch_failure_keeps_earlier_mutations() {
+        let engine = Engine::new(Backend::memory(HyGraph::new()));
+        let mut ms = seed_mutations();
+        ms.push(HgMutation::Append {
+            series: SeriesId::new(42), // rejected: no such series
+            t: Timestamp::from_millis(9),
+            row: vec![1.0],
+        });
+        assert!(engine.mutate_batch(ms).is_err());
+        // the valid prefix applied (matches DurableStore::commit_batch)
+        engine.with_graph(|hg| assert_eq!(hg.vertex_count(), 2));
+    }
+}

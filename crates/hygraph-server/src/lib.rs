@@ -1,0 +1,57 @@
+//! hygraph-server — the concurrent query-serving layer for HyGraph.
+//!
+//! Turns the embedded hybrid-graph library into a network service: a
+//! TCP server speaking a CRC-guarded, length-prefixed binary protocol
+//! (framing in [`hygraph_types::net`], vocabulary in [`proto`]) over a
+//! shared [`Engine`] holding either an in-memory [`hygraph_core::HyGraph`]
+//! or a durable [`hygraph_persist::DurableStore`].
+//!
+//! The serving pipeline is deliberately boring and explicit:
+//!
+//! * per-connection reader threads decode frames and **never block** —
+//!   admission goes through a bounded queue ([`queue::Bounded`]) and a
+//!   full queue is an immediate, typed overload rejection
+//!   ([`proto::ErrorCode::Overloaded`]), not latency;
+//! * a fixed worker pool (sized like the rest of the workspace, via
+//!   [`hygraph_types::parallel`]) executes requests under a
+//!   readers/writer lock — queries run concurrently, mutations
+//!   serialise through the WAL's group-commit path;
+//! * per-request deadlines drop stale queued work
+//!   ([`proto::ErrorCode::DeadlineExceeded`]) instead of executing it
+//!   after the client stopped caring;
+//! * graceful shutdown ([`Server::shutdown`]) drains every admitted
+//!   request, syncs the WAL, and only then closes connections.
+//!
+//! Configuration follows the workspace's layered-knob convention:
+//! `HYGRAPH_ADDR`, `HYGRAPH_WORKERS`, `HYGRAPH_QUEUE_DEPTH`, and
+//! `HYGRAPH_REQ_TIMEOUT_MS` from the environment, overridable
+//! programmatically via [`hygraph_types::net::ServerConfig`].
+//!
+//! ```
+//! use hygraph_server::{Backend, Client, Server};
+//! use hygraph_types::net::ServerConfig;
+//!
+//! let server = Server::serve(
+//!     Backend::memory(hygraph_core::HyGraph::new()),
+//!     &ServerConfig::new().addr("127.0.0.1:0").workers(2),
+//! )
+//! .unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! client.ping().unwrap();
+//! let rows = client.query("MATCH (n) RETURN COUNT(n) AS n").unwrap();
+//! assert_eq!(rows.columns, vec!["n"]);
+//! server.shutdown().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod engine;
+pub mod proto;
+pub mod queue;
+pub mod server;
+
+pub use client::{Client, LocalClient};
+pub use engine::{Backend, Engine};
+pub use proto::{ErrorCode, Request, Response};
+pub use server::{Server, ServerStats};

@@ -1,0 +1,392 @@
+//! The request/response vocabulary of the HyGraph wire protocol.
+//!
+//! Messages travel inside [`Frame`]s (see [`hygraph_types::net`]): the
+//! frame's kind tag selects a variant here, and the payload is the
+//! variant's [`hygraph_types::bytes`] encoding. Mutations reuse the WAL
+//! record codec of `hygraph-persist` — what a client sends over the
+//! wire is byte-for-byte what the server appends to its log — and query
+//! results reuse [`QueryResult`]'s wire codec, so the serving layer
+//! introduces no second serialisation vocabulary.
+//!
+//! Decoding is untrusted on both sides: malformed payloads error,
+//! never panic, and never kill the connection loop.
+
+use hygraph_core::HyGraph;
+use hygraph_persist::{Durable, HgMutation};
+use hygraph_query::QueryResult;
+use hygraph_types::bytes::{ByteReader, ByteWriter};
+use hygraph_types::net::Frame;
+use hygraph_types::{HyGraphError, Result};
+
+/// Upper bound on [`Request::Sleep`] so a hostile client cannot park a
+/// worker indefinitely.
+pub const MAX_SLEEP_MS: u64 = 10_000;
+
+// Request kinds (client → server).
+const K_PING: u8 = 0;
+const K_QUERY: u8 = 1;
+const K_MUTATE: u8 = 2;
+const K_MUTATE_BATCH: u8 = 3;
+const K_CHECKPOINT: u8 = 4;
+const K_SLEEP: u8 = 5;
+
+// Response kinds (server → client).
+const K_PONG: u8 = 128;
+const K_ROWS: u8 = 129;
+const K_COMMITTED: u8 = 130;
+const K_CHECKPOINT_DONE: u8 = 131;
+const K_ERROR: u8 = 255;
+
+/// Why the server refused or failed a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The frame failed its CRC check; the request was never decoded.
+    BadFrame = 0,
+    /// The frame decoded but the payload did not parse as a request.
+    BadRequest = 1,
+    /// The admission queue is full — explicit load shedding. Retry
+    /// later; nothing was executed.
+    Overloaded = 2,
+    /// The request sat in the queue past its deadline and was dropped
+    /// without executing.
+    DeadlineExceeded = 3,
+    /// The server is draining for shutdown and admits no new work.
+    ShuttingDown = 4,
+    /// The engine executed the request and returned an error (the
+    /// message carries its rendering).
+    Exec = 5,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Result<Self> {
+        Ok(match v {
+            0 => ErrorCode::BadFrame,
+            1 => ErrorCode::BadRequest,
+            2 => ErrorCode::Overloaded,
+            3 => ErrorCode::DeadlineExceeded,
+            4 => ErrorCode::ShuttingDown,
+            5 => ErrorCode::Exec,
+            _ => return Err(HyGraphError::corrupt(format!("unknown error code {v}"))),
+        })
+    }
+}
+
+/// One client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Execute a HyQL query and return its rows.
+    Query(String),
+    /// Commit one mutation (durable on reply when persistence is on).
+    Mutate(HgMutation),
+    /// Group-commit a batch of mutations: one fsync for the lot.
+    MutateBatch(Vec<HgMutation>),
+    /// Force a checkpoint (snapshot + log purge) on a durable backend.
+    Checkpoint,
+    /// Hold a worker for the given milliseconds (capped at
+    /// [`MAX_SLEEP_MS`]), then reply [`Response::Pong`] — the serving
+    /// analogue of SQL `sleep()`, used by the load tests to saturate
+    /// the pool deterministically.
+    Sleep(u64),
+}
+
+/// One server response. `Error` carries an [`ErrorCode`] so clients can
+/// distinguish retryable rejections (backpressure, shutdown, deadline)
+/// from request or execution failures.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`] / [`Request::Sleep`].
+    Pong,
+    /// Query result rows.
+    Rows(QueryResult),
+    /// Mutations applied: first LSN and how many were committed.
+    Committed {
+        /// LSN of the first mutation in the batch.
+        first_lsn: u64,
+        /// Number of mutations committed.
+        count: u64,
+    },
+    /// Checkpoint finished at this LSN.
+    CheckpointDone {
+        /// The checkpoint's LSN.
+        lsn: u64,
+    },
+    /// The request was refused or failed; see [`ErrorCode`].
+    Error {
+        /// Failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+fn mutation_bytes(m: &HgMutation) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    <HyGraph as Durable>::encode_mutation(m, &mut w);
+    w.into_bytes()
+}
+
+impl Request {
+    /// The frame kind tag for this request.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Request::Ping => K_PING,
+            Request::Query(_) => K_QUERY,
+            Request::Mutate(_) => K_MUTATE,
+            Request::MutateBatch(_) => K_MUTATE_BATCH,
+            Request::Checkpoint => K_CHECKPOINT,
+            Request::Sleep(_) => K_SLEEP,
+        }
+    }
+
+    /// Encodes the request into a frame carrying `request_id`.
+    pub fn to_frame(&self, request_id: u64) -> Frame {
+        let mut w = ByteWriter::new();
+        match self {
+            Request::Ping | Request::Checkpoint => {}
+            Request::Query(text) => w.str(text),
+            Request::Mutate(m) => <HyGraph as Durable>::encode_mutation(m, &mut w),
+            Request::MutateBatch(ms) => {
+                w.len_of(ms.len());
+                for m in ms {
+                    let bytes = mutation_bytes(m);
+                    w.len_of(bytes.len());
+                    w.raw(&bytes);
+                }
+            }
+            Request::Sleep(ms) => w.u64(*ms),
+        }
+        Frame::new(request_id, self.kind(), w.into_bytes())
+    }
+
+    /// Decodes a request frame. Untrusted input.
+    pub fn from_frame(frame: &Frame) -> Result<Self> {
+        let mut r = ByteReader::new(&frame.payload);
+        let req = match frame.kind {
+            K_PING => Request::Ping,
+            K_QUERY => Request::Query(r.str()?),
+            K_MUTATE => Request::Mutate(<HyGraph as Durable>::decode_mutation(&mut r)?),
+            K_MUTATE_BATCH => {
+                let n = r.len_of()?;
+                let mut ms = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let len = r.len_of()?;
+                    let raw = r.raw(len)?;
+                    let mut mr = ByteReader::new(raw);
+                    let m = <HyGraph as Durable>::decode_mutation(&mut mr)?;
+                    mr.expect_exhausted()?;
+                    ms.push(m);
+                }
+                Request::MutateBatch(ms)
+            }
+            K_CHECKPOINT => Request::Checkpoint,
+            K_SLEEP => Request::Sleep(r.u64()?.min(MAX_SLEEP_MS)),
+            k => return Err(HyGraphError::corrupt(format!("unknown request kind {k}"))),
+        };
+        r.expect_exhausted()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// The frame kind tag for this response.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Response::Pong => K_PONG,
+            Response::Rows(_) => K_ROWS,
+            Response::Committed { .. } => K_COMMITTED,
+            Response::CheckpointDone { .. } => K_CHECKPOINT_DONE,
+            Response::Error { .. } => K_ERROR,
+        }
+    }
+
+    /// Encodes the response into a frame echoing `request_id`.
+    pub fn to_frame(&self, request_id: u64) -> Frame {
+        let mut w = ByteWriter::new();
+        match self {
+            Response::Pong => {}
+            Response::Rows(result) => result.encode(&mut w),
+            Response::Committed { first_lsn, count } => {
+                w.u64(*first_lsn);
+                w.u64(*count);
+            }
+            Response::CheckpointDone { lsn } => w.u64(*lsn),
+            Response::Error { code, message } => {
+                w.u8(*code as u8);
+                w.str(message);
+            }
+        }
+        Frame::new(request_id, self.kind(), w.into_bytes())
+    }
+
+    /// Decodes a response frame. Untrusted input.
+    pub fn from_frame(frame: &Frame) -> Result<Self> {
+        let mut r = ByteReader::new(&frame.payload);
+        let resp = match frame.kind {
+            K_PONG => Response::Pong,
+            K_ROWS => Response::Rows(QueryResult::decode(&mut r)?),
+            K_COMMITTED => Response::Committed {
+                first_lsn: r.u64()?,
+                count: r.u64()?,
+            },
+            K_CHECKPOINT_DONE => Response::CheckpointDone { lsn: r.u64()? },
+            K_ERROR => Response::Error {
+                code: ErrorCode::from_u8(r.u8()?)?,
+                message: r.str()?,
+            },
+            k => return Err(HyGraphError::corrupt(format!("unknown response kind {k}"))),
+        };
+        r.expect_exhausted()?;
+        Ok(resp)
+    }
+
+    /// Converts a response into the client-side result: rejections and
+    /// failures become [`HyGraphError`]s, everything else passes
+    /// through. Retryable rejections (overload, deadline, shutdown) map
+    /// to [`HyGraphError::Unavailable`].
+    pub fn into_result(self) -> Result<Response> {
+        match self {
+            Response::Error { code, message } => Err(match code {
+                ErrorCode::Overloaded => {
+                    HyGraphError::unavailable(format!("server overloaded: {message}"))
+                }
+                ErrorCode::DeadlineExceeded => {
+                    HyGraphError::unavailable(format!("deadline exceeded: {message}"))
+                }
+                ErrorCode::ShuttingDown => {
+                    HyGraphError::unavailable(format!("server shutting down: {message}"))
+                }
+                ErrorCode::BadFrame | ErrorCode::BadRequest => HyGraphError::invalid(message),
+                ErrorCode::Exec => HyGraphError::query(message),
+            }),
+            ok => Ok(ok),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::{Interval, Label, PropertyMap, SeriesId, Timestamp};
+
+    fn roundtrip_request(req: &Request) -> Request {
+        let frame = req.to_frame(7);
+        assert_eq!(frame.request_id, 7);
+        Request::from_frame(&frame).expect("request decodes")
+    }
+
+    fn roundtrip_response(resp: &Response) -> Response {
+        let frame = resp.to_frame(9);
+        assert_eq!(frame.request_id, 9);
+        Response::from_frame(&frame).expect("response decodes")
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            Request::Ping,
+            Request::Query("MATCH (n) RETURN n.name AS name".into()),
+            Request::Mutate(HgMutation::AddPgVertex {
+                labels: vec![Label::new("User")],
+                props: PropertyMap::new(),
+                validity: Interval::ALL,
+            }),
+            Request::MutateBatch(vec![
+                HgMutation::AddSeries {
+                    names: vec!["x".into()],
+                    rows: vec![(Timestamp::from_millis(1), vec![0.5])],
+                },
+                HgMutation::Append {
+                    series: SeriesId::new(0),
+                    t: Timestamp::from_millis(2),
+                    row: vec![1.5],
+                },
+            ]),
+            Request::Checkpoint,
+            Request::Sleep(50),
+        ];
+        for req in &reqs {
+            assert_eq!(&roundtrip_request(req), req);
+        }
+    }
+
+    #[test]
+    fn sleep_is_capped_on_decode() {
+        let frame = Request::Sleep(u64::MAX).to_frame(1);
+        assert_eq!(
+            Request::from_frame(&frame).unwrap(),
+            Request::Sleep(MAX_SLEEP_MS)
+        );
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resps = [
+            Response::Pong,
+            Response::Rows(QueryResult {
+                columns: vec!["a".into(), "b".into()],
+                rows: vec![vec![
+                    hygraph_types::Value::Int(1),
+                    hygraph_types::Value::Str("x".into()),
+                ]],
+            }),
+            Response::Committed {
+                first_lsn: 17,
+                count: 3,
+            },
+            Response::CheckpointDone { lsn: 20 },
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                message: "queue full".into(),
+            },
+        ];
+        for resp in &resps {
+            assert_eq!(&roundtrip_response(resp), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_error_not_panic() {
+        // trailing garbage after a valid ping
+        let frame = Frame::new(1, 0, vec![0xFF]);
+        assert!(Request::from_frame(&frame).is_err());
+        // unknown kinds
+        assert!(Request::from_frame(&Frame::new(1, 99, vec![])).is_err());
+        assert!(Response::from_frame(&Frame::new(1, 99, vec![])).is_err());
+        // truncated mutation batch
+        let good = Request::MutateBatch(vec![HgMutation::AddSeries {
+            names: vec!["x".into()],
+            rows: vec![],
+        }])
+        .to_frame(1);
+        let cut = Frame::new(
+            1,
+            good.kind,
+            good.payload[..good.payload.len() - 1].to_vec(),
+        );
+        assert!(Request::from_frame(&cut).is_err());
+    }
+
+    #[test]
+    fn retryable_rejections_map_to_unavailable() {
+        for code in [
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::ShuttingDown,
+        ] {
+            let err = Response::Error {
+                code,
+                message: "x".into(),
+            }
+            .into_result()
+            .unwrap_err();
+            assert!(
+                matches!(err, HyGraphError::Unavailable(_)),
+                "{code:?} must be Unavailable, got {err:?}"
+            );
+        }
+        assert!(Response::Pong.into_result().is_ok());
+    }
+}

@@ -1,0 +1,194 @@
+//! A bounded multi-producer/multi-consumer admission queue.
+//!
+//! The serving layer's backpressure point: connection readers
+//! [`Bounded::try_push`] admitted requests and *never block* — a full
+//! queue is an immediate, explicit overload rejection rather than
+//! unbounded memory growth or a stalled reader. Workers [`Bounded::pop`]
+//! jobs and block when idle. [`Bounded::close`] flips the queue into
+//! drain mode for graceful shutdown: pushes are refused, pops continue
+//! until the backlog is empty, then return `None` so workers exit.
+//!
+//! Built on `Mutex` + `Condvar` only — the workspace is offline and
+//! `std::sync::mpsc` has no bounded multi-consumer flavour.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the value is handed back.
+    Full(T),
+    /// The queue is closed for shutdown; the value is handed back.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue (see module docs).
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Non-blocking admission: `Err(Full)` at capacity, `Err(Closed)`
+    /// after [`Bounded::close`].
+    pub fn try_push(&self, value: T) -> Result<(), PushError<T>> {
+        let mut s = self.lock();
+        if s.closed {
+            return Err(PushError::Closed(value));
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full(value));
+        }
+        s.items.push_back(value);
+        drop(s);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocking removal. `None` means the queue is closed *and* fully
+    /// drained — the consumer should exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.lock();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.available.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: pushes are refused from now on; queued items
+    /// remain poppable (drain mode); blocked consumers wake up.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Items currently queued (racy; for stats only).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is empty (racy; for stats only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_when_closed() {
+        let q = Bounded::new(2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(4), Ok(()));
+        q.close();
+        assert_eq!(q.try_push(5), Err(PushError::Closed(5)));
+        // drain mode: queued items survive the close
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_clamped_to_one() {
+        let q = Bounded::new(0);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Err(PushError::Full(2)));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(Bounded::<u32>::new(4));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        // let the consumers block, then close
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for c in consumers {
+            assert_eq!(c.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        let q = Arc::new(Bounded::<u64>::new(8));
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut pushed = 0u64;
+                    for i in 0..100 {
+                        let mut v = p * 1000 + i;
+                        loop {
+                            match q.try_push(v) {
+                                Ok(()) => {
+                                    pushed += v;
+                                    break;
+                                }
+                                Err(PushError::Full(back)) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                                Err(PushError::Closed(_)) => unreachable!(),
+                            }
+                        }
+                    }
+                    pushed
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut sum = 0u64;
+                    while let Some(v) = q.pop() {
+                        sum += v;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        let sent: u64 = producers.into_iter().map(|p| p.join().unwrap()).sum();
+        q.close();
+        let received: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(sent, received);
+    }
+}

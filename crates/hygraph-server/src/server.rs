@@ -1,0 +1,447 @@
+//! The TCP serving front end: accept loop, per-connection readers, a
+//! fixed worker pool behind the bounded admission queue, and graceful
+//! shutdown.
+//!
+//! # Threading model
+//!
+//! ```text
+//! accept thread ──spawns──▶ reader thread (1 per connection)
+//!                               │  decode frame → Request
+//!                               ▼  try_push (non-blocking)
+//!                        bounded admission queue ──▶ overload reply
+//!                               │                    when full
+//!                               ▼  pop (blocking)
+//!                        worker pool (fixed, ParallelConfig-sized)
+//!                               │  deadline check → execute on Engine
+//!                               ▼
+//!                        response frame → connection (mutex-serialised)
+//! ```
+//!
+//! Readers never execute requests and never block on the queue, so a
+//! saturated pool cannot stop the server from *answering* — it answers
+//! with an explicit [`ErrorCode::Overloaded`] rejection instead. Each
+//! worker writes its response under the connection's write mutex, so
+//! concurrent responses to one pipelined client interleave per frame,
+//! never mid-frame.
+//!
+//! # Graceful shutdown
+//!
+//! [`Server::shutdown`] stops admission (readers answer
+//! [`ErrorCode::ShuttingDown`]), lets the workers drain every admitted
+//! request and write its response, syncs the WAL on a durable backend,
+//! and only then drops connections. A client whose request was
+//! admitted before shutdown always gets its reply.
+
+use crate::engine::{Backend, Engine};
+use crate::proto::{ErrorCode, Request, Response, MAX_SLEEP_MS};
+use crate::queue::{Bounded, PushError};
+use hygraph_types::net::{self, FrameRead, ServerConfig, ServerSettings};
+use hygraph_types::Result;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One admitted unit of work: a decoded request plus where to send the
+/// response and how long it may wait.
+struct Job {
+    request_id: u64,
+    req: Request,
+    reply: Arc<Mutex<TcpStream>>,
+    deadline: Option<Instant>,
+}
+
+#[derive(Default)]
+struct Stats {
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    rejected_overload: AtomicU64,
+    rejected_deadline: AtomicU64,
+    bad_frames: AtomicU64,
+}
+
+/// A point-in-time snapshot of the server's request counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests admitted to the queue.
+    pub admitted: u64,
+    /// Requests a worker finished (including deadline drops).
+    pub completed: u64,
+    /// Requests rejected because the admission queue was full.
+    pub rejected_overload: u64,
+    /// Admitted requests dropped at dequeue for exceeding their
+    /// deadline.
+    pub rejected_deadline: u64,
+    /// Frames rejected before decoding (CRC failures).
+    pub bad_frames: u64,
+}
+
+struct Shared {
+    engine: Arc<Engine>,
+    queue: Bounded<Job>,
+    settings: ServerSettings,
+    shutdown: AtomicBool,
+    conns: Mutex<Vec<TcpStream>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    stats: Stats,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Writes one response frame under the connection's write mutex. A gone
+/// peer is not an error — the work was done; only the reply is lost.
+fn respond(reply: &Mutex<TcpStream>, resp: &Response, request_id: u64, max_bytes: usize) {
+    let frame = resp.to_frame(request_id);
+    let mut stream = lock(reply);
+    let _ = net::write_frame(&mut *stream, &frame, max_bytes);
+}
+
+fn reject(reply: &Mutex<TcpStream>, code: ErrorCode, msg: &str, request_id: u64, max: usize) {
+    respond(
+        reply,
+        &Response::Error {
+            code,
+            message: msg.to_owned(),
+        },
+        request_id,
+        max,
+    );
+}
+
+fn reader_loop(shared: &Shared, mut stream: TcpStream, reply: Arc<Mutex<TcpStream>>) {
+    let max = shared.settings.max_frame_bytes;
+    loop {
+        let frame = match net::read_frame(&mut stream, max) {
+            Ok(FrameRead::Frame(f)) => f,
+            // clean close between frames
+            Ok(FrameRead::Eof) => break,
+            // CRC failure: the stream is still frame-aligned, so reject
+            // the frame (id 0 = connection-level) and keep reading
+            Ok(FrameRead::Corrupt(msg)) => {
+                shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                reject(&reply, ErrorCode::BadFrame, &msg, 0, max);
+                continue;
+            }
+            // bad magic / oversize / mid-frame hangup: unrecoverable
+            Err(_) => break,
+        };
+        let request_id = frame.request_id;
+        let req = match Request::from_frame(&frame) {
+            Ok(r) => r,
+            Err(e) => {
+                reject(
+                    &reply,
+                    ErrorCode::BadRequest,
+                    &e.to_string(),
+                    request_id,
+                    max,
+                );
+                continue;
+            }
+        };
+        let job = Job {
+            request_id,
+            req,
+            reply: Arc::clone(&reply),
+            deadline: shared.settings.req_timeout.map(|t| Instant::now() + t),
+        };
+        match shared.queue.try_push(job) {
+            Ok(()) => {
+                shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(PushError::Full(job)) => {
+                shared
+                    .stats
+                    .rejected_overload
+                    .fetch_add(1, Ordering::Relaxed);
+                reject(
+                    &job.reply,
+                    ErrorCode::Overloaded,
+                    "admission queue full; retry later",
+                    job.request_id,
+                    max,
+                );
+            }
+            Err(PushError::Closed(job)) => {
+                reject(
+                    &job.reply,
+                    ErrorCode::ShuttingDown,
+                    "server is draining",
+                    job.request_id,
+                    max,
+                );
+                break;
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let resp = if job.deadline.is_some_and(|d| Instant::now() > d) {
+            shared
+                .stats
+                .rejected_deadline
+                .fetch_add(1, Ordering::Relaxed);
+            Response::Error {
+                code: ErrorCode::DeadlineExceeded,
+                message: "request queued past its deadline; dropped unexecuted".into(),
+            }
+        } else if let Request::Sleep(ms) = job.req {
+            // serviced here, not in the engine: holds no lock, only a
+            // worker slot — exactly what the saturation tests need
+            std::thread::sleep(std::time::Duration::from_millis(ms.min(MAX_SLEEP_MS)));
+            Response::Pong
+        } else {
+            shared.engine.handle(&job.req)
+        };
+        shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+        respond(
+            &job.reply,
+            &resp,
+            job.request_id,
+            shared.settings.max_frame_bytes,
+        );
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let (reply, registered) = match (stream.try_clone(), stream.try_clone()) {
+            (Ok(w), Ok(r)) => (Arc::new(Mutex::new(w)), r),
+            _ => continue,
+        };
+        lock(&shared.conns).push(registered);
+        let shared2 = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("hygraph-conn".into())
+            .spawn(move || reader_loop(&shared2, stream, reply));
+        if let Ok(h) = handle {
+            lock(&shared.readers).push(h);
+        }
+    }
+}
+
+struct Threads {
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// A running HyGraph server (see module docs). Dropping it shuts it
+/// down best-effort; call [`Server::shutdown`] for the checked path.
+pub struct Server {
+    shared: Option<Arc<Shared>>,
+    threads: Option<Threads>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds and starts serving `backend` with `config` (explicit
+    /// fields win over `HYGRAPH_*` environment knobs — see
+    /// [`ServerConfig`]). Use address `"127.0.0.1:0"` for an ephemeral
+    /// test port; [`Server::local_addr`] reports what was bound.
+    pub fn serve(backend: Backend, config: &ServerConfig) -> Result<Self> {
+        let settings = config.resolve();
+        let listener = TcpListener::bind(&settings.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = settings.workers;
+        let shared = Arc::new(Shared {
+            engine: Arc::new(Engine::new(backend)),
+            queue: Bounded::new(settings.queue_depth),
+            settings,
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            readers: Mutex::new(Vec::new()),
+            stats: Stats::default(),
+        });
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let s = Arc::clone(&shared);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("hygraph-worker-{i}"))
+                    .spawn(move || worker_loop(&s))?,
+            );
+        }
+        let s = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("hygraph-accept".into())
+            .spawn(move || accept_loop(&s, listener))?;
+        Ok(Self {
+            shared: Some(shared),
+            threads: Some(Threads {
+                accept,
+                workers: worker_handles,
+            }),
+            addr,
+        })
+    }
+
+    /// Serves `backend` with default configuration (environment knobs
+    /// still apply).
+    pub fn serve_default(backend: Backend) -> Result<Self> {
+        Self::serve(backend, &ServerConfig::new())
+    }
+
+    /// The bound listen address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The effective settings this server runs with.
+    pub fn settings(&self) -> &ServerSettings {
+        &self.shared.as_ref().expect("server not shut down").settings
+    }
+
+    /// A snapshot of the request counters.
+    pub fn stats(&self) -> ServerStats {
+        let s = &self.shared.as_ref().expect("server not shut down").stats;
+        ServerStats {
+            admitted: s.admitted.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            rejected_overload: s.rejected_overload.load(Ordering::Relaxed),
+            rejected_deadline: s.rejected_deadline.load(Ordering::Relaxed),
+            bad_frames: s.bad_frames.load(Ordering::Relaxed),
+        }
+    }
+
+    /// An in-process client sharing this server's engine — same locks,
+    /// same execution paths, no sockets. For tests and benches.
+    pub fn local_client(&self) -> crate::client::LocalClient {
+        crate::client::LocalClient::new(Arc::clone(
+            &self.shared.as_ref().expect("server not shut down").engine,
+        ))
+    }
+
+    /// Gracefully shuts down: stops admitting, drains every admitted
+    /// request (responses are written), syncs the WAL on a durable
+    /// backend, then closes connections. Returns the backend, or `None`
+    /// if a [`crate::client::LocalClient`] still shares the engine (the
+    /// shutdown itself still completed and the WAL is synced).
+    pub fn shutdown(mut self) -> Result<Option<Backend>> {
+        self.shutdown_impl()
+    }
+
+    fn shutdown_impl(&mut self) -> Result<Option<Backend>> {
+        let Some(shared) = self.shared.take() else {
+            return Ok(None);
+        };
+        // 1. stop admission: readers see Closed and answer ShuttingDown
+        shared.shutdown.store(true, Ordering::SeqCst);
+        shared.queue.close();
+        // 2. wake the accept thread out of its blocking accept()
+        let _ = TcpStream::connect(self.addr);
+        if let Some(threads) = self.threads.take() {
+            let _ = threads.accept.join();
+            // 3. workers drain the queue, then exit on pop() == None
+            for w in threads.workers {
+                let _ = w.join();
+            }
+        }
+        // 4. every admitted mutation is on disk before we say goodbye
+        shared.engine.sync()?;
+        // 5. now drop the connections and collect the readers
+        for conn in lock(&shared.conns).drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let readers: Vec<_> = lock(&shared.readers).drain(..).collect();
+        for r in readers {
+            let _ = r.join();
+        }
+        let Ok(shared) = Arc::try_unwrap(shared) else {
+            return Ok(None);
+        };
+        match Arc::try_unwrap(shared.engine) {
+            Ok(engine) => Ok(Some(engine.into_backend())),
+            Err(_still_shared) => Ok(None),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.shutdown_impl();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("stats", &self.shared.as_ref().map(|_| self.stats()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use hygraph_core::HyGraph;
+    use hygraph_persist::HgMutation;
+    use hygraph_types::{Label, PropertyMap, Value};
+
+    fn test_config() -> ServerConfig {
+        ServerConfig::new()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .queue_depth(16)
+            .req_timeout_ms(2_000)
+    }
+
+    #[test]
+    fn serves_ping_query_and_mutation_over_tcp() {
+        let server = Server::serve(Backend::memory(HyGraph::new()), &test_config()).expect("bind");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        client.ping().expect("ping");
+        let (first, count) = client
+            .mutate(HgMutation::AddPgVertex {
+                labels: vec![Label::new("User")],
+                props: PropertyMap::new(),
+                validity: hygraph_types::Interval::ALL,
+            })
+            .expect("mutate");
+        assert_eq!((first, count), (0, 1));
+        let rows = client
+            .query("MATCH (u:User) RETURN COUNT(u) AS n")
+            .expect("query");
+        assert_eq!(rows.rows[0][0], Value::Int(1));
+        let stats = server.stats();
+        assert_eq!(stats.admitted, 3);
+        let backend = server.shutdown().expect("shutdown").expect("backend back");
+        assert_eq!(backend.graph().vertex_count(), 1);
+    }
+
+    #[test]
+    fn rejects_new_requests_while_draining() {
+        let server = Server::serve(Backend::memory(HyGraph::new()), &test_config()).expect("bind");
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).expect("connect");
+        client.ping().expect("ping");
+        server.shutdown().expect("shutdown");
+        // the connection is gone or refuses work; either way no panic
+        let err = client.ping();
+        assert!(err.is_err(), "ping after shutdown must fail, got {err:?}");
+    }
+
+    #[test]
+    fn exec_errors_come_back_typed() {
+        let server = Server::serve(Backend::memory(HyGraph::new()), &test_config()).expect("bind");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        let err = client.query("MTCH nonsense").unwrap_err();
+        assert!(
+            matches!(err, hygraph_types::HyGraphError::Query(_)),
+            "got {err:?}"
+        );
+        // the connection survives the failed request
+        client.ping().expect("ping after error");
+        server.shutdown().expect("shutdown");
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the wire layer: frames round-trip for arbitrary
+//! payloads; corrupt bytes are detected without losing stream
+//! alignment; truncation is always a loud, fatal error — never a panic
+//! and never a silently wrong frame.
+
+use hygraph_server::{Request, Response};
+use hygraph_types::net::{self, Frame, FrameRead, DEFAULT_MAX_FRAME_BYTES};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+proptest! {
+    #[test]
+    fn frames_roundtrip_for_arbitrary_payloads(
+        request_id in 0u64..=u64::MAX,
+        kind in 0u8..=255,
+        payload in prop::collection::vec(0u8..=255, 0..512),
+    ) {
+        let frame = Frame::new(request_id, kind, payload);
+        let bytes = frame.encode();
+        prop_assert_eq!(bytes.len(), frame.wire_len());
+        match net::read_frame(&mut Cursor::new(bytes), DEFAULT_MAX_FRAME_BYTES) {
+            Ok(FrameRead::Frame(back)) => prop_assert_eq!(back, frame),
+            other => return Err(TestCaseError::fail(format!("expected frame, got {other:?}"))),
+        }
+    }
+
+    /// Flipping any single bit of the body is caught by the CRC, and the
+    /// stream stays aligned: the *next* frame still decodes intact.
+    #[test]
+    fn corrupt_body_bytes_are_detected_and_recoverable(
+        payload in prop::collection::vec(0u8..=255, 0..128),
+        flip_byte in 0usize..137, // 9 body-overhead bytes + max payload
+        flip_bit in 0u8..8,
+    ) {
+        let frame = Frame::new(42, 7, payload);
+        let body_len = frame.wire_len() - 12; // minus magic+len+crc
+        prop_assume!(flip_byte < body_len);
+        let mut bytes = frame.encode();
+        bytes[8 + flip_byte] ^= 1 << flip_bit; // inside the CRC-covered body
+        let follower = Frame::new(43, 1, b"next".to_vec());
+        bytes.extend_from_slice(&follower.encode());
+        let mut r = Cursor::new(bytes);
+        match net::read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES) {
+            Ok(FrameRead::Corrupt(_)) => {}
+            other => return Err(TestCaseError::fail(format!("expected Corrupt, got {other:?}"))),
+        }
+        match net::read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES) {
+            Ok(FrameRead::Frame(back)) => prop_assert_eq!(back, follower),
+            other => return Err(TestCaseError::fail(format!("lost alignment: {other:?}"))),
+        }
+    }
+
+    /// Cutting a frame anywhere is a fatal error — the reader can never
+    /// mistake a truncated stream for a clean close mid-frame.
+    #[test]
+    fn truncated_frames_are_fatal_never_silent(
+        payload in prop::collection::vec(0u8..=255, 0..64),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let frame = Frame::new(7, 3, payload);
+        let bytes = frame.encode();
+        let cut = 1 + (cut_fraction * (bytes.len() - 1) as f64) as usize;
+        prop_assume!(cut < bytes.len());
+        let out = net::read_frame(&mut Cursor::new(&bytes[..cut]), DEFAULT_MAX_FRAME_BYTES);
+        prop_assert!(out.is_err(), "cut at {} of {} must be fatal, got {:?}", cut, bytes.len(), out);
+    }
+
+    /// Query requests round-trip through the full frame + payload codec
+    /// for arbitrary printable query text (the codec does not interpret
+    /// the text — parsing happens server-side).
+    #[test]
+    fn query_requests_roundtrip(text in "\\PC{0,80}", request_id in 0u64..=u64::MAX) {
+        let req = Request::Query(text);
+        let frame = req.to_frame(request_id);
+        let bytes = frame.encode();
+        let back = match net::read_frame(&mut Cursor::new(bytes), DEFAULT_MAX_FRAME_BYTES) {
+            Ok(FrameRead::Frame(f)) => f,
+            other => return Err(TestCaseError::fail(format!("expected frame, got {other:?}"))),
+        };
+        prop_assert_eq!(back.request_id, request_id);
+        let decoded = Request::from_frame(&back)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(decoded, req);
+    }
+
+    /// Arbitrary bytes thrown at the request decoder error out cleanly —
+    /// no panic, no partial state.
+    #[test]
+    fn request_decoder_survives_garbage(
+        kind in 0u8..=255,
+        payload in prop::collection::vec(0u8..=255, 0..96),
+    ) {
+        let frame = Frame::new(1, kind, payload);
+        let _ = Request::from_frame(&frame); // Ok or Err, never a panic
+        let _ = Response::from_frame(&frame);
+    }
+}

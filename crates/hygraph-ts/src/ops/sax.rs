@@ -9,11 +9,14 @@
 
 use crate::ops::stats;
 use crate::series::TimeSeries;
+use hygraph_types::{HyGraphError, Result};
 use std::collections::HashMap;
 
 /// Gaussian breakpoints for alphabet sizes 2..=8 (standard SAX tables).
-fn breakpoints(alphabet: usize) -> &'static [f64] {
-    match alphabet {
+/// Out-of-range sizes are an error, never a panic — these parameters
+/// arrive from untrusted callers (e.g. over the serving layer).
+fn breakpoints(alphabet: usize) -> Result<&'static [f64]> {
+    Ok(match alphabet {
         2 => &[0.0],
         3 => &[-0.43, 0.43],
         4 => &[-0.67, 0.0, 0.67],
@@ -21,8 +24,12 @@ fn breakpoints(alphabet: usize) -> &'static [f64] {
         6 => &[-0.97, -0.43, 0.0, 0.43, 0.97],
         7 => &[-1.07, -0.57, -0.18, 0.18, 0.57, 1.07],
         8 => &[-1.15, -0.67, -0.32, 0.0, 0.32, 0.67, 1.15],
-        _ => panic!("alphabet size must be in 2..=8, got {alphabet}"),
-    }
+        _ => {
+            return Err(HyGraphError::invalid(format!(
+                "SAX alphabet size must be in 2..=8, got {alphabet}"
+            )))
+        }
+    })
 }
 
 /// Piecewise Aggregate Approximation: mean of each of `frames` equal
@@ -47,18 +54,22 @@ pub fn paa(xs: &[f64], frames: usize) -> Vec<f64> {
 }
 
 /// SAX word of a value slice: z-normalise, PAA, symbolise.
-/// Symbols are lowercase letters starting at `'a'`.
-pub fn sax_word(xs: &[f64], word_len: usize, alphabet: usize) -> String {
-    let bps = breakpoints(alphabet);
+/// Symbols are lowercase letters starting at `'a'`. Errors on an
+/// alphabet outside 2..=8 or a zero word length.
+pub fn sax_word(xs: &[f64], word_len: usize, alphabet: usize) -> Result<String> {
+    let bps = breakpoints(alphabet)?;
+    if word_len == 0 {
+        return Err(HyGraphError::invalid("SAX word length must be positive"));
+    }
     let mut z = xs.to_vec();
     stats::znormalize(&mut z);
-    paa(&z, word_len)
+    Ok(paa(&z, word_len)
         .into_iter()
         .map(|v| {
             let idx = bps.partition_point(|&b| b <= v);
             (b'a' + idx as u8) as char
         })
-        .collect()
+        .collect())
 }
 
 /// Slides a window of `window` points over the series and emits the SAX
@@ -70,19 +81,21 @@ pub fn sax_windows(
     window: usize,
     word_len: usize,
     alphabet: usize,
-) -> Vec<(usize, String)> {
+) -> Result<Vec<(usize, String)>> {
+    // validate parameters up front so an empty result never masks them
+    breakpoints(alphabet)?;
     let values = s.values();
     if window == 0 || values.len() < window {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let mut out: Vec<(usize, String)> = Vec::new();
     for off in 0..=(values.len() - window) {
-        let w = sax_word(&values[off..off + window], word_len, alphabet);
+        let w = sax_word(&values[off..off + window], word_len, alphabet)?;
         if out.last().map(|(_, prev)| prev.as_str()) != Some(w.as_str()) {
             out.push((off, w));
         }
     }
-    out
+    Ok(out)
 }
 
 /// Counts word frequencies over sliding windows and returns the words
@@ -93,9 +106,9 @@ pub fn frequent_words(
     word_len: usize,
     alphabet: usize,
     min_support: usize,
-) -> Vec<(String, usize)> {
+) -> Result<Vec<(String, usize)>> {
     let mut counts: HashMap<String, usize> = HashMap::new();
-    for (_, w) in sax_windows(s, window, word_len, alphabet) {
+    for (_, w) in sax_windows(s, window, word_len, alphabet)? {
         *counts.entry(w).or_insert(0) += 1;
     }
     let mut out: Vec<(String, usize)> = counts
@@ -103,17 +116,18 @@ pub fn frequent_words(
         .filter(|&(_, c)| c >= min_support)
         .collect();
     out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    out
+    Ok(out)
 }
 
 /// MINDIST lower bound between two SAX words of equal length (Lin et al.):
 /// zero for adjacent symbols, breakpoint gap otherwise, scaled by the
-/// original window length `n`.
+/// original window length `n`. `None` for mismatched/empty words, an
+/// out-of-range alphabet, or symbols outside it.
 pub fn mindist(a: &str, b: &str, alphabet: usize, n: usize) -> Option<f64> {
     if a.len() != b.len() || a.is_empty() {
         return None;
     }
-    let bps = breakpoints(alphabet);
+    let bps = breakpoints(alphabet).ok()?;
     let sym = |c: char| (c as u8).wrapping_sub(b'a') as usize;
     let w = a.len() as f64;
     let mut acc = 0.0;
@@ -155,7 +169,7 @@ mod tests {
     fn sax_word_shape() {
         // rising ramp: symbols must be non-decreasing
         let xs: Vec<f64> = (0..32).map(|i| i as f64).collect();
-        let w = sax_word(&xs, 4, 4);
+        let w = sax_word(&xs, 4, 4).unwrap();
         assert_eq!(w.len(), 4);
         let bytes = w.as_bytes();
         assert!(
@@ -169,7 +183,7 @@ mod tests {
     #[test]
     fn sax_constant_is_middle_symbols() {
         let xs = vec![5.0; 16];
-        let w = sax_word(&xs, 4, 4);
+        let w = sax_word(&xs, 4, 4).unwrap();
         // znormalize maps constants to 0.0; 0.0 falls just above the middle breakpoint
         assert!(w.chars().all(|c| c == 'c'), "got {w}");
     }
@@ -179,7 +193,7 @@ mod tests {
         let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 100, |i| {
             ((i as f64) * 0.2).sin()
         });
-        let wins = sax_windows(&s, 20, 4, 4);
+        let wins = sax_windows(&s, 20, 4, 4).unwrap();
         for p in wins.windows(2) {
             assert_ne!(p[0].1, p[1].1, "consecutive duplicate word survived");
         }
@@ -191,7 +205,7 @@ mod tests {
         let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 400, |i| {
             ((i % 40) as f64 / 40.0 * std::f64::consts::TAU).sin()
         });
-        let freq = frequent_words(&s, 40, 4, 4, 2);
+        let freq = frequent_words(&s, 40, 4, 4, 2).unwrap();
         assert!(!freq.is_empty());
         assert!(freq[0].1 >= 2);
         // sorted descending by count
@@ -216,15 +230,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "alphabet size")]
-    fn alphabet_out_of_range_panics() {
-        let _ = sax_word(&[1.0, 2.0], 2, 9);
+    fn out_of_range_parameters_error_not_panic() {
+        // regression: these panicked before the serving layer existed;
+        // a server must never be killed by client-supplied parameters
+        let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 32, |i| i as f64);
+        for bad in [0usize, 1, 9, 100] {
+            assert!(sax_word(&[1.0, 2.0], 2, bad).is_err(), "alphabet {bad}");
+            assert!(sax_windows(&s, 8, 4, bad).is_err(), "alphabet {bad}");
+            assert!(frequent_words(&s, 8, 4, bad, 1).is_err(), "alphabet {bad}");
+            assert_eq!(mindist("ab", "ba", bad, 32), None, "alphabet {bad}");
+        }
+        assert!(sax_word(&[1.0, 2.0], 0, 4).is_err(), "zero word length");
+        match sax_word(&[1.0, 2.0], 2, 9) {
+            Err(hygraph_types::HyGraphError::InvalidArgument(m)) => {
+                assert!(m.contains("alphabet"), "got {m}")
+            }
+            other => panic!("expected InvalidArgument, got {other:?}"),
+        }
     }
 
     #[test]
     fn window_longer_than_series() {
         let s = TimeSeries::generate(ts(0), Duration::from_millis(1), 5, |i| i as f64);
-        assert!(sax_windows(&s, 10, 4, 4).is_empty());
-        assert!(frequent_words(&s, 10, 4, 4, 1).is_empty());
+        assert!(sax_windows(&s, 10, 4, 4).unwrap().is_empty());
+        assert!(frequent_words(&s, 10, 4, 4, 1).unwrap().is_empty());
     }
 }

@@ -62,6 +62,10 @@ pub enum HyGraphError {
     /// Operating-system I/O failure (message form of `std::io::Error`,
     /// kept `Clone`/`PartialEq` like the rest of the enum).
     Io(String),
+    /// The serving layer refused the request without executing it:
+    /// admission queue full (backpressure), deadline exceeded, or the
+    /// server is shutting down. Retryable by the client.
+    Unavailable(String),
     /// Malformed persistent data: a checkpoint or WAL frame whose bytes
     /// fail structural validation (bad tag, truncated run, CRC mismatch).
     Corrupt {
@@ -86,6 +90,11 @@ impl HyGraphError {
     /// Wraps a `std::io::Error` (or any displayable I/O failure).
     pub fn io(err: impl std::fmt::Display) -> Self {
         HyGraphError::Io(err.to_string())
+    }
+
+    /// Shorthand for an [`HyGraphError::Unavailable`] rejection.
+    pub fn unavailable(msg: impl Into<String>) -> Self {
+        HyGraphError::Unavailable(msg.into())
     }
 
     /// Shorthand for a [`HyGraphError::Corrupt`] error at offset 0.
@@ -132,6 +141,7 @@ impl fmt::Display for HyGraphError {
             }
             HyGraphError::Query(m) => write!(f, "query error: {m}"),
             HyGraphError::Io(m) => write!(f, "io error: {m}"),
+            HyGraphError::Unavailable(m) => write!(f, "unavailable: {m}"),
             HyGraphError::Corrupt { offset, message } => {
                 write!(f, "corrupt data at byte {offset}: {message}")
             }

@@ -17,6 +17,7 @@ pub mod bytes;
 pub mod error;
 pub mod ids;
 pub mod interval;
+pub mod net;
 pub mod parallel;
 pub mod property;
 pub mod time;

@@ -1,0 +1,500 @@
+//! Wire-protocol framing and serving-layer configuration.
+//!
+//! The serving stack (`hygraph-server`) exchanges *frames*: CRC-guarded,
+//! length-prefixed binary envelopes carrying a request id, a kind tag,
+//! and an opaque payload encoded with the [`crate::bytes`] codecs. The
+//! frame layer lives here, next to those codecs, so servers, clients,
+//! and tools all agree on the envelope without depending on the server
+//! crate.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"HYGW"
+//! 4       4     body length, u32 little-endian
+//! 8       8     request id, u64 little-endian   ┐
+//! 16      1     kind tag                        │ body (CRC-covered)
+//! 17      n     payload                         ┘
+//! 8+body  4     CRC-32 (ISO-HDLC) of the body, u32 little-endian
+//! ```
+//!
+//! Decoding is *untrusted* and distinguishes two failure classes:
+//!
+//! * **Recoverable** ([`FrameRead::Corrupt`]): the envelope parsed — the
+//!   declared body length was read in full — but the CRC check failed.
+//!   The stream is still aligned on a frame boundary, so a server can
+//!   reject the frame and keep the connection.
+//! * **Fatal** (`Err(..)`): bad magic, an over-limit declared length, or
+//!   the stream ending mid-frame. The reader cannot know where the next
+//!   frame starts; the connection must be dropped.
+//!
+//! # Configuration ([`ServerConfig`])
+//!
+//! Mirrors the layered pattern of [`crate::parallel`]:
+//!
+//! 1. Defaults: [`DEFAULT_ADDR`], worker count =
+//!    [`crate::parallel::configured_threads`], [`DEFAULT_QUEUE_DEPTH`],
+//!    [`DEFAULT_REQ_TIMEOUT_MS`], [`DEFAULT_MAX_FRAME_BYTES`].
+//! 2. Environment, read once per process: `HYGRAPH_ADDR`,
+//!    `HYGRAPH_WORKERS`, `HYGRAPH_QUEUE_DEPTH`, `HYGRAPH_REQ_TIMEOUT_MS`.
+//! 3. Programmatic: [`ServerConfig`] fields set explicitly win over
+//!    both; [`ServerConfig::install`] applies them process-wide.
+
+use crate::bytes::crc32;
+use crate::error::{HyGraphError, Result};
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// Frame magic: "HYGW" (HyGraph Wire).
+pub const FRAME_MAGIC: [u8; 4] = *b"HYGW";
+
+/// Default listen address when neither `HYGRAPH_ADDR` nor an explicit
+/// address is given.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7687";
+
+/// Default bound on the admission queue (requests accepted but not yet
+/// picked up by a worker). Beyond it the server sheds load explicitly.
+pub const DEFAULT_QUEUE_DEPTH: usize = 256;
+
+/// Default per-request deadline in milliseconds (`0` disables it).
+pub const DEFAULT_REQ_TIMEOUT_MS: u64 = 5_000;
+
+/// Default per-connection read/write limit: the largest frame either
+/// side will encode or accept (16 MiB).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Fixed envelope overhead around a frame body: magic + length prefix +
+/// CRC trailer.
+pub const FRAME_OVERHEAD: usize = 12;
+
+/// Body overhead inside a frame: request id + kind tag.
+pub const BODY_OVERHEAD: usize = 9;
+
+/// One decoded wire frame: the envelope around a request or response
+/// payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub request_id: u64,
+    /// Payload discriminator (the server crate defines the vocabulary).
+    pub kind: u8,
+    /// Opaque payload bytes (a [`crate::bytes`] encoding).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame with the given id, kind, and payload.
+    pub fn new(request_id: u64, kind: u8, payload: Vec<u8>) -> Self {
+        Self {
+            request_id,
+            kind,
+            payload,
+        }
+    }
+
+    /// Total encoded size of this frame on the wire.
+    pub fn wire_len(&self) -> usize {
+        FRAME_OVERHEAD + BODY_OVERHEAD + self.payload.len()
+    }
+
+    /// Encodes the frame into a standalone byte vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let body_len = BODY_OVERHEAD + self.payload.len();
+        let mut out = Vec::with_capacity(FRAME_OVERHEAD + body_len);
+        out.extend_from_slice(&FRAME_MAGIC);
+        out.extend_from_slice(&(body_len as u32).to_le_bytes());
+        out.extend_from_slice(&self.request_id.to_le_bytes());
+        out.push(self.kind);
+        out.extend_from_slice(&self.payload);
+        let crc = crc32(&out[8..8 + body_len]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+}
+
+/// Outcome of reading one frame from a stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameRead {
+    /// A structurally valid, CRC-verified frame.
+    Frame(Frame),
+    /// Clean end of stream: the peer closed between frames.
+    Eof,
+    /// The envelope parsed but the CRC check failed. The declared body
+    /// was consumed in full, so the stream is still frame-aligned and
+    /// the connection may continue.
+    Corrupt(String),
+}
+
+/// Writes one frame. `max_bytes` is the sender-side mirror of the
+/// receiver's limit: oversize payloads are refused before any byte hits
+/// the stream, so a too-large request can never wedge a connection.
+pub fn write_frame(w: &mut impl Write, frame: &Frame, max_bytes: usize) -> Result<()> {
+    if frame.wire_len() > max_bytes {
+        return Err(HyGraphError::invalid(format!(
+            "frame of {} bytes exceeds the {} byte limit",
+            frame.wire_len(),
+            max_bytes
+        )));
+    }
+    w.write_all(&frame.encode())?;
+    w.flush()?;
+    Ok(())
+}
+
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(HyGraphError::corrupt(format!(
+                    "stream ended mid-frame ({filled} of {} header bytes)",
+                    buf.len()
+                )));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame from `r`, enforcing `max_bytes` as the
+/// per-connection read limit.
+///
+/// Returns [`FrameRead::Eof`] on a clean close before the first header
+/// byte, [`FrameRead::Corrupt`] when the CRC fails (recoverable — see
+/// module docs), and a fatal `Err` for bad magic, an over-limit length,
+/// a mid-frame hangup, or I/O failure.
+pub fn read_frame(r: &mut impl Read, max_bytes: usize) -> Result<FrameRead> {
+    let mut header = [0u8; 8];
+    if !read_exact_or_eof(r, &mut header)? {
+        return Ok(FrameRead::Eof);
+    }
+    if header[..4] != FRAME_MAGIC {
+        return Err(HyGraphError::corrupt(
+            "bad frame magic (stream out of sync)",
+        ));
+    }
+    let body_len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
+    if body_len < BODY_OVERHEAD || body_len + FRAME_OVERHEAD > max_bytes {
+        return Err(HyGraphError::corrupt(format!(
+            "declared frame body of {body_len} bytes is outside [{BODY_OVERHEAD}, {}]",
+            max_bytes.saturating_sub(FRAME_OVERHEAD)
+        )));
+    }
+    let mut body = vec![0u8; body_len];
+    std::io::Read::read_exact(r, &mut body)
+        .map_err(|e| HyGraphError::corrupt(format!("stream ended mid-body: {e}")))?;
+    let mut crc_bytes = [0u8; 4];
+    std::io::Read::read_exact(r, &mut crc_bytes)
+        .map_err(|e| HyGraphError::corrupt(format!("stream ended mid-crc: {e}")))?;
+    let expected = u32::from_le_bytes(crc_bytes);
+    let actual = crc32(&body);
+    if expected != actual {
+        return Ok(FrameRead::Corrupt(format!(
+            "frame crc mismatch (stored {expected:08x}, computed {actual:08x})"
+        )));
+    }
+    let request_id = u64::from_le_bytes(body[..8].try_into().expect("8 header bytes"));
+    let kind = body[8];
+    Ok(FrameRead::Frame(Frame {
+        request_id,
+        kind,
+        payload: body[BODY_OVERHEAD..].to_vec(),
+    }))
+}
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+// 0 = unset (fall through to env / defaults)
+static WORKERS_OVERRIDE: AtomicU64 = AtomicU64::new(0);
+// u64::MAX = unset
+static QUEUE_DEPTH_OVERRIDE: AtomicU64 = AtomicU64::new(u64::MAX);
+static TIMEOUT_OVERRIDE: AtomicU64 = AtomicU64::new(u64::MAX);
+
+fn addr_override() -> &'static Mutex<Option<String>> {
+    static ADDR: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    ADDR.get_or_init(|| Mutex::new(None))
+}
+
+fn env_u64(var: &str) -> Option<u64> {
+    std::env::var(var).ok()?.trim().parse::<u64>().ok()
+}
+
+fn env_workers() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| env_u64("HYGRAPH_WORKERS").filter(|&n| n > 0).unwrap_or(0) as usize)
+}
+
+fn env_queue_depth() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| env_u64("HYGRAPH_QUEUE_DEPTH").map(|n| n as usize))
+}
+
+fn env_req_timeout_ms() -> Option<u64> {
+    static CACHE: OnceLock<Option<u64>> = OnceLock::new();
+    *CACHE.get_or_init(|| env_u64("HYGRAPH_REQ_TIMEOUT_MS"))
+}
+
+fn env_addr() -> Option<String> {
+    static CACHE: OnceLock<Option<String>> = OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            std::env::var("HYGRAPH_ADDR")
+                .ok()
+                .map(|s| s.trim().to_owned())
+                .filter(|s| !s.is_empty())
+        })
+        .clone()
+}
+
+/// Builder for serving-layer settings.
+///
+/// Fields set explicitly take precedence over the environment; unset
+/// fields fall back to `HYGRAPH_ADDR` / `HYGRAPH_WORKERS` /
+/// `HYGRAPH_QUEUE_DEPTH` / `HYGRAPH_REQ_TIMEOUT_MS`, then to the
+/// defaults. [`ServerConfig::resolve`] produces the effective
+/// [`ServerSettings`]; [`ServerConfig::install`] additionally applies
+/// the explicit fields process-wide (so later `resolve` calls on a
+/// default config see them).
+///
+/// ```
+/// use hygraph_types::net::ServerConfig;
+///
+/// let s = ServerConfig::new().workers(2).queue_depth(8).resolve();
+/// assert_eq!(s.workers, 2);
+/// assert_eq!(s.queue_depth, 8);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ServerConfig {
+    addr: Option<String>,
+    workers: Option<usize>,
+    queue_depth: Option<usize>,
+    req_timeout_ms: Option<u64>,
+    max_frame_bytes: Option<usize>,
+}
+
+/// Fully-resolved serving-layer settings (see [`ServerConfig`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerSettings {
+    /// Listen address, `host:port` (`:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads executing admitted requests.
+    pub workers: usize,
+    /// Bound on the admission queue; beyond it requests are rejected
+    /// with an explicit overload error.
+    pub queue_depth: usize,
+    /// Per-request deadline; `None` disables deadline enforcement.
+    pub req_timeout: Option<Duration>,
+    /// Largest frame either side of a connection will encode or accept.
+    pub max_frame_bytes: usize,
+}
+
+impl ServerConfig {
+    /// A config that changes nothing until its setters are called.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Listen address (`host:port`; port `0` = ephemeral).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = Some(addr.into());
+        self
+    }
+
+    /// Worker-thread count. `0` restores "one per configured thread"
+    /// (see [`crate::parallel::configured_threads`]).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n);
+        self
+    }
+
+    /// Admission-queue bound. Clamped to at least 1.
+    pub fn queue_depth(mut self, n: usize) -> Self {
+        self.queue_depth = Some(n.max(1));
+        self
+    }
+
+    /// Per-request deadline in milliseconds; `0` disables it.
+    pub fn req_timeout_ms(mut self, ms: u64) -> Self {
+        self.req_timeout_ms = Some(ms);
+        self
+    }
+
+    /// Per-connection frame-size limit in bytes. Clamped so an empty
+    /// frame always fits.
+    pub fn max_frame_bytes(mut self, n: usize) -> Self {
+        self.max_frame_bytes = Some(n.max(FRAME_OVERHEAD + BODY_OVERHEAD));
+        self
+    }
+
+    /// Applies the explicit fields process-wide; unset fields are
+    /// untouched. Safe to call repeatedly — the last call wins.
+    pub fn install(&self) {
+        if let Some(addr) = &self.addr {
+            *addr_override().lock().unwrap_or_else(|e| e.into_inner()) = Some(addr.clone());
+        }
+        if let Some(n) = self.workers {
+            WORKERS_OVERRIDE.store(n as u64, Ordering::Relaxed);
+        }
+        if let Some(n) = self.queue_depth {
+            QUEUE_DEPTH_OVERRIDE.store(n as u64, Ordering::Relaxed);
+        }
+        if let Some(ms) = self.req_timeout_ms {
+            TIMEOUT_OVERRIDE.store(ms, Ordering::Relaxed);
+        }
+    }
+
+    /// Resolves the effective settings: explicit field, else installed
+    /// override, else environment, else default.
+    pub fn resolve(&self) -> ServerSettings {
+        let addr = self
+            .addr
+            .clone()
+            .or_else(|| {
+                addr_override()
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .clone()
+            })
+            .or_else(env_addr)
+            .unwrap_or_else(|| DEFAULT_ADDR.to_owned());
+        let workers = self
+            .workers
+            .filter(|&n| n > 0)
+            .or_else(|| {
+                let o = WORKERS_OVERRIDE.load(Ordering::Relaxed) as usize;
+                (o > 0).then_some(o)
+            })
+            .or_else(|| {
+                let e = env_workers();
+                (e > 0).then_some(e)
+            })
+            .unwrap_or_else(crate::parallel::configured_threads)
+            .max(1);
+        let queue_depth = self
+            .queue_depth
+            .or_else(|| {
+                let o = QUEUE_DEPTH_OVERRIDE.load(Ordering::Relaxed);
+                (o != u64::MAX).then_some(o as usize)
+            })
+            .or_else(env_queue_depth)
+            .unwrap_or(DEFAULT_QUEUE_DEPTH)
+            .max(1);
+        let timeout_ms = self
+            .req_timeout_ms
+            .or_else(|| {
+                let o = TIMEOUT_OVERRIDE.load(Ordering::Relaxed);
+                (o != u64::MAX).then_some(o)
+            })
+            .or_else(env_req_timeout_ms)
+            .unwrap_or(DEFAULT_REQ_TIMEOUT_MS);
+        ServerSettings {
+            addr,
+            workers,
+            queue_depth,
+            req_timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
+            max_frame_bytes: self.max_frame_bytes.unwrap_or(DEFAULT_MAX_FRAME_BYTES),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(frame: &Frame) -> FrameRead {
+        let bytes = frame.encode();
+        read_frame(&mut Cursor::new(bytes), DEFAULT_MAX_FRAME_BYTES).unwrap()
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        for payload in [vec![], vec![0u8], (0..=255u8).collect::<Vec<_>>()] {
+            let f = Frame::new(u64::MAX - 7, 3, payload);
+            assert_eq!(roundtrip(&f), FrameRead::Frame(f.clone()));
+        }
+    }
+
+    #[test]
+    fn eof_between_frames_is_clean() {
+        let mut empty = Cursor::new(Vec::new());
+        assert_eq!(
+            read_frame(&mut empty, DEFAULT_MAX_FRAME_BYTES).unwrap(),
+            FrameRead::Eof
+        );
+    }
+
+    #[test]
+    fn crc_damage_is_recoverable_and_realigned() {
+        let a = Frame::new(1, 0, b"abc".to_vec());
+        let b = Frame::new(2, 1, b"def".to_vec());
+        let mut bytes = a.encode();
+        let flip_at = 9; // inside a's body
+        bytes[flip_at] ^= 0x40;
+        bytes.extend_from_slice(&b.encode());
+        let mut r = Cursor::new(bytes);
+        match read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES).unwrap() {
+            FrameRead::Corrupt(msg) => assert!(msg.contains("crc"), "got {msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // the stream stayed aligned: the next frame decodes intact
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES).unwrap(),
+            FrameRead::Frame(b)
+        );
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_are_fatal() {
+        let f = Frame::new(9, 2, b"payload".to_vec());
+        let mut bytes = f.encode();
+        bytes[0] = b'X';
+        assert!(read_frame(&mut Cursor::new(bytes), DEFAULT_MAX_FRAME_BYTES).is_err());
+        let bytes = f.encode();
+        for cut in 1..bytes.len() {
+            let out = read_frame(&mut Cursor::new(&bytes[..cut]), DEFAULT_MAX_FRAME_BYTES);
+            assert!(out.is_err(), "truncation to {cut} bytes must be fatal");
+        }
+    }
+
+    #[test]
+    fn oversize_frames_refused_both_ways() {
+        let f = Frame::new(1, 0, vec![0u8; 64]);
+        let limit = f.wire_len() - 1;
+        let mut sink = Vec::new();
+        assert!(write_frame(&mut sink, &f, limit).is_err());
+        assert!(sink.is_empty(), "nothing may hit the stream");
+        let bytes = f.encode();
+        assert!(read_frame(&mut Cursor::new(bytes), limit).is_err());
+    }
+
+    #[test]
+    fn config_resolution_layers() {
+        let s = ServerConfig::new()
+            .addr("127.0.0.1:0")
+            .workers(3)
+            .queue_depth(0) // clamped to 1
+            .req_timeout_ms(250)
+            .resolve();
+        assert_eq!(s.addr, "127.0.0.1:0");
+        assert_eq!(s.workers, 3);
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.req_timeout, Some(Duration::from_millis(250)));
+        assert_eq!(s.max_frame_bytes, DEFAULT_MAX_FRAME_BYTES);
+
+        let s = ServerConfig::new().req_timeout_ms(0).resolve();
+        assert_eq!(s.req_timeout, None, "0 disables the deadline");
+        assert!(s.workers >= 1);
+    }
+}

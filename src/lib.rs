@@ -48,6 +48,7 @@
 //! | [`datagen`] | deterministic synthetic datasets (bike sharing, fraud, random) |
 //! | [`storage`] | the Table-1 experiment: all-in-graph vs polyglot persistence backends |
 //! | [`persist`] | durable storage engine: write-ahead log, checkpoints, crash recovery |
+//! | [`server`] | concurrent query serving: wire protocol, worker pool, backpressure, graceful shutdown |
 
 pub use hygraph_analytics as analytics;
 pub use hygraph_core as core;
@@ -55,6 +56,7 @@ pub use hygraph_datagen as datagen;
 pub use hygraph_graph as graph;
 pub use hygraph_persist as persist;
 pub use hygraph_query as query_engine;
+pub use hygraph_server as server;
 pub use hygraph_storage as storage;
 pub use hygraph_ts as ts;
 pub use hygraph_types as types;
