@@ -47,6 +47,7 @@ pub fn classify_clusters(
     scores: &HashMap<VertexId, f64>,
     threshold: f64,
 ) -> Vec<ClusterVerdict> {
+    let _t = hygraph_metrics::OpTimer::new(hygraph_metrics::OpClass::CFeature);
     clustering
         .members()
         .into_iter()

@@ -58,6 +58,7 @@ impl Default for DetectConfig {
 /// anomaly score → per-community feature baseline → confirmation of
 /// vertices that deviate on both axes.
 pub fn contextual_anomalies(hg: &HyGraph, cfg: DetectConfig) -> Vec<ContextualAnomaly> {
+    let _t = hygraph_metrics::OpTimer::new(hygraph_metrics::OpClass::DDetect);
     let communities: Communities = louvain(hg.topology(), cfg.louvain_passes);
 
     // collect vertices with series + their features

@@ -153,6 +153,7 @@ pub fn hybrid_embedding(
     cfg: FastRpConfig,
     pca_dims: Option<usize>,
 ) -> HashMap<VertexId, Vec<f64>> {
+    let _t = hygraph_metrics::OpTimer::new(hygraph_metrics::OpClass::EEmbed);
     let structural = fastrp(hg, cfg);
     let temporal = series_embedding(hg, pca_dims);
     let mut out = HashMap::with_capacity(structural.len());

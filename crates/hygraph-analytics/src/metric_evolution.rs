@@ -1,4 +1,4 @@
-//! `metricEvolution` (paper §5, after Rost et al. [63]): compute graph
+//! `metricEvolution` (paper §5, after Rost et al. \[63\]): compute graph
 //! metrics on snapshots over time and store the resulting *time series*
 //! back onto the vertices as series-valued properties — the flagship
 //! demonstration of the `HyGraphTo<X>` / `<X>ToHyGraph` duality.

@@ -178,6 +178,7 @@ pub fn hybrid_patterns(
     min_word_support: usize,
     params: SaxParams,
 ) -> hygraph_types::Result<Vec<HybridPattern>> {
+    let _t = hygraph_metrics::OpTimer::new(hygraph_metrics::OpClass::PmMine);
     let structural = frequent_edge_patterns(hg, min_structural_support);
     let g = hg.topology();
     // per-vertex set of words it exhibits

@@ -1,0 +1,154 @@
+//! Observability-overhead benchmark: what does instrumentation cost on
+//! the hot paths, enabled and disabled?
+//!
+//! The metrics registry is process-global and initialise-once, so one
+//! process cannot honestly measure both states. The parent re-executes
+//! itself twice — `--child disabled` and `--child enabled` — and each
+//! child installs its configuration before touching any instrumented
+//! code, runs the measurement loops, and prints one JSON line. The
+//! parent aggregates both into `BENCH_PR4.json` (override the path with
+//! `BENCH_PR4_JSON=<path>`).
+//!
+//! Three probes, each reported as ns/op:
+//!
+//! * **probe** — `hygraph_metrics::get().is_some()` in a tight loop:
+//!   the raw cost of the disabled-path guard (the "one branch" claim);
+//! * **ts_insert** — [`hygraph_ts::TsStore::insert`], the hottest
+//!   instrumented write path;
+//! * **query** — a full HyQL round trip through the instrumented
+//!   parse → classify → execute → slow-log pipeline.
+//!
+//! Run with: `cargo run --release -p hygraph-bench --bin metrics`
+
+use hygraph_core::HyGraph;
+use hygraph_metrics::MetricsConfig;
+use hygraph_ts::TsStore;
+use hygraph_types::{SeriesId, Timestamp};
+use std::hint::black_box;
+use std::time::Instant;
+
+const PROBE_ITERS: u64 = 50_000_000;
+const INSERT_ITERS: u64 = 2_000_000;
+const QUERY_ITERS: u64 = 20_000;
+
+fn ns_per_op(total: std::time::Duration, iters: u64) -> f64 {
+    total.as_nanos() as f64 / iters as f64
+}
+
+fn bench_probe() -> f64 {
+    let t0 = Instant::now();
+    let mut live = 0u64;
+    for _ in 0..PROBE_ITERS {
+        if black_box(hygraph_metrics::get().is_some()) {
+            live += 1;
+        }
+    }
+    black_box(live);
+    ns_per_op(t0.elapsed(), PROBE_ITERS)
+}
+
+fn bench_ts_insert() -> f64 {
+    let mut store = TsStore::new();
+    let id = SeriesId::new(0);
+    let t0 = Instant::now();
+    for i in 0..INSERT_ITERS {
+        store.insert(id, Timestamp::from_millis(i as i64), i as f64);
+    }
+    black_box(store.len(id));
+    ns_per_op(t0.elapsed(), INSERT_ITERS)
+}
+
+fn bench_query() -> f64 {
+    let mut hg = HyGraph::new();
+    for _ in 0..64 {
+        hg.add_pg_vertex(["Station"], hygraph_types::props! {});
+    }
+    let t0 = Instant::now();
+    for _ in 0..QUERY_ITERS {
+        let r = hygraph_query::query(&hg, "MATCH (s:Station) RETURN COUNT(s) AS n")
+            .expect("bench query");
+        black_box(r.rows.len());
+    }
+    ns_per_op(t0.elapsed(), QUERY_ITERS)
+}
+
+fn run_child(mode: &str) {
+    let config = match mode {
+        "disabled" => MetricsConfig::disabled(),
+        "enabled" => MetricsConfig::default(),
+        other => panic!("unknown --child mode {other:?}"),
+    };
+    assert!(
+        hygraph_metrics::install(config),
+        "the child must win the registry initialisation"
+    );
+    assert_eq!(hygraph_metrics::enabled(), mode == "enabled");
+    let probe = bench_probe();
+    let ts_insert = bench_ts_insert();
+    let query = bench_query();
+    println!(
+        "{{\"mode\": \"{mode}\", \"probe_ns\": {probe:.3}, \"ts_insert_ns\": {ts_insert:.2}, \"query_ns\": {query:.1}}}"
+    );
+}
+
+fn spawn_child(mode: &str) -> String {
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = std::process::Command::new(exe)
+        .args(["--child", mode])
+        .output()
+        .expect("spawn child");
+    assert!(
+        out.status.success(),
+        "child {mode} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("child stdout utf8");
+    stdout
+        .lines()
+        .last()
+        .expect("child printed a JSON line")
+        .to_owned()
+}
+
+/// Pulls `"key": <number>` out of a child's one-line JSON.
+fn field(json: &str, key: &str) -> f64 {
+    let pat = format!("\"{key}\": ");
+    let rest = &json[json.find(&pat).expect("field present") + pat.len()..];
+    let end = rest.find([',', '}']).expect("field delimited");
+    rest[..end].trim().parse().expect("numeric field")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--child") {
+        run_child(&args[i + 1]);
+        return;
+    }
+
+    println!("metrics overhead benchmark — disabled vs enabled (separate processes)");
+    let disabled = spawn_child("disabled");
+    println!("  disabled: {disabled}");
+    let enabled = spawn_child("enabled");
+    println!("  enabled:  {enabled}");
+
+    let probe_disabled = field(&disabled, "probe_ns");
+    let query_disabled = field(&disabled, "query_ns");
+    let query_enabled = field(&enabled, "query_ns");
+    let query_overhead_pct = (query_enabled - query_disabled) / query_disabled * 100.0;
+    println!(
+        "  disabled-path probe: {probe_disabled:.3} ns/op; query overhead when enabled: {query_overhead_pct:+.1}%"
+    );
+    // the "one branch" claim: the disabled probe is an atomic load plus
+    // a branch — single-digit nanoseconds on any machine this runs on
+    assert!(
+        probe_disabled < 10.0,
+        "disabled metrics probe must stay branch-cheap, measured {probe_disabled:.3} ns"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"metrics\",\n  \"modes\": {{\n    \"disabled\": {disabled},\n    \"enabled\": {enabled}\n  }},\n  \"query_overhead_pct\": {query_overhead_pct:.2}\n}}\n"
+    );
+    let path = std::env::var("BENCH_PR4_JSON").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+    std::fs::write(&path, json).expect("write bench json");
+    println!("\nwrote {path}");
+}

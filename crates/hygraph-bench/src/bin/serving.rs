@@ -213,6 +213,16 @@ fn json_mode(s: &ModeStats) -> String {
 }
 
 fn main() {
+    // the serving numbers are metrics-free by default so BENCH_PR3.json
+    // stays comparable across PRs; pass --metrics to measure with the
+    // full observability layer live
+    let with_metrics = std::env::args().any(|a| a == "--metrics");
+    hygraph_metrics::install(if with_metrics {
+        hygraph_metrics::MetricsConfig::default()
+    } else {
+        hygraph_metrics::MetricsConfig::disabled()
+    });
+
     let scale = Scale::from_args();
     let (default_clients, ops) = match scale {
         Scale::Small => (4, 200),

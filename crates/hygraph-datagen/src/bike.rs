@@ -1,6 +1,6 @@
 //! Bike-sharing dataset generator (the paper's Table-1 workload).
 //!
-//! Mirrors the shape of the published NYC bike-sharing dataset [52]:
+//! Mirrors the shape of the published NYC bike-sharing dataset \[52\]:
 //! a station network (vertices) connected by trip relations (edges, with
 //! trip counts), where every station carries long, regular time series —
 //! bike availability and free docks — sampled every few minutes over

@@ -8,7 +8,7 @@
 //! per vertex, so a parallel map is bit-identical to the sequential
 //! loop. Betweenness sums per-source contribution vectors; to keep the
 //! floating-point accumulation order independent of the thread count,
-//! sources are grouped into fixed-size blocks ([`BETWEENNESS_BLOCK`]):
+//! sources are grouped into fixed-size blocks (`BETWEENNESS_BLOCK`, 64 sources):
 //! each block's partial is accumulated sequentially in source order, and
 //! block partials are combined sequentially in block order — the same
 //! summation tree in both modes, whatever the machine size.

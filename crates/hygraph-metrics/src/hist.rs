@@ -1,0 +1,308 @@
+//! Fixed-bucket, log-scale latency histograms.
+//!
+//! A [`Histogram`] is a flat array of [`BUCKETS`] relaxed atomic
+//! counters plus a count and a sum — no locks, no allocation, ~1 KiB
+//! per histogram. Values (microseconds by convention, but the scale is
+//! unit-agnostic) are bucketed logarithmically with four sub-buckets
+//! per octave, giving ≤ 25 % relative error across twelve orders of
+//! magnitude — the classic HDR-histogram trade-off at a fraction of
+//! the footprint.
+//!
+//! Reading happens through [`HistogramSnapshot`]: a plain-data copy
+//! with quantile extraction ([`HistogramSnapshot::quantile`], p50/p95/
+//! p99 helpers) and lossless [`HistogramSnapshot::merge`] — per-worker
+//! shards fold into one global distribution without losing a single
+//! count (property-tested in `tests/merge_props.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Exact buckets for values 0..8, then 4 sub-buckets per power of two
+/// up to 2^35 (≈ 9.5 hours in microseconds); larger values land in the
+/// last bucket.
+pub const BUCKETS: usize = 8 + 32 * 4;
+
+/// The bucket index a value falls into.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < 8 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize; // >= 3
+    let sub = ((v >> (msb - 2)) & 3) as usize;
+    let idx = 8 + (msb - 3) * 4 + sub;
+    idx.min(BUCKETS - 1)
+}
+
+/// The smallest value mapping to bucket `i`.
+#[inline]
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i < 8 {
+        return i as u64;
+    }
+    let octave = 3 + (i - 8) / 4;
+    let sub = ((i - 8) % 4) as u64;
+    (1u64 << octave) + (sub << (octave - 2))
+}
+
+/// The representative (midpoint) value reported for bucket `i`.
+#[inline]
+fn bucket_mid(i: usize) -> u64 {
+    if i < 8 {
+        return i as u64;
+    }
+    let octave = 3 + (i - 8) / 4;
+    bucket_lower_bound(i) + (1u64 << (octave - 2)) / 2
+}
+
+/// A lock-free, fixed-footprint log-scale histogram (see module docs).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation (microseconds by convention; any
+    /// non-negative integer scale works).
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration, in microseconds (saturating).
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A plain-data copy for quantile extraction and merging. The copy
+    /// is internally consistent enough for statistics: each bucket is
+    /// read once, and `count`/`sum` are re-derived from the buckets so
+    /// a concurrent writer can never make quantiles disagree with the
+    /// bucket mass.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_lower_bound`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total observations (always the sum of `buckets`).
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no observations.
+    pub const fn empty() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Folds `other` into `self`. Lossless: every count and the sums
+    /// add; quantiles of the merge are the quantiles of the combined
+    /// observation multiset (to bucket resolution).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (bucket-midpoint
+    /// resolution, ≤ 25 % relative error). Zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return bucket_mid(i);
+            }
+        }
+        bucket_mid(BUCKETS - 1)
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean (exact, from the running sum). Zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut samples: Vec<u64> = Vec::new();
+        for shift in 0u32..64 {
+            for offset in [0u64, 1, 2, 3] {
+                samples.push((1u64 << shift).saturating_add(offset << shift.saturating_sub(2)));
+                samples.push((1u64 << shift).saturating_sub(1));
+            }
+        }
+        samples.sort_unstable();
+        let mut last = 0usize;
+        for v in samples {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS);
+            assert!(
+                i >= last,
+                "index must not decrease: v={v} i={i} last={last}"
+            );
+            last = i;
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn lower_bounds_invert_the_index() {
+        for i in 0..BUCKETS {
+            let lb = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lb), i, "lower bound of {i} maps back");
+            if i + 1 < BUCKETS {
+                assert!(lb < bucket_lower_bound(i + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..8u64 {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        for v in 0..8usize {
+            assert_eq!(s.buckets[v], 1);
+        }
+        assert_eq!(s.count, 8);
+        assert_eq!(s.sum, 28);
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let h = Histogram::new();
+        // 100 observations: 90 at ~100us, 9 at ~10_000us, 1 at ~1_000_000us
+        for _ in 0..90 {
+            h.observe(100);
+        }
+        for _ in 0..9 {
+            h.observe(10_000);
+        }
+        h.observe(1_000_000);
+        let s = h.snapshot();
+        let p50 = s.p50() as f64;
+        let p95 = s.p95() as f64;
+        let p99 = s.p99() as f64;
+        assert!((75.0..=150.0).contains(&p50), "p50={p50}");
+        assert!((7_500.0..=15_000.0).contains(&p95), "p95={p95}");
+        assert!((7_500.0..=15_000.0).contains(&p99), "p99={p99}");
+        assert!(s.quantile(1.0) as f64 >= 750_000.0);
+        assert_eq!(s.count, 100);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1u64, 50, 3_000] {
+            a.observe(v);
+        }
+        for v in [2u64, 50, 9_999_999] {
+            b.observe(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 6);
+        assert_eq!(merged.sum, 1 + 50 + 3_000 + 2 + 50 + 9_999_999);
+        let all = Histogram::new();
+        for v in [1u64, 50, 3_000, 2, 50, 9_999_999] {
+            all.observe(v);
+        }
+        assert_eq!(
+            merged,
+            all.snapshot(),
+            "merge == observing everything in one histogram"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s, HistogramSnapshot::empty());
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

@@ -1,0 +1,327 @@
+//! # hygraph-metrics — zero-dependency observability for HyGraph
+//!
+//! A lock-cheap metrics layer the whole stack records into:
+//!
+//! * [`Counter`] / [`Gauge`] — relaxed atomics, one `fetch_add` per event.
+//! * [`Histogram`] — fixed-bucket log-scale latency histograms
+//!   (~1 KiB each, no locks, no allocation) with p50/p95/p99
+//!   extraction and lossless cross-shard [`HistogramSnapshot::merge`].
+//! * [`SlowQueryLog`] — a bounded ring of the most recent HyQL queries
+//!   that crossed `HYGRAPH_SLOW_QUERY_MS`.
+//! * [`Registry`] — the strongly-typed tree of all instruments, grouped
+//!   by layer (serving / durability / query / time series), with a
+//!   plain-data [`Snapshot`] that serialises to a canonical binary form
+//!   (for the server's `Stats` wire request) and renders as
+//!   Prometheus-style text ([`Snapshot::render_text`]).
+//!
+//! ## The one-branch contract
+//!
+//! Instrumented code guards every record with [`get`]:
+//!
+//! ```
+//! if let Some(m) = hygraph_metrics::get() {
+//!     m.server.admitted.inc();
+//! }
+//! ```
+//!
+//! When metrics are disabled ([`MetricsConfig::enabled`] false, e.g.
+//! `HYGRAPH_METRICS=0`), [`get`] returns `None` from a single
+//! initialise-once atomic load — the entire observability layer costs
+//! one predictable branch per call site. `hygraph-bench`'s `metrics`
+//! binary measures exactly this.
+//!
+//! ## Configuration
+//!
+//! [`MetricsConfig`] follows the workspace's layered convention —
+//! explicit install beats environment beats default (see
+//! `OPERATIONS.md` at the repo root for the full knob table):
+//!
+//! | Env var | Default | Meaning |
+//! |---------|---------|---------|
+//! | `HYGRAPH_METRICS` | `1` | `0`/`false`/`off` disables the registry |
+//! | `HYGRAPH_SLOW_QUERY_MS` | `100` | slow-query threshold; `0` disables capture |
+//! | `HYGRAPH_SLOW_QUERY_CAP` | `128` | slow-query ring capacity |
+//! | `HYGRAPH_METRICS_LOG_EVERY_MS` | `0` | server's periodic stats log period; `0` off |
+//!
+//! The registry is process-global and initialised exactly once: either
+//! explicitly via [`install`] (first caller wins — benches install a
+//! disabled config before touching any instrumented code) or lazily
+//! from the environment on first [`get`].
+
+#![deny(missing_docs)]
+
+mod counter;
+mod hist;
+mod registry;
+mod slow;
+
+pub use counter::{Counter, Gauge};
+pub use hist::{bucket_index, bucket_lower_bound, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{
+    DecodeError, OpClass, OpMetrics, OpSnapshot, PersistMetrics, PersistSnapshot, QueryMetrics,
+    QuerySnapshot, Registry, ServerMetrics, ServerSnapshot, Snapshot, TsMetrics, TsSnapshot,
+};
+pub use slow::{SlowQueryEntry, SlowQueryLog};
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Resolved observability configuration.
+///
+/// Layered like every other HyGraph config: an explicit [`install`]
+/// beats the `HYGRAPH_*` environment, which beats the defaults.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsConfig {
+    /// Whether the registry exists at all. When false, [`get`] returns
+    /// `None` and instrumentation costs one branch.
+    pub enabled: bool,
+    /// Queries at least this slow are captured in the slow-query ring.
+    /// [`Duration::ZERO`] disables capture.
+    pub slow_query_threshold: Duration,
+    /// Capacity of the slow-query ring.
+    pub slow_query_cap: usize,
+    /// Period of the server's one-line stats log. Zero disables it.
+    pub log_every: Duration,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            slow_query_threshold: Duration::from_millis(100),
+            slow_query_cap: 128,
+            log_every: Duration::ZERO,
+        }
+    }
+}
+
+fn flag(raw: Option<&str>, default: bool) -> bool {
+    match raw.map(str::trim) {
+        None | Some("") => default,
+        Some(s) => !matches!(
+            s.to_ascii_lowercase().as_str(),
+            "0" | "false" | "off" | "no"
+        ),
+    }
+}
+
+fn ms(raw: Option<&str>, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        raw.and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(default_ms),
+    )
+}
+
+impl MetricsConfig {
+    /// The configuration the `HYGRAPH_*` environment describes.
+    pub fn from_env() -> Self {
+        let var = |k: &str| std::env::var(k).ok();
+        Self::from_raw(
+            var("HYGRAPH_METRICS").as_deref(),
+            var("HYGRAPH_SLOW_QUERY_MS").as_deref(),
+            var("HYGRAPH_SLOW_QUERY_CAP").as_deref(),
+            var("HYGRAPH_METRICS_LOG_EVERY_MS").as_deref(),
+        )
+    }
+
+    /// Resolution from raw knob values (the testable core of
+    /// [`MetricsConfig::from_env`]).
+    fn from_raw(
+        metrics: Option<&str>,
+        slow_ms: Option<&str>,
+        slow_cap: Option<&str>,
+        log_every_ms: Option<&str>,
+    ) -> Self {
+        let d = Self::default();
+        Self {
+            enabled: flag(metrics, d.enabled),
+            slow_query_threshold: ms(slow_ms, 100),
+            slow_query_cap: slow_cap
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .unwrap_or(d.slow_query_cap),
+            log_every: ms(log_every_ms, 0),
+        }
+    }
+
+    /// A config with the registry switched off — what benches install
+    /// to measure the uninstrumented baseline.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+}
+
+struct Global {
+    config: MetricsConfig,
+    /// `Some` iff `config.enabled`.
+    registry: Option<Registry>,
+}
+
+static GLOBAL: OnceLock<Global> = OnceLock::new();
+
+fn global() -> &'static Global {
+    GLOBAL.get_or_init(|| {
+        let config = MetricsConfig::from_env();
+        let registry = config.enabled.then(|| Registry::new(config.slow_query_cap));
+        Global { config, registry }
+    })
+}
+
+/// Installs `config` as the process-wide observability configuration.
+///
+/// Must run before the first [`get`] anywhere in the process; the
+/// registry is initialise-once and the first resolution wins. Returns
+/// `true` if this call performed the initialisation, `false` if a
+/// configuration (installed or environment-resolved) was already live.
+pub fn install(config: MetricsConfig) -> bool {
+    let mut won = false;
+    GLOBAL.get_or_init(|| {
+        won = true;
+        let registry = config.enabled.then(|| Registry::new(config.slow_query_cap));
+        Global { config, registry }
+    });
+    won
+}
+
+/// The global registry, or `None` when metrics are disabled.
+///
+/// After the one-time initialisation this is a single atomic load plus
+/// a branch — cheap enough for the hottest paths in the stack.
+#[inline]
+pub fn get() -> Option<&'static Registry> {
+    global().registry.as_ref()
+}
+
+/// Whether the global registry is live.
+#[inline]
+pub fn enabled() -> bool {
+    get().is_some()
+}
+
+/// The resolved process-wide configuration (meaningful even when the
+/// registry is disabled).
+pub fn config() -> &'static MetricsConfig {
+    &global().config
+}
+
+/// The slow-query capture threshold ([`Duration::ZERO`] = off).
+#[inline]
+pub fn slow_query_threshold() -> Duration {
+    global().config.slow_query_threshold
+}
+
+/// A snapshot of the global registry, or `None` when disabled.
+pub fn snapshot() -> Option<Snapshot> {
+    get().map(Registry::snapshot)
+}
+
+/// RAII timer for one operator execution: on drop, bumps the class's
+/// execution counter and records the elapsed time into its histogram.
+/// Does nothing (and never reads the clock) when metrics are disabled.
+///
+/// ```
+/// use hygraph_metrics::{OpClass, OpTimer};
+/// {
+///     let _t = OpTimer::new(OpClass::Q3Traverse);
+///     // ... run the traversal ...
+/// } // recorded here
+/// ```
+#[must_use = "the timer records on drop; binding it to _ drops immediately"]
+pub struct OpTimer {
+    class: OpClass,
+    start: Option<std::time::Instant>,
+    failed: bool,
+}
+
+impl OpTimer {
+    /// Starts timing one execution of `class`.
+    pub fn new(class: OpClass) -> Self {
+        Self {
+            class,
+            start: enabled().then(std::time::Instant::now),
+            failed: false,
+        }
+    }
+
+    /// Marks this execution as failed; the class's error counter is
+    /// bumped on drop.
+    pub fn fail(&mut self) {
+        self.failed = true;
+    }
+}
+
+impl Drop for OpTimer {
+    fn drop(&mut self) {
+        if let (Some(m), Some(s)) = (get(), self.start) {
+            let om = m.query.class(self.class);
+            om.count.inc();
+            om.time_us.observe_duration(s.elapsed());
+            if self.failed {
+                om.errors.inc();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_resolution_layers_defaults() {
+        let d = MetricsConfig::from_raw(None, None, None, None);
+        assert_eq!(d, MetricsConfig::default());
+        assert!(d.enabled);
+        assert_eq!(d.slow_query_threshold, Duration::from_millis(100));
+        assert_eq!(d.slow_query_cap, 128);
+        assert_eq!(d.log_every, Duration::ZERO);
+    }
+
+    #[test]
+    fn raw_resolution_parses_overrides() {
+        let c = MetricsConfig::from_raw(Some("off"), Some("250"), Some("16"), Some("1000"));
+        assert!(!c.enabled);
+        assert_eq!(c.slow_query_threshold, Duration::from_millis(250));
+        assert_eq!(c.slow_query_cap, 16);
+        assert_eq!(c.log_every, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn flag_parsing_accepts_the_usual_spellings() {
+        for off in ["0", "false", "OFF", " no "] {
+            assert!(!flag(Some(off), true), "{off:?} should disable");
+        }
+        for on in ["1", "true", "on", "yes", "anything-else"] {
+            assert!(flag(Some(on), false), "{on:?} should enable");
+        }
+        assert!(flag(None, true));
+        assert!(!flag(None, false));
+        assert!(
+            flag(Some(""), true),
+            "empty string falls through to default"
+        );
+    }
+
+    #[test]
+    fn garbage_numeric_knobs_fall_back_to_defaults() {
+        let c = MetricsConfig::from_raw(None, Some("not-a-number"), Some("-3"), Some("1e9"));
+        assert_eq!(c.slow_query_threshold, Duration::from_millis(100));
+        assert_eq!(c.slow_query_cap, 128);
+        assert_eq!(c.log_every, Duration::ZERO);
+    }
+
+    // The process-global registry itself is exercised by the
+    // integration tests (tests/ and the server's stats_wire tests),
+    // which control initialisation order; unit tests here stick to the
+    // pure config resolution so they stay order-independent.
+
+    #[test]
+    fn disabled_config_has_no_registry_semantics() {
+        let c = MetricsConfig::disabled();
+        assert!(!c.enabled);
+        // everything else stays at defaults
+        assert_eq!(c.slow_query_cap, MetricsConfig::default().slow_query_cap);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for histogram sharding: folding per-worker shard
+//! snapshots into one global distribution must never lose (or invent)
+//! a count, and the merged snapshot must be indistinguishable from one
+//! histogram that observed every value itself. This is the invariant
+//! the server relies on when it merges per-connection timings into the
+//! wire-exposed `Stats` snapshot.
+
+use hygraph_metrics::{bucket_index, Histogram, HistogramSnapshot, Snapshot};
+use proptest::prelude::*;
+
+proptest! {
+    /// shards → merge == one histogram observing everything.
+    #[test]
+    fn merge_never_loses_counts(
+        shards in prop::collection::vec(
+            prop::collection::vec(0u64..=1u64 << 40, 0..64),
+            1..8,
+        ),
+    ) {
+        let global = Histogram::new();
+        let mut merged = HistogramSnapshot::empty();
+        let mut expected_count = 0u64;
+        let mut expected_sum = 0u64;
+        for shard_values in &shards {
+            let shard = Histogram::new();
+            for &v in shard_values {
+                shard.observe(v);
+                global.observe(v);
+                expected_count += 1;
+                expected_sum += v;
+            }
+            merged.merge(&shard.snapshot());
+        }
+        prop_assert_eq!(merged.count, expected_count);
+        prop_assert_eq!(merged.sum, expected_sum);
+        // bucket-for-bucket identical to the unsharded histogram
+        prop_assert_eq!(&merged, &global.snapshot());
+        // total bucket mass equals the count — nothing fell between buckets
+        let mass: u64 = merged.buckets.iter().sum();
+        prop_assert_eq!(mass, expected_count);
+    }
+
+    /// Merging is order-independent: any permutation of shards folds to
+    /// the same snapshot.
+    #[test]
+    fn merge_is_commutative(
+        a in prop::collection::vec(0u64..=1u64 << 30, 0..32),
+        b in prop::collection::vec(0u64..=1u64 << 30, 0..32),
+    ) {
+        let ha = Histogram::new();
+        for &v in &a { ha.observe(v); }
+        let hb = Histogram::new();
+        for &v in &b { hb.observe(v); }
+        let (sa, sb) = (ha.snapshot(), hb.snapshot());
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Every value lands in exactly one bucket whose range contains it.
+    #[test]
+    fn bucketing_is_a_partition(v in 0u64..=u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < hygraph_metrics::BUCKETS);
+        prop_assert!(hygraph_metrics::bucket_lower_bound(i) <= v);
+        if i + 1 < hygraph_metrics::BUCKETS {
+            prop_assert!(v < hygraph_metrics::bucket_lower_bound(i + 1));
+        }
+    }
+
+    /// The snapshot codec round-trips exactly for arbitrary histogram
+    /// contents riding inside a full snapshot.
+    #[test]
+    fn snapshot_codec_roundtrips_arbitrary_histograms(
+        exec in prop::collection::vec(0u64..=1u64 << 40, 0..128),
+        wal in prop::collection::vec(0u64..=1u64 << 30, 0..64),
+    ) {
+        let mut snap = Snapshot::default();
+        let h = Histogram::new();
+        for &v in &exec { h.observe(v); }
+        snap.server.execute_us = h.snapshot();
+        let h = Histogram::new();
+        for &v in &wal { h.observe(v); }
+        snap.persist.wal_sync_us = h.snapshot();
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).expect("canonical bytes decode");
+        prop_assert_eq!(&back, &snap);
+        prop_assert_eq!(back.to_bytes(), bytes);
+    }
+}

@@ -31,6 +31,7 @@
 use crate::checkpoint;
 use crate::config;
 use crate::wal::Wal;
+use hygraph_metrics as metrics;
 use hygraph_types::bytes::{ByteReader, ByteWriter};
 use hygraph_types::{HyGraphError, Result};
 use std::ops::Range;
@@ -83,6 +84,30 @@ fn decode_record<S: Durable>(record: &[u8]) -> Result<S::Mutation> {
 }
 
 /// A [`Durable`] store wrapped with a write-ahead log and checkpoints.
+///
+/// A committed mutation survives any crash: [`DurableStore::commit`]
+/// appends to the WAL and fsyncs before applying, and
+/// [`DurableStore::open`] recovers the newest intact checkpoint plus
+/// the intact WAL suffix, bit-identically.
+///
+/// ```
+/// use hygraph_persist::{DurableStore, TsMutation};
+/// use hygraph_ts::TsStore;
+/// use hygraph_types::{SeriesId, Timestamp};
+///
+/// let dir = std::env::temp_dir().join(format!("hygraph-doc-{}", std::process::id()));
+/// let sid = SeriesId::new(0);
+/// {
+///     let mut store: DurableStore<TsStore> = DurableStore::open(&dir)?;
+///     store.commit(TsMutation::CreateSeries(sid))?;
+///     store.commit(TsMutation::Insert(sid, Timestamp::from_millis(0), 1.5))?;
+/// } // dropped without a clean shutdown — the commits are on disk
+///
+/// let store: DurableStore<TsStore> = DurableStore::open(&dir)?;
+/// assert_eq!(store.get().value_at(sid, Timestamp::from_millis(0)), Some(1.5));
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok::<(), hygraph_types::HyGraphError>(())
+/// ```
 pub struct DurableStore<S: Durable> {
     state: S,
     wal: Wal,
@@ -258,6 +283,7 @@ impl<S: Durable> DurableStore<S> {
         if self.checkpoint_on_disk && lsn == self.checkpoint_lsn {
             return Ok(());
         }
+        let start = std::time::Instant::now();
         let bytes = self.state_bytes();
         checkpoint::write_checkpoint(self.wal.dir(), S::STORE_TAG, lsn, &bytes)?;
         // only after the snapshot is durable may its inputs be deleted
@@ -267,6 +293,10 @@ impl<S: Durable> DurableStore<S> {
         self.checkpoint_lsn = lsn;
         self.checkpoint_on_disk = true;
         self.since_checkpoint = 0;
+        if let Some(m) = metrics::get() {
+            m.persist.checkpoints.inc();
+            m.persist.checkpoint_us.observe_duration(start.elapsed());
+        }
         Ok(())
     }
 

@@ -16,10 +16,12 @@
 //! synced prefix" contract.
 
 use crate::frame::{append_frame, read_frame, FrameOutcome};
+use hygraph_metrics as metrics;
 use hygraph_types::{HyGraphError, Result};
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 const SEGMENT_MAGIC: &[u8; 5] = b"HGWL1";
 const SEGMENT_HEADER_BYTES: usize = SEGMENT_MAGIC.len() + 4;
@@ -129,6 +131,9 @@ impl Wal {
     ) -> Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        let start = Instant::now();
+        let mut replayed = 0u64;
+        let mut truncations = 0u64;
         let segments = list_segments(&dir)?;
         if let Some((first_base, _)) = segments.first() {
             // the log must reach back to the recovery watermark: a first
@@ -150,6 +155,7 @@ impl Wal {
         for (idx, (base, path)) in segments.iter().enumerate() {
             if torn {
                 std::fs::remove_file(path)?;
+                truncations += 1;
                 continue;
             }
             let bytes = std::fs::read(path)?;
@@ -177,6 +183,7 @@ impl Wal {
                 // nothing in this segment (or anything later) is usable
                 torn = true;
                 std::fs::remove_file(path)?;
+                truncations += 1;
                 continue;
             }
             let body = &bytes[SEGMENT_HEADER_BYTES..];
@@ -194,6 +201,7 @@ impl Wal {
                         }
                         if lsn >= from_lsn {
                             apply(lsn, record)?;
+                            replayed += 1;
                         }
                         lsn_here += 1;
                         offset = next_offset;
@@ -207,6 +215,7 @@ impl Wal {
                 // torn tail: truncate to the intact prefix, drop the rest
                 crate::fault::truncate_file(path, valid_file_len)?;
                 torn = true;
+                truncations += 1;
             }
             expected = Some(lsn_here);
             survivors.push((*base, path.clone(), valid_file_len));
@@ -221,6 +230,7 @@ impl Wal {
         if expected.unwrap_or(0) < from_lsn {
             for (_, path, _) in survivors.drain(..) {
                 std::fs::remove_file(path)?;
+                truncations += 1;
             }
             torn = true; // force the directory fsync below
         }
@@ -237,6 +247,12 @@ impl Wal {
             }),
             None => None,
         };
+        if let Some(m) = metrics::get() {
+            m.persist.recoveries.inc();
+            m.persist.recovery_frames_replayed.add(replayed);
+            m.persist.recovery_truncations.add(truncations);
+            m.persist.recovery_us.observe_duration(start.elapsed());
+        }
         Ok(Self {
             dir,
             tag,
@@ -270,12 +286,19 @@ impl Wal {
     /// Appends one record to the group-commit batch and returns its
     /// LSN. The record is *not* durable until [`Wal::sync`] returns.
     pub fn append(&mut self, record: &[u8]) -> u64 {
+        let start = metrics::enabled().then(Instant::now);
         let lsn = self.next_lsn;
         if self.pending.is_empty() {
             self.pending_base = lsn;
         }
         append_frame(&mut self.pending, lsn, record);
         self.next_lsn += 1;
+        if let Some(m) = metrics::get() {
+            m.persist.wal_appends.inc();
+            if let Some(s) = start {
+                m.persist.wal_append_us.observe_duration(s.elapsed());
+            }
+        }
         lsn
     }
 
@@ -328,6 +351,10 @@ impl Wal {
         if self.pending.is_empty() {
             return Ok(());
         }
+        let start = Instant::now();
+        let batch_frames = self.next_lsn - self.pending_base;
+        let batch_bytes = self.pending.len() as u64;
+        let mut rotated = false;
         if let Some(a) = &self.active {
             if a.len >= self.segment_bytes {
                 self.active = None; // finalized; a fresh segment follows
@@ -348,6 +375,7 @@ impl Wal {
                 file,
                 len: SEGMENT_HEADER_BYTES as u64,
             });
+            rotated = true;
         }
         #[cfg(test)]
         let injected_quota = self.fail_write_after.take();
@@ -390,6 +418,15 @@ impl Wal {
         self.pending.clear();
         self.pending_base = self.next_lsn;
         self.durable_lsn = self.next_lsn;
+        if let Some(m) = metrics::get() {
+            m.persist.wal_syncs.inc();
+            m.persist.wal_synced_bytes.add(batch_bytes);
+            m.persist.group_commit_frames.observe(batch_frames);
+            m.persist.wal_sync_us.observe_duration(start.elapsed());
+            if rotated {
+                m.persist.wal_rotations.inc();
+            }
+        }
         Ok(())
     }
 

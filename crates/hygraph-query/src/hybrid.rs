@@ -18,6 +18,7 @@
 use hygraph_core::{ElementKind, ElementRef, HyGraph};
 use hygraph_graph::pattern::Binding;
 use hygraph_graph::{snapshot, Pattern, TemporalGraph};
+use hygraph_metrics::{OpClass, OpTimer};
 use hygraph_ts::ops::{correlate, downsample, segment, subsequence};
 use hygraph_ts::TimeSeries;
 use hygraph_types::parallel::{should_parallelize, ExecMode};
@@ -75,6 +76,7 @@ pub fn hybrid_match(hg: &HyGraph, spec: &HybridMatchSpec) -> Vec<HybridMatch> {
 /// shape search is pure, so bindings fan out across threads; results
 /// keep the pattern's enumeration order either way.
 pub fn hybrid_match_mode(hg: &HyGraph, spec: &HybridMatchSpec, mode: ExecMode) -> Vec<HybridMatch> {
+    let _t = OpTimer::new(OpClass::Q1Match);
     let bindings = spec.pattern.find_all(hg.topology());
     let eval_one = |binding: &Binding| -> Option<HybridMatch> {
         let &v = binding.vertices.get(&spec.series_var)?;
@@ -114,6 +116,7 @@ pub fn hybrid_aggregate(hg: &HyGraph, bucket: Duration) -> HybridAggregate {
 /// label groups stays sequential in vertex-id order, so the float sums
 /// are combined in exactly the same order as the sequential path.
 pub fn hybrid_aggregate_mode(hg: &HyGraph, bucket: Duration, mode: ExecMode) -> HybridAggregate {
+    let _t = OpTimer::new(OpClass::Q2Aggregate);
     let g = hg.topology();
     let grouped =
         hygraph_graph::aggregate::group_by(g, hygraph_graph::aggregate::GroupBy::Labels, &[]);
@@ -191,6 +194,7 @@ pub fn correlation_reachability_mode(
     min_corr: f64,
     mode: ExecMode,
 ) -> Vec<(VertexId, f64)> {
+    let _t = OpTimer::new(OpClass::Q3Traverse);
     let g = hg.topology();
     let mut out: Vec<(VertexId, f64)> = Vec::new();
     let Some(start_series) = vertex_series(hg, from) else {
@@ -249,6 +253,7 @@ pub fn segmentation_snapshots(
     driver: &TimeSeries,
     penalty: Option<f64>,
 ) -> Result<Vec<(Timestamp, TemporalGraph)>> {
+    let _t = OpTimer::new(OpClass::Q4Snapshot);
     let segments = segment::pelt(driver, penalty);
     let boundaries = segment::boundaries(&segments);
     Ok(boundaries

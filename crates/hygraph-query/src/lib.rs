@@ -108,10 +108,75 @@ pub use ast::Query;
 pub use exec::{execute, execute_mode, QueryResult, Row};
 
 use hygraph_core::HyGraph;
+use hygraph_metrics::OpClass;
 use hygraph_types::Result;
 
+/// Classifies a parsed query into the paper's Table 2 operator
+/// taxonomy — the key space for per-class execution metrics.
+///
+/// Precedence (a query showing several traits takes the first match):
+/// `VALID AT` anchors are snapshot retrieval (Q4), variable-length
+/// edges are traversal (Q3), any aggregate (series, row, or `HAVING`)
+/// is aggregation (Q2), and everything else is plain pattern matching
+/// (Q1).
+pub fn classify(q: &Query) -> OpClass {
+    if q.valid_at.is_some() {
+        return OpClass::Q4Snapshot;
+    }
+    let traverses = q
+        .patterns
+        .iter()
+        .flat_map(|p| p.hops.iter())
+        .any(|(e, _)| e.hops != (1, 1));
+    if traverses {
+        return OpClass::Q3Traverse;
+    }
+    fn has_agg(e: &ast::Expr) -> bool {
+        match e {
+            ast::Expr::Agg { .. } | ast::Expr::RowAgg { .. } => true,
+            ast::Expr::Not(inner) => has_agg(inner),
+            ast::Expr::Binary { lhs, rhs, .. } => has_agg(lhs) || has_agg(rhs),
+            ast::Expr::Literal(_) | ast::Expr::Prop { .. } | ast::Expr::Var(_) => false,
+        }
+    }
+    let aggregates = q.having.is_some()
+        || q.filter.as_ref().is_some_and(has_agg)
+        || q.returns.iter().any(|r| has_agg(&r.expr));
+    if aggregates {
+        return OpClass::Q2Aggregate;
+    }
+    OpClass::Q1Match
+}
+
 /// Parses and executes `text` against `hg` in one call.
+///
+/// This is the instrumented entry point: executions are counted and
+/// timed per [`OpClass`], parse failures bump a dedicated counter, and
+/// queries slower than the `HYGRAPH_SLOW_QUERY_MS` threshold are
+/// captured (text, duration, row count) in the global slow-query ring.
 pub fn query(hg: &HyGraph, text: &str) -> Result<QueryResult> {
-    let q = parser::parse(text)?;
-    execute(hg, &q)
+    let start = hygraph_metrics::enabled().then(std::time::Instant::now);
+    let q = match parser::parse(text) {
+        Ok(q) => q,
+        Err(e) => {
+            if let Some(m) = hygraph_metrics::get() {
+                m.query.parse_errors.inc();
+            }
+            return Err(e);
+        }
+    };
+    let res = execute(hg, &q);
+    if let (Some(m), Some(s)) = (hygraph_metrics::get(), start) {
+        let elapsed = s.elapsed();
+        let om = m.query.class(classify(&q));
+        om.count.inc();
+        om.time_us.observe_duration(elapsed);
+        if res.is_err() {
+            om.errors.inc();
+        }
+        let rows = res.as_ref().map_or(0, |r| r.rows.len() as u64);
+        m.slow
+            .record(text, elapsed, rows, hygraph_metrics::slow_query_threshold());
+    }
+    res
 }

@@ -18,6 +18,26 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 
 /// A blocking TCP client for the HyGraph wire protocol.
+///
+/// ```
+/// use hygraph_server::{Backend, Client, Server};
+/// use hygraph_types::net::ServerConfig;
+///
+/// let server = Server::serve(
+///     Backend::memory(hygraph_core::HyGraph::new()),
+///     &ServerConfig::new().addr("127.0.0.1:0").workers(2),
+/// )?;
+///
+/// let mut client = Client::connect(server.local_addr())?;
+/// client.ping()?;
+/// let rows = client.query("MATCH (n) RETURN COUNT(n) AS n")?;
+/// assert_eq!(rows.columns, vec!["n"]);
+/// let stats = client.stats()?; // the server's observability snapshot
+/// assert!(stats.server.admitted >= 3);
+///
+/// server.shutdown()?;
+/// # Ok::<(), hygraph_types::HyGraphError>(())
+/// ```
 pub struct Client {
     stream: TcpStream,
     next_id: u64,
@@ -165,6 +185,16 @@ impl Client {
         })
     }
 
+    /// Fetches the server's observability snapshot (counters, latency
+    /// histograms, slow-query log). All zeros when the server runs with
+    /// metrics disabled.
+    pub fn stats(&mut self) -> Result<hygraph_metrics::Snapshot> {
+        self.expect(&Request::Stats, |r| match r {
+            Response::Stats(snap) => Some(*snap),
+            _ => None,
+        })
+    }
+
     /// Closes the connection (dropping the client does the same).
     pub fn close(self) {
         let _ = self.stream.shutdown(std::net::Shutdown::Both);
@@ -185,6 +215,26 @@ impl std::fmt::Debug for Client {
 /// baseline the integration tests compare served results against, and
 /// the way embedded callers reach a running server's state without a
 /// socket.
+///
+/// ```
+/// use hygraph_server::{Backend, Server};
+/// use hygraph_types::net::ServerConfig;
+///
+/// let server = Server::serve(
+///     Backend::memory(hygraph_core::HyGraph::new()),
+///     &ServerConfig::new().addr("127.0.0.1:0").workers(2),
+/// )?;
+///
+/// // same engine, same locks, no socket
+/// let local = server.local_client();
+/// let rows = local.query("MATCH (n) RETURN COUNT(n) AS n")?;
+/// assert_eq!(rows.rows[0][0], hygraph_types::Value::Int(0));
+/// local.with_graph(|hg| assert_eq!(hg.vertex_count(), 0));
+///
+/// // the engine is still shared, so shutdown hands back no backend
+/// assert!(server.shutdown()?.backend.is_none());
+/// # Ok::<(), hygraph_types::HyGraphError>(())
+/// ```
 #[derive(Clone, Debug)]
 pub struct LocalClient {
     engine: Arc<Engine>,
@@ -214,6 +264,12 @@ impl LocalClient {
     /// Runs `f` against the live graph under the read lock.
     pub fn with_graph<R>(&self, f: impl FnOnce(&hygraph_core::HyGraph) -> R) -> R {
         self.engine.with_graph(f)
+    }
+
+    /// The observability snapshot, exactly as [`Client::stats`] would
+    /// see it over the wire (all zeros when metrics are disabled).
+    pub fn stats(&self) -> hygraph_metrics::Snapshot {
+        hygraph_metrics::snapshot().unwrap_or_default()
     }
 
     /// Executes one protocol request exactly as a worker would (minus

@@ -54,4 +54,4 @@ pub mod server;
 pub use client::{Client, LocalClient};
 pub use engine::{Backend, Engine};
 pub use proto::{ErrorCode, Request, Response};
-pub use server::{Server, ServerStats};
+pub use server::{Server, ServerStats, ShutdownReport};

@@ -29,12 +29,14 @@ const K_MUTATE: u8 = 2;
 const K_MUTATE_BATCH: u8 = 3;
 const K_CHECKPOINT: u8 = 4;
 const K_SLEEP: u8 = 5;
+const K_STATS: u8 = 6;
 
 // Response kinds (server → client).
 const K_PONG: u8 = 128;
 const K_ROWS: u8 = 129;
 const K_COMMITTED: u8 = 130;
 const K_CHECKPOINT_DONE: u8 = 131;
+const K_STATS_SNAPSHOT: u8 = 132;
 const K_ERROR: u8 = 255;
 
 /// Why the server refused or failed a request.
@@ -90,6 +92,9 @@ pub enum Request {
     /// analogue of SQL `sleep()`, used by the load tests to saturate
     /// the pool deterministically.
     Sleep(u64),
+    /// Fetch the server's observability snapshot (counters, latency
+    /// histograms, slow-query log) — answered with [`Response::Stats`].
+    Stats,
 }
 
 /// One server response. `Error` carries an [`ErrorCode`] so clients can
@@ -113,6 +118,12 @@ pub enum Response {
         /// The checkpoint's LSN.
         lsn: u64,
     },
+    /// Reply to [`Request::Stats`]: the process-wide metrics snapshot.
+    /// The payload is [`hygraph_metrics::Snapshot::to_bytes`] verbatim,
+    /// so what a client decodes is byte-identical to what
+    /// [`hygraph_metrics::snapshot`] returns in-process (all zeros when
+    /// metrics are disabled server-side).
+    Stats(Box<hygraph_metrics::Snapshot>),
     /// The request was refused or failed; see [`ErrorCode`].
     Error {
         /// Failure class.
@@ -138,6 +149,7 @@ impl Request {
             Request::MutateBatch(_) => K_MUTATE_BATCH,
             Request::Checkpoint => K_CHECKPOINT,
             Request::Sleep(_) => K_SLEEP,
+            Request::Stats => K_STATS,
         }
     }
 
@@ -145,7 +157,7 @@ impl Request {
     pub fn to_frame(&self, request_id: u64) -> Frame {
         let mut w = ByteWriter::new();
         match self {
-            Request::Ping | Request::Checkpoint => {}
+            Request::Ping | Request::Checkpoint | Request::Stats => {}
             Request::Query(text) => w.str(text),
             Request::Mutate(m) => <HyGraph as Durable>::encode_mutation(m, &mut w),
             Request::MutateBatch(ms) => {
@@ -183,6 +195,7 @@ impl Request {
             }
             K_CHECKPOINT => Request::Checkpoint,
             K_SLEEP => Request::Sleep(r.u64()?.min(MAX_SLEEP_MS)),
+            K_STATS => Request::Stats,
             k => return Err(HyGraphError::corrupt(format!("unknown request kind {k}"))),
         };
         r.expect_exhausted()?;
@@ -198,6 +211,7 @@ impl Response {
             Response::Rows(_) => K_ROWS,
             Response::Committed { .. } => K_COMMITTED,
             Response::CheckpointDone { .. } => K_CHECKPOINT_DONE,
+            Response::Stats(_) => K_STATS_SNAPSHOT,
             Response::Error { .. } => K_ERROR,
         }
     }
@@ -213,6 +227,11 @@ impl Response {
                 w.u64(*count);
             }
             Response::CheckpointDone { lsn } => w.u64(*lsn),
+            Response::Stats(snap) => {
+                let bytes = snap.to_bytes();
+                w.len_of(bytes.len());
+                w.raw(&bytes);
+            }
             Response::Error { code, message } => {
                 w.u8(*code as u8);
                 w.str(message);
@@ -232,6 +251,13 @@ impl Response {
                 count: r.u64()?,
             },
             K_CHECKPOINT_DONE => Response::CheckpointDone { lsn: r.u64()? },
+            K_STATS_SNAPSHOT => {
+                let len = r.len_of()?;
+                let raw = r.raw(len)?;
+                let snap = hygraph_metrics::Snapshot::from_bytes(raw)
+                    .map_err(|e| HyGraphError::corrupt(e.to_string()))?;
+                Response::Stats(Box::new(snap))
+            }
             K_ERROR => Response::Error {
                 code: ErrorCode::from_u8(r.u8()?)?,
                 message: r.str()?,
@@ -306,6 +332,7 @@ mod tests {
             ]),
             Request::Checkpoint,
             Request::Sleep(50),
+            Request::Stats,
         ];
         for req in &reqs {
             assert_eq!(&roundtrip_request(req), req);
@@ -337,6 +364,16 @@ mod tests {
                 count: 3,
             },
             Response::CheckpointDone { lsn: 20 },
+            Response::Stats(Box::new({
+                let mut snap = hygraph_metrics::Snapshot::default();
+                snap.server.admitted = 42;
+                snap.slow_queries.push(hygraph_metrics::SlowQueryEntry {
+                    query: "MATCH (n) RETURN n".into(),
+                    duration_us: 123_456,
+                    rows: 7,
+                });
+                snap
+            })),
             Response::Error {
                 code: ErrorCode::Overloaded,
                 message: "queue full".into(),

@@ -55,6 +55,17 @@ impl<T> Bounded<T> {
     /// Non-blocking admission: `Err(Full)` at capacity, `Err(Closed)`
     /// after [`Bounded::close`].
     pub fn try_push(&self, value: T) -> Result<(), PushError<T>> {
+        self.try_push_with(value, || {})
+    }
+
+    /// Like [`Bounded::try_push`], but runs `on_admit` *inside* the
+    /// queue's critical section when the push succeeds. A consumer
+    /// pops through the same lock, so every effect of `on_admit`
+    /// happens-before anything the consumer does with the item — the
+    /// ordering the exact-count stats accounting relies on (a popped
+    /// job's admission is always already counted). Keep the hook
+    /// cheap: it holds the queue mutex.
+    pub fn try_push_with(&self, value: T, on_admit: impl FnOnce()) -> Result<(), PushError<T>> {
         let mut s = self.lock();
         if s.closed {
             return Err(PushError::Closed(value));
@@ -63,6 +74,7 @@ impl<T> Bounded<T> {
             return Err(PushError::Full(value));
         }
         s.items.push_back(value);
+        on_admit();
         drop(s);
         self.available.notify_one();
         Ok(())
@@ -120,6 +132,19 @@ mod tests {
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), Some(4));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn admit_hook_runs_only_on_success() {
+        let q = Bounded::new(1);
+        let mut ran = 0;
+        assert_eq!(q.try_push_with(1, || ran += 1), Ok(()));
+        assert_eq!(ran, 1);
+        assert_eq!(q.try_push_with(2, || ran += 1), Err(PushError::Full(2)));
+        assert_eq!(ran, 1, "a refused push must not run the hook");
+        q.close();
+        assert_eq!(q.try_push_with(3, || ran += 1), Err(PushError::Closed(3)));
+        assert_eq!(ran, 1);
     }
 
     #[test]

@@ -35,13 +35,14 @@
 use crate::engine::{Backend, Engine};
 use crate::proto::{ErrorCode, Request, Response, MAX_SLEEP_MS};
 use crate::queue::{Bounded, PushError};
+use hygraph_metrics as metrics;
 use hygraph_types::net::{self, FrameRead, ServerConfig, ServerSettings};
 use hygraph_types::Result;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One admitted unit of work: a decoded request plus where to send the
 /// response and how long it may wait.
@@ -50,6 +51,9 @@ struct Job {
     req: Request,
     reply: Arc<Mutex<TcpStream>>,
     deadline: Option<Instant>,
+    /// When the job entered the queue; `Some` only while metrics are
+    /// enabled (drives the queue-wait histogram).
+    admitted_at: Option<Instant>,
 }
 
 #[derive(Default)]
@@ -58,7 +62,11 @@ struct Stats {
     completed: AtomicU64,
     rejected_overload: AtomicU64,
     rejected_deadline: AtomicU64,
+    rejected_shutdown: AtomicU64,
     bad_frames: AtomicU64,
+    /// Deadline drops that happened *during the shutdown drain* — the
+    /// requests a graceful shutdown answered but did not execute.
+    drain_deadline_drops: AtomicU64,
 }
 
 /// A point-in-time snapshot of the server's request counters.
@@ -73,8 +81,40 @@ pub struct ServerStats {
     /// Admitted requests dropped at dequeue for exceeding their
     /// deadline.
     pub rejected_deadline: u64,
+    /// Requests refused because the server was draining for shutdown.
+    pub rejected_shutdown: u64,
     /// Frames rejected before decoding (CRC failures).
     pub bad_frames: u64,
+    /// Deadline drops that happened during the shutdown drain (a subset
+    /// of `rejected_deadline`).
+    pub drain_deadline_drops: u64,
+}
+
+/// What a graceful [`Server::shutdown`] accomplished.
+pub struct ShutdownReport {
+    /// The backend, handed back for inspection or reuse — `None` if a
+    /// [`crate::client::LocalClient`] still shares the engine (the
+    /// shutdown itself still completed and the WAL is synced).
+    pub backend: Option<Backend>,
+    /// Requests taken off the queue and answered during the drain
+    /// (executed or deadline-dropped).
+    pub drained: u64,
+    /// How many of the drained requests sat past their deadline and
+    /// were answered [`ErrorCode::DeadlineExceeded`] without executing.
+    pub dropped_at_deadline: u64,
+    /// Final counter values at the instant the drain finished.
+    pub stats: ServerStats,
+}
+
+impl std::fmt::Debug for ShutdownReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShutdownReport")
+            .field("backend", &self.backend.is_some())
+            .field("drained", &self.drained)
+            .field("dropped_at_deadline", &self.dropped_at_deadline)
+            .field("stats", &self.stats)
+            .finish()
+    }
 }
 
 struct Shared {
@@ -89,6 +129,18 @@ struct Shared {
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn snapshot_stats(s: &Stats) -> ServerStats {
+    ServerStats {
+        admitted: s.admitted.load(Ordering::Relaxed),
+        completed: s.completed.load(Ordering::Relaxed),
+        rejected_overload: s.rejected_overload.load(Ordering::Relaxed),
+        rejected_deadline: s.rejected_deadline.load(Ordering::Relaxed),
+        rejected_shutdown: s.rejected_shutdown.load(Ordering::Relaxed),
+        bad_frames: s.bad_frames.load(Ordering::Relaxed),
+        drain_deadline_drops: s.drain_deadline_drops.load(Ordering::Relaxed),
+    }
 }
 
 /// Writes one response frame under the connection's write mutex. A gone
@@ -113,6 +165,9 @@ fn reject(reply: &Mutex<TcpStream>, code: ErrorCode, msg: &str, request_id: u64,
 
 fn reader_loop(shared: &Shared, mut stream: TcpStream, reply: Arc<Mutex<TcpStream>>) {
     let max = shared.settings.max_frame_bytes;
+    if let Some(m) = metrics::get() {
+        m.server.connections.inc();
+    }
     loop {
         let frame = match net::read_frame(&mut stream, max) {
             Ok(FrameRead::Frame(f)) => f,
@@ -122,12 +177,17 @@ fn reader_loop(shared: &Shared, mut stream: TcpStream, reply: Arc<Mutex<TcpStrea
             // the frame (id 0 = connection-level) and keep reading
             Ok(FrameRead::Corrupt(msg)) => {
                 shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = metrics::get() {
+                    m.server.bad_frames.inc();
+                }
                 reject(&reply, ErrorCode::BadFrame, &msg, 0, max);
                 continue;
             }
             // bad magic / oversize / mid-frame hangup: unrecoverable
             Err(_) => break,
         };
+        // admission clock starts once a whole frame is off the wire
+        let t_admit = metrics::enabled().then(Instant::now);
         let request_id = frame.request_id;
         let req = match Request::from_frame(&frame) {
             Ok(r) => r,
@@ -147,16 +207,32 @@ fn reader_loop(shared: &Shared, mut stream: TcpStream, reply: Arc<Mutex<TcpStrea
             req,
             reply: Arc::clone(&reply),
             deadline: shared.settings.req_timeout.map(|t| Instant::now() + t),
+            admitted_at: t_admit,
         };
-        match shared.queue.try_push(job) {
-            Ok(()) => {
-                shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+        // admission is counted *inside* the queue's critical section:
+        // a worker pops through the same lock, so a dequeued request's
+        // own admission is always visible in the snapshot it takes —
+        // the exact-count contract of the `Stats` request
+        let pushed = shared.queue.try_push_with(job, || {
+            shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = metrics::get() {
+                m.server.admitted.inc();
+                m.server.queue_depth.inc();
+                if let Some(t) = t_admit {
+                    m.server.admission_us.observe_duration(t.elapsed());
+                }
             }
+        });
+        match pushed {
+            Ok(()) => {}
             Err(PushError::Full(job)) => {
                 shared
                     .stats
                     .rejected_overload
                     .fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = metrics::get() {
+                    m.server.rejected_overload.inc();
+                }
                 reject(
                     &job.reply,
                     ErrorCode::Overloaded,
@@ -166,6 +242,13 @@ fn reader_loop(shared: &Shared, mut stream: TcpStream, reply: Arc<Mutex<TcpStrea
                 );
             }
             Err(PushError::Closed(job)) => {
+                shared
+                    .stats
+                    .rejected_shutdown
+                    .fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = metrics::get() {
+                    m.server.rejected_shutdown.inc();
+                }
                 reject(
                     &job.reply,
                     ErrorCode::ShuttingDown,
@@ -177,34 +260,101 @@ fn reader_loop(shared: &Shared, mut stream: TcpStream, reply: Arc<Mutex<TcpStrea
             }
         }
     }
+    if let Some(m) = metrics::get() {
+        m.server.connections.dec();
+    }
 }
 
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
+        if let Some(m) = metrics::get() {
+            m.server.queue_depth.dec();
+            if let Some(t) = job.admitted_at {
+                m.server.queue_wait_us.observe_duration(t.elapsed());
+            }
+        }
         let resp = if job.deadline.is_some_and(|d| Instant::now() > d) {
             shared
                 .stats
                 .rejected_deadline
                 .fetch_add(1, Ordering::Relaxed);
+            // a deadline drop while the queue is closed is a request the
+            // graceful shutdown answered but never executed
+            let draining = shared.shutdown.load(Ordering::SeqCst);
+            if draining {
+                shared
+                    .stats
+                    .drain_deadline_drops
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(m) = metrics::get() {
+                m.server.rejected_deadline.inc();
+                if draining {
+                    m.server.drain_deadline_drops.inc();
+                }
+            }
             Response::Error {
                 code: ErrorCode::DeadlineExceeded,
                 message: "request queued past its deadline; dropped unexecuted".into(),
             }
-        } else if let Request::Sleep(ms) = job.req {
-            // serviced here, not in the engine: holds no lock, only a
-            // worker slot — exactly what the saturation tests need
-            std::thread::sleep(std::time::Duration::from_millis(ms.min(MAX_SLEEP_MS)));
-            Response::Pong
         } else {
-            shared.engine.handle(&job.req)
+            let t_exec = metrics::enabled().then(Instant::now);
+            if let Some(m) = metrics::get() {
+                m.server.workers_busy.inc();
+            }
+            let resp = if let Request::Sleep(ms) = job.req {
+                // serviced here, not in the engine: holds no lock, only a
+                // worker slot — exactly what the saturation tests need
+                std::thread::sleep(std::time::Duration::from_millis(ms.min(MAX_SLEEP_MS)));
+                Response::Pong
+            } else {
+                shared.engine.handle(&job.req)
+            };
+            if let Some(m) = metrics::get() {
+                m.server.workers_busy.dec();
+                if let Some(t) = t_exec {
+                    m.server.execute_us.observe_duration(t.elapsed());
+                }
+            }
+            resp
         };
         shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+        // count completion *before* the response hits the wire, so a
+        // client that has a reply in hand is guaranteed to see it in the
+        // next snapshot (exact-count accounting over a serial connection)
+        if let Some(m) = metrics::get() {
+            m.server.completed.inc();
+        }
+        let t_encode = metrics::enabled().then(Instant::now);
         respond(
             &job.reply,
             &resp,
             job.request_id,
             shared.settings.max_frame_bytes,
         );
+        if let Some(m) = metrics::get() {
+            if let Some(t) = t_encode {
+                m.server.encode_us.observe_duration(t.elapsed());
+            }
+        }
+    }
+}
+
+/// Periodic one-line metrics summary to stderr, driven by
+/// `HYGRAPH_METRICS_LOG_EVERY_MS` (see [`hygraph_metrics::MetricsConfig`]).
+/// Sleeps in short slices so shutdown never waits more than ~250 ms for
+/// this thread.
+fn logger_loop(shared: &Shared, every: Duration) {
+    let slice = Duration::from_millis(250).min(every);
+    let mut last = Instant::now();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(slice);
+        if last.elapsed() >= every {
+            last = Instant::now();
+            if let Some(snap) = metrics::snapshot() {
+                eprintln!("{}", snap.summary_line());
+            }
+        }
     }
 }
 
@@ -232,6 +382,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
 struct Threads {
     accept: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    logger: Option<JoinHandle<()>>,
 }
 
 /// A running HyGraph server (see module docs). Dropping it shuts it
@@ -274,11 +425,23 @@ impl Server {
         let accept = std::thread::Builder::new()
             .name("hygraph-accept".into())
             .spawn(move || accept_loop(&s, listener))?;
+        let every = metrics::config().log_every;
+        let logger = if metrics::enabled() && !every.is_zero() {
+            let s = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("hygraph-metrics-log".into())
+                    .spawn(move || logger_loop(&s, every))?,
+            )
+        } else {
+            None
+        };
         Ok(Self {
             shared: Some(shared),
             threads: Some(Threads {
                 accept,
                 workers: worker_handles,
+                logger,
             }),
             addr,
         })
@@ -302,14 +465,7 @@ impl Server {
 
     /// A snapshot of the request counters.
     pub fn stats(&self) -> ServerStats {
-        let s = &self.shared.as_ref().expect("server not shut down").stats;
-        ServerStats {
-            admitted: s.admitted.load(Ordering::Relaxed),
-            completed: s.completed.load(Ordering::Relaxed),
-            rejected_overload: s.rejected_overload.load(Ordering::Relaxed),
-            rejected_deadline: s.rejected_deadline.load(Ordering::Relaxed),
-            bad_frames: s.bad_frames.load(Ordering::Relaxed),
-        }
+        snapshot_stats(&self.shared.as_ref().expect("server not shut down").stats)
     }
 
     /// An in-process client sharing this server's engine — same locks,
@@ -322,17 +478,26 @@ impl Server {
 
     /// Gracefully shuts down: stops admitting, drains every admitted
     /// request (responses are written), syncs the WAL on a durable
-    /// backend, then closes connections. Returns the backend, or `None`
-    /// if a [`crate::client::LocalClient`] still shares the engine (the
-    /// shutdown itself still completed and the WAL is synced).
-    pub fn shutdown(mut self) -> Result<Option<Backend>> {
+    /// backend, then closes connections. The report carries the backend
+    /// (unless a [`crate::client::LocalClient`] still shares the
+    /// engine), how many queued requests the drain answered, and how
+    /// many of those sat past their deadline and were dropped
+    /// unexecuted.
+    pub fn shutdown(mut self) -> Result<ShutdownReport> {
         self.shutdown_impl()
     }
 
-    fn shutdown_impl(&mut self) -> Result<Option<Backend>> {
+    fn shutdown_impl(&mut self) -> Result<ShutdownReport> {
         let Some(shared) = self.shared.take() else {
-            return Ok(None);
+            return Ok(ShutdownReport {
+                backend: None,
+                drained: 0,
+                dropped_at_deadline: 0,
+                stats: ServerStats::default(),
+            });
         };
+        let completed_before = shared.stats.completed.load(Ordering::SeqCst);
+        let drops_before = shared.stats.drain_deadline_drops.load(Ordering::SeqCst);
         // 1. stop admission: readers see Closed and answer ShuttingDown
         shared.shutdown.store(true, Ordering::SeqCst);
         shared.queue.close();
@@ -344,7 +509,13 @@ impl Server {
             for w in threads.workers {
                 let _ = w.join();
             }
+            if let Some(l) = threads.logger {
+                let _ = l.join();
+            }
         }
+        let drained = shared.stats.completed.load(Ordering::SeqCst) - completed_before;
+        let dropped_at_deadline =
+            shared.stats.drain_deadline_drops.load(Ordering::SeqCst) - drops_before;
         // 4. every admitted mutation is on disk before we say goodbye
         shared.engine.sync()?;
         // 5. now drop the connections and collect the readers
@@ -355,13 +526,20 @@ impl Server {
         for r in readers {
             let _ = r.join();
         }
-        let Ok(shared) = Arc::try_unwrap(shared) else {
-            return Ok(None);
+        let stats = snapshot_stats(&shared.stats);
+        let backend = match Arc::try_unwrap(shared) {
+            Ok(shared) => match Arc::try_unwrap(shared.engine) {
+                Ok(engine) => Some(engine.into_backend()),
+                Err(_still_shared) => None,
+            },
+            Err(_still_shared) => None,
         };
-        match Arc::try_unwrap(shared.engine) {
-            Ok(engine) => Ok(Some(engine.into_backend())),
-            Err(_still_shared) => Ok(None),
-        }
+        Ok(ShutdownReport {
+            backend,
+            drained,
+            dropped_at_deadline,
+            stats,
+        })
     }
 }
 
@@ -415,7 +593,8 @@ mod tests {
         assert_eq!(rows.rows[0][0], Value::Int(1));
         let stats = server.stats();
         assert_eq!(stats.admitted, 3);
-        let backend = server.shutdown().expect("shutdown").expect("backend back");
+        let report = server.shutdown().expect("shutdown");
+        let backend = report.backend.expect("backend back");
         assert_eq!(backend.graph().vertex_count(), 1);
     }
 

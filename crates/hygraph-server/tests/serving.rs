@@ -136,7 +136,11 @@ fn concurrent_mixed_workload_matches_direct_library_calls() {
     assert_eq!(stats.rejected_overload, 0, "workload fits the queue");
     assert!(stats.admitted >= (WRITERS * APPENDS + READERS * 20 + 1) as u64);
 
-    let backend = server.shutdown().expect("shutdown").expect("backend");
+    let backend = server
+        .shutdown()
+        .expect("shutdown")
+        .backend
+        .expect("backend");
     let mut w = ByteWriter::new();
     reference.encode_state(&mut w);
     assert_eq!(
@@ -311,10 +315,12 @@ fn graceful_shutdown_drains_and_recovers_bit_identical() {
         .expect("send mutate");
     std::thread::sleep(Duration::from_millis(100)); // both admitted
 
-    let backend = server
-        .shutdown()
-        .expect("shutdown")
-        .expect("backend returned");
+    let report = server.shutdown().expect("shutdown");
+    assert!(
+        report.drained >= 1,
+        "the queued sleep/mutation were answered during the drain: {report:?}"
+    );
+    let backend = report.backend.expect("backend returned");
     // the drain executed the queued mutation before the WAL sync
     assert_eq!(
         backend.graph().vertex_count(),

@@ -1,0 +1,161 @@
+//! Observability integration: the `Stats` wire request against a live
+//! server, and the drain-drop accounting in [`ShutdownReport`].
+//!
+//! The metrics registry is process-global, so every test here funnels
+//! through one static mutex and asserts on *deltas* between two
+//! snapshots rather than absolute counts — absolute values depend on
+//! which test ran first.
+
+use hygraph_core::HyGraph;
+use hygraph_metrics::Snapshot;
+use hygraph_persist::HgMutation;
+use hygraph_server::{Backend, Client, Request, Server};
+use hygraph_types::net::ServerConfig;
+use hygraph_types::{Label, PropertyMap};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Serialises the tests in this binary: they all observe the one
+/// process-global registry.
+static REGISTRY_GUARD: Mutex<()> = Mutex::new(());
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    REGISTRY_GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn config(workers: usize, queue: usize, timeout_ms: u64) -> ServerConfig {
+    ServerConfig::new()
+        .addr("127.0.0.1:0")
+        .workers(workers)
+        .queue_depth(queue)
+        .req_timeout_ms(timeout_ms)
+}
+
+/// Two `Stats` calls bracket a known request mix; the admitted and
+/// completed deltas must account for every request exactly. Each
+/// bracketing `Stats` call counts its own admission before it snapshots
+/// and its own completion after, so over a serial connection the delta
+/// is exactly `K + 1` for `K` bracketed requests.
+#[test]
+fn stats_over_wire_count_requests_exactly() {
+    let _g = guard();
+    let server =
+        Server::serve(Backend::memory(HyGraph::new()), &config(2, 16, 5_000)).expect("serve");
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+
+    let before = c.stats().expect("stats before");
+    assert!(
+        hygraph_metrics::enabled(),
+        "tier-1 runs with the default config: metrics on"
+    );
+
+    const PINGS: u64 = 5;
+    const QUERIES: u64 = 3;
+    for _ in 0..PINGS {
+        c.ping().expect("ping");
+    }
+    c.mutate(HgMutation::AddPgVertex {
+        labels: vec![Label::new("User")],
+        props: PropertyMap::new(),
+        validity: hygraph_types::Interval::ALL,
+    })
+    .expect("mutate");
+    for _ in 0..QUERIES {
+        c.query("MATCH (u:User) RETURN COUNT(u) AS n")
+            .expect("query");
+    }
+    let after = c.stats().expect("stats after");
+
+    let k = PINGS + 1 + QUERIES;
+    assert_eq!(
+        after.server.admitted - before.server.admitted,
+        k + 1,
+        "every request admitted exactly once (plus the closing Stats)"
+    );
+    assert_eq!(
+        after.server.completed - before.server.completed,
+        k + 1,
+        "every request completed exactly once (plus the opening Stats)"
+    );
+    assert_eq!(
+        after.server.rejected_overload,
+        before.server.rejected_overload
+    );
+    assert_eq!(after.server.bad_frames, before.server.bad_frames);
+    // the query timings flowed into the per-class taxonomy: COUNT(..)
+    // makes these Q2 (aggregation) under the Table 2 classifier
+    let q2 = hygraph_metrics::OpClass::Q2Aggregate as usize;
+    assert!(
+        after.query.classes[q2].count - before.query.classes[q2].count >= QUERIES,
+        "Q2 counter must cover the {QUERIES} aggregating queries"
+    );
+
+    server.shutdown().expect("shutdown");
+}
+
+/// The snapshot that crossed the wire re-encodes to the exact bytes it
+/// decodes from — the canonical-codec guarantee, exercised end to end
+/// over TCP rather than in-process.
+#[test]
+fn wire_snapshot_reencodes_byte_identically() {
+    let _g = guard();
+    let server =
+        Server::serve(Backend::memory(HyGraph::new()), &config(2, 16, 5_000)).expect("serve");
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+    // put real mass in the histograms and the slow log first
+    for _ in 0..4 {
+        c.query("MATCH (n) RETURN COUNT(n) AS n").expect("query");
+    }
+    let snap = c.stats().expect("stats");
+    assert!(snap.server.admitted > 0, "live counters crossed the wire");
+
+    let bytes = snap.to_bytes();
+    let decoded = Snapshot::from_bytes(&bytes).expect("decode");
+    assert_eq!(decoded, snap, "decode must reproduce the snapshot");
+    assert_eq!(
+        decoded.to_bytes(),
+        bytes,
+        "re-encode must be byte-identical"
+    );
+    server.shutdown().expect("shutdown");
+}
+
+/// Requests that sit out their deadline while the server drains are
+/// answered-but-not-executed; the shutdown report tallies them.
+#[test]
+fn shutdown_report_tallies_drain_deadline_drops() {
+    let _g = guard();
+    // one worker, tight deadline: everything queued behind the parked
+    // worker goes stale before the drain reaches it
+    let server =
+        Server::serve(Backend::memory(HyGraph::new()), &config(1, 16, 100)).expect("serve");
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+
+    c.send(&Request::Sleep(500)).expect("park the worker");
+    const STALE: u64 = 3;
+    for _ in 0..STALE {
+        c.send(&Request::Sleep(10)).expect("queue a doomed sleep");
+    }
+    // all four admitted; the three queued ones out-wait their 100 ms
+    // deadline while the worker sleeps
+    std::thread::sleep(Duration::from_millis(200));
+
+    let report = server.shutdown().expect("shutdown");
+    assert_eq!(
+        report.dropped_at_deadline, STALE,
+        "exactly the queued requests were dropped at deadline: {report:?}"
+    );
+    assert_eq!(
+        report.drained,
+        STALE + 1,
+        "the parked sleep plus the drops were all answered: {report:?}"
+    );
+    assert_eq!(
+        report.stats.drain_deadline_drops, report.dropped_at_deadline,
+        "the drain-drop counter is the report's tally"
+    );
+    assert!(
+        report.stats.rejected_deadline >= report.stats.drain_deadline_drops,
+        "drain drops are a subset of deadline rejections"
+    );
+}

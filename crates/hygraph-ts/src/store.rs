@@ -249,6 +249,14 @@ impl TsStore {
     /// out-of-order and duplicate timestamps (last write wins) — the R3
     /// "replace stale data" requirement.
     pub fn insert(&mut self, id: SeriesId, t: Timestamp, v: f64) {
+        self.insert_inner(id, t, v);
+        if let Some(m) = hygraph_metrics::get() {
+            m.ts.inserts.inc();
+            m.ts.points_inserted.inc();
+        }
+    }
+
+    fn insert_inner(&mut self, id: SeriesId, t: Timestamp, v: f64) {
         let sc = self.series.entry(id).or_default();
         let key = t.truncate(self.chunk_width);
         let chunk = sc.chunks.entry(key).or_default();
@@ -259,8 +267,14 @@ impl TsStore {
 
     /// Bulk-appends a whole series.
     pub fn insert_series(&mut self, id: SeriesId, s: &TimeSeries) {
+        let mut points = 0u64;
         for (t, v) in s.iter() {
-            self.insert(id, t, v);
+            self.insert_inner(id, t, v);
+            points += 1;
+        }
+        if let Some(m) = hygraph_metrics::get() {
+            m.ts.inserts.inc();
+            m.ts.points_inserted.add(points);
         }
     }
 

@@ -40,6 +40,21 @@
 //!    `HYGRAPH_WORKERS`, `HYGRAPH_QUEUE_DEPTH`, `HYGRAPH_REQ_TIMEOUT_MS`.
 //! 3. Programmatic: [`ServerConfig`] fields set explicitly win over
 //!    both; [`ServerConfig::install`] applies them process-wide.
+//!
+//! The full knob catalogue — including the observability layer's
+//! `HYGRAPH_METRICS`, `HYGRAPH_SLOW_QUERY_MS`, `HYGRAPH_SLOW_QUERY_CAP`
+//! and `HYGRAPH_METRICS_LOG_EVERY_MS` — lives in `OPERATIONS.md` at the
+//! repository root.
+//!
+//! # Kind tags
+//!
+//! The kind byte names the payload vocabulary, defined by the server
+//! crate's `proto` module. Requests use low values (ping `0`, HyQL
+//! query `1`, mutation `2`, mutation batch `3`, checkpoint `4`, sleep
+//! `5`, stats `6`); responses start at 128 (pong `128`, rows `129`,
+//! committed `130`, checkpoint-done `131`, stats snapshot `132`) with
+//! error at `255`. The frame layer never interprets the tag — it only
+//! guards it with the CRC.
 
 use crate::bytes::crc32;
 use crate::error::{HyGraphError, Result};

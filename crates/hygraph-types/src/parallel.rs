@@ -15,7 +15,7 @@
 //! 2. Environment: `HYGRAPH_THREADS` (worker count, `1` disables
 //!    parallelism) and `HYGRAPH_SEQ_THRESHOLD` (fan-out cut-over size),
 //!    read once per process.
-//! 3. Programmatic: [`ParallelConfig`] applied via [`install`], which
+//! 3. Programmatic: [`ParallelConfig`] applied via [`ParallelConfig::install`], which
 //!    overrides the environment for the rest of the process (tests use
 //!    this to force a fixed thread count regardless of machine size).
 //! 4. Per-call: an explicit [`ExecMode`] passed to APIs that accept one
@@ -112,7 +112,7 @@ impl ParallelConfig {
     }
 }
 
-/// The effective worker-thread count: [`install`]ed override, else
+/// The effective worker-thread count: [`ParallelConfig::install`]-ed override, else
 /// `HYGRAPH_THREADS`, else `available_parallelism()`.
 pub fn configured_threads() -> usize {
     let o = THREADS_OVERRIDE.load(Ordering::Relaxed);
@@ -126,7 +126,7 @@ pub fn configured_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// The effective sequential cut-over: [`install`]ed override, else
+/// The effective sequential cut-over: [`ParallelConfig::install`]-ed override, else
 /// `HYGRAPH_SEQ_THRESHOLD`, else [`DEFAULT_SEQ_THRESHOLD`].
 pub fn configured_seq_threshold() -> usize {
     let o = THRESHOLD_OVERRIDE.load(Ordering::Relaxed);

@@ -49,11 +49,16 @@
 //! | [`storage`] | the Table-1 experiment: all-in-graph vs polyglot persistence backends |
 //! | [`persist`] | durable storage engine: write-ahead log, checkpoints, crash recovery |
 //! | [`server`] | concurrent query serving: wire protocol, worker pool, backpressure, graceful shutdown |
+//! | [`metrics`] | observability: counters, latency histograms, slow-query log, wire-exposed stats |
+//!
+//! Runtime knobs (`HYGRAPH_*` environment variables) are documented in
+//! `OPERATIONS.md` at the repository root.
 
 pub use hygraph_analytics as analytics;
 pub use hygraph_core as core;
 pub use hygraph_datagen as datagen;
 pub use hygraph_graph as graph;
+pub use hygraph_metrics as metrics;
 pub use hygraph_persist as persist;
 pub use hygraph_query as query_engine;
 pub use hygraph_server as server;
