@@ -96,6 +96,12 @@ pub struct PatternVertex {
     pub labels: Vec<Label>,
     /// Static property predicates.
     pub preds: Vec<PropPredicate>,
+    /// Predicates pushed down from a query-level filter. Enforced during
+    /// matching exactly like `preds`, but excluded from the selectivity
+    /// estimate, so pushing a predicate never changes the enumeration
+    /// order — the surviving bindings are an order-preserving subsequence
+    /// of the un-pushed pattern's bindings.
+    pub pushed: Vec<PropPredicate>,
 }
 
 /// A pattern edge between two pattern vertices (referenced by index).
@@ -111,6 +117,8 @@ pub struct PatternEdge {
     pub labels: Vec<Label>,
     /// Static property predicates.
     pub preds: Vec<PropPredicate>,
+    /// Pushed-down filter predicates (see [`PatternVertex::pushed`]).
+    pub pushed: Vec<PropPredicate>,
     /// Direction constraint.
     pub direction: Direction,
 }
@@ -149,6 +157,7 @@ impl Pattern {
             var: var.into(),
             labels: labels.into_iter().map(Into::into).collect(),
             preds: Vec::new(),
+            pushed: Vec::new(),
         });
         self.vertices.len() - 1
     }
@@ -156,6 +165,15 @@ impl Pattern {
     /// Adds a property predicate to pattern vertex `idx`.
     pub fn vertex_pred(&mut self, idx: usize, pred: PropPredicate) -> &mut Self {
         self.vertices[idx].preds.push(pred);
+        self
+    }
+
+    /// Adds a *pushed-down* predicate to pattern vertex `idx`: enforced
+    /// during matching but invisible to the planner's selectivity
+    /// ordering, so the result is an order-preserving pruned subsequence
+    /// of the matches without the predicate.
+    pub fn vertex_pushed_pred(&mut self, idx: usize, pred: PropPredicate) -> &mut Self {
+        self.vertices[idx].pushed.push(pred);
         self
     }
 
@@ -175,6 +193,7 @@ impl Pattern {
             to,
             labels: labels.into_iter().map(Into::into).collect(),
             preds: Vec::new(),
+            pushed: Vec::new(),
             direction,
         });
         self.edges.len() - 1
@@ -183,6 +202,13 @@ impl Pattern {
     /// Adds a property predicate to pattern edge `idx`.
     pub fn edge_pred(&mut self, idx: usize, pred: PropPredicate) -> &mut Self {
         self.edges[idx].preds.push(pred);
+        self
+    }
+
+    /// Adds a *pushed-down* predicate to pattern edge `idx` (see
+    /// [`Self::vertex_pushed_pred`]).
+    pub fn edge_pushed_pred(&mut self, idx: usize, pred: PropPredicate) -> &mut Self {
+        self.edges[idx].pushed.push(pred);
         self
     }
 
@@ -212,6 +238,7 @@ impl Pattern {
         }
         pv.labels.iter().all(|l| v.has_label(l.as_str()))
             && pv.preds.iter().all(|p| p.holds(&v.props))
+            && pv.pushed.iter().all(|p| p.holds(&v.props))
     }
 
     fn edge_ok(&self, pe: &PatternEdge, e: &EdgeData) -> bool {
@@ -222,6 +249,7 @@ impl Pattern {
         }
         pe.labels.iter().all(|l| e.has_label(l.as_str()))
             && pe.preds.iter().all(|p| p.holds(&e.props))
+            && pe.pushed.iter().all(|p| p.holds(&e.props))
     }
 
     /// Finds all matches of the pattern in `g`, visiting each via
@@ -629,6 +657,37 @@ mod tests {
         let users: Vec<VertexId> = matches.iter().map(|b| b.vertices["u"]).collect();
         assert_eq!(users.len(), 2, "both users transact with m1");
         assert!(users.contains(&ids["u1"]) && users.contains(&ids["u2"]));
+    }
+
+    #[test]
+    fn pushed_preds_prune_without_reordering() {
+        let (g, _) = fraud_graph();
+        let build = |pushed: bool| {
+            let mut p = Pattern::new();
+            let u = p.vertex("u", ["User"]);
+            let c = p.vertex("c", ["CreditCard"]);
+            let m = p.vertex("m", ["Merchant"]);
+            p.edge(None, u, c, ["USES"], Direction::Out);
+            let tx = p.edge(Some("t"), c, m, ["TX"], Direction::Out);
+            if pushed {
+                p.edge_pushed_pred(tx, PropPredicate::new("amount", CmpOp::Gt, 1000.0));
+                p.vertex_pushed_pred(m, PropPredicate::new("name", CmpOp::Eq, "m1"));
+            }
+            p
+        };
+        let all = build(false).find_all(&g);
+        let pruned = build(true).find_all(&g);
+        assert_eq!(pruned.len(), 1, "only user1's 1500.0 TX to m1 survives");
+        // the pruned result is a subsequence of the un-pushed bindings,
+        // in the same relative order
+        let mut cursor = 0;
+        for b in &pruned {
+            let pos = all[cursor..]
+                .iter()
+                .position(|a| a == b)
+                .expect("pruned binding present in full enumeration");
+            cursor += pos + 1;
+        }
     }
 
     #[test]

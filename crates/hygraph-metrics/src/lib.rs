@@ -58,8 +58,9 @@ mod slow;
 pub use counter::{Counter, Gauge};
 pub use hist::{bucket_index, bucket_lower_bound, Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{
-    DecodeError, OpClass, OpMetrics, OpSnapshot, PersistMetrics, PersistSnapshot, QueryMetrics,
-    QuerySnapshot, Registry, ServerMetrics, ServerSnapshot, Snapshot, TsMetrics, TsSnapshot,
+    DecodeError, OpClass, OpMetrics, OpSnapshot, OperatorMetrics, OperatorSnapshot, PersistMetrics,
+    PersistSnapshot, PlanOp, QueryMetrics, QuerySnapshot, Registry, ServerMetrics, ServerSnapshot,
+    Snapshot, TsMetrics, TsSnapshot,
 };
 pub use slow::{SlowQueryEntry, SlowQueryLog};
 

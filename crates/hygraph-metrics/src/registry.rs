@@ -14,7 +14,10 @@ use crate::hist::{Histogram, HistogramSnapshot, BUCKETS};
 use crate::slow::{SlowQueryEntry, SlowQueryLog};
 
 /// Magic version byte leading every encoded [`Snapshot`].
-const SNAPSHOT_VERSION: u8 = 1;
+///
+/// Version 2 added the plan-cache counters, the per-physical-operator
+/// group, and the plan fingerprint on slow-query entries.
+const SNAPSHOT_VERSION: u8 = 2;
 
 // ---------------------------------------------------------------------
 // Operator taxonomy
@@ -74,6 +77,57 @@ impl OpClass {
             OpClass::DDetect => "d_detect",
             OpClass::EEmbed => "e_embed",
             OpClass::PmMine => "pm_mine",
+        }
+    }
+}
+
+/// The physical operators of the plan-based HyQL executor — the key
+/// space for per-operator query metrics (`hygraph-query::physical`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum PlanOp {
+    /// Pattern matching / binding materialisation (with pushed preds).
+    Match = 0,
+    /// Residual WHERE evaluation over bindings.
+    Filter = 1,
+    /// Flat projection (RETURN items, incl. series aggregates).
+    Project = 2,
+    /// Grouped projection: key eval + row-aggregate fold + HAVING.
+    Aggregate = 3,
+    /// DISTINCT row deduplication.
+    Distinct = 4,
+    /// ORDER BY sort.
+    Sort = 5,
+    /// LIMIT truncation.
+    Limit = 6,
+}
+
+impl PlanOp {
+    /// Number of operators (array dimension of
+    /// [`QueryMetrics::operators`]).
+    pub const COUNT: usize = 7;
+
+    /// Every operator, in index order.
+    pub const ALL: [PlanOp; PlanOp::COUNT] = [
+        PlanOp::Match,
+        PlanOp::Filter,
+        PlanOp::Project,
+        PlanOp::Aggregate,
+        PlanOp::Distinct,
+        PlanOp::Sort,
+        PlanOp::Limit,
+    ];
+
+    /// The stable metric-name suffix for this operator.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanOp::Match => "match",
+            PlanOp::Filter => "filter",
+            PlanOp::Project => "project",
+            PlanOp::Aggregate => "aggregate",
+            PlanOp::Distinct => "distinct",
+            PlanOp::Sort => "sort",
+            PlanOp::Limit => "limit",
         }
     }
 }
@@ -157,6 +211,17 @@ pub struct OpMetrics {
     pub time_us: Histogram,
 }
 
+/// Per-physical-operator instruments (`hygraph-query::physical`).
+#[derive(Debug, Default)]
+pub struct OperatorMetrics {
+    /// Operator executions.
+    pub invocations: Counter,
+    /// Rows (or bindings) the operator emitted.
+    pub rows_out: Counter,
+    /// Execution time (µs).
+    pub time_us: Histogram,
+}
+
 /// Query-layer instruments (`hygraph-query`), keyed by [`OpClass`].
 #[derive(Debug, Default)]
 pub struct QueryMetrics {
@@ -164,12 +229,23 @@ pub struct QueryMetrics {
     pub classes: [OpMetrics; OpClass::COUNT],
     /// HyQL texts that failed to parse (never classified).
     pub parse_errors: Counter,
+    /// Queries answered from the server's plan cache.
+    pub plan_cache_hits: Counter,
+    /// Queries planned from scratch (cache cold, full, or disabled).
+    pub plan_cache_misses: Counter,
+    /// One group per physical operator, indexed by `PlanOp as usize`.
+    pub operators: [OperatorMetrics; PlanOp::COUNT],
 }
 
 impl QueryMetrics {
     /// The instrument group for `class`.
     pub fn class(&self, class: OpClass) -> &OpMetrics {
         &self.classes[class as usize]
+    }
+
+    /// The instrument group for physical operator `op`.
+    pub fn operator(&self, op: PlanOp) -> &OperatorMetrics {
+        &self.operators[op as usize]
     }
 }
 
@@ -257,6 +333,16 @@ impl Registry {
                     }
                 }),
                 parse_errors: self.query.parse_errors.get(),
+                plan_cache_hits: self.query.plan_cache_hits.get(),
+                plan_cache_misses: self.query.plan_cache_misses.get(),
+                operators: PlanOp::ALL.map(|op| {
+                    let om = self.query.operator(op);
+                    OperatorSnapshot {
+                        invocations: om.invocations.get(),
+                        rows_out: om.rows_out.get(),
+                        time_us: om.time_us.snapshot(),
+                    }
+                }),
             },
             ts: TsSnapshot {
                 inserts: self.ts.inserts.get(),
@@ -347,6 +433,17 @@ pub struct OpSnapshot {
     pub time_us: HistogramSnapshot,
 }
 
+/// Plain-data copy of one [`OperatorMetrics`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OperatorSnapshot {
+    /// Operator executions.
+    pub invocations: u64,
+    /// Rows the operator emitted.
+    pub rows_out: u64,
+    /// Execution-time distribution (µs).
+    pub time_us: HistogramSnapshot,
+}
+
 /// Plain-data copy of [`QueryMetrics`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct QuerySnapshot {
@@ -354,12 +451,23 @@ pub struct QuerySnapshot {
     pub classes: [OpSnapshot; OpClass::COUNT],
     /// See [`QueryMetrics::parse_errors`].
     pub parse_errors: u64,
+    /// See [`QueryMetrics::plan_cache_hits`].
+    pub plan_cache_hits: u64,
+    /// See [`QueryMetrics::plan_cache_misses`].
+    pub plan_cache_misses: u64,
+    /// Per-operator stats, indexed by `PlanOp as usize`.
+    pub operators: [OperatorSnapshot; PlanOp::COUNT],
 }
 
 impl QuerySnapshot {
     /// The snapshot for `class`.
     pub fn class(&self, class: OpClass) -> &OpSnapshot {
         &self.classes[class as usize]
+    }
+
+    /// The snapshot for physical operator `op`.
+    pub fn operator(&self, op: PlanOp) -> &OperatorSnapshot {
+        &self.operators[op as usize]
     }
 }
 
@@ -567,6 +675,13 @@ impl Snapshot {
             put_hist(&mut out, &c.time_us);
         }
         out.extend_from_slice(&self.query.parse_errors.to_le_bytes());
+        out.extend_from_slice(&self.query.plan_cache_hits.to_le_bytes());
+        out.extend_from_slice(&self.query.plan_cache_misses.to_le_bytes());
+        for o in &self.query.operators {
+            out.extend_from_slice(&o.invocations.to_le_bytes());
+            out.extend_from_slice(&o.rows_out.to_le_bytes());
+            put_hist(&mut out, &o.time_us);
+        }
 
         out.extend_from_slice(&self.ts.inserts.to_le_bytes());
         out.extend_from_slice(&self.ts.points_inserted.to_le_bytes());
@@ -577,6 +692,7 @@ impl Snapshot {
             out.extend_from_slice(e.query.as_bytes());
             out.extend_from_slice(&e.duration_us.to_le_bytes());
             out.extend_from_slice(&e.rows.to_le_bytes());
+            out.extend_from_slice(&e.plan_fp.to_le_bytes());
         }
         out.extend_from_slice(&self.slow_dropped.to_le_bytes());
         out
@@ -629,9 +745,23 @@ impl Snapshot {
                 time_us: get_hist(&mut r)?,
             };
         }
+        let parse_errors = r.u64()?;
+        let plan_cache_hits = r.u64()?;
+        let plan_cache_misses = r.u64()?;
+        let mut operators: [OperatorSnapshot; PlanOp::COUNT] = Default::default();
+        for o in operators.iter_mut() {
+            *o = OperatorSnapshot {
+                invocations: r.u64()?,
+                rows_out: r.u64()?,
+                time_us: get_hist(&mut r)?,
+            };
+        }
         let query = QuerySnapshot {
             classes,
-            parse_errors: r.u64()?,
+            parse_errors,
+            plan_cache_hits,
+            plan_cache_misses,
+            operators,
         };
         let ts = TsSnapshot {
             inserts: r.u64()?,
@@ -647,6 +777,7 @@ impl Snapshot {
                 query: r.str()?,
                 duration_us: r.u64()?,
                 rows: r.u64()?,
+                plan_fp: r.u64()?,
             });
         }
         let slow_dropped = r.u64()?;
@@ -720,6 +851,24 @@ impl Snapshot {
             );
         }
         counter("hygraph_query_parse_errors_total", self.query.parse_errors);
+        counter(
+            "hygraph_query_plan_cache_hits_total",
+            self.query.plan_cache_hits,
+        );
+        counter(
+            "hygraph_query_plan_cache_misses_total",
+            self.query.plan_cache_misses,
+        );
+        for (op, o) in PlanOp::ALL.iter().zip(self.query.operators.iter()) {
+            counter(
+                &format!("hygraph_query_op_{}_total", op.name()),
+                o.invocations,
+            );
+            counter(
+                &format!("hygraph_query_op_{}_rows_total", op.name()),
+                o.rows_out,
+            );
+        }
         counter("hygraph_ts_inserts_total", self.ts.inserts);
         counter("hygraph_ts_points_inserted_total", self.ts.points_inserted);
         counter("hygraph_slow_queries_dropped_total", self.slow_dropped);
@@ -753,13 +902,17 @@ impl Snapshot {
         for (class, c) in OpClass::ALL.iter().zip(self.query.classes.iter()) {
             summary(&format!("hygraph_query_{}_us", class.name()), &c.time_us);
         }
+        for (op, o) in PlanOp::ALL.iter().zip(self.query.operators.iter()) {
+            summary(&format!("hygraph_query_op_{}_us", op.name()), &o.time_us);
+        }
 
         for e in &self.slow_queries {
             let _ = writeln!(
                 out,
-                "# SLOW {}us rows={} {}",
+                "# SLOW {}us rows={} fp=0x{:016x} {}",
                 e.duration_us,
                 e.rows,
+                e.plan_fp,
                 e.query.replace('\n', " ")
             );
         }
@@ -805,11 +958,18 @@ mod tests {
         r.query.class(OpClass::Q1Match).count.add(4);
         r.query.class(OpClass::Q1Match).time_us.observe(250);
         r.query.class(OpClass::Q4Snapshot).errors.inc();
+        r.query.plan_cache_hits.add(7);
+        r.query.plan_cache_misses.add(2);
+        r.query.operator(PlanOp::Match).invocations.add(3);
+        r.query.operator(PlanOp::Match).rows_out.add(120);
+        r.query.operator(PlanOp::Match).time_us.observe(85);
+        r.query.operator(PlanOp::Sort).invocations.inc();
         r.ts.points_inserted.add(1_000);
         r.slow.record(
             "MATCH (n) RETURN n",
             Duration::from_millis(250),
             42,
+            0xdead_beef_cafe_f00d,
             Duration::from_millis(100),
         );
         r
@@ -861,8 +1021,14 @@ mod tests {
             "hygraph_persist_wal_syncs_total 3",
             "hygraph_query_q1_match_total 4",
             "hygraph_query_q4_snapshot_errors_total 1",
+            "hygraph_query_plan_cache_hits_total 7",
+            "hygraph_query_plan_cache_misses_total 2",
+            "hygraph_query_op_match_total 3",
+            "hygraph_query_op_match_rows_total 120",
+            "hygraph_query_op_sort_total 1",
+            "hygraph_query_op_match_us{quantile=\"0.5\"}",
             "hygraph_ts_points_inserted_total 1000",
-            "# SLOW 250000us rows=42 MATCH (n) RETURN n",
+            "# SLOW 250000us rows=42 fp=0xdeadbeefcafef00d MATCH (n) RETURN n",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

@@ -14,6 +14,9 @@ pub struct SlowQueryEntry {
     pub duration_us: u64,
     /// Rows the query returned.
     pub rows: u64,
+    /// Canonical fingerprint of the query's logical plan (0 when the
+    /// text never reached the planner, e.g. parse failures).
+    pub plan_fp: u64,
 }
 
 struct Inner {
@@ -56,7 +59,15 @@ impl SlowQueryLog {
 
     /// Records a completed query if it crossed `threshold`; evicts the
     /// oldest entry when full. A zero `threshold` disables capture.
-    pub fn record(&self, query: &str, duration: Duration, rows: u64, threshold: Duration) {
+    /// `plan_fp` is the logical-plan fingerprint (0 = not planned).
+    pub fn record(
+        &self,
+        query: &str,
+        duration: Duration,
+        rows: u64,
+        plan_fp: u64,
+        threshold: Duration,
+    ) {
         if threshold.is_zero() || duration < threshold {
             return;
         }
@@ -64,6 +75,7 @@ impl SlowQueryLog {
             query: query.to_owned(),
             duration_us: u64::try_from(duration.as_micros()).unwrap_or(u64::MAX),
             rows,
+            plan_fp,
         };
         let mut inner = self.lock();
         if inner.entries.len() >= self.capacity {
@@ -108,10 +120,10 @@ mod tests {
     #[test]
     fn below_threshold_is_not_captured() {
         let log = SlowQueryLog::new(4);
-        log.record("fast", Duration::from_micros(10), 1, MS);
+        log.record("fast", Duration::from_micros(10), 1, 0, MS);
         assert_eq!(log.snapshot().0.len(), 0);
         // zero threshold disables capture outright
-        log.record("any", Duration::from_secs(10), 1, Duration::ZERO);
+        log.record("any", Duration::from_secs(10), 1, 0, Duration::ZERO);
         assert_eq!(log.snapshot().0.len(), 0);
     }
 
@@ -119,7 +131,13 @@ mod tests {
     fn ring_keeps_the_most_recent() {
         let log = SlowQueryLog::new(2);
         for i in 0..5 {
-            log.record(&format!("q{i}"), MS * (i + 1), i as u64, MS);
+            log.record(
+                &format!("q{i}"),
+                MS * (i + 1),
+                i as u64,
+                0xfeed + i as u64,
+                MS,
+            );
         }
         let (entries, dropped) = log.snapshot();
         assert_eq!(dropped, 3);
@@ -129,13 +147,14 @@ mod tests {
         );
         assert_eq!(entries[1].duration_us, 5_000);
         assert_eq!(entries[1].rows, 4);
+        assert_eq!(entries[1].plan_fp, 0xfeed + 4);
     }
 
     #[test]
     fn clear_resets_everything() {
         let log = SlowQueryLog::new(1);
-        log.record("a", MS, 0, MS);
-        log.record("b", MS, 0, MS);
+        log.record("a", MS, 0, 1, MS);
+        log.record("b", MS, 0, 2, MS);
         log.clear();
         assert_eq!(log.snapshot(), (vec![], 0));
     }

@@ -23,6 +23,9 @@ pub struct Query {
     /// Optional HAVING expression (evaluated per group after row
     /// aggregation; may reference row aggregates).
     pub having: Option<Expr>,
+    /// Whether the query was prefixed with EXPLAIN: return the
+    /// optimized plan rendering instead of executing.
+    pub explain: bool,
 }
 
 /// One path in a MATCH clause: node, then (edge, node) hops.
@@ -257,6 +260,7 @@ mod tests {
             order_by: vec![],
             limit: Some(5),
             having: None,
+            explain: false,
         };
         assert_eq!(q.patterns.len(), 1);
         assert_eq!(q.returns[0].alias, "u");

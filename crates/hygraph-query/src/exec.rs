@@ -12,6 +12,16 @@ use hygraph_types::parallel::{should_parallelize, ExecMode};
 use hygraph_types::{HyGraphError, Interval, Result, Timestamp, Value};
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Memoization table for series aggregates within one query execution:
+/// `(series, from_ms, to_ms) -> Summary`. Shared across bindings so a
+/// window recomputed for every match of the same ts-element is summarised
+/// once. Insert races are harmless: the value is a deterministic function
+/// of the key, and [`hygraph_ts::store::Summary`] is `Copy`, so every
+/// writer stores the identical bits.
+pub(crate) type AggCache =
+    Mutex<HashMap<(hygraph_types::SeriesId, i64, i64), hygraph_ts::store::Summary>>;
 
 /// One result row (values in column order).
 pub type Row = Vec<Value>;
@@ -65,17 +75,39 @@ impl QueryResult {
     }
 
     /// Decodes a result written by [`QueryResult::encode`]. Input is
-    /// untrusted: malformed bytes error, never panic.
+    /// untrusted: malformed bytes error, never panic — in particular a
+    /// declared element count larger than the bytes remaining is
+    /// rejected up front (every element costs at least one byte), so a
+    /// hostile frame cannot drive a near-2^64 decode loop.
     pub fn decode(r: &mut hygraph_types::bytes::ByteReader<'_>) -> Result<Self> {
+        fn check_count(
+            r: &hygraph_types::bytes::ByteReader<'_>,
+            n: usize,
+            what: &str,
+        ) -> Result<()> {
+            if n > r.remaining() {
+                return Err(HyGraphError::Corrupt {
+                    offset: r.position(),
+                    message: format!(
+                        "declared {what} count {n} exceeds {} bytes remaining",
+                        r.remaining()
+                    ),
+                });
+            }
+            Ok(())
+        }
         let n_cols = r.len_of()?;
+        check_count(r, n_cols, "column")?;
         let mut columns = Vec::with_capacity(n_cols.min(1 << 12));
         for _ in 0..n_cols {
             columns.push(r.str()?);
         }
         let n_rows = r.len_of()?;
+        check_count(r, n_rows, "row")?;
         let mut rows = Vec::with_capacity(n_rows.min(1 << 16));
         for _ in 0..n_rows {
             let n = r.len_of()?;
+            check_count(r, n, "cell")?;
             let mut row = Vec::with_capacity(n.min(1 << 12));
             for _ in 0..n {
                 row.push(r.value()?);
@@ -118,7 +150,7 @@ impl QueryResult {
     }
 }
 
-fn contains_rowagg(expr: &Expr) -> bool {
+pub(crate) fn contains_rowagg(expr: &Expr) -> bool {
     match expr {
         Expr::RowAgg { .. } => true,
         Expr::Not(inner) => contains_rowagg(inner),
@@ -127,13 +159,34 @@ fn contains_rowagg(expr: &Expr) -> bool {
     }
 }
 
-/// Executes a parsed query against an instance. Execution mode is
-/// decided from the number of pattern matches (see [`execute_mode`]).
+/// Executes a parsed query against an instance through the planner
+/// (parse → logical plan → optimize → physical operators). Execution
+/// mode is decided from the number of pattern matches.
 pub fn execute(hg: &HyGraph, q: &Query) -> Result<QueryResult> {
     execute_mode(hg, q, ExecMode::Auto)
 }
 
-/// [`execute`] with an explicit execution mode.
+/// [`execute`] with an explicit execution mode. Thin wrapper over the
+/// planner: lowers the AST to a logical plan, runs the rewrite rules,
+/// and executes the physical operators. Bit-identical to
+/// [`execute_interpreted_mode`] by construction (see
+/// `tests/plan_equivalence.rs`). An `EXPLAIN`-flagged query returns the
+/// optimized plan rendering instead of executing.
+pub fn execute_mode(hg: &HyGraph, q: &Query, mode: ExecMode) -> Result<QueryResult> {
+    let planned = crate::physical::plan_query(q)?;
+    if q.explain {
+        return Ok(crate::plan::explain_result(&planned));
+    }
+    crate::physical::execute_planned(hg, &planned, mode)
+}
+
+/// Executes a parsed query through the legacy one-pass interpreter —
+/// kept as the semantic reference the planner is validated against.
+pub fn execute_interpreted(hg: &HyGraph, q: &Query) -> Result<QueryResult> {
+    execute_interpreted_mode(hg, q, ExecMode::Auto)
+}
+
+/// [`execute_interpreted`] with an explicit execution mode.
 ///
 /// Pattern bindings are materialised up front; per-binding evaluation
 /// (WHERE filter + projections, or group keys + aggregate arguments) is
@@ -142,7 +195,7 @@ pub fn execute(hg: &HyGraph, q: &Query) -> Result<QueryResult> {
 /// first failing binding in that order, and grouped execution folds
 /// aggregate states sequentially in binding order — so the parallel
 /// path returns exactly what the sequential path returns.
-pub fn execute_mode(hg: &HyGraph, q: &Query, mode: ExecMode) -> Result<QueryResult> {
+pub fn execute_interpreted_mode(hg: &HyGraph, q: &Query, mode: ExecMode) -> Result<QueryResult> {
     if let Some(filter) = &q.filter {
         if contains_rowagg(filter) {
             return Err(HyGraphError::query(
@@ -151,7 +204,7 @@ pub fn execute_mode(hg: &HyGraph, q: &Query, mode: ExecMode) -> Result<QueryResu
         }
     }
     let grouped = q.having.is_some() || q.returns.iter().any(|r| contains_rowagg(&r.expr));
-    let patterns = compile_patterns(q)?;
+    let patterns = compile_patterns(q, &[])?;
     // one materialised binding list, in pattern-then-match order —
     // identical to the order the streaming visitor would see
     let bindings: Vec<Binding> = patterns
@@ -185,7 +238,12 @@ pub fn execute_mode(hg: &HyGraph, q: &Query, mode: ExecMode) -> Result<QueryResu
 
 fn execute_flat(hg: &HyGraph, q: &Query, bindings: &[Binding], mode: ExecMode) -> Result<Vec<Row>> {
     let eval_one = |binding: &Binding| -> Result<Option<Row>> {
-        let ctx = EvalCtx { hg, binding };
+        let ctx = EvalCtx {
+            hg,
+            binding,
+            agg_cache: None,
+            local_agg: None,
+        };
         if let Some(filter) = &q.filter {
             if ctx.eval(filter)?.as_bool() != Some(true) {
                 return Ok(None);
@@ -215,7 +273,7 @@ fn execute_flat(hg: &HyGraph, q: &Query, bindings: &[Binding], mode: ExecMode) -
 
 /// Accumulator for one row-aggregate instance within one group.
 #[derive(Clone, Debug, Default)]
-struct AggState {
+pub(crate) struct AggState {
     rows: u64,
     non_null: u64,
     sum: f64,
@@ -226,7 +284,7 @@ struct AggState {
 }
 
 impl AggState {
-    fn update(&mut self, arg: Option<&Value>, distinct: bool) {
+    pub(crate) fn update(&mut self, arg: Option<&Value>, distinct: bool) {
         self.rows += 1;
         let Some(v) = arg else { return };
         if v.is_null() {
@@ -255,7 +313,7 @@ impl AggState {
         }
     }
 
-    fn finalize(&self, func: RowAggFunc, counts_rows: bool) -> Value {
+    pub(crate) fn finalize(&self, func: RowAggFunc, counts_rows: bool) -> Value {
         match func {
             RowAggFunc::Count => Value::Int(if counts_rows {
                 self.rows as i64
@@ -284,13 +342,13 @@ impl AggState {
 
 /// One row-aggregate occurrence, collected in deterministic pre-order
 /// over the RETURN items then HAVING.
-struct RowAggSpec {
-    func: RowAggFunc,
-    arg: Option<Expr>,
-    distinct: bool,
+pub(crate) struct RowAggSpec {
+    pub(crate) func: RowAggFunc,
+    pub(crate) arg: Option<Expr>,
+    pub(crate) distinct: bool,
 }
 
-fn collect_rowaggs(expr: &Expr, out: &mut Vec<RowAggSpec>) {
+pub(crate) fn collect_rowaggs(expr: &Expr, out: &mut Vec<RowAggSpec>) {
     match expr {
         Expr::RowAgg {
             func,
@@ -312,7 +370,7 @@ fn collect_rowaggs(expr: &Expr, out: &mut Vec<RowAggSpec>) {
 
 /// Substitutes pre-computed aggregate results (same pre-order as
 /// [`collect_rowaggs`]) while evaluating an expression over a group.
-fn eval_final(
+pub(crate) fn eval_final(
     ctx: Option<&EvalCtx<'_>>,
     expr: &Expr,
     agg_values: &[Value],
@@ -382,7 +440,12 @@ fn execute_grouped(
     // aggregate-argument evaluation — independent pure work
     type KeyedArgs = Option<(Row, Vec<Value>)>;
     let eval_one = |binding: &Binding| -> Result<KeyedArgs> {
-        let ctx = EvalCtx { hg, binding };
+        let ctx = EvalCtx {
+            hg,
+            binding,
+            agg_cache: None,
+            local_agg: None,
+        };
         if let Some(filter) = &q.filter {
             if ctx.eval(filter)?.as_bool() != Some(true) {
                 return Ok(None);
@@ -476,14 +539,14 @@ fn execute_grouped(
     Ok(rows)
 }
 
-fn rows_equal(a: &Row, b: &Row) -> bool {
+pub(crate) fn rows_equal(a: &Row, b: &Row) -> bool {
     a.len() == b.len()
         && a.iter()
             .zip(b)
             .all(|(x, y)| x.total_cmp(y) == std::cmp::Ordering::Equal)
 }
 
-fn sort_rows(rows: &mut [Row], columns: &[String], order: &[OrderItem]) -> Result<()> {
+pub(crate) fn sort_rows(rows: &mut [Row], columns: &[String], order: &[OrderItem]) -> Result<()> {
     if order.is_empty() {
         return Ok(());
     }
@@ -517,7 +580,15 @@ fn sort_rows(rows: &mut [Row], columns: &[String], order: &[OrderItem]) -> Resul
 /// compile time: one [`Pattern`] per combination of hop counts (capped
 /// at 64 expansions), each inserting fresh anonymous intermediate
 /// vertices. Plain queries compile to a single pattern.
-fn compile_patterns(q: &Query) -> Result<Vec<Pattern>> {
+///
+/// `pushed` carries WHERE conjuncts the optimizer moved into pattern
+/// matching; they are installed as pushed-down predicates (invisible to
+/// the matcher's selectivity ordering) on the vertex or edge bound to
+/// each predicate's variable. The legacy interpreter passes `&[]`.
+pub(crate) fn compile_patterns(
+    q: &Query,
+    pushed: &[crate::plan::PushedPred],
+) -> Result<Vec<Pattern>> {
     // hop-count choices for every var-length edge, in query order
     let ranges: Vec<(usize, usize)> = q
         .patterns
@@ -545,15 +616,22 @@ fn compile_patterns(q: &Query) -> Result<Vec<Pattern>> {
     }
     assignments
         .into_iter()
-        .map(|a| compile_one(q, &a))
+        .map(|a| compile_one(q, &a, pushed))
         .collect()
 }
 
 /// Builds one pattern with the given hop-length assignment (one entry
 /// per var-length edge, in query order).
-fn compile_one(q: &Query, lengths: &[usize]) -> Result<Pattern> {
+fn compile_one(
+    q: &Query,
+    lengths: &[usize],
+    pushed: &[crate::plan::PushedPred],
+) -> Result<Pattern> {
     let mut pattern = Pattern::new();
     let mut var_index: HashMap<String, usize> = HashMap::new();
+    // edge vars in declaration order; only plain (1,1) edges carry a
+    // user-visible variable, so duplicates cannot arise here
+    let mut edge_vars: Vec<(String, usize)> = Vec::new();
     let mut length_cursor = 0usize;
     let mut anon = 0usize;
 
@@ -620,13 +698,16 @@ fn compile_one(q: &Query, lengths: &[usize]) -> Result<Pattern> {
                     anon += 1;
                     format!("__vle{anon}")
                 };
-                pattern.edge(
+                let eidx = pattern.edge(
                     Some(var_name.as_str()),
                     hop_src,
                     hop_dst,
                     edge.labels.iter().map(String::as_str),
                     dir,
                 );
+                if len == 1 {
+                    edge_vars.push((var_name.clone(), eidx));
+                }
                 hop_src = hop_dst;
             }
             prev = next;
@@ -635,16 +716,51 @@ fn compile_one(q: &Query, lengths: &[usize]) -> Result<Pattern> {
     if let Some(t) = q.valid_at {
         pattern.valid_at(t);
     }
+    for p in pushed {
+        // vertex binding wins over an edge of the same name, matching
+        // EvalCtx::element's lookup precedence
+        if let Some(&idx) = var_index.get(&p.var) {
+            pattern.vertex_pushed_pred(idx, p.pred.clone());
+        } else if let Some((_, idx)) = edge_vars.iter().find(|(v, _)| v == &p.var) {
+            pattern.edge_pushed_pred(*idx, p.pred.clone());
+        } else {
+            // the optimizer only pushes predicates on pattern-bound
+            // vars; an unbound var here is a rule bug, not a user error
+            return Err(HyGraphError::query(format!(
+                "internal: pushed predicate references unbound variable '{}'",
+                p.var
+            )));
+        }
+    }
     Ok(pattern)
 }
 
-struct EvalCtx<'a> {
-    hg: &'a HyGraph,
-    binding: &'a Binding,
+/// Single-entry intra-binding summary cache: lock-free, lives next to
+/// one [`EvalCtx`], catches `MAX(DELTA(c) IN R)` / `SUM(DELTA(c) IN R)`
+/// re-evaluating the same `(series, range)` within one row.
+pub(crate) type LocalAggCache = std::cell::Cell<
+    Option<(
+        (hygraph_types::SeriesId, i64, i64),
+        hygraph_ts::store::Summary,
+    )>,
+>;
+
+pub(crate) struct EvalCtx<'a> {
+    pub(crate) hg: &'a HyGraph,
+    pub(crate) binding: &'a Binding,
+    /// Optional shared series-aggregate memoization table (planner path,
+    /// fan-out patterns); `None` reproduces the legacy interpreter's
+    /// recompute-per-binding behaviour. Cached and uncached evaluation
+    /// are bit-identical — the cache stores the `Copy` summary the
+    /// kernel would have produced.
+    pub(crate) agg_cache: Option<&'a AggCache>,
+    /// Optional per-binding single-entry cache (planner path). Checked
+    /// before the shared table; costs one compare on miss, no locking.
+    pub(crate) local_agg: Option<&'a LocalAggCache>,
 }
 
 impl EvalCtx<'_> {
-    fn element(&self, var: &str) -> Result<ElementRef> {
+    pub(crate) fn element(&self, var: &str) -> Result<ElementRef> {
         if let Some(&v) = self.binding.vertices.get(var) {
             Ok(ElementRef::Vertex(v))
         } else if let Some(&e) = self.binding.edges.get(var) {
@@ -654,7 +770,7 @@ impl EvalCtx<'_> {
         }
     }
 
-    fn eval(&self, expr: &Expr) -> Result<Value> {
+    pub(crate) fn eval(&self, expr: &Expr) -> Result<Value> {
         match expr {
             Expr::Literal(v) => Ok(v.clone()),
             Expr::Var(var) => {
@@ -721,13 +837,41 @@ impl EvalCtx<'_> {
                 }
             }
         };
-        let ms = self.hg.series(sid)?;
         let iv = Interval::new(Timestamp::from_millis(from), Timestamp::from_millis(to));
-        let windowed = ms.slice(&iv);
-        let Some(col) = windowed.column(0) else {
+        let key = (sid, from, to);
+        // shared kernel: per-chunk precomputed block summaries make this
+        // O(blocks touched) instead of O(points); `None` only for a
+        // series with zero value columns, which the old slice-then-
+        // column(0) path also mapped to Null
+        let local_hit = self
+            .local_agg
+            .and_then(|cell| cell.get())
+            .filter(|&(k, _)| k == key)
+            .map(|(_, s)| s);
+        let cached = local_hit.or_else(|| {
+            self.agg_cache
+                .and_then(|c| c.lock().ok())
+                .and_then(|c| c.get(&key).copied())
+        });
+        let summary = match cached {
+            Some(s) => Some(s),
+            None => {
+                let ms = self.hg.series(sid)?;
+                let s = ms.summarize(&iv, 0);
+                if let (Some(s), Some(cache)) = (s, self.agg_cache) {
+                    if let Ok(mut c) = cache.lock() {
+                        c.insert(key, s);
+                    }
+                }
+                s
+            }
+        };
+        if let (Some(cell), Some(s)) = (self.local_agg, summary) {
+            cell.set(Some((key, s)));
+        }
+        let Some(summary) = summary else {
             return Ok(Value::Null);
         };
-        let summary = hygraph_ts::store::Summary::of(col);
         let kind = match func {
             AggFunc::Mean => AggKind::Mean,
             AggFunc::Sum => AggKind::Sum,
@@ -743,7 +887,7 @@ impl EvalCtx<'_> {
     }
 }
 
-fn apply_binop(op: BinOp, l: &Value, r: &Value) -> Value {
+pub(crate) fn apply_binop(op: BinOp, l: &Value, r: &Value) -> Value {
     use std::cmp::Ordering;
     match op {
         BinOp::And => match (l.as_bool(), r.as_bool()) {
@@ -873,6 +1017,61 @@ mod tests {
         assert_eq!(w2.into_bytes(), bytes);
         // malformed input errors instead of panicking
         assert!(QueryResult::decode(&mut hygraph_types::bytes::ByteReader::new(&[0x80])).is_err());
+    }
+
+    /// Regression: a frame whose *declared* counts vastly exceed the
+    /// bytes actually present must be rejected up front with a typed
+    /// `Corrupt` error — not drive a near-2^64 allocation/decode loop.
+    #[test]
+    fn decode_rejects_hostile_declared_counts() {
+        use hygraph_types::bytes::{ByteReader, ByteWriter};
+        use hygraph_types::HyGraphError;
+
+        // absurd count (u64::MAX): rejected by the reader's own varint
+        // length guard before any loop runs
+        let mut w = ByteWriter::new();
+        w.len_of(u64::MAX as usize);
+        let bytes = w.into_bytes();
+        let err = QueryResult::decode(&mut ByteReader::new(&bytes)).unwrap_err();
+        assert!(
+            matches!(err, HyGraphError::Corrupt { .. }),
+            "expected typed Corrupt error, got {err:?}"
+        );
+
+        // sneaky count: small enough to slip past the reader's loose
+        // varint bound (remaining*8+64) but still exceeding the bytes
+        // present — the decode-level guard must name the hostile field.
+        // 64 declared columns, zero payload bytes behind them:
+        let mut w = ByteWriter::new();
+        w.len_of(64);
+        let bytes = w.into_bytes();
+        let err = QueryResult::decode(&mut ByteReader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, HyGraphError::Corrupt { .. }));
+        assert!(
+            err.to_string().contains("column count"),
+            "error should name the hostile field: {err}"
+        );
+
+        // valid header, hostile row count
+        let mut w = ByteWriter::new();
+        w.len_of(1); // one column
+        w.str("a");
+        w.len_of(64); // declared rows, zero bytes behind them
+        let bytes = w.into_bytes();
+        let err = QueryResult::decode(&mut ByteReader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, HyGraphError::Corrupt { .. }));
+        assert!(err.to_string().contains("row count"), "{err}");
+
+        // valid header + one row, hostile per-row cell count
+        let mut w = ByteWriter::new();
+        w.len_of(1);
+        w.str("a");
+        w.len_of(1); // one row…
+        w.len_of(64); // …claiming 64 cells with nothing behind them
+        let bytes = w.into_bytes();
+        let err = QueryResult::decode(&mut ByteReader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, HyGraphError::Corrupt { .. }));
+        assert!(err.to_string().contains("cell count"), "{err}");
     }
 
     #[test]

@@ -101,6 +101,7 @@ pub enum Keyword {
     False,
     Null,
     Distinct,
+    Explain,
 }
 
 impl Keyword {
@@ -136,6 +137,7 @@ impl Keyword {
             "FALSE" => Keyword::False,
             "NULL" => Keyword::Null,
             "DISTINCT" => Keyword::Distinct,
+            "EXPLAIN" => Keyword::Explain,
             _ => return None,
         })
     }

@@ -15,11 +15,18 @@
 //! `MEAN(DELTA(c) IN …)` term aggregates the series δ(c) of the matched
 //! ts-vertex — the unified capability the paper's §4 calls for.
 //!
-//! Pipeline: [`lexer`] → [`parser`] (AST in [`ast`]) → [`exec`] against a
-//! [`hygraph_core::HyGraph`]. The roadmap's four *hybrid operators*
-//! (Q1 hybrid matching, Q2 hybrid aggregation, Q3 correlation
-//! reachability, Q4 segmentation snapshots) have first-class programmatic
-//! APIs in [`hybrid`].
+//! Pipeline: [`lexer`] → [`parser`] (AST in [`ast`]) → [`plan`] (logical
+//! plan + fingerprint) → [`optimize`] (rule-based rewrites: constant
+//! folding, predicate pushdown into pattern matching, redundant-stage
+//! elimination, series-aggregate memoization) → [`physical`] (operator
+//! pipeline with per-operator metrics) against a
+//! [`hygraph_core::HyGraph`]. The legacy one-pass interpreter survives
+//! as [`exec::execute_interpreted`], the reference the planner is
+//! validated against (`tests/plan_equivalence.rs`). Prefix a query with
+//! `EXPLAIN` to get the optimized plan rendering instead of rows. The
+//! roadmap's four *hybrid operators* (Q1 hybrid matching, Q2 hybrid
+//! aggregation, Q3 correlation reachability, Q4 segmentation snapshots)
+//! have first-class programmatic APIs in [`hybrid`].
 //!
 //! # Language reference
 //!
@@ -102,14 +109,23 @@ pub mod ast;
 pub mod exec;
 pub mod hybrid;
 pub mod lexer;
+pub mod optimize;
 pub mod parser;
+pub mod physical;
+pub mod plan;
 
 pub use ast::Query;
-pub use exec::{execute, execute_mode, QueryResult, Row};
+pub use exec::{
+    execute, execute_interpreted, execute_interpreted_mode, execute_mode, QueryResult, Row,
+};
+pub use physical::{execute_planned, plan_query, PlannedQuery};
+pub use plan::{LogicalPlan, PushedPred};
 
 use hygraph_core::HyGraph;
 use hygraph_metrics::OpClass;
+use hygraph_types::parallel::ExecMode;
 use hygraph_types::Result;
+use std::sync::Arc;
 
 /// Classifies a parsed query into the paper's Table 2 operator
 /// taxonomy — the key space for per-class execution metrics.
@@ -148,13 +164,37 @@ pub fn classify(q: &Query) -> OpClass {
     OpClass::Q1Match
 }
 
-/// Parses and executes `text` against `hg` in one call.
+/// A pluggable plan cache keyed by [`plan::fingerprint`]. The serving
+/// layer implements this over a bounded LRU; anything stored must be
+/// data-independent, which [`PlannedQuery`] is by construction.
+pub trait PlanCacheHook: Send + Sync {
+    /// Looks up a cached plan.
+    fn get(&self, fingerprint: u64) -> Option<Arc<PlannedQuery>>;
+    /// Stores a freshly built plan.
+    fn put(&self, fingerprint: u64, plan: Arc<PlannedQuery>);
+}
+
+/// Parses and executes `text` against `hg` in one call (no plan cache).
 ///
 /// This is the instrumented entry point: executions are counted and
 /// timed per [`OpClass`], parse failures bump a dedicated counter, and
 /// queries slower than the `HYGRAPH_SLOW_QUERY_MS` threshold are
-/// captured (text, duration, row count) in the global slow-query ring.
+/// captured (text, duration, row count, plan fingerprint) in the
+/// global slow-query ring.
 pub fn query(hg: &HyGraph, text: &str) -> Result<QueryResult> {
+    run_instrumented(hg, text, None)
+}
+
+/// [`query`] with an optional plan cache: on a fingerprint hit the
+/// cached [`PlannedQuery`] is executed directly (skipping lowering,
+/// optimization, and pattern compilation); on a miss the fresh plan is
+/// stored. Hits and misses bump the `plan_cache_hits`/`_misses`
+/// counters; misses are only counted when a cache is actually present.
+pub fn run_instrumented(
+    hg: &HyGraph,
+    text: &str,
+    cache: Option<&dyn PlanCacheHook>,
+) -> Result<QueryResult> {
     let start = hygraph_metrics::enabled().then(std::time::Instant::now);
     let q = match parser::parse(text) {
         Ok(q) => q,
@@ -165,7 +205,31 @@ pub fn query(hg: &HyGraph, text: &str) -> Result<QueryResult> {
             return Err(e);
         }
     };
-    let res = execute(hg, &q);
+    let fp = plan::fingerprint(&q);
+    let res = (|| {
+        let planned = match cache.and_then(|c| c.get(fp)) {
+            Some(p) => {
+                if let Some(m) = hygraph_metrics::get() {
+                    m.query.plan_cache_hits.inc();
+                }
+                p
+            }
+            None => {
+                let p = Arc::new(physical::plan_query(&q)?);
+                if let Some(c) = cache {
+                    if let Some(m) = hygraph_metrics::get() {
+                        m.query.plan_cache_misses.inc();
+                    }
+                    c.put(fp, Arc::clone(&p));
+                }
+                p
+            }
+        };
+        if q.explain {
+            return Ok(plan::explain_result(&planned));
+        }
+        physical::execute_planned(hg, &planned, ExecMode::Auto)
+    })();
     if let (Some(m), Some(s)) = (hygraph_metrics::get(), start) {
         let elapsed = s.elapsed();
         let om = m.query.class(classify(&q));
@@ -175,8 +239,13 @@ pub fn query(hg: &HyGraph, text: &str) -> Result<QueryResult> {
             om.errors.inc();
         }
         let rows = res.as_ref().map_or(0, |r| r.rows.len() as u64);
-        m.slow
-            .record(text, elapsed, rows, hygraph_metrics::slow_query_threshold());
+        m.slow.record(
+            text,
+            elapsed,
+            rows,
+            fp,
+            hygraph_metrics::slow_query_threshold(),
+        );
     }
     res
 }

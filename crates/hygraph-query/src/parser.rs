@@ -3,7 +3,7 @@
 //! Grammar (EBNF, informal):
 //!
 //! ```text
-//! query      := MATCH path (',' path)* [WHERE expr] [VALID AT int]
+//! query      := [EXPLAIN] MATCH path (',' path)* [WHERE expr] [VALID AT int]
 //!               RETURN [DISTINCT] item (',' item)* [HAVING expr]
 //!               [ORDER BY order (',' order)*] [LIMIT int]
 //! path       := node (edge node)*
@@ -133,6 +133,7 @@ impl Parser {
     // ---- clauses -----------------------------------------------------
 
     fn query(&mut self) -> Result<Query> {
+        let explain = self.eat_kw(Keyword::Explain);
         if !self.eat_kw(Keyword::Match) {
             return Err(self.error("query must start with MATCH"));
         }
@@ -199,6 +200,7 @@ impl Parser {
             order_by,
             limit,
             having,
+            explain,
         })
     }
 
@@ -720,6 +722,18 @@ mod tests {
                 "expected parse error for {bad:?}, got {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn explain_prefix() {
+        let q = parse("EXPLAIN MATCH (u:User) RETURN u").unwrap();
+        assert!(q.explain);
+        let q = parse("explain MATCH (u:User) RETURN u").unwrap();
+        assert!(q.explain, "keyword is case-insensitive");
+        assert!(!parse("MATCH (u:User) RETURN u").unwrap().explain);
+        // EXPLAIN must be followed by a full query
+        assert!(parse("EXPLAIN").is_err());
+        assert!(parse("EXPLAIN RETURN 1").is_err());
     }
 
     #[test]

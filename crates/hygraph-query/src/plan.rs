@@ -1,0 +1,583 @@
+//! Logical query plans: lowering from the AST, canonical fingerprints
+//! for plan caching, and the stable `EXPLAIN` rendering.
+//!
+//! A [`LogicalPlan`] is the optimizer's working representation: the
+//! residual [`Query`] (the AST minus whatever the rewrite rules moved
+//! elsewhere), the predicates pushed into pattern matching, and a
+//! record of which rules fired. The [fingerprint] is a
+//! stable 64-bit hash of the *input* query's canonical binary encoding
+//! — two textually different query strings that parse to the same AST
+//! share a fingerprint, and therefore a plan-cache entry. The
+//! `explain` flag is excluded from the hash so `EXPLAIN q` and `q`
+//! share one cached plan.
+
+use crate::ast::{
+    AggFunc, BinOp, EdgeDir, Expr, OrderItem, PathPattern, Query, ReturnItem, RowAggFunc, SeriesRef,
+};
+use crate::exec::{contains_rowagg, QueryResult};
+use hygraph_graph::pattern::{CmpOp, PropPredicate};
+use hygraph_metrics::PlanOp;
+use hygraph_types::bytes::ByteWriter;
+use hygraph_types::Value;
+
+/// A WHERE conjunct the optimizer moved into pattern matching: the
+/// predicate is enforced while enumerating candidate elements for
+/// `var` instead of after a full binding is materialised.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PushedPred {
+    /// Pattern variable the predicate constrains.
+    pub var: String,
+    /// The property predicate, in the graph layer's vocabulary.
+    pub pred: PropPredicate,
+}
+
+/// The logical plan for one query: residual AST + rewrite products.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogicalPlan {
+    /// The residual query: the input AST with pushed/eliminated parts
+    /// removed. Executing this with `pushed` applied to the patterns is
+    /// equivalent to interpreting the original AST.
+    pub query: Query,
+    /// WHERE conjuncts pushed into pattern matching.
+    pub pushed: Vec<PushedPred>,
+    /// Whether execution goes through the grouped (row-aggregate) path.
+    pub grouped: bool,
+    /// Canonical fingerprint of the *input* query (pre-optimization,
+    /// `explain` excluded) — the plan-cache key.
+    pub fingerprint: u64,
+    /// Whether series aggregates should be memoized across bindings
+    /// during execution (set by the `ts-agg-memoize` rule).
+    pub memoize_aggs: bool,
+    /// Names of the rewrite rules that fired, in application order.
+    pub rules: Vec<String>,
+}
+
+/// Lowers a parsed query into an unoptimized logical plan.
+pub fn lower(q: &Query) -> LogicalPlan {
+    LogicalPlan {
+        query: q.clone(),
+        pushed: Vec::new(),
+        grouped: q.having.is_some() || q.returns.iter().any(|r| contains_rowagg(&r.expr)),
+        fingerprint: fingerprint(q),
+        memoize_aggs: false,
+        rules: Vec::new(),
+    }
+}
+
+/// Canonical fingerprint of a query: FNV-1a 64 over a canonical binary
+/// encoding of every semantic field. `explain` is deliberately
+/// excluded so an EXPLAIN and its executable twin share a cache entry.
+pub fn fingerprint(q: &Query) -> u64 {
+    let mut w = ByteWriter::new();
+    encode_query(&mut w, q);
+    fnv1a(w.as_bytes())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn encode_query(w: &mut ByteWriter, q: &Query) {
+    w.len_of(q.patterns.len());
+    for p in &q.patterns {
+        encode_path(w, p);
+    }
+    w.bool(q.filter.is_some());
+    if let Some(f) = &q.filter {
+        encode_expr(w, f);
+    }
+    w.bool(q.valid_at.is_some());
+    if let Some(t) = q.valid_at {
+        w.timestamp(t);
+    }
+    w.len_of(q.returns.len());
+    for ReturnItem { expr, alias } in &q.returns {
+        encode_expr(w, expr);
+        w.str(alias);
+    }
+    w.bool(q.distinct);
+    w.len_of(q.order_by.len());
+    for OrderItem { column, descending } in &q.order_by {
+        w.str(column);
+        w.bool(*descending);
+    }
+    w.bool(q.limit.is_some());
+    if let Some(n) = q.limit {
+        w.len_of(n);
+    }
+    w.bool(q.having.is_some());
+    if let Some(h) = &q.having {
+        encode_expr(w, h);
+    }
+}
+
+fn encode_path(w: &mut ByteWriter, p: &PathPattern) {
+    w.str(&p.start.var);
+    w.len_of(p.start.labels.len());
+    for l in &p.start.labels {
+        w.str(l);
+    }
+    w.len_of(p.start.props.len());
+    for (k, v) in &p.start.props {
+        w.str(k);
+        w.value(v);
+    }
+    w.len_of(p.hops.len());
+    for (e, n) in &p.hops {
+        w.str(&e.var);
+        w.len_of(e.labels.len());
+        for l in &e.labels {
+            w.str(l);
+        }
+        w.u8(match e.dir {
+            EdgeDir::Right => 0,
+            EdgeDir::Left => 1,
+            EdgeDir::Undirected => 2,
+        });
+        w.len_of(e.hops.0);
+        w.len_of(e.hops.1);
+        w.str(&n.var);
+        w.len_of(n.labels.len());
+        for l in &n.labels {
+            w.str(l);
+        }
+        w.len_of(n.props.len());
+        for (k, v) in &n.props {
+            w.str(k);
+            w.value(v);
+        }
+    }
+}
+
+fn encode_expr(w: &mut ByteWriter, e: &Expr) {
+    match e {
+        Expr::Literal(v) => {
+            w.u8(0);
+            w.value(v);
+        }
+        Expr::Prop { var, key } => {
+            w.u8(1);
+            w.str(var);
+            w.str(key);
+        }
+        Expr::Var(v) => {
+            w.u8(2);
+            w.str(v);
+        }
+        Expr::Agg {
+            func,
+            series,
+            from,
+            to,
+        } => {
+            w.u8(3);
+            w.u8(match func {
+                AggFunc::Mean => 0,
+                AggFunc::Sum => 1,
+                AggFunc::Min => 2,
+                AggFunc::Max => 3,
+                AggFunc::Count => 4,
+            });
+            match series {
+                SeriesRef::Delta(var) => {
+                    w.u8(0);
+                    w.str(var);
+                }
+                SeriesRef::Property { var, key } => {
+                    w.u8(1);
+                    w.str(var);
+                    w.str(key);
+                }
+            }
+            w.i64(*from);
+            w.i64(*to);
+        }
+        Expr::RowAgg {
+            func,
+            arg,
+            distinct,
+        } => {
+            w.u8(4);
+            w.u8(match func {
+                RowAggFunc::Count => 0,
+                RowAggFunc::Sum => 1,
+                RowAggFunc::Avg => 2,
+                RowAggFunc::Min => 3,
+                RowAggFunc::Max => 4,
+            });
+            w.bool(*distinct);
+            w.bool(arg.is_some());
+            if let Some(a) = arg {
+                encode_expr(w, a);
+            }
+        }
+        Expr::Not(inner) => {
+            w.u8(5);
+            encode_expr(w, inner);
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            w.u8(6);
+            w.u8(*op as u8);
+            encode_expr(w, lhs);
+            encode_expr(w, rhs);
+        }
+    }
+}
+
+/// One operator in the rendered plan pipeline (root-first order).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanNode {
+    /// Which physical operator this corresponds to (the metrics key).
+    pub op: PlanOp,
+    /// Human-readable operator detail.
+    pub detail: String,
+}
+
+impl LogicalPlan {
+    /// The operator pipeline, root (output side) first: Limit, Sort,
+    /// Distinct, Aggregate|Project, Filter, Match — nodes that would be
+    /// no-ops for this query are omitted.
+    pub fn nodes(&self) -> Vec<PlanNode> {
+        let q = &self.query;
+        let mut out = Vec::new();
+        if let Some(n) = q.limit {
+            out.push(PlanNode {
+                op: PlanOp::Limit,
+                detail: n.to_string(),
+            });
+        }
+        if !q.order_by.is_empty() {
+            let keys: Vec<String> = q
+                .order_by
+                .iter()
+                .map(|o| format!("{} {}", o.column, if o.descending { "DESC" } else { "ASC" }))
+                .collect();
+            out.push(PlanNode {
+                op: PlanOp::Sort,
+                detail: keys.join(", "),
+            });
+        }
+        if q.distinct {
+            out.push(PlanNode {
+                op: PlanOp::Distinct,
+                detail: String::new(),
+            });
+        }
+        let items: Vec<String> = q
+            .returns
+            .iter()
+            .map(|r| format!("{} := {}", r.alias, render_expr(&r.expr)))
+            .collect();
+        if self.grouped {
+            let keys: Vec<String> = q
+                .returns
+                .iter()
+                .filter(|r| !contains_rowagg(&r.expr))
+                .map(|r| r.alias.clone())
+                .collect();
+            let mut detail = format!("group=[{}] out=[{}]", keys.join(", "), items.join(", "));
+            if let Some(h) = &q.having {
+                detail.push_str(&format!(" having={}", render_expr(h)));
+            }
+            out.push(PlanNode {
+                op: PlanOp::Aggregate,
+                detail,
+            });
+        } else {
+            out.push(PlanNode {
+                op: PlanOp::Project,
+                detail: items.join(", "),
+            });
+        }
+        if let Some(f) = &q.filter {
+            out.push(PlanNode {
+                op: PlanOp::Filter,
+                detail: render_expr(f),
+            });
+        }
+        let mut match_detail = q
+            .patterns
+            .iter()
+            .map(render_path)
+            .collect::<Vec<_>>()
+            .join(", ");
+        if !self.pushed.is_empty() {
+            let preds: Vec<String> = self.pushed.iter().map(render_pushed).collect();
+            match_detail.push_str(&format!(" pushed=[{}]", preds.join(", ")));
+        }
+        if let Some(t) = q.valid_at {
+            match_detail.push_str(&format!(" valid_at={}ms", t.millis()));
+        }
+        out.push(PlanNode {
+            op: PlanOp::Match,
+            detail: match_detail,
+        });
+        out
+    }
+
+    /// Stable multi-line rendering: a fingerprint/rules header followed
+    /// by the operator pipeline, indented by depth. This is the text
+    /// `EXPLAIN` returns, so its shape is part of the wire contract —
+    /// covered by tests, change with care.
+    pub fn render(&self) -> Vec<String> {
+        let mut lines = vec![format!("Plan fingerprint=0x{:016x}", self.fingerprint)];
+        if self.rules.is_empty() {
+            lines.push("rules: (none)".to_string());
+        } else {
+            lines.push(format!("rules: {}", self.rules.join(", ")));
+        }
+        for (depth, node) in self.nodes().into_iter().enumerate() {
+            let indent = "  ".repeat(depth);
+            if node.detail.is_empty() {
+                lines.push(format!("{indent}{}", op_title(node.op)));
+            } else {
+                lines.push(format!("{indent}{} {}", op_title(node.op), node.detail));
+            }
+        }
+        lines
+    }
+}
+
+fn op_title(op: PlanOp) -> &'static str {
+    match op {
+        PlanOp::Match => "Match",
+        PlanOp::Filter => "Filter",
+        PlanOp::Project => "Project",
+        PlanOp::Aggregate => "Aggregate",
+        PlanOp::Distinct => "Distinct",
+        PlanOp::Sort => "Sort",
+        PlanOp::Limit => "Limit",
+    }
+}
+
+/// Renders an optimized plan as a [`QueryResult`]: one `plan` column,
+/// one row per rendered line. This is what an `EXPLAIN`-prefixed query
+/// returns instead of executing, locally and over the wire.
+pub fn explain_result(planned: &crate::physical::PlannedQuery) -> QueryResult {
+    QueryResult {
+        columns: vec!["plan".to_string()],
+        rows: planned
+            .plan
+            .render()
+            .into_iter()
+            .map(|l| vec![Value::Str(l)])
+            .collect(),
+    }
+}
+
+fn render_pushed(p: &PushedPred) -> String {
+    format!(
+        "{}.{} {} {}",
+        p.var,
+        p.pred.key,
+        cmp_symbol(p.pred.op),
+        render_value(&p.pred.value)
+    )
+}
+
+fn cmp_symbol(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "=",
+        CmpOp::Ne => "<>",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("'{s}'"),
+        other => other.to_string(),
+    }
+}
+
+fn render_path(p: &PathPattern) -> String {
+    use std::fmt::Write;
+    fn node(out: &mut String, n: &crate::ast::NodePattern) {
+        let _ = write!(out, "({}", n.var);
+        for l in &n.labels {
+            let _ = write!(out, ":{l}");
+        }
+        if !n.props.is_empty() {
+            let props: Vec<String> = n
+                .props
+                .iter()
+                .map(|(k, v)| format!("{k}: {}", render_value(v)))
+                .collect();
+            let _ = write!(out, " {{{}}}", props.join(", "));
+        }
+        out.push(')');
+    }
+    let mut out = String::new();
+    node(&mut out, &p.start);
+    for (e, n) in &p.hops {
+        let mut body = e.var.clone();
+        for l in &e.labels {
+            let _ = write!(body, ":{l}");
+        }
+        if e.hops != (1, 1) {
+            let _ = write!(body, "*{}..{}", e.hops.0, e.hops.1);
+        }
+        match e.dir {
+            EdgeDir::Right => {
+                let _ = write!(out, "-[{body}]->");
+            }
+            EdgeDir::Left => {
+                let _ = write!(out, "<-[{body}]-");
+            }
+            EdgeDir::Undirected => {
+                let _ = write!(out, "-[{body}]-");
+            }
+        }
+        node(&mut out, n);
+    }
+    out
+}
+
+/// Renders an expression in HyQL-ish surface syntax (parenthesised
+/// binaries — precedence-exact round-tripping is not a goal; stability
+/// is).
+pub(crate) fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Literal(v) => render_value(v),
+        Expr::Prop { var, key } => format!("{var}.{key}"),
+        Expr::Var(v) => v.clone(),
+        Expr::Agg {
+            func,
+            series,
+            from,
+            to,
+        } => {
+            let f = match func {
+                AggFunc::Mean => "MEAN",
+                AggFunc::Sum => "SUM",
+                AggFunc::Min => "MIN",
+                AggFunc::Max => "MAX",
+                AggFunc::Count => "COUNT",
+            };
+            let s = match series {
+                SeriesRef::Delta(var) => format!("DELTA({var})"),
+                SeriesRef::Property { var, key } => format!("{var}.{key}"),
+            };
+            format!("{f}({s} IN [{from}, {to}))")
+        }
+        Expr::RowAgg {
+            func,
+            arg,
+            distinct,
+        } => {
+            let f = match func {
+                RowAggFunc::Count => "COUNT",
+                RowAggFunc::Sum => "SUM",
+                RowAggFunc::Avg => "AVG",
+                RowAggFunc::Min => "MIN",
+                RowAggFunc::Max => "MAX",
+            };
+            match arg {
+                None => format!("{f}(*)"),
+                Some(a) => format!(
+                    "{f}({}{})",
+                    if *distinct { "DISTINCT " } else { "" },
+                    render_expr(a)
+                ),
+            }
+        }
+        Expr::Not(inner) => format!("NOT ({})", render_expr(inner)),
+        Expr::Binary { op, lhs, rhs } => {
+            let sym = match op {
+                BinOp::Or => "OR",
+                BinOp::And => "AND",
+                BinOp::Eq => "=",
+                BinOp::Ne => "<>",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+            };
+            format!("({} {} {})", render_expr(lhs), sym, render_expr(rhs))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn fingerprint_is_text_insensitive_and_semantic_sensitive() {
+        let a = parse("MATCH (u:User) WHERE u.age > 18 RETURN u.name AS n").unwrap();
+        let b = parse("MATCH  (u:User)  WHERE u.age > 18  RETURN u.name AS n").unwrap();
+        let c = parse("MATCH (u:User) WHERE u.age > 19 RETURN u.name AS n").unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b), "whitespace is ignored");
+        assert_ne!(fingerprint(&a), fingerprint(&c), "literals are hashed");
+    }
+
+    #[test]
+    fn fingerprint_ignores_explain_flag() {
+        let plain = parse("MATCH (u:User) RETURN u.name AS n").unwrap();
+        let explained = parse("EXPLAIN MATCH (u:User) RETURN u.name AS n").unwrap();
+        assert!(explained.explain && !plain.explain);
+        assert_eq!(fingerprint(&plain), fingerprint(&explained));
+    }
+
+    #[test]
+    fn lower_detects_grouping() {
+        let q = parse("MATCH (u:User) RETURN COUNT(*) AS n").unwrap();
+        assert!(lower(&q).grouped);
+        let q = parse("MATCH (u:User) RETURN u.name AS n").unwrap();
+        assert!(!lower(&q).grouped);
+    }
+
+    #[test]
+    fn render_pipeline_shape() {
+        let q = parse(
+            "MATCH (u:User)-[t:TX]->(m) WHERE t.amount > 10 \
+             RETURN DISTINCT u.name AS n ORDER BY n DESC LIMIT 3",
+        )
+        .unwrap();
+        let lines = lower(&q).render();
+        assert!(lines[0].starts_with("Plan fingerprint=0x"));
+        assert_eq!(lines[1], "rules: (none)");
+        assert_eq!(lines[2], "Limit 3");
+        assert_eq!(lines[3], "  Sort n DESC");
+        assert_eq!(lines[4], "    Distinct");
+        assert_eq!(lines[5], "      Project n := u.name");
+        assert_eq!(lines[6], "        Filter (t.amount > 10)");
+        assert_eq!(lines[7], "          Match (u:User)-[t:TX]->(m)");
+    }
+
+    #[test]
+    fn render_grouped_and_pushed() {
+        let q = parse(
+            "MATCH (u:User) WHERE u.age > 18 RETURN u.name AS who, COUNT(*) AS n \
+             HAVING COUNT(*) > 1",
+        )
+        .unwrap();
+        let mut plan = lower(&q);
+        plan.pushed.push(PushedPred {
+            var: "u".into(),
+            pred: PropPredicate::new("age", CmpOp::Gt, Value::Int(18)),
+        });
+        plan.query.filter = None;
+        plan.rules.push("predicate-pushdown(1)".into());
+        let text = plan.render().join("\n");
+        assert!(text.contains("rules: predicate-pushdown(1)"));
+        assert!(text.contains(
+            "Aggregate group=[who] out=[who := u.name, n := COUNT(*)] having=(COUNT(*) > 1)"
+        ));
+        assert!(text.contains("Match (u:User) pushed=[u.age > 18]"));
+        assert!(!text.contains("Filter"));
+    }
+}

@@ -11,10 +11,62 @@
 use crate::proto::{ErrorCode, Request, Response};
 use hygraph_core::HyGraph;
 use hygraph_persist::{Durable, DurableStore, HgMutation};
-use hygraph_query::QueryResult;
+use hygraph_query::{PlanCacheHook, PlannedQuery, QueryResult};
 use hygraph_types::bytes::ByteWriter;
 use hygraph_types::Result;
-use std::sync::RwLock;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Default plan-cache capacity when `HYGRAPH_PLAN_CACHE` is unset.
+const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
+
+/// A bounded move-to-front LRU of compiled plans, keyed by the query's
+/// canonical fingerprint. Plans are data-independent (pattern
+/// compilation never looks at the instance), so entries stay valid
+/// across mutations and a cached plan re-executes against whatever
+/// state the read lock currently exposes.
+struct PlanCache {
+    entries: Mutex<Vec<(u64, Arc<PlannedQuery>)>>,
+    capacity: usize,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            entries: Mutex::new(Vec::with_capacity(capacity)),
+            capacity,
+        }
+    }
+}
+
+impl PlanCacheHook for PlanCache {
+    fn get(&self, fingerprint: u64) -> Option<Arc<PlannedQuery>> {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let pos = entries.iter().position(|(fp, _)| *fp == fingerprint)?;
+        let hit = entries.remove(pos);
+        let plan = Arc::clone(&hit.1);
+        entries.insert(0, hit); // move to front
+        Some(plan)
+    }
+
+    fn put(&self, fingerprint: u64, plan: Arc<PlannedQuery>) {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(pos) = entries.iter().position(|(fp, _)| *fp == fingerprint) {
+            entries.remove(pos);
+        }
+        entries.insert(0, (fingerprint, plan));
+        entries.truncate(self.capacity);
+    }
+}
+
+/// Plan-cache capacity from `HYGRAPH_PLAN_CACHE` (`0` disables the
+/// cache; unset/unparsable falls back to the default of
+/// [`DEFAULT_PLAN_CACHE_CAPACITY`]).
+fn plan_cache_capacity_from_env() -> usize {
+    std::env::var("HYGRAPH_PLAN_CACHE")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(DEFAULT_PLAN_CACHE_CAPACITY)
+}
 
 /// The state a server serves: the full hybrid model, either purely in
 /// memory or wrapped in the WAL/checkpoint engine.
@@ -71,13 +123,23 @@ impl Backend {
 /// Thread-safe request executor over a [`Backend`] (see module docs).
 pub struct Engine {
     inner: RwLock<Backend>,
+    /// Shared compiled-plan LRU; `None` when `HYGRAPH_PLAN_CACHE=0`.
+    plan_cache: Option<PlanCache>,
 }
 
 impl Engine {
-    /// An engine serving `backend`.
+    /// An engine serving `backend`, with the plan-cache capacity taken
+    /// from `HYGRAPH_PLAN_CACHE` (default 64 entries, `0` disables).
     pub fn new(backend: Backend) -> Self {
+        Self::with_plan_cache(backend, plan_cache_capacity_from_env())
+    }
+
+    /// An engine with an explicit plan-cache capacity (`0` disables) —
+    /// lets tests pin the behaviour regardless of the environment.
+    pub fn with_plan_cache(backend: Backend, capacity: usize) -> Self {
         Self {
             inner: RwLock::new(backend),
+            plan_cache: (capacity > 0).then(|| PlanCache::new(capacity)),
         }
     }
 
@@ -90,10 +152,16 @@ impl Engine {
     }
 
     /// Executes a HyQL query under the read lock (concurrent with other
-    /// queries).
+    /// queries), consulting the engine's plan cache: repeated query
+    /// shapes skip parsing's downstream cost — lowering, optimization,
+    /// and pattern compilation — and go straight to execution.
     pub fn query(&self, text: &str) -> Result<QueryResult> {
         let guard = self.read();
-        hygraph_query::query(guard.graph(), text)
+        hygraph_query::run_instrumented(
+            guard.graph(),
+            text,
+            self.plan_cache.as_ref().map(|c| c as &dyn PlanCacheHook),
+        )
     }
 
     /// Runs `f` against the instance under the read lock — how tests
@@ -285,6 +353,59 @@ mod tests {
             }
         ));
         assert_eq!(engine.handle(&Request::Ping), Response::Pong);
+    }
+
+    #[test]
+    fn plan_cache_reuses_and_evicts() {
+        let cache = PlanCache::new(2);
+        let plan = |text: &str| {
+            let q = hygraph_query::parser::parse(text).unwrap();
+            (
+                hygraph_query::plan::fingerprint(&q),
+                Arc::new(hygraph_query::plan_query(&q).unwrap()),
+            )
+        };
+        let (fp_a, a) = plan("MATCH (u:User) RETURN u");
+        let (fp_b, b) = plan("MATCH (m:Merchant) RETURN m");
+        let (fp_c, c) = plan("MATCH (c:Card) RETURN c");
+        assert!(cache.get(fp_a).is_none());
+        cache.put(fp_a, a);
+        cache.put(fp_b, b);
+        assert!(cache.get(fp_a).is_some(), "hit moves a to front");
+        cache.put(fp_c, c); // evicts b (least recently used)
+        assert!(cache.get(fp_a).is_some());
+        assert!(cache.get(fp_c).is_some());
+        assert!(cache.get(fp_b).is_none(), "b evicted at capacity 2");
+    }
+
+    #[test]
+    fn cached_plans_serve_repeated_and_explain_queries() {
+        let engine = Engine::with_plan_cache(Backend::memory(HyGraph::new()), 8);
+        engine.mutate_batch(seed_mutations()).unwrap();
+        let text = "MATCH (s:Station) RETURN COUNT(s) AS n";
+        let cold = engine.query(text).unwrap();
+        let warm = engine.query(text).unwrap();
+        assert_eq!(cold, warm, "cache hit returns identical rows");
+        // cached plans survive mutations: plans are data-independent
+        engine
+            .mutate_batch(vec![HgMutation::AddTsVertex {
+                labels: vec![Label::new("Station")],
+                series: SeriesId::new(0),
+            }])
+            .unwrap();
+        let after = engine.query(text).unwrap();
+        assert_eq!(after.rows[0][0], hygraph_types::Value::Int(2));
+        // EXPLAIN shares the executable plan's cache entry and renders
+        // the plan instead of rows
+        let plan = engine.query(&format!("EXPLAIN {text}")).unwrap();
+        assert_eq!(plan.columns, vec!["plan"]);
+        assert!(plan.rows[0][0]
+            .to_string()
+            .starts_with("Plan fingerprint=0x"));
+        // a disabled cache still answers correctly
+        let engine_off = Engine::with_plan_cache(Backend::memory(HyGraph::new()), 0);
+        engine_off.mutate_batch(seed_mutations()).unwrap();
+        assert_eq!(engine_off.query(text).unwrap().rows, cold.rows);
     }
 
     #[test]

@@ -371,6 +371,7 @@ mod tests {
                     query: "MATCH (n) RETURN n".into(),
                     duration_us: 123_456,
                     rows: 7,
+                    plan_fp: 0xabc,
                 });
                 snap
             })),

@@ -349,6 +349,52 @@ fn graceful_shutdown_drains_and_recovers_bit_identical() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `EXPLAIN` returns the optimized plan rendering — not rows — through
+/// both client paths: the in-process [`hygraph_server::LocalClient`]
+/// and a real TCP [`Client`]. The rendering is the stable plan text
+/// (fingerprint header, rules line, operator pipeline) and the two
+/// paths agree byte for byte.
+#[test]
+fn explain_works_over_the_wire() {
+    let server =
+        Server::serve(Backend::memory(HyGraph::new()), &config(2, 8, 5_000)).expect("serve");
+    let local = server.local_client();
+    local.mutate_batch(seed_mutations(2)).expect("seed");
+
+    let text = "EXPLAIN MATCH (s:Station) WHERE s.kind = 'dock' \
+                RETURN s AS station ORDER BY station LIMIT 5";
+    let via_local = local.query(text).expect("local EXPLAIN");
+    assert_eq!(via_local.columns, vec!["plan"]);
+    let lines: Vec<String> = via_local.rows.iter().map(|r| r[0].to_string()).collect();
+    assert!(
+        lines[0].starts_with("Plan fingerprint=0x"),
+        "header: {lines:?}"
+    );
+    assert!(lines[1].starts_with("rules: "), "rules line: {lines:?}");
+    assert_eq!(lines[2], "Limit 5");
+    assert_eq!(lines[3], "  Sort station ASC");
+    assert_eq!(lines[4], "    Project station := s");
+    assert!(
+        lines[5].contains("Match (s:Station)") && lines[5].contains("pushed=[s.kind = 'dock']"),
+        "pushdown visible in plan: {lines:?}"
+    );
+
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+    let via_tcp = c.query(text).expect("TCP EXPLAIN");
+    assert_eq!(
+        encoded(&via_tcp),
+        encoded(&via_local),
+        "wire and local EXPLAIN renderings must be byte-identical"
+    );
+    // the un-prefixed query still returns data rows
+    let rows = c
+        .query("MATCH (s:Station) RETURN s AS station ORDER BY station LIMIT 5")
+        .expect("plain query");
+    assert_eq!(rows.columns, vec!["station"]);
+    assert_eq!(rows.rows.len(), 2);
+    server.shutdown().expect("shutdown");
+}
+
 /// Requests arriving after shutdown begins get a typed retryable
 /// rejection, not a hang or a silent drop.
 #[test]

@@ -14,6 +14,7 @@
 use crate::backend::{has_sustained_run, DayAgg, StorageBackend};
 use hygraph_datagen::bike::BikeDataset;
 use hygraph_graph::TemporalGraph;
+use hygraph_ts::store::Summary;
 use hygraph_types::bytes::{ByteReader, ByteWriter};
 use hygraph_types::{
     Duration, EdgeId, HyGraphError, Interval, Label, PropertyMap, Result, Timestamp, Value,
@@ -200,14 +201,13 @@ impl StorageBackend for AllInGraphStore {
         out
     }
 
-    fn q3_mean(&self, station: VertexId, iv: &Interval) -> Option<f64> {
-        let mut sum = 0.0;
-        let mut n = 0u64;
-        self.scan_observations(station, iv, |_, v| {
-            sum += v;
-            n += 1;
-        });
-        (n > 0).then(|| sum / n as f64)
+    fn series_summary(&self, station: VertexId, iv: &Interval) -> Summary {
+        // still a full property-map scan — this backend has no
+        // precomputed aggregates to push into, only the Vec allocation
+        // of the default fallback is avoided
+        let mut s = Summary::new();
+        self.scan_observations(station, iv, |_, v| s.add(v));
+        s
     }
 
     fn q4_mean_all(&self, iv: &Interval) -> Vec<(VertexId, f64)> {

@@ -17,6 +17,7 @@
 //! | Q7 | graph hop + aggregate: trip-neighbours of a station with their mean availability (7 days) |
 //! | Q8 | sustained-shortage detection: stations below a threshold for ≥ `min_run` consecutive ticks |
 
+use hygraph_ts::store::Summary;
 use hygraph_types::{Interval, Timestamp, VertexId};
 
 /// Identifier of a Table-1 query.
@@ -111,8 +112,26 @@ pub trait StorageBackend {
         min_value: f64,
     ) -> Vec<(Timestamp, f64)>;
 
-    /// Q3: mean availability of `station` over `iv`.
-    fn q3_mean(&self, station: VertexId, iv: &Interval) -> Option<f64>;
+    /// TS-range pushdown hook: a [`Summary`] (count/sum/min/max) of
+    /// `station`'s availability over `iv`. This is the same kernel the
+    /// HyQL planner pushes series aggregates through — backends that can
+    /// answer it from precomputed per-chunk aggregates (the polyglot
+    /// store) override it in O(chunks touched); the provided fallback
+    /// folds the raw `q1_range` scan and is always correct, never faster.
+    fn series_summary(&self, station: VertexId, iv: &Interval) -> Summary {
+        let mut s = Summary::new();
+        for (_, v) in self.q1_range(station, iv) {
+            s.add(v);
+        }
+        s
+    }
+
+    /// Q3: mean availability of `station` over `iv`. Provided in terms of
+    /// [`Self::series_summary`], so a backend with a fast summary path
+    /// gets a fast Q3 for free.
+    fn q3_mean(&self, station: VertexId, iv: &Interval) -> Option<f64> {
+        self.series_summary(station, iv).mean()
+    }
 
     /// Q4: mean availability of every station over `iv`, keyed by
     /// station vertex, in vertex order.
@@ -176,5 +195,64 @@ mod tests {
         assert_eq!(QueryId::ALL.len(), 8);
         assert_eq!(QueryId::Q4.name(), "Q4");
         assert!(QueryId::Q7.describe().contains("hybrid"));
+    }
+
+    /// A minimal backend that only knows how to produce raw ranges — it
+    /// exercises the *provided* `series_summary`/`q3_mean` bodies that
+    /// third-party backends inherit.
+    struct RangeOnly(Vec<(Timestamp, f64)>);
+
+    impl StorageBackend for RangeOnly {
+        fn name(&self) -> &'static str {
+            "range-only"
+        }
+        fn q1_range(&self, _station: VertexId, iv: &Interval) -> Vec<(Timestamp, f64)> {
+            self.0
+                .iter()
+                .copied()
+                .filter(|&(t, _)| iv.contains(t))
+                .collect()
+        }
+        fn q2_filtered(&self, s: VertexId, iv: &Interval, min: f64) -> Vec<(Timestamp, f64)> {
+            self.q1_range(s, iv)
+                .into_iter()
+                .filter(|&(_, v)| v >= min)
+                .collect()
+        }
+        fn q4_mean_all(&self, _iv: &Interval) -> Vec<(VertexId, f64)> {
+            Vec::new()
+        }
+        fn q5_top_k(&self, _iv: &Interval, _k: usize) -> Vec<(VertexId, f64)> {
+            Vec::new()
+        }
+        fn q6_daily(&self, _iv: &Interval) -> Vec<(VertexId, Vec<DayAgg>)> {
+            Vec::new()
+        }
+        fn q7_neighbour_means(&self, _s: VertexId, _iv: &Interval) -> Vec<(VertexId, f64)> {
+            Vec::new()
+        }
+        fn q8_sustained_below(&self, _iv: &Interval, _t: f64, _r: usize) -> Vec<VertexId> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn default_series_summary_folds_the_range_scan() {
+        let obs: Vec<(Timestamp, f64)> = (0..10)
+            .map(|i| (Timestamp::from_millis(i * 1000), i as f64))
+            .collect();
+        let b = RangeOnly(obs);
+        let v = VertexId::new(0);
+        let iv = Interval::new(Timestamp::from_millis(2000), Timestamp::from_millis(7000));
+        let s = b.series_summary(v, &iv);
+        assert_eq!(s.count, 5);
+        assert!((s.sum - (2.0 + 3.0 + 4.0 + 5.0 + 6.0)).abs() < 1e-9);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+        assert!((b.q3_mean(v, &iv).unwrap() - 4.0).abs() < 1e-9);
+        // empty range → empty summary, NULL mean
+        let empty = Interval::new(Timestamp::from_millis(0), Timestamp::from_millis(0));
+        assert_eq!(b.series_summary(v, &empty).count, 0);
+        assert!(b.q3_mean(v, &empty).is_none());
     }
 }

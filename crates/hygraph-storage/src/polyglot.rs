@@ -8,7 +8,7 @@
 use crate::backend::{DayAgg, StorageBackend};
 use hygraph_datagen::bike::BikeDataset;
 use hygraph_graph::TemporalGraph;
-use hygraph_ts::store::AggKind;
+use hygraph_ts::store::{AggKind, Summary};
 use hygraph_ts::TsStore;
 use hygraph_types::bytes::{ByteReader, ByteWriter};
 use hygraph_types::parallel::auto_parallel;
@@ -188,8 +188,13 @@ impl StorageBackend for PolyglotStore {
         out
     }
 
-    fn q3_mean(&self, station: VertexId, iv: &Interval) -> Option<f64> {
-        self.ts.aggregate(self.sid(station)?, iv, AggKind::Mean)
+    fn series_summary(&self, station: VertexId, iv: &Interval) -> Summary {
+        // chunk-pruned: fully-covered chunks contribute their precomputed
+        // summaries, only boundary chunks are scanned
+        match self.sid(station) {
+            Some(sid) => self.ts.summarize(sid, iv),
+            None => Summary::new(),
+        }
     }
 
     fn q4_mean_all(&self, iv: &Interval) -> Vec<(VertexId, f64)> {
@@ -375,6 +380,57 @@ mod tests {
             poly.q8_sustained_below(&week, 18.0, 4),
             aig.q8_sustained_below(&week, 18.0, 4)
         );
+    }
+
+    /// The pushdown hook agrees across the chunk-summary fast path
+    /// (polyglot), the property-scan override (all-in-graph), and an
+    /// explicit fold over the raw range — on both chunk-aligned and
+    /// boundary-straddling intervals.
+    #[test]
+    fn series_summary_agrees_across_backends() {
+        let d = tiny();
+        let poly = PolyglotStore::load(&d);
+        let aig = AllInGraphStore::load(&d);
+        let intervals = [
+            // aligned: whole chunks, exercises the precomputed-summary path
+            Interval::new(d.start, d.start + Duration::from_days(1)),
+            // straddles chunk boundaries on both sides
+            Interval::new(
+                d.start + Duration::from_hours(5),
+                d.start + Duration::from_hours(40),
+            ),
+            Interval::new(d.start, d.end),
+            // empty
+            Interval::new(d.start, d.start),
+        ];
+        for &s in &d.stations {
+            for iv in &intervals {
+                let p = poly.series_summary(s, iv);
+                let a = aig.series_summary(s, iv);
+                let folded = {
+                    let mut acc = hygraph_ts::store::Summary::new();
+                    for (_, v) in poly.q1_range(s, iv) {
+                        acc.add(v);
+                    }
+                    acc
+                };
+                for (got, name) in [(p, "polyglot"), (a, "all-in-graph")] {
+                    assert_eq!(got.count, folded.count, "{name} count over {iv:?}");
+                    assert!(
+                        (got.sum - folded.sum).abs() < 1e-6,
+                        "{name} sum over {iv:?}"
+                    );
+                    if folded.count > 0 {
+                        assert_eq!(got.min, folded.min, "{name} min over {iv:?}");
+                        assert_eq!(got.max, folded.max, "{name} max over {iv:?}");
+                    }
+                }
+            }
+        }
+        // missing station → empty summary on both
+        let ghost = VertexId::new(999);
+        assert_eq!(poly.series_summary(ghost, &Interval::ALL).count, 0);
+        assert_eq!(aig.series_summary(ghost, &Interval::ALL).count, 0);
     }
 
     #[test]

@@ -7,36 +7,69 @@
 //! Xarray uses in the paper's Python prototype.
 
 use crate::series::TimeSeries;
+use crate::store::Summary;
 use hygraph_types::{HyGraphError, Interval, Result, Timestamp};
 use std::fmt;
 
+/// Rows per precomputed summary block (see [`MultiSeries::summarize`]).
+pub const SUMMARY_BLOCK: usize = 512;
+
 /// A multivariate time series: one time axis, `k` named variables.
-#[derive(Clone, Default, PartialEq)]
+///
+/// Alongside the raw columns the series maintains per-column summary
+/// blocks — one incrementally-updated [`Summary`] per [`SUMMARY_BLOCK`]
+/// rows — so interval aggregates via [`Self::summarize`] cost
+/// O(blocks touched) instead of O(rows in range). The blocks are derived
+/// data: they never participate in equality or serialization.
+#[derive(Clone, Default)]
 pub struct MultiSeries {
     times: Vec<Timestamp>,
     names: Vec<String>,
     columns: Vec<Vec<f64>>,
+    block_sums: Vec<Vec<Summary>>,
+}
+
+impl PartialEq for MultiSeries {
+    fn eq(&self, other: &Self) -> bool {
+        // block_sums is derived from the other fields, so it is excluded
+        self.times == other.times && self.names == other.names && self.columns == other.columns
+    }
 }
 
 impl MultiSeries {
     /// An empty multivariate series with the given variable names.
     pub fn new(names: impl IntoIterator<Item = impl Into<String>>) -> Self {
         let names: Vec<String> = names.into_iter().map(Into::into).collect();
-        let columns = names.iter().map(|_| Vec::new()).collect();
+        let columns: Vec<Vec<f64>> = names.iter().map(|_| Vec::new()).collect();
+        let block_sums = names.iter().map(|_| Vec::new()).collect();
         Self {
             times: Vec::new(),
             names,
             columns,
+            block_sums,
         }
+    }
+
+    /// Rebuilds every summary block from the raw columns (bulk
+    /// constructors; `push` maintains them incrementally).
+    fn rebuild_blocks(&mut self) {
+        self.block_sums = self
+            .columns
+            .iter()
+            .map(|col| col.chunks(SUMMARY_BLOCK).map(Summary::of).collect())
+            .collect();
     }
 
     /// Wraps a single univariate series as a 1-column multivariate one.
     pub fn from_univariate(name: impl Into<String>, s: &TimeSeries) -> Self {
-        Self {
+        let mut m = Self {
             times: s.times().to_vec(),
             names: vec![name.into()],
             columns: vec![s.values().to_vec()],
-        }
+            block_sums: Vec::new(),
+        };
+        m.rebuild_blocks();
+        m
     }
 
     /// Builds from already-aligned univariate series (all must share the
@@ -60,11 +93,14 @@ impl MultiSeries {
             columns.push(s.values().to_vec());
         }
         let times = times.ok_or(HyGraphError::EmptyInput("MultiSeries::from_aligned"))?;
-        Ok(Self {
+        let mut m = Self {
             times,
             names,
             columns,
-        })
+            block_sums: Vec::new(),
+        };
+        m.rebuild_blocks();
+        Ok(m)
     }
 
     /// Number of observations (length of the time axis).
@@ -125,8 +161,13 @@ impl MultiSeries {
             }
         }
         self.times.push(t);
-        for (col, &v) in self.columns.iter_mut().zip(y) {
+        let block = (self.times.len() - 1) / SUMMARY_BLOCK;
+        for ((col, blocks), &v) in self.columns.iter_mut().zip(&mut self.block_sums).zip(y) {
             col.push(v);
+            if blocks.len() <= block {
+                blocks.push(Summary::new());
+            }
+            blocks[block].add(v);
         }
         Ok(())
     }
@@ -159,11 +200,46 @@ impl MultiSeries {
     pub fn slice(&self, interval: &Interval) -> MultiSeries {
         let lo = self.times.partition_point(|&t| t < interval.start);
         let hi = self.times.partition_point(|&t| t < interval.end);
-        MultiSeries {
+        let mut m = MultiSeries {
             times: self.times[lo..hi].to_vec(),
             names: self.names.clone(),
             columns: self.columns.iter().map(|c| c[lo..hi].to_vec()).collect(),
+            block_sums: Vec::new(),
+        };
+        m.rebuild_blocks();
+        m
+    }
+
+    /// Summary of one column's values inside `interval`, served from the
+    /// precomputed summary blocks: fully-covered blocks merge their
+    /// incremental [`Summary`] in O(1), only the (at most two) boundary
+    /// blocks are scanned. `None` when `col` is out of bounds; an empty
+    /// range yields an empty summary (count 0).
+    ///
+    /// This is the one aggregate kernel shared by every query-execution
+    /// path, so interpreter and planner results are bit-identical by
+    /// construction.
+    pub fn summarize(&self, interval: &Interval, col: usize) -> Option<Summary> {
+        let column = self.columns.get(col)?;
+        let blocks = &self.block_sums[col];
+        let lo = self.times.partition_point(|&t| t < interval.start);
+        let hi = self.times.partition_point(|&t| t < interval.end);
+        let mut acc = Summary::new();
+        let mut i = lo;
+        while i < hi {
+            let b = i / SUMMARY_BLOCK;
+            let bstart = b * SUMMARY_BLOCK;
+            let bend = (bstart + SUMMARY_BLOCK).min(column.len());
+            if i == bstart && bend <= hi {
+                acc.merge(&blocks[b]);
+            } else {
+                for &v in &column[i..hi.min(bend)] {
+                    acc.add(v);
+                }
+            }
+            i = bend;
         }
+        Some(acc)
     }
 
     /// Adds a new variable column aligned to the existing time axis.
@@ -174,6 +250,8 @@ impl MultiSeries {
                 got: values.len(),
             });
         }
+        self.block_sums
+            .push(values.chunks(SUMMARY_BLOCK).map(Summary::of).collect());
         self.names.push(name.into());
         self.columns.push(values);
         Ok(())
@@ -305,5 +383,59 @@ mod tests {
         let rows: Vec<_> = m.iter_rows().collect();
         assert_eq!(rows[0], (ts(10), vec![100.0, 5.0]));
         assert_eq!(rows[2], (ts(30), vec![99.5, 2.0]));
+    }
+
+    #[test]
+    fn summarize_small_series_matches_scan() {
+        let m = sample();
+        let s = m.summarize(&Interval::new(ts(15), ts(35)), 0).unwrap();
+        let want = Summary::of(&[101.0, 99.5]);
+        assert_eq!(s.count, want.count);
+        assert_eq!(s.sum.to_bits(), want.sum.to_bits());
+        assert_eq!(s.min, want.min);
+        assert_eq!(s.max, want.max);
+        // empty range: empty summary, not None
+        let empty = m.summarize(&Interval::new(ts(100), ts(200)), 0).unwrap();
+        assert_eq!(empty.count, 0);
+        // out-of-bounds column
+        assert!(m.summarize(&Interval::ALL, 9).is_none());
+    }
+
+    #[test]
+    fn summarize_uses_blocks_across_many_rows() {
+        // > 2 blocks so full-block merges, boundary scans, and the
+        // incremental push path all get exercised; integer values keep
+        // the merged sum exact
+        let mut m = MultiSeries::new(["v"]);
+        let n = 3 * SUMMARY_BLOCK + 77;
+        for i in 0..n {
+            m.push(ts(i as i64), &[(i % 13) as f64]).unwrap();
+        }
+        for (lo, hi) in [(0, n), (100, 600), (511, 513), (0, 512), (700, 701)] {
+            let s = m
+                .summarize(&Interval::new(ts(lo as i64), ts(hi as i64)), 0)
+                .unwrap();
+            let want = Summary::of(&m.column(0).unwrap()[lo..hi]);
+            assert_eq!(s.count, want.count, "[{lo},{hi})");
+            assert_eq!(s.sum, want.sum, "[{lo},{hi})");
+            assert_eq!(s.min, want.min, "[{lo},{hi})");
+            assert_eq!(s.max, want.max, "[{lo},{hi})");
+        }
+        // blocks follow every constructor, not just push
+        let sliced = m.slice(&Interval::new(ts(10), ts(1500)));
+        let s = sliced.summarize(&Interval::ALL, 0).unwrap();
+        assert_eq!(s.count, 1490);
+    }
+
+    #[test]
+    fn equality_ignores_derived_blocks() {
+        // same data built two ways (bulk vs incremental) compares equal
+        let series = TimeSeries::generate(ts(0), Duration::from_millis(10), 50, |i| i as f64);
+        let bulk = MultiSeries::from_univariate("v", &series);
+        let mut inc = MultiSeries::new(["v"]);
+        for (t, v) in series.iter() {
+            inc.push(t, &[v]).unwrap();
+        }
+        assert_eq!(bulk, inc);
     }
 }

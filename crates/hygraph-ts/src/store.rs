@@ -38,15 +38,22 @@ pub enum AggKind {
 }
 
 impl AggKind {
-    /// Parses an aggregate name as used in HyQL (`mean`, `avg`, ...).
-    pub fn parse(s: &str) -> Option<AggKind> {
-        Some(match s.to_ascii_lowercase().as_str() {
+    /// Parses an aggregate name as used in HyQL (`mean`, `avg`, ...),
+    /// case-insensitively. Unknown names are a typed error listing the
+    /// valid kinds, so typos surface at the HyQL layer instead of being
+    /// swallowed as `None`.
+    pub fn parse(s: &str) -> Result<AggKind> {
+        Ok(match s.to_ascii_lowercase().as_str() {
             "count" => AggKind::Count,
             "sum" => AggKind::Sum,
             "mean" | "avg" => AggKind::Mean,
             "min" => AggKind::Min,
             "max" => AggKind::Max,
-            _ => return None,
+            _ => {
+                return Err(HyGraphError::invalid(format!(
+                    "unknown aggregate kind '{s}' (valid: count, sum, mean, avg, min, max)"
+                )))
+            }
         })
     }
 }
@@ -706,10 +713,12 @@ mod tests {
 
     #[test]
     fn agg_kind_parse() {
-        assert_eq!(AggKind::parse("AVG"), Some(AggKind::Mean));
-        assert_eq!(AggKind::parse("mean"), Some(AggKind::Mean));
-        assert_eq!(AggKind::parse("count"), Some(AggKind::Count));
-        assert_eq!(AggKind::parse("median"), None);
+        assert_eq!(AggKind::parse("AVG").unwrap(), AggKind::Mean);
+        assert_eq!(AggKind::parse("mean").unwrap(), AggKind::Mean);
+        assert_eq!(AggKind::parse("count").unwrap(), AggKind::Count);
+        let err = AggKind::parse("median").unwrap_err().to_string();
+        assert!(err.contains("median"), "error names the typo: {err}");
+        assert!(err.contains("valid:"), "error lists valid kinds: {err}");
     }
 
     #[test]
