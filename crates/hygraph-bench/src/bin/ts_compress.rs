@@ -1,0 +1,227 @@
+//! Columnar-compression + rollup-pyramid benchmark for the chunked TS
+//! store.
+//!
+//! Builds the Table-1 bike corpus twice — once with `HYGRAPH_TS_COMPRESS`
+//! semantics on (cold chunks sealed into delta-of-delta / Gorilla-XOR
+//! blocks) and once fully plain — then runs the TS-aggregate query class
+//! through three access paths per store:
+//!
+//! * **scan** — fold every raw value in range (the pre-chunk-summary
+//!   baseline, what the all-in-graph layout is stuck with);
+//! * **chunksum** — [`TsStore::summarize_naive`]: per-chunk precomputed
+//!   summaries, boundary chunks scanned (the pre-pyramid path);
+//! * **pyramid** — [`TsStore::summarize`]: O(F·log n) rollup-pyramid
+//!   node merges plus at most two boundary-chunk decodes.
+//!
+//! Every query is equivalence-gated before timing: all paths on both
+//! stores must agree (count/min/max exactly, sum to 1e-9 relative;
+//! compressed vs plain bit-identical). Emits `BENCH_PR6.json`
+//! (override with `BENCH_PR6_JSON=<path>`) including the compression
+//! ratio on the datagen corpus.
+//!
+//! Run with: `cargo run --release -p hygraph-bench --bin ts_compress [--scale small|medium|large]`
+
+use hygraph_bench::{time_stats, Scale};
+use hygraph_datagen::bike::{generate, BikeConfig};
+use hygraph_ts::store::Summary;
+use hygraph_ts::{TsOptions, TsStore};
+use hygraph_types::{Duration, Interval, SeriesId, Timestamp};
+
+/// Builds one store over the whole corpus; `compress` selects the
+/// storage option, and compressing stores get the bulk-load epilogue
+/// (`seal_all`) exactly like `PolyglotStore::load`.
+fn build_store(avail: &[hygraph_ts::TimeSeries], compress: bool) -> TsStore {
+    let mut st = TsStore::with_options(
+        Duration::from_days(1),
+        TsOptions::default().compress(compress),
+    );
+    for (i, s) in avail.iter().enumerate() {
+        st.insert_series(SeriesId::new(i as u64), s);
+    }
+    st.seal_all();
+    st
+}
+
+/// The raw-value fold baseline.
+fn scan_summary(st: &TsStore, id: SeriesId, iv: &Interval) -> Summary {
+    let mut acc = Summary::new();
+    st.scan(id, iv, |_, v| acc.add(v));
+    acc
+}
+
+fn assert_close(a: &Summary, b: &Summary, what: &str) {
+    assert_eq!(a.count, b.count, "{what}: count");
+    if a.count > 0 {
+        assert_eq!(a.min, b.min, "{what}: min");
+        assert_eq!(a.max, b.max, "{what}: max");
+        let scale = b.sum.abs().max(1.0);
+        assert!(
+            ((a.sum - b.sum) / scale).abs() < 1e-9,
+            "{what}: sum {} vs {}",
+            a.sum,
+            b.sum
+        );
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (stations, days, tick_mins, runs) = match scale {
+        Scale::Small => (24, 14, 15, 8),
+        Scale::Medium => (120, 60, 5, 20),
+        Scale::Large => (300, 120, 5, 12),
+    };
+    let dataset = generate(BikeConfig {
+        stations,
+        days,
+        tick: Duration::from_mins(tick_mins),
+        avg_degree: 4,
+        seed: 47,
+    });
+    let points: usize = dataset.availability.iter().map(|s| s.len()).sum();
+    println!(
+        "ts_compress benchmark — bike corpus: {stations} stations × {days} days @ {tick_mins}min \
+         = {points} points; {runs} runs/query\n"
+    );
+
+    let compressed = build_store(&dataset.availability, true);
+    let plain = build_store(&dataset.availability, false);
+    let ids: Vec<SeriesId> = (0..stations as u64).map(SeriesId::new).collect();
+
+    let stats = compressed.compression_stats();
+    let ratio = stats.ratio();
+    println!(
+        "compression: {} sealed chunks, {} -> {} bytes ({ratio:.2}x)",
+        stats.sealed_chunks, stats.raw_bytes, stats.compressed_bytes
+    );
+    assert!(
+        ratio >= 2.0,
+        "compression ratio gate: expected >= 2x on the datagen corpus, got {ratio:.2}x"
+    );
+    assert_eq!(plain.compression_stats().sealed_chunks, 0);
+
+    // the TS-aggregate query class: wide windows where precomputed
+    // summaries can shine; misaligned ones force boundary decodes
+    let day = Duration::from_days(1);
+    let (start, end) = (dataset.start, dataset.end);
+    let windows: Vec<(&str, Interval)> = vec![
+        ("full_history", Interval::new(start, end)),
+        (
+            "aligned_span",
+            Interval::new(start + day, end - day), // chunk-aligned both sides
+        ),
+        (
+            "misaligned_wide",
+            // cuts through sealed chunks on both sides
+            Interval::new(
+                start + Duration::from_hours(5),
+                end - Duration::from_hours(7),
+            ),
+        ),
+        (
+            "recent_half",
+            Interval::new(
+                Timestamp::from_millis((start.millis() + end.millis()) / 2 + 3_600_123),
+                end,
+            ),
+        ),
+    ];
+
+    // equivalence gate: every path on both stores agrees per (series, window)
+    for (name, iv) in &windows {
+        for &id in &ids {
+            let reference = scan_summary(&plain, id, iv);
+            assert_close(&plain.summarize_naive(id, iv), &reference, name);
+            assert_close(&plain.summarize(id, iv), &reference, name);
+            assert_close(&compressed.summarize_naive(id, iv), &reference, name);
+            let (c, p) = (compressed.summarize(id, iv), plain.summarize(id, iv));
+            assert_close(&c, &reference, name);
+            assert_eq!(
+                c.sum.to_bits(),
+                p.sum.to_bits(),
+                "{name}: compressed and plain stores must agree bit-for-bit"
+            );
+        }
+    }
+    println!("equivalence gate passed: all paths agree on every (series, window)\n");
+
+    println!(
+        "{:<16} {:>11} {:>12} {:>11} {:>10} {:>10}",
+        "window", "scan ms", "chunksum ms", "pyramid ms", "vs scan", "vs chunks"
+    );
+    let mut entries = Vec::new();
+    let mut speedups_vs_scan = Vec::new();
+    for (name, iv) in &windows {
+        let warmup = (runs / 4).max(2);
+        for _ in 0..warmup {
+            std::hint::black_box(
+                ids.iter()
+                    .map(|&id| compressed.summarize(id, iv).count)
+                    .sum::<u64>(),
+            );
+        }
+        // scan and chunksum run on the plain store (scan on compressed
+        // would charge decompression to the baseline); pyramid runs on
+        // the compressed store — the shipped configuration
+        let (scan_ms, scan_cv) = time_stats(runs, || {
+            ids.iter()
+                .map(|&id| scan_summary(&plain, id, iv).sum)
+                .sum::<f64>()
+        });
+        let (chunk_ms, _) = time_stats(runs, || {
+            ids.iter()
+                .map(|&id| plain.summarize_naive(id, iv).sum)
+                .sum::<f64>()
+        });
+        let (pyr_ms, pyr_cv) = time_stats(runs, || {
+            ids.iter()
+                .map(|&id| compressed.summarize(id, iv).sum)
+                .sum::<f64>()
+        });
+        let vs_scan = scan_ms / pyr_ms.max(1e-9);
+        let vs_chunk = chunk_ms / pyr_ms.max(1e-9);
+        speedups_vs_scan.push(vs_scan);
+        println!(
+            "{name:<16} {scan_ms:>11.3} {chunk_ms:>12.3} {pyr_ms:>11.3} {vs_scan:>9.2}x {vs_chunk:>9.2}x"
+        );
+        entries.push(format!(
+            "  {{\"window\": \"{name}\", \"scan_ms\": {scan_ms:.4}, \"scan_cv_pct\": {scan_cv:.1}, \
+             \"chunksum_ms\": {chunk_ms:.4}, \"pyramid_ms\": {pyr_ms:.4}, \
+             \"pyramid_cv_pct\": {pyr_cv:.1}, \"speedup_vs_scan\": {vs_scan:.3}, \
+             \"speedup_vs_chunksum\": {vs_chunk:.3}}}"
+        ));
+    }
+
+    let geo_mean = (speedups_vs_scan.iter().map(|s| s.ln()).sum::<f64>()
+        / speedups_vs_scan.len().max(1) as f64)
+        .exp();
+    println!("\nTS-aggregate class: geometric-mean speedup (pyramid vs scan) {geo_mean:.2}x");
+    if matches!(scale, Scale::Small) {
+        if geo_mean < 3.0 {
+            eprintln!(
+                "warning: geo-mean {geo_mean:.2}x below the 3x gate at smoke scale \
+                 (expected — windows are tiny); the gate is enforced at medium+"
+            );
+        }
+    } else {
+        assert!(
+            geo_mean >= 3.0,
+            "speedup gate: expected >= 3x geo-mean over the scan path, got {geo_mean:.2}x"
+        );
+    }
+
+    let json = format!(
+        "{{\n\"bench\": \"ts_compress\",\n\"scale\": \"{scale:?}\",\n\"runs\": {runs},\n\
+         \"stations\": {stations},\n\"days\": {days},\n\"points\": {points},\n\
+         \"sealed_chunks\": {},\n\"raw_bytes\": {},\n\"compressed_bytes\": {},\n\
+         \"compression_ratio\": {ratio:.3},\n\"geo_mean_speedup_vs_scan\": {geo_mean:.3},\n\
+         \"windows\": [\n{}\n]\n}}\n",
+        stats.sealed_chunks,
+        stats.raw_bytes,
+        stats.compressed_bytes,
+        entries.join(",\n")
+    );
+    let path = std::env::var("BENCH_PR6_JSON").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
+    std::fs::write(&path, json).expect("write bench json");
+    println!("wrote {path}");
+}

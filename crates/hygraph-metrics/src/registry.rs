@@ -16,8 +16,9 @@ use crate::slow::{SlowQueryEntry, SlowQueryLog};
 /// Magic version byte leading every encoded [`Snapshot`].
 ///
 /// Version 2 added the plan-cache counters, the per-physical-operator
-/// group, and the plan fingerprint on slow-query entries.
-const SNAPSHOT_VERSION: u8 = 2;
+/// group, and the plan fingerprint on slow-query entries. Version 3
+/// added the time-series compression gauges and rollup counters.
+const SNAPSHOT_VERSION: u8 = 3;
 
 // ---------------------------------------------------------------------
 // Operator taxonomy
@@ -256,6 +257,16 @@ pub struct TsMetrics {
     pub inserts: Counter,
     /// Observations inserted.
     pub points_inserted: Counter,
+    /// Precomputed rollup-pyramid nodes merged by interval aggregates.
+    pub rollup_hits: Counter,
+    /// Sealed boundary chunks an aggregate had to decode and scan.
+    pub rollup_boundary_decodes: Counter,
+    /// Chunks currently sealed (compressed) across all stores.
+    pub sealed_chunks: Gauge,
+    /// Uncompressed size of the sealed data (bytes).
+    pub raw_bytes: Gauge,
+    /// Compressed size of the sealed data (bytes).
+    pub compressed_bytes: Gauge,
 }
 
 /// The process-wide instrument tree (see [`crate::get`]).
@@ -347,6 +358,11 @@ impl Registry {
             ts: TsSnapshot {
                 inserts: self.ts.inserts.get(),
                 points_inserted: self.ts.points_inserted.get(),
+                rollup_hits: self.ts.rollup_hits.get(),
+                rollup_boundary_decodes: self.ts.rollup_boundary_decodes.get(),
+                sealed_chunks: self.ts.sealed_chunks.get(),
+                raw_bytes: self.ts.raw_bytes.get(),
+                compressed_bytes: self.ts.compressed_bytes.get(),
             },
             slow_queries,
             slow_dropped,
@@ -478,6 +494,16 @@ pub struct TsSnapshot {
     pub inserts: u64,
     /// See [`TsMetrics::points_inserted`].
     pub points_inserted: u64,
+    /// See [`TsMetrics::rollup_hits`].
+    pub rollup_hits: u64,
+    /// See [`TsMetrics::rollup_boundary_decodes`].
+    pub rollup_boundary_decodes: u64,
+    /// See [`TsMetrics::sealed_chunks`].
+    pub sealed_chunks: i64,
+    /// See [`TsMetrics::raw_bytes`].
+    pub raw_bytes: i64,
+    /// See [`TsMetrics::compressed_bytes`].
+    pub compressed_bytes: i64,
 }
 
 /// A full point-in-time copy of the registry: what the `Stats` wire
@@ -685,6 +711,11 @@ impl Snapshot {
 
         out.extend_from_slice(&self.ts.inserts.to_le_bytes());
         out.extend_from_slice(&self.ts.points_inserted.to_le_bytes());
+        out.extend_from_slice(&self.ts.rollup_hits.to_le_bytes());
+        out.extend_from_slice(&self.ts.rollup_boundary_decodes.to_le_bytes());
+        out.extend_from_slice(&self.ts.sealed_chunks.to_le_bytes());
+        out.extend_from_slice(&self.ts.raw_bytes.to_le_bytes());
+        out.extend_from_slice(&self.ts.compressed_bytes.to_le_bytes());
 
         out.extend_from_slice(&(self.slow_queries.len() as u32).to_le_bytes());
         for e in &self.slow_queries {
@@ -766,6 +797,11 @@ impl Snapshot {
         let ts = TsSnapshot {
             inserts: r.u64()?,
             points_inserted: r.u64()?,
+            rollup_hits: r.u64()?,
+            rollup_boundary_decodes: r.u64()?,
+            sealed_chunks: r.i64()?,
+            raw_bytes: r.i64()?,
+            compressed_bytes: r.i64()?,
         };
         let n_slow = r.u32()? as usize;
         if n_slow > 1 << 20 {
@@ -871,6 +907,11 @@ impl Snapshot {
         }
         counter("hygraph_ts_inserts_total", self.ts.inserts);
         counter("hygraph_ts_points_inserted_total", self.ts.points_inserted);
+        counter("hygraph_ts_rollup_hits_total", self.ts.rollup_hits);
+        counter(
+            "hygraph_ts_rollup_boundary_decodes_total",
+            self.ts.rollup_boundary_decodes,
+        );
         counter("hygraph_slow_queries_dropped_total", self.slow_dropped);
 
         let mut gauge = |name: &str, v: i64| {
@@ -879,6 +920,9 @@ impl Snapshot {
         gauge("hygraph_server_queue_depth", s.queue_depth);
         gauge("hygraph_server_workers_busy", s.workers_busy);
         gauge("hygraph_server_connections", s.connections);
+        gauge("hygraph_ts_sealed_chunks", self.ts.sealed_chunks);
+        gauge("hygraph_ts_raw_bytes", self.ts.raw_bytes);
+        gauge("hygraph_ts_compressed_bytes", self.ts.compressed_bytes);
 
         let mut summary = |name: &str, h: &HistogramSnapshot| {
             let _ = writeln!(out, "# TYPE {name} summary");
@@ -965,6 +1009,11 @@ mod tests {
         r.query.operator(PlanOp::Match).time_us.observe(85);
         r.query.operator(PlanOp::Sort).invocations.inc();
         r.ts.points_inserted.add(1_000);
+        r.ts.rollup_hits.add(64);
+        r.ts.rollup_boundary_decodes.add(2);
+        r.ts.sealed_chunks.set(12);
+        r.ts.raw_bytes.set(16_000);
+        r.ts.compressed_bytes.set(2_000);
         r.slow.record(
             "MATCH (n) RETURN n",
             Duration::from_millis(250),
@@ -1028,6 +1077,11 @@ mod tests {
             "hygraph_query_op_sort_total 1",
             "hygraph_query_op_match_us{quantile=\"0.5\"}",
             "hygraph_ts_points_inserted_total 1000",
+            "hygraph_ts_rollup_hits_total 64",
+            "hygraph_ts_rollup_boundary_decodes_total 2",
+            "hygraph_ts_sealed_chunks 12",
+            "hygraph_ts_raw_bytes 16000",
+            "hygraph_ts_compressed_bytes 2000",
             "# SLOW 250000us rows=42 fp=0xdeadbeefcafef00d MATCH (n) RETURN n",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");

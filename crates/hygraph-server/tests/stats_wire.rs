@@ -120,6 +120,72 @@ fn wire_snapshot_reencodes_byte_identically() {
     server.shutdown().expect("shutdown");
 }
 
+/// The TS compression gauges and rollup counters cross the wire: two
+/// `Stats` calls bracket a known chunk-store workload (the server
+/// shares this process's registry), and the deltas must match the
+/// store's own ground-truth [`compression_stats`] exactly.
+#[test]
+fn ts_compression_metrics_cross_the_wire() {
+    let _g = guard();
+    let server =
+        Server::serve(Backend::memory(HyGraph::new()), &config(2, 16, 5_000)).expect("serve");
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+
+    let before = c.stats().expect("stats before");
+
+    // a compressing chunk store: 12 chunks → 11 sealed behind the head,
+    // then summarize wide intervals to drive the rollup path
+    use hygraph_ts::{TsOptions, TsStore};
+    use hygraph_types::{Interval, SeriesId, Timestamp};
+    let mut st = TsStore::with_options(
+        hygraph_types::Duration::from_millis(100),
+        TsOptions::default().compress(true).rollup_fanout(4),
+    );
+    let id = SeriesId::new(1);
+    for i in 0..120 {
+        st.insert(id, Timestamp::from_millis(i * 10), (i % 7) as f64);
+    }
+    let wide = Interval::new(Timestamp::from_millis(5), Timestamp::from_millis(1_195));
+    let s = st.summarize(id, &wide);
+    assert!(s.count > 0);
+
+    let after = c.stats().expect("stats after");
+    let ground_truth = st.compression_stats();
+    assert_eq!(
+        after.ts.sealed_chunks - before.ts.sealed_chunks,
+        ground_truth.sealed_chunks as i64,
+        "sealed-chunk gauge delta matches the store"
+    );
+    assert_eq!(
+        after.ts.raw_bytes - before.ts.raw_bytes,
+        ground_truth.raw_bytes as i64,
+        "raw-bytes gauge delta matches the store"
+    );
+    assert_eq!(
+        after.ts.compressed_bytes - before.ts.compressed_bytes,
+        ground_truth.compressed_bytes as i64,
+        "compressed-bytes gauge delta matches the store"
+    );
+    assert!(
+        after.ts.rollup_hits > before.ts.rollup_hits,
+        "the wide summarize merged precomputed pyramid nodes"
+    );
+    assert!(
+        after.ts.rollup_boundary_decodes > before.ts.rollup_boundary_decodes,
+        "both interval boundaries cut through sealed chunks"
+    );
+    // and the extended snapshot still round-trips its codec
+    let bytes = after.to_bytes();
+    let decoded = Snapshot::from_bytes(&bytes).expect("decode");
+    assert_eq!(decoded.ts.sealed_chunks, after.ts.sealed_chunks);
+    assert_eq!(decoded.ts.rollup_hits, after.ts.rollup_hits);
+
+    // undo this test's gauge contributions so other bracketing tests in
+    // this binary keep seeing clean deltas
+    let _ = st.drop_series(id);
+    server.shutdown().expect("shutdown");
+}
+
 /// Requests that sit out their deadline while the server drains are
 /// answered-but-not-executed; the shutdown report tallies them.
 #[test]

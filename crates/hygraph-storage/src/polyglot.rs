@@ -55,6 +55,10 @@ impl PolyglotStore {
             ts.insert_series(sid, &dataset.availability[i]);
             series_of.insert(station, sid);
         }
+        // bulk-load epilogue: the corpus is historical, so compress it
+        // all now instead of leaving each head chunk plain (no-op when
+        // HYGRAPH_TS_COMPRESS is off)
+        ts.seal_all();
         Self {
             graph: dataset.graph.clone(),
             ts,
@@ -314,6 +318,15 @@ mod tests {
             3,
             "one chunk per day"
         );
+        // bulk load ends with seal_all: every chunk is compressed
+        // (unless the knob turned compression off for this process)
+        let stats = store.ts_store().compression_stats();
+        if store.ts_store().options().compress {
+            assert_eq!(stats.sealed_chunks, 6 * 3, "all chunks sealed");
+            assert!(stats.compressed_bytes < stats.raw_bytes);
+        } else {
+            assert_eq!(stats.sealed_chunks, 0);
+        }
     }
 
     /// The load-bearing equivalence: both backends answer every query

@@ -1,0 +1,435 @@
+//! Columnar compression for sealed time-series chunks.
+//!
+//! A sealed chunk stores its two columns in the formats dedicated TSDBs
+//! (Gorilla, TimescaleDB's compressed hypertables) converged on:
+//!
+//! * **Timestamps** — delta-of-delta varints. The first timestamp is
+//!   stored as its offset from the chunk key, the second as a plain
+//!   delta, and every later one as the zigzag-encoded *change* of the
+//!   delta. Regular ticks (the common case for sensor feeds) collapse
+//!   to one byte per point.
+//! * **Values** — Gorilla-style XOR bit-packing. Each value is XORed
+//!   with its predecessor; a zero XOR costs one bit, and non-zero XORs
+//!   reuse the previous leading/trailing-zero window when they fit.
+//!   The codec operates on raw `u64` bit patterns, so every `f64` —
+//!   NaN payloads, `-0.0`, infinities, denormals — round-trips
+//!   bit-identically.
+//!
+//! Encoding is canonical: the byte streams are a pure function of the
+//! `(times, values)` columns, which the persistence layer relies on for
+//! its exact re-encode property.
+
+use hygraph_types::bytes::{ByteReader, ByteWriter};
+use hygraph_types::{HyGraphError, Result, Timestamp};
+
+/// Cap on the leading-zero count we encode (5 bits in the header).
+/// Larger counts are clamped; the extra zeros ride along as meaningful
+/// bits, which costs space but never correctness.
+const MAX_LEADING: u32 = 31;
+
+/// Append-only MSB-first bit buffer.
+#[derive(Clone, Debug, Default)]
+struct BitWriter {
+    bytes: Vec<u8>,
+    /// Total bits written (the final byte may be partially filled).
+    bits: u64,
+}
+
+impl BitWriter {
+    fn write_bit(&mut self, bit: bool) {
+        let off = (self.bits % 8) as u8;
+        if off == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("byte just ensured");
+            *last |= 1 << (7 - off);
+        }
+        self.bits += 1;
+    }
+
+    /// Writes the low `n` bits of `v`, most significant first.
+    fn write_bits(&mut self, v: u64, n: u32) {
+        for i in (0..n).rev() {
+            self.write_bit((v >> i) & 1 == 1);
+        }
+    }
+}
+
+/// Bounds-checked MSB-first bit cursor over a byte slice.
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn read_bit(&mut self) -> Result<bool> {
+        let byte = (self.pos / 8) as usize;
+        if byte >= self.bytes.len() {
+            return Err(HyGraphError::corrupt("value bitstream truncated"));
+        }
+        let off = (self.pos % 8) as u8;
+        self.pos += 1;
+        Ok((self.bytes[byte] >> (7 - off)) & 1 == 1)
+    }
+
+    fn read_bits(&mut self, n: u32) -> Result<u64> {
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Ok(v)
+    }
+}
+
+/// A compressed, immutable chunk payload: both columns of one sealed
+/// time partition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SealedBlock {
+    n: usize,
+    /// Delta-of-delta varint stream for the time column.
+    ts_bytes: Vec<u8>,
+    /// Gorilla XOR bitstream for the value column.
+    val_bytes: Vec<u8>,
+    /// Meaningful bits in `val_bytes` (the tail of the last byte is
+    /// zero padding).
+    val_bits: u64,
+}
+
+impl SealedBlock {
+    /// Compresses the two columns of a chunk keyed at `base`.
+    ///
+    /// Requires `times` strictly increasing with `times[0] >= base`
+    /// (the chunk invariants) and `times.len() == values.len()`.
+    pub fn seal(base: Timestamp, times: &[Timestamp], values: &[f64]) -> SealedBlock {
+        assert_eq!(times.len(), values.len(), "column length mismatch");
+        // time column: offset, delta, then delta-of-delta
+        let mut tw = ByteWriter::new();
+        let mut prev = 0i64;
+        let mut prev_delta = 0i64;
+        for (i, t) in times.iter().enumerate() {
+            let ms = t.millis();
+            match i {
+                0 => {
+                    debug_assert!(ms >= base.millis(), "chunk time before chunk key");
+                    tw.u64((ms - base.millis()) as u64);
+                }
+                1 => {
+                    debug_assert!(ms > prev, "chunk times not strictly increasing");
+                    prev_delta = ms - prev;
+                    tw.u64(prev_delta as u64);
+                }
+                _ => {
+                    debug_assert!(ms > prev, "chunk times not strictly increasing");
+                    let delta = ms - prev;
+                    tw.i64(delta - prev_delta);
+                    prev_delta = delta;
+                }
+            }
+            prev = ms;
+        }
+        // value column: Gorilla XOR
+        let mut vw = BitWriter::default();
+        let mut prev_bits = 0u64;
+        let mut window: Option<(u32, u32)> = None; // (leading, trailing)
+        for (i, v) in values.iter().enumerate() {
+            let bits = v.to_bits();
+            if i == 0 {
+                vw.write_bits(bits, 64);
+            } else {
+                let xor = bits ^ prev_bits;
+                if xor == 0 {
+                    vw.write_bit(false);
+                } else {
+                    vw.write_bit(true);
+                    let lead = xor.leading_zeros().min(MAX_LEADING);
+                    let trail = xor.trailing_zeros();
+                    match window {
+                        Some((pl, pt)) if lead >= pl && trail >= pt => {
+                            // fits the previous window: '10' + bits
+                            vw.write_bit(false);
+                            let sig = 64 - pl - pt;
+                            vw.write_bits(xor >> pt, sig);
+                        }
+                        _ => {
+                            // new window: '11' + 5-bit lead + 6-bit (len-1)
+                            vw.write_bit(true);
+                            let sig = 64 - lead - trail;
+                            vw.write_bits(lead as u64, 5);
+                            vw.write_bits((sig - 1) as u64, 6);
+                            vw.write_bits(xor >> trail, sig);
+                            window = Some((lead, trail));
+                        }
+                    }
+                }
+            }
+            prev_bits = bits;
+        }
+        SealedBlock {
+            n: times.len(),
+            ts_bytes: tw.into_bytes(),
+            val_bytes: vw.bytes,
+            val_bits: vw.bits,
+        }
+    }
+
+    /// Decompresses both columns into the provided buffers (cleared
+    /// first). Errors — never panics — on any inconsistency, so blocks
+    /// reconstructed from untrusted checkpoint bytes can be validated
+    /// by decoding.
+    pub fn decode_into(
+        &self,
+        base: Timestamp,
+        times: &mut Vec<Timestamp>,
+        values: &mut Vec<f64>,
+    ) -> Result<()> {
+        times.clear();
+        values.clear();
+        times.reserve(self.n);
+        values.reserve(self.n);
+        // time column
+        let mut tr = ByteReader::new(&self.ts_bytes);
+        let mut prev = 0i64;
+        let mut delta = 0i64;
+        for i in 0..self.n {
+            let ms = match i {
+                0 => {
+                    let off = tr.u64()?;
+                    if off > i64::MAX as u64 {
+                        return Err(HyGraphError::corrupt("timestamp offset overflow"));
+                    }
+                    base.millis()
+                        .checked_add(off as i64)
+                        .ok_or_else(|| HyGraphError::corrupt("timestamp offset overflow"))?
+                }
+                1 => {
+                    let d = tr.u64()?;
+                    if d == 0 || d > i64::MAX as u64 {
+                        return Err(HyGraphError::corrupt("non-increasing timestamp delta"));
+                    }
+                    delta = d as i64;
+                    prev.checked_add(delta)
+                        .ok_or_else(|| HyGraphError::corrupt("timestamp delta overflow"))?
+                }
+                _ => {
+                    let dod = tr.i64()?;
+                    delta = delta
+                        .checked_add(dod)
+                        .ok_or_else(|| HyGraphError::corrupt("timestamp delta overflow"))?;
+                    if delta <= 0 {
+                        return Err(HyGraphError::corrupt("non-increasing timestamp delta"));
+                    }
+                    prev.checked_add(delta)
+                        .ok_or_else(|| HyGraphError::corrupt("timestamp delta overflow"))?
+                }
+            };
+            times.push(Timestamp::from_millis(ms));
+            prev = ms;
+        }
+        tr.expect_exhausted()?;
+        // value column
+        let mut vr = BitReader::new(&self.val_bytes);
+        let mut prev_bits = 0u64;
+        let mut window = (0u32, 0u32);
+        for i in 0..self.n {
+            let bits = if i == 0 {
+                vr.read_bits(64)?
+            } else if !vr.read_bit()? {
+                prev_bits
+            } else if !vr.read_bit()? {
+                let (lead, trail) = window;
+                let sig = 64 - lead - trail;
+                prev_bits ^ (vr.read_bits(sig)? << trail)
+            } else {
+                let lead = vr.read_bits(5)? as u32;
+                let sig = vr.read_bits(6)? as u32 + 1;
+                if lead + sig > 64 {
+                    return Err(HyGraphError::corrupt("XOR window exceeds 64 bits"));
+                }
+                let trail = 64 - lead - sig;
+                window = (lead, trail);
+                prev_bits ^ (vr.read_bits(sig)? << trail)
+            };
+            values.push(f64::from_bits(bits));
+            prev_bits = bits;
+        }
+        if vr.pos != self.val_bits || self.val_bits.div_ceil(8) != self.val_bytes.len() as u64 {
+            return Err(HyGraphError::corrupt("value bitstream length mismatch"));
+        }
+        Ok(())
+    }
+
+    /// Number of observations in the block.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Bytes occupied by the compressed column streams.
+    pub fn compressed_bytes(&self) -> usize {
+        self.ts_bytes.len() + self.val_bytes.len()
+    }
+
+    /// Bytes the same columns occupy uncompressed (`16n`: one `i64`
+    /// timestamp plus one `f64` value per observation).
+    pub fn raw_bytes(&self) -> usize {
+        self.n * 16
+    }
+
+    /// Serialises the block payload (used by the versioned chunk record
+    /// of the checkpoint codec).
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.len_of(self.n);
+        w.len_of(self.ts_bytes.len());
+        w.raw(&self.ts_bytes);
+        w.u64(self.val_bits);
+        w.len_of(self.val_bytes.len());
+        w.raw(&self.val_bytes);
+    }
+
+    /// Deserialises a block payload written by [`SealedBlock::encode`].
+    /// The streams are *not* validated here — callers decoding
+    /// untrusted bytes must follow up with [`SealedBlock::decode_into`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<SealedBlock> {
+        let n = r.len_of()?;
+        let ts_len = r.len_of()?;
+        let ts_bytes = r.raw(ts_len)?.to_vec();
+        let val_bits = r.u64()?;
+        let val_len = r.len_of()?;
+        let val_bytes = r.raw(val_len)?.to_vec();
+        Ok(SealedBlock {
+            n,
+            ts_bytes,
+            val_bytes,
+            val_bits,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn roundtrip(base: i64, times: &[i64], values: &[f64]) -> (Vec<Timestamp>, Vec<f64>) {
+        let times: Vec<Timestamp> = times.iter().copied().map(ts).collect();
+        let block = SealedBlock::seal(ts(base), &times, values);
+        let (mut t, mut v) = (Vec::new(), Vec::new());
+        block
+            .decode_into(ts(base), &mut t, &mut v)
+            .expect("decodes");
+        assert_eq!(t, times, "time column roundtrip");
+        assert_eq!(v.len(), values.len());
+        for (a, b) in v.iter().zip(values) {
+            assert_eq!(a.to_bits(), b.to_bits(), "value bits roundtrip");
+        }
+        (t, v)
+    }
+
+    #[test]
+    fn empty_and_single_point() {
+        roundtrip(0, &[], &[]);
+        roundtrip(100, &[100], &[1.5]);
+        roundtrip(100, &[137], &[f64::NAN]);
+    }
+
+    #[test]
+    fn regular_ticks_compress_well() {
+        let times: Vec<i64> = (0..500).map(|i| 1_000 + i * 60_000).collect();
+        let values: Vec<f64> = (0..500).map(|i| (i % 7) as f64).collect();
+        let blk = SealedBlock::seal(
+            ts(0),
+            &times.iter().copied().map(ts).collect::<Vec<_>>(),
+            &values,
+        );
+        roundtrip(0, &times, &values);
+        assert!(
+            blk.compressed_bytes() * 2 < blk.raw_bytes(),
+            "regular integer-valued ticks must compress >2x: {} vs {}",
+            blk.compressed_bytes(),
+            blk.raw_bytes()
+        );
+    }
+
+    #[test]
+    fn hostile_values_roundtrip_bit_exact() {
+        let values = [
+            0.0,
+            -0.0,
+            f64::NAN,
+            f64::from_bits(0x7ff8_0000_dead_beef), // NaN with payload
+            f64::from_bits(0xfff0_0000_0000_0001), // signalling-ish NaN
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            f64::from_bits(1), // smallest denormal
+            -f64::MIN_POSITIVE / 2.0,
+            f64::MAX,
+            f64::MIN,
+            1.0,
+            -1.0,
+            std::f64::consts::PI,
+        ];
+        let times: Vec<i64> = (0..values.len() as i64).map(|i| i * 3 + 1).collect();
+        roundtrip(0, &times, &values);
+    }
+
+    #[test]
+    fn irregular_gaps_roundtrip() {
+        let times = [5, 6, 100, 101, 102, 5_000_000, 5_000_001];
+        let values = [1.0, 1.0, 2.5, -2.5, 2.5, 0.125, 1e300];
+        roundtrip(0, &times, &values);
+    }
+
+    #[test]
+    fn negative_base_roundtrip() {
+        roundtrip(-1000, &[-999, -500, -2], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn payload_codec_is_canonical() {
+        let times: Vec<Timestamp> = (0..100).map(|i| ts(i * 17 + 3)).collect();
+        let values: Vec<f64> = (0..100).map(|i| ((i * 31) % 11) as f64 * 0.5).collect();
+        let blk = SealedBlock::seal(ts(0), &times, &values);
+        let mut w = ByteWriter::new();
+        blk.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = SealedBlock::decode(&mut r).expect("payload decodes");
+        r.expect_exhausted().expect("payload fully consumed");
+        assert_eq!(back, blk);
+        let mut w2 = ByteWriter::new();
+        back.encode(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes, "canonical re-encode");
+    }
+
+    #[test]
+    fn corrupt_payloads_error_not_panic() {
+        let times: Vec<Timestamp> = (0..10).map(|i| ts(i * 10)).collect();
+        let values: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let blk = SealedBlock::seal(ts(0), &times, &values);
+        let (mut t, mut v) = (Vec::new(), Vec::new());
+        // truncated value stream
+        let mut bad = blk.clone();
+        bad.val_bytes.pop();
+        assert!(bad.decode_into(ts(0), &mut t, &mut v).is_err());
+        // claimed count larger than the streams hold
+        let mut bad = blk.clone();
+        bad.n += 5;
+        assert!(bad.decode_into(ts(0), &mut t, &mut v).is_err());
+        // trailing garbage in the time stream
+        let mut bad = blk.clone();
+        bad.ts_bytes.push(0);
+        assert!(bad.decode_into(ts(0), &mut t, &mut v).is_err());
+        // bit-length disagreeing with the byte buffer
+        let mut bad = blk;
+        bad.val_bits += 8;
+        assert!(bad.decode_into(ts(0), &mut t, &mut v).is_err());
+    }
+}

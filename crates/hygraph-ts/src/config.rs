@@ -1,0 +1,108 @@
+//! Store-level tuning knobs for `hygraph-ts`.
+//!
+//! Two environment variables configure every store created through
+//! [`crate::TsStore::new`] / [`crate::TsStore::with_chunk_width`]:
+//!
+//! * `HYGRAPH_TS_COMPRESS` — seal cold chunks into compressed columnar
+//!   blocks (`1`/`on`/`true` to enable, `0`/`off`/`false` to disable;
+//!   default **on**). The active head chunk always stays plain, so the
+//!   append fast path is unaffected either way.
+//! * `HYGRAPH_TS_ROLLUP_FANOUT` — node fanout of the per-series rollup
+//!   pyramid (default [`crate::rollup::DEFAULT_FANOUT`], clamped to at
+//!   least 2). Fanout only changes constant factors, never results.
+//!
+//! Both are read once per process. Tests (and embedders that need
+//! explicit control) bypass the environment with
+//! [`crate::TsStore::with_options`].
+
+use crate::rollup::DEFAULT_FANOUT;
+use std::sync::OnceLock;
+
+/// Per-store storage options (see the module docs for the environment
+/// defaults).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TsOptions {
+    /// Whether cold (non-head) chunks are sealed into compressed
+    /// columnar blocks.
+    pub compress: bool,
+    /// Node fanout of the rollup pyramid (≥ 2).
+    pub rollup_fanout: usize,
+}
+
+impl Default for TsOptions {
+    fn default() -> Self {
+        Self {
+            compress: true,
+            rollup_fanout: DEFAULT_FANOUT,
+        }
+    }
+}
+
+fn parse_bool(raw: &str) -> Option<bool> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Some(true),
+        "0" | "false" | "off" | "no" => Some(false),
+        _ => None,
+    }
+}
+
+impl TsOptions {
+    /// The process-wide options: environment variables over defaults,
+    /// read once and cached.
+    pub fn from_env() -> Self {
+        static CACHE: OnceLock<TsOptions> = OnceLock::new();
+        *CACHE.get_or_init(|| {
+            let d = TsOptions::default();
+            let compress = std::env::var("HYGRAPH_TS_COMPRESS")
+                .ok()
+                .and_then(|v| parse_bool(&v))
+                .unwrap_or(d.compress);
+            let rollup_fanout = std::env::var("HYGRAPH_TS_ROLLUP_FANOUT")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .map_or(d.rollup_fanout, |f| f.max(2));
+            TsOptions {
+                compress,
+                rollup_fanout,
+            }
+        })
+    }
+
+    /// Returns the options with compression switched `on`/off.
+    pub fn compress(mut self, on: bool) -> Self {
+        self.compress = on;
+        self
+    }
+
+    /// Returns the options with the pyramid fanout set (clamped to 2).
+    pub fn rollup_fanout(mut self, fanout: usize) -> Self {
+        self.rollup_fanout = fanout.max(2);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_clamping() {
+        let o = TsOptions::default().compress(false).rollup_fanout(1);
+        assert!(!o.compress);
+        assert_eq!(o.rollup_fanout, 2, "fanout clamps to 2");
+        let o = o.compress(true).rollup_fanout(64);
+        assert!(o.compress);
+        assert_eq!(o.rollup_fanout, 64);
+    }
+
+    #[test]
+    fn bool_parsing() {
+        for s in ["1", "true", "ON", " yes "] {
+            assert_eq!(parse_bool(s), Some(true), "{s}");
+        }
+        for s in ["0", "False", "off", "NO"] {
+            assert_eq!(parse_bool(s), Some(false), "{s}");
+        }
+        assert_eq!(parse_bool("maybe"), None);
+    }
+}

@@ -21,12 +21,16 @@
 //! All operators are deterministic and allocation-conscious; range scans
 //! are binary-search based and chunk-pruned in the store.
 
+pub mod compress;
+pub mod config;
 pub mod multi;
 pub mod ops;
 pub mod persist;
+pub mod rollup;
 pub mod series;
 pub mod store;
 
+pub use config::TsOptions;
 pub use multi::MultiSeries;
 pub use series::TimeSeries;
 pub use store::TsStore;

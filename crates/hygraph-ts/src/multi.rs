@@ -6,6 +6,8 @@
 //! one shared timestamp axis plus `k` named value columns — the layout
 //! Xarray uses in the paper's Python prototype.
 
+use crate::config::TsOptions;
+use crate::rollup::Pyramid;
 use crate::series::TimeSeries;
 use crate::store::Summary;
 use hygraph_types::{HyGraphError, Interval, Result, Timestamp};
@@ -18,15 +20,21 @@ pub const SUMMARY_BLOCK: usize = 512;
 ///
 /// Alongside the raw columns the series maintains per-column summary
 /// blocks — one incrementally-updated [`Summary`] per [`SUMMARY_BLOCK`]
-/// rows — so interval aggregates via [`Self::summarize`] cost
-/// O(blocks touched) instead of O(rows in range). The blocks are derived
-/// data: they never participate in equality or serialization.
+/// rows — plus a rollup [`Pyramid`] over each column's *completed*
+/// blocks, so interval aggregates via [`Self::summarize`] cost
+/// O(F·log blocks) pyramid merges instead of O(blocks touched). The
+/// blocks and pyramids are derived data: they never participate in
+/// equality or serialization.
 #[derive(Clone, Default)]
 pub struct MultiSeries {
     times: Vec<Timestamp>,
     names: Vec<String>,
     columns: Vec<Vec<f64>>,
     block_sums: Vec<Vec<Summary>>,
+    /// Per-column pyramid whose leaves are the completed (full) summary
+    /// blocks; the trailing partial block stays outside so appends only
+    /// touch it on block completion.
+    block_pyrs: Vec<Pyramid>,
 }
 
 impl PartialEq for MultiSeries {
@@ -42,21 +50,40 @@ impl MultiSeries {
         let names: Vec<String> = names.into_iter().map(Into::into).collect();
         let columns: Vec<Vec<f64>> = names.iter().map(|_| Vec::new()).collect();
         let block_sums = names.iter().map(|_| Vec::new()).collect();
+        let fanout = TsOptions::from_env().rollup_fanout;
+        let block_pyrs = names
+            .iter()
+            .map(|_| Pyramid::build(Vec::new(), fanout))
+            .collect();
         Self {
             times: Vec::new(),
             names,
             columns,
             block_sums,
+            block_pyrs,
         }
     }
 
-    /// Rebuilds every summary block from the raw columns (bulk
-    /// constructors; `push` maintains them incrementally).
+    /// Number of *completed* summary blocks (the trailing partial block
+    /// is excluded — it is still growing).
+    fn completed_blocks(&self) -> usize {
+        self.times.len() / SUMMARY_BLOCK
+    }
+
+    /// Rebuilds every summary block and block pyramid from the raw
+    /// columns (bulk constructors; `push` maintains them incrementally).
     fn rebuild_blocks(&mut self) {
         self.block_sums = self
             .columns
             .iter()
             .map(|col| col.chunks(SUMMARY_BLOCK).map(Summary::of).collect())
+            .collect();
+        let fanout = TsOptions::from_env().rollup_fanout;
+        let full = self.completed_blocks();
+        self.block_pyrs = self
+            .block_sums
+            .iter()
+            .map(|blocks| Pyramid::build(blocks[..full].to_vec(), fanout))
             .collect();
     }
 
@@ -67,6 +94,7 @@ impl MultiSeries {
             names: vec![name.into()],
             columns: vec![s.values().to_vec()],
             block_sums: Vec::new(),
+            block_pyrs: Vec::new(),
         };
         m.rebuild_blocks();
         m
@@ -98,6 +126,7 @@ impl MultiSeries {
             names,
             columns,
             block_sums: Vec::new(),
+            block_pyrs: Vec::new(),
         };
         m.rebuild_blocks();
         Ok(m)
@@ -162,12 +191,22 @@ impl MultiSeries {
         }
         self.times.push(t);
         let block = (self.times.len() - 1) / SUMMARY_BLOCK;
-        for ((col, blocks), &v) in self.columns.iter_mut().zip(&mut self.block_sums).zip(y) {
+        let completes_block = self.times.len().is_multiple_of(SUMMARY_BLOCK);
+        for ((col, blocks), (pyr, &v)) in self
+            .columns
+            .iter_mut()
+            .zip(&mut self.block_sums)
+            .zip(self.block_pyrs.iter_mut().zip(y))
+        {
             col.push(v);
             if blocks.len() <= block {
                 blocks.push(Summary::new());
             }
             blocks[block].add(v);
+            if completes_block {
+                // the block just filled: it becomes a pyramid leaf
+                pyr.push_leaf(blocks[block]);
+            }
         }
         Ok(())
     }
@@ -205,16 +244,17 @@ impl MultiSeries {
             names: self.names.clone(),
             columns: self.columns.iter().map(|c| c[lo..hi].to_vec()).collect(),
             block_sums: Vec::new(),
+            block_pyrs: Vec::new(),
         };
         m.rebuild_blocks();
         m
     }
 
     /// Summary of one column's values inside `interval`, served from the
-    /// precomputed summary blocks: fully-covered blocks merge their
-    /// incremental [`Summary`] in O(1), only the (at most two) boundary
-    /// blocks are scanned. `None` when `col` is out of bounds; an empty
-    /// range yields an empty summary (count 0).
+    /// block pyramid: runs of fully-covered blocks merge O(F·log blocks)
+    /// precomputed pyramid nodes, only the (at most two) boundary blocks
+    /// are scanned. `None` when `col` is out of bounds; an empty range
+    /// yields an empty summary (count 0).
     ///
     /// This is the one aggregate kernel shared by every query-execution
     /// path, so interpreter and planner results are bit-identical by
@@ -222,6 +262,7 @@ impl MultiSeries {
     pub fn summarize(&self, interval: &Interval, col: usize) -> Option<Summary> {
         let column = self.columns.get(col)?;
         let blocks = &self.block_sums[col];
+        let pyr = &self.block_pyrs[col];
         let lo = self.times.partition_point(|&t| t < interval.start);
         let hi = self.times.partition_point(|&t| t < interval.end);
         let mut acc = Summary::new();
@@ -231,6 +272,15 @@ impl MultiSeries {
             let bstart = b * SUMMARY_BLOCK;
             let bend = (bstart + SUMMARY_BLOCK).min(column.len());
             if i == bstart && bend <= hi {
+                if b < pyr.len() {
+                    // run of covered complete blocks → pyramid nodes
+                    let run_end = (hi / SUMMARY_BLOCK).min(pyr.len());
+                    let (s, _) = pyr.range(b, run_end);
+                    acc.merge(&s);
+                    i = run_end * SUMMARY_BLOCK;
+                    continue;
+                }
+                // covered trailing partial block (outside the pyramid)
                 acc.merge(&blocks[b]);
             } else {
                 for &v in &column[i..hi.min(bend)] {
@@ -250,8 +300,12 @@ impl MultiSeries {
                 got: values.len(),
             });
         }
-        self.block_sums
-            .push(values.chunks(SUMMARY_BLOCK).map(Summary::of).collect());
+        let blocks: Vec<Summary> = values.chunks(SUMMARY_BLOCK).map(Summary::of).collect();
+        self.block_pyrs.push(Pyramid::build(
+            blocks[..self.completed_blocks()].to_vec(),
+            TsOptions::from_env().rollup_fanout,
+        ));
+        self.block_sums.push(blocks);
         self.names.push(name.into());
         self.columns.push(values);
         Ok(())
@@ -425,6 +479,32 @@ mod tests {
         let sliced = m.slice(&Interval::new(ts(10), ts(1500)));
         let s = sliced.summarize(&Interval::ALL, 0).unwrap();
         assert_eq!(s.count, 1490);
+    }
+
+    #[test]
+    fn summarize_is_bitwise_construction_independent() {
+        // the pyramid is a pure function of the blocks, and the blocks
+        // a pure function of the column, so bulk and incremental
+        // construction must answer every aggregate bit-identically even
+        // for rounding-sensitive values
+        let n = 4 * SUMMARY_BLOCK + 3;
+        let series = TimeSeries::generate(ts(0), Duration::from_millis(1), n, |i| {
+            (i as f64 * 0.7).sin() / 3.0
+        });
+        let bulk = MultiSeries::from_univariate("v", &series);
+        let mut inc = MultiSeries::new(["v"]);
+        for (t, v) in series.iter() {
+            inc.push(t, &[v]).unwrap();
+        }
+        for (lo, hi) in [(0, n), (1, n - 1), (0, 512), (512, 2048), (100, 1900)] {
+            let iv = Interval::new(ts(lo as i64), ts(hi as i64));
+            let a = bulk.summarize(&iv, 0).unwrap();
+            let b = inc.summarize(&iv, 0).unwrap();
+            assert_eq!(a.count, b.count, "[{lo},{hi})");
+            assert_eq!(a.sum.to_bits(), b.sum.to_bits(), "[{lo},{hi})");
+            assert_eq!(a.min.to_bits(), b.min.to_bits(), "[{lo},{hi})");
+            assert_eq!(a.max.to_bits(), b.max.to_bits(), "[{lo},{hi})");
+        }
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! Hierarchical rollup pyramid over per-chunk summaries.
+//!
+//! A [`Pyramid`] is a fanout-`F` static tree (a segment tree with wide
+//! nodes) whose leaves are the [`Summary`] of consecutive storage units
+//! — sealed chunks in [`crate::TsStore`], completed summary blocks in
+//! [`crate::MultiSeries`]. A range query over leaf positions merges the
+//! O(F·log_F n) largest aligned nodes covering the range instead of
+//! every leaf, which is what turns "aggregate a year" into a handful of
+//! precomputed merges.
+//!
+//! **Determinism contract.** Every level is a *pure function* of the
+//! leaves: incremental updates ([`Pyramid::set_leaf`],
+//! [`Pyramid::push_leaf`]) recompute each affected ancestor from its
+//! children rather than patching it in place, so a pyramid maintained
+//! incrementally is node-for-node identical to one rebuilt from
+//! scratch, and [`Pyramid::range`] never depends on update history.
+//! Floating-point sums may still differ from a flat left-to-right merge
+//! of the same leaves (addition is not associative); callers that
+//! require bit-stable results must stay on one access path, which the
+//! store guarantees by making path selection a function of state alone.
+
+use crate::store::Summary;
+
+/// Default node fanout when `HYGRAPH_TS_ROLLUP_FANOUT` is unset.
+pub const DEFAULT_FANOUT: usize = 16;
+
+/// A static fanout-`F` summary tree over an append-friendly leaf list.
+#[derive(Clone, Debug)]
+pub struct Pyramid {
+    fanout: usize,
+    /// `levels[0]` are the leaves; each higher level merges `fanout`
+    /// children. The top level has at most one node.
+    levels: Vec<Vec<Summary>>,
+}
+
+impl Default for Pyramid {
+    /// An empty pyramid with the default fanout (the leaf level always
+    /// exists, so `push_leaf` works on a default-constructed pyramid).
+    fn default() -> Self {
+        Pyramid::build(Vec::new(), DEFAULT_FANOUT)
+    }
+}
+
+/// Merges a run of summaries left to right.
+fn fold(run: &[Summary]) -> Summary {
+    let mut acc = Summary::new();
+    for s in run {
+        acc.merge(s);
+    }
+    acc
+}
+
+impl Pyramid {
+    /// Builds a pyramid bottom-up from `leaves`. `fanout` is clamped to
+    /// at least 2.
+    pub fn build(leaves: Vec<Summary>, fanout: usize) -> Pyramid {
+        let fanout = fanout.max(2);
+        let mut levels = vec![leaves];
+        while levels.last().expect("at least one level").len() > 1 {
+            let below = levels.last().expect("at least one level");
+            levels.push(below.chunks(fanout).map(fold).collect());
+        }
+        Pyramid { fanout, levels }
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Whether the pyramid has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.levels[0].is_empty()
+    }
+
+    /// The configured node fanout.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Merged summary of leaves `[a, b)`, plus the number of
+    /// precomputed nodes merged to produce it. Merges the largest
+    /// aligned node at each step, left to right.
+    pub fn range(&self, mut a: usize, b: usize) -> (Summary, usize) {
+        debug_assert!(b <= self.len(), "range end past leaves");
+        let mut acc = Summary::new();
+        let mut nodes = 0usize;
+        while a < b {
+            // widest aligned node starting at `a` that fits in [a, b)
+            let mut lvl = 0usize;
+            let mut span = 1usize;
+            loop {
+                let wider = span * self.fanout;
+                if lvl + 1 < self.levels.len() && a.is_multiple_of(wider) && a + wider <= b {
+                    span = wider;
+                    lvl += 1;
+                } else {
+                    break;
+                }
+            }
+            acc.merge(&self.levels[lvl][a / span]);
+            nodes += 1;
+            a += span;
+        }
+        (acc, nodes)
+    }
+
+    /// Recomputes the path from an updated ancestor position upward,
+    /// always re-folding each node from its children.
+    fn refresh_ancestors(&mut self, leaf: usize) {
+        let mut idx = leaf;
+        let mut lvl = 0;
+        while self.levels[lvl].len() > 1 {
+            let parent = idx / self.fanout;
+            let start = parent * self.fanout;
+            let end = (start + self.fanout).min(self.levels[lvl].len());
+            let merged = fold(&self.levels[lvl][start..end]);
+            if lvl + 1 == self.levels.len() {
+                self.levels.push(Vec::new());
+            }
+            let above = &mut self.levels[lvl + 1];
+            if parent == above.len() {
+                above.push(merged);
+            } else {
+                above[parent] = merged;
+            }
+            lvl += 1;
+            idx = parent;
+        }
+        // a level that shrank to describe everything makes upper levels
+        // stale only on rebuilds, which replace the whole structure
+    }
+
+    /// Replaces leaf `i` and refreshes its ancestors.
+    pub fn set_leaf(&mut self, i: usize, s: Summary) {
+        self.levels[0][i] = s;
+        self.refresh_ancestors(i);
+    }
+
+    /// Appends a leaf and refreshes (or grows) its ancestors. The
+    /// result is identical to [`Pyramid::build`] over the extended leaf
+    /// list.
+    pub fn push_leaf(&mut self, s: Summary) {
+        self.levels[0].push(s);
+        self.refresh_ancestors(self.levels[0].len() - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Summary> {
+        (0..n)
+            .map(|i| Summary::of(&[i as f64, -(i as f64)]))
+            .collect()
+    }
+
+    fn assert_same(a: &Pyramid, b: &Pyramid) {
+        assert_eq!(a.levels.len(), b.levels.len(), "level count");
+        for (la, lb) in a.levels.iter().zip(&b.levels) {
+            assert_eq!(la.len(), lb.len());
+            for (x, y) in la.iter().zip(lb) {
+                assert_eq!(x.count, y.count);
+                assert_eq!(x.sum.to_bits(), y.sum.to_bits());
+                assert_eq!(x.min.to_bits(), y.min.to_bits());
+                assert_eq!(x.max.to_bits(), y.max.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn range_matches_flat_fold_everywhere() {
+        for fanout in [2, 3, 16] {
+            for n in [0usize, 1, 2, 5, 16, 17, 33, 100] {
+                let ls = leaves(n);
+                let p = Pyramid::build(ls.clone(), fanout);
+                assert_eq!(p.len(), n);
+                for a in 0..=n {
+                    for b in a..=n {
+                        let (got, _) = p.range(a, b);
+                        let want = fold(&ls[a..b]);
+                        assert_eq!(got.count, want.count, "f={fanout} n={n} [{a},{b})");
+                        assert_eq!(got.min, want.min);
+                        assert_eq!(got.max, want.max);
+                        assert!((got.sum - want.sum).abs() < 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_ranges_merge_few_nodes() {
+        let p = Pyramid::build(leaves(256), 16);
+        let (_, nodes) = p.range(0, 256);
+        assert_eq!(nodes, 1, "whole range is the root");
+        let (_, nodes) = p.range(0, 16);
+        assert_eq!(nodes, 1, "one full level-1 node");
+        let (s, nodes) = p.range(1, 255);
+        assert!(nodes <= 2 * 15 + 14, "O(F log n) nodes, got {nodes}");
+        assert_eq!(s.count, 254 * 2);
+    }
+
+    #[test]
+    fn push_leaf_matches_rebuild() {
+        for fanout in [2, 4, 16] {
+            let mut inc = Pyramid::build(Vec::new(), fanout);
+            for n in 1..=70 {
+                inc.push_leaf(Summary::of(&[n as f64]));
+                let built =
+                    Pyramid::build((1..=n).map(|i| Summary::of(&[i as f64])).collect(), fanout);
+                assert_same(&inc, &built);
+            }
+        }
+    }
+
+    #[test]
+    fn set_leaf_matches_rebuild() {
+        for fanout in [2, 16] {
+            let n = 45;
+            let mut ls = leaves(n);
+            let mut p = Pyramid::build(ls.clone(), fanout);
+            for i in [0usize, 7, 16, 44, 20] {
+                ls[i] = Summary::of(&[100.0 + i as f64]);
+                p.set_leaf(i, ls[i]);
+                assert_same(&p, &Pyramid::build(ls.clone(), fanout));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_is_history_independent() {
+        // same leaves reached by different update orders → identical tree
+        let fanout = 4;
+        let ls = leaves(30);
+        let mut a = Pyramid::build(leaves(30), fanout);
+        for i in (0..30).rev() {
+            a.set_leaf(i, ls[i]);
+        }
+        let mut b = Pyramid::build(Vec::new(), fanout);
+        for s in &ls {
+            b.push_leaf(*s);
+        }
+        assert_same(&a, &b);
+        assert_same(&a, &Pyramid::build(ls, fanout));
+    }
+}

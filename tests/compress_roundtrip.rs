@@ -1,0 +1,170 @@
+//! Property tests for the columnar chunk compression and the rollup
+//! aggregate paths: sealed blocks must round-trip bit-identically for
+//! *any* `f64` payload (NaN bit patterns, signed zeros, infinities,
+//! denormals), and every aggregate path — naive per-chunk, rollup
+//! pyramid, compressed-with-boundary-decodes — must agree with a plain
+//! fold over the raw values.
+
+use hygraph::prelude::*;
+use hygraph::ts::compress::SealedBlock;
+use hygraph::ts::store::Summary;
+use hygraph::ts::{TsOptions, TsStore};
+use proptest::prelude::*;
+
+fn ts(ms: i64) -> Timestamp {
+    Timestamp::from_millis(ms)
+}
+
+/// Maps raw bits to a full-spectrum `f64`: mostly arbitrary bit
+/// patterns (which already cover NaN payloads and denormals), with the
+/// canonical hostile values mixed in deterministically.
+fn hostile_f64(bits: u64) -> f64 {
+    const SPECIALS: [f64; 9] = [
+        0.0,
+        -0.0,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::NAN,
+        f64::MAX,
+        f64::MIN,
+        f64::MIN_POSITIVE,
+        5e-324, // smallest denormal
+    ];
+    if bits.is_multiple_of(4) {
+        let special = SPECIALS[(bits / 4) as usize % SPECIALS.len()];
+        if bits.is_multiple_of(8) {
+            special
+        } else {
+            // NaN with a payload — must survive bit-exactly
+            f64::from_bits(0x7ff8_0000_dead_beef ^ (bits >> 32))
+        }
+    } else {
+        f64::from_bits(bits)
+    }
+}
+
+/// Strictly-increasing offsets from irregular positive gaps.
+fn offsets_from_gaps(gaps: &[u64]) -> Vec<u64> {
+    let mut acc = 0u64;
+    gaps.iter()
+        .map(|&g| {
+            acc += g;
+            acc
+        })
+        .collect()
+}
+
+proptest! {
+    // ---- sealed-block codec ---------------------------------------------
+
+    #[test]
+    fn sealed_block_roundtrip_is_bit_identical(
+        base in -1_000_000_000i64..1_000_000_000,
+        gaps in prop::collection::vec(1u64..100_000, 0..300),
+        raw_bits in prop::collection::vec(0u64..=u64::MAX, 300),
+    ) {
+        let key = ts(base);
+        let times: Vec<Timestamp> = offsets_from_gaps(&gaps)
+            .iter()
+            .map(|&o| ts(base + o as i64))
+            .collect();
+        let values: Vec<f64> = raw_bits[..times.len()].iter().map(|&b| hostile_f64(b)).collect();
+        let block = SealedBlock::seal(key, &times, &values);
+        let (mut t2, mut v2) = (Vec::new(), Vec::new());
+        block.decode_into(key, &mut t2, &mut v2).unwrap();
+        prop_assert_eq!(&t2, &times, "timestamps round-trip exactly");
+        prop_assert_eq!(v2.len(), values.len());
+        for (a, b) in values.iter().zip(&v2) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "values round-trip bit-identically");
+        }
+        // sealing is canonical: re-sealing the decoded columns yields
+        // an identically-sized payload
+        let again = SealedBlock::seal(key, &t2, &v2);
+        prop_assert_eq!(again.compressed_bytes(), block.compressed_bytes());
+    }
+
+    // ---- aggregate-path equivalence --------------------------------------
+
+    #[test]
+    fn all_summarize_paths_match_naive_fold(
+        pairs in prop::collection::vec((0i64..20_000, -1e6f64..1e6), 1..400),
+        lo in 0i64..20_000,
+        span in 1i64..20_000,
+        fanout in 2usize..8,
+    ) {
+        let id = SeriesId::new(1);
+        let width = Duration::from_millis(500); // many chunks → rollup path
+        let mut compressed = TsStore::with_options(
+            width,
+            TsOptions::default().compress(true).rollup_fanout(fanout),
+        );
+        let mut plain = TsStore::with_options(
+            width,
+            TsOptions::default().compress(false).rollup_fanout(fanout),
+        );
+        for &(t, v) in &pairs {
+            compressed.insert(id, ts(t), v);
+            plain.insert(id, ts(t), v);
+        }
+        let iv = Interval::new(ts(lo), ts(lo + span));
+        // ground truth: plain fold over the materialised range
+        let mut naive = Summary::new();
+        plain.scan(id, &iv, |_, v| naive.add(v));
+        for (store, name) in [(&compressed, "compressed"), (&plain, "plain")] {
+            for (s, path) in [
+                (store.summarize(id, &iv), "summarize"),
+                (store.summarize_naive(id, &iv), "summarize_naive"),
+            ] {
+                prop_assert_eq!(s.count, naive.count, "{}/{} count", name, path);
+                if naive.count > 0 {
+                    prop_assert_eq!(s.min, naive.min, "{}/{} min", name, path);
+                    prop_assert_eq!(s.max, naive.max, "{}/{} max", name, path);
+                    let scale = naive.sum.abs().max(1.0);
+                    prop_assert!(((s.sum - naive.sum) / scale).abs() < 1e-9,
+                        "{}/{} sum: {} vs {}", name, path, s.sum, naive.sum);
+                }
+            }
+        }
+        // compressed and plain stores agree bit-for-bit (same fold order)
+        let (a, b) = (compressed.summarize(id, &iv), plain.summarize(id, &iv));
+        prop_assert_eq!(a.sum.to_bits(), b.sum.to_bits());
+        let (ra, rb) = (compressed.range(id, &iv), plain.range(id, &iv));
+        prop_assert_eq!(ra.times(), rb.times());
+        prop_assert_eq!(ra.values(), rb.values());
+    }
+
+    // ---- persistence across the compression matrix -----------------------
+
+    #[test]
+    fn checkpoint_crosses_compression_settings(
+        pairs in prop::collection::vec((0i64..10_000, 0u64..=u64::MAX), 1..200),
+        matrix in 0u8..4,
+    ) {
+        let (write_compressed, read_compressed) = (matrix & 1 != 0, matrix & 2 != 0);
+        let id = SeriesId::new(7);
+        let width = Duration::from_millis(750);
+        let mut st = TsStore::with_options(width, TsOptions::default().compress(write_compressed));
+        for &(t, bits) in &pairs {
+            st.insert(id, ts(t), hostile_f64(bits));
+        }
+        let bytes = hygraph::ts::persist::store_to_bytes(&st);
+        let back = hygraph::ts::persist::store_from_bytes_with(
+            &bytes,
+            TsOptions::default().compress(read_compressed),
+        ).unwrap();
+        // byte-identical query results after recovery
+        let (ra, rb) = (st.range(id, &Interval::ALL), back.range(id, &Interval::ALL));
+        prop_assert_eq!(ra.times(), rb.times());
+        prop_assert_eq!(ra.values().len(), rb.values().len());
+        for (a, b) in ra.values().iter().zip(rb.values()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let (sa, sb) = (st.summarize(id, &Interval::ALL), back.summarize(id, &Interval::ALL));
+        prop_assert_eq!(sa.count, sb.count);
+        prop_assert_eq!(sa.sum.to_bits(), sb.sum.to_bits());
+        prop_assert_eq!(sa.min.to_bits(), sb.min.to_bits());
+        prop_assert_eq!(sa.max.to_bits(), sb.max.to_bits());
+        // and the recovered store re-encodes canonically
+        prop_assert_eq!(hygraph::ts::persist::store_to_bytes(&back), bytes);
+    }
+}
