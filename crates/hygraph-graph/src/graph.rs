@@ -265,6 +265,13 @@ impl TemporalGraph {
         self.vertices.len()
     }
 
+    /// Upper bound over all edge indices ever allocated (mirror of
+    /// [`Self::vertex_capacity`]; lets change observers diff id ranges
+    /// across a mutation batch).
+    pub fn edge_capacity(&self) -> usize {
+        self.edges.len()
+    }
+
     // ---- iteration ----------------------------------------------------
 
     /// Iterates all live vertices.

@@ -10,7 +10,7 @@
 
 use crate::graph::{EdgeData, TemporalGraph, VertexData};
 use hygraph_types::{EdgeId, Label, Timestamp, Value, VertexId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Comparison operator for property predicates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -122,6 +122,24 @@ pub struct PatternEdge {
     /// Direction constraint.
     pub direction: Direction,
 }
+
+/// Canonical key of one match emission: a pure function of the
+/// assignment (vertex/edge choices plus, for each edge slot, which
+/// adjacency-list occurrence produced it).
+///
+/// Layout: for each depth of the pattern's canonical [`plan
+/// order`](Pattern::find), the bound vertex id, followed by one
+/// occurrence word `(side << 63) | edge_id` per pattern-edge slot whose
+/// later endpoint is that depth (slots in ascending index order; side 0
+/// = found in the `from` vertex's out-adjacency, side 1 = in-adjacency).
+/// Because all candidate orders inside [`Pattern::find`] are ascending
+/// (append-only adjacency lists, sorted anchored candidates, insertion
+/// -ordered label index), iterating matches in ascending key order
+/// reproduces `find`'s emission order *including multiplicity*: a
+/// self-loop graph edge occurs in both adjacency lists, is emitted
+/// twice by `find`, and yields two keys differing only in the side bit.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MatchKey(pub Vec<u64>);
 
 /// One match: variable → element bindings.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -458,6 +476,350 @@ impl Pattern {
         true
     }
 
+    // ---- keyed matching (incremental-maintenance support) -------------
+
+    /// All matches, keyed by [`MatchKey`]: iterating the returned map in
+    /// key order visits exactly the bindings [`Self::find`] emits, in
+    /// the same order and with the same multiplicity (each self-loop
+    /// occurrence gets its own key).
+    pub fn find_keyed(&self, g: &TemporalGraph) -> BTreeMap<MatchKey, Binding> {
+        let mut out = BTreeMap::new();
+        self.collect_keyed(
+            g,
+            &vec![None; self.vertices.len()],
+            &vec![None; self.edges.len()],
+            &mut out,
+        );
+        out
+    }
+
+    /// Collects (into `out`) every match whose assignment binds vertex
+    /// `v` at one or more pattern-vertex positions. Search cost radiates
+    /// from `v` rather than scanning the graph; results already present
+    /// in `out` are kept as-is (keys are unique per assignment).
+    pub fn find_keyed_with_vertex(
+        &self,
+        g: &TemporalGraph,
+        v: VertexId,
+        out: &mut BTreeMap<MatchKey, Binding>,
+    ) {
+        let epin = vec![None; self.edges.len()];
+        for i in 0..self.vertices.len() {
+            let mut vpin = vec![None; self.vertices.len()];
+            vpin[i] = Some(v);
+            self.collect_keyed(g, &vpin, &epin, out);
+        }
+    }
+
+    /// Collects (into `out`) every match whose assignment binds graph
+    /// edge `id` at one or more pattern-edge slots (both orientations
+    /// for [`Direction::Any`] slots).
+    pub fn find_keyed_with_edge(
+        &self,
+        g: &TemporalGraph,
+        id: EdgeId,
+        out: &mut BTreeMap<MatchKey, Binding>,
+    ) {
+        let Ok(e) = g.edge(id) else { return };
+        for (ei, pe) in self.edges.iter().enumerate() {
+            // candidate (from, to) vertex assignments for this slot
+            let mut orients: Vec<(VertexId, VertexId)> = Vec::new();
+            match pe.direction {
+                Direction::Out => orients.push((e.src, e.dst)),
+                Direction::In => orients.push((e.dst, e.src)),
+                Direction::Any => {
+                    orients.push((e.src, e.dst));
+                    if e.src != e.dst {
+                        orients.push((e.dst, e.src));
+                    }
+                }
+            }
+            for (fv, tv) in orients {
+                if pe.from == pe.to && fv != tv {
+                    continue; // pattern self-loop slot needs a graph self-loop
+                }
+                let mut vpin = vec![None; self.vertices.len()];
+                vpin[pe.from] = Some(fv);
+                vpin[pe.to] = Some(tv);
+                let mut epin = vec![None; self.edges.len()];
+                epin[ei] = Some(id);
+                self.collect_keyed(g, &vpin, &epin, out);
+            }
+        }
+    }
+
+    /// Shared engine behind the keyed entry points: enumerates all
+    /// assignments honouring the pins, computes each one's canonical
+    /// key(s) post-hoc and inserts into `out` (insert-if-absent, so
+    /// overlapping pinned searches dedupe naturally).
+    fn collect_keyed(
+        &self,
+        g: &TemporalGraph,
+        vpin: &[Option<VertexId>],
+        epin: &[Option<EdgeId>],
+        out: &mut BTreeMap<MatchKey, Binding>,
+    ) {
+        if self.vertices.is_empty() {
+            return;
+        }
+        let canon_order = self.plan_order();
+        let canon_slots = self.canonical_slots(&canon_order);
+        let pinned: Vec<bool> = vpin.iter().map(Option::is_some).collect();
+        let order = self.plan_order_pinned(&pinned);
+        let mut vbind: Vec<Option<VertexId>> = vec![None; self.vertices.len()];
+        let mut ebind: Vec<Option<EdgeId>> = vec![None; self.edges.len()];
+        self.enumerate_pinned(
+            g,
+            &order,
+            0,
+            vpin,
+            epin,
+            &mut vbind,
+            &mut ebind,
+            &mut |vb, eb| {
+                for key in self.canonical_keys(g, &canon_order, &canon_slots, vb, eb) {
+                    out.entry(key).or_insert_with(|| self.to_binding(vb, eb));
+                }
+            },
+        );
+    }
+
+    /// Per-depth pattern-edge slots of the canonical order: slot `ei`
+    /// belongs to the depth at which its later endpoint is bound —
+    /// exactly when [`Self::bind_edges`] picks it up during `find`.
+    fn canonical_slots(&self, order: &[usize]) -> Vec<Vec<usize>> {
+        let mut pos = vec![0usize; self.vertices.len()];
+        for (d, &vi) in order.iter().enumerate() {
+            pos[vi] = d;
+        }
+        let mut slots = vec![Vec::new(); order.len()];
+        for (ei, pe) in self.edges.iter().enumerate() {
+            slots[pos[pe.from].max(pos[pe.to])].push(ei);
+        }
+        slots
+    }
+
+    /// Computes the canonical key(s) of a complete assignment. One key
+    /// normally; 2^k keys when k slots bind graph self-loops (one per
+    /// adjacency-occurrence combination, mirroring `find`'s emissions).
+    fn canonical_keys(
+        &self,
+        g: &TemporalGraph,
+        order: &[usize],
+        slots: &[Vec<usize>],
+        vbind: &[Option<VertexId>],
+        ebind: &[Option<EdgeId>],
+    ) -> Vec<MatchKey> {
+        let mut keys: Vec<Vec<u64>> = vec![Vec::with_capacity(order.len() + self.edges.len())];
+        for (d, &vi) in order.iter().enumerate() {
+            let v = vbind[vi].expect("complete assignment");
+            for k in &mut keys {
+                k.push(v.index() as u64);
+            }
+            for &ei in &slots[d] {
+                let id = ebind[ei].expect("complete assignment");
+                let Ok(e) = g.edge(id) else { continue };
+                let from_v = vbind[self.edges[ei].from].expect("bound");
+                let occ0 = id.index() as u64;
+                let occ1 = (1u64 << 63) | occ0;
+                if e.src == e.dst {
+                    let drained = std::mem::take(&mut keys);
+                    for k in drained {
+                        let mut k2 = k.clone();
+                        let mut k1 = k;
+                        k1.push(occ0);
+                        k2.push(occ1);
+                        keys.push(k1);
+                        keys.push(k2);
+                    }
+                } else {
+                    let occ = if e.src == from_v { occ0 } else { occ1 };
+                    for k in &mut keys {
+                        k.push(occ);
+                    }
+                }
+            }
+        }
+        keys.into_iter().map(MatchKey).collect()
+    }
+
+    /// [`Self::plan_order`] variant that starts from the pinned
+    /// positions so search cost radiates outward from the seed element.
+    fn plan_order_pinned(&self, pinned: &[bool]) -> Vec<usize> {
+        let n = self.vertices.len();
+        if !pinned.iter().any(|&p| p) {
+            return self.plan_order();
+        }
+        let mut order: Vec<usize> = (0..n).filter(|&i| pinned[i]).collect();
+        let mut chosen = vec![false; n];
+        for &i in &order {
+            chosen[i] = true;
+        }
+        while order.len() < n {
+            let next = (0..n)
+                .filter(|&i| !chosen[i])
+                .max_by_key(|&i| {
+                    let connected = self
+                        .edges
+                        .iter()
+                        .any(|e| (e.from == i && chosen[e.to]) || (e.to == i && chosen[e.from]));
+                    (connected as usize, self.selectivity(i))
+                })
+                .expect("remaining vertex exists");
+            order.push(next);
+            chosen[next] = true;
+        }
+        order
+    }
+
+    /// Pin-aware re-implementation of [`Self::backtrack`]: same
+    /// candidate and constraint semantics, but pinned positions/slots
+    /// restrict to the pinned element, and emission order is free (keys
+    /// are computed post-hoc, so only the match *set* matters here).
+    #[allow(clippy::too_many_arguments)]
+    fn enumerate_pinned(
+        &self,
+        g: &TemporalGraph,
+        order: &[usize],
+        depth: usize,
+        vpin: &[Option<VertexId>],
+        epin: &[Option<EdgeId>],
+        vbind: &mut Vec<Option<VertexId>>,
+        ebind: &mut Vec<Option<EdgeId>>,
+        emit: &mut impl FnMut(&[Option<VertexId>], &[Option<EdgeId>]),
+    ) {
+        if depth == order.len() {
+            emit(vbind, ebind);
+            return;
+        }
+        let pv_idx = order[depth];
+        let pv = &self.vertices[pv_idx];
+
+        let candidates: Vec<VertexId> = if let Some(pin) = vpin[pv_idx] {
+            vec![pin]
+        } else {
+            let anchor = self.edges.iter().enumerate().find(|(ei, e)| {
+                ebind[*ei].is_none()
+                    && ((e.from == pv_idx && vbind[e.to].is_some())
+                        || (e.to == pv_idx && vbind[e.from].is_some()))
+            });
+            match anchor {
+                Some((_, e)) => {
+                    let (bound_idx, from_side) = if e.from == pv_idx {
+                        (e.to, false)
+                    } else {
+                        (e.from, true)
+                    };
+                    let bound_v = vbind[bound_idx].expect("anchor bound");
+                    let dir = match (e.direction, from_side) {
+                        (Direction::Any, _) => Direction::Any,
+                        (Direction::Out, true) => Direction::Out,
+                        (Direction::Out, false) => Direction::In,
+                        (Direction::In, true) => Direction::In,
+                        (Direction::In, false) => Direction::Out,
+                    };
+                    let mut cs: Vec<VertexId> = match dir {
+                        Direction::Out => g.neighbors_out(bound_v).map(|(_, v)| v).collect(),
+                        Direction::In => g.neighbors_in(bound_v).map(|(_, v)| v).collect(),
+                        Direction::Any => g.neighbors(bound_v).map(|(_, v)| v).collect(),
+                    };
+                    cs.sort_unstable();
+                    cs.dedup();
+                    cs
+                }
+                None => match pv.labels.first() {
+                    Some(l) => g.vertex_ids_with_label(l.as_str()),
+                    None => g.vertex_ids().collect(),
+                },
+            }
+        };
+
+        for cand in candidates {
+            let Ok(vdata) = g.vertex(cand) else { continue };
+            if !self.vertex_ok(pv, vdata) {
+                continue;
+            }
+            if self.distinct_vertices && vbind.iter().flatten().any(|&b| b == cand) {
+                continue;
+            }
+            vbind[pv_idx] = Some(cand);
+            let pending: Vec<usize> = (0..self.edges.len())
+                .filter(|&ei| {
+                    ebind[ei].is_none()
+                        && vbind[self.edges[ei].from].is_some()
+                        && vbind[self.edges[ei].to].is_some()
+                })
+                .collect();
+            self.bind_pinned(g, order, depth, &pending, 0, vpin, epin, vbind, ebind, emit);
+            vbind[pv_idx] = None;
+        }
+    }
+
+    /// Pin-aware twin of [`Self::bind_edges_rec`]. Candidates are
+    /// deduped (a self-loop shows up in both adjacency lists); the
+    /// occurrence multiplicity is restored by [`Self::canonical_keys`].
+    #[allow(clippy::too_many_arguments)]
+    fn bind_pinned(
+        &self,
+        g: &TemporalGraph,
+        order: &[usize],
+        depth: usize,
+        pending: &[usize],
+        k: usize,
+        vpin: &[Option<VertexId>],
+        epin: &[Option<EdgeId>],
+        vbind: &mut Vec<Option<VertexId>>,
+        ebind: &mut Vec<Option<EdgeId>>,
+        emit: &mut impl FnMut(&[Option<VertexId>], &[Option<EdgeId>]),
+    ) {
+        if k == pending.len() {
+            self.enumerate_pinned(g, order, depth + 1, vpin, epin, vbind, ebind, emit);
+            return;
+        }
+        let ei = pending[k];
+        let pe = &self.edges[ei];
+        let from_v = vbind[pe.from].expect("bound");
+        let to_v = vbind[pe.to].expect("bound");
+
+        let mut candidates: Vec<EdgeId> = match epin[ei] {
+            Some(pin) => vec![pin],
+            None => g.incident_edges(from_v).map(|e| e.id).collect(),
+        };
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        for ce in candidates {
+            let Ok(e) = g.edge(ce) else { continue };
+            let fwd = e.src == from_v && e.dst == to_v;
+            let bwd = e.src == to_v && e.dst == from_v;
+            let dir_ok = match pe.direction {
+                Direction::Out => fwd,
+                Direction::In => bwd,
+                Direction::Any => fwd || bwd,
+            };
+            if !dir_ok || !self.edge_ok(pe, e) {
+                continue;
+            }
+            if ebind.iter().flatten().any(|&b| b == ce) {
+                continue;
+            }
+            ebind[ei] = Some(ce);
+            self.bind_pinned(
+                g,
+                order,
+                depth,
+                pending,
+                k + 1,
+                vpin,
+                epin,
+                vbind,
+                ebind,
+                emit,
+            );
+            ebind[ei] = None;
+        }
+    }
+
     fn to_binding(&self, vbind: &[Option<VertexId>], ebind: &[Option<EdgeId>]) -> Binding {
         let mut b = Binding::default();
         for (pv, bound) in self.vertices.iter().zip(vbind) {
@@ -687,6 +1049,126 @@ mod tests {
                 .position(|a| a == b)
                 .expect("pruned binding present in full enumeration");
             cursor += pos + 1;
+        }
+    }
+
+    /// Keyed enumeration must replay `find`'s emission sequence exactly
+    /// — same bindings, same order, same multiplicity — when iterated
+    /// in ascending key order.
+    fn assert_keyed_matches_find(p: &Pattern, g: &TemporalGraph) {
+        let sequential = p.find_all(g);
+        let keyed: Vec<Binding> = p.find_keyed(g).into_values().collect();
+        assert_eq!(
+            sequential, keyed,
+            "keyed map in key order must equal find() emission order"
+        );
+    }
+
+    #[test]
+    fn keyed_equals_find_on_fraud_patterns() {
+        let (g, _) = fraud_graph();
+        // multi-hop with edge var + preds
+        let mut p = Pattern::new();
+        let u = p.vertex("u", ["User"]);
+        let c = p.vertex("c", ["CreditCard"]);
+        let m = p.vertex("m", ["Merchant"]);
+        p.edge(None, u, c, ["USES"], Direction::Out);
+        let tx = p.edge(Some("t"), c, m, ["TX"], Direction::Out);
+        p.edge_pred(tx, PropPredicate::new("amount", CmpOp::Gt, 10.0));
+        assert_keyed_matches_find(&p, &g);
+        // Any direction
+        let mut p = Pattern::new();
+        let m = p.vertex("m", ["Merchant"]);
+        let c = p.vertex("c", ["CreditCard"]);
+        p.edge(Some("t"), m, c, ["TX"], Direction::Any);
+        assert_keyed_matches_find(&p, &g);
+        // unlabeled full-scan seed + two slots sharing a vertex
+        let mut p = Pattern::new();
+        let c = p.vertex("c", [] as [&str; 0]);
+        let m1 = p.vertex("m1", ["Merchant"]);
+        let m2 = p.vertex("m2", ["Merchant"]);
+        p.edge(Some("t1"), c, m1, ["TX"], Direction::Out);
+        p.edge(Some("t2"), c, m2, ["TX"], Direction::Out);
+        assert_keyed_matches_find(&p, &g);
+    }
+
+    #[test]
+    fn keyed_self_loops_and_parallel_edges() {
+        let mut g = TemporalGraph::new();
+        let a = g.add_vertex(["N"], props! {});
+        let b = g.add_vertex(["N"], props! {});
+        g.add_edge(a, a, ["E"], props! {}).unwrap(); // self-loop
+        g.add_edge(a, b, ["E"], props! {}).unwrap();
+        g.add_edge(a, b, ["E"], props! {}).unwrap(); // parallel
+        g.add_edge(b, a, ["E"], props! {}).unwrap();
+        for dir in [Direction::Out, Direction::In, Direction::Any] {
+            let mut p = Pattern::new();
+            let x = p.vertex("x", ["N"]);
+            let y = p.vertex("y", ["N"]);
+            p.edge(Some("e"), x, y, ["E"], dir);
+            assert_keyed_matches_find(&p, &g);
+        }
+        // the homomorphic self-loop match is emitted twice by find and
+        // must occupy two keys in the map
+        let mut p = Pattern::new();
+        let x = p.vertex("x", ["N"]);
+        let y = p.vertex("y", ["N"]);
+        p.edge(Some("e"), x, y, ["E"], Direction::Out);
+        let loops = p
+            .find_all(&g)
+            .iter()
+            .filter(|m| m.vertices["x"] == a && m.vertices["y"] == a)
+            .count();
+        assert_eq!(loops, 2, "self-loop emitted once per adjacency occurrence");
+    }
+
+    /// Seeded (pinned) search over the new elements of a growth step
+    /// must discover exactly the matches that appeared.
+    #[test]
+    fn seeded_search_covers_exactly_the_new_matches() {
+        let build_pattern = |dir| {
+            let mut p = Pattern::new();
+            let u = p.vertex("u", ["User"]);
+            let c = p.vertex("c", ["CreditCard"]);
+            let m = p.vertex("m", [] as [&str; 0]);
+            p.edge(Some("s"), u, c, ["USES"], Direction::Out);
+            p.edge(Some("t"), c, m, ["TX"], dir);
+            p
+        };
+        for dir in [Direction::Out, Direction::Any, Direction::In] {
+            let p = build_pattern(dir);
+            let (mut g, ids) = fraud_graph();
+            let before = p.find_keyed(&g);
+            // growth step: one new card wired to an existing user, one
+            // new merchant, three new edges incl. one into existing m1
+            let v0 = g.vertex_capacity();
+            let e0 = g.edge_capacity();
+            let c3 = g.add_vertex(["CreditCard"], props! {"num" => "c3"});
+            let m3 = g.add_vertex(["Merchant"], props! {"name" => "m3"});
+            g.add_edge(ids["u2"], c3, ["USES"], props! {}).unwrap();
+            g.add_edge(c3, m3, ["TX"], props! {"amount" => 7.0})
+                .unwrap();
+            g.add_edge(c3, ids["m1"], ["TX"], props! {"amount" => 8.0})
+                .unwrap();
+            // reversed TX so the In/Any shapes also gain matches
+            g.add_edge(m3, c3, ["TX"], props! {"amount" => 9.0})
+                .unwrap();
+            let after = p.find_keyed(&g);
+
+            let mut grown = before.clone();
+            for vi in v0..g.vertex_capacity() {
+                p.find_keyed_with_vertex(&g, VertexId::from(vi), &mut grown);
+            }
+            for ei in e0..g.edge_capacity() {
+                p.find_keyed_with_edge(&g, EdgeId::from(ei), &mut grown);
+            }
+            assert_eq!(
+                grown, after,
+                "old matches + seeded discoveries == full re-enumeration ({dir:?})"
+            );
+            // sanity: growth actually added matches, and none vanished
+            assert!(after.len() > before.len());
+            assert!(before.keys().all(|k| after.contains_key(k)));
         }
     }
 

@@ -18,7 +18,8 @@ use crate::slow::{SlowQueryEntry, SlowQueryLog};
 /// Version 2 added the plan-cache counters, the per-physical-operator
 /// group, and the plan fingerprint on slow-query entries. Version 3
 /// added the time-series compression gauges and rollup counters.
-const SNAPSHOT_VERSION: u8 = 3;
+/// Version 4 added the standing-subscription group.
+const SNAPSHOT_VERSION: u8 = 4;
 
 // ---------------------------------------------------------------------
 // Operator taxonomy
@@ -269,6 +270,21 @@ pub struct TsMetrics {
     pub compressed_bytes: Gauge,
 }
 
+/// Standing-subscription instruments (`hygraph-sub`).
+#[derive(Debug, Default)]
+pub struct SubMetrics {
+    /// Standing queries currently registered.
+    pub active: Gauge,
+    /// Non-empty delta frames handed to subscriber push buffers.
+    pub deltas_pushed: Counter,
+    /// Commits a subscription answered by full re-execution (rerun-mode
+    /// plans and forced incremental rebuilds) instead of a seeded
+    /// incremental pass.
+    pub fallback_reruns: Counter,
+    /// Subscriptions force-closed because their push buffer was full.
+    pub slow_consumer_drops: Counter,
+}
+
 /// The process-wide instrument tree (see [`crate::get`]).
 #[derive(Debug)]
 pub struct Registry {
@@ -280,6 +296,8 @@ pub struct Registry {
     pub query: QueryMetrics,
     /// Time-series layer.
     pub ts: TsMetrics,
+    /// Standing-subscription layer.
+    pub sub: SubMetrics,
     /// Slow-query ring buffer.
     pub slow: SlowQueryLog,
 }
@@ -293,6 +311,7 @@ impl Registry {
             persist: PersistMetrics::default(),
             query: QueryMetrics::default(),
             ts: TsMetrics::default(),
+            sub: SubMetrics::default(),
             slow: SlowQueryLog::new(slow_capacity),
         }
     }
@@ -363,6 +382,12 @@ impl Registry {
                 sealed_chunks: self.ts.sealed_chunks.get(),
                 raw_bytes: self.ts.raw_bytes.get(),
                 compressed_bytes: self.ts.compressed_bytes.get(),
+            },
+            sub: SubSnapshot {
+                active: self.sub.active.get(),
+                deltas_pushed: self.sub.deltas_pushed.get(),
+                fallback_reruns: self.sub.fallback_reruns.get(),
+                slow_consumer_drops: self.sub.slow_consumer_drops.get(),
             },
             slow_queries,
             slow_dropped,
@@ -506,6 +531,19 @@ pub struct TsSnapshot {
     pub compressed_bytes: i64,
 }
 
+/// Plain-data copy of [`SubMetrics`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SubSnapshot {
+    /// See [`SubMetrics::active`].
+    pub active: i64,
+    /// See [`SubMetrics::deltas_pushed`].
+    pub deltas_pushed: u64,
+    /// See [`SubMetrics::fallback_reruns`].
+    pub fallback_reruns: u64,
+    /// See [`SubMetrics::slow_consumer_drops`].
+    pub slow_consumer_drops: u64,
+}
+
 /// A full point-in-time copy of the registry: what the `Stats` wire
 /// request returns and what [`Snapshot::render_text`] renders.
 ///
@@ -522,6 +560,8 @@ pub struct Snapshot {
     pub query: QuerySnapshot,
     /// Time-series layer.
     pub ts: TsSnapshot,
+    /// Standing-subscription layer.
+    pub sub: SubSnapshot,
     /// Slow-query ring contents, oldest first.
     pub slow_queries: Vec<SlowQueryEntry>,
     /// Slow queries evicted from the ring since startup.
@@ -717,6 +757,11 @@ impl Snapshot {
         out.extend_from_slice(&self.ts.raw_bytes.to_le_bytes());
         out.extend_from_slice(&self.ts.compressed_bytes.to_le_bytes());
 
+        out.extend_from_slice(&self.sub.active.to_le_bytes());
+        out.extend_from_slice(&self.sub.deltas_pushed.to_le_bytes());
+        out.extend_from_slice(&self.sub.fallback_reruns.to_le_bytes());
+        out.extend_from_slice(&self.sub.slow_consumer_drops.to_le_bytes());
+
         out.extend_from_slice(&(self.slow_queries.len() as u32).to_le_bytes());
         for e in &self.slow_queries {
             out.extend_from_slice(&(e.query.len() as u32).to_le_bytes());
@@ -803,6 +848,12 @@ impl Snapshot {
             raw_bytes: r.i64()?,
             compressed_bytes: r.i64()?,
         };
+        let sub = SubSnapshot {
+            active: r.i64()?,
+            deltas_pushed: r.u64()?,
+            fallback_reruns: r.u64()?,
+            slow_consumer_drops: r.u64()?,
+        };
         let n_slow = r.u32()? as usize;
         if n_slow > 1 << 20 {
             return Err(err(format!("implausible slow-query count {n_slow}")));
@@ -828,6 +879,7 @@ impl Snapshot {
             persist,
             query,
             ts,
+            sub,
             slow_queries,
             slow_dropped,
         })
@@ -912,6 +964,15 @@ impl Snapshot {
             "hygraph_ts_rollup_boundary_decodes_total",
             self.ts.rollup_boundary_decodes,
         );
+        counter("hygraph_sub_deltas_pushed_total", self.sub.deltas_pushed);
+        counter(
+            "hygraph_sub_fallback_reruns_total",
+            self.sub.fallback_reruns,
+        );
+        counter(
+            "hygraph_sub_slow_consumer_drops_total",
+            self.sub.slow_consumer_drops,
+        );
         counter("hygraph_slow_queries_dropped_total", self.slow_dropped);
 
         let mut gauge = |name: &str, v: i64| {
@@ -923,6 +984,7 @@ impl Snapshot {
         gauge("hygraph_ts_sealed_chunks", self.ts.sealed_chunks);
         gauge("hygraph_ts_raw_bytes", self.ts.raw_bytes);
         gauge("hygraph_ts_compressed_bytes", self.ts.compressed_bytes);
+        gauge("hygraph_sub_active", self.sub.active);
 
         let mut summary = |name: &str, h: &HistogramSnapshot| {
             let _ = writeln!(out, "# TYPE {name} summary");
@@ -1014,6 +1076,10 @@ mod tests {
         r.ts.sealed_chunks.set(12);
         r.ts.raw_bytes.set(16_000);
         r.ts.compressed_bytes.set(2_000);
+        r.sub.active.set(3);
+        r.sub.deltas_pushed.add(21);
+        r.sub.fallback_reruns.add(5);
+        r.sub.slow_consumer_drops.inc();
         r.slow.record(
             "MATCH (n) RETURN n",
             Duration::from_millis(250),
@@ -1082,6 +1148,10 @@ mod tests {
             "hygraph_ts_sealed_chunks 12",
             "hygraph_ts_raw_bytes 16000",
             "hygraph_ts_compressed_bytes 2000",
+            "hygraph_sub_active 3",
+            "hygraph_sub_deltas_pushed_total 21",
+            "hygraph_sub_fallback_reruns_total 5",
+            "hygraph_sub_slow_consumer_drops_total 1",
             "# SLOW 250000us rows=42 fp=0xdeadbeefcafef00d MATCH (n) RETURN n",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");

@@ -108,6 +108,7 @@
 pub mod ast;
 pub mod exec;
 pub mod hybrid;
+pub mod incremental;
 pub mod lexer;
 pub mod optimize;
 pub mod parser;
@@ -118,6 +119,7 @@ pub use ast::Query;
 pub use exec::{
     execute, execute_interpreted, execute_interpreted_mode, execute_mode, QueryResult, Row,
 };
+pub use incremental::{apply_delta, diff_rows, Delta, DeltaOp, IncState};
 pub use physical::{execute_planned, plan_query, PlannedQuery};
 pub use plan::{LogicalPlan, PushedPred};
 

@@ -339,6 +339,10 @@ impl LogicalPlan {
                 lines.push(format!("{indent}{} {}", op_title(node.op), node.detail));
             }
         }
+        lines.push(match crate::incremental::support(self) {
+            Ok(()) => "Subscribe: incremental".to_string(),
+            Err(reason) => format!("Subscribe: rerun ({reason})"),
+        });
         lines
     }
 }

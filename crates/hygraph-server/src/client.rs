@@ -8,14 +8,66 @@
 //! out-of-order responses aside until the matching id arrives.
 
 use crate::engine::Engine;
-use crate::proto::{Request, Response};
+use crate::proto::{Push, Request, Response};
 use hygraph_persist::HgMutation;
+use hygraph_query::incremental::apply_delta;
 use hygraph_query::QueryResult;
-use hygraph_types::net::{self, FrameRead, DEFAULT_MAX_FRAME_BYTES};
+use hygraph_types::net::{self, Frame, FrameRead, DEFAULT_MAX_FRAME_BYTES};
 use hygraph_types::{HyGraphError, Result};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A standing query as the client sees it: the server-assigned id plus
+/// a local materialisation of the result, advanced by applying each
+/// [`Push`] the server sends for this id (in arrival order).
+#[derive(Clone, Debug)]
+pub struct Subscription {
+    id: u64,
+    snapshot: QueryResult,
+    closed: Option<String>,
+}
+
+impl Subscription {
+    /// The server-assigned subscription id ([`Push`] frames carry it).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The locally maintained result — after applying every push for
+    /// this id, byte-identical to re-running the query server-side.
+    pub fn rows(&self) -> &QueryResult {
+        &self.snapshot
+    }
+
+    /// Why the server dropped this subscription, once it has.
+    pub fn closed(&self) -> Option<&str> {
+        self.closed.as_deref()
+    }
+
+    /// Advances the local result by one push frame.
+    pub fn apply(&mut self, push: &Push) -> Result<()> {
+        match push {
+            Push::Delta(d) => apply_delta(&mut self.snapshot, d),
+            Push::Closed { reason } => {
+                self.closed = Some(reason.clone());
+                Ok(())
+            }
+        }
+    }
+}
+
+/// `HYGRAPH_CLIENT_PING_MS`: idle keepalive interval for subscription
+/// connections (`0`/unset disables).
+fn ping_every_from_env() -> Option<Duration> {
+    let ms: u64 = std::env::var("HYGRAPH_CLIENT_PING_MS")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()?;
+    (ms > 0).then(|| Duration::from_millis(ms))
+}
 
 /// A blocking TCP client for the HyGraph wire protocol.
 ///
@@ -44,6 +96,18 @@ pub struct Client {
     max_frame_bytes: usize,
     /// Responses read while waiting for a different request id.
     pending: HashMap<u64, Response>,
+    /// Unsolicited push frames read while waiting for a reply, in
+    /// arrival order (the order deltas must be applied in).
+    pushes: VecDeque<(u64, Push)>,
+    /// Idle keepalive interval (`HYGRAPH_CLIENT_PING_MS`); pings are
+    /// only issued from the push-waiting paths, where a connection can
+    /// sit idle indefinitely.
+    ping_every: Option<Duration>,
+    /// Request ids of in-flight keepalive pings; their pongs are
+    /// swallowed so they never surface as someone else's reply.
+    keepalive_ids: HashSet<u64>,
+    /// Last time a frame crossed this connection in either direction.
+    last_io: Instant,
 }
 
 impl Client {
@@ -56,6 +120,10 @@ impl Client {
             next_id: 1,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             pending: HashMap::new(),
+            pushes: VecDeque::new(),
+            ping_every: ping_every_from_env(),
+            keepalive_ids: HashSet::new(),
+            last_io: Instant::now(),
         })
     }
 
@@ -63,6 +131,13 @@ impl Client {
     /// use of a raised limit).
     pub fn max_frame_bytes(mut self, n: usize) -> Self {
         self.max_frame_bytes = n;
+        self
+    }
+
+    /// Overrides the idle keepalive interval (`0` disables), normally
+    /// taken from `HYGRAPH_CLIENT_PING_MS` at connect time.
+    pub fn ping_every_ms(mut self, ms: u64) -> Self {
+        self.ping_every = (ms > 0).then(|| Duration::from_millis(ms));
         self
     }
 
@@ -75,16 +150,16 @@ impl Client {
         self.next_id += 1;
         let frame = req.to_frame(id);
         net::write_frame(&mut self.stream, &frame, self.max_frame_bytes)?;
+        self.last_io = Instant::now();
         Ok(id)
     }
 
-    /// Receives the next response off the wire as `(request_id,
-    /// response)`. Responses may arrive in any order relative to sends.
-    pub fn recv(&mut self) -> Result<(u64, Response)> {
+    /// Reads one frame, mapping stream-level conditions to errors.
+    fn read_frame(&mut self) -> Result<Frame> {
         match net::read_frame(&mut self.stream, self.max_frame_bytes)? {
             FrameRead::Frame(frame) => {
-                let id = frame.request_id;
-                Ok((id, Response::from_frame(&frame)?))
+                self.last_io = Instant::now();
+                Ok(frame)
             }
             FrameRead::Eof => Err(HyGraphError::unavailable(
                 "connection closed by server".to_owned(),
@@ -92,6 +167,38 @@ impl Client {
             FrameRead::Corrupt(msg) => Err(HyGraphError::corrupt(format!(
                 "response frame corrupt: {msg}"
             ))),
+        }
+    }
+
+    /// Classifies one frame: push frames land in the push queue (and
+    /// return `None`), keepalive pongs are swallowed, everything else is
+    /// the `(id, response)` a reply-waiter wants.
+    fn classify(&mut self, frame: Frame) -> Result<Option<(u64, Response)>> {
+        if Push::is_push_kind(frame.kind) {
+            let (sub_id, push) = Push::from_frame(&frame)?;
+            self.pushes.push_back((sub_id, push));
+            return Ok(None);
+        }
+        let id = frame.request_id;
+        let resp = Response::from_frame(&frame)?;
+        if self.keepalive_ids.remove(&id) {
+            return Ok(None);
+        }
+        Ok(Some((id, resp)))
+    }
+
+    /// Receives the next *response* off the wire as `(request_id,
+    /// response)`. Responses may arrive in any order relative to sends;
+    /// unsolicited push frames encountered on the way are queued for
+    /// [`Client::recv_push`] — a subscription connection is therefore
+    /// NOT fifo at the frame level, and correlation happens by id and
+    /// kind, never by arrival position.
+    pub fn recv(&mut self) -> Result<(u64, Response)> {
+        loop {
+            let frame = self.read_frame()?;
+            if let Some(pair) = self.classify(frame)? {
+                return Ok(pair);
+            }
         }
     }
 
@@ -193,6 +300,127 @@ impl Client {
             Response::Stats(snap) => Some(*snap),
             _ => None,
         })
+    }
+
+    /// Registers the HyQL text as a standing query on this connection.
+    /// The returned [`Subscription`] holds the initial result; feed it
+    /// every [`Client::recv_push`] frame carrying its id (via
+    /// [`Subscription::apply`]) to track the server.
+    pub fn subscribe(&mut self, text: impl Into<String>) -> Result<Subscription> {
+        self.expect(&Request::Subscribe(text.into()), |r| match r {
+            Response::Subscribed { sub_id, snapshot } => Some(Subscription {
+                id: sub_id,
+                snapshot,
+                closed: None,
+            }),
+            _ => None,
+        })
+    }
+
+    /// Removes a standing query; returns whether the id was registered
+    /// on this connection. Pushes already in flight for it may still
+    /// arrive afterwards and can be discarded.
+    pub fn unsubscribe(&mut self, sub_id: u64) -> Result<bool> {
+        self.expect(&Request::Unsubscribe { sub_id }, |r| match r {
+            Response::Unsubscribed { existed } => Some(existed),
+            _ => None,
+        })
+    }
+
+    /// Issues a tracked keepalive ping if the connection has sat idle
+    /// past `HYGRAPH_CLIENT_PING_MS`. The pong is swallowed by
+    /// [`Client::classify`], so keepalives are invisible to reply
+    /// correlation.
+    fn maybe_keepalive(&mut self) -> Result<()> {
+        if let Some(every) = self.ping_every {
+            if self.last_io.elapsed() >= every {
+                let id = self.send(&Request::Ping)?;
+                self.keepalive_ids.insert(id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads and classifies one frame if any data arrives within
+    /// `timeout` (`None` blocks). Returns whether a frame was consumed.
+    /// Responses for other requests are held in `pending`; a
+    /// connection-level (id 0) error surfaces immediately.
+    fn pump_one(&mut self, timeout: Option<Duration>) -> Result<bool> {
+        if let Some(d) = timeout {
+            // a peek under a read timeout: the frame itself is then read
+            // blocking, so a frame is consumed whole or not at all
+            self.stream
+                .set_read_timeout(Some(d.max(Duration::from_millis(1))))?;
+            let mut probe = [0u8; 1];
+            let peeked = self.stream.peek(&mut probe);
+            self.stream.set_read_timeout(None)?;
+            match peeked {
+                Ok(0) => {
+                    return Err(HyGraphError::unavailable(
+                        "connection closed by server".to_owned(),
+                    ))
+                }
+                Ok(_) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(false)
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let frame = self.read_frame()?;
+        if let Some((id, resp)) = self.classify(frame)? {
+            if id == 0 {
+                // connection-level error; its real request is unknowable
+                resp.into_result()?;
+                return Ok(true);
+            }
+            self.pending.insert(id, resp);
+        }
+        Ok(true)
+    }
+
+    /// Waits up to `timeout` for the next unsolicited push frame,
+    /// returning `Ok(None)` on expiry. Replies to in-flight requests
+    /// read along the way stay available to their own
+    /// [`Client::recv_for`]. Idle keepalive pings
+    /// (`HYGRAPH_CLIENT_PING_MS`) are issued from here.
+    pub fn recv_push_timeout(&mut self, timeout: Duration) -> Result<Option<(u64, Push)>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(p) = self.pushes.pop_front() {
+                return Ok(Some(p));
+            }
+            self.maybe_keepalive()?;
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return Ok(None);
+            };
+            if left.is_zero() {
+                return Ok(None);
+            }
+            // wake at least once per ping interval so long waits still
+            // emit keepalives
+            let slice = match self.ping_every {
+                Some(every) => left.min(every),
+                None => left,
+            };
+            self.pump_one(Some(slice))?;
+        }
+    }
+
+    /// Blocks until the next unsolicited push frame arrives (issuing
+    /// idle keepalives along the way when configured).
+    pub fn recv_push(&mut self) -> Result<(u64, Push)> {
+        loop {
+            let slice = self.ping_every.unwrap_or(Duration::from_millis(500));
+            if let Some(p) = self.recv_push_timeout(slice)? {
+                return Ok(p);
+            }
+        }
     }
 
     /// Closes the connection (dropping the client does the same).

@@ -12,6 +12,7 @@ use crate::proto::{ErrorCode, Request, Response};
 use hygraph_core::HyGraph;
 use hygraph_persist::{Durable, DurableStore, HgMutation};
 use hygraph_query::{PlanCacheHook, PlannedQuery, QueryResult};
+use hygraph_sub::{DeltaSink, SubConfig, SubscriptionRegistry};
 use hygraph_types::bytes::ByteWriter;
 use hygraph_types::Result;
 use std::sync::{Arc, Mutex, RwLock};
@@ -125,6 +126,12 @@ pub struct Engine {
     inner: RwLock<Backend>,
     /// Shared compiled-plan LRU; `None` when `HYGRAPH_PLAN_CACHE=0`.
     plan_cache: Option<PlanCache>,
+    /// Standing queries. Registration runs under the read lock (a
+    /// snapshot and its registration are atomic w.r.t. writers);
+    /// [`Engine::mutate_batch`] notifies it under the write lock, so
+    /// every subscriber observes each committed batch exactly once, in
+    /// commit order.
+    subs: SubscriptionRegistry,
 }
 
 impl Engine {
@@ -140,7 +147,43 @@ impl Engine {
         Self {
             inner: RwLock::new(backend),
             plan_cache: (capacity > 0).then(|| PlanCache::new(capacity)),
+            subs: SubscriptionRegistry::from_env(),
         }
+    }
+
+    /// Replaces the subscription-layer settings (cap, push-buffer
+    /// depth) — lets tests pin them regardless of the environment.
+    pub fn with_sub_config(mut self, cfg: SubConfig) -> Self {
+        self.subs = SubscriptionRegistry::new(cfg);
+        self
+    }
+
+    /// The standing-query registry this engine notifies on commit.
+    pub fn subscriptions(&self) -> &SubscriptionRegistry {
+        &self.subs
+    }
+
+    /// Registers a standing query for connection `conn` under the read
+    /// lock: the returned snapshot and the registration are atomic with
+    /// respect to mutation batches.
+    pub fn subscribe(
+        &self,
+        text: &str,
+        conn: u64,
+        sink: Arc<dyn DeltaSink>,
+    ) -> Result<(u64, QueryResult)> {
+        let guard = self.read();
+        self.subs.subscribe(guard.graph(), text, conn, sink)
+    }
+
+    /// Removes standing query `sub_id` if it belongs to `conn`.
+    pub fn unsubscribe(&self, conn: u64, sub_id: u64) -> bool {
+        self.subs.unsubscribe(conn, sub_id)
+    }
+
+    /// Drops every standing query of a disconnected client.
+    pub fn drop_conn(&self, conn: u64) {
+        self.subs.drop_conn(conn);
     }
 
     fn read(&self) -> std::sync::RwLockReadGuard<'_, Backend> {
@@ -176,20 +219,48 @@ impl Engine {
     pub fn mutate_batch(&self, mutations: Vec<HgMutation>) -> Result<(u64, u64)> {
         let count = mutations.len() as u64;
         let mut guard = self.write();
-        match &mut *guard {
+        if self.subs.is_empty() {
+            // no standing queries: the original zero-overhead path (the
+            // write lock excludes concurrent subscribes, so the check
+            // cannot race a registration)
+            return match &mut *guard {
+                Backend::Memory { hg, applied } => {
+                    let first = *applied;
+                    for m in &mutations {
+                        hg.apply(m)?;
+                        *applied += 1;
+                    }
+                    Ok((first, count))
+                }
+                Backend::Durable(store) => {
+                    let range = store.commit_batch(mutations)?;
+                    Ok((range.start, range.end - range.start))
+                }
+            };
+        }
+        let pre_v = guard.graph().topology().vertex_capacity();
+        let pre_e = guard.graph().topology().edge_capacity();
+        let outcome = match &mut *guard {
             Backend::Memory { hg, applied } => {
-                let first = *applied;
+                let mut res = Ok((*applied, count));
                 for m in &mutations {
-                    hg.apply(m)?;
+                    if let Err(e) = hg.apply(m) {
+                        res = Err(e);
+                        break;
+                    }
                     *applied += 1;
                 }
-                Ok((first, count))
+                res
             }
-            Backend::Durable(store) => {
-                let range = store.commit_batch(mutations)?;
-                Ok((range.start, range.end - range.start))
-            }
-        }
+            Backend::Durable(store) => store
+                .commit_batch(mutations.clone())
+                .map(|range| (range.start, range.end - range.start)),
+        };
+        // both backends keep the valid prefix of a failed batch, so
+        // subscribers must still observe it (failed => rebuild path)
+        self.subs
+            .on_commit(guard.graph(), &mutations, pre_v, pre_e, outcome.is_err());
+        outcome
     }
 
     /// Forces a checkpoint on a durable backend; a no-op pseudo-LSN
@@ -238,6 +309,17 @@ impl Engine {
             Request::Checkpoint => self
                 .checkpoint()
                 .map(|lsn| Response::CheckpointDone { lsn }),
+            // subscriptions are connection-scoped: the serving layer
+            // intercepts these before the engine (it owns the sink); a
+            // connectionless caller (LocalClient) has nowhere to push
+            Request::Subscribe(_) | Request::Unsubscribe { .. } => {
+                return Response::Error {
+                    code: ErrorCode::Exec,
+                    message: "subscriptions require a connection; use Client::subscribe \
+                              over TCP"
+                        .to_string(),
+                }
+            }
         };
         result.unwrap_or_else(|e| Response::Error {
             code: ErrorCode::Exec,

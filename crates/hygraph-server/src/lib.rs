@@ -20,7 +20,12 @@
 //!   ([`proto::ErrorCode::DeadlineExceeded`]) instead of executing it
 //!   after the client stopped caring;
 //! * graceful shutdown ([`Server::shutdown`]) drains every admitted
-//!   request, syncs the WAL, and only then closes connections.
+//!   request, syncs the WAL, and only then closes connections;
+//! * standing queries ([`Client::subscribe`], `hygraph-sub`) push
+//!   incremental result deltas as unsolicited tagged frames, written by
+//!   a per-connection pusher thread so a slow subscriber never blocks
+//!   the commit path — it is disconnected with a typed
+//!   [`proto::Push::Closed`] instead.
 //!
 //! Configuration follows the workspace's layered-knob convention:
 //! `HYGRAPH_ADDR`, `HYGRAPH_WORKERS`, `HYGRAPH_QUEUE_DEPTH`, and
@@ -51,7 +56,8 @@ pub mod proto;
 pub mod queue;
 pub mod server;
 
-pub use client::{Client, LocalClient};
+pub use client::{Client, LocalClient, Subscription};
 pub use engine::{Backend, Engine};
-pub use proto::{ErrorCode, Request, Response};
+pub use hygraph_sub::SubConfig;
+pub use proto::{ErrorCode, Push, Request, Response};
 pub use server::{Server, ServerStats, ShutdownReport};

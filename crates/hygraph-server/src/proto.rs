@@ -30,6 +30,8 @@ const K_MUTATE_BATCH: u8 = 3;
 const K_CHECKPOINT: u8 = 4;
 const K_SLEEP: u8 = 5;
 const K_STATS: u8 = 6;
+const K_SUBSCRIBE: u8 = 7;
+const K_UNSUBSCRIBE: u8 = 8;
 
 // Response kinds (server → client).
 const K_PONG: u8 = 128;
@@ -37,7 +39,17 @@ const K_ROWS: u8 = 129;
 const K_COMMITTED: u8 = 130;
 const K_CHECKPOINT_DONE: u8 = 131;
 const K_STATS_SNAPSHOT: u8 = 132;
+const K_SUBSCRIBED: u8 = 133;
+const K_UNSUBSCRIBED: u8 = 134;
 const K_ERROR: u8 = 255;
+
+// Push kinds (server → client, unsolicited). Everything in
+// `192..K_ERROR` is a push frame: its `request_id` carries the
+// *subscription* id, not a request correlation id, so clients must
+// route these by kind before matching replies (see
+// [`Push::is_push_kind`]).
+const K_DELTA: u8 = 192;
+const K_SUB_CLOSED: u8 = 193;
 
 /// Why the server refused or failed a request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -95,6 +107,15 @@ pub enum Request {
     /// Fetch the server's observability snapshot (counters, latency
     /// histograms, slow-query log) — answered with [`Response::Stats`].
     Stats,
+    /// Register the HyQL text as a standing query on this connection —
+    /// answered with [`Response::Subscribed`], after which committed
+    /// changes arrive as unsolicited [`Push::Delta`] frames.
+    Subscribe(String),
+    /// Remove a standing query registered on this connection.
+    Unsubscribe {
+        /// The id from [`Response::Subscribed`].
+        sub_id: u64,
+    },
 }
 
 /// One server response. `Error` carries an [`ErrorCode`] so clients can
@@ -124,6 +145,23 @@ pub enum Response {
     /// [`hygraph_metrics::snapshot`] returns in-process (all zeros when
     /// metrics are disabled server-side).
     Stats(Box<hygraph_metrics::Snapshot>),
+    /// Reply to [`Request::Subscribe`]: the standing query's id plus
+    /// its initial materialised result. Applying every subsequent
+    /// [`Push::Delta`] to `snapshot` in arrival order reproduces the
+    /// server-side result after each commit.
+    Subscribed {
+        /// Subscription id (scoped to this connection).
+        sub_id: u64,
+        /// The result as of registration.
+        snapshot: QueryResult,
+    },
+    /// Reply to [`Request::Unsubscribe`]; carries whether the id was
+    /// actually registered on this connection.
+    Unsubscribed {
+        /// `false` when the id was unknown (already dropped or never
+        /// this connection's).
+        existed: bool,
+    },
     /// The request was refused or failed; see [`ErrorCode`].
     Error {
         /// Failure class.
@@ -150,6 +188,8 @@ impl Request {
             Request::Checkpoint => K_CHECKPOINT,
             Request::Sleep(_) => K_SLEEP,
             Request::Stats => K_STATS,
+            Request::Subscribe(_) => K_SUBSCRIBE,
+            Request::Unsubscribe { .. } => K_UNSUBSCRIBE,
         }
     }
 
@@ -169,6 +209,8 @@ impl Request {
                 }
             }
             Request::Sleep(ms) => w.u64(*ms),
+            Request::Subscribe(text) => w.str(text),
+            Request::Unsubscribe { sub_id } => w.u64(*sub_id),
         }
         Frame::new(request_id, self.kind(), w.into_bytes())
     }
@@ -196,6 +238,8 @@ impl Request {
             K_CHECKPOINT => Request::Checkpoint,
             K_SLEEP => Request::Sleep(r.u64()?.min(MAX_SLEEP_MS)),
             K_STATS => Request::Stats,
+            K_SUBSCRIBE => Request::Subscribe(r.str()?),
+            K_UNSUBSCRIBE => Request::Unsubscribe { sub_id: r.u64()? },
             k => return Err(HyGraphError::corrupt(format!("unknown request kind {k}"))),
         };
         r.expect_exhausted()?;
@@ -212,6 +256,8 @@ impl Response {
             Response::Committed { .. } => K_COMMITTED,
             Response::CheckpointDone { .. } => K_CHECKPOINT_DONE,
             Response::Stats(_) => K_STATS_SNAPSHOT,
+            Response::Subscribed { .. } => K_SUBSCRIBED,
+            Response::Unsubscribed { .. } => K_UNSUBSCRIBED,
             Response::Error { .. } => K_ERROR,
         }
     }
@@ -227,6 +273,11 @@ impl Response {
                 w.u64(*count);
             }
             Response::CheckpointDone { lsn } => w.u64(*lsn),
+            Response::Subscribed { sub_id, snapshot } => {
+                w.u64(*sub_id);
+                snapshot.encode(&mut w);
+            }
+            Response::Unsubscribed { existed } => w.u8(*existed as u8),
             Response::Stats(snap) => {
                 let bytes = snap.to_bytes();
                 w.len_of(bytes.len());
@@ -251,6 +302,13 @@ impl Response {
                 count: r.u64()?,
             },
             K_CHECKPOINT_DONE => Response::CheckpointDone { lsn: r.u64()? },
+            K_SUBSCRIBED => Response::Subscribed {
+                sub_id: r.u64()?,
+                snapshot: QueryResult::decode(&mut r)?,
+            },
+            K_UNSUBSCRIBED => Response::Unsubscribed {
+                existed: r.u8()? != 0,
+            },
             K_STATS_SNAPSHOT => {
                 let len = r.len_of()?;
                 let raw = r.raw(len)?;
@@ -292,10 +350,66 @@ impl Response {
     }
 }
 
+/// One unsolicited server→client push frame for a standing query.
+/// Unlike [`Response`]s, pushes are not correlated to a request: the
+/// frame's `request_id` slot carries the subscription id.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Push {
+    /// The subscription's result changed; apply with
+    /// [`hygraph_query::incremental::apply_delta`].
+    Delta(hygraph_query::incremental::Delta),
+    /// The server dropped the subscription (slow consumer, standing
+    /// query failure); no further frames follow for this id.
+    Closed {
+        /// Why it was dropped.
+        reason: String,
+    },
+}
+
+impl Push {
+    /// Whether a frame kind is in the unsolicited-push range. Clients
+    /// route these by kind *before* reply correlation.
+    pub fn is_push_kind(kind: u8) -> bool {
+        (K_DELTA..K_ERROR).contains(&kind)
+    }
+
+    /// The frame kind tag for this push.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Push::Delta(_) => K_DELTA,
+            Push::Closed { .. } => K_SUB_CLOSED,
+        }
+    }
+
+    /// Encodes the push into a frame whose id slot carries `sub_id`.
+    pub fn to_frame(&self, sub_id: u64) -> Frame {
+        let mut w = ByteWriter::new();
+        match self {
+            Push::Delta(d) => d.encode(&mut w),
+            Push::Closed { reason } => w.str(reason),
+        }
+        Frame::new(sub_id, self.kind(), w.into_bytes())
+    }
+
+    /// Decodes a push frame, returning `(sub_id, push)`. Untrusted
+    /// input.
+    pub fn from_frame(frame: &Frame) -> Result<(u64, Self)> {
+        let mut r = ByteReader::new(&frame.payload);
+        let push = match frame.kind {
+            K_DELTA => Push::Delta(hygraph_query::incremental::Delta::decode(&mut r)?),
+            K_SUB_CLOSED => Push::Closed { reason: r.str()? },
+            k => return Err(HyGraphError::corrupt(format!("unknown push kind {k}"))),
+        };
+        r.expect_exhausted()?;
+        Ok((frame.request_id, push))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hygraph_types::{Interval, Label, PropertyMap, SeriesId, Timestamp};
+    use hygraph_query::incremental::{Delta, DeltaOp};
+    use hygraph_types::{Interval, Label, PropertyMap, SeriesId, Timestamp, Value};
 
     fn roundtrip_request(req: &Request) -> Request {
         let frame = req.to_frame(7);
@@ -333,6 +447,8 @@ mod tests {
             Request::Checkpoint,
             Request::Sleep(50),
             Request::Stats,
+            Request::Subscribe("MATCH (u:User) RETURN u.name AS n".into()),
+            Request::Unsubscribe { sub_id: 12 },
         ];
         for req in &reqs {
             assert_eq!(&roundtrip_request(req), req);
@@ -375,6 +491,14 @@ mod tests {
                 });
                 snap
             })),
+            Response::Subscribed {
+                sub_id: 3,
+                snapshot: QueryResult {
+                    columns: vec!["n".into()],
+                    rows: vec![vec![Value::Str("ada".into())]],
+                },
+            },
+            Response::Unsubscribed { existed: true },
             Response::Error {
                 code: ErrorCode::Overloaded,
                 message: "queue full".into(),
@@ -383,6 +507,37 @@ mod tests {
         for resp in &resps {
             assert_eq!(&roundtrip_response(resp), resp);
         }
+    }
+
+    #[test]
+    fn pushes_roundtrip_and_carry_sub_id() {
+        let pushes = [
+            Push::Delta(Delta {
+                ops: vec![
+                    DeltaOp::Insert {
+                        at: 0,
+                        row: vec![Value::Int(7)],
+                    },
+                    DeltaOp::Remove { at: 2 },
+                ],
+            }),
+            Push::Closed {
+                reason: "slow consumer: push buffer full".into(),
+            },
+        ];
+        for push in &pushes {
+            let frame = push.to_frame(42);
+            assert!(Push::is_push_kind(frame.kind), "kind {}", frame.kind);
+            // push kinds never collide with the reply vocabulary
+            assert!(Response::from_frame(&frame).is_err());
+            let (sub_id, decoded) = Push::from_frame(&frame).expect("push decodes");
+            assert_eq!(sub_id, 42);
+            assert_eq!(&decoded, push);
+        }
+        // the error kind stays a reply, not a push
+        assert!(!Push::is_push_kind(K_ERROR));
+        assert!(!Push::is_push_kind(K_PONG));
+        assert!(Push::from_frame(&Frame::new(1, K_PONG, vec![])).is_err());
     }
 
     #[test]

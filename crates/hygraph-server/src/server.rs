@@ -33,14 +33,17 @@
 //! admitted before shutdown always gets its reply.
 
 use crate::engine::{Backend, Engine};
-use crate::proto::{ErrorCode, Request, Response, MAX_SLEEP_MS};
+use crate::proto::{ErrorCode, Push, Request, Response, MAX_SLEEP_MS};
 use crate::queue::{Bounded, PushError};
 use hygraph_metrics as metrics;
-use hygraph_types::net::{self, FrameRead, ServerConfig, ServerSettings};
+use hygraph_query::incremental::Delta;
+use hygraph_sub::DeltaSink;
+use hygraph_types::net::{self, Frame, FrameRead, ServerConfig, ServerSettings};
 use hygraph_types::Result;
+use std::collections::{HashMap, VecDeque};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -117,6 +120,97 @@ impl std::fmt::Debug for ShutdownReport {
     }
 }
 
+/// The per-connection outbound push channel for standing-query deltas.
+///
+/// Workers (inside [`Engine::mutate_batch`], under the engine's write
+/// lock) enqueue pre-encoded frames; a dedicated pusher thread drains
+/// the queue and writes them under the connection's reply mutex, so
+/// pushes interleave with pipelined replies per frame, never mid-frame,
+/// and a slow socket never blocks the commit path — the queue just
+/// fills and the registry drops the subscriber.
+struct ConnSink {
+    reply: Arc<Mutex<TcpStream>>,
+    max_frame: usize,
+    /// Queue depth bound (`HYGRAPH_SUB_BUFFER`); [`Push::Closed`]
+    /// frames bypass it so the disconnect reason always fits.
+    cap: usize,
+    q: Mutex<VecDeque<Frame>>,
+    cv: Condvar,
+    done: AtomicBool,
+}
+
+impl ConnSink {
+    fn new(reply: Arc<Mutex<TcpStream>>, max_frame: usize, cap: usize) -> Self {
+        Self {
+            reply,
+            max_frame,
+            cap,
+            q: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    fn enqueue(&self, frame: Frame, respect_cap: bool) -> bool {
+        let mut q = lock(&self.q);
+        if respect_cap && q.len() >= self.cap {
+            return false;
+        }
+        q.push_back(frame);
+        self.cv.notify_one();
+        true
+    }
+
+    /// Stops the pusher after it flushes what is already queued.
+    fn shutdown(&self) {
+        self.done.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+}
+
+impl DeltaSink for ConnSink {
+    fn push_delta(&self, sub_id: u64, delta: &Delta) -> bool {
+        self.enqueue(Push::Delta(delta.clone()).to_frame(sub_id), true)
+    }
+
+    fn close(&self, sub_id: u64, reason: &str) {
+        self.enqueue(
+            Push::Closed {
+                reason: reason.to_owned(),
+            }
+            .to_frame(sub_id),
+            false,
+        );
+    }
+}
+
+/// Drains a [`ConnSink`]'s queue onto the wire until shutdown, then
+/// flushes the remainder. A gone peer is not an error here — the
+/// registry notices via the filling queue.
+fn pusher_loop(sink: &ConnSink) {
+    loop {
+        let frame = {
+            let mut q = lock(&sink.q);
+            loop {
+                if let Some(f) = q.pop_front() {
+                    break f;
+                }
+                if sink.done.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = sink.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let mut stream = lock(&sink.reply);
+        let _ = net::write_frame(&mut *stream, &frame, sink.max_frame);
+    }
+}
+
+struct SinkEntry {
+    sink: Arc<ConnSink>,
+    pusher: Option<JoinHandle<()>>,
+}
+
 struct Shared {
     engine: Arc<Engine>,
     queue: Bounded<Job>,
@@ -124,7 +218,17 @@ struct Shared {
     shutdown: AtomicBool,
     conns: Mutex<Vec<TcpStream>>,
     readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Push channels by connection id (the reply-mutex pointer, unique
+    /// while the connection lives).
+    sinks: Mutex<HashMap<u64, SinkEntry>>,
     stats: Stats,
+}
+
+/// A connection's id: the address of its reply mutex — stable and
+/// unique for the connection's whole lifetime, with no extra counter to
+/// thread through.
+fn conn_id(reply: &Arc<Mutex<TcpStream>>) -> u64 {
+    Arc::as_ptr(reply) as usize as u64
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
@@ -260,6 +364,25 @@ fn reader_loop(shared: &Shared, mut stream: TcpStream, reply: Arc<Mutex<TcpStrea
             }
         }
     }
+    // connection teardown: stop the pusher (flushing what is queued),
+    // then unregister every standing query of this connection. Order
+    // matters for the subscribe race (see the worker's Subscribe arm):
+    // `done` is set before `drop_conn`, so a concurrent subscribe either
+    // observes `done` and self-unsubscribes, or registered early enough
+    // that `drop_conn` sweeps it.
+    let id = conn_id(&reply);
+    // absent when server shutdown already drained the sinks map
+    let entry = lock(&shared.sinks).remove(&id);
+    if let Some(entry) = &entry {
+        entry.sink.shutdown();
+    }
+    shared.engine.drop_conn(id);
+    if let Some(SinkEntry {
+        pusher: Some(h), ..
+    }) = entry
+    {
+        let _ = h.join();
+    }
     if let Some(m) = metrics::get() {
         m.server.connections.dec();
     }
@@ -302,13 +425,53 @@ fn worker_loop(shared: &Shared) {
             if let Some(m) = metrics::get() {
                 m.server.workers_busy.inc();
             }
-            let resp = if let Request::Sleep(ms) = job.req {
-                // serviced here, not in the engine: holds no lock, only a
-                // worker slot — exactly what the saturation tests need
-                std::thread::sleep(std::time::Duration::from_millis(ms.min(MAX_SLEEP_MS)));
-                Response::Pong
-            } else {
-                shared.engine.handle(&job.req)
+            let resp = match &job.req {
+                Request::Sleep(ms) => {
+                    // serviced here, not in the engine: holds no lock,
+                    // only a worker slot — exactly what the saturation
+                    // tests need
+                    std::thread::sleep(Duration::from_millis(*ms.min(&MAX_SLEEP_MS)));
+                    Response::Pong
+                }
+                // connection-scoped, so serviced here where the push
+                // sink lives, not in the engine
+                Request::Subscribe(text) => {
+                    let id = conn_id(&job.reply);
+                    let sink = lock(&shared.sinks).get(&id).map(|e| Arc::clone(&e.sink));
+                    match sink {
+                        Some(sink) => {
+                            match shared.engine.subscribe(text, id, sink.clone()) {
+                                Ok((sub_id, snapshot)) => {
+                                    if sink.done.load(Ordering::SeqCst) {
+                                        // the reader tore the connection
+                                        // down while we registered; its
+                                        // drop_conn may have run before
+                                        // we existed, so sweep ourselves
+                                        shared.engine.unsubscribe(id, sub_id);
+                                        Response::Error {
+                                            code: ErrorCode::Exec,
+                                            message: "connection closed during subscribe".into(),
+                                        }
+                                    } else {
+                                        Response::Subscribed { sub_id, snapshot }
+                                    }
+                                }
+                                Err(e) => Response::Error {
+                                    code: ErrorCode::Exec,
+                                    message: e.to_string(),
+                                },
+                            }
+                        }
+                        None => Response::Error {
+                            code: ErrorCode::Exec,
+                            message: "connection is closing".into(),
+                        },
+                    }
+                }
+                Request::Unsubscribe { sub_id } => Response::Unsubscribed {
+                    existed: shared.engine.unsubscribe(conn_id(&job.reply), *sub_id),
+                },
+                req => shared.engine.handle(req),
             };
             if let Some(m) = metrics::get() {
                 m.server.workers_busy.dec();
@@ -369,6 +532,22 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
             _ => continue,
         };
         lock(&shared.conns).push(registered);
+        // every connection gets a push channel up front: subscriptions
+        // registered by any worker have somewhere to deliver, with no
+        // lazy-spawn race against the commit path
+        let sink = Arc::new(ConnSink::new(
+            Arc::clone(&reply),
+            shared.settings.max_frame_bytes,
+            shared.engine.subscriptions().config().push_buffer,
+        ));
+        let pusher = {
+            let sink = Arc::clone(&sink);
+            std::thread::Builder::new()
+                .name("hygraph-push".into())
+                .spawn(move || pusher_loop(&sink))
+                .ok()
+        };
+        lock(&shared.sinks).insert(conn_id(&reply), SinkEntry { sink, pusher });
         let shared2 = Arc::clone(shared);
         let handle = std::thread::Builder::new()
             .name("hygraph-conn".into())
@@ -399,17 +578,25 @@ impl Server {
     /// [`ServerConfig`]). Use address `"127.0.0.1:0"` for an ephemeral
     /// test port; [`Server::local_addr`] reports what was bound.
     pub fn serve(backend: Backend, config: &ServerConfig) -> Result<Self> {
+        Self::serve_engine(Engine::new(backend), config)
+    }
+
+    /// Like [`Server::serve`], but over a pre-built [`Engine`] — the
+    /// way to pin engine-level settings ([`Engine::with_plan_cache`],
+    /// [`Engine::with_sub_config`]) regardless of the environment.
+    pub fn serve_engine(engine: Engine, config: &ServerConfig) -> Result<Self> {
         let settings = config.resolve();
         let listener = TcpListener::bind(&settings.addr)?;
         let addr = listener.local_addr()?;
         let workers = settings.workers;
         let shared = Arc::new(Shared {
-            engine: Arc::new(Engine::new(backend)),
+            engine: Arc::new(engine),
             queue: Bounded::new(settings.queue_depth),
             settings,
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
             readers: Mutex::new(Vec::new()),
+            sinks: Mutex::new(HashMap::new()),
             stats: Stats::default(),
         });
         let mut worker_handles = Vec::with_capacity(workers);
@@ -516,6 +703,18 @@ impl Server {
         let drained = shared.stats.completed.load(Ordering::SeqCst) - completed_before;
         let dropped_at_deadline =
             shared.stats.drain_deadline_drops.load(Ordering::SeqCst) - drops_before;
+        // 3b. the workers are done, so no more deltas can be produced:
+        // flush every push channel (queued deltas still reach their
+        // subscribers) and retire the pusher threads
+        let entries: Vec<SinkEntry> = lock(&shared.sinks).drain().map(|(_, e)| e).collect();
+        for e in &entries {
+            e.sink.shutdown();
+        }
+        for e in entries {
+            if let Some(h) = e.pusher {
+                let _ = h.join();
+            }
+        }
         // 4. every admitted mutation is on disk before we say goodbye
         shared.engine.sync()?;
         // 5. now drop the connections and collect the readers

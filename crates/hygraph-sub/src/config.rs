@@ -1,0 +1,63 @@
+//! Subscription-layer configuration, following the workspace's layered
+//! knob convention: defaults, then `HYGRAPH_SUB_*` environment
+//! variables (read once per process), then explicit builder overrides.
+
+use std::sync::OnceLock;
+
+/// Default cap on concurrently registered subscriptions.
+pub const DEFAULT_MAX_SUBSCRIPTIONS: usize = 1024;
+
+/// Default per-connection push-buffer depth (frames queued but not yet
+/// written); beyond it the subscriber is a slow consumer and is
+/// disconnected with a typed close.
+pub const DEFAULT_PUSH_BUFFER: usize = 256;
+
+/// Effective subscription-layer settings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubConfig {
+    /// Maximum registered subscriptions (`HYGRAPH_SUB_MAX`); further
+    /// `SUBSCRIBE` requests are refused with a typed error.
+    pub max_subscriptions: usize,
+    /// Per-connection push-buffer depth (`HYGRAPH_SUB_BUFFER`).
+    pub push_buffer: usize,
+}
+
+impl Default for SubConfig {
+    fn default() -> Self {
+        Self {
+            max_subscriptions: DEFAULT_MAX_SUBSCRIPTIONS,
+            push_buffer: DEFAULT_PUSH_BUFFER,
+        }
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+impl SubConfig {
+    /// Defaults overlaid with the `HYGRAPH_SUB_*` environment knobs,
+    /// read once per process.
+    pub fn from_env() -> Self {
+        static CACHED: OnceLock<SubConfig> = OnceLock::new();
+        *CACHED.get_or_init(|| Self {
+            max_subscriptions: env_usize("HYGRAPH_SUB_MAX", DEFAULT_MAX_SUBSCRIPTIONS),
+            push_buffer: env_usize("HYGRAPH_SUB_BUFFER", DEFAULT_PUSH_BUFFER),
+        })
+    }
+
+    /// Overrides the subscription cap.
+    pub fn max_subscriptions(mut self, n: usize) -> Self {
+        self.max_subscriptions = n;
+        self
+    }
+
+    /// Overrides the push-buffer depth.
+    pub fn push_buffer(mut self, n: usize) -> Self {
+        self.push_buffer = n;
+        self
+    }
+}

@@ -1,0 +1,32 @@
+//! hygraph-sub — standing HyQL queries with incremental delta push.
+//!
+//! The paper's fraud-detection scenario is a *standing* question: the
+//! interesting answer is not one result set but the stream of changes
+//! to it as transactions commit. This crate turns any HyQL query into
+//! such a standing query: a [`SubscriptionRegistry`] holds, per
+//! subscription, the optimized plan plus a materialised result, and on
+//! every committed mutation batch computes a positional edit script
+//! ([`Delta`]) against the previous result — incrementally where the
+//! plan shape allows it (`hygraph_query::incremental`), by full
+//! re-execution plus [`diff_rows`] otherwise. Deltas flow out through a
+//! [`DeltaSink`] the serving layer implements over its per-connection
+//! push buffers; this crate stays transport-agnostic.
+//!
+//! Routing is the point: an inverted index from vertex/edge labels and
+//! series usage to subscriptions means a commit touching `TX` edges
+//! never even evaluates a standing query over `Station` vertices —
+//! unaffected subscriptions pay one hash lookup, push zero frames.
+//!
+//! Knob catalogue (`OPERATIONS.md` has the full table):
+//! `HYGRAPH_SUB_MAX` caps registered subscriptions,
+//! `HYGRAPH_SUB_BUFFER` sizes the serving layer's per-connection push
+//! buffers.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod registry;
+
+pub use config::SubConfig;
+pub use hygraph_query::incremental::{apply_delta, diff_rows, Delta, DeltaOp};
+pub use registry::{DeltaSink, SubscriptionRegistry};

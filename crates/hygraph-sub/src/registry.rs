@@ -1,0 +1,829 @@
+//! The subscription registry: standing queries keyed by plan
+//! fingerprint, an inverted label/series index for commit routing, and
+//! per-commit delta evaluation.
+//!
+//! # Routing soundness
+//!
+//! The index is a deliberate over-approximation: a subscription is
+//! routed whenever a commit *could* change its result, and a routed
+//! subscription whose result did not change produces an empty delta,
+//! which is never pushed. Concretely:
+//!
+//! * a new vertex can only create matches at pattern positions whose
+//!   label constraints its own labels satisfy — routing by the new
+//!   vertex's labels (plus subscriptions with unconstrained vertex
+//!   positions) covers every such position;
+//! * likewise new edges by their labels (plus unconstrained edge
+//!   slots);
+//! * appended series points can only move series aggregates — only
+//!   subscriptions whose plan reads any series aggregate are routed,
+//!   and their [`IncState`] narrows further to the entries whose
+//!   resolved series ids were touched;
+//! * property updates and validity closes can shift filters, pushed
+//!   predicates, and match sets in ways additions cannot, so routed
+//!   subscriptions take the rebuild path (full recompute, merge-diffed
+//!   in canonical match order);
+//! * subgraph mutations are invisible to HyQL plans and route nowhere.
+//!
+//! A failed batch may have applied a valid prefix the caller cannot
+//! name, so it routes *every* subscription through rebuild —
+//! correctness first.
+
+use crate::config::SubConfig;
+use hygraph_core::{ElementRef, HyGraph};
+use hygraph_persist::HgMutation;
+use hygraph_query::ast::Query;
+use hygraph_query::incremental::{diff_rows, support, uses_series, Delta, IncState};
+use hygraph_query::{execute_planned, plan_query, PlannedQuery, QueryResult, Row};
+use hygraph_types::parallel::ExecMode;
+use hygraph_types::{EdgeId, HyGraphError, Result, SeriesId, VertexId};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Where a subscription's pushes go — the serving layer implements this
+/// over its per-connection bounded push buffers; tests implement it
+/// over a collecting vector.
+pub trait DeltaSink: Send + Sync {
+    /// Enqueues one delta frame for `sub_id`. Returns `false` when the
+    /// buffer is full — the registry then drops the subscription as a
+    /// slow consumer.
+    fn push_delta(&self, sub_id: u64, delta: &Delta) -> bool;
+
+    /// Enqueues a terminal close notice for `sub_id`. Must not fail:
+    /// implementations bypass the buffer cap for this single frame so a
+    /// dropped subscriber learns *why* it was dropped.
+    fn close(&self, sub_id: u64, reason: &str);
+}
+
+/// How a subscription is maintained across commits.
+enum Mode {
+    /// Seeded incremental maintenance (supported plan shapes).
+    Incremental(IncState),
+    /// Full re-execution + positional diff on every routed commit.
+    Rerun {
+        planned: PlannedQuery,
+        rows: Vec<Row>,
+    },
+}
+
+impl Mode {
+    fn snapshot(&self, columns: &[String]) -> QueryResult {
+        match self {
+            Mode::Incremental(st) => st.snapshot(),
+            Mode::Rerun { rows, .. } => QueryResult {
+                columns: columns.to_vec(),
+                rows: rows.clone(),
+            },
+        }
+    }
+}
+
+/// The label/series footprint of one subscription — what the inverted
+/// index holds for it, kept on the subscription so unregistering can
+/// remove exactly its entries.
+#[derive(Clone, Debug, Default)]
+struct RouteKeys {
+    vlabels: BTreeSet<String>,
+    elabels: BTreeSet<String>,
+    v_wild: bool,
+    e_wild: bool,
+    series: bool,
+}
+
+/// Derives the routing footprint from the query's AST patterns. An
+/// unlabeled node/edge position accepts elements of any label; a
+/// variable-length hop traverses unconstrained intermediate vertices,
+/// so it implies the vertex wildcard.
+fn route_keys(q: &Query, series: bool) -> RouteKeys {
+    let mut keys = RouteKeys {
+        series,
+        ..RouteKeys::default()
+    };
+    fn node(keys: &mut RouteKeys, labels: &[String]) {
+        if labels.is_empty() {
+            keys.v_wild = true;
+        } else {
+            keys.vlabels.extend(labels.iter().cloned());
+        }
+    }
+    for path in &q.patterns {
+        node(&mut keys, &path.start.labels);
+        for (edge, n) in &path.hops {
+            node(&mut keys, &n.labels);
+            if edge.labels.is_empty() {
+                keys.e_wild = true;
+            } else {
+                keys.elabels.extend(edge.labels.iter().cloned());
+            }
+            if edge.hops != (1, 1) {
+                keys.v_wild = true; // intermediate vertices are unconstrained
+            }
+        }
+    }
+    keys
+}
+
+struct Sub {
+    conn: u64,
+    fingerprint: u64,
+    columns: Vec<String>,
+    sink: Arc<dyn DeltaSink>,
+    mode: Mode,
+    keys: RouteKeys,
+}
+
+#[derive(Default)]
+struct Inner {
+    next_id: u64,
+    subs: BTreeMap<u64, Sub>,
+    by_vlabel: HashMap<String, HashSet<u64>>,
+    by_elabel: HashMap<String, HashSet<u64>>,
+    v_wild: HashSet<u64>,
+    e_wild: HashSet<u64>,
+    series_any: HashSet<u64>,
+    by_conn: HashMap<u64, HashSet<u64>>,
+    by_fp: HashMap<u64, HashSet<u64>>,
+}
+
+impl Inner {
+    fn index(&mut self, id: u64) {
+        let sub = &self.subs[&id];
+        let keys = sub.keys.clone();
+        for l in &keys.vlabels {
+            self.by_vlabel.entry(l.clone()).or_default().insert(id);
+        }
+        for l in &keys.elabels {
+            self.by_elabel.entry(l.clone()).or_default().insert(id);
+        }
+        if keys.v_wild {
+            self.v_wild.insert(id);
+        }
+        if keys.e_wild {
+            self.e_wild.insert(id);
+        }
+        if keys.series {
+            self.series_any.insert(id);
+        }
+        self.by_conn.entry(sub.conn).or_default().insert(id);
+        self.by_fp.entry(sub.fingerprint).or_default().insert(id);
+    }
+
+    fn unindex(&mut self, id: u64, sub: &Sub) {
+        let drop_from = |map: &mut HashMap<String, HashSet<u64>>, l: &str| {
+            if let Some(set) = map.get_mut(l) {
+                set.remove(&id);
+                if set.is_empty() {
+                    map.remove(l);
+                }
+            }
+        };
+        for l in &sub.keys.vlabels {
+            drop_from(&mut self.by_vlabel, l);
+        }
+        for l in &sub.keys.elabels {
+            drop_from(&mut self.by_elabel, l);
+        }
+        self.v_wild.remove(&id);
+        self.e_wild.remove(&id);
+        self.series_any.remove(&id);
+        if let Some(set) = self.by_conn.get_mut(&sub.conn) {
+            set.remove(&id);
+            if set.is_empty() {
+                self.by_conn.remove(&sub.conn);
+            }
+        }
+        if let Some(set) = self.by_fp.get_mut(&sub.fingerprint) {
+            set.remove(&id);
+            if set.is_empty() {
+                self.by_fp.remove(&sub.fingerprint);
+            }
+        }
+    }
+
+    fn remove(&mut self, id: u64) -> Option<Sub> {
+        let sub = self.subs.remove(&id)?;
+        self.unindex(id, &sub);
+        Some(sub)
+    }
+}
+
+/// All standing queries of one engine (see module docs). Thread-safe;
+/// the engine calls [`SubscriptionRegistry::on_commit`] under its write
+/// lock, so commit processing is serialised with mutations and
+/// subscription snapshots are transactionally consistent.
+pub struct SubscriptionRegistry {
+    cfg: SubConfig,
+    /// Lock-free emptiness check so commit paths with no subscribers
+    /// pay one atomic load, not a mutex.
+    active: AtomicUsize,
+    inner: Mutex<Inner>,
+}
+
+impl SubscriptionRegistry {
+    /// A registry with explicit settings.
+    pub fn new(cfg: SubConfig) -> Self {
+        Self {
+            cfg,
+            active: AtomicUsize::new(0),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// A registry configured from the `HYGRAPH_SUB_*` environment.
+    pub fn from_env() -> Self {
+        Self::new(SubConfig::from_env())
+    }
+
+    /// The effective configuration.
+    pub fn config(&self) -> SubConfig {
+        self.cfg
+    }
+
+    /// Number of registered subscriptions.
+    pub fn len(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Whether no subscriptions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a standing query for `conn` and returns its id plus
+    /// the initial materialised snapshot. Must be called with `hg`
+    /// stable (the engine's read lock suffices): the snapshot and the
+    /// registration are then atomic with respect to commits.
+    pub fn subscribe(
+        &self,
+        hg: &HyGraph,
+        text: &str,
+        conn: u64,
+        sink: Arc<dyn DeltaSink>,
+    ) -> Result<(u64, QueryResult)> {
+        let q = hygraph_query::parser::parse(text)?;
+        if q.explain {
+            return Err(HyGraphError::query(
+                "cannot subscribe to an EXPLAIN query; EXPLAIN it separately to see \
+                 the Subscribe: incremental/rerun decision"
+                    .to_string(),
+            ));
+        }
+        let planned = plan_query(&q)?;
+        let columns: Vec<String> = q.returns.iter().map(|r| r.alias.clone()).collect();
+        let keys = route_keys(&q, uses_series(&planned.plan));
+        let fingerprint = planned.plan.fingerprint;
+
+        let mut inner = self.lock();
+        if inner.subs.len() >= self.cfg.max_subscriptions {
+            return Err(HyGraphError::unavailable(format!(
+                "subscription limit reached ({}); raise HYGRAPH_SUB_MAX",
+                self.cfg.max_subscriptions
+            )));
+        }
+        // a fingerprint twin already maintains this exact plan: clone
+        // its state instead of re-materialising from scratch
+        let twin = inner
+            .by_fp
+            .get(&fingerprint)
+            .and_then(|set| set.iter().next().copied());
+        let mode = match twin {
+            Some(tid) => match &inner.subs[&tid].mode {
+                Mode::Incremental(st) => Mode::Incremental(st.clone()),
+                Mode::Rerun { planned, rows } => Mode::Rerun {
+                    planned: planned.clone(),
+                    rows: rows.clone(),
+                },
+            },
+            None => match support(&planned.plan) {
+                Ok(()) => {
+                    let (st, _) = IncState::new(&planned, hg)?;
+                    Mode::Incremental(st)
+                }
+                Err(_) => {
+                    let res = execute_planned(hg, &planned, ExecMode::Auto)?;
+                    Mode::Rerun {
+                        planned,
+                        rows: res.rows,
+                    }
+                }
+            },
+        };
+        let snapshot = mode.snapshot(&columns);
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.subs.insert(
+            id,
+            Sub {
+                conn,
+                fingerprint,
+                columns,
+                sink,
+                mode,
+                keys,
+            },
+        );
+        inner.index(id);
+        self.active.store(inner.subs.len(), Ordering::Release);
+        // a delta, not `set`: the registry gauge is process-global and
+        // several engines may share it
+        if let Some(m) = hygraph_metrics::get() {
+            m.sub.active.inc();
+        }
+        Ok((id, snapshot))
+    }
+
+    /// Removes subscription `sub_id` if it exists and belongs to
+    /// `conn`; returns whether it did.
+    pub fn unsubscribe(&self, conn: u64, sub_id: u64) -> bool {
+        let mut inner = self.lock();
+        if inner.subs.get(&sub_id).is_none_or(|s| s.conn != conn) {
+            return false;
+        }
+        inner.remove(sub_id);
+        self.active.store(inner.subs.len(), Ordering::Release);
+        if let Some(m) = hygraph_metrics::get() {
+            m.sub.active.dec();
+        }
+        true
+    }
+
+    /// Drops every subscription of a disconnected client. No close
+    /// frames are pushed — the connection is gone.
+    pub fn drop_conn(&self, conn: u64) {
+        let mut inner = self.lock();
+        let ids: Vec<u64> = inner
+            .by_conn
+            .get(&conn)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default();
+        for id in ids {
+            if inner.remove(id).is_some() {
+                if let Some(m) = hygraph_metrics::get() {
+                    m.sub.active.dec();
+                }
+            }
+        }
+        self.active.store(inner.subs.len(), Ordering::Release);
+    }
+
+    /// Processes one committed (or partially applied, `batch_failed`)
+    /// mutation batch: routes it through the inverted index, advances
+    /// every affected subscription, and pushes non-empty deltas. Call
+    /// under the engine's write lock, after the batch is applied, with
+    /// `pre_vcap`/`pre_ecap` the topology capacities captured before.
+    pub fn on_commit(
+        &self,
+        hg: &HyGraph,
+        muts: &[HgMutation],
+        pre_vcap: usize,
+        pre_ecap: usize,
+        batch_failed: bool,
+    ) {
+        if self.is_empty() {
+            return;
+        }
+        let topo = hg.topology();
+        let new_vertices: Vec<VertexId> = (pre_vcap..topo.vertex_capacity())
+            .map(VertexId::from)
+            .collect();
+        let new_edges: Vec<EdgeId> = (pre_ecap..topo.edge_capacity()).map(EdgeId::from).collect();
+        let mut appended: Vec<SeriesId> = muts
+            .iter()
+            .filter_map(|m| match m {
+                HgMutation::Append { series, .. } => Some(*series),
+                _ => None,
+            })
+            .collect();
+        appended.sort_unstable();
+        appended.dedup();
+
+        let mut inner = self.lock();
+
+        // route: which subscriptions does this batch touch, and do any
+        // of its mutations force their rebuild path?
+        let mut touched: BTreeSet<u64> = BTreeSet::new();
+        let mut rebuild: BTreeSet<u64> = BTreeSet::new();
+        if batch_failed {
+            // an unknown prefix applied; recompute everything
+            rebuild.extend(inner.subs.keys().copied());
+            touched.extend(inner.subs.keys().copied());
+        } else {
+            let route_v =
+                |inner: &Inner, labels: &[hygraph_types::Label], out: &mut BTreeSet<u64>| {
+                    out.extend(inner.v_wild.iter().copied());
+                    for l in labels {
+                        if let Some(set) = inner.by_vlabel.get(l.as_str()) {
+                            out.extend(set.iter().copied());
+                        }
+                    }
+                };
+            let route_e =
+                |inner: &Inner, labels: &[hygraph_types::Label], out: &mut BTreeSet<u64>| {
+                    out.extend(inner.e_wild.iter().copied());
+                    for l in labels {
+                        if let Some(set) = inner.by_elabel.get(l.as_str()) {
+                            out.extend(set.iter().copied());
+                        }
+                    }
+                };
+            for &v in &new_vertices {
+                match topo.vertex(v) {
+                    Ok(data) => route_v(&inner, &data.labels, &mut touched),
+                    Err(_) => touched.extend(inner.subs.keys().copied()),
+                }
+            }
+            for &e in &new_edges {
+                match topo.edge(e) {
+                    Ok(data) => route_e(&inner, &data.labels, &mut touched),
+                    Err(_) => touched.extend(inner.subs.keys().copied()),
+                }
+            }
+            if !appended.is_empty() {
+                touched.extend(inner.series_any.iter().copied());
+            }
+            for m in muts {
+                let el = match m {
+                    HgMutation::SetProperty { el, .. } => Some(*el),
+                    HgMutation::CloseVertex { v, .. } => Some(ElementRef::Vertex(*v)),
+                    HgMutation::CloseEdge { e, .. } => Some(ElementRef::Edge(*e)),
+                    _ => None,
+                };
+                let mut routed: BTreeSet<u64> = BTreeSet::new();
+                match el {
+                    None => continue,
+                    Some(ElementRef::Subgraph(_)) => continue, // invisible to plans
+                    Some(ElementRef::Vertex(v)) => match topo.vertex(v) {
+                        Ok(data) => {
+                            route_v(&inner, &data.labels, &mut routed);
+                            // closing a vertex cascades to incident
+                            // edges; property changes can flip pushed
+                            // edge predicates only via that vertex's own
+                            // matches, but route incident edge labels
+                            // for both — over-approximation is free
+                            let elabels: Vec<hygraph_types::Label> = topo
+                                .incident_edges(v)
+                                .flat_map(|e| e.labels.iter().cloned())
+                                .collect();
+                            route_e(&inner, &elabels, &mut routed);
+                        }
+                        Err(_) => routed.extend(inner.subs.keys().copied()),
+                    },
+                    Some(ElementRef::Edge(e)) => match topo.edge(e) {
+                        Ok(data) => route_e(&inner, &data.labels, &mut routed),
+                        Err(_) => routed.extend(inner.subs.keys().copied()),
+                    },
+                }
+                touched.extend(routed.iter().copied());
+                rebuild.extend(routed);
+            }
+        }
+
+        // advance each touched subscription and push its delta
+        let mut dead: Vec<(u64, String)> = Vec::new();
+        for id in touched {
+            let Some(sub) = inner.subs.get_mut(&id) else {
+                continue;
+            };
+            let forced = rebuild.contains(&id);
+            let delta = match &mut sub.mode {
+                Mode::Incremental(st) => {
+                    if forced {
+                        if let Some(m) = hygraph_metrics::get() {
+                            m.sub.fallback_reruns.inc();
+                        }
+                    }
+                    st.apply_batch(hg, &new_vertices, &new_edges, &appended, forced)
+                }
+                Mode::Rerun { planned, rows } => {
+                    if let Some(m) = hygraph_metrics::get() {
+                        m.sub.fallback_reruns.inc();
+                    }
+                    match execute_planned(hg, planned, ExecMode::Auto) {
+                        Ok(res) => {
+                            let d = diff_rows(rows, &res.rows);
+                            *rows = res.rows;
+                            Ok(d)
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
+            };
+            match delta {
+                Ok(d) if d.is_empty() => {}
+                Ok(d) => {
+                    if sub.sink.push_delta(id, &d) {
+                        if let Some(m) = hygraph_metrics::get() {
+                            m.sub.deltas_pushed.inc();
+                        }
+                    } else {
+                        if let Some(m) = hygraph_metrics::get() {
+                            m.sub.slow_consumer_drops.inc();
+                        }
+                        dead.push((id, "slow consumer: push buffer full".to_string()));
+                    }
+                }
+                Err(e) => dead.push((id, format!("standing query failed: {e}"))),
+            }
+        }
+        for (id, reason) in dead {
+            if let Some(sub) = inner.remove(id) {
+                sub.sink.close(id, &reason);
+                if let Some(m) = hygraph_metrics::get() {
+                    m.sub.active.dec();
+                }
+            }
+        }
+        self.active.store(inner.subs.len(), Ordering::Release);
+    }
+
+    /// The current materialised snapshot of `sub_id` — what a client
+    /// that applied every pushed delta must hold. Test/diagnostic hook.
+    pub fn snapshot_of(&self, sub_id: u64) -> Option<QueryResult> {
+        let inner = self.lock();
+        let sub = inner.subs.get(&sub_id)?;
+        Some(sub.mode.snapshot(&sub.columns))
+    }
+}
+
+impl std::fmt::Debug for SubscriptionRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubscriptionRegistry")
+            .field("active", &self.len())
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_core::HyGraphBuilder;
+    use hygraph_persist::Durable;
+    use hygraph_query::incremental::apply_delta;
+    use hygraph_ts::TimeSeries;
+    use hygraph_types::{props, Duration, Interval, Label, PropertyMap, Timestamp, Value};
+
+    /// A sink recording every push; `cap` makes it refuse deltas to
+    /// exercise the slow-consumer path.
+    #[derive(Default)]
+    struct RecordingSink {
+        cap: Option<usize>,
+        deltas: Mutex<Vec<(u64, Delta)>>,
+        closed: Mutex<Vec<(u64, String)>>,
+    }
+
+    impl DeltaSink for RecordingSink {
+        fn push_delta(&self, sub_id: u64, delta: &Delta) -> bool {
+            let mut q = self.deltas.lock().unwrap();
+            if self.cap.is_some_and(|c| q.len() >= c) {
+                return false;
+            }
+            q.push((sub_id, delta.clone()));
+            true
+        }
+
+        fn close(&self, sub_id: u64, reason: &str) {
+            self.closed
+                .lock()
+                .unwrap()
+                .push((sub_id, reason.to_string()));
+        }
+    }
+
+    fn instance() -> HyGraph {
+        let spend =
+            TimeSeries::generate(Timestamp::ZERO, Duration::from_millis(10), 20, |i| i as f64);
+        HyGraphBuilder::new()
+            .univariate("spend", &spend)
+            .pg_vertex("u1", ["User"], props! {"name" => "ada", "age" => 34i64})
+            .ts_vertex("c1", ["Card"], "spend")
+            .pg_vertex("m1", ["Merchant"], props! {"name" => "m1"})
+            .pg_vertex("s1", ["Station"], props! {"name" => "dock-1"})
+            .pg_edge(None, "u1", "c1", ["USES"], props! {})
+            .pg_edge(None, "c1", "m1", ["TX"], props! {"amount" => 120.0})
+            .build()
+            .unwrap()
+            .hygraph
+    }
+
+    /// Applies `muts` to `hg` and runs them through the registry the way
+    /// the engine does: capture capacities, apply, notify.
+    fn commit(reg: &SubscriptionRegistry, hg: &mut HyGraph, muts: Vec<HgMutation>) {
+        let pre_v = hg.topology().vertex_capacity();
+        let pre_e = hg.topology().edge_capacity();
+        let mut failed = false;
+        for m in &muts {
+            if hg.apply(m).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        reg.on_commit(hg, &muts, pre_v, pre_e, failed);
+    }
+
+    fn add_user(name: &str) -> HgMutation {
+        HgMutation::AddPgVertex {
+            labels: vec![Label::new("User")],
+            props: props! {"name" => name, "age" => 50i64},
+            validity: Interval::ALL,
+        }
+    }
+
+    #[test]
+    fn routed_subscription_tracks_and_unrelated_stays_silent() {
+        let mut hg = instance();
+        let reg = SubscriptionRegistry::new(SubConfig::default());
+        let sink = Arc::new(RecordingSink::default());
+        let (users, mut local) = reg
+            .subscribe(&hg, "MATCH (u:User) RETURN u.name AS name", 1, sink.clone())
+            .unwrap();
+        let (stations, station_snap) = reg
+            .subscribe(
+                &hg,
+                "MATCH (s:Station) RETURN s.name AS name",
+                1,
+                sink.clone(),
+            )
+            .unwrap();
+        assert_eq!(local.rows.len(), 1);
+        assert_eq!(reg.len(), 2);
+
+        commit(&reg, &mut hg, vec![add_user("grace"), add_user("alan")]);
+        let pushed = sink.deltas.lock().unwrap().clone();
+        assert_eq!(pushed.len(), 1, "one delta frame for the one affected sub");
+        assert_eq!(pushed[0].0, users);
+        apply_delta(&mut local, &pushed[0].1).unwrap();
+        assert_eq!(
+            local.rows.iter().map(|r| &r[0]).collect::<Vec<_>>(),
+            vec![
+                &Value::Str("ada".into()),
+                &Value::Str("grace".into()),
+                &Value::Str("alan".into()),
+            ]
+        );
+        assert_eq!(reg.snapshot_of(users).unwrap(), local);
+        // the Station standing query saw zero frames and kept its rows
+        assert_eq!(reg.snapshot_of(stations).unwrap(), station_snap);
+    }
+
+    #[test]
+    fn rerun_mode_handles_unsupported_plans() {
+        let mut hg = instance();
+        let reg = SubscriptionRegistry::new(SubConfig::default());
+        let sink = Arc::new(RecordingSink::default());
+        let (id, mut local) = reg
+            .subscribe(&hg, "MATCH (u:User) RETURN COUNT(u) AS n", 7, sink.clone())
+            .unwrap();
+        assert_eq!(local.rows, vec![vec![Value::Int(1)]]);
+        commit(&reg, &mut hg, vec![add_user("grace")]);
+        let pushed = sink.deltas.lock().unwrap().clone();
+        assert_eq!(pushed.len(), 1);
+        apply_delta(&mut local, &pushed[0].1).unwrap();
+        assert_eq!(local.rows, vec![vec![Value::Int(2)]]);
+        assert_eq!(reg.snapshot_of(id).unwrap(), local);
+    }
+
+    #[test]
+    fn property_update_takes_rebuild_path() {
+        let mut hg = instance();
+        let reg = SubscriptionRegistry::new(SubConfig::default());
+        let sink = Arc::new(RecordingSink::default());
+        let (_, mut local) = reg
+            .subscribe(
+                &hg,
+                "MATCH (u:User) WHERE u.age > 40 RETURN u.name AS name",
+                1,
+                sink.clone(),
+            )
+            .unwrap();
+        assert!(local.rows.is_empty());
+        let ada = hg.topology().vertices_with_label("User").next().unwrap().id;
+        commit(
+            &reg,
+            &mut hg,
+            vec![HgMutation::SetProperty {
+                el: ElementRef::Vertex(ada),
+                key: "age".into(),
+                value: hygraph_types::PropertyValue::Static(70i64.into()),
+            }],
+        );
+        let pushed = sink.deltas.lock().unwrap().clone();
+        assert_eq!(pushed.len(), 1);
+        apply_delta(&mut local, &pushed[0].1).unwrap();
+        assert_eq!(local.rows, vec![vec![Value::Str("ada".into())]]);
+    }
+
+    #[test]
+    fn slow_consumer_is_dropped_with_typed_close() {
+        let mut hg = instance();
+        let reg = SubscriptionRegistry::new(SubConfig::default());
+        let sink = Arc::new(RecordingSink {
+            cap: Some(0),
+            ..RecordingSink::default()
+        });
+        let (id, _) = reg
+            .subscribe(&hg, "MATCH (u:User) RETURN u.name AS n", 1, sink.clone())
+            .unwrap();
+        commit(&reg, &mut hg, vec![add_user("grace")]);
+        assert_eq!(reg.len(), 0, "slow consumer removed");
+        let closed = sink.closed.lock().unwrap().clone();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].0, id);
+        assert!(closed[0].1.contains("slow consumer"), "{}", closed[0].1);
+    }
+
+    #[test]
+    fn subscription_cap_and_lifecycle() {
+        let hg = instance();
+        let reg = SubscriptionRegistry::new(SubConfig::default().max_subscriptions(1));
+        let sink = Arc::new(RecordingSink::default());
+        let (id, _) = reg
+            .subscribe(&hg, "MATCH (u:User) RETURN u.name AS n", 1, sink.clone())
+            .unwrap();
+        let err = reg
+            .subscribe(
+                &hg,
+                "MATCH (m:Merchant) RETURN m.name AS n",
+                1,
+                sink.clone(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, HyGraphError::Unavailable(_)), "{err:?}");
+        assert!(!reg.unsubscribe(2, id), "wrong connection cannot remove");
+        assert!(reg.unsubscribe(1, id));
+        assert!(reg.is_empty());
+        // EXPLAIN is refused with guidance
+        let err = reg
+            .subscribe(&hg, "EXPLAIN MATCH (u:User) RETURN u.name AS n", 1, sink)
+            .unwrap_err();
+        assert!(err.to_string().contains("EXPLAIN"), "{err}");
+    }
+
+    #[test]
+    fn fingerprint_twin_shares_state_and_drop_conn_cleans_up() {
+        let mut hg = instance();
+        let reg = SubscriptionRegistry::new(SubConfig::default());
+        let sink = Arc::new(RecordingSink::default());
+        let text = "MATCH (u:User)-[:USES]->(c:Card) RETURN u.name AS n";
+        let (a, snap_a) = reg.subscribe(&hg, text, 1, sink.clone()).unwrap();
+        let (b, snap_b) = reg.subscribe(&hg, text, 2, sink.clone()).unwrap();
+        assert_eq!(snap_a, snap_b, "twin subscribe clones the snapshot");
+        let src = hg.topology().vertices_with_label("User").next().unwrap().id;
+        let dst = hg.topology().vertices_with_label("Card").next().unwrap().id;
+        commit(
+            &reg,
+            &mut hg,
+            vec![HgMutation::AddPgEdge {
+                src,
+                dst,
+                labels: vec![Label::new("USES")],
+                props: PropertyMap::new(),
+                validity: Interval::ALL,
+            }],
+        );
+        let pushed = sink.deltas.lock().unwrap().clone();
+        let ids: BTreeSet<u64> = pushed.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, BTreeSet::from([a, b]), "both twins got the delta");
+        reg.drop_conn(1);
+        assert_eq!(reg.len(), 1);
+        reg.drop_conn(2);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn failed_batch_rebuilds_through_the_applied_prefix() {
+        let mut hg = instance();
+        let reg = SubscriptionRegistry::new(SubConfig::default());
+        let sink = Arc::new(RecordingSink::default());
+        let (id, mut local) = reg
+            .subscribe(&hg, "MATCH (u:User) RETURN u.name AS n", 1, sink.clone())
+            .unwrap();
+        // prefix applies (new user), then a bad append fails the batch
+        commit(
+            &reg,
+            &mut hg,
+            vec![
+                add_user("grace"),
+                HgMutation::Append {
+                    series: SeriesId::new(999),
+                    t: Timestamp::from_millis(1),
+                    row: vec![1.0],
+                },
+            ],
+        );
+        let pushed = sink.deltas.lock().unwrap().clone();
+        assert_eq!(
+            pushed.len(),
+            1,
+            "prefix change still reaches the subscriber"
+        );
+        apply_delta(&mut local, &pushed[0].1).unwrap();
+        assert_eq!(local.rows.len(), 2);
+        assert_eq!(reg.snapshot_of(id).unwrap(), local);
+    }
+}

@@ -51,10 +51,14 @@
 //! The kind byte names the payload vocabulary, defined by the server
 //! crate's `proto` module. Requests use low values (ping `0`, HyQL
 //! query `1`, mutation `2`, mutation batch `3`, checkpoint `4`, sleep
-//! `5`, stats `6`); responses start at 128 (pong `128`, rows `129`,
-//! committed `130`, checkpoint-done `131`, stats snapshot `132`) with
-//! error at `255`. The frame layer never interprets the tag — it only
-//! guards it with the CRC.
+//! `5`, stats `6`, subscribe `7`, unsubscribe `8`); responses start at
+//! 128 (pong `128`, rows `129`, committed `130`, checkpoint-done `131`,
+//! stats snapshot `132`, subscribed `133`, unsubscribed `134`) with
+//! error at `255`. Kinds `192..255` are *unsolicited pushes* for
+//! standing queries (delta `192`, subscription-closed `193`): their id
+//! slot carries a subscription id rather than a request correlation id,
+//! so clients must route by kind before matching replies. The frame
+//! layer never interprets the tag — it only guards it with the CRC.
 
 use crate::bytes::crc32;
 use crate::error::{HyGraphError, Result};
