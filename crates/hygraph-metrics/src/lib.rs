@@ -60,7 +60,7 @@ pub use hist::{bucket_index, bucket_lower_bound, Histogram, HistogramSnapshot, B
 pub use registry::{
     DecodeError, OpClass, OpMetrics, OpSnapshot, OperatorMetrics, OperatorSnapshot, PersistMetrics,
     PersistSnapshot, PlanOp, QueryMetrics, QuerySnapshot, Registry, ServerMetrics, ServerSnapshot,
-    Snapshot, TsMetrics, TsSnapshot,
+    Snapshot, TemporalMetrics, TemporalSnapshot, TsMetrics, TsSnapshot,
 };
 pub use slow::{SlowQueryEntry, SlowQueryLog};
 

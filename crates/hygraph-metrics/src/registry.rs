@@ -19,7 +19,7 @@ use crate::slow::{SlowQueryEntry, SlowQueryLog};
 /// group, and the plan fingerprint on slow-query entries. Version 3
 /// added the time-series compression gauges and rollup counters.
 /// Version 4 added the standing-subscription group.
-const SNAPSHOT_VERSION: u8 = 4;
+const SNAPSHOT_VERSION: u8 = 5;
 
 // ---------------------------------------------------------------------
 // Operator taxonomy
@@ -285,6 +285,29 @@ pub struct SubMetrics {
     pub slow_consumer_drops: Counter,
 }
 
+/// Temporal-history instruments (`hygraph-temporal`).
+#[derive(Debug, Default)]
+pub struct TemporalMetrics {
+    /// `AS OF` queries resolved against the history store.
+    pub asof_queries: Counter,
+    /// `BETWEEN` queries resolved against the history store.
+    pub between_queries: Counter,
+    /// Past snapshots reconstructed by replay (cache misses).
+    pub snapshot_rebuilds: Counter,
+    /// Past snapshots served from the snapshot cache.
+    pub snapshot_cache_hits: Counter,
+    /// Commits retired from history by retention GC.
+    pub gc_commits_folded: Counter,
+    /// Commit records currently retained in history.
+    pub history_commits: Gauge,
+    /// Approximate bytes held by history (base state + deltas).
+    pub history_bytes: Gauge,
+    /// Longest per-entity version chain currently retained.
+    pub version_chain_max: Gauge,
+    /// End-to-end `AS OF` snapshot resolution time (µs).
+    pub asof_us: Histogram,
+}
+
 /// The process-wide instrument tree (see [`crate::get`]).
 #[derive(Debug)]
 pub struct Registry {
@@ -298,6 +321,8 @@ pub struct Registry {
     pub ts: TsMetrics,
     /// Standing-subscription layer.
     pub sub: SubMetrics,
+    /// Temporal-history layer.
+    pub temporal: TemporalMetrics,
     /// Slow-query ring buffer.
     pub slow: SlowQueryLog,
 }
@@ -312,6 +337,7 @@ impl Registry {
             query: QueryMetrics::default(),
             ts: TsMetrics::default(),
             sub: SubMetrics::default(),
+            temporal: TemporalMetrics::default(),
             slow: SlowQueryLog::new(slow_capacity),
         }
     }
@@ -388,6 +414,17 @@ impl Registry {
                 deltas_pushed: self.sub.deltas_pushed.get(),
                 fallback_reruns: self.sub.fallback_reruns.get(),
                 slow_consumer_drops: self.sub.slow_consumer_drops.get(),
+            },
+            temporal: TemporalSnapshot {
+                asof_queries: self.temporal.asof_queries.get(),
+                between_queries: self.temporal.between_queries.get(),
+                snapshot_rebuilds: self.temporal.snapshot_rebuilds.get(),
+                snapshot_cache_hits: self.temporal.snapshot_cache_hits.get(),
+                gc_commits_folded: self.temporal.gc_commits_folded.get(),
+                history_commits: self.temporal.history_commits.get(),
+                history_bytes: self.temporal.history_bytes.get(),
+                version_chain_max: self.temporal.version_chain_max.get(),
+                asof_us: self.temporal.asof_us.snapshot(),
             },
             slow_queries,
             slow_dropped,
@@ -544,6 +581,29 @@ pub struct SubSnapshot {
     pub slow_consumer_drops: u64,
 }
 
+/// Plain-data copy of [`TemporalMetrics`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TemporalSnapshot {
+    /// See [`TemporalMetrics::asof_queries`].
+    pub asof_queries: u64,
+    /// See [`TemporalMetrics::between_queries`].
+    pub between_queries: u64,
+    /// See [`TemporalMetrics::snapshot_rebuilds`].
+    pub snapshot_rebuilds: u64,
+    /// See [`TemporalMetrics::snapshot_cache_hits`].
+    pub snapshot_cache_hits: u64,
+    /// See [`TemporalMetrics::gc_commits_folded`].
+    pub gc_commits_folded: u64,
+    /// See [`TemporalMetrics::history_commits`].
+    pub history_commits: i64,
+    /// See [`TemporalMetrics::history_bytes`].
+    pub history_bytes: i64,
+    /// See [`TemporalMetrics::version_chain_max`].
+    pub version_chain_max: i64,
+    /// See [`TemporalMetrics::asof_us`].
+    pub asof_us: HistogramSnapshot,
+}
+
 /// A full point-in-time copy of the registry: what the `Stats` wire
 /// request returns and what [`Snapshot::render_text`] renders.
 ///
@@ -562,6 +622,8 @@ pub struct Snapshot {
     pub ts: TsSnapshot,
     /// Standing-subscription layer.
     pub sub: SubSnapshot,
+    /// Temporal-history layer.
+    pub temporal: TemporalSnapshot,
     /// Slow-query ring contents, oldest first.
     pub slow_queries: Vec<SlowQueryEntry>,
     /// Slow queries evicted from the ring since startup.
@@ -762,6 +824,21 @@ impl Snapshot {
         out.extend_from_slice(&self.sub.fallback_reruns.to_le_bytes());
         out.extend_from_slice(&self.sub.slow_consumer_drops.to_le_bytes());
 
+        let t = &self.temporal;
+        for v in [
+            t.asof_queries,
+            t.between_queries,
+            t.snapshot_rebuilds,
+            t.snapshot_cache_hits,
+            t.gc_commits_folded,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in [t.history_commits, t.history_bytes, t.version_chain_max] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        put_hist(&mut out, &t.asof_us);
+
         out.extend_from_slice(&(self.slow_queries.len() as u32).to_le_bytes());
         for e in &self.slow_queries {
             out.extend_from_slice(&(e.query.len() as u32).to_le_bytes());
@@ -854,6 +931,17 @@ impl Snapshot {
             fallback_reruns: r.u64()?,
             slow_consumer_drops: r.u64()?,
         };
+        let temporal = TemporalSnapshot {
+            asof_queries: r.u64()?,
+            between_queries: r.u64()?,
+            snapshot_rebuilds: r.u64()?,
+            snapshot_cache_hits: r.u64()?,
+            gc_commits_folded: r.u64()?,
+            history_commits: r.i64()?,
+            history_bytes: r.i64()?,
+            version_chain_max: r.i64()?,
+            asof_us: get_hist(&mut r)?,
+        };
         let n_slow = r.u32()? as usize;
         if n_slow > 1 << 20 {
             return Err(err(format!("implausible slow-query count {n_slow}")));
@@ -880,6 +968,7 @@ impl Snapshot {
             query,
             ts,
             sub,
+            temporal,
             slow_queries,
             slow_dropped,
         })
@@ -973,6 +1062,26 @@ impl Snapshot {
             "hygraph_sub_slow_consumer_drops_total",
             self.sub.slow_consumer_drops,
         );
+        counter(
+            "hygraph_temporal_asof_queries_total",
+            self.temporal.asof_queries,
+        );
+        counter(
+            "hygraph_temporal_between_queries_total",
+            self.temporal.between_queries,
+        );
+        counter(
+            "hygraph_temporal_snapshot_rebuilds_total",
+            self.temporal.snapshot_rebuilds,
+        );
+        counter(
+            "hygraph_temporal_snapshot_cache_hits_total",
+            self.temporal.snapshot_cache_hits,
+        );
+        counter(
+            "hygraph_temporal_gc_commits_folded_total",
+            self.temporal.gc_commits_folded,
+        );
         counter("hygraph_slow_queries_dropped_total", self.slow_dropped);
 
         let mut gauge = |name: &str, v: i64| {
@@ -985,6 +1094,18 @@ impl Snapshot {
         gauge("hygraph_ts_raw_bytes", self.ts.raw_bytes);
         gauge("hygraph_ts_compressed_bytes", self.ts.compressed_bytes);
         gauge("hygraph_sub_active", self.sub.active);
+        gauge(
+            "hygraph_temporal_history_commits",
+            self.temporal.history_commits,
+        );
+        gauge(
+            "hygraph_temporal_history_bytes",
+            self.temporal.history_bytes,
+        );
+        gauge(
+            "hygraph_temporal_version_chain_max",
+            self.temporal.version_chain_max,
+        );
 
         let mut summary = |name: &str, h: &HistogramSnapshot| {
             let _ = writeln!(out, "# TYPE {name} summary");
@@ -1011,6 +1132,7 @@ impl Snapshot {
         for (op, o) in PlanOp::ALL.iter().zip(self.query.operators.iter()) {
             summary(&format!("hygraph_query_op_{}_us", op.name()), &o.time_us);
         }
+        summary("hygraph_temporal_asof_us", &self.temporal.asof_us);
 
         for e in &self.slow_queries {
             let _ = writeln!(
@@ -1080,6 +1202,15 @@ mod tests {
         r.sub.deltas_pushed.add(21);
         r.sub.fallback_reruns.add(5);
         r.sub.slow_consumer_drops.inc();
+        r.temporal.asof_queries.add(6);
+        r.temporal.between_queries.add(2);
+        r.temporal.snapshot_rebuilds.add(4);
+        r.temporal.snapshot_cache_hits.add(9);
+        r.temporal.gc_commits_folded.add(3);
+        r.temporal.history_commits.set(40);
+        r.temporal.history_bytes.set(65_536);
+        r.temporal.version_chain_max.set(7);
+        r.temporal.asof_us.observe(900);
         r.slow.record(
             "MATCH (n) RETURN n",
             Duration::from_millis(250),
@@ -1152,6 +1283,15 @@ mod tests {
             "hygraph_sub_deltas_pushed_total 21",
             "hygraph_sub_fallback_reruns_total 5",
             "hygraph_sub_slow_consumer_drops_total 1",
+            "hygraph_temporal_asof_queries_total 6",
+            "hygraph_temporal_between_queries_total 2",
+            "hygraph_temporal_snapshot_rebuilds_total 4",
+            "hygraph_temporal_snapshot_cache_hits_total 9",
+            "hygraph_temporal_gc_commits_folded_total 3",
+            "hygraph_temporal_history_commits 40",
+            "hygraph_temporal_history_bytes 65536",
+            "hygraph_temporal_version_chain_max 7",
+            "hygraph_temporal_asof_us{quantile=\"0.5\"}",
             "# SLOW 250000us rows=42 fp=0xdeadbeefcafef00d MATCH (n) RETURN n",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");

@@ -5,9 +5,16 @@
 //!
 //! ```text
 //! ┌─────────┬───────┬──────────┬──────────┬─────────────────────┐
-//! │ "HGCK1" │ tag 4 │ len u32  │ crc u32  │ payload (len bytes) │
+//! │ "HGCK2" │ tag 4 │ len u32  │ crc u32  │ payload (len bytes) │
 //! └─────────┴───────┴──────────┴──────────┴─────────────────────┘
+//! payload = history watermark i64 LE (8 bytes) ++ state
 //! ```
+//!
+//! The watermark is the commit timestamp (epoch ms) of the newest
+//! transaction the snapshot covers — 0 when the store tracks no
+//! transaction time. Placing it inside the payload keeps it under the
+//! existing CRC. Legacy `HGCK1` files (no watermark; payload = state)
+//! still load, reporting watermark 0; new checkpoints are always v2.
 //!
 //! Checkpoints are staged to a `.tmp` sibling and renamed over the
 //! final name only after `fsync`: an existing intact checkpoint is
@@ -26,8 +33,11 @@ use std::fs::File;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-const CKPT_MAGIC: &[u8; 5] = b"HGCK1";
+const CKPT_MAGIC: &[u8; 5] = b"HGCK2";
+const CKPT_MAGIC_V1: &[u8; 5] = b"HGCK1";
 const CKPT_HEADER_BYTES: usize = CKPT_MAGIC.len() + 4 + 4 + 4;
+/// Bytes of the watermark prefix inside a v2 payload.
+const WATERMARK_BYTES: usize = 8;
 
 fn checkpoint_name(lsn: u64) -> String {
     format!("ckpt-{lsn:016x}.ck")
@@ -54,14 +64,23 @@ pub fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
     Ok(out)
 }
 
-/// Writes and fsyncs a checkpoint of `state` at `lsn`. Returns its path.
+/// Writes and fsyncs a checkpoint of `state` at `lsn`, stamped with the
+/// history `watermark` (commit timestamp of the newest covered
+/// transaction; 0 when untracked). Returns its path.
 ///
 /// The bytes are staged to a `.tmp` sibling and renamed into place
 /// only after `fsync`, so a checkpoint already under the final name is
 /// never truncated: a crash at any point leaves either the old file or
 /// the complete new one.
-pub fn write_checkpoint(dir: &Path, tag: [u8; 4], lsn: u64, state: &[u8]) -> Result<PathBuf> {
-    let len = u32::try_from(state.len()).map_err(|_| {
+pub fn write_checkpoint(
+    dir: &Path,
+    tag: [u8; 4],
+    lsn: u64,
+    watermark: i64,
+    state: &[u8],
+) -> Result<PathBuf> {
+    let payload_len = state.len().saturating_add(WATERMARK_BYTES);
+    let len = u32::try_from(payload_len).map_err(|_| {
         // refuse before any file is touched: an oversized length field
         // would be silently wrapped, and the unreadable checkpoint would
         // then license purging the WAL needed to recover
@@ -74,12 +93,15 @@ pub fn write_checkpoint(dir: &Path, tag: [u8; 4], lsn: u64, state: &[u8]) -> Res
     let path = dir.join(checkpoint_name(lsn));
     let tmp = dir.join(format!("{}.tmp", checkpoint_name(lsn)));
     {
+        let mut payload = Vec::with_capacity(payload_len);
+        payload.extend_from_slice(&watermark.to_le_bytes());
+        payload.extend_from_slice(state);
         let mut file = File::create(&tmp)?;
         file.write_all(CKPT_MAGIC)?;
         file.write_all(&tag)?;
         file.write_all(&len.to_le_bytes())?;
-        file.write_all(&crc32(state).to_le_bytes())?;
-        file.write_all(state)?;
+        file.write_all(&crc32(&payload).to_le_bytes())?;
+        file.write_all(&payload)?;
         file.sync_all()?;
     }
     std::fs::rename(&tmp, &path)?;
@@ -89,15 +111,21 @@ pub fn write_checkpoint(dir: &Path, tag: [u8; 4], lsn: u64, state: &[u8]) -> Res
     Ok(path)
 }
 
-/// Validates one checkpoint file: `Ok(Some(payload))` if intact,
-/// `Ok(None)` if torn/corrupt, `Err` if it is a healthy checkpoint of a
-/// *different* store (intact magic, foreign tag) — skipping that one
-/// silently would make the caller re-initialise over live data.
-fn read_checkpoint(path: &Path, tag: [u8; 4]) -> Result<Option<Vec<u8>>> {
+/// Validates one checkpoint file: `Ok(Some((watermark, state)))` if
+/// intact, `Ok(None)` if torn/corrupt, `Err` if it is a healthy
+/// checkpoint of a *different* store (intact magic, foreign tag) —
+/// skipping that one silently would make the caller re-initialise over
+/// live data.
+fn read_checkpoint(path: &Path, tag: [u8; 4]) -> Result<Option<(i64, Vec<u8>)>> {
     let Ok(bytes) = std::fs::read(path) else {
         return Ok(None);
     };
-    if bytes.len() < CKPT_HEADER_BYTES || &bytes[..CKPT_MAGIC.len()] != CKPT_MAGIC {
+    if bytes.len() < CKPT_HEADER_BYTES {
+        return Ok(None);
+    }
+    let v2 = &bytes[..CKPT_MAGIC.len()] == CKPT_MAGIC;
+    let v1 = &bytes[..CKPT_MAGIC.len()] == CKPT_MAGIC_V1;
+    if !v1 && !v2 {
         return Ok(None);
     }
     if bytes[CKPT_MAGIC.len()..CKPT_MAGIC.len() + 4] != tag {
@@ -116,17 +144,27 @@ fn read_checkpoint(path: &Path, tag: [u8; 4]) -> Result<Option<Vec<u8>>> {
     if bytes.len() != CKPT_HEADER_BYTES + len || crc32(payload) != crc {
         return Ok(None);
     }
-    Ok(Some(payload.to_vec()))
+    if v2 {
+        // v2 payload = watermark prefix ++ state; too short is torn
+        let Some(prefix) = payload.get(..WATERMARK_BYTES) else {
+            return Ok(None);
+        };
+        let watermark = i64::from_le_bytes(prefix.try_into().expect("8 bytes"));
+        Ok(Some((watermark, payload[WATERMARK_BYTES..].to_vec())))
+    } else {
+        Ok(Some((0, payload.to_vec())))
+    }
 }
 
 /// Loads the newest *intact* checkpoint: torn or corrupt files are
-/// skipped, falling back to older ones. Returns `(lsn, payload)`.
+/// skipped, falling back to older ones. Returns
+/// `(lsn, watermark, state)` — watermark 0 for legacy v1 files.
 /// A checkpoint belonging to a different store is a hard error.
-pub fn load_latest(dir: &Path, tag: [u8; 4]) -> Result<Option<(u64, Vec<u8>)>> {
+pub fn load_latest(dir: &Path, tag: [u8; 4]) -> Result<Option<(u64, i64, Vec<u8>)>> {
     let mut candidates = list_checkpoints(dir)?;
     while let Some((lsn, path)) = candidates.pop() {
-        if let Some(payload) = read_checkpoint(&path, tag)? {
-            return Ok(Some((lsn, payload)));
+        if let Some((watermark, state)) = read_checkpoint(&path, tag)? {
+            return Ok(Some((lsn, watermark, state)));
         }
     }
     Ok(None)
@@ -175,10 +213,11 @@ mod tests {
     #[test]
     fn write_load_roundtrip_picks_newest() {
         let dir = scratch_dir("ckpt");
-        write_checkpoint(&dir, TAG, 5, b"old-state").unwrap();
-        write_checkpoint(&dir, TAG, 12, b"new-state").unwrap();
-        let (lsn, payload) = load_latest(&dir, TAG).unwrap().unwrap();
+        write_checkpoint(&dir, TAG, 5, 100, b"old-state").unwrap();
+        write_checkpoint(&dir, TAG, 12, 250, b"new-state").unwrap();
+        let (lsn, watermark, payload) = load_latest(&dir, TAG).unwrap().unwrap();
         assert_eq!(lsn, 12);
+        assert_eq!(watermark, 250);
         assert_eq!(payload, b"new-state");
         purge_older(&dir, 12).unwrap();
         assert_eq!(list_checkpoints(&dir).unwrap().len(), 1);
@@ -188,19 +227,19 @@ mod tests {
     #[test]
     fn torn_checkpoint_falls_back_to_previous() {
         let dir = scratch_dir("ckpt-torn");
-        write_checkpoint(&dir, TAG, 3, b"good").unwrap();
-        let newer = write_checkpoint(&dir, TAG, 9, b"doomed-by-crash").unwrap();
+        write_checkpoint(&dir, TAG, 3, 7, b"good").unwrap();
+        let newer = write_checkpoint(&dir, TAG, 9, 8, b"doomed-by-crash").unwrap();
         let len = std::fs::metadata(&newer).unwrap().len();
         truncate_file(&newer, len - 4).unwrap();
-        let (lsn, payload) = load_latest(&dir, TAG).unwrap().unwrap();
-        assert_eq!((lsn, payload.as_slice()), (3, &b"good"[..]));
+        let (lsn, watermark, payload) = load_latest(&dir, TAG).unwrap().unwrap();
+        assert_eq!((lsn, watermark, payload.as_slice()), (3, 7, &b"good"[..]));
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn corrupt_payload_detected_at_every_byte() {
         let dir = scratch_dir("ckpt-flip");
-        let path = write_checkpoint(&dir, TAG, 1, b"payload-bytes").unwrap();
+        let path = write_checkpoint(&dir, TAG, 1, 42, b"payload-bytes").unwrap();
         let len = std::fs::metadata(&path).unwrap().len();
         for off in 0..len {
             flip_byte(&path, off).unwrap();
@@ -219,7 +258,7 @@ mod tests {
     #[test]
     fn foreign_tag_is_a_hard_error() {
         let dir = scratch_dir("ckpt-tag");
-        write_checkpoint(&dir, TAG, 1, b"x").unwrap();
+        write_checkpoint(&dir, TAG, 1, 0, b"x").unwrap();
         assert!(load_latest(&dir, *b"OTHR").is_err(), "foreign store opened");
         // the file survives for its rightful owner
         assert_eq!(list_checkpoints(&dir).unwrap().len(), 1);
@@ -230,16 +269,16 @@ mod tests {
     #[test]
     fn rewrite_at_same_lsn_never_truncates_the_intact_file() {
         let dir = scratch_dir("ckpt-rewrite");
-        write_checkpoint(&dir, TAG, 7, b"first").unwrap();
+        write_checkpoint(&dir, TAG, 7, 1, b"first").unwrap();
         // a rewrite at the same LSN replaces the file atomically…
-        write_checkpoint(&dir, TAG, 7, b"second").unwrap();
-        let (lsn, payload) = load_latest(&dir, TAG).unwrap().unwrap();
+        write_checkpoint(&dir, TAG, 7, 2, b"second").unwrap();
+        let (lsn, _, payload) = load_latest(&dir, TAG).unwrap().unwrap();
         assert_eq!((lsn, payload.as_slice()), (7, &b"second"[..]));
         // …and a crash mid-rewrite leaves only a torn .tmp, which can
         // neither shadow the intact file nor survive the next purge
         let tmp = dir.join("ckpt-0000000000000007.ck.tmp");
-        std::fs::write(&tmp, b"HGCK1ga").unwrap();
-        let (lsn, payload) = load_latest(&dir, TAG).unwrap().unwrap();
+        std::fs::write(&tmp, b"HGCK2ga").unwrap();
+        let (lsn, _, payload) = load_latest(&dir, TAG).unwrap().unwrap();
         assert_eq!((lsn, payload.as_slice()), (7, &b"second"[..]));
         purge_older(&dir, 7).unwrap();
         assert!(!tmp.exists(), "stray tmp swept by purge");
@@ -250,10 +289,38 @@ mod tests {
     #[test]
     fn empty_state_checkpoint_roundtrips() {
         let dir = scratch_dir("ckpt-empty");
-        write_checkpoint(&dir, TAG, 0, b"").unwrap();
-        let (lsn, payload) = load_latest(&dir, TAG).unwrap().unwrap();
+        write_checkpoint(&dir, TAG, 0, 0, b"").unwrap();
+        let (lsn, watermark, payload) = load_latest(&dir, TAG).unwrap().unwrap();
         assert_eq!(lsn, 0);
+        assert_eq!(watermark, 0);
         assert!(payload.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_v1_checkpoint_loads_with_zero_watermark() {
+        let dir = scratch_dir("ckpt-v1");
+        std::fs::create_dir_all(&dir).unwrap();
+        // hand-write a v1 file: old magic, payload = state (no prefix)
+        let state = b"v1-state-bytes";
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(CKPT_MAGIC_V1);
+        bytes.extend_from_slice(&TAG);
+        bytes.extend_from_slice(&(state.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(state).to_le_bytes());
+        bytes.extend_from_slice(state);
+        std::fs::write(dir.join("ckpt-0000000000000004.ck"), &bytes).unwrap();
+
+        let (lsn, watermark, payload) = load_latest(&dir, TAG).unwrap().unwrap();
+        assert_eq!((lsn, watermark, payload.as_slice()), (4, 0, &state[..]));
+
+        // a newer v2 checkpoint wins over it as usual
+        write_checkpoint(&dir, TAG, 9, 777, b"v2-state").unwrap();
+        let (lsn, watermark, payload) = load_latest(&dir, TAG).unwrap().unwrap();
+        assert_eq!(
+            (lsn, watermark, payload.as_slice()),
+            (9, 777, &b"v2-state"[..])
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

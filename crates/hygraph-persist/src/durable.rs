@@ -83,6 +83,22 @@ fn decode_record<S: Durable>(record: &[u8]) -> Result<S::Mutation> {
     Ok(m)
 }
 
+/// Observes a [`DurableStore::open_observed`] recovery: first the
+/// recovered base state, then every replayed WAL record in LSN order —
+/// enough for a history layer to rebuild its commit timeline from the
+/// log without a second read pass.
+pub trait RecoveryObserver<S: Durable> {
+    /// The recovered base: the checkpoint's history watermark (commit
+    /// timestamp of the newest covered transaction; 0 when untracked or
+    /// legacy) and the exact state encoding at that point — the
+    /// fresh-state encoding when the directory had no checkpoint.
+    fn base(&mut self, watermark: i64, state: &[u8]);
+
+    /// One replayed WAL record above the checkpoint, with its commit
+    /// timestamp (0 for legacy v1 frames).
+    fn replay(&mut self, lsn: u64, ts: i64, m: &S::Mutation);
+}
+
 /// A [`Durable`] store wrapped with a write-ahead log and checkpoints.
 ///
 /// A committed mutation survives any crash: [`DurableStore::commit`]
@@ -118,6 +134,10 @@ pub struct DurableStore<S: Durable> {
     checkpoint_on_disk: bool,
     /// Records staged since the last checkpoint (drives auto-checkpoint).
     since_checkpoint: u64,
+    /// Commit timestamp stamped onto subsequently staged WAL frames and
+    /// persisted as the checkpoint watermark — the highest transaction
+    /// time this store has seen (0 when the caller tracks none).
+    commit_ts: i64,
 }
 
 impl<S: Durable> DurableStore<S> {
@@ -125,31 +145,57 @@ impl<S: Durable> DurableStore<S> {
     /// state after a crash: newest intact checkpoint + intact WAL
     /// suffix, truncated at the first torn frame.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
-        let dir = dir.into();
+        Self::open_impl(dir.into(), None)
+    }
+
+    /// [`DurableStore::open`], reporting the recovered base state and
+    /// every replayed WAL record to `observer` (in LSN order, with
+    /// commit timestamps) — the hook a history layer uses to seed its
+    /// commit timeline from the log.
+    pub fn open_observed(
+        dir: impl Into<PathBuf>,
+        observer: &mut dyn RecoveryObserver<S>,
+    ) -> Result<Self> {
+        Self::open_impl(dir.into(), Some(observer))
+    }
+
+    fn open_impl(dir: PathBuf, mut observer: Option<&mut dyn RecoveryObserver<S>>) -> Result<Self> {
         std::fs::create_dir_all(&dir)?;
         let segment_bytes = config::configured_segment_bytes();
 
-        let (checkpoint_lsn, mut state) = match checkpoint::load_latest(&dir, S::STORE_TAG)? {
-            Some((lsn, payload)) => {
-                let mut r = ByteReader::new(&payload);
-                let state = S::decode_state(&mut r)?;
-                r.expect_exhausted()?;
-                // anything newer than the checkpoint we just loaded
-                // failed to load — torn; clear the namespace
-                checkpoint::purge_newer_than(&dir, lsn)?;
-                (lsn, state)
-            }
-            None => (0, S::fresh()),
-        };
+        let (checkpoint_lsn, watermark, mut state) =
+            match checkpoint::load_latest(&dir, S::STORE_TAG)? {
+                Some((lsn, watermark, payload)) => {
+                    let mut r = ByteReader::new(&payload);
+                    let state = S::decode_state(&mut r)?;
+                    r.expect_exhausted()?;
+                    // anything newer than the checkpoint we just loaded
+                    // failed to load — torn; clear the namespace
+                    checkpoint::purge_newer_than(&dir, lsn)?;
+                    (lsn, watermark, state)
+                }
+                None => (0, 0, S::fresh()),
+            };
 
+        if let Some(o) = observer.as_deref_mut() {
+            let mut w = ByteWriter::new();
+            state.encode_state(&mut w);
+            o.base(watermark, &w.into_bytes());
+        }
+        let mut commit_ts = watermark;
         let wal = Wal::recover(
             &dir,
             S::STORE_TAG,
             segment_bytes,
             checkpoint_lsn,
-            |_lsn, record| {
+            |lsn, ts, record| {
                 let m = decode_record::<S>(record)?;
-                state.apply(&m)
+                state.apply(&m)?;
+                commit_ts = commit_ts.max(ts);
+                if let Some(o) = observer.as_deref_mut() {
+                    o.replay(lsn, ts, &m);
+                }
+                Ok(())
             },
         )?;
 
@@ -160,6 +206,7 @@ impl<S: Durable> DurableStore<S> {
             checkpoint_lsn,
             checkpoint_on_disk,
             since_checkpoint: 0,
+            commit_ts,
         };
         if !checkpoint_on_disk {
             // first open of a fresh directory: pin the empty state so
@@ -198,6 +245,7 @@ impl<S: Durable> DurableStore<S> {
             checkpoint_lsn: 0,
             checkpoint_on_disk: false,
             since_checkpoint: 0,
+            commit_ts: 0,
         };
         store.checkpoint()?;
         Ok(store)
@@ -217,7 +265,7 @@ impl<S: Durable> DurableStore<S> {
     pub fn stage(&mut self, m: S::Mutation) -> Result<u64> {
         let record = encode_record::<S>(&m);
         let mark = self.wal.mark();
-        let lsn = self.wal.append(&record);
+        let lsn = self.wal.append(self.commit_ts, &record);
         match self.state.apply(&m) {
             Ok(()) => {
                 self.since_checkpoint += 1;
@@ -285,7 +333,7 @@ impl<S: Durable> DurableStore<S> {
         }
         let start = std::time::Instant::now();
         let bytes = self.state_bytes();
-        checkpoint::write_checkpoint(self.wal.dir(), S::STORE_TAG, lsn, &bytes)?;
+        checkpoint::write_checkpoint(self.wal.dir(), S::STORE_TAG, lsn, self.commit_ts, &bytes)?;
         // only after the snapshot is durable may its inputs be deleted
         checkpoint::purge_older(self.wal.dir(), lsn)?;
         self.wal.rotate();
@@ -322,6 +370,21 @@ impl<S: Durable> DurableStore<S> {
     /// LSN of the newest durable checkpoint.
     pub fn checkpoint_lsn(&self) -> u64 {
         self.checkpoint_lsn
+    }
+
+    /// Sets the commit timestamp stamped onto subsequently staged WAL
+    /// frames (and persisted as the next checkpoint's watermark). The
+    /// caller allocates timestamps and keeps them monotonic; call this
+    /// *before* staging the batch the timestamp belongs to.
+    pub fn set_commit_ts(&mut self, ts: i64) {
+        self.commit_ts = ts;
+    }
+
+    /// The highest transaction time this store has seen: the last
+    /// [`DurableStore::set_commit_ts`] value, or on open the maximum of
+    /// the checkpoint watermark and every replayed frame's timestamp.
+    pub fn history_watermark(&self) -> i64 {
+        self.commit_ts
     }
 
     /// The log directory.

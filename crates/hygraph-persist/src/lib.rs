@@ -46,5 +46,5 @@ pub mod stores;
 pub mod wal;
 
 pub use config::PersistConfig;
-pub use durable::{Durable, DurableStore};
+pub use durable::{Durable, DurableStore, RecoveryObserver};
 pub use stores::{HgMutation, StoreMutation, TsMutation};

@@ -2,9 +2,15 @@
 //!
 //! A log is a directory of segment files named `wal-<base>.seg`, where
 //! `<base>` is the 16-hex-digit LSN of the segment's first frame.
-//! Every segment starts with a 9-byte header — magic `HGWL1` plus the
+//! Every segment starts with a 9-byte header — magic `HGWL2` plus the
 //! 4-byte store tag — followed by CRC-guarded frames
-//! ([`crate::frame`]). Appends buffer frames in memory (group commit);
+//! ([`crate::frame`]). In a v2 segment every frame record is prefixed
+//! with the 8-byte little-endian commit timestamp (epoch ms) of the
+//! transaction that produced it; legacy `HGWL1` segments (no
+//! timestamp) are still recovered, reporting timestamp 0, and the
+//! first sync after recovering one rotates to a fresh v2 segment so a
+//! single segment never mixes the two layouts. Appends buffer frames
+//! in memory (group commit);
 //! [`Wal::sync`] writes the batch with one `write` + `fdatasync` pair,
 //! rotating to a fresh segment once the active one exceeds the
 //! configured size.
@@ -23,8 +29,11 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-const SEGMENT_MAGIC: &[u8; 5] = b"HGWL1";
+const SEGMENT_MAGIC: &[u8; 5] = b"HGWL2";
+const SEGMENT_MAGIC_V1: &[u8; 5] = b"HGWL1";
 const SEGMENT_HEADER_BYTES: usize = SEGMENT_MAGIC.len() + 4;
+/// Bytes of the commit-timestamp prefix on every v2 frame record.
+const TS_PREFIX_BYTES: usize = 8;
 
 fn segment_name(base: u64) -> String {
     format!("wal-{base:016x}.seg")
@@ -120,14 +129,15 @@ impl Wal {
     }
 
     /// Recovers the log from `dir`: replays every intact frame with
-    /// LSN ≥ `from_lsn` through `apply` (in LSN order), truncates at the
+    /// LSN ≥ `from_lsn` through `apply` (in LSN order, with the frame's
+    /// commit timestamp — 0 for legacy v1 segments), truncates at the
     /// first torn or corrupt frame, and positions the log for appends.
     pub fn recover(
         dir: impl Into<PathBuf>,
         tag: [u8; 4],
         segment_bytes: u64,
         from_lsn: u64,
-        mut apply: impl FnMut(u64, &[u8]) -> Result<()>,
+        mut apply: impl FnMut(u64, i64, &[u8]) -> Result<()>,
     ) -> Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
@@ -151,6 +161,7 @@ impl Wal {
         let mut expected: Option<u64> = None;
         let mut survivors: Vec<(u64, PathBuf, u64)> = Vec::new(); // (base, path, file len)
         let mut torn = false;
+        let mut last_survivor_v1 = false;
 
         for (idx, (base, path)) in segments.iter().enumerate() {
             if torn {
@@ -159,8 +170,10 @@ impl Wal {
                 continue;
             }
             let bytes = std::fs::read(path)?;
-            let magic_ok = bytes.len() >= SEGMENT_HEADER_BYTES
-                && &bytes[..SEGMENT_MAGIC.len()] == SEGMENT_MAGIC;
+            let header_long_enough = bytes.len() >= SEGMENT_HEADER_BYTES;
+            let v2 = header_long_enough && &bytes[..SEGMENT_MAGIC.len()] == SEGMENT_MAGIC;
+            let v1 = header_long_enough && &bytes[..SEGMENT_MAGIC.len()] == SEGMENT_MAGIC_V1;
+            let magic_ok = v1 || v2;
             if magic_ok && bytes[SEGMENT_MAGIC.len()..SEGMENT_HEADER_BYTES] != tag {
                 // a healthy segment of a *different* store: refuse to
                 // open (deleting it here would destroy someone else's
@@ -199,8 +212,21 @@ impl Wal {
                         if lsn != lsn_here {
                             break; // LSN discontinuity: corrupt from here
                         }
+                        // v2 records lead with the commit timestamp; a
+                        // v2 record too short to hold one is corrupt
+                        let (ts, record) = if v2 {
+                            let Some(prefix) = record.get(..TS_PREFIX_BYTES) else {
+                                break;
+                            };
+                            (
+                                i64::from_le_bytes(prefix.try_into().expect("8 bytes")),
+                                &record[TS_PREFIX_BYTES..],
+                            )
+                        } else {
+                            (0, record)
+                        };
                         if lsn >= from_lsn {
-                            apply(lsn, record)?;
+                            apply(lsn, ts, record)?;
                             replayed += 1;
                         }
                         lsn_here += 1;
@@ -219,6 +245,7 @@ impl Wal {
             }
             expected = Some(lsn_here);
             survivors.push((*base, path.clone(), valid_file_len));
+            last_survivor_v1 = v1;
             let _ = idx;
         }
         // If the log ends below the recovery watermark (a crash landed
@@ -239,13 +266,15 @@ impl Wal {
         }
 
         let next_lsn = expected.unwrap_or(0).max(from_lsn);
+        // never append v2 frames into a surviving v1 segment — leave it
+        // finalized so the next sync opens a fresh v2 segment
         let active = match survivors.last() {
-            Some((_, path, len)) => Some(ActiveSegment {
+            Some((_, path, len)) if !last_survivor_v1 => Some(ActiveSegment {
                 path: path.clone(),
                 file: OpenOptions::new().append(true).open(path)?,
                 len: *len,
             }),
-            None => None,
+            _ => None,
         };
         if let Some(m) = metrics::get() {
             m.persist.recoveries.inc();
@@ -283,15 +312,20 @@ impl Wal {
         &self.dir
     }
 
-    /// Appends one record to the group-commit batch and returns its
-    /// LSN. The record is *not* durable until [`Wal::sync`] returns.
-    pub fn append(&mut self, record: &[u8]) -> u64 {
+    /// Appends one record stamped with commit timestamp `ts` (epoch ms;
+    /// 0 when the caller tracks no transaction time) to the
+    /// group-commit batch and returns its LSN. The record is *not*
+    /// durable until [`Wal::sync`] returns.
+    pub fn append(&mut self, ts: i64, record: &[u8]) -> u64 {
         let start = metrics::enabled().then(Instant::now);
         let lsn = self.next_lsn;
         if self.pending.is_empty() {
             self.pending_base = lsn;
         }
-        append_frame(&mut self.pending, lsn, record);
+        let mut stamped = Vec::with_capacity(TS_PREFIX_BYTES + record.len());
+        stamped.extend_from_slice(&ts.to_le_bytes());
+        stamped.extend_from_slice(record);
+        append_frame(&mut self.pending, lsn, &stamped);
         self.next_lsn += 1;
         if let Some(m) = metrics::get() {
             m.persist.wal_appends.inc();
@@ -485,7 +519,7 @@ mod tests {
 
     fn collect(dir: &Path, from: u64) -> (Vec<(u64, Vec<u8>)>, Wal) {
         let mut seen = Vec::new();
-        let wal = Wal::recover(dir, TAG, 64, from, |lsn, rec| {
+        let wal = Wal::recover(dir, TAG, 64, from, |lsn, _ts, rec| {
             seen.push((lsn, rec.to_vec()));
             Ok(())
         })
@@ -498,7 +532,7 @@ mod tests {
         let dir = scratch_dir("roundtrip");
         let mut wal = Wal::create(&dir, TAG, 1024).unwrap();
         for i in 0..10u64 {
-            assert_eq!(wal.append(format!("r{i}").as_bytes()), i);
+            assert_eq!(wal.append(0, format!("r{i}").as_bytes()), i);
         }
         wal.sync().unwrap();
         let (seen, wal2) = collect(&dir, 0);
@@ -516,9 +550,9 @@ mod tests {
     fn unsynced_batch_is_lost_synced_prefix_survives() {
         let dir = scratch_dir("unsynced");
         let mut wal = Wal::create(&dir, TAG, 1024).unwrap();
-        wal.append(b"durable");
+        wal.append(0, b"durable");
         wal.sync().unwrap();
-        wal.append(b"volatile");
+        wal.append(0, b"volatile");
         drop(wal); // crash: batch never synced
         let (seen, wal2) = collect(&dir, 0);
         assert_eq!(seen, vec![(0, b"durable".to_vec())]);
@@ -531,7 +565,7 @@ mod tests {
         let dir = scratch_dir("rotate");
         let mut wal = Wal::create(&dir, TAG, 64).unwrap(); // tiny segments
         for i in 0..50u64 {
-            wal.append(format!("record-{i:04}").as_bytes());
+            wal.append(0, format!("record-{i:04}").as_bytes());
             wal.sync().unwrap();
         }
         assert!(list_segments(&dir).unwrap().len() > 1, "rotation happened");
@@ -549,7 +583,7 @@ mod tests {
         let dir = scratch_dir("torn");
         let mut wal = Wal::create(&dir, TAG, 4096).unwrap();
         for i in 0..5u64 {
-            wal.append(format!("r{i}").as_bytes());
+            wal.append(0, format!("r{i}").as_bytes());
         }
         wal.sync().unwrap();
         let (base, path) = list_segments(&dir).unwrap().pop().unwrap();
@@ -564,7 +598,7 @@ mod tests {
         assert!(after < full - 3);
         // and the log accepts new appends at the reused LSN
         let mut wal2 = wal2;
-        assert_eq!(wal2.append(b"replacement"), 4);
+        assert_eq!(wal2.append(0, b"replacement"), 4);
         wal2.sync().unwrap();
         let (seen, _) = collect(&dir, 0);
         assert_eq!(seen[4], (4, b"replacement".to_vec()));
@@ -576,7 +610,7 @@ mod tests {
         let dir = scratch_dir("corrupt");
         let mut wal = Wal::create(&dir, TAG, 64).unwrap();
         for i in 0..30u64 {
-            wal.append(format!("record-{i:05}").as_bytes());
+            wal.append(0, format!("record-{i:05}").as_bytes());
             wal.sync().unwrap();
         }
         let segments = list_segments(&dir).unwrap();
@@ -601,15 +635,15 @@ mod tests {
     fn wrong_tag_segment_is_rejected() {
         let dir = scratch_dir("tag");
         let mut wal = Wal::create(&dir, TAG, 1024).unwrap();
-        wal.append(b"x");
+        wal.append(0, b"x");
         wal.sync().unwrap();
         drop(wal);
-        let res = Wal::recover(&dir, *b"OTHR", 1024, 0, |_, _| Ok(()));
+        let res = Wal::recover(&dir, *b"OTHR", 1024, 0, |_, _, _| Ok(()));
         assert!(res.is_err(), "foreign log must not open");
         // the segment survives untouched for its rightful owner
         assert_eq!(list_segments(&dir).unwrap().len(), 1);
         let mut seen = Vec::new();
-        Wal::recover(&dir, TAG, 1024, 0, |lsn, rec| {
+        Wal::recover(&dir, TAG, 1024, 0, |lsn, _ts, rec| {
             seen.push((lsn, rec.to_vec()));
             Ok(())
         })
@@ -623,7 +657,7 @@ mod tests {
         let dir = scratch_dir("purge");
         let mut wal = Wal::create(&dir, TAG, 64).unwrap();
         for i in 0..30u64 {
-            wal.append(format!("record-{i:05}").as_bytes());
+            wal.append(0, format!("record-{i:05}").as_bytes());
             wal.sync().unwrap();
         }
         let before = list_segments(&dir).unwrap().len();
@@ -635,10 +669,10 @@ mod tests {
         // a purged log only opens from a watermark the surviving
         // segments cover (the checkpoint's LSN); recovering from 0
         // would silently skip the purged prefix and must fail loudly
-        assert!(Wal::recover(&dir, TAG, 64, 0, |_, _| Ok(())).is_err());
+        assert!(Wal::recover(&dir, TAG, 64, 0, |_, _, _| Ok(())).is_err());
         // ...while recovery from the watermark replays what remains and
         // positions the log at next_lsn
-        let wal2 = Wal::recover(&dir, TAG, 64, 30, |_, _| Ok(())).unwrap();
+        let wal2 = Wal::recover(&dir, TAG, 64, 30, |_, _, _| Ok(())).unwrap();
         assert_eq!(wal2.next_lsn(), 30);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -648,7 +682,7 @@ mod tests {
         let dir = scratch_dir("prefix");
         let mut wal = Wal::create(&dir, TAG, 64).unwrap();
         for i in 0..30u64 {
-            wal.append(format!("record-{i:05}").as_bytes());
+            wal.append(0, format!("record-{i:05}").as_bytes());
             wal.sync().unwrap();
         }
         let segments = list_segments(&dir).unwrap();
@@ -657,7 +691,7 @@ mod tests {
         // remaining suffix must not be replayed onto a state missing
         // the prefix mutations
         std::fs::remove_file(&segments[0].1).unwrap();
-        let res = Wal::recover(&dir, TAG, 64, 0, |_, _| Ok(()));
+        let res = Wal::recover(&dir, TAG, 64, 0, |_, _, _| Ok(()));
         assert!(res.is_err(), "missing prefix silently skipped");
         // the error is detected before anything is deleted
         assert_eq!(list_segments(&dir).unwrap().len(), segments.len() - 1);
@@ -668,10 +702,10 @@ mod tests {
     fn failed_sync_is_safe_to_retry() {
         let dir = scratch_dir("retry");
         let mut wal = Wal::create(&dir, TAG, 4096).unwrap();
-        wal.append(b"first");
+        wal.append(0, b"first");
         wal.sync().unwrap();
-        wal.append(b"second");
-        wal.append(b"third");
+        wal.append(0, b"second");
+        wal.append(0, b"third");
         // the write persists 7 bytes of the batch, then errors (ENOSPC)
         wal.fail_write_after = Some(7);
         assert!(wal.sync().is_err());
@@ -693,11 +727,87 @@ mod tests {
     }
 
     #[test]
+    fn commit_timestamps_roundtrip_through_recovery() {
+        let dir = scratch_dir("wal-ts");
+        let mut wal = Wal::create(&dir, TAG, 4096).unwrap();
+        wal.append(1_000, b"a");
+        wal.append(1_000, b"b");
+        wal.append(2_500, b"c");
+        wal.sync().unwrap();
+        let mut seen = Vec::new();
+        Wal::recover(&dir, TAG, 4096, 0, |lsn, ts, rec| {
+            seen.push((lsn, ts, rec.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(
+            seen,
+            vec![
+                (0, 1_000, b"a".to_vec()),
+                (1, 1_000, b"b".to_vec()),
+                (2, 2_500, b"c".to_vec()),
+            ]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_v1_segment_recovers_with_zero_ts_and_is_not_appended_to() {
+        let dir = scratch_dir("wal-v1");
+        // hand-write a v1 segment: old header, frames without ts prefix
+        let path = dir.join(segment_name(0));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SEGMENT_MAGIC_V1);
+        bytes.extend_from_slice(&TAG);
+        crate::frame::append_frame(&mut bytes, 0, b"old-a");
+        crate::frame::append_frame(&mut bytes, 1, b"old-b");
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut seen = Vec::new();
+        let mut wal = Wal::recover(&dir, TAG, 4096, 0, |lsn, ts, rec| {
+            seen.push((lsn, ts, rec.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(
+            seen,
+            vec![(0, 0, b"old-a".to_vec()), (1, 0, b"old-b".to_vec())]
+        );
+        assert_eq!(wal.next_lsn(), 2);
+
+        // new appends land in a fresh v2 segment, not the v1 one
+        wal.append(9_999, b"new");
+        wal.sync().unwrap();
+        let segments = list_segments(&dir).unwrap();
+        assert_eq!(segments.len(), 2, "v1 segment was finalized, not reused");
+        let v1_after = std::fs::read(&path).unwrap();
+        assert_eq!(v1_after, bytes, "v1 segment untouched");
+
+        // the mixed log replays fully, v1 frames with ts 0
+        let mut seen = Vec::new();
+        Wal::recover(&dir, TAG, 4096, 0, |lsn, ts, rec| {
+            seen.push((lsn, ts, rec.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(
+            seen,
+            vec![
+                (0, 0, b"old-a".to_vec()),
+                (1, 0, b"old-b".to_vec()),
+                (2, 9_999, b"new".to_vec()),
+            ]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn group_commit_batches_into_one_segment_write() {
         let dir = scratch_dir("group");
         let mut wal = Wal::create(&dir, TAG, 1 << 20).unwrap();
         for i in 0..100u64 {
-            wal.append(format!("batched-{i}").as_bytes());
+            wal.append(0, format!("batched-{i}").as_bytes());
         }
         assert!(wal.pending_bytes() > 0);
         assert_eq!(wal.durable_lsn(), 0);

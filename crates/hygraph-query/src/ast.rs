@@ -2,6 +2,24 @@
 
 use hygraph_types::{Timestamp, Value};
 
+/// A transaction-time bound on a query: which historical state of the
+/// store the query executes against. Distinct from `VALID AT`, which
+/// anchors element *validity intervals* within one state: `AS OF`
+/// rewinds the store itself to a past commit watermark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TemporalBound {
+    /// `AS OF NOW()` — the current committed state (always equivalent
+    /// to omitting the clause).
+    AsOfNow,
+    /// `AS OF t` — the state as of the last commit with transaction
+    /// timestamp `<= t` (epoch milliseconds).
+    AsOf(Timestamp),
+    /// `BETWEEN t1 AND t2` — the union of results over every commit
+    /// epoch whose state was current somewhere in `[t1, t2]`, rows
+    /// deduplicated in first-seen order.
+    Between(Timestamp, Timestamp),
+}
+
 /// A parsed HyQL query.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Query {
@@ -12,6 +30,10 @@ pub struct Query {
     /// Optional `VALID AT t` anchor restricting matches to elements
     /// valid at `t`.
     pub valid_at: Option<Timestamp>,
+    /// Optional transaction-time bound (`AS OF` / `BETWEEN`). Resolved
+    /// against a history store by the serving layer; plain library
+    /// execution treats the graph it is handed as the resolved state.
+    pub temporal: Option<TemporalBound>,
     /// RETURN projection.
     pub returns: Vec<ReturnItem>,
     /// Whether RETURN DISTINCT was requested.
@@ -252,6 +274,7 @@ mod tests {
                 rhs: Box::new(Expr::Literal(Value::Int(1000))),
             }),
             valid_at: None,
+            temporal: None,
             returns: vec![ReturnItem {
                 expr: Expr::Var("u".into()),
                 alias: "u".into(),

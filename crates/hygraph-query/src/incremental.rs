@@ -245,6 +245,9 @@ fn row_bytes(row: &Row) -> Vec<u8> {
 /// (<reason>)`) and in operator-facing docs.
 pub fn support(plan: &LogicalPlan) -> std::result::Result<(), String> {
     let q = &plan.query;
+    if q.temporal.is_some() {
+        return Err("temporal bound (AS OF / BETWEEN)".to_string());
+    }
     if plan.grouped {
         return Err("row aggregates / HAVING need the grouped operator".to_string());
     }

@@ -90,6 +90,9 @@ pub enum Keyword {
     Asc,
     Desc,
     ValidAt, // two-word
+    AsOf,    // two-word ("AS OF"); an alias literally named `of` is
+    // therefore reserved after AS
+    Between,
     In,
     Delta,
     Mean,
@@ -109,6 +112,7 @@ impl Keyword {
         match (first, second) {
             ("ORDER", "BY") => Some(Keyword::OrderBy),
             ("VALID", "AT") => Some(Keyword::ValidAt),
+            ("AS", "OF") => Some(Keyword::AsOf),
             _ => None,
         }
     }
@@ -124,6 +128,7 @@ impl Keyword {
             "NOT" => Keyword::Not,
             "LIMIT" => Keyword::Limit,
             "HAVING" => Keyword::Having,
+            "BETWEEN" => Keyword::Between,
             "ASC" => Keyword::Asc,
             "DESC" => Keyword::Desc,
             "IN" => Keyword::In,
@@ -378,10 +383,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                 }
                 let word = &src[i..j];
                 let upper = word.to_ascii_uppercase();
-                // try two-word keywords (ORDER BY / VALID AT)
+                // try two-word keywords (ORDER BY / VALID AT / AS OF)
                 let mut consumed = j;
                 let mut kind = None;
-                if upper == "ORDER" || upper == "VALID" {
+                if upper == "ORDER" || upper == "VALID" || upper == "AS" {
                     // peek next word
                     let mut k = j;
                     while k < bytes.len() && (bytes[k] as char).is_whitespace() {
@@ -496,6 +501,19 @@ mod tests {
         assert_eq!(kinds("valid at 5")[0], TokenKind::Keyword(Keyword::ValidAt));
         // ORDER not followed by BY is an identifier
         assert_eq!(kinds("ORDER x")[0], TokenKind::Ident("ORDER".into()));
+    }
+
+    #[test]
+    fn temporal_keywords() {
+        assert_eq!(kinds("AS OF 5")[0], TokenKind::Keyword(Keyword::AsOf));
+        assert_eq!(kinds("as of 5")[0], TokenKind::Keyword(Keyword::AsOf));
+        assert_eq!(
+            kinds("BETWEEN 1 AND 2")[0],
+            TokenKind::Keyword(Keyword::Between)
+        );
+        // AS not followed by OF stays the alias keyword
+        assert_eq!(kinds("AS n")[0], TokenKind::Keyword(Keyword::As));
+        assert_eq!(kinds("AS n")[1], TokenKind::Ident("n".into()));
     }
 
     #[test]

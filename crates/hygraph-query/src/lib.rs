@@ -34,6 +34,9 @@
 //! query  := MATCH path (',' path)*
 //!           [WHERE expr]                 -- per-row filter (no row aggregates)
 //!           [VALID AT <millis>]          -- ρ-aware matching at an instant
+//!           [AS OF <millis> | AS OF NOW() | BETWEEN <millis> AND <millis>]
+//!                                        -- transaction-time travel over
+//!                                        -- the store's commit history
 //!           RETURN [DISTINCT] item (',' item)*
 //!           [HAVING expr]                -- per-group filter (row aggregates ok)
 //!           [ORDER BY col [ASC|DESC] (',' ...)*]
@@ -115,7 +118,7 @@ pub mod parser;
 pub mod physical;
 pub mod plan;
 
-pub use ast::Query;
+pub use ast::{Query, TemporalBound};
 pub use exec::{
     execute, execute_interpreted, execute_interpreted_mode, execute_mode, QueryResult, Row,
 };
@@ -133,12 +136,12 @@ use std::sync::Arc;
 /// taxonomy — the key space for per-class execution metrics.
 ///
 /// Precedence (a query showing several traits takes the first match):
-/// `VALID AT` anchors are snapshot retrieval (Q4), variable-length
-/// edges are traversal (Q3), any aggregate (series, row, or `HAVING`)
-/// is aggregation (Q2), and everything else is plain pattern matching
-/// (Q1).
+/// `VALID AT` anchors and `AS OF`/`BETWEEN` time travel are snapshot
+/// retrieval (Q4), variable-length edges are traversal (Q3), any
+/// aggregate (series, row, or `HAVING`) is aggregation (Q2), and
+/// everything else is plain pattern matching (Q1).
 pub fn classify(q: &Query) -> OpClass {
-    if q.valid_at.is_some() {
+    if q.valid_at.is_some() || q.temporal.is_some() {
         return OpClass::Q4Snapshot;
     }
     let traverses = q
@@ -176,6 +179,59 @@ pub trait PlanCacheHook: Send + Sync {
     fn put(&self, fingerprint: u64, plan: Arc<PlannedQuery>);
 }
 
+/// What a [`TemporalResolver`] resolved a [`TemporalBound`] to: the
+/// graph state(s) the query must execute against.
+#[derive(Clone, Debug)]
+pub enum ResolvedStates {
+    /// The live (current) graph — `AS OF NOW()` or a bound at or past
+    /// the latest commit watermark.
+    Live,
+    /// One reconstructed historical state (`AS OF t`).
+    At(Arc<HyGraph>),
+    /// Successive states for `BETWEEN t1 AND t2`, oldest first; the
+    /// query runs at each epoch and the rows are unioned.
+    Epochs(Vec<Arc<HyGraph>>),
+}
+
+/// Resolves transaction-time bounds to historical graph states. The
+/// history subsystem (`hygraph-temporal`) implements this over its
+/// commit log; the query layer stays ignorant of how snapshots are
+/// reconstructed.
+pub trait TemporalResolver {
+    /// Resolves `bound` to the state(s) to execute against. Errors when
+    /// the bound precedes the retained history horizon.
+    fn resolve(&mut self, bound: &TemporalBound) -> Result<ResolvedStates>;
+}
+
+/// Executes a planned query at each epoch state in order and unions the
+/// result rows, dropping rows already produced by an earlier epoch
+/// (first-seen order, exact value equality). This is the `BETWEEN`
+/// execution strategy: "everything the query ever returned while the
+/// store passed through `[t1, t2]`".
+pub fn execute_epochs(
+    states: &[Arc<HyGraph>],
+    planned: &PlannedQuery,
+    mode: ExecMode,
+) -> Result<QueryResult> {
+    let columns: Vec<String> = planned
+        .plan
+        .query
+        .returns
+        .iter()
+        .map(|r| r.alias.clone())
+        .collect();
+    let mut rows: Vec<Row> = Vec::new();
+    for g in states {
+        let r = physical::execute_planned(g, planned, mode)?;
+        for row in r.rows {
+            if !rows.iter().any(|seen| exec::rows_equal(seen, &row)) {
+                rows.push(row);
+            }
+        }
+    }
+    Ok(QueryResult { columns, rows })
+}
+
 /// Parses and executes `text` against `hg` in one call (no plan cache).
 ///
 /// This is the instrumented entry point: executions are counted and
@@ -197,8 +253,41 @@ pub fn run_instrumented(
     text: &str,
     cache: Option<&dyn PlanCacheHook>,
 ) -> Result<QueryResult> {
+    run_instrumented_temporal(hg, text, cache, None)
+}
+
+/// [`run_instrumented`] with an optional [`TemporalResolver`]: queries
+/// carrying an `AS OF`/`BETWEEN` bound execute against the historical
+/// state(s) the resolver reconstructs instead of `hg`. Without a
+/// resolver, `AS OF NOW()` degrades gracefully to the live graph (the
+/// two are equivalent by definition) and any other bound is a typed
+/// error — time travel needs a history store behind it.
+pub fn run_instrumented_temporal(
+    hg: &HyGraph,
+    text: &str,
+    cache: Option<&dyn PlanCacheHook>,
+    resolver: Option<&mut dyn TemporalResolver>,
+) -> Result<QueryResult> {
+    run_instrumented_bound(hg, text, cache, resolver, None)
+}
+
+/// [`run_instrumented_temporal`] with an optional *injected* temporal
+/// bound: when `bound` is `Some`, the query executes as if its text
+/// carried that `AS OF`/`BETWEEN` clause. This backs structured wire
+/// requests (a client pins a timestamp without splicing it into HyQL
+/// text). A query that already carries its own bound rejects the
+/// injection — silently overriding either one would be a correctness
+/// trap. The bound participates in the plan fingerprint exactly as a
+/// textual bound would, so cached plans never cross epochs.
+pub fn run_instrumented_bound(
+    hg: &HyGraph,
+    text: &str,
+    cache: Option<&dyn PlanCacheHook>,
+    mut resolver: Option<&mut dyn TemporalResolver>,
+    bound: Option<TemporalBound>,
+) -> Result<QueryResult> {
     let start = hygraph_metrics::enabled().then(std::time::Instant::now);
-    let q = match parser::parse(text) {
+    let mut q = match parser::parse(text) {
         Ok(q) => q,
         Err(e) => {
             if let Some(m) = hygraph_metrics::get() {
@@ -207,6 +296,15 @@ pub fn run_instrumented(
             return Err(e);
         }
     };
+    if let Some(b) = bound {
+        if q.temporal.is_some() {
+            return Err(hygraph_types::HyGraphError::query(
+                "query text already carries an AS OF / BETWEEN bound; \
+                 drop the clause or the structured timestamp",
+            ));
+        }
+        q.temporal = Some(b);
+    }
     let fp = plan::fingerprint(&q);
     let res = (|| {
         let planned = match cache.and_then(|c| c.get(fp)) {
@@ -230,7 +328,21 @@ pub fn run_instrumented(
         if q.explain {
             return Ok(plan::explain_result(&planned));
         }
-        physical::execute_planned(hg, &planned, ExecMode::Auto)
+        let states = match (&q.temporal, resolver.as_deref_mut()) {
+            (None, _) | (Some(TemporalBound::AsOfNow), None) => ResolvedStates::Live,
+            (Some(bound), Some(r)) => r.resolve(bound)?,
+            (Some(_), None) => {
+                return Err(hygraph_types::HyGraphError::query(
+                    "AS OF / BETWEEN requires a history-enabled engine \
+                     (serve with HYGRAPH_HISTORY=1)",
+                ))
+            }
+        };
+        match states {
+            ResolvedStates::Live => physical::execute_planned(hg, &planned, ExecMode::Auto),
+            ResolvedStates::At(g) => physical::execute_planned(&g, &planned, ExecMode::Auto),
+            ResolvedStates::Epochs(gs) => execute_epochs(&gs, &planned, ExecMode::Auto),
+        }
     })();
     if let (Some(m), Some(s)) = (hygraph_metrics::get(), start) {
         let elapsed = s.elapsed();

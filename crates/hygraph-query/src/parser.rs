@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! query      := [EXPLAIN] MATCH path (',' path)* [WHERE expr] [VALID AT int]
+//!               [AS OF (int | NOW '(' ')') | BETWEEN int AND int]
 //!               RETURN [DISTINCT] item (',' item)* [HAVING expr]
 //!               [ORDER BY order (',' order)*] [LIMIT int]
 //! path       := node (edge node)*
@@ -153,6 +154,36 @@ impl Parser {
         } else {
             None
         };
+        let temporal = if self.eat_kw(Keyword::AsOf) {
+            match self.peek().clone() {
+                TokenKind::Int(t) => {
+                    self.bump();
+                    Some(TemporalBound::AsOf(Timestamp::from_millis(t)))
+                }
+                TokenKind::Ident(id) if id.eq_ignore_ascii_case("now") => {
+                    self.bump();
+                    self.expect(&TokenKind::LParen, "'(' in NOW()")?;
+                    self.expect(&TokenKind::RParen, "')' in NOW()")?;
+                    Some(TemporalBound::AsOfNow)
+                }
+                _ => return Err(self.error("expected a timestamp or NOW() after AS OF")),
+            }
+        } else if self.eat_kw(Keyword::Between) {
+            let t1 = self.int("timestamp after BETWEEN")?;
+            if !self.eat_kw(Keyword::And) {
+                return Err(self.error("expected AND between BETWEEN bounds"));
+            }
+            let t2 = self.int("timestamp closing BETWEEN .. AND ..")?;
+            if t2 < t1 {
+                return Err(self.error("BETWEEN bounds must satisfy t1 <= t2"));
+            }
+            Some(TemporalBound::Between(
+                Timestamp::from_millis(t1),
+                Timestamp::from_millis(t2),
+            ))
+        } else {
+            None
+        };
         if !self.eat_kw(Keyword::Return) {
             return Err(self.error("expected RETURN clause"));
         }
@@ -195,6 +226,7 @@ impl Parser {
             patterns,
             filter,
             valid_at,
+            temporal,
             returns,
             distinct,
             order_by,
@@ -681,6 +713,43 @@ mod tests {
         assert_eq!(q.order_by.len(), 1);
         assert!(q.order_by[0].descending);
         assert_eq!(q.limit, Some(3));
+    }
+
+    #[test]
+    fn temporal_clauses() {
+        let q = parse("MATCH (a:N) AS OF 1234 RETURN a").unwrap();
+        assert_eq!(
+            q.temporal,
+            Some(TemporalBound::AsOf(Timestamp::from_millis(1234)))
+        );
+        let q = parse("MATCH (a:N) AS OF NOW() RETURN a").unwrap();
+        assert_eq!(q.temporal, Some(TemporalBound::AsOfNow));
+        let q = parse("MATCH (a:N) as of now() RETURN a").unwrap();
+        assert_eq!(q.temporal, Some(TemporalBound::AsOfNow));
+        let q = parse("MATCH (a:N) BETWEEN 10 AND 20 RETURN a").unwrap();
+        assert_eq!(
+            q.temporal,
+            Some(TemporalBound::Between(
+                Timestamp::from_millis(10),
+                Timestamp::from_millis(20)
+            ))
+        );
+        // VALID AT and AS OF coexist (element validity vs store history)
+        let q = parse("MATCH (a:N) VALID AT 5 AS OF 99 RETURN a").unwrap();
+        assert_eq!(q.valid_at, Some(Timestamp::from_millis(5)));
+        assert_eq!(
+            q.temporal,
+            Some(TemporalBound::AsOf(Timestamp::from_millis(99)))
+        );
+        assert!(parse("MATCH (a) RETURN a").unwrap().temporal.is_none());
+        // malformed bounds
+        assert!(parse("MATCH (a) AS OF RETURN a").is_err());
+        assert!(parse("MATCH (a) AS OF NOW RETURN a").is_err());
+        assert!(parse("MATCH (a) BETWEEN 5 RETURN a").is_err());
+        assert!(parse("MATCH (a) BETWEEN 20 AND 10 RETURN a").is_err());
+        // aliases are unaffected by the AS OF keyword
+        let q = parse("MATCH (a) RETURN a.x AS y").unwrap();
+        assert_eq!(q.returns[0].alias, "y");
     }
 
     #[test]

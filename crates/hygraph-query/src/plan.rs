@@ -12,7 +12,8 @@
 //! share one cached plan.
 
 use crate::ast::{
-    AggFunc, BinOp, EdgeDir, Expr, OrderItem, PathPattern, Query, ReturnItem, RowAggFunc, SeriesRef,
+    AggFunc, BinOp, EdgeDir, Expr, OrderItem, PathPattern, Query, ReturnItem, RowAggFunc,
+    SeriesRef, TemporalBound,
 };
 use crate::exec::{contains_rowagg, QueryResult};
 use hygraph_graph::pattern::{CmpOp, PropPredicate};
@@ -73,6 +74,65 @@ pub fn fingerprint(q: &Query) -> u64 {
     fnv1a(w.as_bytes())
 }
 
+/// The exact set of property keys this plan can read: `var.key`
+/// accesses and series-property aggregates in the residual filter,
+/// projections, and HAVING; inline node property maps; and predicates
+/// pushed into pattern matching. HyQL has no dynamic property access
+/// (a bare variable evaluates to the element's id only), so the
+/// footprint is exact: a property write on a key outside it cannot
+/// change the plan's result — which is what lets the subscription
+/// layer skip re-running standing queries on untouched keys.
+pub fn property_footprint(plan: &LogicalPlan) -> std::collections::BTreeSet<String> {
+    fn walk(e: &Expr, out: &mut std::collections::BTreeSet<String>) {
+        match e {
+            Expr::Prop { key, .. } => {
+                out.insert(key.clone());
+            }
+            Expr::Agg { series, .. } => {
+                if let SeriesRef::Property { key, .. } = series {
+                    out.insert(key.clone());
+                }
+            }
+            Expr::RowAgg { arg, .. } => {
+                if let Some(a) = arg {
+                    walk(a, out);
+                }
+            }
+            Expr::Not(inner) => walk(inner, out),
+            Expr::Binary { lhs, rhs, .. } => {
+                walk(lhs, out);
+                walk(rhs, out);
+            }
+            Expr::Literal(_) | Expr::Var(_) => {}
+        }
+    }
+    let mut out = std::collections::BTreeSet::new();
+    let q = &plan.query;
+    if let Some(f) = &q.filter {
+        walk(f, &mut out);
+    }
+    if let Some(h) = &q.having {
+        walk(h, &mut out);
+    }
+    for r in &q.returns {
+        walk(&r.expr, &mut out);
+    }
+    for p in &q.patterns {
+        for (k, _) in &p.start.props {
+            out.insert(k.clone());
+        }
+        for (_, n) in &p.hops {
+            for (k, _) in &n.props {
+                out.insert(k.clone());
+            }
+        }
+    }
+    for p in &plan.pushed {
+        out.insert(p.pred.key.clone());
+    }
+    out
+}
+
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
@@ -113,6 +173,24 @@ fn encode_query(w: &mut ByteWriter, q: &Query) {
     w.bool(q.having.is_some());
     if let Some(h) = &q.having {
         encode_expr(w, h);
+    }
+    // The temporal bound is encoded only when present: a bound-free
+    // query's canonical bytes (and therefore its fingerprint and cache
+    // entry) are identical to what they were before `AS OF` existed,
+    // while two queries differing only in the bound hash apart — the
+    // plan cache can never serve one epoch's plan for another.
+    match &q.temporal {
+        None => {}
+        Some(TemporalBound::AsOfNow) => w.u8(1),
+        Some(TemporalBound::AsOf(t)) => {
+            w.u8(2);
+            w.timestamp(*t);
+        }
+        Some(TemporalBound::Between(t1, t2)) => {
+            w.u8(3);
+            w.timestamp(*t1);
+            w.timestamp(*t2);
+        }
     }
 }
 
@@ -312,6 +390,16 @@ impl LogicalPlan {
         }
         if let Some(t) = q.valid_at {
             match_detail.push_str(&format!(" valid_at={}ms", t.millis()));
+        }
+        match &q.temporal {
+            None => {}
+            Some(TemporalBound::AsOfNow) => match_detail.push_str(" as_of=now"),
+            Some(TemporalBound::AsOf(t)) => {
+                match_detail.push_str(&format!(" as_of={}ms", t.millis()));
+            }
+            Some(TemporalBound::Between(t1, t2)) => {
+                match_detail.push_str(&format!(" between=[{}ms, {}ms]", t1.millis(), t2.millis()));
+            }
         }
         out.push(PlanNode {
             op: PlanOp::Match,
@@ -534,6 +622,96 @@ mod tests {
         let explained = parse("EXPLAIN MATCH (u:User) RETURN u.name AS n").unwrap();
         assert!(explained.explain && !plain.explain);
         assert_eq!(fingerprint(&plain), fingerprint(&explained));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_temporal_bounds() {
+        let plain = parse("MATCH (u:User) RETURN u.name AS n").unwrap();
+        let now = parse("MATCH (u:User) AS OF NOW() RETURN u.name AS n").unwrap();
+        let t1 = parse("MATCH (u:User) AS OF 100 RETURN u.name AS n").unwrap();
+        let t2 = parse("MATCH (u:User) AS OF 200 RETURN u.name AS n").unwrap();
+        let bw = parse("MATCH (u:User) BETWEEN 100 AND 200 RETURN u.name AS n").unwrap();
+        let fps = [
+            fingerprint(&plain),
+            fingerprint(&now),
+            fingerprint(&t1),
+            fingerprint(&t2),
+            fingerprint(&bw),
+        ];
+        for i in 0..fps.len() {
+            for j in (i + 1)..fps.len() {
+                assert_ne!(fps[i], fps[j], "bounds {i} and {j} must hash apart");
+            }
+        }
+    }
+
+    /// Pinned pre-change fingerprints: adding the temporal clause must
+    /// not move the canonical encoding of bound-free queries, or every
+    /// deployed plan-cache key (and EXPLAIN header) would silently
+    /// change. Captured from the code base immediately before the
+    /// `AS OF` machinery landed.
+    #[test]
+    fn fingerprint_of_bound_free_queries_is_stable_across_the_temporal_change() {
+        for (text, expected) in [
+            (
+                "MATCH (u:User) WHERE u.age > 18 RETURN u.name AS n",
+                0x2ebdea5024577a3au64,
+            ),
+            (
+                "MATCH (u:User)-[:USES]->(c:CreditCard)-[t:TX]->(m:Merchant) \
+                 WHERE t.amount > 1000 RETURN u.name AS who, t.amount AS amt",
+                0xb97de6603ac011e8,
+            ),
+            ("MATCH (s:Station) RETURN COUNT(s) AS n", 0xd0323f9abe1fe245),
+        ] {
+            let q = parse(text).unwrap();
+            assert_eq!(
+                fingerprint(&q),
+                expected,
+                "canonical encoding moved for: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_includes_temporal_bound() {
+        let q = parse("MATCH (u:User) AS OF 1234 RETURN u").unwrap();
+        let text = lower(&q).render().join("\n");
+        assert!(text.contains("Match (u:User) as_of=1234ms"), "{text}");
+        let q = parse("MATCH (u:User) AS OF NOW() RETURN u").unwrap();
+        let text = lower(&q).render().join("\n");
+        assert!(text.contains("Match (u:User) as_of=now"), "{text}");
+        let q = parse("MATCH (u:User) BETWEEN 10 AND 20 RETURN u").unwrap();
+        let text = lower(&q).render().join("\n");
+        assert!(
+            text.contains("Match (u:User) between=[10ms, 20ms]"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn property_footprint_is_exact() {
+        let q = parse(
+            "MATCH (u:User {city: 'ut'})-[t:TX]->(m) WHERE u.age > 18 \
+             RETURN u.name AS n, COUNT(t.amount) AS c, MAX(m.load IN [0, 10)) AS pk \
+             HAVING COUNT(t.amount) > 1",
+        )
+        .unwrap();
+        let mut plan = lower(&q);
+        let fp = property_footprint(&plan);
+        let want: Vec<&str> = vec!["age", "amount", "city", "load", "name"];
+        assert_eq!(fp.iter().map(String::as_str).collect::<Vec<_>>(), want);
+        // a predicate moved from WHERE into the pushed set stays visible
+        plan.query.filter = None;
+        plan.pushed.push(PushedPred {
+            var: "u".into(),
+            pred: PropPredicate::new("age", CmpOp::Gt, Value::Int(18)),
+        });
+        let fp = property_footprint(&plan);
+        assert!(fp.contains("age"));
+        // bare variables read no properties
+        let q = parse("MATCH (u:User) RETURN u, COUNT(*) AS n").unwrap();
+        assert!(property_footprint(&lower(&q)).is_empty());
     }
 
     #[test]

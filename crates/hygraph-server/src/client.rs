@@ -259,6 +259,22 @@ impl Client {
         })
     }
 
+    /// Executes a HyQL query pinned to the server's state as of
+    /// `as_of_ms` (epoch milliseconds of transaction time) — time
+    /// travel without splicing `AS OF` into the query text. Errors if
+    /// the text already carries a temporal bound or the server keeps no
+    /// history (`HYGRAPH_HISTORY=0`).
+    pub fn query_as_of(&mut self, text: impl Into<String>, as_of_ms: i64) -> Result<QueryResult> {
+        let req = Request::QueryAsOf {
+            text: text.into(),
+            as_of_ms,
+        };
+        self.expect(&req, |r| match r {
+            Response::Rows(rows) => Some(rows),
+            _ => None,
+        })
+    }
+
     /// Commits one mutation; returns `(lsn, 1)`.
     pub fn mutate(&mut self, m: HgMutation) -> Result<(u64, u64)> {
         self.expect(&Request::Mutate(m), |r| match r {
@@ -477,6 +493,12 @@ impl LocalClient {
     /// Executes a HyQL query under the engine's read lock.
     pub fn query(&self, text: &str) -> Result<QueryResult> {
         self.engine.query(text)
+    }
+
+    /// [`LocalClient::query`] pinned to the state as of `as_of_ms`
+    /// (epoch milliseconds of transaction time).
+    pub fn query_as_of(&self, text: &str, as_of_ms: i64) -> Result<QueryResult> {
+        self.engine.query_as_of(text, as_of_ms)
     }
 
     /// Commits a batch of mutations; returns `(first_lsn, count)`.

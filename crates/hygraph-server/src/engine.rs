@@ -11,10 +11,11 @@
 use crate::proto::{ErrorCode, Request, Response};
 use hygraph_core::HyGraph;
 use hygraph_persist::{Durable, DurableStore, HgMutation};
-use hygraph_query::{PlanCacheHook, PlannedQuery, QueryResult};
+use hygraph_query::{PlanCacheHook, PlannedQuery, QueryResult, TemporalBound};
 use hygraph_sub::{DeltaSink, SubConfig, SubscriptionRegistry};
+use hygraph_temporal::{now_ms, HistoryConfig, HistorySeed, HistoryStore};
 use hygraph_types::bytes::ByteWriter;
-use hygraph_types::Result;
+use hygraph_types::{Result, Timestamp};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// Default plan-cache capacity when `HYGRAPH_PLAN_CACHE` is unset.
@@ -132,23 +133,87 @@ pub struct Engine {
     /// every subscriber observes each committed batch exactly once, in
     /// commit order.
     subs: SubscriptionRegistry,
+    /// Transaction-time history (`None` when `HYGRAPH_HISTORY=0`): the
+    /// commit timeline behind `AS OF` / `BETWEEN`. Lock order is always
+    /// backend lock first, then this mutex — queries resolve under the
+    /// read lock, commits record under the write lock.
+    history: Option<Mutex<HistoryStore>>,
 }
 
 impl Engine {
     /// An engine serving `backend`, with the plan-cache capacity taken
-    /// from `HYGRAPH_PLAN_CACHE` (default 64 entries, `0` disables).
+    /// from `HYGRAPH_PLAN_CACHE` (default 64 entries, `0` disables) and
+    /// history from `HYGRAPH_HISTORY` / `HYGRAPH_HISTORY_RETAIN_SECS`.
     pub fn new(backend: Backend) -> Self {
         Self::with_plan_cache(backend, plan_cache_capacity_from_env())
     }
 
     /// An engine with an explicit plan-cache capacity (`0` disables) —
     /// lets tests pin the behaviour regardless of the environment.
+    /// History still comes from the environment.
     pub fn with_plan_cache(backend: Backend, capacity: usize) -> Self {
+        Self::with_history_config(backend, capacity, HistoryConfig::from_env())
+    }
+
+    /// An engine with both the plan cache and the history config pinned
+    /// explicitly. History is seeded from the backend's *current* state
+    /// — its horizon is now (memory) or the recovered watermark
+    /// (durable). To keep pre-restart commits individually
+    /// time-addressable, open with [`Engine::open_durable`] instead.
+    pub fn with_history_config(backend: Backend, capacity: usize, cfg: HistoryConfig) -> Self {
+        let history = cfg.enabled.then(|| match &backend {
+            Backend::Memory { hg, .. } => HistoryStore::new(cfg.clone(), hg, 0),
+            Backend::Durable(store) => HistoryStore::from_parts(
+                cfg.clone(),
+                store.state_bytes(),
+                store.history_watermark(),
+                Vec::new(),
+            ),
+        });
+        Self::with_seeded_history(backend, capacity, history)
+    }
+
+    /// An engine over a pre-seeded history (or none) — the assembly
+    /// point the other constructors and [`Engine::open_durable`] share.
+    pub fn with_seeded_history(
+        backend: Backend,
+        capacity: usize,
+        history: Option<HistoryStore>,
+    ) -> Self {
         Self {
             inner: RwLock::new(backend),
             plan_cache: (capacity > 0).then(|| PlanCache::new(capacity)),
             subs: SubscriptionRegistry::from_env(),
+            history: history.map(Mutex::new),
         }
+    }
+
+    /// Opens (or initialises) a durable backend at `dir`, seeding
+    /// history from the recovery stream itself: the checkpoint becomes
+    /// the history base at its watermark and every replayed WAL frame
+    /// above it re-enters the commit timeline with its original
+    /// transaction timestamp — `AS OF` keeps answering across restarts
+    /// for everything the log still covers.
+    pub fn open_durable(
+        dir: impl Into<std::path::PathBuf>,
+        capacity: usize,
+        cfg: HistoryConfig,
+    ) -> Result<Self> {
+        if !cfg.enabled {
+            let store = DurableStore::open(dir)?;
+            return Ok(Self::with_seeded_history(
+                Backend::durable(store),
+                capacity,
+                None,
+            ));
+        }
+        let mut seed = HistorySeed::new(cfg);
+        let store = DurableStore::open_observed(dir, &mut seed)?;
+        Ok(Self::with_seeded_history(
+            Backend::durable(store),
+            capacity,
+            Some(seed.finish()?),
+        ))
     }
 
     /// Replaces the subscription-layer settings (cap, push-buffer
@@ -197,14 +262,41 @@ impl Engine {
     /// Executes a HyQL query under the read lock (concurrent with other
     /// queries), consulting the engine's plan cache: repeated query
     /// shapes skip parsing's downstream cost — lowering, optimization,
-    /// and pattern compilation — and go straight to execution.
+    /// and pattern compilation — and go straight to execution. Queries
+    /// carrying `AS OF` / `BETWEEN` resolve against the engine's
+    /// history; with history disabled they fail with a typed error
+    /// (`AS OF NOW()` still degrades gracefully to the live state).
     pub fn query(&self, text: &str) -> Result<QueryResult> {
-        let guard = self.read();
-        hygraph_query::run_instrumented(
-            guard.graph(),
+        self.run_query(text, None)
+    }
+
+    /// [`Engine::query`] pinned to the state as of `as_of_ms` (epoch
+    /// milliseconds of transaction time) — the structured-request form
+    /// of suffixing the text's MATCH with `AS OF <t>`. Rejects text
+    /// that already carries its own temporal bound.
+    pub fn query_as_of(&self, text: &str, as_of_ms: i64) -> Result<QueryResult> {
+        self.run_query(
             text,
-            self.plan_cache.as_ref().map(|c| c as &dyn PlanCacheHook),
+            Some(TemporalBound::AsOf(Timestamp::from_millis(as_of_ms))),
         )
+    }
+
+    fn run_query(&self, text: &str, bound: Option<TemporalBound>) -> Result<QueryResult> {
+        let guard = self.read();
+        let cache = self.plan_cache.as_ref().map(|c| c as &dyn PlanCacheHook);
+        match &self.history {
+            Some(h) => {
+                let mut h = h.lock().unwrap_or_else(|e| e.into_inner());
+                hygraph_query::run_instrumented_bound(
+                    guard.graph(),
+                    text,
+                    cache,
+                    Some(&mut *h),
+                    bound,
+                )
+            }
+            None => hygraph_query::run_instrumented_bound(guard.graph(), text, cache, None, bound),
+        }
     }
 
     /// Runs `f` against the instance under the read lock — how tests
@@ -219,10 +311,11 @@ impl Engine {
     pub fn mutate_batch(&self, mutations: Vec<HgMutation>) -> Result<(u64, u64)> {
         let count = mutations.len() as u64;
         let mut guard = self.write();
-        if self.subs.is_empty() {
-            // no standing queries: the original zero-overhead path (the
-            // write lock excludes concurrent subscribes, so the check
-            // cannot race a registration)
+        let notify = !self.subs.is_empty();
+        if self.history.is_none() && !notify {
+            // no history, no standing queries: the original
+            // zero-overhead path (the write lock excludes concurrent
+            // subscribes, so the check cannot race a registration)
             return match &mut *guard {
                 Backend::Memory { hg, applied } => {
                     let first = *applied;
@@ -238,29 +331,76 @@ impl Engine {
                 }
             };
         }
+        // allocate the batch's transaction timestamp before staging so
+        // WAL frames carry the same stamp the history records
+        let ts = self.history.as_ref().map(|h| {
+            let ts = h
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .allocate_ts(now_ms());
+            if let Backend::Durable(store) = &mut *guard {
+                store.set_commit_ts(ts);
+            }
+            ts
+        });
         let pre_v = guard.graph().topology().vertex_capacity();
         let pre_e = guard.graph().topology().edge_capacity();
-        let outcome = match &mut *guard {
+        let (outcome, applied_n) = match &mut *guard {
             Backend::Memory { hg, applied } => {
                 let mut res = Ok((*applied, count));
+                let mut n = 0usize;
                 for m in &mutations {
                     if let Err(e) = hg.apply(m) {
                         res = Err(e);
                         break;
                     }
                     *applied += 1;
+                    n += 1;
                 }
-                res
+                (res, n)
             }
-            Backend::Durable(store) => store
-                .commit_batch(mutations.clone())
-                .map(|range| (range.start, range.end - range.start)),
+            Backend::Durable(store) => {
+                let before = store.next_lsn();
+                let res = store
+                    .commit_batch(mutations.iter().cloned())
+                    .map(|range| (range.start, range.end - range.start));
+                // a failed batch keeps its staged prefix; the LSN delta
+                // is exactly how many mutations applied
+                ((res), (store.next_lsn() - before) as usize)
+            }
         };
-        // both backends keep the valid prefix of a failed batch, so
-        // subscribers must still observe it (failed => rebuild path)
-        self.subs
-            .on_commit(guard.graph(), &mutations, pre_v, pre_e, outcome.is_err());
+        if let (Some(ts), Some(h)) = (ts, &self.history) {
+            // record the applied prefix — history replays must
+            // reproduce exactly what the store kept
+            h.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .record_commit(ts, mutations[..applied_n].to_vec());
+        }
+        if notify {
+            // both backends keep the valid prefix of a failed batch, so
+            // subscribers must still observe it (failed => rebuild path)
+            self.subs
+                .on_commit(guard.graph(), &mutations, pre_v, pre_e, outcome.is_err());
+        }
         outcome
+    }
+
+    /// The timestamps of every commit the history currently retains
+    /// (oldest first), or `None` with history disabled — how tests and
+    /// the bench harness pick `AS OF` targets.
+    pub fn history_commit_timestamps(&self) -> Option<Vec<i64>> {
+        self.history.as_ref().map(|h| {
+            h.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .commit_timestamps()
+        })
+    }
+
+    /// The history horizon (`base_ts`), or `None` with history off.
+    pub fn history_horizon(&self) -> Option<i64> {
+        self.history
+            .as_ref()
+            .map(|h| h.lock().unwrap_or_else(|e| e.into_inner()).base_ts())
     }
 
     /// Forces a checkpoint on a durable backend; a no-op pseudo-LSN
@@ -300,6 +440,9 @@ impl Engine {
                 return Response::Stats(Box::new(hygraph_metrics::snapshot().unwrap_or_default()))
             }
             Request::Query(text) => self.query(text).map(Response::Rows),
+            Request::QueryAsOf { text, as_of_ms } => {
+                self.query_as_of(text, *as_of_ms).map(Response::Rows)
+            }
             Request::Mutate(m) => self
                 .mutate_batch(vec![m.clone()])
                 .map(|(first_lsn, count)| Response::Committed { first_lsn, count }),
@@ -491,8 +634,129 @@ mod tests {
     }
 
     #[test]
+    fn as_of_serves_past_states_and_now_serves_live() {
+        let engine = Engine::with_history_config(
+            Backend::memory(HyGraph::new()),
+            8,
+            HistoryConfig::default(),
+        );
+        engine.mutate_batch(seed_mutations()).unwrap();
+        let t1 = *engine
+            .history_commit_timestamps()
+            .unwrap()
+            .last()
+            .expect("one commit");
+        engine
+            .mutate_batch(vec![HgMutation::AddTsVertex {
+                labels: vec![Label::new("Station")],
+                series: SeriesId::new(0),
+            }])
+            .unwrap();
+        let text = "MATCH (s:Station) RETURN COUNT(s) AS n";
+        // live: two stations; as of the first commit: one
+        assert_eq!(
+            engine.query(text).unwrap().rows[0][0],
+            hygraph_types::Value::Int(2)
+        );
+        let past = engine.query(&format!(
+            "MATCH (s:Station) AS OF {t1} RETURN COUNT(s) AS n"
+        ));
+        assert_eq!(past.unwrap().rows[0][0], hygraph_types::Value::Int(1));
+        // the structured request form answers identically
+        assert_eq!(
+            engine.query_as_of(text, t1).unwrap().rows[0][0],
+            hygraph_types::Value::Int(1)
+        );
+        // AS OF NOW() is the live state
+        let now = engine
+            .query("MATCH (s:Station) AS OF NOW() RETURN COUNT(s) AS n")
+            .unwrap();
+        assert_eq!(now.rows[0][0], hygraph_types::Value::Int(2));
+        // double bounds are rejected, not silently overridden
+        let err = engine
+            .query_as_of(
+                &format!("MATCH (s:Station) AS OF {t1} RETURN COUNT(s) AS n"),
+                t1,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("already carries"), "{err}");
+    }
+
+    #[test]
+    fn history_disabled_rejects_time_travel_but_serves_now() {
+        let engine = Engine::with_history_config(
+            Backend::memory(HyGraph::new()),
+            8,
+            HistoryConfig::disabled(),
+        );
+        engine.mutate_batch(seed_mutations()).unwrap();
+        assert!(engine.history_commit_timestamps().is_none());
+        let err = engine
+            .query("MATCH (s:Station) AS OF 5 RETURN COUNT(s) AS n")
+            .unwrap_err();
+        assert!(err.to_string().contains("HYGRAPH_HISTORY"), "{err}");
+        // AS OF NOW() degrades gracefully: it is the live state
+        let now = engine
+            .query("MATCH (s:Station) AS OF NOW() RETURN COUNT(s) AS n")
+            .unwrap();
+        assert_eq!(now.rows[0][0], hygraph_types::Value::Int(1));
+    }
+
+    #[test]
+    fn durable_reopen_keeps_replayed_commits_time_addressable() {
+        let dir = hygraph_persist::fault::scratch_dir("engine-asof");
+        let (t1, t2);
+        {
+            let engine =
+                Engine::open_durable(&dir, 8, HistoryConfig::default()).expect("open fresh");
+            engine.mutate_batch(seed_mutations()).unwrap();
+            engine
+                .mutate_batch(vec![HgMutation::AddTsVertex {
+                    labels: vec![Label::new("Station")],
+                    series: SeriesId::new(0),
+                }])
+                .unwrap();
+            let ts = engine.history_commit_timestamps().unwrap();
+            t1 = ts[0];
+            t2 = ts[1];
+            engine.sync().unwrap();
+        } // crash: no checkpoint — both commits live only in the WAL
+        let engine = Engine::open_durable(&dir, 8, HistoryConfig::default()).expect("reopen");
+        assert_eq!(
+            engine.history_commit_timestamps().unwrap(),
+            vec![t1, t2],
+            "replayed WAL frames re-enter the commit timeline"
+        );
+        let text = "MATCH (s:Station) RETURN COUNT(s) AS n";
+        assert_eq!(
+            engine.query_as_of(text, t1).unwrap().rows[0][0],
+            hygraph_types::Value::Int(1)
+        );
+        assert_eq!(
+            engine.query(text).unwrap().rows[0][0],
+            hygraph_types::Value::Int(2)
+        );
+        // a checkpoint moves the durable watermark; reopening seeds the
+        // base there and newer commits stay addressable
+        engine.checkpoint().unwrap();
+        let engine2 = Engine::open_durable(&dir, 8, HistoryConfig::default()).expect("reopen 2");
+        assert_eq!(engine2.history_horizon().unwrap(), t2);
+        assert!(matches!(
+            engine2.query_as_of(text, t2),
+            Ok(r) if r.rows[0][0] == hygraph_types::Value::Int(2)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn partial_batch_failure_keeps_earlier_mutations() {
-        let engine = Engine::new(Backend::memory(HyGraph::new()));
+        // explicit history config: the assertions below time-travel, so
+        // the test must not depend on the ambient HYGRAPH_HISTORY
+        let engine = Engine::with_history_config(
+            Backend::memory(HyGraph::new()),
+            plan_cache_capacity_from_env(),
+            HistoryConfig::default(),
+        );
         let mut ms = seed_mutations();
         ms.push(HgMutation::Append {
             series: SeriesId::new(42), // rejected: no such series
@@ -502,5 +766,19 @@ mod tests {
         assert!(engine.mutate_batch(ms).is_err());
         // the valid prefix applied (matches DurableStore::commit_batch)
         engine.with_graph(|hg| assert_eq!(hg.vertex_count(), 2));
+        // history recorded exactly that prefix: commit once more, then
+        // travel back to the failed batch's timestamp
+        let failed_ts = *engine.history_commit_timestamps().unwrap().last().unwrap();
+        engine
+            .mutate_batch(vec![HgMutation::AddPgVertex {
+                labels: vec![Label::new("User")],
+                props: PropertyMap::new(),
+                validity: Interval::ALL,
+            }])
+            .unwrap();
+        let past = engine
+            .query_as_of("MATCH (s:Station) RETURN COUNT(s) AS n", failed_ts)
+            .unwrap();
+        assert_eq!(past.rows[0][0], hygraph_types::Value::Int(1));
     }
 }

@@ -32,6 +32,7 @@ const K_SLEEP: u8 = 5;
 const K_STATS: u8 = 6;
 const K_SUBSCRIBE: u8 = 7;
 const K_UNSUBSCRIBE: u8 = 8;
+const K_QUERY_AS_OF: u8 = 9;
 
 // Response kinds (server → client).
 const K_PONG: u8 = 128;
@@ -116,6 +117,17 @@ pub enum Request {
         /// The id from [`Response::Subscribed`].
         sub_id: u64,
     },
+    /// Execute a HyQL query pinned to the store's state as of a past
+    /// transaction time — the structured form of an `AS OF` clause, so
+    /// clients bind the timestamp without splicing it into query text.
+    /// Rejected if `text` already carries its own temporal bound, or if
+    /// the server runs with `HYGRAPH_HISTORY=0`.
+    QueryAsOf {
+        /// The HyQL text (without a temporal clause).
+        text: String,
+        /// Transaction time to query at, in epoch milliseconds.
+        as_of_ms: i64,
+    },
 }
 
 /// One server response. `Error` carries an [`ErrorCode`] so clients can
@@ -190,6 +202,7 @@ impl Request {
             Request::Stats => K_STATS,
             Request::Subscribe(_) => K_SUBSCRIBE,
             Request::Unsubscribe { .. } => K_UNSUBSCRIBE,
+            Request::QueryAsOf { .. } => K_QUERY_AS_OF,
         }
     }
 
@@ -211,6 +224,10 @@ impl Request {
             Request::Sleep(ms) => w.u64(*ms),
             Request::Subscribe(text) => w.str(text),
             Request::Unsubscribe { sub_id } => w.u64(*sub_id),
+            Request::QueryAsOf { text, as_of_ms } => {
+                w.str(text);
+                w.i64(*as_of_ms);
+            }
         }
         Frame::new(request_id, self.kind(), w.into_bytes())
     }
@@ -240,6 +257,10 @@ impl Request {
             K_STATS => Request::Stats,
             K_SUBSCRIBE => Request::Subscribe(r.str()?),
             K_UNSUBSCRIBE => Request::Unsubscribe { sub_id: r.u64()? },
+            K_QUERY_AS_OF => Request::QueryAsOf {
+                text: r.str()?,
+                as_of_ms: r.i64()?,
+            },
             k => return Err(HyGraphError::corrupt(format!("unknown request kind {k}"))),
         };
         r.expect_exhausted()?;
@@ -449,6 +470,10 @@ mod tests {
             Request::Stats,
             Request::Subscribe("MATCH (u:User) RETURN u.name AS n".into()),
             Request::Unsubscribe { sub_id: 12 },
+            Request::QueryAsOf {
+                text: "MATCH (n) RETURN n.name AS name".into(),
+                as_of_ms: 1_722_000_000_123,
+            },
         ];
         for req in &reqs {
             assert_eq!(&roundtrip_request(req), req);

@@ -22,7 +22,11 @@
 //! * property updates and validity closes can shift filters, pushed
 //!   predicates, and match sets in ways additions cannot, so routed
 //!   subscriptions take the rebuild path (full recompute, merge-diffed
-//!   in canonical match order);
+//!   in canonical match order) — but a property write is first narrowed
+//!   by key: only subscriptions whose plan property footprint mentions
+//!   the touched key are routed at all (the footprint is exact — HyQL
+//!   has no dynamic property access — so this is a no-cost skip, not an
+//!   approximation);
 //! * subgraph mutations are invisible to HyQL plans and route nowhere.
 //!
 //! A failed batch may have applied a valid prefix the caller cannot
@@ -131,6 +135,11 @@ struct Sub {
     sink: Arc<dyn DeltaSink>,
     mode: Mode,
     keys: RouteKeys,
+    /// The exact property keys the plan can read
+    /// ([`hygraph_query::plan::property_footprint`]): a `SetProperty`
+    /// on a key outside this set cannot change the result, so commit
+    /// routing skips this subscription for it.
+    prop_keys: BTreeSet<String>,
 }
 
 #[derive(Default)]
@@ -217,6 +226,11 @@ pub struct SubscriptionRegistry {
     /// Lock-free emptiness check so commit paths with no subscribers
     /// pay one atomic load, not a mutex.
     active: AtomicUsize,
+    /// Full recomputations taken so far (rerun-mode advances and forced
+    /// incremental rebuilds) — the registry-local twin of the global
+    /// `fallback_reruns` metric, so routing precision is observable
+    /// per-engine.
+    reruns: AtomicUsize,
     inner: Mutex<Inner>,
 }
 
@@ -226,8 +240,15 @@ impl SubscriptionRegistry {
         Self {
             cfg,
             active: AtomicUsize::new(0),
+            reruns: AtomicUsize::new(0),
             inner: Mutex::new(Inner::default()),
         }
+    }
+
+    /// How many full recomputations this registry has run across all
+    /// commits — the cost the key-narrowed routing avoids.
+    pub fn rerun_count(&self) -> usize {
+        self.reruns.load(Ordering::Relaxed)
     }
 
     /// A registry configured from the `HYGRAPH_SUB_*` environment.
@@ -276,6 +297,7 @@ impl SubscriptionRegistry {
         let planned = plan_query(&q)?;
         let columns: Vec<String> = q.returns.iter().map(|r| r.alias.clone()).collect();
         let keys = route_keys(&q, uses_series(&planned.plan));
+        let prop_keys = hygraph_query::plan::property_footprint(&planned.plan);
         let fingerprint = planned.plan.fingerprint;
 
         let mut inner = self.lock();
@@ -325,6 +347,7 @@ impl SubscriptionRegistry {
                 sink,
                 mode,
                 keys,
+                prop_keys,
             },
         );
         inner.index(id);
@@ -447,11 +470,11 @@ impl SubscriptionRegistry {
                 touched.extend(inner.series_any.iter().copied());
             }
             for m in muts {
-                let el = match m {
-                    HgMutation::SetProperty { el, .. } => Some(*el),
-                    HgMutation::CloseVertex { v, .. } => Some(ElementRef::Vertex(*v)),
-                    HgMutation::CloseEdge { e, .. } => Some(ElementRef::Edge(*e)),
-                    _ => None,
+                let (el, prop_key) = match m {
+                    HgMutation::SetProperty { el, key, .. } => (Some(*el), Some(key.as_str())),
+                    HgMutation::CloseVertex { v, .. } => (Some(ElementRef::Vertex(*v)), None),
+                    HgMutation::CloseEdge { e, .. } => (Some(ElementRef::Edge(*e)), None),
+                    _ => (None, None),
                 };
                 let mut routed: BTreeSet<u64> = BTreeSet::new();
                 match el {
@@ -478,6 +501,15 @@ impl SubscriptionRegistry {
                         Err(_) => routed.extend(inner.subs.keys().copied()),
                     },
                 }
+                // a property rewrite only matters to plans that read
+                // that key — the footprint is exact (see
+                // `property_footprint`), so dropping the rest is sound,
+                // not an approximation. Closes keep the broad route:
+                // validity shifts match sets regardless of properties.
+                if let Some(key) = prop_key {
+                    routed
+                        .retain(|id| inner.subs.get(id).is_none_or(|s| s.prop_keys.contains(key)));
+                }
                 touched.extend(routed.iter().copied());
                 rebuild.extend(routed);
             }
@@ -493,6 +525,7 @@ impl SubscriptionRegistry {
             let delta = match &mut sub.mode {
                 Mode::Incremental(st) => {
                     if forced {
+                        self.reruns.fetch_add(1, Ordering::Relaxed);
                         if let Some(m) = hygraph_metrics::get() {
                             m.sub.fallback_reruns.inc();
                         }
@@ -500,6 +533,7 @@ impl SubscriptionRegistry {
                     st.apply_batch(hg, &new_vertices, &new_edges, &appended, forced)
                 }
                 Mode::Rerun { planned, rows } => {
+                    self.reruns.fetch_add(1, Ordering::Relaxed);
                     if let Some(m) = hygraph_metrics::get() {
                         m.sub.fallback_reruns.inc();
                     }
@@ -716,6 +750,49 @@ mod tests {
         assert_eq!(pushed.len(), 1);
         apply_delta(&mut local, &pushed[0].1).unwrap();
         assert_eq!(local.rows, vec![vec![Value::Str("ada".into())]]);
+    }
+
+    #[test]
+    fn untouched_property_key_skips_the_rebuild_entirely() {
+        let mut hg = instance();
+        let reg = SubscriptionRegistry::new(SubConfig::default());
+        let sink = Arc::new(RecordingSink::default());
+        let (_, local) = reg
+            .subscribe(
+                &hg,
+                "MATCH (u:User) WHERE u.age > 40 RETURN u.name AS name",
+                1,
+                sink.clone(),
+            )
+            .unwrap();
+        assert!(local.rows.is_empty());
+        let baseline = reg.rerun_count();
+        let ada = hg.topology().vertices_with_label("User").next().unwrap().id;
+        // a write to a key the plan never reads: not routed, no rerun
+        commit(
+            &reg,
+            &mut hg,
+            vec![HgMutation::SetProperty {
+                el: ElementRef::Vertex(ada),
+                key: "nickname".into(),
+                value: hygraph_types::PropertyValue::Static("addie".into()),
+            }],
+        );
+        assert_eq!(reg.rerun_count(), baseline, "untouched key must not rerun");
+        assert!(sink.deltas.lock().unwrap().is_empty());
+        // the same element, a key in the footprint: rerun fires and the
+        // result delta arrives
+        commit(
+            &reg,
+            &mut hg,
+            vec![HgMutation::SetProperty {
+                el: ElementRef::Vertex(ada),
+                key: "age".into(),
+                value: hygraph_types::PropertyValue::Static(70i64.into()),
+            }],
+        );
+        assert_eq!(reg.rerun_count(), baseline + 1, "footprint key reruns");
+        assert_eq!(sink.deltas.lock().unwrap().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,599 @@
+//! The timestamped commit log and snapshot reconstruction.
+
+use hygraph_core::{ElementRef, HyGraph};
+use hygraph_metrics as metrics;
+use hygraph_persist::{Durable, HgMutation};
+use hygraph_query::{ResolvedStates, TemporalBound, TemporalResolver};
+use hygraph_types::bytes::{ByteReader, ByteWriter};
+use hygraph_types::{HyGraphError, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::config::HistoryConfig;
+
+/// One committed transaction: its timestamp and the mutation batch
+/// that applied (only the applied prefix of a partially failed batch).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommitRecord {
+    /// Monotonically increasing transaction timestamp (epoch ms).
+    pub commit_ts: i64,
+    /// The mutations, in application order.
+    pub mutations: Vec<HgMutation>,
+}
+
+/// How an `AS OF t` bound resolves.
+#[derive(Clone, Debug)]
+pub enum SnapshotResolution {
+    /// `t` is at or past the newest commit: the live state answers.
+    Live,
+    /// A reconstructed historical state.
+    Past(Arc<HyGraph>),
+}
+
+/// The transaction-time history of one store: a base snapshot (exact
+/// state encoding) plus the ordered commit deltas above it. See the
+/// crate docs for the reconstruction and retention model.
+#[derive(Debug)]
+pub struct HistoryStore {
+    cfg: HistoryConfig,
+    /// Exact state encoding at the history horizon.
+    base_state: Vec<u8>,
+    /// Commit timestamp the base covers: every commit with `ts <=
+    /// base_ts` is folded in; `AS OF` below it is out of range.
+    base_ts: i64,
+    /// Retained commits, strictly increasing `commit_ts`.
+    commits: Vec<CommitRecord>,
+    /// Highest timestamp handed out by [`HistoryStore::allocate_ts`]
+    /// (or observed at seeding) — the monotonicity floor.
+    last_alloc: i64,
+    /// Approximate heap held by history: base bytes + encoded delta
+    /// bytes (what the `hygraph_temporal_history_bytes` gauge reports).
+    approx_bytes: u64,
+    /// Per-entity count of retained delta versions — the version
+    /// chains. Only mutations addressing an *existing* element
+    /// (property writes, closes) lengthen a chain; creations are the
+    /// chain's root and carry no prior version.
+    chains: HashMap<ElementRef, u32>,
+    /// LRU of reconstructed snapshots, keyed by commit timestamp;
+    /// most recently used last.
+    cache: Vec<(i64, Arc<HyGraph>)>,
+}
+
+fn mutation_bytes(m: &HgMutation) -> u64 {
+    let mut w = ByteWriter::new();
+    <HyGraph as Durable>::encode_mutation(m, &mut w);
+    w.into_bytes().len() as u64
+}
+
+/// The element an already-existing entity's mutation rewrites, if any
+/// — the version-chain key.
+fn chain_key(m: &HgMutation) -> Option<ElementRef> {
+    match m {
+        HgMutation::SetProperty { el, .. } => Some(*el),
+        HgMutation::CloseVertex { v, .. } => Some(ElementRef::Vertex(*v)),
+        HgMutation::CloseEdge { e, .. } => Some(ElementRef::Edge(*e)),
+        _ => None,
+    }
+}
+
+impl HistoryStore {
+    /// A history whose horizon is `base` at transaction time `base_ts`.
+    pub fn new(cfg: HistoryConfig, base: &HyGraph, base_ts: i64) -> Self {
+        let mut w = ByteWriter::new();
+        base.encode_state(&mut w);
+        Self::from_parts(cfg, w.into_bytes(), base_ts, Vec::new())
+    }
+
+    /// A history assembled from recovered parts (see
+    /// [`crate::HistorySeed`]). `commits` must carry strictly
+    /// increasing timestamps, all above `base_ts`.
+    pub fn from_parts(
+        cfg: HistoryConfig,
+        base_state: Vec<u8>,
+        base_ts: i64,
+        commits: Vec<CommitRecord>,
+    ) -> Self {
+        let mut store = Self {
+            cfg,
+            approx_bytes: base_state.len() as u64,
+            base_state,
+            base_ts,
+            commits: Vec::new(),
+            last_alloc: base_ts,
+            chains: HashMap::new(),
+            cache: Vec::new(),
+        };
+        for c in commits {
+            debug_assert!(c.commit_ts > store.last_alloc, "commit ts not increasing");
+            store.last_alloc = store.last_alloc.max(c.commit_ts);
+            store.index_commit(&c);
+            store.commits.push(c);
+        }
+        store.publish_gauges();
+        store
+    }
+
+    fn index_commit(&mut self, c: &CommitRecord) {
+        for m in &c.mutations {
+            self.approx_bytes += mutation_bytes(m);
+            if let Some(key) = chain_key(m) {
+                *self.chains.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+
+    fn publish_gauges(&self) {
+        if let Some(m) = metrics::get() {
+            m.temporal.history_commits.set(self.commits.len() as i64);
+            m.temporal.history_bytes.set(self.approx_bytes as i64);
+            m.temporal
+                .version_chain_max
+                .set(self.version_chain_max() as i64);
+        }
+    }
+
+    /// Allocates the next transaction timestamp: wall-clock `now_ms`,
+    /// bumped to stay strictly increasing under bursts and clock
+    /// steps. Call before making the batch durable so WAL frames carry
+    /// the same timestamp history records.
+    pub fn allocate_ts(&mut self, now_ms: i64) -> i64 {
+        let ts = now_ms.max(self.last_alloc + 1);
+        self.last_alloc = ts;
+        ts
+    }
+
+    /// Records one committed batch at `ts` (an [`allocate_ts`] value).
+    /// Pass only the mutations that actually applied; an empty batch
+    /// records nothing. Runs retention GC against `ts` afterwards.
+    ///
+    /// [`allocate_ts`]: HistoryStore::allocate_ts
+    pub fn record_commit(&mut self, ts: i64, mutations: Vec<HgMutation>) {
+        if mutations.is_empty() {
+            return;
+        }
+        debug_assert!(
+            self.commits
+                .last()
+                .map(|c| c.commit_ts)
+                .unwrap_or(self.base_ts)
+                < ts,
+            "commit ts must increase"
+        );
+        let c = CommitRecord {
+            commit_ts: ts,
+            mutations,
+        };
+        self.index_commit(&c);
+        self.commits.push(c);
+        self.gc(ts);
+        self.publish_gauges();
+    }
+
+    /// Folds commits older than the retention window (relative to
+    /// `now_ms`) into the base snapshot, moving the horizon forward.
+    /// Returns how many commits were retired. No-op when retention is
+    /// unbounded.
+    pub fn gc(&mut self, now_ms: i64) -> usize {
+        if self.cfg.retain_ms <= 0 {
+            return 0;
+        }
+        let cutoff = now_ms.saturating_sub(self.cfg.retain_ms);
+        let fold = self.commits.partition_point(|c| c.commit_ts < cutoff);
+        if fold == 0 {
+            return 0;
+        }
+        // one decode → apply* → encode pass for the whole expired run
+        let mut state = self
+            .decode_base()
+            .expect("history base must decode: it was encoded by encode_state");
+        for c in self.commits.drain(..fold).collect::<Vec<_>>() {
+            for m in &c.mutations {
+                state
+                    .apply(m)
+                    .expect("recorded mutation must re-apply: it applied once");
+                self.approx_bytes = self.approx_bytes.saturating_sub(mutation_bytes(m));
+                if let Some(key) = chain_key(m) {
+                    if let Some(n) = self.chains.get_mut(&key) {
+                        *n -= 1;
+                        if *n == 0 {
+                            self.chains.remove(&key);
+                        }
+                    }
+                }
+            }
+            self.base_ts = c.commit_ts;
+        }
+        let old_base = self.base_state.len() as u64;
+        let mut w = ByteWriter::new();
+        state.encode_state(&mut w);
+        self.base_state = w.into_bytes();
+        self.approx_bytes = self
+            .approx_bytes
+            .saturating_sub(old_base)
+            .saturating_add(self.base_state.len() as u64);
+        // cached snapshots below the new horizon are unreachable
+        self.cache.retain(|(ts, _)| *ts >= self.base_ts);
+        if let Some(m) = metrics::get() {
+            m.temporal.gc_commits_folded.add(fold as u64);
+        }
+        self.publish_gauges();
+        fold
+    }
+
+    fn decode_base(&self) -> Result<HyGraph> {
+        let mut r = ByteReader::new(&self.base_state);
+        let hg = HyGraph::decode_state(&mut r)?;
+        r.expect_exhausted()?;
+        Ok(hg)
+    }
+
+    /// The reconstruction `base ++ commits[..=idx]` (`idx = None` for
+    /// the bare base), through the snapshot cache.
+    fn state_at_index(&mut self, idx: Option<usize>) -> Result<Arc<HyGraph>> {
+        let key = match idx {
+            Some(i) => self.commits[i].commit_ts,
+            None => self.base_ts,
+        };
+        if let Some(pos) = self.cache.iter().position(|(ts, _)| *ts == key) {
+            let hit = self.cache.remove(pos);
+            let state = hit.1.clone();
+            self.cache.push(hit); // most recently used last
+            if let Some(m) = metrics::get() {
+                m.temporal.snapshot_cache_hits.inc();
+            }
+            return Ok(state);
+        }
+        let mut state = self.decode_base()?;
+        if let Some(i) = idx {
+            for c in &self.commits[..=i] {
+                for m in &c.mutations {
+                    state.apply(m)?;
+                }
+            }
+        }
+        let state = Arc::new(state);
+        self.cache.push((key, state.clone()));
+        if self.cache.len() > self.cfg.snapshot_cache.max(1) {
+            self.cache.remove(0);
+        }
+        if let Some(m) = metrics::get() {
+            m.temporal.snapshot_rebuilds.inc();
+        }
+        Ok(state)
+    }
+
+    /// Index of the last commit with `commit_ts <= t`, or `None` when
+    /// `t` lands on the bare base.
+    fn index_at(&self, t: i64) -> Option<usize> {
+        self.commits
+            .partition_point(|c| c.commit_ts <= t)
+            .checked_sub(1)
+    }
+
+    /// Resolves `AS OF t`: [`SnapshotResolution::Live`] when `t` is at
+    /// or past the newest commit (the live store already *is* that
+    /// state), a reconstructed snapshot when `t` lands inside history,
+    /// and an error when `t` precedes the retention horizon.
+    pub fn snapshot_at(&mut self, t: i64) -> Result<SnapshotResolution> {
+        if t >= self.last_ts() {
+            return Ok(SnapshotResolution::Live);
+        }
+        if t < self.base_ts {
+            return Err(HyGraphError::query(format!(
+                "AS OF {t} is before the history horizon {}: \
+                 the commits covering it were retired by retention \
+                 (HYGRAPH_HISTORY_RETAIN_SECS)",
+                self.base_ts
+            )));
+        }
+        let idx = self.index_at(t);
+        Ok(SnapshotResolution::Past(self.state_at_index(idx)?))
+    }
+
+    /// Resolves `BETWEEN t1 AND t2`: the state current at `t1`, then
+    /// the state after each commit with `t1 < commit_ts <= t2` — one
+    /// entry per epoch the window saw, oldest first.
+    pub fn states_between(&mut self, t1: i64, t2: i64) -> Result<Vec<Arc<HyGraph>>> {
+        if t2 < t1 {
+            return Err(HyGraphError::query(format!(
+                "BETWEEN bounds must satisfy t1 <= t2, got [{t1}, {t2}]"
+            )));
+        }
+        if t1 < self.base_ts {
+            return Err(HyGraphError::query(format!(
+                "BETWEEN {t1} starts before the history horizon {}: \
+                 the commits covering it were retired by retention \
+                 (HYGRAPH_HISTORY_RETAIN_SECS)",
+                self.base_ts
+            )));
+        }
+        let start_idx = self.index_at(t1);
+        let first = self.state_at_index(start_idx)?;
+        let mut out = vec![first.clone()];
+        let mut working: Option<HyGraph> = None;
+        let from = start_idx.map(|i| i + 1).unwrap_or(0);
+        for i in from..self.commits.len() {
+            if self.commits[i].commit_ts > t2 {
+                break;
+            }
+            let state = working.get_or_insert_with(|| (*first).clone());
+            for m in &self.commits[i].mutations {
+                state.apply(m)?;
+            }
+            out.push(Arc::new(state.clone()));
+        }
+        Ok(out)
+    }
+
+    /// Transaction time of the history horizon — `AS OF` below this is
+    /// out of range.
+    pub fn base_ts(&self) -> i64 {
+        self.base_ts
+    }
+
+    /// Timestamp of the newest commit (the base's when none are
+    /// retained). `AS OF t >= last_ts()` resolves to the live state.
+    pub fn last_ts(&self) -> i64 {
+        self.commits
+            .last()
+            .map(|c| c.commit_ts)
+            .unwrap_or(self.base_ts)
+    }
+
+    /// Retained commit count.
+    pub fn commit_count(&self) -> usize {
+        self.commits.len()
+    }
+
+    /// Timestamps of every retained commit, oldest first.
+    pub fn commit_timestamps(&self) -> Vec<i64> {
+        self.commits.iter().map(|c| c.commit_ts).collect()
+    }
+
+    /// Approximate bytes held by history (base + deltas).
+    pub fn approx_bytes(&self) -> u64 {
+        self.approx_bytes
+    }
+
+    /// Length of the longest per-entity version chain currently
+    /// retained (prior versions only; the hot version is the store's).
+    pub fn version_chain_max(&self) -> u32 {
+        self.chains.values().copied().max().unwrap_or(0)
+    }
+}
+
+impl TemporalResolver for HistoryStore {
+    fn resolve(&mut self, bound: &TemporalBound) -> Result<ResolvedStates> {
+        match bound {
+            TemporalBound::AsOfNow => Ok(ResolvedStates::Live),
+            TemporalBound::AsOf(t) => {
+                let start = metrics::enabled().then(Instant::now);
+                let resolved = self.snapshot_at(t.millis())?;
+                if let Some(m) = metrics::get() {
+                    m.temporal.asof_queries.inc();
+                    if let Some(s) = start {
+                        m.temporal.asof_us.observe_duration(s.elapsed());
+                    }
+                }
+                Ok(match resolved {
+                    SnapshotResolution::Live => ResolvedStates::Live,
+                    SnapshotResolution::Past(state) => ResolvedStates::At(state),
+                })
+            }
+            TemporalBound::Between(t1, t2) => {
+                let start = metrics::enabled().then(Instant::now);
+                let states = self.states_between(t1.millis(), t2.millis())?;
+                if let Some(m) = metrics::get() {
+                    m.temporal.between_queries.inc();
+                    if let Some(s) = start {
+                        m.temporal.asof_us.observe_duration(s.elapsed());
+                    }
+                }
+                Ok(ResolvedStates::Epochs(states))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hygraph_types::{Interval, PropertyMap, Timestamp, Value};
+
+    fn add_vertex(label: &str) -> HgMutation {
+        HgMutation::AddPgVertex {
+            labels: vec![label.into()],
+            props: PropertyMap::new(),
+            validity: Interval::from(Timestamp::from_millis(0)),
+        }
+    }
+
+    fn set_prop(el: ElementRef, key: &str, v: i64) -> HgMutation {
+        HgMutation::SetProperty {
+            el,
+            key: key.into(),
+            value: Value::Int(v).into(),
+        }
+    }
+
+    fn state_bytes(hg: &HyGraph) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        hg.encode_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// A live graph plus a history mirroring every commit, with the
+    /// full state after each commit for comparison.
+    fn build(commit_batches: Vec<Vec<HgMutation>>) -> (HyGraph, HistoryStore, Vec<(i64, Vec<u8>)>) {
+        let mut live = HyGraph::new();
+        let mut history = HistoryStore::new(HistoryConfig::default(), &live, 0);
+        let mut states = Vec::new();
+        for (i, batch) in commit_batches.into_iter().enumerate() {
+            let ts = history.allocate_ts((i as i64 + 1) * 1_000);
+            for m in &batch {
+                live.apply(m).unwrap();
+            }
+            history.record_commit(ts, batch);
+            states.push((ts, state_bytes(&live)));
+        }
+        (live, history, states)
+    }
+
+    #[test]
+    fn snapshots_are_bit_identical_to_the_state_at_each_commit() {
+        let (live, mut history, states) = build(vec![
+            vec![add_vertex("A")],
+            vec![add_vertex("B"), add_vertex("C")],
+            vec![set_prop(
+                ElementRef::Vertex(hygraph_types::VertexId::new(0)),
+                "score",
+                7,
+            )],
+        ]);
+        for (ts, expected) in &states[..states.len() - 1] {
+            match history.snapshot_at(*ts).unwrap() {
+                SnapshotResolution::Past(past) => {
+                    assert_eq!(&state_bytes(&past), expected, "AS OF {ts}")
+                }
+                SnapshotResolution::Live => panic!("AS OF {ts} should be in the past"),
+            }
+            // between commits the earlier state stays current
+            match history.snapshot_at(*ts + 500).unwrap() {
+                SnapshotResolution::Past(past) => assert_eq!(&state_bytes(&past), expected),
+                SnapshotResolution::Live => panic!("AS OF {}+500 should be past", ts),
+            }
+        }
+        // at or after the newest commit: live
+        let last = states.last().unwrap().0;
+        assert!(matches!(
+            history.snapshot_at(last).unwrap(),
+            SnapshotResolution::Live
+        ));
+        assert!(matches!(
+            history.snapshot_at(i64::MAX).unwrap(),
+            SnapshotResolution::Live
+        ));
+        // and full reconstruction equals the live bytes
+        let full = history.state_at_index(Some(2)).unwrap();
+        assert_eq!(state_bytes(&full), state_bytes(&live));
+    }
+
+    #[test]
+    fn before_base_errors_after_gc_horizon_moves() {
+        let (_live, mut history, states) = build(vec![
+            vec![add_vertex("A")],
+            vec![add_vertex("B")],
+            vec![add_vertex("C")],
+        ]);
+        assert!(history.snapshot_at(-5).is_err(), "before genesis");
+
+        // retention of 1.5s relative to the last commit (t=3000)
+        // retires the first commit (t=1000 < 3000 - 1500)
+        history.cfg.retain_ms = 1_500;
+        let folded = history.gc(3_000);
+        assert_eq!(folded, 1);
+        assert_eq!(history.base_ts(), 1_000);
+        assert_eq!(history.commit_count(), 2);
+        assert!(history.snapshot_at(500).is_err(), "below the new horizon");
+        // the horizon itself still answers, bit-identically
+        match history.snapshot_at(1_000).unwrap() {
+            SnapshotResolution::Past(past) => {
+                assert_eq!(state_bytes(&past), states[0].1);
+            }
+            SnapshotResolution::Live => panic!("t=1000 is past"),
+        }
+    }
+
+    #[test]
+    fn between_returns_one_state_per_epoch_in_the_window() {
+        let (_live, mut history, states) = build(vec![
+            vec![add_vertex("A")],
+            vec![add_vertex("B")],
+            vec![add_vertex("C")],
+        ]);
+        // window covering commits 2 and 3, starting inside epoch 1
+        let got = history.states_between(1_500, 3_500).unwrap();
+        assert_eq!(got.len(), 3, "epoch at t1 + two commits in window");
+        assert_eq!(state_bytes(&got[0]), states[0].1);
+        assert_eq!(state_bytes(&got[1]), states[1].1);
+        assert_eq!(state_bytes(&got[2]), states[2].1);
+        // degenerate window: just the state at t1
+        let got = history.states_between(2_100, 2_900).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(state_bytes(&got[0]), states[1].1);
+        assert!(history.states_between(-1, 100).is_err(), "below horizon");
+    }
+
+    #[test]
+    fn allocate_ts_is_strictly_increasing_under_clock_stalls() {
+        let mut history = HistoryStore::new(HistoryConfig::default(), &HyGraph::new(), 0);
+        let a = history.allocate_ts(100);
+        let b = history.allocate_ts(100); // clock stalled
+        let c = history.allocate_ts(50); // clock stepped back
+        assert!(a < b && b < c, "{a} {b} {c}");
+        let d = history.allocate_ts(10_000);
+        assert_eq!(d, 10_000, "clock ahead of floor wins");
+    }
+
+    #[test]
+    fn version_chains_and_bytes_track_recorded_deltas() {
+        let v0 = ElementRef::Vertex(hygraph_types::VertexId::new(0));
+        let (_live, history, _) = build(vec![
+            vec![add_vertex("A")],
+            vec![set_prop(v0, "x", 1)],
+            vec![set_prop(v0, "x", 2), set_prop(v0, "y", 9)],
+        ]);
+        assert_eq!(history.version_chain_max(), 3, "three rewrites of v0");
+        assert!(history.approx_bytes() > 0);
+        assert_eq!(history.commit_count(), 3);
+        assert_eq!(history.commit_timestamps(), vec![1_000, 2_000, 3_000]);
+    }
+
+    #[test]
+    fn snapshot_cache_serves_repeats_and_evicts() {
+        let (_live, mut history, states) = build(vec![
+            vec![add_vertex("A")],
+            vec![add_vertex("B")],
+            vec![add_vertex("C")],
+        ]);
+        history.cfg.snapshot_cache = 2;
+        for _ in 0..3 {
+            for (ts, expected) in &states[..2] {
+                match history.snapshot_at(*ts).unwrap() {
+                    SnapshotResolution::Past(p) => assert_eq!(&state_bytes(&p), expected),
+                    SnapshotResolution::Live => panic!("past expected"),
+                }
+            }
+        }
+        assert!(history.cache.len() <= 2, "cache bounded");
+    }
+
+    #[test]
+    fn resolver_maps_bounds_to_resolved_states() {
+        let (_live, mut history, states) =
+            build(vec![vec![add_vertex("A")], vec![add_vertex("B")]]);
+        let r: &mut dyn TemporalResolver = &mut history;
+        assert!(matches!(
+            r.resolve(&TemporalBound::AsOfNow).unwrap(),
+            ResolvedStates::Live
+        ));
+        match r
+            .resolve(&TemporalBound::AsOf(Timestamp::from_millis(1_000)))
+            .unwrap()
+        {
+            ResolvedStates::At(state) => assert_eq!(state_bytes(&state), states[0].1),
+            other => panic!("expected At, got {other:?}"),
+        }
+        match r
+            .resolve(&TemporalBound::Between(
+                Timestamp::from_millis(1_000),
+                Timestamp::from_millis(2_000),
+            ))
+            .unwrap()
+        {
+            ResolvedStates::Epochs(states_got) => assert_eq!(states_got.len(), 2),
+            other => panic!("expected Epochs, got {other:?}"),
+        }
+    }
+}

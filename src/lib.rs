@@ -48,6 +48,7 @@
 //! | [`datagen`] | deterministic synthetic datasets (bike sharing, fraud, random) |
 //! | [`storage`] | the Table-1 experiment: all-in-graph vs polyglot persistence backends |
 //! | [`persist`] | durable storage engine: write-ahead log, checkpoints, crash recovery |
+//! | [`temporal`] | transaction-time history: timestamped commit log, snapshot reconstruction, `AS OF` / `BETWEEN` time travel |
 //! | [`sub`] | standing queries: live HyQL subscriptions maintained by incremental deltas |
 //! | [`server`] | concurrent query serving: wire protocol, worker pool, backpressure, graceful shutdown |
 //! | [`metrics`] | observability: counters, latency histograms, slow-query log, wire-exposed stats |
@@ -65,6 +66,7 @@ pub use hygraph_query as query_engine;
 pub use hygraph_server as server;
 pub use hygraph_storage as storage;
 pub use hygraph_sub as sub;
+pub use hygraph_temporal as temporal;
 pub use hygraph_ts as ts;
 pub use hygraph_types as types;
 
