@@ -1,0 +1,249 @@
+//! Shard-scaling benchmark: read throughput under a concurrent writer
+//! as a function of the engine's shard count.
+//!
+//! The single-shard engine serialises readers behind the writer's lock
+//! — every commit stalls every query for the commit's duration. The
+//! sharded engine publishes an immutable snapshot per commit and
+//! readers pin the latest epoch without touching the write path, so
+//! read throughput should hold (and scale) while the writer streams
+//! batches. This harness measures exactly that: for each shard count
+//! it replays the same seed, starts one writer pushing fixed-size
+//! append/vertex batches, and counts how many queries N reader threads
+//! complete before the writer finishes.
+//!
+//! Correctness is gated first: at every shard count the engine's final
+//! state must be **byte identical** to the single-shard engine's, and
+//! a query corpus must answer byte-for-byte the same on both.
+//!
+//! Run with: `cargo run --release -p hygraph-bench --bin shard_scaling
+//! [--scale small|medium|large]`
+//!
+//! Emits `BENCH_PR9.json` in the working directory (override with
+//! `BENCH_PR9_JSON=<path>`) so CI and later PRs can diff the numbers.
+
+use hygraph_bench::Scale;
+use hygraph_persist::HgMutation;
+use hygraph_server::{Backend, Engine};
+use hygraph_types::{props, Interval, Label, SeriesId, Timestamp};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const QUERIES: &[&str] = &[
+    "MATCH (s:Station) RETURN COUNT(s) AS n",
+    "MATCH (s:Station) RETURN MEAN(DELTA(s) IN [0, 600000)) AS avail ORDER BY avail DESC LIMIT 5",
+    "MATCH (d:Dock) WHERE d.docks > 25 RETURN d.name AS name ORDER BY name LIMIT 10",
+    "MATCH (s:Station) RETURN MAX(DELTA(s) IN [0, 300000)) AS peak ORDER BY peak LIMIT 3",
+];
+
+/// The seed: `stations` ts-stations (one series each) plus a pg dock
+/// twin per station.
+fn seed(stations: usize) -> Vec<HgMutation> {
+    let mut ms = Vec::with_capacity(3 * stations);
+    for i in 0..stations {
+        ms.push(HgMutation::AddSeries {
+            names: vec![format!("avail-{i}")],
+            rows: vec![],
+        });
+        ms.push(HgMutation::AddTsVertex {
+            labels: vec![Label::new("Station"), Label::new(format!("Zone{}", i % 8))],
+            series: SeriesId::new(i as u64),
+        });
+        ms.push(HgMutation::AddPgVertex {
+            labels: vec![Label::new("Dock")],
+            props: props! {"name" => format!("dock-{i}"), "docks" => (20 + (i % 15)) as i64},
+            validity: Interval::ALL,
+        });
+    }
+    ms
+}
+
+/// How many points each station receives per writer batch — sized so
+/// a commit holds the single-shard write lock long enough to stall its
+/// readers measurably (the contention the snapshot path removes).
+const POINTS_PER_BATCH: usize = 50;
+
+/// Writer batch `b`: a burst of availability appends per station
+/// (cross-shard by construction — series ids are dense) plus a fresh
+/// dock vertex.
+fn writer_batch(b: usize, stations: usize) -> Vec<HgMutation> {
+    let mut ms: Vec<HgMutation> = Vec::with_capacity(stations * POINTS_PER_BATCH + 1);
+    for i in 0..stations {
+        for p in 0..POINTS_PER_BATCH {
+            ms.push(HgMutation::Append {
+                series: SeriesId::new(i as u64),
+                t: Timestamp::from_millis(((b * POINTS_PER_BATCH + p) as i64 + 1) * 1_000),
+                row: vec![((b * 31 + i * 7 + p) % 40) as f64],
+            });
+        }
+    }
+    ms.push(HgMutation::AddPgVertex {
+        labels: vec![Label::new("Dock")],
+        props: props! {"name" => format!("dock-w{b}"), "docks" => (20 + (b % 15)) as i64},
+        validity: Interval::ALL,
+    });
+    ms
+}
+
+fn build_engine(shards: usize, stations: usize) -> Arc<Engine> {
+    let engine = Engine::new(Backend::memory(hygraph_core::HyGraph::new())).with_shards(shards);
+    engine.mutate_batch(seed(stations)).expect("seed commits");
+    Arc::new(engine)
+}
+
+/// Applies the full writer workload without concurrency — the
+/// reference state for the byte-identity gate.
+fn final_state(shards: usize, stations: usize, batches: usize) -> (Arc<Engine>, Vec<u8>) {
+    let engine = build_engine(shards, stations);
+    for b in 0..batches {
+        engine
+            .mutate_batch(writer_batch(b, stations))
+            .expect("batch");
+    }
+    let bytes = engine.state_bytes();
+    (engine, bytes)
+}
+
+struct Measured {
+    shards: usize,
+    reads: usize,
+    commits: usize,
+    reads_per_sec: f64,
+}
+
+/// A fixed wall-clock window: one writer commits batches back to back
+/// for the whole window while `readers` threads count completed corpus
+/// queries. The window, not the writer, bounds the run, so shard
+/// counts with different commit costs are compared on equal footing.
+fn measure(shards: usize, stations: usize, window_ms: u64, readers: usize) -> Measured {
+    let engine = build_engine(shards, stations);
+    let done = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..readers)
+        .map(|r| {
+            let engine = Arc::clone(&engine);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut reads = 0usize;
+                while !done.load(Ordering::Acquire) {
+                    let q = QUERIES[(r + reads) % QUERIES.len()];
+                    engine.query(q).expect("corpus query");
+                    reads += 1;
+                }
+                reads
+            })
+        })
+        .collect();
+    let writer = {
+        let engine = Arc::clone(&engine);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut commits = 0usize;
+            while !done.load(Ordering::Acquire) {
+                engine
+                    .mutate_batch(writer_batch(commits, stations))
+                    .expect("batch");
+                commits += 1;
+            }
+            commits
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(window_ms));
+    done.store(true, Ordering::Release);
+    let commits = writer.join().unwrap();
+    let reads: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    Measured {
+        shards,
+        reads,
+        commits,
+        reads_per_sec: reads as f64 / (window_ms as f64 / 1000.0),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (stations, batches, window_ms, readers) = match scale {
+        Scale::Small => (64, 20, 800u64, 2),
+        Scale::Medium => (128, 40, 2_000u64, 3),
+        Scale::Large => (256, 60, 4_000u64, 4),
+    };
+    let shard_counts = [1usize, 2, 4, 8];
+    println!(
+        "shard-scaling benchmark — {stations} stations, {window_ms} ms windows, \
+         {readers} readers, shard counts {shard_counts:?}"
+    );
+
+    // ---- equivalence gate --------------------------------------------
+    let (single, single_bytes) = final_state(1, stations, batches);
+    for &n in &shard_counts[1..] {
+        let (engine, bytes) = final_state(n, stations, batches);
+        assert_eq!(
+            bytes, single_bytes,
+            "{n}-shard final state is not byte-identical to single-shard"
+        );
+        for q in QUERIES {
+            let got = engine.query(q).expect("sharded query");
+            let want = single.query(q).expect("single-shard query");
+            assert_eq!(got, want, "query diverges at {n} shards: {q}");
+        }
+    }
+    println!(
+        "equivalence gate passed: {} shard counts byte-identical, {} queries agree\n",
+        shard_counts.len() - 1,
+        QUERIES.len()
+    );
+
+    // ---- timing ------------------------------------------------------
+    println!(
+        "{:>7} {:>10} {:>10} {:>14}",
+        "shards", "reads", "commits", "reads/sec"
+    );
+    let record: Vec<Measured> = shard_counts
+        .iter()
+        .map(|&n| {
+            let m = measure(n, stations, window_ms, readers);
+            println!(
+                "{:>7} {:>10} {:>10} {:>14.0}",
+                m.shards, m.reads, m.commits, m.reads_per_sec
+            );
+            m
+        })
+        .collect();
+
+    // the point of the refactor: under a concurrent writer, snapshot
+    // readers must at least hold the single-shard read rate (they no
+    // longer queue behind the commit lock)
+    let single_rate = record[0].reads_per_sec;
+    let best = record[1..]
+        .iter()
+        .max_by(|a, b| a.reads_per_sec.total_cmp(&b.reads_per_sec))
+        .expect("multi-shard rows");
+    println!(
+        "\nbest multi-shard: {} shards at {:.0} reads/sec ({:.2}x single-shard)",
+        best.shards,
+        best.reads_per_sec,
+        best.reads_per_sec / single_rate
+    );
+    assert!(
+        best.reads_per_sec >= single_rate,
+        "sharded snapshot reads fell below the single-shard rate: {:.0} < {:.0} reads/sec",
+        best.reads_per_sec,
+        single_rate
+    );
+
+    let rows = record
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"shards\": {}, \"reads\": {}, \"commits\": {}, \"reads_per_sec\": {:.2}}}",
+                m.shards, m.reads, m.commits, m.reads_per_sec
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n  ");
+    let json = format!(
+        "{{\n\"bench\": \"shard_scaling\",\n\"scale\": \"{scale:?}\",\n\"stations\": {stations},\n\
+         \"window_ms\": {window_ms},\n\"readers\": {readers},\n\"rows\": [\n  {rows}\n]\n}}\n"
+    );
+    let path = std::env::var("BENCH_PR9_JSON").unwrap_or_else(|_| "BENCH_PR9.json".to_string());
+    std::fs::write(&path, json).expect("write bench json");
+    println!("wrote {path}");
+}

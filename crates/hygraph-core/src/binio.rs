@@ -98,7 +98,7 @@ pub fn encode_hygraph(hg: &HyGraph, w: &mut ByteWriter) {
     }
     // subgraphs, id-ordered (BTreeMap)
     w.len_of(hg.subgraphs.len());
-    for (id, sg) in &hg.subgraphs {
+    for (id, sg) in hg.subgraphs.iter() {
         w.u64(id.raw());
         w.labels(&sg.labels);
         w.property_map(&sg.props);
@@ -124,34 +124,31 @@ pub fn decode_hygraph(r: &mut ByteReader<'_>) -> Result<HyGraph> {
     let next_series = r.u64()?;
     let next_subgraph = r.u64()?;
     let graph = graph_codec::decode_graph(r)?;
-    let mut hg = HyGraph {
-        graph,
-        next_series,
-        next_subgraph,
-        ..HyGraph::default()
-    };
-    let vids: Vec<_> = hg.graph.vertex_ids().collect();
-    for v in vids {
+    let mut vertex_kind = std::collections::HashMap::new();
+    for v in graph.vertex_ids() {
         let kind = kind_from_byte(r.u8()?)?;
-        hg.vertex_kind.insert(v, kind);
+        vertex_kind.insert(v, kind);
     }
-    let eids: Vec<_> = hg.graph.edge_ids().collect();
-    for e in eids {
+    let mut edge_kind = std::collections::HashMap::new();
+    for e in graph.edge_ids() {
         let kind = kind_from_byte(r.u8()?)?;
-        hg.edge_kind.insert(e, kind);
+        edge_kind.insert(e, kind);
     }
+    let mut delta_v = std::collections::HashMap::new();
     let n_dv = r.len_of()?;
     for _ in 0..n_dv {
         let v = hygraph_types::VertexId::new(r.u64()?);
         let s = SeriesId::new(r.u64()?);
-        hg.delta_v.insert(v, s);
+        delta_v.insert(v, s);
     }
+    let mut delta_e = std::collections::HashMap::new();
     let n_de = r.len_of()?;
     for _ in 0..n_de {
         let e = hygraph_types::EdgeId::new(r.u64()?);
         let s = SeriesId::new(r.u64()?);
-        hg.delta_e.insert(e, s);
+        delta_e.insert(e, s);
     }
+    let mut series_set = std::collections::BTreeMap::new();
     let n_series = r.len_of()?;
     for _ in 0..n_series {
         let id = SeriesId::new(r.u64()?);
@@ -182,7 +179,7 @@ pub fn decode_hygraph(r: &mut ByteReader<'_>) -> Result<HyGraph> {
                 .push(t, &row)
                 .map_err(|e| HyGraphError::corrupt(format!("series row: {e}")))?;
         }
-        if hg.series.insert(id, series).is_some() {
+        if series_set.insert(id, std::sync::Arc::new(series)).is_some() {
             return Err(HyGraphError::corrupt("duplicate series id"));
         }
         if id.raw() >= next_series {
@@ -191,6 +188,7 @@ pub fn decode_hygraph(r: &mut ByteReader<'_>) -> Result<HyGraph> {
             ));
         }
     }
+    let mut subgraphs = std::collections::BTreeMap::new();
     let n_subgraphs = r.len_of()?;
     for _ in 0..n_subgraphs {
         let id = SubgraphId::new(r.u64()?);
@@ -210,11 +208,21 @@ pub fn decode_hygraph(r: &mut ByteReader<'_>) -> Result<HyGraph> {
             let iv = r.interval()?;
             sg.add_edge(e, iv);
         }
-        if hg.subgraphs.insert(id, sg).is_some() {
+        if subgraphs.insert(id, sg).is_some() {
             return Err(HyGraphError::corrupt("duplicate subgraph id"));
         }
     }
-    Ok(hg)
+    Ok(HyGraph {
+        graph: std::sync::Arc::new(graph),
+        vertex_kind: std::sync::Arc::new(vertex_kind),
+        edge_kind: std::sync::Arc::new(edge_kind),
+        series: series_set,
+        delta_v: std::sync::Arc::new(delta_v),
+        delta_e: std::sync::Arc::new(delta_e),
+        subgraphs: std::sync::Arc::new(subgraphs),
+        next_series,
+        next_subgraph,
+    })
 }
 
 /// Encodes an instance into a fresh byte vector.

@@ -15,6 +15,7 @@ use hygraph_types::{
     SubgraphId, Timestamp, VertexId,
 };
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Whether an element belongs to the property-graph or the time-series
 /// partition of V/E.
@@ -47,15 +48,26 @@ pub enum ElementRef {
 }
 
 /// A unified hybrid graph + time-series instance.
+///
+/// # Snapshot semantics
+///
+/// Every interior collection sits behind an [`Arc`], so `clone()` is a
+/// handful of reference-count bumps — O(pointers), not O(data). Mutators
+/// go through [`Arc::make_mut`]: the first write after a clone
+/// copies-on-write only the touched component (topology, one kind table,
+/// one series, …) while everything untouched stays shared. This is what
+/// lets the sharded engine publish an immutable snapshot per commit and
+/// hand lock-free `&HyGraph` views to readers: a reader's pinned clone is
+/// never affected by later writes to the live instance, and vice versa.
 #[derive(Clone, Debug, Default)]
 pub struct HyGraph {
-    pub(crate) graph: TemporalGraph,
-    pub(crate) vertex_kind: HashMap<VertexId, ElementKind>,
-    pub(crate) edge_kind: HashMap<EdgeId, ElementKind>,
-    pub(crate) series: BTreeMap<SeriesId, MultiSeries>,
-    pub(crate) delta_v: HashMap<VertexId, SeriesId>,
-    pub(crate) delta_e: HashMap<EdgeId, SeriesId>,
-    pub(crate) subgraphs: BTreeMap<SubgraphId, Subgraph>,
+    pub(crate) graph: Arc<TemporalGraph>,
+    pub(crate) vertex_kind: Arc<HashMap<VertexId, ElementKind>>,
+    pub(crate) edge_kind: Arc<HashMap<EdgeId, ElementKind>>,
+    pub(crate) series: BTreeMap<SeriesId, Arc<MultiSeries>>,
+    pub(crate) delta_v: Arc<HashMap<VertexId, SeriesId>>,
+    pub(crate) delta_e: Arc<HashMap<EdgeId, SeriesId>>,
+    pub(crate) subgraphs: Arc<BTreeMap<SubgraphId, Subgraph>>,
     pub(crate) next_series: u64,
     pub(crate) next_subgraph: u64,
 }
@@ -66,13 +78,39 @@ impl HyGraph {
         Self::default()
     }
 
+    // ---- copy-on-write mutator seams ---------------------------------
+
+    pub(crate) fn graph_mut(&mut self) -> &mut TemporalGraph {
+        Arc::make_mut(&mut self.graph)
+    }
+
+    pub(crate) fn vertex_kind_tbl_mut(&mut self) -> &mut HashMap<VertexId, ElementKind> {
+        Arc::make_mut(&mut self.vertex_kind)
+    }
+
+    pub(crate) fn edge_kind_tbl_mut(&mut self) -> &mut HashMap<EdgeId, ElementKind> {
+        Arc::make_mut(&mut self.edge_kind)
+    }
+
+    pub(crate) fn delta_v_mut(&mut self) -> &mut HashMap<VertexId, SeriesId> {
+        Arc::make_mut(&mut self.delta_v)
+    }
+
+    pub(crate) fn delta_e_mut(&mut self) -> &mut HashMap<EdgeId, SeriesId> {
+        Arc::make_mut(&mut self.delta_e)
+    }
+
+    pub(crate) fn subgraphs_mut(&mut self) -> &mut BTreeMap<SubgraphId, Subgraph> {
+        Arc::make_mut(&mut self.subgraphs)
+    }
+
     // ---- TS: the series set ------------------------------------------
 
     /// Registers a multivariate series; returns its id.
     pub fn add_series(&mut self, s: MultiSeries) -> SeriesId {
         let id = SeriesId::new(self.next_series);
         self.next_series += 1;
-        self.series.insert(id, s);
+        self.series.insert(id, Arc::new(s));
         id
     }
 
@@ -83,13 +121,17 @@ impl HyGraph {
 
     /// The series with id `id`.
     pub fn series(&self, id: SeriesId) -> Result<&MultiSeries> {
-        self.series.get(&id).ok_or(HyGraphError::SeriesNotFound(id))
+        self.series
+            .get(&id)
+            .map(|s| &**s)
+            .ok_or(HyGraphError::SeriesNotFound(id))
     }
 
     /// Mutable access to a series (for appends — R3 ingest path).
     pub fn series_mut(&mut self, id: SeriesId) -> Result<&mut MultiSeries> {
         self.series
             .get_mut(&id)
+            .map(Arc::make_mut)
             .ok_or(HyGraphError::SeriesNotFound(id))
     }
 
@@ -100,7 +142,7 @@ impl HyGraph {
 
     /// Iterates all `(id, series)` pairs in id order.
     pub fn all_series(&self) -> impl Iterator<Item = (SeriesId, &MultiSeries)> {
-        self.series.iter().map(|(&id, s)| (id, s))
+        self.series.iter().map(|(&id, s)| (id, &**s))
     }
 
     /// Number of registered series.
@@ -126,8 +168,8 @@ impl HyGraph {
         props: PropertyMap,
         validity: Interval,
     ) -> VertexId {
-        let v = self.graph.add_vertex_valid(labels, props, validity);
-        self.vertex_kind.insert(v, ElementKind::Pg);
+        let v = self.graph_mut().add_vertex_valid(labels, props, validity);
+        self.vertex_kind_tbl_mut().insert(v, ElementKind::Pg);
         v
     }
 
@@ -140,10 +182,10 @@ impl HyGraph {
     ) -> Result<VertexId> {
         self.series(series)?;
         let v = self
-            .graph
+            .graph_mut()
             .add_vertex_valid(labels, PropertyMap::new(), Interval::ALL);
-        self.vertex_kind.insert(v, ElementKind::Ts);
-        self.delta_v.insert(v, series);
+        self.vertex_kind_tbl_mut().insert(v, ElementKind::Ts);
+        self.delta_v_mut().insert(v, series);
         Ok(v)
     }
 
@@ -170,9 +212,9 @@ impl HyGraph {
         validity: Interval,
     ) -> Result<EdgeId> {
         let e = self
-            .graph
+            .graph_mut()
             .add_edge_valid(src, dst, labels, props, validity)?;
-        self.edge_kind.insert(e, ElementKind::Pg);
+        self.edge_kind_tbl_mut().insert(e, ElementKind::Pg);
         Ok(e)
     }
 
@@ -188,11 +230,11 @@ impl HyGraph {
         series: SeriesId,
     ) -> Result<EdgeId> {
         self.series(series)?;
-        let e = self
-            .graph
-            .add_edge_valid(src, dst, labels, PropertyMap::new(), Interval::ALL)?;
-        self.edge_kind.insert(e, ElementKind::Ts);
-        self.delta_e.insert(e, series);
+        let e =
+            self.graph_mut()
+                .add_edge_valid(src, dst, labels, PropertyMap::new(), Interval::ALL)?;
+        self.edge_kind_tbl_mut().insert(e, ElementKind::Ts);
+        self.delta_e_mut().insert(e, series);
         Ok(e)
     }
 
@@ -267,11 +309,11 @@ impl HyGraph {
         match el {
             ElementRef::Vertex(v) => {
                 self.require_kind_v(v, ElementKind::Pg)?;
-                self.graph.vertex_mut(v)?.props.set(key, value);
+                self.graph_mut().vertex_mut(v)?.props.set(key, value);
             }
             ElementRef::Edge(e) => {
                 self.require_kind_e(e, ElementKind::Pg)?;
-                self.graph.edge_mut(e)?.props.set(key, value);
+                self.graph_mut().edge_mut(e)?.props.set(key, value);
             }
             ElementRef::Subgraph(s) => {
                 self.subgraph_mut(s)?.props.set(key, value);
@@ -355,7 +397,7 @@ impl HyGraph {
     ) -> SubgraphId {
         let id = SubgraphId::new(self.next_subgraph);
         self.next_subgraph += 1;
-        self.subgraphs.insert(
+        self.subgraphs_mut().insert(
             id,
             Subgraph::new(
                 id,
@@ -376,7 +418,7 @@ impl HyGraph {
 
     /// Mutable access to a subgraph.
     pub fn subgraph_mut(&mut self, s: SubgraphId) -> Result<&mut Subgraph> {
-        self.subgraphs
+        self.subgraphs_mut()
             .get_mut(&s)
             .ok_or(HyGraphError::SubgraphNotFound(s))
     }
@@ -448,13 +490,13 @@ impl HyGraph {
     /// live as long as their series).
     pub fn close_vertex(&mut self, v: VertexId, t: Timestamp) -> Result<()> {
         self.require_kind_v(v, ElementKind::Pg)?;
-        self.graph.close_vertex(v, t)
+        self.graph_mut().close_vertex(v, t)
     }
 
     /// Closes an edge's validity at `t`.
     pub fn close_edge(&mut self, e: EdgeId, t: Timestamp) -> Result<()> {
         self.require_kind_e(e, ElementKind::Pg)?;
-        self.graph.close_edge(e, t)
+        self.graph_mut().close_edge(e, t)
     }
 
     // ---- integrity (R2) -------------------------------------------------------

@@ -18,8 +18,14 @@ use crate::slow::{SlowQueryEntry, SlowQueryLog};
 /// Version 2 added the plan-cache counters, the per-physical-operator
 /// group, and the plan fingerprint on slow-query entries. Version 3
 /// added the time-series compression gauges and rollup counters.
-/// Version 4 added the standing-subscription group.
-const SNAPSHOT_VERSION: u8 = 5;
+/// Version 4 added the standing-subscription group. Version 5 added
+/// the temporal-history group. Version 6 added the per-shard group.
+const SNAPSHOT_VERSION: u8 = 6;
+
+/// Per-shard gauge lanes held by the registry. Mirrors
+/// `hygraph_types::shard::MAX_SHARDS` (this crate is dependency-free,
+/// so the bound is restated here; the server asserts they agree).
+pub const MAX_SHARD_LANES: usize = 64;
 
 // ---------------------------------------------------------------------
 // Operator taxonomy
@@ -285,6 +291,53 @@ pub struct SubMetrics {
     pub slow_consumer_drops: Counter,
 }
 
+/// One shard's WAL-stream gauges.
+#[derive(Debug, Default)]
+pub struct ShardLaneMetrics {
+    /// Next LSN the shard's WAL will assign (its append frontier).
+    pub next_lsn: Gauge,
+    /// Highest LSN the shard has fsynced (its durable frontier).
+    pub durable_lsn: Gauge,
+}
+
+/// Sharded-engine instruments: per-shard WAL positions and the
+/// cross-shard watermark. All zero on unsharded (or memory) engines.
+#[derive(Debug)]
+pub struct ShardMetrics {
+    /// Configured shard count (0 until a sharded store reports in).
+    pub shards: Gauge,
+    /// Cross-shard durable watermark: the minimum durable LSN across
+    /// every shard lane (see `hygraph_temporal::ShardWatermark`).
+    pub watermark: Gauge,
+    /// Per-shard lanes, indexed by shard; only the first
+    /// [`ShardMetrics::shards`] are meaningful.
+    pub lanes: [ShardLaneMetrics; MAX_SHARD_LANES],
+}
+
+impl Default for ShardMetrics {
+    fn default() -> Self {
+        Self {
+            shards: Gauge::default(),
+            watermark: Gauge::default(),
+            lanes: std::array::from_fn(|_| ShardLaneMetrics::default()),
+        }
+    }
+}
+
+impl ShardMetrics {
+    /// Records a full `(next_lsn, durable_lsn)` lane report (the shape
+    /// of `ShardedStore::shard_lsns`) plus the cross-shard watermark.
+    /// Lanes beyond [`MAX_SHARD_LANES`] are ignored.
+    pub fn set_lanes(&self, lanes: &[(u64, u64)], watermark: u64) {
+        self.shards.set(lanes.len().min(MAX_SHARD_LANES) as i64);
+        self.watermark.set(watermark.min(i64::MAX as u64) as i64);
+        for (lane, &(next, durable)) in self.lanes.iter().zip(lanes.iter()) {
+            lane.next_lsn.set(next.min(i64::MAX as u64) as i64);
+            lane.durable_lsn.set(durable.min(i64::MAX as u64) as i64);
+        }
+    }
+}
+
 /// Temporal-history instruments (`hygraph-temporal`).
 #[derive(Debug, Default)]
 pub struct TemporalMetrics {
@@ -323,6 +376,8 @@ pub struct Registry {
     pub sub: SubMetrics,
     /// Temporal-history layer.
     pub temporal: TemporalMetrics,
+    /// Sharded-engine layer.
+    pub shard: ShardMetrics,
     /// Slow-query ring buffer.
     pub slow: SlowQueryLog,
 }
@@ -338,6 +393,7 @@ impl Registry {
             ts: TsMetrics::default(),
             sub: SubMetrics::default(),
             temporal: TemporalMetrics::default(),
+            shard: ShardMetrics::default(),
             slow: SlowQueryLog::new(slow_capacity),
         }
     }
@@ -414,6 +470,20 @@ impl Registry {
                 deltas_pushed: self.sub.deltas_pushed.get(),
                 fallback_reruns: self.sub.fallback_reruns.get(),
                 slow_consumer_drops: self.sub.slow_consumer_drops.get(),
+            },
+            shard: ShardsSnapshot {
+                shards: self.shard.shards.get(),
+                watermark: self.shard.watermark.get(),
+                lanes: self
+                    .shard
+                    .lanes
+                    .iter()
+                    .take(self.shard.shards.get().clamp(0, MAX_SHARD_LANES as i64) as usize)
+                    .map(|l| ShardLaneSnapshot {
+                        next_lsn: l.next_lsn.get(),
+                        durable_lsn: l.durable_lsn.get(),
+                    })
+                    .collect(),
             },
             temporal: TemporalSnapshot {
                 asof_queries: self.temporal.asof_queries.get(),
@@ -581,6 +651,26 @@ pub struct SubSnapshot {
     pub slow_consumer_drops: u64,
 }
 
+/// Plain-data copy of one [`ShardLaneMetrics`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardLaneSnapshot {
+    /// See [`ShardLaneMetrics::next_lsn`].
+    pub next_lsn: i64,
+    /// See [`ShardLaneMetrics::durable_lsn`].
+    pub durable_lsn: i64,
+}
+
+/// Plain-data copy of [`ShardMetrics`] — only the configured lanes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardsSnapshot {
+    /// See [`ShardMetrics::shards`].
+    pub shards: i64,
+    /// See [`ShardMetrics::watermark`].
+    pub watermark: i64,
+    /// Per-shard lanes, indexed by shard (length = `shards`).
+    pub lanes: Vec<ShardLaneSnapshot>,
+}
+
 /// Plain-data copy of [`TemporalMetrics`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TemporalSnapshot {
@@ -622,6 +712,8 @@ pub struct Snapshot {
     pub ts: TsSnapshot,
     /// Standing-subscription layer.
     pub sub: SubSnapshot,
+    /// Sharded-engine layer.
+    pub shard: ShardsSnapshot,
     /// Temporal-history layer.
     pub temporal: TemporalSnapshot,
     /// Slow-query ring contents, oldest first.
@@ -824,6 +916,14 @@ impl Snapshot {
         out.extend_from_slice(&self.sub.fallback_reruns.to_le_bytes());
         out.extend_from_slice(&self.sub.slow_consumer_drops.to_le_bytes());
 
+        out.extend_from_slice(&self.shard.shards.to_le_bytes());
+        out.extend_from_slice(&self.shard.watermark.to_le_bytes());
+        out.extend_from_slice(&(self.shard.lanes.len() as u32).to_le_bytes());
+        for lane in &self.shard.lanes {
+            out.extend_from_slice(&lane.next_lsn.to_le_bytes());
+            out.extend_from_slice(&lane.durable_lsn.to_le_bytes());
+        }
+
         let t = &self.temporal;
         for v in [
             t.asof_queries,
@@ -931,6 +1031,24 @@ impl Snapshot {
             fallback_reruns: r.u64()?,
             slow_consumer_drops: r.u64()?,
         };
+        let shard_count = r.i64()?;
+        let shard_watermark = r.i64()?;
+        let n_lanes = r.u32()? as usize;
+        if n_lanes > MAX_SHARD_LANES {
+            return Err(err(format!("implausible shard lane count {n_lanes}")));
+        }
+        let mut lanes = Vec::with_capacity(n_lanes);
+        for _ in 0..n_lanes {
+            lanes.push(ShardLaneSnapshot {
+                next_lsn: r.i64()?,
+                durable_lsn: r.i64()?,
+            });
+        }
+        let shard = ShardsSnapshot {
+            shards: shard_count,
+            watermark: shard_watermark,
+            lanes,
+        };
         let temporal = TemporalSnapshot {
             asof_queries: r.u64()?,
             between_queries: r.u64()?,
@@ -968,6 +1086,7 @@ impl Snapshot {
             query,
             ts,
             sub,
+            shard,
             temporal,
             slow_queries,
             slow_dropped,
@@ -1094,6 +1213,8 @@ impl Snapshot {
         gauge("hygraph_ts_raw_bytes", self.ts.raw_bytes);
         gauge("hygraph_ts_compressed_bytes", self.ts.compressed_bytes);
         gauge("hygraph_sub_active", self.sub.active);
+        gauge("hygraph_shards", self.shard.shards);
+        gauge("hygraph_shard_watermark", self.shard.watermark);
         gauge(
             "hygraph_temporal_history_commits",
             self.temporal.history_commits,
@@ -1106,6 +1227,25 @@ impl Snapshot {
             "hygraph_temporal_version_chain_max",
             self.temporal.version_chain_max,
         );
+
+        if !self.shard.lanes.is_empty() {
+            let _ = writeln!(out, "# TYPE hygraph_shard_next_lsn gauge");
+            for (i, lane) in self.shard.lanes.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "hygraph_shard_next_lsn{{shard=\"{i}\"}} {}",
+                    lane.next_lsn.max(0)
+                );
+            }
+            let _ = writeln!(out, "# TYPE hygraph_shard_durable_lsn gauge");
+            for (i, lane) in self.shard.lanes.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "hygraph_shard_durable_lsn{{shard=\"{i}\"}} {}",
+                    lane.durable_lsn.max(0)
+                );
+            }
+        }
 
         let mut summary = |name: &str, h: &HistogramSnapshot| {
             let _ = writeln!(out, "# TYPE {name} summary");
@@ -1211,6 +1351,7 @@ mod tests {
         r.temporal.history_bytes.set(65_536);
         r.temporal.version_chain_max.set(7);
         r.temporal.asof_us.observe(900);
+        r.shard.set_lanes(&[(12, 10), (9, 8), (15, 15)], 8);
         r.slow.record(
             "MATCH (n) RETURN n",
             Duration::from_millis(250),
@@ -1292,6 +1433,11 @@ mod tests {
             "hygraph_temporal_history_bytes 65536",
             "hygraph_temporal_version_chain_max 7",
             "hygraph_temporal_asof_us{quantile=\"0.5\"}",
+            "hygraph_shards 3",
+            "hygraph_shard_watermark 8",
+            "hygraph_shard_next_lsn{shard=\"0\"} 12",
+            "hygraph_shard_durable_lsn{shard=\"1\"} 8",
+            "hygraph_shard_next_lsn{shard=\"2\"} 15",
             "# SLOW 250000us rows=42 fp=0xdeadbeefcafef00d MATCH (n) RETURN n",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");

@@ -166,6 +166,14 @@ impl<S: Durable> DurableStore<S> {
         let (checkpoint_lsn, watermark, mut state) =
             match checkpoint::load_latest(&dir, S::STORE_TAG)? {
                 Some((lsn, watermark, payload)) => {
+                    if payload.starts_with(crate::sharded::SHARD_META_MAGIC) {
+                        return Err(HyGraphError::shard_layout(format!(
+                            "{} holds a hash-sharded log (per-shard WAL streams); \
+                             open it with ShardedStore (HYGRAPH_SHARDS > 1), not the \
+                             single-WAL DurableStore",
+                            dir.display()
+                        )));
+                    }
                     let mut r = ByteReader::new(&payload);
                     let state = S::decode_state(&mut r)?;
                     r.expect_exhausted()?;
@@ -395,6 +403,15 @@ impl<S: Durable> DurableStore<S> {
     /// Flushes staged mutations and closes the store.
     pub fn close(mut self) -> Result<()> {
         self.wal.sync()
+    }
+
+    /// Flushes staged mutations and dismantles the store, handing the
+    /// in-memory state to the caller — the seam the sharded layout
+    /// migration uses to lift a legacy single-WAL store into per-shard
+    /// streams without a byte-level state copy.
+    pub fn into_state(mut self) -> Result<S> {
+        self.wal.sync()?;
+        Ok(self.state)
     }
 }
 

@@ -77,41 +77,67 @@ pub fn flip_byte(path: impl AsRef<Path>, offset: u64) -> io::Result<()> {
     f.write_all(&b)
 }
 
-/// Byte-exact snapshot of a flat directory (the WAL layout has no
-/// subdirectories): returns `(file name, contents)` pairs.
+/// Byte-exact recursive snapshot of a directory tree: returns
+/// `(path relative to dir, contents)` pairs, with `/`-separated
+/// relative paths. Covers both the flat single-WAL layout and the
+/// sharded layout's `shards-*/shard-*/` subdirectories.
 pub fn snapshot_dir(dir: impl AsRef<Path>) -> io::Result<Vec<(String, Vec<u8>)>> {
-    let mut out = Vec::new();
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        if entry.file_type()?.is_file() {
-            out.push((
-                entry.file_name().to_string_lossy().into_owned(),
-                std::fs::read(entry.path())?,
-            ));
+    fn walk(root: &Path, sub: &Path, out: &mut Vec<(String, Vec<u8>)>) -> io::Result<()> {
+        for entry in std::fs::read_dir(root.join(sub))? {
+            let entry = entry?;
+            let rel = sub.join(entry.file_name());
+            if entry.file_type()?.is_dir() {
+                walk(root, &rel, out)?;
+            } else if entry.file_type()?.is_file() {
+                out.push((
+                    rel.to_string_lossy().replace('\\', "/"),
+                    std::fs::read(entry.path())?,
+                ));
+            }
         }
+        Ok(())
     }
+    let mut out = Vec::new();
+    walk(dir.as_ref(), Path::new(""), &mut out)?;
     out.sort();
     Ok(out)
 }
 
-/// Restores a directory to a [`snapshot_dir`] state: extra files are
-/// removed, snapshot files are rewritten byte-exactly — the disk as the
-/// crash left it.
+/// Restores a directory tree to a [`snapshot_dir`] state: extra files
+/// (and directories emptied by their removal) are deleted, snapshot
+/// files are rewritten byte-exactly — the disk as the crash left it.
 pub fn restore_dir(dir: impl AsRef<Path>, snapshot: &[(String, Vec<u8>)]) -> io::Result<()> {
+    fn prune(root: &Path, sub: &Path, snapshot: &[(String, Vec<u8>)]) -> io::Result<bool> {
+        let mut emptied = true;
+        for entry in std::fs::read_dir(root.join(sub))? {
+            let entry = entry?;
+            let rel = sub.join(entry.file_name());
+            if entry.file_type()?.is_dir() {
+                if prune(root, &rel, snapshot)? {
+                    std::fs::remove_dir(entry.path())?;
+                } else {
+                    emptied = false;
+                }
+            } else {
+                let rel = rel.to_string_lossy().replace('\\', "/");
+                if snapshot.iter().any(|(name, _)| *name == rel) {
+                    emptied = false;
+                } else {
+                    std::fs::remove_file(entry.path())?;
+                }
+            }
+        }
+        Ok(emptied)
+    }
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?;
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        if entry.file_type()?.is_file()
-            && !snapshot
-                .iter()
-                .any(|(name, _)| entry.file_name().to_string_lossy() == name.as_str())
-        {
-            std::fs::remove_file(entry.path())?;
-        }
-    }
+    prune(dir, Path::new(""), snapshot)?;
     for (name, contents) in snapshot {
-        std::fs::write(dir.join(name), contents)?;
+        let path = dir.join(name);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, contents)?;
     }
     Ok(())
 }

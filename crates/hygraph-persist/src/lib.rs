@@ -42,9 +42,11 @@ pub mod config;
 pub mod durable;
 pub mod fault;
 pub mod frame;
+pub mod sharded;
 pub mod stores;
 pub mod wal;
 
 pub use config::PersistConfig;
 pub use durable::{Durable, DurableStore, RecoveryObserver};
+pub use sharded::{ShardRouted, ShardedStore};
 pub use stores::{HgMutation, StoreMutation, TsMutation};

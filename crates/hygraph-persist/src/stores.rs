@@ -20,6 +20,7 @@ use hygraph_core::{ElementRef, HyGraph};
 use hygraph_storage::{AllInGraphStore, PolyglotStore};
 use hygraph_ts::{MultiSeries, TsStore};
 use hygraph_types::bytes::{ByteReader, ByteWriter};
+use hygraph_types::shard::ShardRouter;
 use hygraph_types::{
     EdgeId, HyGraphError, Interval, Label, PropertyMap, PropertyValue, Result, SeriesId,
     SubgraphId, Timestamp, VertexId,
@@ -666,6 +667,49 @@ impl Durable for HyGraph {
                 self.add_subgraph_vertex(*s, *v, *during)
             }
             HgMutation::AddSubgraphEdge { s, e, during } => self.add_subgraph_edge(*s, *e, *during),
+        }
+    }
+}
+
+// ---- shard routing ----------------------------------------------------
+
+impl crate::sharded::ShardRouted for HgMutation {
+    /// Observation traffic — the hot path by volume — is pinned to the
+    /// shard that owns its series, co-locating a ts-element's WAL frames
+    /// with the series they feed. Structural mutations (vertices, edges,
+    /// subgraphs, property writes) have no single-shard affinity and let
+    /// the store spread them by commit sequence number.
+    fn shard_affinity(&self, router: &ShardRouter) -> Option<usize> {
+        match self {
+            HgMutation::Append { series, .. }
+            | HgMutation::AddTsVertex { series, .. }
+            | HgMutation::AddTsEdge { series, .. } => Some(router.of_series(*series)),
+            _ => None,
+        }
+    }
+}
+
+impl crate::sharded::ShardRouted for TsMutation {
+    /// Every ts-store mutation names its series, so everything routes to
+    /// the series' home shard.
+    fn shard_affinity(&self, router: &ShardRouter) -> Option<usize> {
+        let sid = match self {
+            TsMutation::CreateSeries(id)
+            | TsMutation::Insert(id, ..)
+            | TsMutation::DropSeries(id)
+            | TsMutation::RetainFrom(id, ..) => *id,
+        };
+        Some(router.of_series(sid))
+    }
+}
+
+impl crate::sharded::ShardRouted for StoreMutation {
+    /// Observations follow their station's shard; station/trip creation
+    /// (allocated densely on replay) spreads by commit sequence number.
+    fn shard_affinity(&self, router: &ShardRouter) -> Option<usize> {
+        match self {
+            StoreMutation::Observe { station, .. } => Some(router.of_vertex(*station)),
+            _ => None,
         }
     }
 }

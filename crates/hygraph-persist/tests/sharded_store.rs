@@ -1,0 +1,361 @@
+//! Integration suite for the hash-sharded store: equivalence with the
+//! single-WAL engine, CSN-merged crash recovery (contiguous-prefix
+//! discard of orphaned frames), legacy-layout migration (the PR 8-era
+//! single-WAL fixture), layout-mismatch refusal, and re-sharding.
+
+use hygraph_core::HyGraph;
+use hygraph_persist::fault::{restore_dir, scratch_dir, snapshot_dir};
+use hygraph_persist::{
+    Durable, DurableStore, HgMutation, PersistConfig, RecoveryObserver, ShardedStore, TsMutation,
+};
+use hygraph_ts::TsStore;
+use hygraph_types::{HyGraphError, Interval, Label, PropertyMap, SeriesId, Timestamp};
+
+/// Small segments so tiny workloads rotate; manual checkpoints only, so
+/// the scenarios control exactly when snapshots happen. Process-wide,
+/// installed identically from every test.
+fn configure() {
+    PersistConfig::new()
+        .segment_bytes(512)
+        .checkpoint_every(0)
+        .install();
+}
+
+fn ts(n: i64) -> Timestamp {
+    Timestamp::from_millis(n)
+}
+
+/// A HyGraph workload that exercises both affinity-routed mutations
+/// (appends, ts elements) and CSN-spread structural ones.
+fn hg_workload() -> Vec<HgMutation> {
+    let validity = Interval::new(ts(0), ts(1_000));
+    let mut muts = Vec::new();
+    for i in 0..4 {
+        muts.push(HgMutation::AddSeries {
+            names: vec![format!("var{i}")],
+            rows: vec![(ts(0), vec![i as f64])],
+        });
+    }
+    for i in 0..4u64 {
+        muts.push(HgMutation::AddTsVertex {
+            labels: vec![Label::new("Sensor")],
+            series: SeriesId::new(i),
+        });
+    }
+    muts.push(HgMutation::AddPgVertex {
+        labels: vec![Label::new("Room")],
+        props: PropertyMap::new(),
+        validity,
+    });
+    for i in 0..4u64 {
+        for k in 1..6 {
+            muts.push(HgMutation::Append {
+                series: SeriesId::new(i),
+                t: ts(k * 10),
+                row: vec![(i * 100 + k as u64) as f64],
+            });
+        }
+    }
+    muts.push(HgMutation::CreateSubgraph {
+        labels: vec![Label::new("Floor")],
+        props: PropertyMap::new(),
+        validity,
+    });
+    muts
+}
+
+/// The same workload through the single-WAL store and through sharded
+/// stores at N = 1, 2, 4 recovers bit-identical state everywhere.
+#[test]
+fn sharded_state_matches_single_wal_bit_for_bit() {
+    configure();
+    let golden = {
+        let dir = scratch_dir("shard-eq-single");
+        let mut store: DurableStore<HyGraph> = DurableStore::open(&dir).unwrap();
+        store.commit_batch(hg_workload()).unwrap();
+        let bytes = store.state_bytes();
+        store.close().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        bytes
+    };
+    for shards in [1usize, 2, 4] {
+        let dir = scratch_dir(&format!("shard-eq-{shards}"));
+        let mut store: ShardedStore<HyGraph> = ShardedStore::open(&dir, shards).unwrap();
+        store.commit_batch(hg_workload()).unwrap();
+        assert_eq!(
+            store.state_bytes(),
+            golden,
+            "{shards}-shard state diverged from the single-WAL engine"
+        );
+        drop(store); // crash: no clean close
+        let store: ShardedStore<HyGraph> = ShardedStore::open(&dir, shards).unwrap();
+        assert_eq!(
+            store.state_bytes(),
+            golden,
+            "{shards}-shard recovery diverged from the committed state"
+        );
+        assert_eq!(store.shards(), shards);
+        assert_eq!(store.orphans_discarded(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Committed mutations survive a crash mid-stream: checkpoints rotate
+/// and purge per-shard logs, and reopen recovers the exact CSN frontier.
+#[test]
+fn sharded_crash_recovery_across_checkpoints() {
+    configure();
+    let dir = scratch_dir("shard-crash");
+    let mut store: ShardedStore<HyGraph> = ShardedStore::open(&dir, 4).unwrap();
+    let muts = hg_workload();
+    let mid = muts.len() / 2;
+    store.commit_batch(muts[..mid].iter().cloned()).unwrap();
+    store.checkpoint().unwrap();
+    store.commit_batch(muts[mid..].iter().cloned()).unwrap();
+    let golden = store.state_bytes();
+    let next_csn = store.next_csn();
+    assert_eq!(next_csn, muts.len() as u64);
+    drop(store);
+
+    let store: ShardedStore<HyGraph> = ShardedStore::open(&dir, 4).unwrap();
+    assert_eq!(store.state_bytes(), golden);
+    assert_eq!(store.next_csn(), next_csn);
+    assert_eq!(store.checkpoint_csn(), mid as u64);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A crash between per-shard fsyncs can persist a later frame while an
+/// earlier one is lost. Recovery must apply only the contiguous CSN
+/// prefix, discard the orphaned tail, purge it from disk, and hand out
+/// the gap CSN again without colliding.
+#[test]
+fn orphaned_frames_past_a_csn_gap_are_discarded_and_purged() {
+    configure();
+    let dir = scratch_dir("shard-orphan");
+    // Two shards; series 0 routes to shard 0, series 1 to shard 1.
+    let mut store: ShardedStore<TsStore> = ShardedStore::open(&dir, 2).unwrap();
+    store
+        .commit_batch([
+            TsMutation::CreateSeries(SeriesId::new(0)),
+            TsMutation::CreateSeries(SeriesId::new(1)),
+        ])
+        .unwrap();
+    let base_state = store.state_bytes();
+    let base_snapshot = snapshot_dir(&dir).unwrap();
+
+    // csn 2 → shard 0, csn 3 → shard 1, csn 4 → shard 0.
+    store
+        .commit(TsMutation::Insert(SeriesId::new(0), ts(10), 1.0))
+        .unwrap();
+    let after_first = store.state_bytes();
+    store
+        .commit(TsMutation::Insert(SeriesId::new(1), ts(10), 2.0))
+        .unwrap();
+    store
+        .commit(TsMutation::Insert(SeriesId::new(0), ts(20), 3.0))
+        .unwrap();
+    assert_eq!(store.next_csn(), 5);
+    drop(store);
+
+    // Simulate the partial crash: roll shard 1 back to the pre-batch
+    // snapshot (its csn-3 frame vanishes) while shard 0 keeps csn 2 and
+    // csn 4.
+    let full_snapshot = snapshot_dir(&dir).unwrap();
+    let shard1: Vec<_> = base_snapshot
+        .iter()
+        .filter(|(name, _)| name.contains("shard-01"))
+        .cloned()
+        .collect();
+    let keep: Vec<_> = full_snapshot
+        .iter()
+        .filter(|(name, _)| !name.contains("shard-01"))
+        .cloned()
+        .chain(shard1)
+        .collect();
+    restore_dir(&dir, &keep).unwrap();
+
+    let store: ShardedStore<TsStore> = ShardedStore::open(&dir, 2).unwrap();
+    assert_eq!(
+        store.state_bytes(),
+        after_first,
+        "recovery must stop at the first CSN gap"
+    );
+    assert_ne!(store.state_bytes(), base_state);
+    assert_eq!(store.orphans_discarded(), 1, "csn 4 is an orphan");
+    assert_eq!(store.next_csn(), 3, "the gap CSN is reissued");
+    drop(store);
+
+    // The orphan was physically purged: reopening is clean, and the
+    // reissued CSN cannot collide with the discarded frame.
+    let mut store: ShardedStore<TsStore> = ShardedStore::open(&dir, 2).unwrap();
+    assert_eq!(store.orphans_discarded(), 0);
+    assert_eq!(store.state_bytes(), after_first);
+    store
+        .commit(TsMutation::Insert(SeriesId::new(1), ts(30), 9.0))
+        .unwrap();
+    drop(store);
+    let store: ShardedStore<TsStore> = ShardedStore::open(&dir, 2).unwrap();
+    assert_eq!(store.get().value_at(SeriesId::new(1), ts(30)), Some(9.0));
+    assert_eq!(store.get().value_at(SeriesId::new(0), ts(20)), None);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Collects the recovery stream so tests can assert observer parity.
+#[derive(Default)]
+struct Timeline {
+    base_watermark: i64,
+    replayed: Vec<u64>,
+}
+
+impl<S: Durable> RecoveryObserver<S> for Timeline {
+    fn base(&mut self, watermark: i64, _state: &[u8]) {
+        self.base_watermark = watermark;
+    }
+    fn replay(&mut self, lsn: u64, _ts: i64, _m: &S::Mutation) {
+        self.replayed.push(lsn);
+    }
+}
+
+/// The PR 8-era regression: a directory written by the single-WAL
+/// engine must *migrate* — full replay, re-checkpoint under the sharded
+/// header, old segments archived — never silently ignore the old log.
+#[test]
+fn legacy_single_wal_directory_migrates_with_segments_archived() {
+    configure();
+    let dir = scratch_dir("shard-migrate");
+    // Build the PR 8-era fixture with the single-WAL engine: a
+    // checkpoint mid-stream plus live segments above it.
+    let golden = {
+        let mut store: DurableStore<HyGraph> = DurableStore::open(&dir).unwrap();
+        let muts = hg_workload();
+        let mid = muts.len() / 2;
+        store.commit_batch(muts[..mid].iter().cloned()).unwrap();
+        store.checkpoint().unwrap();
+        store.commit_batch(muts[mid..].iter().cloned()).unwrap();
+        let bytes = store.state_bytes();
+        store.close().unwrap();
+        bytes
+    };
+    let legacy_segments: Vec<_> = hygraph_persist::wal::list_segments(&dir)
+        .unwrap()
+        .into_iter()
+        .map(|(_, p)| p.file_name().unwrap().to_owned())
+        .collect();
+    assert!(
+        !legacy_segments.is_empty(),
+        "fixture must leave live top-level segments behind"
+    );
+
+    let mut timeline = Timeline::default();
+    let store: ShardedStore<HyGraph> = ShardedStore::open_observed(&dir, 4, &mut timeline).unwrap();
+    assert_eq!(store.state_bytes(), golden, "migration lost state");
+    assert!(
+        !timeline.replayed.is_empty(),
+        "migration must replay the legacy suffix through the observer"
+    );
+    // Old segments are archived, not ignored and not deleted.
+    assert!(
+        hygraph_persist::wal::list_segments(&dir)
+            .unwrap()
+            .is_empty(),
+        "legacy segments must leave the top level"
+    );
+    let archive = dir.join("legacy-wal");
+    for name in &legacy_segments {
+        assert!(
+            archive.join(name).exists(),
+            "{name:?} missing from legacy-wal/"
+        );
+    }
+    drop(store);
+
+    // Once migrated, the directory reopens as a sharded store.
+    let store: ShardedStore<HyGraph> = ShardedStore::open(&dir, 4).unwrap();
+    assert_eq!(store.state_bytes(), golden);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The reverse direction refuses loudly: the single-WAL engine reports
+/// a typed layout error on a sharded directory and leaves it untouched.
+#[test]
+fn single_wal_store_refuses_sharded_directory_with_typed_error() {
+    configure();
+    let dir = scratch_dir("shard-refuse");
+    let mut store: ShardedStore<TsStore> = ShardedStore::open(&dir, 2).unwrap();
+    store
+        .commit_batch([
+            TsMutation::CreateSeries(SeriesId::new(0)),
+            TsMutation::Insert(SeriesId::new(0), ts(1), 4.5),
+        ])
+        .unwrap();
+    store.close().unwrap();
+
+    let before = snapshot_dir(&dir).unwrap();
+    match DurableStore::<TsStore>::open(&dir) {
+        Err(HyGraphError::ShardLayout(msg)) => {
+            assert!(msg.contains("ShardedStore"), "unhelpful message: {msg}")
+        }
+        other => panic!("expected ShardLayout error, got {other:?}"),
+    }
+    assert_eq!(
+        snapshot_dir(&dir).unwrap(),
+        before,
+        "refused open mutated the directory"
+    );
+
+    // The rightful engine still recovers everything.
+    let store: ShardedStore<TsStore> = ShardedStore::open(&dir, 2).unwrap();
+    assert_eq!(store.get().value_at(SeriesId::new(0), ts(1)), Some(4.5));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Changing `HYGRAPH_SHARDS` between runs re-shards in place: state is
+/// preserved, the old generation directory is swept, and a stale
+/// generation left by a crashed rebuild is ignored and removed.
+#[test]
+fn reopening_with_a_different_shard_count_reshards() {
+    configure();
+    let dir = scratch_dir("shard-reshard");
+    let mut store: ShardedStore<HyGraph> = ShardedStore::open(&dir, 2).unwrap();
+    store.commit_batch(hg_workload()).unwrap();
+    let golden = store.state_bytes();
+    let csn = store.next_csn();
+    store.close().unwrap();
+
+    // Plant a stale generation dir, as a rebuild crashed mid-way would.
+    std::fs::create_dir_all(dir.join("shards-0002").join("shard-00")).unwrap();
+
+    let store: ShardedStore<HyGraph> = ShardedStore::open(&dir, 4).unwrap();
+    assert_eq!(store.shards(), 4);
+    assert_eq!(store.state_bytes(), golden, "re-shard lost state");
+    assert_eq!(
+        store.next_csn(),
+        csn,
+        "re-shard must preserve the CSN frontier"
+    );
+    drop(store);
+
+    // Old generations are swept once the new checkpoint is durable.
+    let generations: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            let name = e.unwrap().file_name().to_string_lossy().into_owned();
+            name.starts_with("shards-").then_some(name)
+        })
+        .collect();
+    assert_eq!(generations, vec!["shards-0002".to_string()]);
+
+    // Down-sharding works too — N = 1 keeps the same bytes.
+    let mut store: ShardedStore<HyGraph> = ShardedStore::open(&dir, 1).unwrap();
+    assert_eq!(store.shards(), 1);
+    assert_eq!(store.state_bytes(), golden);
+    store
+        .commit(HgMutation::Append {
+            series: SeriesId::new(0),
+            t: ts(10_000),
+            row: vec![42.0],
+        })
+        .unwrap();
+    store.close().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -117,6 +117,7 @@ pub mod optimize;
 pub mod parser;
 pub mod physical;
 pub mod plan;
+pub mod scatter;
 
 pub use ast::{Query, TemporalBound};
 pub use exec::{
@@ -125,10 +126,12 @@ pub use exec::{
 pub use incremental::{apply_delta, diff_rows, Delta, DeltaOp, IncState};
 pub use physical::{execute_planned, plan_query, PlannedQuery};
 pub use plan::{LogicalPlan, PushedPred};
+pub use scatter::execute_planned_sharded;
 
 use hygraph_core::HyGraph;
 use hygraph_metrics::OpClass;
 use hygraph_types::parallel::ExecMode;
+use hygraph_types::shard::ShardRouter;
 use hygraph_types::Result;
 use std::sync::Arc;
 
@@ -213,6 +216,15 @@ pub fn execute_epochs(
     planned: &PlannedQuery,
     mode: ExecMode,
 ) -> Result<QueryResult> {
+    execute_epochs_inner(states, planned, mode, None)
+}
+
+fn execute_epochs_inner(
+    states: &[Arc<HyGraph>],
+    planned: &PlannedQuery,
+    mode: ExecMode,
+    router: Option<ShardRouter>,
+) -> Result<QueryResult> {
     let columns: Vec<String> = planned
         .plan
         .query
@@ -222,7 +234,7 @@ pub fn execute_epochs(
         .collect();
     let mut rows: Vec<Row> = Vec::new();
     for g in states {
-        let r = physical::execute_planned(g, planned, mode)?;
+        let r = run_one(g, planned, mode, router)?;
         for row in r.rows {
             if !rows.iter().any(|seen| exec::rows_equal(seen, &row)) {
                 rows.push(row);
@@ -230,6 +242,20 @@ pub fn execute_epochs(
         }
     }
     Ok(QueryResult { columns, rows })
+}
+
+/// Executes one state through the scatter-gather path when a
+/// multi-shard router is supplied, the single-pass path otherwise.
+fn run_one(
+    hg: &HyGraph,
+    planned: &PlannedQuery,
+    mode: ExecMode,
+    router: Option<ShardRouter>,
+) -> Result<QueryResult> {
+    match router {
+        Some(r) if !r.is_single() => scatter::execute_planned_sharded(hg, planned, mode, r),
+        _ => physical::execute_planned(hg, planned, mode),
+    }
 }
 
 /// Parses and executes `text` against `hg` in one call (no plan cache).
@@ -283,8 +309,27 @@ pub fn run_instrumented_bound(
     hg: &HyGraph,
     text: &str,
     cache: Option<&dyn PlanCacheHook>,
+    resolver: Option<&mut dyn TemporalResolver>,
+    bound: Option<TemporalBound>,
+) -> Result<QueryResult> {
+    run_instrumented_sharded(hg, text, cache, resolver, bound, None)
+}
+
+/// [`run_instrumented_bound`] with an optional shard router: when a
+/// multi-shard `router` is supplied, every resolved state executes
+/// through the scatter-gather physical path ([`scatter`]) — bindings
+/// partitioned by anchor shard, evaluated per shard, merged at the
+/// coordinator in binding order. Results are byte-identical to the
+/// single-pass executor; only the work distribution changes. The
+/// sharded engine passes its router here so query parallelism follows
+/// the same partitioning as the storage plane.
+pub fn run_instrumented_sharded(
+    hg: &HyGraph,
+    text: &str,
+    cache: Option<&dyn PlanCacheHook>,
     mut resolver: Option<&mut dyn TemporalResolver>,
     bound: Option<TemporalBound>,
+    router: Option<ShardRouter>,
 ) -> Result<QueryResult> {
     let start = hygraph_metrics::enabled().then(std::time::Instant::now);
     let mut q = match parser::parse(text) {
@@ -339,9 +384,11 @@ pub fn run_instrumented_bound(
             }
         };
         match states {
-            ResolvedStates::Live => physical::execute_planned(hg, &planned, ExecMode::Auto),
-            ResolvedStates::At(g) => physical::execute_planned(&g, &planned, ExecMode::Auto),
-            ResolvedStates::Epochs(gs) => execute_epochs(&gs, &planned, ExecMode::Auto),
+            ResolvedStates::Live => run_one(hg, &planned, ExecMode::Auto, router),
+            ResolvedStates::At(g) => run_one(&g, &planned, ExecMode::Auto, router),
+            ResolvedStates::Epochs(gs) => {
+                execute_epochs_inner(&gs, &planned, ExecMode::Auto, router)
+            }
         }
     })();
     if let (Some(m), Some(s)) = (hygraph_metrics::get(), start) {

@@ -51,11 +51,11 @@ pub fn plan_query(q: &Query) -> Result<PlannedQuery> {
     Ok(PlannedQuery { plan, patterns })
 }
 
-fn op_start() -> Option<Instant> {
+pub(crate) fn op_start() -> Option<Instant> {
     hygraph_metrics::enabled().then(Instant::now)
 }
 
-fn record_op(op: PlanOp, start: Option<Instant>, rows: usize) {
+pub(crate) fn record_op(op: PlanOp, start: Option<Instant>, rows: usize) {
     if let (Some(m), Some(s)) = (hygraph_metrics::get(), start) {
         let om = m.query.operator(op);
         om.invocations.inc();
@@ -92,6 +92,15 @@ pub fn execute_planned(
         run_flat(hg, q, &bindings, mode, cache.as_ref())?
     };
 
+    finish_rows(q, &columns, &mut rows)?;
+    Ok(QueryResult { columns, rows })
+}
+
+/// The tail of the operator pipeline — Distinct → Sort → Limit — shared
+/// by the single-pass and scatter-gather executors (the coordinator
+/// always runs these after the merge, since all three need the full row
+/// set).
+pub(crate) fn finish_rows(q: &Query, columns: &[String], rows: &mut Vec<Row>) -> Result<()> {
     if q.distinct {
         let t = op_start();
         let mut seen: Vec<Row> = Vec::new();
@@ -107,7 +116,7 @@ pub fn execute_planned(
     }
     if !q.order_by.is_empty() {
         let t = op_start();
-        sort_rows(&mut rows, &columns, &q.order_by)?;
+        sort_rows(rows, columns, &q.order_by)?;
         record_op(PlanOp::Sort, t, rows.len());
     }
     if let Some(limit) = q.limit {
@@ -115,7 +124,7 @@ pub fn execute_planned(
         rows.truncate(limit);
         record_op(PlanOp::Limit, t, rows.len());
     }
-    Ok(QueryResult { columns, rows })
+    Ok(())
 }
 
 /// Evaluates the residual filter over every binding, returning one
@@ -123,7 +132,7 @@ pub fn execute_planned(
 /// evaluated — no short-circuit — matching the interpreter, which
 /// collects every per-binding result before scanning for the first
 /// error.
-fn filter_stage(
+pub(crate) fn filter_stage(
     hg: &HyGraph,
     q: &Query,
     bindings: &[Binding],
@@ -132,18 +141,9 @@ fn filter_stage(
 ) -> Vec<Result<bool>> {
     match &q.filter {
         None => (0..bindings.len()).map(|_| Ok(true)).collect(),
-        Some(filter) => {
+        Some(_) => {
             let t = op_start();
-            let eval = |binding: &Binding| -> Result<bool> {
-                let local = LocalAggCache::default();
-                let ctx = EvalCtx {
-                    hg,
-                    binding,
-                    agg_cache: cache,
-                    local_agg: Some(&local),
-                };
-                Ok(ctx.eval(filter)?.as_bool() == Some(true))
-            };
+            let eval = |binding: &Binding| -> Result<bool> { eval_filter(hg, q, cache, binding) };
             let results: Vec<Result<bool>> = if par {
                 bindings.par_iter().map(eval).collect()
             } else {
@@ -154,6 +154,47 @@ fn filter_stage(
             results
         }
     }
+}
+
+/// Evaluates the residual WHERE filter for one binding — the per-row
+/// unit of the Filter operator, shared with the scatter-gather
+/// executor. Callers guarantee `q.filter` is `Some`.
+pub(crate) fn eval_filter(
+    hg: &HyGraph,
+    q: &Query,
+    cache: Option<&AggCache>,
+    binding: &Binding,
+) -> Result<bool> {
+    let filter = q.filter.as_ref().expect("caller checked q.filter");
+    let local = LocalAggCache::default();
+    let ctx = EvalCtx {
+        hg,
+        binding,
+        agg_cache: cache,
+        local_agg: Some(&local),
+    };
+    Ok(ctx.eval(filter)?.as_bool() == Some(true))
+}
+
+/// Evaluates the RETURN projection for one binding — the per-row unit
+/// of the Project operator, shared with the scatter-gather executor.
+pub(crate) fn project_row(
+    hg: &HyGraph,
+    q: &Query,
+    cache: Option<&AggCache>,
+    binding: &Binding,
+) -> Result<Row> {
+    let local = LocalAggCache::default();
+    let ctx = EvalCtx {
+        hg,
+        binding,
+        agg_cache: cache,
+        local_agg: Some(&local),
+    };
+    q.returns
+        .iter()
+        .map(|ReturnItem { expr, .. }| ctx.eval(expr))
+        .collect()
 }
 
 fn run_flat(
@@ -173,19 +214,7 @@ fn run_flat(
         .filter(|(_, r)| matches!(r, Ok(true)))
         .map(|(b, _)| b)
         .collect();
-    let project = |binding: &&Binding| -> Result<Row> {
-        let local = LocalAggCache::default();
-        let ctx = EvalCtx {
-            hg,
-            binding,
-            agg_cache: cache,
-            local_agg: Some(&local),
-        };
-        q.returns
-            .iter()
-            .map(|ReturnItem { expr, .. }| ctx.eval(expr))
-            .collect()
-    };
+    let project = |binding: &&Binding| -> Result<Row> { project_row(hg, q, cache, binding) };
     let projected: Vec<Result<Row>> = if par {
         passing.par_iter().map(project).collect()
     } else {
@@ -210,13 +239,16 @@ fn run_flat(
     Ok(rows)
 }
 
-fn run_grouped(
-    hg: &HyGraph,
-    q: &Query,
-    bindings: &[Binding],
-    mode: ExecMode,
-    cache: Option<&AggCache>,
-) -> Result<Vec<Row>> {
+/// The data-independent shape of a grouped query: which RETURN items
+/// are grouping keys and the deterministic aggregate-spec order.
+pub(crate) struct GroupingLayout {
+    /// Indices of aggregate-free RETURN items (the grouping keys).
+    pub(crate) key_items: Vec<usize>,
+    /// Aggregate specs: RETURN items first, then HAVING.
+    pub(crate) specs: Vec<RowAggSpec>,
+}
+
+pub(crate) fn grouping_layout(q: &Query) -> GroupingLayout {
     // grouping keys: the aggregate-free RETURN items
     let key_items: Vec<usize> = q
         .returns
@@ -233,50 +265,53 @@ fn run_grouped(
     if let Some(h) = &q.having {
         collect_rowaggs(h, &mut specs);
     }
+    GroupingLayout { key_items, specs }
+}
 
-    let par = should_parallelize(mode, bindings.len());
-    let filter_pass = filter_stage(hg, q, bindings, par, cache);
-
-    let t = op_start();
-    let passing: Vec<&Binding> = bindings
-        .iter()
-        .zip(&filter_pass)
-        .filter(|(_, r)| matches!(r, Ok(true)))
-        .map(|(b, _)| b)
-        .collect();
-    // per-binding keys + aggregate arguments (parallelisable pure work);
-    // keys before args, matching the interpreter's per-binding order
-    let eval_ka = |binding: &&Binding| -> Result<(Row, Vec<Value>)> {
-        let local = LocalAggCache::default();
-        let ctx = EvalCtx {
-            hg,
-            binding,
-            agg_cache: cache,
-            local_agg: Some(&local),
-        };
-        let mut key = Vec::with_capacity(key_items.len());
-        for &i in &key_items {
-            key.push(ctx.eval(&q.returns[i].expr)?);
-        }
-        let mut args = Vec::with_capacity(specs.len());
-        for spec in &specs {
-            args.push(match &spec.arg {
-                None => Value::Int(1), // COUNT(*)
-                Some(arg) => ctx.eval(arg)?,
-            });
-        }
-        Ok((key, args))
+/// Evaluates one binding's grouping keys + aggregate arguments — the
+/// parallelisable pure work of the Aggregate operator; keys before
+/// args, matching the interpreter's per-binding order.
+pub(crate) fn eval_key_args(
+    hg: &HyGraph,
+    q: &Query,
+    layout: &GroupingLayout,
+    cache: Option<&AggCache>,
+    binding: &Binding,
+) -> Result<(Row, Vec<Value>)> {
+    let local = LocalAggCache::default();
+    let ctx = EvalCtx {
+        hg,
+        binding,
+        agg_cache: cache,
+        local_agg: Some(&local),
     };
-    let evaluated: Vec<Result<(Row, Vec<Value>)>> = if par {
-        passing.par_iter().map(eval_ka).collect()
-    } else {
-        passing.iter().map(eval_ka).collect()
-    };
+    let mut key = Vec::with_capacity(layout.key_items.len());
+    for &i in &layout.key_items {
+        key.push(ctx.eval(&q.returns[i].expr)?);
+    }
+    let mut args = Vec::with_capacity(layout.specs.len());
+    for spec in &layout.specs {
+        args.push(match &spec.arg {
+            None => Value::Int(1), // COUNT(*)
+            Some(arg) => ctx.eval(arg)?,
+        });
+    }
+    Ok((key, args))
+}
 
-    // sequential fold in binding order: group creation order and
-    // aggregate update order stay deterministic, and error precedence
-    // interleaves filter and key/arg errors exactly like the
-    // interpreter's single per-binding pass
+/// The coordinator-side merge of a grouped query: a sequential fold in
+/// global binding order (group creation order and aggregate update
+/// order stay deterministic, and error precedence interleaves filter
+/// and key/arg errors exactly like the interpreter's single per-binding
+/// pass), then per-group finalize + HAVING. `evaluated` must align with
+/// the `Ok(true)` entries of `filter_pass`, in the same order.
+pub(crate) fn fold_groups(
+    q: &Query,
+    layout: &GroupingLayout,
+    filter_pass: Vec<Result<bool>>,
+    evaluated: Vec<Result<(Row, Vec<Value>)>>,
+) -> Result<Vec<Row>> {
+    let GroupingLayout { key_items, specs } = layout;
     struct Group {
         key: Row,
         states: Vec<AggState>,
@@ -345,6 +380,37 @@ fn run_grouped(
             rows.push(row);
         }
     }
+    Ok(rows)
+}
+
+fn run_grouped(
+    hg: &HyGraph,
+    q: &Query,
+    bindings: &[Binding],
+    mode: ExecMode,
+    cache: Option<&AggCache>,
+) -> Result<Vec<Row>> {
+    let layout = grouping_layout(q);
+    let par = should_parallelize(mode, bindings.len());
+    let filter_pass = filter_stage(hg, q, bindings, par, cache);
+
+    let t = op_start();
+    let passing: Vec<&Binding> = bindings
+        .iter()
+        .zip(&filter_pass)
+        .filter(|(_, r)| matches!(r, Ok(true)))
+        .map(|(b, _)| b)
+        .collect();
+    let eval_ka = |binding: &&Binding| -> Result<(Row, Vec<Value>)> {
+        eval_key_args(hg, q, &layout, cache, binding)
+    };
+    let evaluated: Vec<Result<(Row, Vec<Value>)>> = if par {
+        passing.par_iter().map(eval_ka).collect()
+    } else {
+        passing.iter().map(eval_ka).collect()
+    };
+
+    let rows = fold_groups(q, &layout, filter_pass, evaluated)?;
     record_op(PlanOp::Aggregate, t, rows.len());
     Ok(rows)
 }

@@ -479,6 +479,35 @@ impl std::fmt::Debug for Client {
 /// assert!(server.shutdown()?.backend.is_none());
 /// # Ok::<(), hygraph_types::HyGraphError>(())
 /// ```
+///
+/// A multi-shard engine serves the same API with snapshot reads:
+/// queries pin the latest published epoch (never blocking behind a
+/// writer) and execute scatter-gather across the shard partitioning,
+/// byte-identical to a single-shard engine.
+///
+/// ```
+/// use hygraph_persist::HgMutation;
+/// use hygraph_server::{Backend, Engine, LocalClient};
+/// use hygraph_types::{Interval, Label, PropertyMap};
+/// use std::sync::Arc;
+///
+/// let engine = Engine::new(Backend::memory(hygraph_core::HyGraph::new()))
+///     .with_shards(4); // pin the partitioning regardless of HYGRAPH_SHARDS
+/// assert_eq!(engine.shards(), 4);
+///
+/// let local = LocalClient::new(Arc::new(engine));
+/// local.mutate_batch(vec![
+///     HgMutation::AddPgVertex {
+///         labels: vec![Label::new("Station")],
+///         props: PropertyMap::new(),
+///         validity: Interval::ALL,
+///     };
+///     3
+/// ])?;
+/// let rows = local.query("MATCH (s:Station) RETURN COUNT(s) AS n")?;
+/// assert_eq!(rows.rows[0][0], hygraph_types::Value::Int(3));
+/// # Ok::<(), hygraph_types::HyGraphError>(())
+/// ```
 #[derive(Clone, Debug)]
 pub struct LocalClient {
     engine: Arc<Engine>,

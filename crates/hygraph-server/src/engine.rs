@@ -1,21 +1,40 @@
-//! The session-shared execution engine: one HyGraph instance — plain or
-//! durable — behind a readers/writer lock.
+//! The session-shared execution engine: one HyGraph instance — plain,
+//! durable, or shard-partitioned — behind the lock discipline the
+//! shard count selects.
 //!
-//! Queries take the read lock and run concurrently; mutations take the
-//! write lock and go through the durable store's group-commit path when
-//! persistence is on. The engine is the single place that maps
+//! With one shard (`HYGRAPH_SHARDS=1`) the engine is exactly the
+//! pre-sharding design: queries take the read lock of a
+//! readers/writer lock and run concurrently; mutations take the write
+//! lock and go through the durable store's group-commit path when
+//! persistence is on.
+//!
+//! With more than one shard the engine switches to **epoch-based
+//! snapshot reads**: the backend lock becomes a pure commit lock
+//! (writers serialise on it; readers never touch it), and after every
+//! committed batch the writer publishes a new immutable
+//! [`Arc<HyGraph>`] snapshot into a dedicated slot. Queries pin the
+//! current snapshot (one `Arc` clone — the interior is copy-on-write,
+//! so publication is O(changed structure), not O(data)) and execute
+//! against it without blocking behind writers, through the
+//! scatter-gather physical path partitioned by the same
+//! [`ShardRouter`] that places WAL frames. A snapshot is published
+//! only after the whole batch applied (and, for durable backends,
+//! after every involved shard's WAL synced), so a reader can never
+//! observe a torn batch. The engine is the single place that maps
 //! [`Request`]s to [`Response`]s, so the TCP server, the in-process
 //! [`crate::LocalClient`], and the load generator all execute requests
 //! identically.
 
 use crate::proto::{ErrorCode, Request, Response};
 use hygraph_core::HyGraph;
-use hygraph_persist::{Durable, DurableStore, HgMutation};
+use hygraph_persist::{Durable, DurableStore, HgMutation, ShardedStore};
 use hygraph_query::{PlanCacheHook, PlannedQuery, QueryResult, TemporalBound};
 use hygraph_sub::{DeltaSink, SubConfig, SubscriptionRegistry};
-use hygraph_temporal::{now_ms, HistoryConfig, HistorySeed, HistoryStore};
+use hygraph_temporal::{now_ms, HistoryConfig, HistorySeed, HistoryStore, ShardWatermark};
 use hygraph_types::bytes::ByteWriter;
+use hygraph_types::shard::{ShardConfig, ShardRouter};
 use hygraph_types::{Result, Timestamp};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// Default plan-cache capacity when `HYGRAPH_PLAN_CACHE` is unset.
@@ -84,6 +103,10 @@ pub enum Backend {
     /// Durable: every committed mutation is WAL-logged and survives a
     /// crash (see `hygraph-persist`).
     Durable(Box<DurableStore<HyGraph>>),
+    /// Durable and shard-partitioned: one WAL stream per shard, frames
+    /// placed by [`ShardRouter`], recovery re-merged by global commit
+    /// sequence number (see [`ShardedStore`]).
+    Sharded(Box<ShardedStore<HyGraph>>),
 }
 
 impl Backend {
@@ -100,11 +123,17 @@ impl Backend {
         Backend::Durable(Box::new(store))
     }
 
+    /// A durable backend over an opened shard-partitioned store.
+    pub fn sharded(store: ShardedStore<HyGraph>) -> Self {
+        Backend::Sharded(Box::new(store))
+    }
+
     /// The wrapped instance, whichever backend holds it.
     pub fn graph(&self) -> &HyGraph {
         match self {
             Backend::Memory { hg, .. } => hg,
             Backend::Durable(store) => store.get(),
+            Backend::Sharded(store) => store.get(),
         }
     }
 
@@ -118,6 +147,7 @@ impl Backend {
                 w.into_bytes()
             }
             Backend::Durable(store) => store.state_bytes(),
+            Backend::Sharded(store) => store.state_bytes(),
         }
     }
 }
@@ -138,6 +168,20 @@ pub struct Engine {
     /// backend lock first, then this mutex — queries resolve under the
     /// read lock, commits record under the write lock.
     history: Option<Mutex<HistoryStore>>,
+    /// The element → shard partitioning every layer of this engine
+    /// agrees on. Single-shard routers select the legacy lock paths.
+    router: ShardRouter,
+    /// Multi-shard only: the published read snapshot. Writers replace
+    /// the `Arc` under the backend write lock after each committed
+    /// batch; readers clone it (pinning that epoch) and never take the
+    /// backend lock at all. `None` exactly when `router.is_single()`.
+    snapshot: Option<RwLock<Arc<HyGraph>>>,
+    /// Monotone snapshot-publication counter (the read epoch). Starts
+    /// at 0 for the initial state; each published batch bumps it.
+    epoch: AtomicU64,
+    /// Cross-shard durable watermark tracker, fed from the sharded
+    /// store's per-shard WAL positions whenever stats are reported.
+    watermark: Mutex<ShardWatermark>,
 }
 
 impl Engine {
@@ -169,23 +213,73 @@ impl Engine {
                 store.history_watermark(),
                 Vec::new(),
             ),
+            Backend::Sharded(store) => HistoryStore::from_parts(
+                cfg.clone(),
+                store.state_bytes(),
+                store.history_watermark(),
+                Vec::new(),
+            ),
         });
         Self::with_seeded_history(backend, capacity, history)
     }
 
     /// An engine over a pre-seeded history (or none) — the assembly
     /// point the other constructors and [`Engine::open_durable`] share.
+    /// The shard count comes from the workspace config
+    /// ([`hygraph_types::shard::configured_shards`]): explicit install,
+    /// else `HYGRAPH_SHARDS`, else one per core — except that a backend
+    /// already opened as [`Backend::Sharded`] pins the engine to that
+    /// store's recorded shard count (routing must match frame
+    /// placement), and a [`Backend::Durable`] pins it to one.
     pub fn with_seeded_history(
         backend: Backend,
         capacity: usize,
         history: Option<HistoryStore>,
     ) -> Self {
+        let router = match &backend {
+            // durable layouts fix the shard count on disk
+            Backend::Sharded(store) => store.router(),
+            Backend::Durable(_) => ShardRouter::new(1),
+            Backend::Memory { .. } => ShardConfig::new().router(),
+        };
+        let snapshot =
+            (!router.is_single()).then(|| RwLock::new(Arc::new(backend.graph().clone())));
         Self {
             inner: RwLock::new(backend),
             plan_cache: (capacity > 0).then(|| PlanCache::new(capacity)),
             subs: SubscriptionRegistry::from_env(),
             history: history.map(Mutex::new),
+            watermark: Mutex::new(ShardWatermark::new(router.shards())),
+            router,
+            snapshot,
+            epoch: AtomicU64::new(0),
         }
+    }
+
+    /// Re-partitions a (memory-backed) engine to exactly `shards`
+    /// shards, regardless of the environment — how tests and the bench
+    /// harness pin the lock discipline. `1` restores the legacy
+    /// readers/writer-lock engine; `> 1` enables snapshot reads and
+    /// scatter-gather execution. Durable backends ignore this (their
+    /// shard count is recorded on disk); re-shard those by reopening
+    /// the directory via [`Engine::open_durable`] under a different
+    /// `HYGRAPH_SHARDS`.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        let (router, snapshot) = {
+            let guard = self.read();
+            let router = match &*guard {
+                Backend::Sharded(store) => store.router(),
+                Backend::Durable(_) => ShardRouter::new(1),
+                Backend::Memory { .. } => ShardRouter::new(shards),
+            };
+            let snapshot =
+                (!router.is_single()).then(|| RwLock::new(Arc::new(guard.graph().clone())));
+            (router, snapshot)
+        };
+        self.router = router;
+        self.snapshot = snapshot;
+        self.watermark = Mutex::new(ShardWatermark::new(self.router.shards()));
+        self
     }
 
     /// Opens (or initialises) a durable backend at `dir`, seeding
@@ -194,23 +288,65 @@ impl Engine {
     /// above it re-enters the commit timeline with its original
     /// transaction timestamp — `AS OF` keeps answering across restarts
     /// for everything the log still covers.
+    ///
+    /// The configured shard count
+    /// ([`hygraph_types::shard::configured_shards`]) picks the store:
+    /// one shard opens the classic single-WAL [`DurableStore`]; more
+    /// open (or migrate to, or re-shard) a per-shard-WAL
+    /// [`ShardedStore`] — see [`Engine::open_durable_sharded`].
     pub fn open_durable(
         dir: impl Into<std::path::PathBuf>,
         capacity: usize,
         cfg: HistoryConfig,
     ) -> Result<Self> {
-        if !cfg.enabled {
-            let store = DurableStore::open(dir)?;
+        Self::open_durable_sharded(
+            dir,
+            capacity,
+            cfg,
+            hygraph_types::shard::configured_shards(),
+        )
+    }
+
+    /// [`Engine::open_durable`] with the shard count pinned explicitly.
+    /// `1` opens the classic single-WAL store (and refuses a directory
+    /// already laid out per shard, with a typed error); `> 1` opens the
+    /// sharded store, transparently migrating a legacy single-WAL
+    /// directory or re-sharding one recorded at a different count.
+    pub fn open_durable_sharded(
+        dir: impl Into<std::path::PathBuf>,
+        capacity: usize,
+        cfg: HistoryConfig,
+        shards: usize,
+    ) -> Result<Self> {
+        if shards <= 1 {
+            if !cfg.enabled {
+                let store = DurableStore::open(dir)?;
+                return Ok(Self::with_seeded_history(
+                    Backend::durable(store),
+                    capacity,
+                    None,
+                ));
+            }
+            let mut seed = HistorySeed::new(cfg);
+            let store = DurableStore::open_observed(dir, &mut seed)?;
             return Ok(Self::with_seeded_history(
                 Backend::durable(store),
+                capacity,
+                Some(seed.finish()?),
+            ));
+        }
+        if !cfg.enabled {
+            let store = ShardedStore::open(dir, shards)?;
+            return Ok(Self::with_seeded_history(
+                Backend::sharded(store),
                 capacity,
                 None,
             ));
         }
         let mut seed = HistorySeed::new(cfg);
-        let store = DurableStore::open_observed(dir, &mut seed)?;
+        let store = ShardedStore::open_observed(dir, shards, &mut seed)?;
         Ok(Self::with_seeded_history(
-            Backend::durable(store),
+            Backend::sharded(store),
             capacity,
             Some(seed.finish()?),
         ))
@@ -282,20 +418,116 @@ impl Engine {
     }
 
     fn run_query(&self, text: &str, bound: Option<TemporalBound>) -> Result<QueryResult> {
-        let guard = self.read();
         let cache = self.plan_cache.as_ref().map(|c| c as &dyn PlanCacheHook);
+        match &self.snapshot {
+            // Multi-shard: pin the published epoch (one Arc clone, the
+            // slot lock held only for that clone) and execute against
+            // the immutable snapshot — never blocking behind a writer
+            // mid-commit — through the scatter-gather path.
+            Some(slot) => {
+                let snap = Arc::clone(&slot.read().unwrap_or_else(|e| e.into_inner()));
+                self.run_pinned(&snap, text, cache, bound, Some(self.router))
+            }
+            // Single shard: the exact legacy path — queries share the
+            // backend read lock with each other and exclude writers.
+            None => {
+                let guard = self.read();
+                self.run_pinned(guard.graph(), text, cache, bound, None)
+            }
+        }
+    }
+
+    fn run_pinned(
+        &self,
+        hg: &HyGraph,
+        text: &str,
+        cache: Option<&dyn PlanCacheHook>,
+        bound: Option<TemporalBound>,
+        router: Option<ShardRouter>,
+    ) -> Result<QueryResult> {
         match &self.history {
             Some(h) => {
                 let mut h = h.lock().unwrap_or_else(|e| e.into_inner());
-                hygraph_query::run_instrumented_bound(
-                    guard.graph(),
+                hygraph_query::run_instrumented_sharded(
+                    hg,
                     text,
                     cache,
                     Some(&mut *h),
                     bound,
+                    router,
                 )
             }
-            None => hygraph_query::run_instrumented_bound(guard.graph(), text, cache, None, bound),
+            None => hygraph_query::run_instrumented_sharded(hg, text, cache, None, bound, router),
+        }
+    }
+
+    /// Publishes the current backend state as the new read snapshot
+    /// (multi-shard engines only; a no-op at one shard). Callers hold
+    /// the backend write lock, so publications happen in commit order.
+    fn publish(&self, hg: &HyGraph) {
+        if let Some(slot) = &self.snapshot {
+            let next = Arc::new(hg.clone());
+            *slot.write().unwrap_or_else(|e| e.into_inner()) = next;
+            self.epoch.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    /// How many shards this engine partitions its commit/storage plane
+    /// into (`1` = the legacy single-store engine).
+    pub fn shards(&self) -> usize {
+        self.router.shards()
+    }
+
+    /// The engine's element → shard router.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// The read epoch: how many snapshots have been published. `0`
+    /// until the first committed batch; single-shard engines never
+    /// publish and stay at `0`.
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Per-shard `(next_lsn, durable_lsn)` pairs of a sharded backend,
+    /// `None` otherwise — the feed for per-shard metrics gauges.
+    pub fn shard_lsns(&self) -> Option<Vec<(u64, u64)>> {
+        match &*self.read() {
+            Backend::Sharded(store) => Some(store.shard_lsns()),
+            Backend::Memory { .. } | Backend::Durable(_) => None,
+        }
+    }
+
+    /// The cross-shard durable watermark: the highest commit sequence
+    /// number at or below which every shard's WAL is durable (see
+    /// [`ShardWatermark`]). For non-sharded backends this is simply the
+    /// last durable frontier observed (0 for memory engines). The
+    /// tracker is fed on every stats report and on demand here, so the
+    /// returned value is current as of this call.
+    pub fn shard_watermark(&self) -> u64 {
+        let mut wm = self.watermark.lock().unwrap_or_else(|e| e.into_inner());
+        match self.shard_lsns() {
+            Some(lanes) => wm.observe_lanes(&lanes),
+            None => wm.watermark(),
+        }
+    }
+
+    /// Folds the sharded backend's per-shard WAL positions into the
+    /// global metrics registry's shard gauges (no-op for non-sharded
+    /// backends or when metrics are disabled). Called on every
+    /// [`Request::Stats`]; the periodic metrics logger reaches it the
+    /// same way.
+    fn report_shard_metrics(&self) {
+        let Some(lanes) = self.shard_lsns() else {
+            return;
+        };
+        let watermark = {
+            let mut wm = self.watermark.lock().unwrap_or_else(|e| e.into_inner());
+            wm.observe_lanes(&lanes)
+        };
+        if let Some(m) = hygraph_metrics::get() {
+            m.shard.set_lanes(&lanes, watermark);
         }
     }
 
@@ -316,20 +548,30 @@ impl Engine {
             // no history, no standing queries: the original
             // zero-overhead path (the write lock excludes concurrent
             // subscribes, so the check cannot race a registration)
-            return match &mut *guard {
+            let outcome = match &mut *guard {
                 Backend::Memory { hg, applied } => {
                     let first = *applied;
+                    let mut res = Ok((first, count));
                     for m in &mutations {
-                        hg.apply(m)?;
+                        if let Err(e) = hg.apply(m) {
+                            res = Err(e);
+                            break;
+                        }
                         *applied += 1;
                     }
-                    Ok((first, count))
+                    res
                 }
-                Backend::Durable(store) => {
-                    let range = store.commit_batch(mutations)?;
-                    Ok((range.start, range.end - range.start))
-                }
+                Backend::Durable(store) => store
+                    .commit_batch(mutations)
+                    .map(|range| (range.start, range.end - range.start)),
+                Backend::Sharded(store) => store
+                    .commit_batch(mutations)
+                    .map(|range| (range.start, range.end - range.start)),
             };
+            // a failed batch keeps its applied prefix, so readers must
+            // still advance to it — publish on both outcomes
+            self.publish(guard.graph());
+            return outcome;
         }
         // allocate the batch's transaction timestamp before staging so
         // WAL frames carry the same stamp the history records
@@ -338,8 +580,13 @@ impl Engine {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .allocate_ts(now_ms());
-            if let Backend::Durable(store) = &mut *guard {
-                store.set_commit_ts(ts);
+            match &mut *guard {
+                Backend::Durable(store) => store.set_commit_ts(ts),
+                // one cross-shard commit timestamp per batch: every
+                // involved shard's frames carry the same stamp, so an
+                // `AS OF` bound cuts all shards at the same point
+                Backend::Sharded(store) => store.set_commit_ts(ts),
+                Backend::Memory { .. } => {}
             }
             ts
         });
@@ -368,7 +615,17 @@ impl Engine {
                 // is exactly how many mutations applied
                 ((res), (store.next_lsn() - before) as usize)
             }
+            Backend::Sharded(store) => {
+                let before = store.next_csn();
+                let res = store
+                    .commit_batch(mutations.iter().cloned())
+                    .map(|range| (range.start, range.end - range.start));
+                ((res), (store.next_csn() - before) as usize)
+            }
         };
+        // readers advance to the batch (or its kept prefix) only now —
+        // a pinned snapshot can never show a torn batch
+        self.publish(guard.graph());
         if let (Some(ts), Some(h)) = (ts, &self.history) {
             // record the applied prefix — history replays must
             // reproduce exactly what the store kept
@@ -413,6 +670,10 @@ impl Engine {
                 store.checkpoint()?;
                 Ok(store.checkpoint_lsn())
             }
+            Backend::Sharded(store) => {
+                store.checkpoint()?;
+                Ok(store.checkpoint_csn())
+            }
         }
     }
 
@@ -422,6 +683,7 @@ impl Engine {
         match &mut *self.write() {
             Backend::Memory { .. } => Ok(()),
             Backend::Durable(store) => store.sync(),
+            Backend::Sharded(store) => store.sync(),
         }
     }
 
@@ -433,11 +695,13 @@ impl Engine {
     pub fn handle(&self, request: &Request) -> Response {
         let result = match request {
             Request::Ping | Request::Sleep(_) => return Response::Pong,
-            // lock-free: the registry is all atomics, and a disabled
+            // near lock-free: the registry is all atomics (a disabled
             // registry answers with an all-zero snapshot so the wire
-            // request never errors
+            // request never errors); a sharded backend first folds its
+            // WAL lane positions into the per-shard gauges
             Request::Stats => {
-                return Response::Stats(Box::new(hygraph_metrics::snapshot().unwrap_or_default()))
+                self.report_shard_metrics();
+                return Response::Stats(Box::new(hygraph_metrics::snapshot().unwrap_or_default()));
             }
             Request::Query(text) => self.query(text).map(Response::Rows),
             Request::QueryAsOf { text, as_of_ms } => {
@@ -488,9 +752,11 @@ impl std::fmt::Debug for Engine {
         let kind = match &*guard {
             Backend::Memory { .. } => "memory",
             Backend::Durable(_) => "durable",
+            Backend::Sharded(_) => "sharded",
         };
         f.debug_struct("Engine")
             .field("backend", &kind)
+            .field("shards", &self.router.shards())
             .field("vertices", &guard.graph().vertex_count())
             .finish()
     }

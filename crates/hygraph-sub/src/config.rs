@@ -20,6 +20,12 @@ pub struct SubConfig {
     pub max_subscriptions: usize,
     /// Per-connection push-buffer depth (`HYGRAPH_SUB_BUFFER`).
     pub push_buffer: usize,
+    /// Shard count the registry's append-routing index partitions by —
+    /// the workspace shard knob ([`hygraph_types::shard`], so
+    /// `HYGRAPH_SHARDS` by default), not a `HYGRAPH_SUB_*` one: routing
+    /// granularity tracks the engine's storage partitioning. `1` keeps
+    /// the flat (route-every-series-reader) index.
+    pub shards: usize,
 }
 
 impl Default for SubConfig {
@@ -27,6 +33,7 @@ impl Default for SubConfig {
         Self {
             max_subscriptions: DEFAULT_MAX_SUBSCRIPTIONS,
             push_buffer: DEFAULT_PUSH_BUFFER,
+            shards: hygraph_types::shard::configured_shards(),
         }
     }
 }
@@ -46,6 +53,7 @@ impl SubConfig {
         *CACHED.get_or_init(|| Self {
             max_subscriptions: env_usize("HYGRAPH_SUB_MAX", DEFAULT_MAX_SUBSCRIPTIONS),
             push_buffer: env_usize("HYGRAPH_SUB_BUFFER", DEFAULT_PUSH_BUFFER),
+            shards: hygraph_types::shard::configured_shards(),
         })
     }
 
@@ -58,6 +66,13 @@ impl SubConfig {
     /// Overrides the push-buffer depth.
     pub fn push_buffer(mut self, n: usize) -> Self {
         self.push_buffer = n;
+        self
+    }
+
+    /// Overrides the append-routing shard count (clamped to the
+    /// workspace shard ceiling when the router is built).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
         self
     }
 }

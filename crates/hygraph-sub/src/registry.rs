@@ -17,8 +17,14 @@
 //!   slots);
 //! * appended series points can only move series aggregates — only
 //!   subscriptions whose plan reads any series aggregate are routed,
-//!   and their [`IncState`] narrows further to the entries whose
-//!   resolved series ids were touched;
+//!   narrowed further by *shard*: each series-reading subscription
+//!   carries a bitmask of the shards
+//!   ([`hygraph_types::shard::ShardRouter`]) owning the series it can
+//!   reach, and an append touching only disjoint shards skips it
+//!   entirely (see the mask-maintenance notes on
+//!   [`SubscriptionRegistry::on_commit`]); the routed survivors'
+//!   [`IncState`] narrows once more to the entries whose resolved
+//!   series ids were touched;
 //! * property updates and validity closes can shift filters, pushed
 //!   predicates, and match sets in ways additions cannot, so routed
 //!   subscriptions take the rebuild path (full recompute, merge-diffed
@@ -40,7 +46,8 @@ use hygraph_query::ast::Query;
 use hygraph_query::incremental::{diff_rows, support, uses_series, Delta, IncState};
 use hygraph_query::{execute_planned, plan_query, PlannedQuery, QueryResult, Row};
 use hygraph_types::parallel::ExecMode;
-use hygraph_types::{EdgeId, HyGraphError, Result, SeriesId, VertexId};
+use hygraph_types::shard::ShardRouter;
+use hygraph_types::{EdgeId, HyGraphError, Label, Result, SeriesId, VertexId};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -128,6 +135,73 @@ fn route_keys(q: &Query, series: bool) -> RouteKeys {
     keys
 }
 
+impl RouteKeys {
+    /// Whether a vertex with these labels can bind a pattern position
+    /// of this footprint.
+    fn admits_vertex(&self, labels: &[Label]) -> bool {
+        self.v_wild || labels.iter().any(|l| self.vlabels.contains(l.as_str()))
+    }
+
+    /// Whether an edge with these labels can bind an edge slot of this
+    /// footprint.
+    fn admits_edge(&self, labels: &[Label]) -> bool {
+        self.e_wild || labels.iter().any(|l| self.elabels.contains(l.as_str()))
+    }
+}
+
+/// The shard bit of one series under `router` — safe because the
+/// router clamps its shard count to `MAX_SHARDS` (64), one bit each.
+fn shard_bit(router: ShardRouter, sid: SeriesId) -> u64 {
+    1u64 << router.of_series(sid)
+}
+
+/// Every shard bit an element contributes to a footprint's reachable
+/// series: its δ-series if it is a ts-element, plus any series-valued
+/// properties (`SeriesRef::Property` reads those without δ).
+fn element_series_bits(
+    hg: &HyGraph,
+    el: ElementRef,
+    props: &hygraph_types::PropertyMap,
+    router: ShardRouter,
+) -> u64 {
+    let mut bits = 0u64;
+    if let Ok(sid) = hg.delta_id(el) {
+        bits |= shard_bit(router, sid);
+    }
+    for (_, v) in props.iter() {
+        if let Some(sid) = v.as_series() {
+            bits |= shard_bit(router, sid);
+        }
+    }
+    bits
+}
+
+/// The shard mask of one footprint against the whole instance: the OR
+/// of every series shard reachable from an element the footprint
+/// admits. Sound because plans resolve series only through bound
+/// elements (`DELTA(var)` via δ, `var.key` via a series-valued
+/// property), and bound elements always satisfy their position's label
+/// constraint — so every series an evaluation can read contributes its
+/// bit here. Non-series footprints get an (unused) empty mask.
+fn footprint_mask(hg: &HyGraph, keys: &RouteKeys, router: ShardRouter) -> u64 {
+    if !keys.series {
+        return 0;
+    }
+    let mut mask = 0u64;
+    let topo = hg.topology();
+    for data in topo.vertices() {
+        if keys.admits_vertex(&data.labels) {
+            mask |= element_series_bits(hg, ElementRef::Vertex(data.id), &data.props, router);
+        }
+    }
+    for data in topo.edges() {
+        if keys.admits_edge(&data.labels) {
+            mask |= element_series_bits(hg, ElementRef::Edge(data.id), &data.props, router);
+        }
+    }
+    mask
+}
+
 struct Sub {
     conn: u64,
     fingerprint: u64,
@@ -135,6 +209,12 @@ struct Sub {
     sink: Arc<dyn DeltaSink>,
     mode: Mode,
     keys: RouteKeys,
+    /// Which shards own series this subscription's evaluation can
+    /// reach — `1 << shard` per reachable series, grown monotonically
+    /// as commits link new series into the footprint (see
+    /// [`SubscriptionRegistry::on_commit`]). Appends route to the
+    /// subscription only when they touch an intersecting shard.
+    series_mask: u64,
     /// The exact property keys the plan can read
     /// ([`hygraph_query::plan::property_footprint`]): a `SetProperty`
     /// on a key outside this set cannot change the result, so commit
@@ -223,6 +303,12 @@ impl Inner {
 /// subscription snapshots are transactionally consistent.
 pub struct SubscriptionRegistry {
     cfg: SubConfig,
+    /// Series → shard routing for the append index, built once from
+    /// [`SubConfig::shards`]. Only internal consistency matters for
+    /// soundness (masks and appends are judged by the *same* router),
+    /// but by defaulting to the workspace shard knob it matches the
+    /// engine's storage partitioning.
+    router: ShardRouter,
     /// Lock-free emptiness check so commit paths with no subscribers
     /// pay one atomic load, not a mutex.
     active: AtomicUsize,
@@ -239,10 +325,16 @@ impl SubscriptionRegistry {
     pub fn new(cfg: SubConfig) -> Self {
         Self {
             cfg,
+            router: ShardRouter::new(cfg.shards),
             active: AtomicUsize::new(0),
             reruns: AtomicUsize::new(0),
             inner: Mutex::new(Inner::default()),
         }
+    }
+
+    /// The series → shard router the append index partitions by.
+    pub fn router(&self) -> ShardRouter {
+        self.router
     }
 
     /// How many full recomputations this registry has run across all
@@ -336,6 +428,7 @@ impl SubscriptionRegistry {
             },
         };
         let snapshot = mode.snapshot(&columns);
+        let series_mask = footprint_mask(hg, &keys, self.router);
         let id = inner.next_id;
         inner.next_id += 1;
         inner.subs.insert(
@@ -347,6 +440,7 @@ impl SubscriptionRegistry {
                 sink,
                 mode,
                 keys,
+                series_mask,
                 prop_keys,
             },
         );
@@ -399,6 +493,20 @@ impl SubscriptionRegistry {
     /// every affected subscription, and pushes non-empty deltas. Call
     /// under the engine's write lock, after the batch is applied, with
     /// `pre_vcap`/`pre_ecap` the topology capacities captured before.
+    ///
+    /// # Shard-mask maintenance
+    ///
+    /// Append routing consults each series-reading subscription's shard
+    /// mask, so the mask must already cover every element → series link
+    /// this batch created *before* its appends are routed. Three kinds
+    /// of mutation create links: new ts-elements (δ), new elements
+    /// carrying series-valued properties, and `SetProperty` writes of a
+    /// series value. All three are folded into the masks of admitting
+    /// subscriptions at the top of this call — batches that link a
+    /// series and append to it in one transaction route correctly. The
+    /// extension runs even for failed batches (the applied prefix may
+    /// have created links) and never narrows: masks only grow, so a
+    /// stale over-wide mask costs an empty delta, never a missed one.
     pub fn on_commit(
         &self,
         hg: &HyGraph,
@@ -424,8 +532,81 @@ impl SubscriptionRegistry {
             .collect();
         appended.sort_unstable();
         appended.dedup();
+        let appended_mask: u64 = appended
+            .iter()
+            .map(|&sid| shard_bit(self.router, sid))
+            .fold(0, |m, b| m | b);
 
         let mut inner = self.lock();
+
+        // fold this batch's new element → series links into the shard
+        // masks before anything routes (see the doc-comment): the link
+        // sources are new elements (δ or series-valued props) and
+        // series-valued property writes.
+        if !inner.series_any.is_empty() {
+            let mut links: Vec<(bool, Vec<hygraph_types::Label>, u64)> = Vec::new();
+            for &v in &new_vertices {
+                if let Ok(data) = topo.vertex(v) {
+                    let bits =
+                        element_series_bits(hg, ElementRef::Vertex(v), &data.props, self.router);
+                    if bits != 0 {
+                        links.push((true, data.labels.clone(), bits));
+                    }
+                }
+            }
+            for &e in &new_edges {
+                if let Ok(data) = topo.edge(e) {
+                    let bits =
+                        element_series_bits(hg, ElementRef::Edge(e), &data.props, self.router);
+                    if bits != 0 {
+                        links.push((false, data.labels.clone(), bits));
+                    }
+                }
+            }
+            for m in muts {
+                if let HgMutation::SetProperty {
+                    el,
+                    value: hygraph_types::PropertyValue::Series(sid),
+                    ..
+                } = m
+                {
+                    // conservative even when the batch failed before
+                    // this write landed: a too-wide mask is sound
+                    let bits = shard_bit(self.router, *sid);
+                    match el {
+                        ElementRef::Vertex(v) => {
+                            if let Ok(data) = topo.vertex(*v) {
+                                links.push((true, data.labels.clone(), bits));
+                            }
+                        }
+                        ElementRef::Edge(e) => {
+                            if let Ok(data) = topo.edge(*e) {
+                                links.push((false, data.labels.clone(), bits));
+                            }
+                        }
+                        ElementRef::Subgraph(_) => {}
+                    }
+                }
+            }
+            if !links.is_empty() {
+                let readers: Vec<u64> = inner.series_any.iter().copied().collect();
+                for id in readers {
+                    let Some(sub) = inner.subs.get_mut(&id) else {
+                        continue;
+                    };
+                    for (is_vertex, labels, bits) in &links {
+                        let admits = if *is_vertex {
+                            sub.keys.admits_vertex(labels)
+                        } else {
+                            sub.keys.admits_edge(labels)
+                        };
+                        if admits {
+                            sub.series_mask |= bits;
+                        }
+                    }
+                }
+            }
+        }
 
         // route: which subscriptions does this batch touch, and do any
         // of its mutations force their rebuild path?
@@ -467,7 +648,20 @@ impl SubscriptionRegistry {
                 }
             }
             if !appended.is_empty() {
-                touched.extend(inner.series_any.iter().copied());
+                if self.router.is_single() {
+                    // one shard: every reachable series shares bit 0
+                    // with every reader — the flat pre-shard route
+                    touched.extend(inner.series_any.iter().copied());
+                } else {
+                    // per-shard index: only series-readers whose mask
+                    // intersects the appended shards can change
+                    touched.extend(inner.series_any.iter().copied().filter(|id| {
+                        inner
+                            .subs
+                            .get(id)
+                            .is_none_or(|s| s.series_mask & appended_mask != 0)
+                    }));
+                }
             }
             for m in muts {
                 let (el, prop_key) = match m {
@@ -581,6 +775,13 @@ impl SubscriptionRegistry {
         let inner = self.lock();
         let sub = inner.subs.get(&sub_id)?;
         Some(sub.mode.snapshot(&sub.columns))
+    }
+
+    /// The shard bitmask appends are routed against for `sub_id`
+    /// (`1 << shard` per reachable series; `0` for plans that read no
+    /// series). Test/diagnostic hook.
+    pub fn series_shard_mask(&self, sub_id: u64) -> Option<u64> {
+        self.lock().subs.get(&sub_id).map(|s| s.series_mask)
     }
 }
 
@@ -870,6 +1071,144 @@ mod tests {
         assert_eq!(reg.len(), 1);
         reg.drop_conn(2);
         assert!(reg.is_empty());
+    }
+
+    /// An instance with two ts-vertices whose series land on different
+    /// shards under a 2-way router (ids are dense from 0, routing is
+    /// `id % shards`). All-ts so a wildcard `DELTA(x)` read is valid.
+    fn two_series_instance() -> HyGraph {
+        let spend =
+            TimeSeries::generate(Timestamp::ZERO, Duration::from_millis(10), 20, |i| i as f64);
+        let temp = TimeSeries::generate(Timestamp::ZERO, Duration::from_millis(10), 20, |i| {
+            2.0 * i as f64
+        });
+        HyGraphBuilder::new()
+            .univariate("spend", &spend)
+            .univariate("temp", &temp)
+            .ts_vertex("c1", ["Card"], "spend")
+            .ts_vertex("s1", ["Sensor"], "temp")
+            .build()
+            .unwrap()
+            .hygraph
+    }
+
+    #[test]
+    fn series_masks_partition_by_footprint_and_route_appends_by_shard() {
+        let mut hg = two_series_instance();
+        let reg = SubscriptionRegistry::new(SubConfig::default().shards(2));
+        let sink = Arc::new(RecordingSink::default());
+        let card = hg.topology().vertices_with_label("Card").next().unwrap().id;
+        let sensor = hg
+            .topology()
+            .vertices_with_label("Sensor")
+            .next()
+            .unwrap()
+            .id;
+        let spend = hg.delta_id(ElementRef::Vertex(card)).unwrap();
+        let temp = hg.delta_id(ElementRef::Vertex(sensor)).unwrap();
+        let spend_bit = 1u64 << reg.router().of_series(spend);
+        let temp_bit = 1u64 << reg.router().of_series(temp);
+        assert_ne!(spend_bit, temp_bit, "dense ids must straddle 2 shards");
+
+        let (cards, _) = reg
+            .subscribe(
+                &hg,
+                "MATCH (c:Card) RETURN SUM(DELTA(c) IN [0, 1000)) AS s",
+                1,
+                sink.clone(),
+            )
+            .unwrap();
+        let (sensors, _) = reg
+            .subscribe(
+                &hg,
+                "MATCH (s:Sensor) RETURN SUM(DELTA(s) IN [0, 1000)) AS s",
+                1,
+                sink.clone(),
+            )
+            .unwrap();
+        let (wild, _) = reg
+            .subscribe(
+                &hg,
+                "MATCH (x) RETURN SUM(DELTA(x) IN [0, 1000)) AS s",
+                1,
+                sink.clone(),
+            )
+            .unwrap();
+        let (users, _) = reg
+            .subscribe(&hg, "MATCH (u:User) RETURN u.name AS n", 1, sink.clone())
+            .unwrap(); // no User exists yet: empty snapshot, no series
+
+        // subscribe-time masks: exactly the shards of admitted series
+        assert_eq!(reg.series_shard_mask(cards), Some(spend_bit));
+        assert_eq!(reg.series_shard_mask(sensors), Some(temp_bit));
+        assert_eq!(reg.series_shard_mask(wild), Some(spend_bit | temp_bit));
+        assert_eq!(reg.series_shard_mask(users), Some(0), "no series read");
+
+        // an append to spend reaches the Card and wildcard readers only
+        commit(
+            &reg,
+            &mut hg,
+            vec![HgMutation::Append {
+                series: spend,
+                t: Timestamp::from_millis(500),
+                row: vec![100.0],
+            }],
+        );
+        let pushed = sink.deltas.lock().unwrap().clone();
+        let ids: BTreeSet<u64> = pushed.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, BTreeSet::from([cards, wild]));
+    }
+
+    #[test]
+    fn commit_linking_and_appending_in_one_batch_extends_the_mask_first() {
+        let mut hg = two_series_instance();
+        let reg = SubscriptionRegistry::new(SubConfig::default().shards(2));
+        let sink = Arc::new(RecordingSink::default());
+        // subscribe while no Meter exists: the mask starts empty
+        let (meters, mut local) = reg
+            .subscribe(
+                &hg,
+                "MATCH (m:Meter) RETURN SUM(DELTA(m) IN [0, 1000)) AS s",
+                1,
+                sink.clone(),
+            )
+            .unwrap();
+        assert_eq!(reg.series_shard_mask(meters), Some(0));
+        assert!(local.rows.is_empty());
+
+        // one batch: register a series, bind a Meter to it, append —
+        // the link must be folded into the mask before append routing
+        let next = SeriesId::new(2); // two series exist; ids are dense
+        commit(
+            &reg,
+            &mut hg,
+            vec![
+                HgMutation::AddSeries {
+                    names: vec!["kwh".into()],
+                    rows: vec![(Timestamp::from_millis(0), vec![1.0])],
+                },
+                HgMutation::AddTsVertex {
+                    labels: vec![Label::new("Meter")],
+                    series: next,
+                },
+                HgMutation::Append {
+                    series: next,
+                    t: Timestamp::from_millis(10),
+                    row: vec![5.0],
+                },
+            ],
+        );
+        assert_eq!(
+            reg.series_shard_mask(meters),
+            Some(1u64 << reg.router().of_series(next))
+        );
+        let pushed = sink.deltas.lock().unwrap().clone();
+        assert!(!pushed.is_empty(), "the new Meter's rows must arrive");
+        for (id, d) in &pushed {
+            assert_eq!(*id, meters);
+            apply_delta(&mut local, d).unwrap();
+        }
+        assert_eq!(local.rows, vec![vec![Value::Float(6.0)]]);
     }
 
     #[test]

@@ -67,7 +67,9 @@
 mod config;
 mod history;
 mod seed;
+mod watermark;
 
 pub use config::{now_ms, HistoryConfig};
 pub use history::{CommitRecord, HistoryStore, SnapshotResolution};
 pub use seed::HistorySeed;
+pub use watermark::ShardWatermark;

@@ -1,0 +1,113 @@
+//! Cross-shard commit watermark.
+//!
+//! A sharded engine appends each batch's frames to the WAL streams of
+//! the shards the batch touches, so at any instant the shards sit at
+//! different durable positions. The [`ShardWatermark`] folds those
+//! per-shard frontiers into the one number temporal consistency cares
+//! about: the highest commit sequence number below which *every* shard
+//! is durable. `AS OF` bounds resolved at or below the watermark are
+//! stable across a crash — no shard can lose a frame under it — which
+//! is what makes a cross-shard `AS OF` cut well-defined.
+//!
+//! The tracker is deliberately monotone: a shard's frontier never moves
+//! backwards through [`ShardWatermark::observe`], so a stale reading
+//! (taken while another thread advances the store) can only
+//! under-report, never un-publish a watermark.
+
+/// Monotone per-shard durable frontiers and their running minimum.
+///
+/// ```
+/// use hygraph_temporal::ShardWatermark;
+///
+/// let mut wm = ShardWatermark::new(3);
+/// assert_eq!(wm.watermark(), 0); // nothing durable anywhere yet
+/// wm.observe(0, 5);
+/// wm.observe(1, 3);
+/// wm.observe(2, 9);
+/// assert_eq!(wm.watermark(), 3); // shard 1 is the laggard
+/// wm.observe(1, 8);
+/// assert_eq!(wm.watermark(), 5); // now shard 0 is
+/// wm.observe(0, 2); // stale reading: ignored, frontiers are monotone
+/// assert_eq!(wm.frontier(0), Some(5));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardWatermark {
+    durable: Vec<u64>,
+}
+
+impl ShardWatermark {
+    /// A watermark over `shards` lanes, all at frontier 0.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            durable: vec![0; shards.max(1)],
+        }
+    }
+
+    /// The number of lanes tracked.
+    pub fn shards(&self) -> usize {
+        self.durable.len()
+    }
+
+    /// Advances shard `shard`'s durable frontier to `durable_lsn` if it
+    /// moved forward; out-of-range shards and stale (lower) readings
+    /// are ignored. Returns the new cross-shard watermark.
+    pub fn observe(&mut self, shard: usize, durable_lsn: u64) -> u64 {
+        if let Some(slot) = self.durable.get_mut(shard) {
+            *slot = (*slot).max(durable_lsn);
+        }
+        self.watermark()
+    }
+
+    /// Folds a whole `(next_lsn, durable_lsn)` lane report (the shape
+    /// of `ShardedStore::shard_lsns`) into the tracker.
+    pub fn observe_lanes(&mut self, lanes: &[(u64, u64)]) -> u64 {
+        for (shard, &(_, durable)) in lanes.iter().enumerate() {
+            self.observe(shard, durable);
+        }
+        self.watermark()
+    }
+
+    /// Shard `shard`'s durable frontier, if the lane exists.
+    pub fn frontier(&self, shard: usize) -> Option<u64> {
+        self.durable.get(shard).copied()
+    }
+
+    /// The cross-shard watermark: the minimum durable frontier — every
+    /// commit sequence number at or below it is durable on all shards.
+    pub fn watermark(&self) -> u64 {
+        self.durable.iter().copied().min().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_is_the_minimum_frontier() {
+        let mut wm = ShardWatermark::new(4);
+        assert_eq!(wm.watermark(), 0);
+        wm.observe_lanes(&[(10, 7), (4, 4), (12, 11), (9, 6)]);
+        assert_eq!(wm.watermark(), 4);
+        assert_eq!(wm.frontier(2), Some(11));
+        assert_eq!(wm.observe(1, 20), 6, "shard 3 becomes the laggard");
+    }
+
+    #[test]
+    fn frontiers_are_monotone_and_bounds_checked() {
+        let mut wm = ShardWatermark::new(2);
+        wm.observe(0, 9);
+        wm.observe(0, 3); // stale
+        assert_eq!(wm.frontier(0), Some(9));
+        wm.observe(99, 1); // out of range: ignored
+        assert_eq!(wm.shards(), 2);
+        assert_eq!(wm.frontier(99), None);
+    }
+
+    #[test]
+    fn zero_lanes_clamps_to_one() {
+        let wm = ShardWatermark::new(0);
+        assert_eq!(wm.shards(), 1);
+        assert_eq!(wm.watermark(), 0);
+    }
+}

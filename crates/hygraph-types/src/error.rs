@@ -74,6 +74,12 @@ pub enum HyGraphError {
         /// What failed to decode.
         message: String,
     },
+    /// A durable directory's on-disk layout does not match the store
+    /// opening it — e.g. a single-WAL store pointed at a hash-sharded
+    /// directory. The data is intact; open it with the matching store
+    /// (or let the sharded store migrate it) instead of ignoring the
+    /// foreign segments.
+    ShardLayout(String),
 }
 
 impl HyGraphError {
@@ -103,6 +109,11 @@ impl HyGraphError {
             offset: 0,
             message: msg.into(),
         }
+    }
+
+    /// Shorthand for a [`HyGraphError::ShardLayout`] mismatch.
+    pub fn shard_layout(msg: impl Into<String>) -> Self {
+        HyGraphError::ShardLayout(msg.into())
     }
 }
 
@@ -145,6 +156,7 @@ impl fmt::Display for HyGraphError {
             HyGraphError::Corrupt { offset, message } => {
                 write!(f, "corrupt data at byte {offset}: {message}")
             }
+            HyGraphError::ShardLayout(m) => write!(f, "shard layout mismatch: {m}"),
         }
     }
 }

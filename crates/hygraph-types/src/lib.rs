@@ -20,6 +20,7 @@ pub mod interval;
 pub mod net;
 pub mod parallel;
 pub mod property;
+pub mod shard;
 pub mod time;
 pub mod value;
 

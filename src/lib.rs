@@ -47,10 +47,10 @@
 //! | [`analytics`] | metricEvolution, hybrid embeddings/clustering/classification, contextual detection, pattern mining, the fraud pipeline |
 //! | [`datagen`] | deterministic synthetic datasets (bike sharing, fraud, random) |
 //! | [`storage`] | the Table-1 experiment: all-in-graph vs polyglot persistence backends |
-//! | [`persist`] | durable storage engine: write-ahead log, checkpoints, crash recovery |
+//! | [`persist`] | durable storage engine: write-ahead log, checkpoints, crash recovery, per-shard WAL streams |
 //! | [`temporal`] | transaction-time history: timestamped commit log, snapshot reconstruction, `AS OF` / `BETWEEN` time travel |
 //! | [`sub`] | standing queries: live HyQL subscriptions maintained by incremental deltas |
-//! | [`server`] | concurrent query serving: wire protocol, worker pool, backpressure, graceful shutdown |
+//! | [`server`] | concurrent query serving: sharded engine with epoch snapshot reads, wire protocol, worker pool, backpressure, graceful shutdown |
 //! | [`metrics`] | observability: counters, latency histograms, slow-query log, wire-exposed stats |
 //!
 //! Runtime knobs (`HYGRAPH_*` environment variables) are documented in
