@@ -80,7 +80,7 @@ pub fn encode_hygraph(hg: &HyGraph, w: &mut ByteWriter) {
     }
     // series set, id-ordered (BTreeMap)
     w.len_of(hg.series.len());
-    for (id, s) in &hg.series {
+    for (id, s) in hg.series.iter() {
         w.u64(id.raw());
         w.len_of(s.names().len());
         for name in s.names() {
@@ -216,7 +216,7 @@ pub fn decode_hygraph(r: &mut ByteReader<'_>) -> Result<HyGraph> {
         graph: std::sync::Arc::new(graph),
         vertex_kind: std::sync::Arc::new(vertex_kind),
         edge_kind: std::sync::Arc::new(edge_kind),
-        series: series_set,
+        series: std::sync::Arc::new(series_set),
         delta_v: std::sync::Arc::new(delta_v),
         delta_e: std::sync::Arc::new(delta_e),
         subgraphs: std::sync::Arc::new(subgraphs),

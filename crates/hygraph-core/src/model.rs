@@ -64,7 +64,7 @@ pub struct HyGraph {
     pub(crate) graph: Arc<TemporalGraph>,
     pub(crate) vertex_kind: Arc<HashMap<VertexId, ElementKind>>,
     pub(crate) edge_kind: Arc<HashMap<EdgeId, ElementKind>>,
-    pub(crate) series: BTreeMap<SeriesId, Arc<MultiSeries>>,
+    pub(crate) series: Arc<BTreeMap<SeriesId, Arc<MultiSeries>>>,
     pub(crate) delta_v: Arc<HashMap<VertexId, SeriesId>>,
     pub(crate) delta_e: Arc<HashMap<EdgeId, SeriesId>>,
     pub(crate) subgraphs: Arc<BTreeMap<SubgraphId, Subgraph>>,
@@ -104,13 +104,21 @@ impl HyGraph {
         Arc::make_mut(&mut self.subgraphs)
     }
 
+    /// The series *map* itself, copy-on-write — the map is behind its
+    /// own [`Arc`] (like every other interior collection) so cloning an
+    /// instance never walks the series set; the entries stay shared
+    /// `Arc<MultiSeries>` either way.
+    pub(crate) fn series_map_mut(&mut self) -> &mut BTreeMap<SeriesId, Arc<MultiSeries>> {
+        Arc::make_mut(&mut self.series)
+    }
+
     // ---- TS: the series set ------------------------------------------
 
     /// Registers a multivariate series; returns its id.
     pub fn add_series(&mut self, s: MultiSeries) -> SeriesId {
         let id = SeriesId::new(self.next_series);
         self.next_series += 1;
-        self.series.insert(id, Arc::new(s));
+        self.series_map_mut().insert(id, Arc::new(s));
         id
     }
 
@@ -129,7 +137,12 @@ impl HyGraph {
 
     /// Mutable access to a series (for appends — R3 ingest path).
     pub fn series_mut(&mut self, id: SeriesId) -> Result<&mut MultiSeries> {
-        self.series
+        if !self.series.contains_key(&id) {
+            // check before Arc::make_mut: a miss must not pay for (or
+            // un-share) a copy-on-write of the whole map
+            return Err(HyGraphError::SeriesNotFound(id));
+        }
+        self.series_map_mut()
             .get_mut(&id)
             .map(Arc::make_mut)
             .ok_or(HyGraphError::SeriesNotFound(id))

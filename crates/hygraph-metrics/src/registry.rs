@@ -291,7 +291,11 @@ pub struct SubMetrics {
     pub slow_consumer_drops: Counter,
 }
 
-/// One shard's WAL-stream gauges.
+/// One shard's WAL-stream gauges. These are **per-stream frame
+/// counters** — every shard's WAL numbers its frames independently
+/// from 0 — so they measure stream depth and sync lag, not global
+/// commit sequence numbers; cross-shard durability is the separate
+/// [`ShardMetrics::watermark`] gauge.
 #[derive(Debug, Default)]
 pub struct ShardLaneMetrics {
     /// Next LSN the shard's WAL will assign (its append frontier).
@@ -306,8 +310,11 @@ pub struct ShardLaneMetrics {
 pub struct ShardMetrics {
     /// Configured shard count (0 until a sharded store reports in).
     pub shards: Gauge,
-    /// Cross-shard durable watermark: the minimum durable LSN across
-    /// every shard lane (see `hygraph_temporal::ShardWatermark`).
+    /// Cross-shard durable watermark in **commit sequence numbers**:
+    /// every commit strictly below it is durable on all shards. Fed
+    /// from the sharded store's per-shard durable CSN frontiers (see
+    /// `hygraph_temporal::ShardWatermark`) — not from the per-stream
+    /// lane LSNs, which are numbered independently per shard.
     pub watermark: Gauge,
     /// Per-shard lanes, indexed by shard; only the first
     /// [`ShardMetrics::shards`] are meaningful.

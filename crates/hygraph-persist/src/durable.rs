@@ -296,7 +296,10 @@ impl<S: Durable> DurableStore<S> {
     /// Group commit: stages every mutation, then makes the whole batch
     /// durable with a single fsync. Returns the batch's LSN range. If a
     /// mutation is rejected the batch stops there — earlier mutations
-    /// stay staged (and are synced) — and the error is returned.
+    /// stay staged (and the sync of that prefix is still attempted) —
+    /// and the rejection is returned with priority over a sync failure,
+    /// so callers can tell a rejected mutation from an I/O error (a
+    /// persistent I/O failure resurfaces on the next durability call).
     pub fn commit_batch(
         &mut self,
         mutations: impl IntoIterator<Item = S::Mutation>,
@@ -310,8 +313,8 @@ impl<S: Durable> DurableStore<S> {
             }
         }
         let end = self.wal.next_lsn();
-        self.sync()?;
-        staged.map(|()| start..end)
+        let synced = self.sync();
+        staged.and(synced).map(|()| start..end)
     }
 
     /// Makes every staged mutation durable (one fsync for the batch),

@@ -159,6 +159,10 @@ where
     wals: Vec<Wal>,
     /// Shards with appends staged since their last fsync.
     dirty: Vec<bool>,
+    /// First CSN staged to each shard since its last fsync — only
+    /// meaningful while `dirty[shard]`. Feeds the per-shard durable
+    /// *CSN* frontiers (see [`ShardedStore::shard_csn_frontiers`]).
+    pending_csn: Vec<u64>,
     /// Global commit sequence number of the next staged frame.
     next_csn: u64,
     /// CSN watermark of the newest durable checkpoint.
@@ -297,6 +301,7 @@ where
             epoch: meta.epoch,
             wals: recovered.wals,
             dirty: vec![false; shards],
+            pending_csn: vec![0; shards],
             next_csn: recovered.next_csn,
             checkpoint_csn: ckpt_csn,
             checkpoint_on_disk: true,
@@ -308,8 +313,14 @@ where
             // Orphaned frames (past the contiguity gap) are still on
             // disk; a fresh CSN would collide with theirs. Checkpointing
             // right away rotates and purges every shard stream, erasing
-            // them before any new append can reuse a CSN.
+            // them before any new append can reuse a CSN. The purge must
+            // happen even when the gap sat at the very first
+            // post-checkpoint CSN (zero frames applied, `next_csn ==
+            // checkpoint_csn`): clearing `checkpoint_on_disk` bypasses
+            // the quiescent no-op guard so the physical rotate/purge
+            // always runs.
             let orphans = store.orphans_discarded;
+            store.checkpoint_on_disk = false;
             store.checkpoint()?;
             store.orphans_discarded = orphans;
         }
@@ -450,6 +461,7 @@ where
             epoch,
             wals,
             dirty: vec![false; shards],
+            pending_csn: vec![0; shards],
             next_csn: csn,
             checkpoint_csn: csn,
             checkpoint_on_disk: false,
@@ -500,7 +512,10 @@ where
             Ok(()) => {
                 self.next_csn += 1;
                 self.since_checkpoint += 1;
-                self.dirty[shard] = true;
+                if !self.dirty[shard] {
+                    self.pending_csn[shard] = csn;
+                    self.dirty[shard] = true;
+                }
                 Ok(csn)
             }
             Err(e) => {
@@ -521,8 +536,13 @@ where
     /// Group commit: stages every mutation, then makes the whole batch
     /// durable with one fsync *per touched shard*. Returns the batch's
     /// CSN range. If a mutation is rejected the batch stops there —
-    /// earlier mutations stay staged (and are synced) — and the error
-    /// is returned.
+    /// earlier mutations stay staged (and the sync of that prefix is
+    /// still attempted) — and the rejection is returned. The semantic
+    /// rejection outranks a sync failure: callers must be able to tell
+    /// a rejected mutation from an I/O error. The I/O failure is not
+    /// lost — the WAL either winds the torn batch back for a clean
+    /// retry or poisons itself, so a persistent failure resurfaces on
+    /// the next durability call.
     pub fn commit_batch(
         &mut self,
         mutations: impl IntoIterator<Item = S::Mutation>,
@@ -536,8 +556,8 @@ where
             }
         }
         let end = self.next_csn;
-        self.sync()?;
-        staged.map(|()| start..end)
+        let synced = self.sync();
+        staged.and(synced).map(|()| start..end)
     }
 
     /// Makes every staged mutation durable (one fsync per dirty shard),
@@ -639,11 +659,30 @@ where
     }
 
     /// Per-shard `(next_lsn, durable_lsn)` positions, indexed by shard
-    /// — the feed for per-shard gauges.
+    /// — the feed for per-shard WAL-depth gauges. These are **per-stream
+    /// frame counters** (each shard's WAL numbers frames independently
+    /// from 0), not global CSNs; for the cross-shard durability
+    /// frontier use [`ShardedStore::shard_csn_frontiers`].
     pub fn shard_lsns(&self) -> Vec<(u64, u64)> {
         self.wals
             .iter()
             .map(|w| (w.next_lsn(), w.durable_lsn()))
+            .collect()
+    }
+
+    /// Per-shard durable **CSN** frontiers, indexed by shard: every
+    /// frame a shard holds with a CSN *strictly below* its frontier is
+    /// durable on disk. A fully-synced shard's frontier is the global
+    /// [`ShardedStore::next_csn`] — it holds no frame at or above it —
+    /// so an idle shard never pins the cross-shard watermark; a shard
+    /// with staged-but-unsynced frames sits at the CSN of its first
+    /// unsynced frame. The minimum across shards is the cross-shard
+    /// durable watermark (`hygraph_temporal::ShardWatermark`).
+    pub fn shard_csn_frontiers(&self) -> Vec<u64> {
+        self.dirty
+            .iter()
+            .zip(&self.pending_csn)
+            .map(|(&dirty, &pending)| if dirty { pending } else { self.next_csn })
             .collect()
     }
 
@@ -734,4 +773,61 @@ fn legacy_wal_archive_moves(dir: &Path) -> Result<Vec<PathBuf>> {
         moved.push(dest);
     }
     Ok(moved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PersistConfig;
+    use crate::fault::scratch_dir;
+    use crate::stores::HgMutation;
+    use hygraph_core::HyGraph;
+    use hygraph_types::{SeriesId, Timestamp};
+
+    /// A rejected mutation in a batch must surface as the semantic
+    /// rejection even when the trailing sync of the staged prefix also
+    /// fails — callers distinguish "mutation refused at position k"
+    /// from "I/O error of unknown extent".
+    #[test]
+    fn batch_rejection_outranks_sync_failure() {
+        PersistConfig::new()
+            .segment_bytes(512)
+            .checkpoint_every(0)
+            .install();
+        let dir = scratch_dir("sharded-reject-vs-sync");
+        let mut store: ShardedStore<HyGraph> = ShardedStore::open(&dir, 2).unwrap();
+        store
+            .commit(HgMutation::AddSeries {
+                names: vec!["v".into()],
+                rows: vec![],
+            })
+            .unwrap();
+        // series 0 routes to shard 0: make that shard's next write fail
+        store.wals[0].fail_write_after = Some(0);
+        let err = store
+            .commit_batch([
+                HgMutation::Append {
+                    series: SeriesId::new(0),
+                    t: Timestamp::from_millis(1),
+                    row: vec![1.0],
+                },
+                HgMutation::Append {
+                    series: SeriesId::new(99), // rejected: no such series
+                    t: Timestamp::from_millis(2),
+                    row: vec![2.0],
+                },
+            ])
+            .unwrap_err();
+        assert!(
+            matches!(err, HyGraphError::SeriesNotFound(_)),
+            "expected the semantic rejection, got {err:?}"
+        );
+        // the I/O failure was transient (the WAL wound the torn batch
+        // back): a retry syncs the accepted prefix and nothing is lost
+        store.sync().unwrap();
+        drop(store);
+        let store: ShardedStore<HyGraph> = ShardedStore::open(&dir, 2).unwrap();
+        assert_eq!(store.next_csn(), 2, "the accepted prefix survived");
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

@@ -105,7 +105,7 @@ pub struct Wal {
     /// Test-only fault injection: the next batch write persists at most
     /// this many bytes, then errors (a disk filling up mid-`write`).
     #[cfg(test)]
-    fail_write_after: Option<usize>,
+    pub(crate) fail_write_after: Option<usize>,
 }
 
 impl Wal {

@@ -200,6 +200,138 @@ fn orphaned_frames_past_a_csn_gap_are_discarded_and_purged() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The contiguity gap can sit at the *very first* frame past the
+/// checkpoint: zero frames apply, so `next_csn == checkpoint_csn` and a
+/// naive post-recovery checkpoint would take its quiescent no-op guard.
+/// The physical purge must still run — a skipped purge leaves the
+/// orphan on disk, its CSN is reissued to new acknowledged commits, and
+/// the *next* recovery merges the discarded frame back in place of (or
+/// colliding with) acknowledged data.
+#[test]
+fn orphan_purge_runs_when_gap_is_at_the_first_post_checkpoint_csn() {
+    configure();
+    let dir = scratch_dir("shard-orphan-first");
+    let mut store: ShardedStore<TsStore> = ShardedStore::open(&dir, 2).unwrap();
+    let base_snapshot = snapshot_dir(&dir).unwrap();
+    // csn 0 → shard 0, csn 1 → shard 1 (series-affine routing)
+    store
+        .commit(TsMutation::CreateSeries(SeriesId::new(0)))
+        .unwrap();
+    store
+        .commit(TsMutation::CreateSeries(SeriesId::new(1)))
+        .unwrap();
+    assert_eq!(store.next_csn(), 2);
+    drop(store);
+
+    // Crash: shard 0 loses csn 0 while shard 1 keeps csn 1 — the gap is
+    // at the first post-checkpoint CSN, so recovery applies nothing.
+    let full_snapshot = snapshot_dir(&dir).unwrap();
+    let shard0: Vec<_> = base_snapshot
+        .iter()
+        .filter(|(name, _)| name.contains("shard-00"))
+        .cloned()
+        .collect();
+    let keep: Vec<_> = full_snapshot
+        .iter()
+        .filter(|(name, _)| !name.contains("shard-00"))
+        .cloned()
+        .chain(shard0)
+        .collect();
+    restore_dir(&dir, &keep).unwrap();
+
+    let store: ShardedStore<TsStore> = ShardedStore::open(&dir, 2).unwrap();
+    assert_eq!(store.orphans_discarded(), 1, "csn 1 is an orphan");
+    assert_eq!(store.next_csn(), 0, "nothing applied past the checkpoint");
+    drop(store);
+
+    // The orphan must be physically gone: a second open sees a clean
+    // log, and reissued CSNs cannot resurrect the discarded frame.
+    let mut store: ShardedStore<TsStore> = ShardedStore::open(&dir, 2).unwrap();
+    assert_eq!(
+        store.orphans_discarded(),
+        0,
+        "orphan frame survived recovery on disk"
+    );
+    // Both new commits route to shard 1 — the stream that held the
+    // orphan — reusing csn 0 and csn 1.
+    store
+        .commit(TsMutation::CreateSeries(SeriesId::new(3)))
+        .unwrap();
+    store
+        .commit(TsMutation::Insert(SeriesId::new(3), ts(5), 7.0))
+        .unwrap();
+    drop(store);
+
+    let store: ShardedStore<TsStore> = ShardedStore::open(&dir, 2).unwrap();
+    assert_eq!(store.orphans_discarded(), 0);
+    assert_eq!(store.next_csn(), 2);
+    assert_eq!(
+        store.get().value_at(SeriesId::new(3), ts(5)),
+        Some(7.0),
+        "acknowledged commit lost to a resurrected orphan"
+    );
+    // Bit-identical to a clean run of the same acknowledged commits:
+    // the discarded CreateSeries(1) must not have come back.
+    let golden = {
+        let gdir = scratch_dir("shard-orphan-first-golden");
+        let mut golden: ShardedStore<TsStore> = ShardedStore::open(&gdir, 2).unwrap();
+        golden
+            .commit(TsMutation::CreateSeries(SeriesId::new(3)))
+            .unwrap();
+        golden
+            .commit(TsMutation::Insert(SeriesId::new(3), ts(5), 7.0))
+            .unwrap();
+        let bytes = golden.state_bytes();
+        golden.close().unwrap();
+        std::fs::remove_dir_all(&gdir).ok();
+        bytes
+    };
+    assert_eq!(
+        store.state_bytes(),
+        golden,
+        "recovered state contains traces of the discarded orphan"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Per-shard durable CSN frontiers track *commit* durability, not WAL
+/// stream depth: an idle shard (empty stream) follows the global CSN
+/// frontier instead of pinning the cross-shard watermark at zero, and a
+/// shard with staged-but-unsynced frames sits at its first unsynced
+/// CSN.
+#[test]
+fn csn_frontiers_track_durability_not_stream_depth() {
+    configure();
+    let dir = scratch_dir("shard-frontiers");
+    let mut store: ShardedStore<TsStore> = ShardedStore::open(&dir, 2).unwrap();
+    // All traffic routes to shard 0; shard 1 stays idle.
+    store
+        .commit(TsMutation::CreateSeries(SeriesId::new(0)))
+        .unwrap();
+    store
+        .commit(TsMutation::Insert(SeriesId::new(0), ts(1), 1.0))
+        .unwrap();
+    assert_eq!(
+        store.shard_csn_frontiers(),
+        vec![2, 2],
+        "an idle shard follows the global CSN frontier"
+    );
+    assert_eq!(
+        store.shard_lsns()[1],
+        (0, 0),
+        "…even though its WAL stream is empty"
+    );
+    // A staged-but-unsynced frame holds its shard at the frame's CSN.
+    store
+        .stage(TsMutation::Insert(SeriesId::new(0), ts(2), 2.0))
+        .unwrap();
+    assert_eq!(store.shard_csn_frontiers(), vec![2, 3]);
+    store.sync().unwrap();
+    assert_eq!(store.shard_csn_frontiers(), vec![3, 3]);
+    store.close().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Collects the recovery stream so tests can assert observer parity.
 #[derive(Default)]
 struct Timeline {

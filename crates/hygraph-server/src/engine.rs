@@ -152,6 +152,16 @@ impl Backend {
     }
 }
 
+/// Both per-shard position feeds of a sharded backend, captured under
+/// one lock acquisition so the two views are mutually consistent.
+struct ShardPositions {
+    /// Per-stream `(next_lsn, durable_lsn)` WAL-depth lanes (frames
+    /// numbered independently from 0 per shard).
+    lanes: Vec<(u64, u64)>,
+    /// Per-shard durable **CSN** frontiers — the watermark feed.
+    frontiers: Vec<u64>,
+}
+
 /// Thread-safe request executor over a [`Backend`] (see module docs).
 pub struct Engine {
     inner: RwLock<Backend>,
@@ -180,7 +190,8 @@ pub struct Engine {
     /// at 0 for the initial state; each published batch bumps it.
     epoch: AtomicU64,
     /// Cross-shard durable watermark tracker, fed from the sharded
-    /// store's per-shard WAL positions whenever stats are reported.
+    /// store's per-shard durable CSN frontiers whenever stats are
+    /// reported.
     watermark: Mutex<ShardWatermark>,
 }
 
@@ -491,40 +502,59 @@ impl Engine {
     }
 
     /// Per-shard `(next_lsn, durable_lsn)` pairs of a sharded backend,
-    /// `None` otherwise — the feed for per-shard metrics gauges.
+    /// `None` otherwise — the feed for the per-shard WAL-depth gauges.
+    /// These are per-stream frame counters (each shard's WAL numbers
+    /// frames independently from 0), **not** global commit sequence
+    /// numbers; the cross-shard watermark is derived from the store's
+    /// CSN frontiers instead.
     pub fn shard_lsns(&self) -> Option<Vec<(u64, u64)>> {
+        self.shard_positions().map(|p| p.lanes)
+    }
+
+    /// Both per-shard position feeds of a sharded backend, read under
+    /// one lock acquisition: the WAL-stream `(next_lsn, durable_lsn)`
+    /// lanes and the durable CSN frontiers.
+    fn shard_positions(&self) -> Option<ShardPositions> {
         match &*self.read() {
-            Backend::Sharded(store) => Some(store.shard_lsns()),
+            Backend::Sharded(store) => Some(ShardPositions {
+                lanes: store.shard_lsns(),
+                frontiers: store.shard_csn_frontiers(),
+            }),
             Backend::Memory { .. } | Backend::Durable(_) => None,
         }
     }
 
-    /// The cross-shard durable watermark: the highest commit sequence
-    /// number at or below which every shard's WAL is durable (see
-    /// [`ShardWatermark`]). For non-sharded backends this is simply the
-    /// last durable frontier observed (0 for memory engines). The
-    /// tracker is fed on every stats report and on demand here, so the
-    /// returned value is current as of this call.
+    /// The cross-shard durable watermark: the commit sequence number
+    /// strictly below which every shard's WAL is durable (see
+    /// [`ShardWatermark`]), fed from the sharded store's per-shard
+    /// durable **CSN** frontiers — a shard that happens to receive
+    /// little traffic does not pin the watermark, because a fully
+    /// synced shard's frontier is the store-wide next CSN. For
+    /// non-sharded backends this is simply the last frontier observed
+    /// (0 for memory engines). The tracker is fed on every stats report
+    /// and on demand here, so the returned value is current as of this
+    /// call.
     pub fn shard_watermark(&self) -> u64 {
+        let frontiers = self.shard_positions().map(|p| p.frontiers);
         let mut wm = self.watermark.lock().unwrap_or_else(|e| e.into_inner());
-        match self.shard_lsns() {
-            Some(lanes) => wm.observe_lanes(&lanes),
+        match frontiers {
+            Some(frontiers) => wm.observe_frontiers(&frontiers),
             None => wm.watermark(),
         }
     }
 
-    /// Folds the sharded backend's per-shard WAL positions into the
-    /// global metrics registry's shard gauges (no-op for non-sharded
-    /// backends or when metrics are disabled). Called on every
-    /// [`Request::Stats`]; the periodic metrics logger reaches it the
-    /// same way.
+    /// Folds the sharded backend's per-shard WAL positions and CSN
+    /// watermark into the global metrics registry's shard gauges
+    /// (no-op for non-sharded backends or when metrics are disabled).
+    /// Called on every [`Request::Stats`]; the periodic metrics logger
+    /// reaches it the same way.
     fn report_shard_metrics(&self) {
-        let Some(lanes) = self.shard_lsns() else {
+        let Some(ShardPositions { lanes, frontiers }) = self.shard_positions() else {
             return;
         };
         let watermark = {
             let mut wm = self.watermark.lock().unwrap_or_else(|e| e.into_inner());
-            wm.observe_lanes(&lanes)
+            wm.observe_frontiers(&frontiers)
         };
         if let Some(m) = hygraph_metrics::get() {
             m.shard.set_lanes(&lanes, watermark);
@@ -1011,6 +1041,25 @@ mod tests {
             engine2.query_as_of(text, t2),
             Ok(r) if r.rows[0][0] == hygraph_types::Value::Int(2)
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_watermark_tracks_csn_not_stream_depth() {
+        let dir = hygraph_persist::fault::scratch_dir("engine-watermark");
+        let engine = Engine::open_durable_sharded(&dir, 8, HistoryConfig::disabled(), 4)
+            .expect("open sharded");
+        assert_eq!(engine.shards(), 4);
+        engine.mutate_batch(seed_mutations()).unwrap();
+        // Four committed (durable) mutations land on a subset of the
+        // four shards; the idle shards' WAL streams stay empty but must
+        // not pin the watermark — every shard's durable CSN frontier is
+        // the global next CSN once its stream is synced.
+        assert_eq!(
+            engine.shard_watermark(),
+            4,
+            "idle shards must not pin the cross-shard watermark"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -4,10 +4,18 @@
 //! the shards the batch touches, so at any instant the shards sit at
 //! different durable positions. The [`ShardWatermark`] folds those
 //! per-shard frontiers into the one number temporal consistency cares
-//! about: the highest commit sequence number below which *every* shard
-//! is durable. `AS OF` bounds resolved at or below the watermark are
+//! about: the commit sequence number below which *every* shard is
+//! durable. `AS OF` bounds resolved strictly below the watermark are
 //! stable across a crash — no shard can lose a frame under it — which
 //! is what makes a cross-shard `AS OF` cut well-defined.
+//!
+//! The frontiers fed in must be **global CSN frontiers** (the shape of
+//! `ShardedStore::shard_csn_frontiers`: for each shard, every frame it
+//! holds below the value is durable, and a fully-synced shard reports
+//! the store-wide next CSN). Raw per-stream WAL positions are *not* a
+//! valid feed — each shard's WAL numbers its frames independently from
+//! 0, so a shard receiving little traffic would pin the minimum near
+//! zero without meaning anything about commit durability.
 //!
 //! The tracker is deliberately monotone: a shard's frontier never moves
 //! backwards through [`ShardWatermark::observe`], so a stale reading
@@ -48,20 +56,20 @@ impl ShardWatermark {
         self.durable.len()
     }
 
-    /// Advances shard `shard`'s durable frontier to `durable_lsn` if it
+    /// Advances shard `shard`'s durable frontier to `durable_csn` if it
     /// moved forward; out-of-range shards and stale (lower) readings
     /// are ignored. Returns the new cross-shard watermark.
-    pub fn observe(&mut self, shard: usize, durable_lsn: u64) -> u64 {
+    pub fn observe(&mut self, shard: usize, durable_csn: u64) -> u64 {
         if let Some(slot) = self.durable.get_mut(shard) {
-            *slot = (*slot).max(durable_lsn);
+            *slot = (*slot).max(durable_csn);
         }
         self.watermark()
     }
 
-    /// Folds a whole `(next_lsn, durable_lsn)` lane report (the shape
-    /// of `ShardedStore::shard_lsns`) into the tracker.
-    pub fn observe_lanes(&mut self, lanes: &[(u64, u64)]) -> u64 {
-        for (shard, &(_, durable)) in lanes.iter().enumerate() {
+    /// Folds a whole per-shard CSN frontier report (the shape of
+    /// `ShardedStore::shard_csn_frontiers`) into the tracker.
+    pub fn observe_frontiers(&mut self, frontiers: &[u64]) -> u64 {
+        for (shard, &durable) in frontiers.iter().enumerate() {
             self.observe(shard, durable);
         }
         self.watermark()
@@ -73,7 +81,8 @@ impl ShardWatermark {
     }
 
     /// The cross-shard watermark: the minimum durable frontier — every
-    /// commit sequence number at or below it is durable on all shards.
+    /// commit sequence number strictly below it is durable on all
+    /// shards.
     pub fn watermark(&self) -> u64 {
         self.durable.iter().copied().min().unwrap_or(0)
     }
@@ -87,7 +96,7 @@ mod tests {
     fn watermark_is_the_minimum_frontier() {
         let mut wm = ShardWatermark::new(4);
         assert_eq!(wm.watermark(), 0);
-        wm.observe_lanes(&[(10, 7), (4, 4), (12, 11), (9, 6)]);
+        wm.observe_frontiers(&[7, 4, 11, 6]);
         assert_eq!(wm.watermark(), 4);
         assert_eq!(wm.frontier(2), Some(11));
         assert_eq!(wm.observe(1, 20), 6, "shard 3 becomes the laggard");
