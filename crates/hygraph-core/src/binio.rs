@@ -58,10 +58,14 @@ pub fn encode_hygraph(hg: &HyGraph, w: &mut ByteWriter) {
     graph_codec::encode_graph(&hg.graph, w);
     // kinds, in id order (graph iteration is id-ordered)
     for v in hg.graph.vertices() {
-        w.u8(kind_byte(hg.vertex_kind[&v.id]));
+        w.u8(kind_byte(
+            *hg.vertex_kind.get(&v.id).expect("every vertex has a kind"),
+        ));
     }
     for e in hg.graph.edges() {
-        w.u8(kind_byte(hg.edge_kind[&e.id]));
+        w.u8(kind_byte(
+            *hg.edge_kind.get(&e.id).expect("every edge has a kind"),
+        ));
     }
     // δ mappings, id-ordered for determinism
     let mut dv: Vec<_> = hg.delta_v.iter().map(|(&v, &s)| (v, s)).collect();
@@ -124,31 +128,34 @@ pub fn decode_hygraph(r: &mut ByteReader<'_>) -> Result<HyGraph> {
     let next_series = r.u64()?;
     let next_subgraph = r.u64()?;
     let graph = graph_codec::decode_graph(r)?;
-    let mut vertex_kind = std::collections::HashMap::new();
+    // All side tables inherit the topology's snapshot mode so a decoded
+    // instance is uniformly cow or uniformly pmap.
+    let mode = graph.snapshot_impl();
+    let mut vertex_kind = hygraph_types::pmap::SnapMap::new_with(mode);
     for v in graph.vertex_ids() {
         let kind = kind_from_byte(r.u8()?)?;
         vertex_kind.insert(v, kind);
     }
-    let mut edge_kind = std::collections::HashMap::new();
+    let mut edge_kind = hygraph_types::pmap::SnapMap::new_with(mode);
     for e in graph.edge_ids() {
         let kind = kind_from_byte(r.u8()?)?;
         edge_kind.insert(e, kind);
     }
-    let mut delta_v = std::collections::HashMap::new();
+    let mut delta_v = hygraph_types::pmap::SnapMap::new_with(mode);
     let n_dv = r.len_of()?;
     for _ in 0..n_dv {
         let v = hygraph_types::VertexId::new(r.u64()?);
         let s = SeriesId::new(r.u64()?);
         delta_v.insert(v, s);
     }
-    let mut delta_e = std::collections::HashMap::new();
+    let mut delta_e = hygraph_types::pmap::SnapMap::new_with(mode);
     let n_de = r.len_of()?;
     for _ in 0..n_de {
         let e = hygraph_types::EdgeId::new(r.u64()?);
         let s = SeriesId::new(r.u64()?);
         delta_e.insert(e, s);
     }
-    let mut series_set = std::collections::BTreeMap::new();
+    let mut series_set = hygraph_types::pmap::SnapMap::new_with(mode);
     let n_series = r.len_of()?;
     for _ in 0..n_series {
         let id = SeriesId::new(r.u64()?);
@@ -188,7 +195,7 @@ pub fn decode_hygraph(r: &mut ByteReader<'_>) -> Result<HyGraph> {
             ));
         }
     }
-    let mut subgraphs = std::collections::BTreeMap::new();
+    let mut subgraphs = hygraph_types::pmap::SnapMap::new_with(mode);
     let n_subgraphs = r.len_of()?;
     for _ in 0..n_subgraphs {
         let id = SubgraphId::new(r.u64()?);
@@ -213,13 +220,13 @@ pub fn decode_hygraph(r: &mut ByteReader<'_>) -> Result<HyGraph> {
         }
     }
     Ok(HyGraph {
-        graph: std::sync::Arc::new(graph),
-        vertex_kind: std::sync::Arc::new(vertex_kind),
-        edge_kind: std::sync::Arc::new(edge_kind),
-        series: std::sync::Arc::new(series_set),
-        delta_v: std::sync::Arc::new(delta_v),
-        delta_e: std::sync::Arc::new(delta_e),
-        subgraphs: std::sync::Arc::new(subgraphs),
+        graph,
+        vertex_kind,
+        edge_kind,
+        series: series_set,
+        delta_v,
+        delta_e,
+        subgraphs,
         next_series,
         next_subgraph,
     })

@@ -10,11 +10,11 @@
 use crate::subgraph::Subgraph;
 use hygraph_graph::TemporalGraph;
 use hygraph_ts::{MultiSeries, TimeSeries};
+use hygraph_types::pmap::{SnapMap, SnapshotImpl};
 use hygraph_types::{
     EdgeId, HyGraphError, Interval, Label, PropertyMap, PropertyValue, Result, SeriesId,
     SubgraphId, Timestamp, VertexId,
 };
-use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Whether an element belongs to the property-graph or the time-series
@@ -51,65 +51,64 @@ pub enum ElementRef {
 ///
 /// # Snapshot semantics
 ///
-/// Every interior collection sits behind an [`Arc`], so `clone()` is a
-/// handful of reference-count bumps — O(pointers), not O(data). Mutators
-/// go through [`Arc::make_mut`]: the first write after a clone
-/// copies-on-write only the touched component (topology, one kind table,
-/// one series, …) while everything untouched stays shared. This is what
+/// Every interior collection is structurally shared ([`SnapMap`] /
+/// the dual-mode storage inside [`TemporalGraph`]), so `clone()` is a
+/// handful of reference-count bumps — O(pointers), not O(data). In the
+/// default `pmap` mode a mutation path-copies only the O(log n) trie
+/// nodes it touches, so a commit costs O(batch) *no matter how many
+/// older clones are pinned*. In the legacy `cow` mode
+/// (`HYGRAPH_SNAPSHOT_IMPL=cow`) the first write after a clone
+/// deep-copies the touched collection instead. Either way, this is what
 /// lets the sharded engine publish an immutable snapshot per commit and
-/// hand lock-free `&HyGraph` views to readers: a reader's pinned clone is
-/// never affected by later writes to the live instance, and vice versa.
-#[derive(Clone, Debug, Default)]
+/// hand lock-free `&HyGraph` views to readers: a reader's pinned clone
+/// is never affected by later writes to the live instance, and vice
+/// versa. Series payloads stay behind their own `Arc<MultiSeries>`, so
+/// an append copies one series, never the set.
+#[derive(Clone, Debug)]
 pub struct HyGraph {
-    pub(crate) graph: Arc<TemporalGraph>,
-    pub(crate) vertex_kind: Arc<HashMap<VertexId, ElementKind>>,
-    pub(crate) edge_kind: Arc<HashMap<EdgeId, ElementKind>>,
-    pub(crate) series: Arc<BTreeMap<SeriesId, Arc<MultiSeries>>>,
-    pub(crate) delta_v: Arc<HashMap<VertexId, SeriesId>>,
-    pub(crate) delta_e: Arc<HashMap<EdgeId, SeriesId>>,
-    pub(crate) subgraphs: Arc<BTreeMap<SubgraphId, Subgraph>>,
+    pub(crate) graph: TemporalGraph,
+    pub(crate) vertex_kind: SnapMap<VertexId, ElementKind>,
+    pub(crate) edge_kind: SnapMap<EdgeId, ElementKind>,
+    pub(crate) series: SnapMap<SeriesId, Arc<MultiSeries>>,
+    pub(crate) delta_v: SnapMap<VertexId, SeriesId>,
+    pub(crate) delta_e: SnapMap<EdgeId, SeriesId>,
+    pub(crate) subgraphs: SnapMap<SubgraphId, Subgraph>,
     pub(crate) next_series: u64,
     pub(crate) next_subgraph: u64,
 }
 
+impl Default for HyGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl HyGraph {
-    /// An empty HyGraph.
+    /// An empty HyGraph in the process-configured snapshot mode.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_snapshot_impl(SnapshotImpl::configured())
     }
 
-    // ---- copy-on-write mutator seams ---------------------------------
-
-    pub(crate) fn graph_mut(&mut self) -> &mut TemporalGraph {
-        Arc::make_mut(&mut self.graph)
+    /// An empty HyGraph with an explicit snapshot implementation. Tests
+    /// and the bench pin modes this way; everything else should use
+    /// [`Self::new`] and the `HYGRAPH_SNAPSHOT_IMPL` environment knob.
+    pub fn with_snapshot_impl(mode: SnapshotImpl) -> Self {
+        Self {
+            graph: TemporalGraph::new_with_impl(mode),
+            vertex_kind: SnapMap::new_with(mode),
+            edge_kind: SnapMap::new_with(mode),
+            series: SnapMap::new_with(mode),
+            delta_v: SnapMap::new_with(mode),
+            delta_e: SnapMap::new_with(mode),
+            subgraphs: SnapMap::new_with(mode),
+            next_series: 0,
+            next_subgraph: 0,
+        }
     }
 
-    pub(crate) fn vertex_kind_tbl_mut(&mut self) -> &mut HashMap<VertexId, ElementKind> {
-        Arc::make_mut(&mut self.vertex_kind)
-    }
-
-    pub(crate) fn edge_kind_tbl_mut(&mut self) -> &mut HashMap<EdgeId, ElementKind> {
-        Arc::make_mut(&mut self.edge_kind)
-    }
-
-    pub(crate) fn delta_v_mut(&mut self) -> &mut HashMap<VertexId, SeriesId> {
-        Arc::make_mut(&mut self.delta_v)
-    }
-
-    pub(crate) fn delta_e_mut(&mut self) -> &mut HashMap<EdgeId, SeriesId> {
-        Arc::make_mut(&mut self.delta_e)
-    }
-
-    pub(crate) fn subgraphs_mut(&mut self) -> &mut BTreeMap<SubgraphId, Subgraph> {
-        Arc::make_mut(&mut self.subgraphs)
-    }
-
-    /// The series *map* itself, copy-on-write — the map is behind its
-    /// own [`Arc`] (like every other interior collection) so cloning an
-    /// instance never walks the series set; the entries stay shared
-    /// `Arc<MultiSeries>` either way.
-    pub(crate) fn series_map_mut(&mut self) -> &mut BTreeMap<SeriesId, Arc<MultiSeries>> {
-        Arc::make_mut(&mut self.series)
+    /// The snapshot implementation this instance's storage was built in.
+    pub fn snapshot_impl(&self) -> SnapshotImpl {
+        self.graph.snapshot_impl()
     }
 
     // ---- TS: the series set ------------------------------------------
@@ -118,7 +117,7 @@ impl HyGraph {
     pub fn add_series(&mut self, s: MultiSeries) -> SeriesId {
         let id = SeriesId::new(self.next_series);
         self.next_series += 1;
-        self.series_map_mut().insert(id, Arc::new(s));
+        self.series.insert(id, Arc::new(s));
         id
     }
 
@@ -136,13 +135,13 @@ impl HyGraph {
     }
 
     /// Mutable access to a series (for appends — R3 ingest path).
+    ///
+    /// One map traversal: [`SnapMap::get_mut`] probes presence itself,
+    /// so a miss neither copies nor un-shares anything, and a hit
+    /// path-copies only the touched trie path (pmap mode) before the
+    /// per-series `Arc::make_mut` un-shares just that series.
     pub fn series_mut(&mut self, id: SeriesId) -> Result<&mut MultiSeries> {
-        if !self.series.contains_key(&id) {
-            // check before Arc::make_mut: a miss must not pay for (or
-            // un-share) a copy-on-write of the whole map
-            return Err(HyGraphError::SeriesNotFound(id));
-        }
-        self.series_map_mut()
+        self.series
             .get_mut(&id)
             .map(Arc::make_mut)
             .ok_or(HyGraphError::SeriesNotFound(id))
@@ -181,8 +180,8 @@ impl HyGraph {
         props: PropertyMap,
         validity: Interval,
     ) -> VertexId {
-        let v = self.graph_mut().add_vertex_valid(labels, props, validity);
-        self.vertex_kind_tbl_mut().insert(v, ElementKind::Pg);
+        let v = self.graph.add_vertex_valid(labels, props, validity);
+        self.vertex_kind.insert(v, ElementKind::Pg);
         v
     }
 
@@ -195,10 +194,10 @@ impl HyGraph {
     ) -> Result<VertexId> {
         self.series(series)?;
         let v = self
-            .graph_mut()
+            .graph
             .add_vertex_valid(labels, PropertyMap::new(), Interval::ALL);
-        self.vertex_kind_tbl_mut().insert(v, ElementKind::Ts);
-        self.delta_v_mut().insert(v, series);
+        self.vertex_kind.insert(v, ElementKind::Ts);
+        self.delta_v.insert(v, series);
         Ok(v)
     }
 
@@ -225,9 +224,9 @@ impl HyGraph {
         validity: Interval,
     ) -> Result<EdgeId> {
         let e = self
-            .graph_mut()
+            .graph
             .add_edge_valid(src, dst, labels, props, validity)?;
-        self.edge_kind_tbl_mut().insert(e, ElementKind::Pg);
+        self.edge_kind.insert(e, ElementKind::Pg);
         Ok(e)
     }
 
@@ -243,11 +242,11 @@ impl HyGraph {
         series: SeriesId,
     ) -> Result<EdgeId> {
         self.series(series)?;
-        let e =
-            self.graph_mut()
-                .add_edge_valid(src, dst, labels, PropertyMap::new(), Interval::ALL)?;
-        self.edge_kind_tbl_mut().insert(e, ElementKind::Ts);
-        self.delta_e_mut().insert(e, series);
+        let e = self
+            .graph
+            .add_edge_valid(src, dst, labels, PropertyMap::new(), Interval::ALL)?;
+        self.edge_kind.insert(e, ElementKind::Ts);
+        self.delta_e.insert(e, series);
         Ok(e)
     }
 
@@ -322,11 +321,11 @@ impl HyGraph {
         match el {
             ElementRef::Vertex(v) => {
                 self.require_kind_v(v, ElementKind::Pg)?;
-                self.graph_mut().vertex_mut(v)?.props.set(key, value);
+                self.graph.vertex_mut(v)?.props.set(key, value);
             }
             ElementRef::Edge(e) => {
                 self.require_kind_e(e, ElementKind::Pg)?;
-                self.graph_mut().edge_mut(e)?.props.set(key, value);
+                self.graph.edge_mut(e)?.props.set(key, value);
             }
             ElementRef::Subgraph(s) => {
                 self.subgraph_mut(s)?.props.set(key, value);
@@ -410,7 +409,7 @@ impl HyGraph {
     ) -> SubgraphId {
         let id = SubgraphId::new(self.next_subgraph);
         self.next_subgraph += 1;
-        self.subgraphs_mut().insert(
+        self.subgraphs.insert(
             id,
             Subgraph::new(
                 id,
@@ -431,7 +430,7 @@ impl HyGraph {
 
     /// Mutable access to a subgraph.
     pub fn subgraph_mut(&mut self, s: SubgraphId) -> Result<&mut Subgraph> {
-        self.subgraphs_mut()
+        self.subgraphs
             .get_mut(&s)
             .ok_or(HyGraphError::SubgraphNotFound(s))
     }
@@ -503,13 +502,13 @@ impl HyGraph {
     /// live as long as their series).
     pub fn close_vertex(&mut self, v: VertexId, t: Timestamp) -> Result<()> {
         self.require_kind_v(v, ElementKind::Pg)?;
-        self.graph_mut().close_vertex(v, t)
+        self.graph.close_vertex(v, t)
     }
 
     /// Closes an edge's validity at `t`.
     pub fn close_edge(&mut self, e: EdgeId, t: Timestamp) -> Result<()> {
         self.require_kind_e(e, ElementKind::Pg)?;
-        self.graph_mut().close_edge(e, t)
+        self.graph.close_edge(e, t)
     }
 
     // ---- integrity (R2) -------------------------------------------------------

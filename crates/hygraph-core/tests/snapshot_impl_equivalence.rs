@@ -1,0 +1,101 @@
+//! Checkpoint interchangeability across snapshot implementations: the
+//! same logical content built under the copy-on-write collections and
+//! under the persistent maps must encode to **byte-identical**
+//! checkpoints, and a checkpoint written by either implementation must
+//! decode and re-encode bit-exactly under the other. This is what lets
+//! `HYGRAPH_SNAPSHOT_IMPL` be flipped on an existing data directory.
+
+use hygraph_core::binio::{from_bytes, to_bytes};
+use hygraph_core::model::ElementRef;
+use hygraph_core::HyGraph;
+use hygraph_ts::{MultiSeries, TimeSeries};
+use hygraph_types::pmap::SnapshotImpl;
+use hygraph_types::{props, Interval, Timestamp};
+use std::sync::Mutex;
+
+/// [`SnapshotImpl::install`] is process-global; serialise the tests.
+static IMPL_GUARD: Mutex<()> = Mutex::new(());
+
+fn ts(ms: i64) -> Timestamp {
+    Timestamp::from_millis(ms)
+}
+
+/// A content mix covering every encoded section: multivariate and
+/// univariate series, both vertex kinds, both edge kinds, properties
+/// updated after the fact, and a subgraph with memberships.
+fn build() -> HyGraph {
+    let mut hg = HyGraph::new();
+    let mut m = MultiSeries::new(["price", "volume"]);
+    m.push(ts(0), &[100.5, 3.0]).unwrap();
+    m.push(ts(60_000), &[101.25, 7.0]).unwrap();
+    let sid = hg.add_series(m);
+    let mut stations = Vec::new();
+    for i in 0..40i64 {
+        let s = hg.add_univariate_series(
+            &format!("avail-{i}"),
+            &TimeSeries::from_pairs([(ts(i), i as f64), (ts(i + 1_000), 0.5)]),
+        );
+        let v = hg
+            .add_ts_vertex(["Station".to_string(), format!("Zone{}", i % 8)], s)
+            .unwrap();
+        stations.push(v);
+    }
+    let hub = hg.add_pg_vertex_valid(
+        ["Hub"],
+        props! {"name" => "central", "docks" => 42i64},
+        Interval::new(ts(0), ts(900_000)),
+    );
+    for (i, &v) in stations.iter().enumerate() {
+        hg.add_pg_edge_valid(
+            hub,
+            v,
+            ["FEEDS"],
+            props! {"order" => i as i64},
+            Interval::new(ts(0), ts(900_000)),
+        )
+        .unwrap();
+    }
+    hg.add_ts_edge(stations[0], hub, ["FLOW"], sid).unwrap();
+    hg.set_property(ElementRef::Vertex(hub), "docks", 48i64)
+        .unwrap();
+    let sg = hg.create_subgraph(["Downtown"], props! {"zone" => 3i64}, Interval::ALL);
+    for &v in &stations[..5] {
+        hg.add_subgraph_vertex(sg, v, Interval::new(ts(0), ts(500)))
+            .unwrap();
+    }
+    hg
+}
+
+#[test]
+fn checkpoints_are_byte_identical_across_impls() {
+    let _g = IMPL_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    SnapshotImpl::Cow.install();
+    let cow_bytes = to_bytes(&build());
+    SnapshotImpl::Pmap.install();
+    let pmap_bytes = to_bytes(&build());
+    SnapshotImpl::clear_install();
+    assert_eq!(
+        cow_bytes, pmap_bytes,
+        "the canonical checkpoint must not depend on the snapshot implementation"
+    );
+}
+
+#[test]
+fn checkpoints_decode_under_either_impl() {
+    let _g = IMPL_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    SnapshotImpl::Cow.install();
+    let bytes = to_bytes(&build());
+    for decoder in [SnapshotImpl::Pmap, SnapshotImpl::Cow] {
+        decoder.install();
+        let back = from_bytes(&bytes).expect("decode");
+        assert_eq!(
+            to_bytes(&back),
+            bytes,
+            "re-encode under {decoder:?} must be bit-exact"
+        );
+        assert_eq!(back.vertex_count(), 41);
+        assert_eq!(back.edge_count(), 41);
+        assert_eq!(back.series_count(), 41);
+    }
+    SnapshotImpl::clear_install();
+}

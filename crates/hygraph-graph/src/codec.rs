@@ -19,9 +19,9 @@ use hygraph_types::{EdgeId, Result, VertexId};
 
 /// Encodes the full graph state into `w`.
 pub fn encode_graph(g: &TemporalGraph, w: &mut ByteWriter) {
-    w.len_of(g.vertices.len());
-    for slot in &g.vertices {
-        match slot {
+    w.len_of(g.vertices.slots());
+    for i in 0..g.vertices.slots() {
+        match g.vertices.get(i) {
             None => w.bool(false),
             Some(v) => {
                 w.bool(true);
@@ -31,9 +31,9 @@ pub fn encode_graph(g: &TemporalGraph, w: &mut ByteWriter) {
             }
         }
     }
-    w.len_of(g.edges.len());
-    for slot in &g.edges {
-        match slot {
+    w.len_of(g.edges.slots());
+    for i in 0..g.edges.slots() {
+        match g.edges.get(i) {
             None => w.bool(false),
             Some(e) => {
                 w.bool(true);
@@ -53,19 +53,25 @@ pub fn decode_graph(r: &mut ByteReader<'_>) -> Result<TemporalGraph> {
     let vertex_slots = r.len_of()?;
     for i in 0..vertex_slots {
         let id = VertexId::from(i);
-        g.out_adj.push(Vec::new());
-        g.in_adj.push(Vec::new());
+        g.out_adj.push_empty();
+        g.in_adj.push_empty();
         if !r.bool()? {
-            g.vertices.push(None);
+            g.vertices.push_slot(None);
             continue;
         }
         let labels = r.labels()?;
         let props = r.property_map()?;
         let validity = r.interval()?;
         for l in &labels {
-            g.vertex_label_index.entry(l.clone()).or_default().push(id);
+            if !g.vertex_label_index.contains_key(l) {
+                g.vertex_label_index.insert(l.clone(), Vec::new());
+            }
+            g.vertex_label_index
+                .get_mut(l)
+                .expect("ensured above")
+                .push(id);
         }
-        g.vertices.push(Some(VertexData {
+        g.vertices.push_slot(Some(VertexData {
             id,
             labels,
             props,
@@ -77,7 +83,7 @@ pub fn decode_graph(r: &mut ByteReader<'_>) -> Result<TemporalGraph> {
     for i in 0..edge_slots {
         let id = EdgeId::from(i);
         if !r.bool()? {
-            g.edges.push(None);
+            g.edges.push_slot(None);
             continue;
         }
         let src = VertexId::new(r.u64()?);
@@ -89,9 +95,9 @@ pub fn decode_graph(r: &mut ByteReader<'_>) -> Result<TemporalGraph> {
         // would index out of bounds or attach to a tombstone
         g.vertex(src)?;
         g.vertex(dst)?;
-        g.out_adj[src.index()].push(id);
-        g.in_adj[dst.index()].push(id);
-        g.edges.push(Some(EdgeData {
+        g.out_adj.add(src.index(), id);
+        g.in_adj.add(dst.index(), id);
+        g.edges.push_slot(Some(EdgeData {
             id,
             src,
             dst,

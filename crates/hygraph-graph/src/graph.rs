@@ -12,10 +12,11 @@
 //! * [`TemporalGraph::remove_vertex`] / [`TemporalGraph::remove_edge`]
 //!   tombstone the element entirely (physical delete).
 
+use crate::store::{SnapAdj, SnapSlab};
+use hygraph_types::pmap::{SnapMap, SnapshotImpl};
 use hygraph_types::{
     EdgeId, HyGraphError, Interval, Label, PropertyMap, Result, Timestamp, VertexId,
 };
-use std::collections::HashMap;
 
 /// Stored data of one vertex.
 #[derive(Clone, Debug, PartialEq)]
@@ -71,37 +72,72 @@ impl EdgeData {
 }
 
 /// A directed temporal property graph.
-#[derive(Clone, Debug, Default)]
+///
+/// Interior collections are dual-mode ([`SnapshotImpl`], chosen at
+/// construction): the default persistent tries make `clone` O(1) and
+/// mutation O(log n) path copies, so snapshot publication in the
+/// sharded engine costs O(batch) per commit even while readers pin old
+/// epochs; the `cow` mode keeps the legacy deep-copy-on-shared-write
+/// vectors as a rollback path. Both modes present identical semantics
+/// and identical (ascending-id) iteration order.
+#[derive(Clone, Debug)]
 pub struct TemporalGraph {
-    pub(crate) vertices: Vec<Option<VertexData>>,
-    pub(crate) edges: Vec<Option<EdgeData>>,
-    pub(crate) out_adj: Vec<Vec<EdgeId>>,
-    pub(crate) in_adj: Vec<Vec<EdgeId>>,
+    pub(crate) vertices: SnapSlab<VertexData>,
+    pub(crate) edges: SnapSlab<EdgeData>,
+    pub(crate) out_adj: SnapAdj,
+    pub(crate) in_adj: SnapAdj,
     // label -> vertices carrying it (kept in insertion order; tombstoned
     // entries are pruned on removal). Accelerates label-seeded pattern
     // matching and HyQL candidate generation.
-    pub(crate) vertex_label_index: HashMap<Label, Vec<VertexId>>,
+    pub(crate) vertex_label_index: SnapMap<Label, Vec<VertexId>>,
     pub(crate) live_vertices: usize,
     pub(crate) live_edges: usize,
 }
 
+impl Default for TemporalGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl TemporalGraph {
-    /// An empty graph.
+    /// An empty graph in the process-configured snapshot mode.
     pub fn new() -> Self {
-        Self::default()
+        Self::new_with_impl(SnapshotImpl::configured())
     }
 
-    /// An empty graph with reserved capacity.
-    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
+    /// An empty graph with an explicit snapshot implementation (tests
+    /// and decoders pin the mode; everything else uses [`Self::new`]).
+    pub fn new_with_impl(mode: SnapshotImpl) -> Self {
         Self {
-            vertices: Vec::with_capacity(vertices),
-            edges: Vec::with_capacity(edges),
-            out_adj: Vec::with_capacity(vertices),
-            in_adj: Vec::with_capacity(vertices),
-            vertex_label_index: HashMap::new(),
+            vertices: SnapSlab::new_with(mode),
+            edges: SnapSlab::new_with(mode),
+            out_adj: SnapAdj::new_with(mode),
+            in_adj: SnapAdj::new_with(mode),
+            vertex_label_index: SnapMap::new_with(mode),
             live_vertices: 0,
             live_edges: 0,
         }
+    }
+
+    /// An empty graph with reserved capacity (meaningful in `cow` mode;
+    /// the persistent tries allocate per node and ignore the hint).
+    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
+        let mode = SnapshotImpl::configured();
+        Self {
+            vertices: SnapSlab::with_capacity(mode, vertices),
+            edges: SnapSlab::with_capacity(mode, edges),
+            out_adj: SnapAdj::with_capacity(mode, vertices),
+            in_adj: SnapAdj::with_capacity(mode, vertices),
+            vertex_label_index: SnapMap::new_with(mode),
+            live_vertices: 0,
+            live_edges: 0,
+        }
+    }
+
+    /// The snapshot implementation this graph's storage was built in.
+    pub fn snapshot_impl(&self) -> SnapshotImpl {
+        self.vertices.mode()
     }
 
     // ---- construction ------------------------------------------------
@@ -133,22 +169,25 @@ impl TemporalGraph {
         props: PropertyMap,
         validity: Interval,
     ) -> VertexId {
-        let id = VertexId::from(self.vertices.len());
+        let id = VertexId::from(self.vertices.slots());
         let labels: Vec<Label> = labels.into_iter().map(Into::into).collect();
         for l in &labels {
+            if !self.vertex_label_index.contains_key(l) {
+                self.vertex_label_index.insert(l.clone(), Vec::new());
+            }
             self.vertex_label_index
-                .entry(l.clone())
-                .or_default()
+                .get_mut(l)
+                .expect("ensured above")
                 .push(id);
         }
-        self.vertices.push(Some(VertexData {
+        self.vertices.push_slot(Some(VertexData {
             id,
             labels,
             props,
             validity,
         }));
-        self.out_adj.push(Vec::new());
-        self.in_adj.push(Vec::new());
+        self.out_adj.push_empty();
+        self.in_adj.push_empty();
         self.live_vertices += 1;
         id
     }
@@ -190,8 +229,8 @@ impl TemporalGraph {
     ) -> Result<EdgeId> {
         self.vertex(src)?;
         self.vertex(dst)?;
-        let id = EdgeId::from(self.edges.len());
-        self.edges.push(Some(EdgeData {
+        let id = EdgeId::from(self.edges.slots());
+        self.edges.push_slot(Some(EdgeData {
             id,
             src,
             dst,
@@ -199,8 +238,8 @@ impl TemporalGraph {
             props,
             validity,
         }));
-        self.out_adj[src.index()].push(id);
-        self.in_adj[dst.index()].push(id);
+        self.out_adj.add(src.index(), id);
+        self.in_adj.add(dst.index(), id);
         self.live_edges += 1;
         Ok(id)
     }
@@ -211,7 +250,6 @@ impl TemporalGraph {
     pub fn vertex(&self, v: VertexId) -> Result<&VertexData> {
         self.vertices
             .get(v.index())
-            .and_then(Option::as_ref)
             .ok_or(HyGraphError::VertexNotFound(v))
     }
 
@@ -219,7 +257,6 @@ impl TemporalGraph {
     pub fn vertex_mut(&mut self, v: VertexId) -> Result<&mut VertexData> {
         self.vertices
             .get_mut(v.index())
-            .and_then(Option::as_mut)
             .ok_or(HyGraphError::VertexNotFound(v))
     }
 
@@ -227,7 +264,6 @@ impl TemporalGraph {
     pub fn edge(&self, e: EdgeId) -> Result<&EdgeData> {
         self.edges
             .get(e.index())
-            .and_then(Option::as_ref)
             .ok_or(HyGraphError::EdgeNotFound(e))
     }
 
@@ -235,18 +271,17 @@ impl TemporalGraph {
     pub fn edge_mut(&mut self, e: EdgeId) -> Result<&mut EdgeData> {
         self.edges
             .get_mut(e.index())
-            .and_then(Option::as_mut)
             .ok_or(HyGraphError::EdgeNotFound(e))
     }
 
     /// Whether vertex `v` exists (not tombstoned).
     pub fn contains_vertex(&self, v: VertexId) -> bool {
-        self.vertices.get(v.index()).is_some_and(Option::is_some)
+        self.vertices.get(v.index()).is_some()
     }
 
     /// Whether edge `e` exists (not tombstoned).
     pub fn contains_edge(&self, e: EdgeId) -> bool {
-        self.edges.get(e.index()).is_some_and(Option::is_some)
+        self.edges.get(e.index()).is_some()
     }
 
     /// Number of live vertices.
@@ -262,26 +297,26 @@ impl TemporalGraph {
     /// Upper bound over all vertex indices ever allocated (for dense
     /// per-vertex arrays in algorithms).
     pub fn vertex_capacity(&self) -> usize {
-        self.vertices.len()
+        self.vertices.slots()
     }
 
     /// Upper bound over all edge indices ever allocated (mirror of
     /// [`Self::vertex_capacity`]; lets change observers diff id ranges
     /// across a mutation batch).
     pub fn edge_capacity(&self) -> usize {
-        self.edges.len()
+        self.edges.slots()
     }
 
     // ---- iteration ----------------------------------------------------
 
-    /// Iterates all live vertices.
+    /// Iterates all live vertices (ascending id order in both modes).
     pub fn vertices(&self) -> impl Iterator<Item = &VertexData> {
-        self.vertices.iter().filter_map(Option::as_ref)
+        self.vertices.iter_live()
     }
 
-    /// Iterates all live edges.
+    /// Iterates all live edges (ascending id order in both modes).
     pub fn edges(&self) -> impl Iterator<Item = &EdgeData> {
-        self.edges.iter().filter_map(Option::as_ref)
+        self.edges.iter_live()
     }
 
     /// Iterates ids of all live vertices.
@@ -304,7 +339,7 @@ impl TemporalGraph {
             .get(&Label::new(label))
             .into_iter()
             .flatten()
-            .filter_map(|&v| self.vertices[v.index()].as_ref())
+            .filter_map(|&v| self.vertices.get(v.index()))
     }
 
     /// Ids of live vertices carrying `label` (index-backed).
@@ -315,19 +350,15 @@ impl TemporalGraph {
     /// Outgoing edges of `v`.
     pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = &EdgeData> {
         self.out_adj
-            .get(v.index())
-            .into_iter()
-            .flatten()
-            .filter_map(|&e| self.edges[e.index()].as_ref())
+            .edge_ids(v.index())
+            .filter_map(|e| self.edges.get(e.index()))
     }
 
     /// Incoming edges of `v`.
     pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = &EdgeData> {
         self.in_adj
-            .get(v.index())
-            .into_iter()
-            .flatten()
-            .filter_map(|&e| self.edges[e.index()].as_ref())
+            .edge_ids(v.index())
+            .filter_map(|e| self.edges.get(e.index()))
     }
 
     /// All incident edges of `v` (out then in; self-loops appear twice).
@@ -394,11 +425,10 @@ impl TemporalGraph {
     pub fn remove_edge(&mut self, e: EdgeId) -> Result<EdgeData> {
         let data = self
             .edges
-            .get_mut(e.index())
-            .and_then(Option::take)
+            .take(e.index())
             .ok_or(HyGraphError::EdgeNotFound(e))?;
-        self.out_adj[data.src.index()].retain(|&x| x != e);
-        self.in_adj[data.dst.index()].retain(|&x| x != e);
+        self.out_adj.remove(data.src.index(), e);
+        self.in_adj.remove(data.dst.index(), e);
         self.live_edges -= 1;
         Ok(data)
     }
@@ -411,7 +441,7 @@ impl TemporalGraph {
             // self-loops appear twice in `incident`; the second removal is a no-op
             let _ = self.remove_edge(e);
         }
-        let data = self.vertices[v.index()].take().expect("checked above");
+        let data = self.vertices.take(v.index()).expect("checked above");
         for l in &data.labels {
             if let Some(list) = self.vertex_label_index.get_mut(l) {
                 list.retain(|&x| x != v);

@@ -22,6 +22,7 @@ pub mod codec;
 pub mod graph;
 pub mod pattern;
 pub mod snapshot;
+pub(crate) mod store;
 pub mod traverse;
 
 pub use graph::{EdgeData, TemporalGraph, VertexData};

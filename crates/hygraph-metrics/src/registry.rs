@@ -20,7 +20,9 @@ use crate::slow::{SlowQueryEntry, SlowQueryLog};
 /// added the time-series compression gauges and rollup counters.
 /// Version 4 added the standing-subscription group. Version 5 added
 /// the temporal-history group. Version 6 added the per-shard group.
-const SNAPSHOT_VERSION: u8 = 6;
+/// Version 7 added the snapshot-publication instruments
+/// (commit-publish latency and the pinned-snapshot gauge).
+const SNAPSHOT_VERSION: u8 = 7;
 
 /// Per-shard gauge lanes held by the registry. Mirrors
 /// `hygraph_types::shard::MAX_SHARDS` (this crate is dependency-free,
@@ -319,6 +321,13 @@ pub struct ShardMetrics {
     /// Per-shard lanes, indexed by shard; only the first
     /// [`ShardMetrics::shards`] are meaningful.
     pub lanes: [ShardLaneMetrics; MAX_SHARD_LANES],
+    /// Snapshot-publication time per committed batch (µs): the writer's
+    /// cost of cloning the instance (structural sharing makes this
+    /// O(changed structure)) and swapping it into the read slot.
+    pub commit_publish_us: Histogram,
+    /// Published snapshot versions currently kept alive — the slot's
+    /// current epoch plus every retired epoch a reader still pins.
+    pub snapshot_pinned: Gauge,
 }
 
 impl Default for ShardMetrics {
@@ -327,6 +336,8 @@ impl Default for ShardMetrics {
             shards: Gauge::default(),
             watermark: Gauge::default(),
             lanes: std::array::from_fn(|_| ShardLaneMetrics::default()),
+            commit_publish_us: Histogram::default(),
+            snapshot_pinned: Gauge::default(),
         }
     }
 }
@@ -491,6 +502,8 @@ impl Registry {
                         durable_lsn: l.durable_lsn.get(),
                     })
                     .collect(),
+                commit_publish_us: self.shard.commit_publish_us.snapshot(),
+                snapshot_pinned: self.shard.snapshot_pinned.get(),
             },
             temporal: TemporalSnapshot {
                 asof_queries: self.temporal.asof_queries.get(),
@@ -676,6 +689,10 @@ pub struct ShardsSnapshot {
     pub watermark: i64,
     /// Per-shard lanes, indexed by shard (length = `shards`).
     pub lanes: Vec<ShardLaneSnapshot>,
+    /// See [`ShardMetrics::commit_publish_us`].
+    pub commit_publish_us: HistogramSnapshot,
+    /// See [`ShardMetrics::snapshot_pinned`].
+    pub snapshot_pinned: i64,
 }
 
 /// Plain-data copy of [`TemporalMetrics`].
@@ -930,6 +947,8 @@ impl Snapshot {
             out.extend_from_slice(&lane.next_lsn.to_le_bytes());
             out.extend_from_slice(&lane.durable_lsn.to_le_bytes());
         }
+        out.extend_from_slice(&self.shard.snapshot_pinned.to_le_bytes());
+        put_hist(&mut out, &self.shard.commit_publish_us);
 
         let t = &self.temporal;
         for v in [
@@ -1055,6 +1074,8 @@ impl Snapshot {
             shards: shard_count,
             watermark: shard_watermark,
             lanes,
+            snapshot_pinned: r.i64()?,
+            commit_publish_us: get_hist(&mut r)?,
         };
         let temporal = TemporalSnapshot {
             asof_queries: r.u64()?,
@@ -1222,6 +1243,7 @@ impl Snapshot {
         gauge("hygraph_sub_active", self.sub.active);
         gauge("hygraph_shards", self.shard.shards);
         gauge("hygraph_shard_watermark", self.shard.watermark);
+        gauge("hygraph_snapshot_pinned", self.shard.snapshot_pinned);
         gauge(
             "hygraph_temporal_history_commits",
             self.temporal.history_commits,
@@ -1280,6 +1302,7 @@ impl Snapshot {
             summary(&format!("hygraph_query_op_{}_us", op.name()), &o.time_us);
         }
         summary("hygraph_temporal_asof_us", &self.temporal.asof_us);
+        summary("hygraph_commit_publish_us", &self.shard.commit_publish_us);
 
         for e in &self.slow_queries {
             let _ = writeln!(
@@ -1359,6 +1382,9 @@ mod tests {
         r.temporal.version_chain_max.set(7);
         r.temporal.asof_us.observe(900);
         r.shard.set_lanes(&[(12, 10), (9, 8), (15, 15)], 8);
+        r.shard.commit_publish_us.observe(150);
+        r.shard.commit_publish_us.observe(2_300);
+        r.shard.snapshot_pinned.set(2);
         r.slow.record(
             "MATCH (n) RETURN n",
             Duration::from_millis(250),
@@ -1445,6 +1471,9 @@ mod tests {
             "hygraph_shard_next_lsn{shard=\"0\"} 12",
             "hygraph_shard_durable_lsn{shard=\"1\"} 8",
             "hygraph_shard_next_lsn{shard=\"2\"} 15",
+            "hygraph_snapshot_pinned 2",
+            "hygraph_commit_publish_us{quantile=\"0.5\"}",
+            "hygraph_commit_publish_us_count 2",
             "# SLOW 250000us rows=42 fp=0xdeadbeefcafef00d MATCH (n) RETURN n",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");

@@ -35,7 +35,8 @@ use hygraph_types::bytes::ByteWriter;
 use hygraph_types::shard::{ShardConfig, ShardRouter};
 use hygraph_types::{Result, Timestamp};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock, Weak};
+use std::time::Instant;
 
 /// Default plan-cache capacity when `HYGRAPH_PLAN_CACHE` is unset.
 const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
@@ -189,6 +190,13 @@ pub struct Engine {
     /// Monotone snapshot-publication counter (the read epoch). Starts
     /// at 0 for the initial state; each published batch bumps it.
     epoch: AtomicU64,
+    /// Weak handles to every published snapshot version, pruned as
+    /// readers release their pins — the feed for the
+    /// `hygraph_snapshot_pinned` gauge. Structural sharing keeps a
+    /// retired epoch's marginal footprint at the structure that changed
+    /// since, but a reader pinning one for a long scan still holds that
+    /// delta live; this gauge is how operators see it.
+    pinned: Mutex<Vec<Weak<HyGraph>>>,
     /// Cross-shard durable watermark tracker, fed from the sharded
     /// store's per-shard durable CSN frontiers whenever stats are
     /// reported.
@@ -253,8 +261,8 @@ impl Engine {
             Backend::Durable(_) => ShardRouter::new(1),
             Backend::Memory { .. } => ShardConfig::new().router(),
         };
-        let snapshot =
-            (!router.is_single()).then(|| RwLock::new(Arc::new(backend.graph().clone())));
+        let initial = (!router.is_single()).then(|| Arc::new(backend.graph().clone()));
+        let pinned = Mutex::new(initial.iter().map(Arc::downgrade).collect());
         Self {
             inner: RwLock::new(backend),
             plan_cache: (capacity > 0).then(|| PlanCache::new(capacity)),
@@ -262,8 +270,9 @@ impl Engine {
             history: history.map(Mutex::new),
             watermark: Mutex::new(ShardWatermark::new(router.shards())),
             router,
-            snapshot,
+            snapshot: initial.map(RwLock::new),
             epoch: AtomicU64::new(0),
+            pinned,
         }
     }
 
@@ -276,19 +285,19 @@ impl Engine {
     /// the directory via [`Engine::open_durable`] under a different
     /// `HYGRAPH_SHARDS`.
     pub fn with_shards(mut self, shards: usize) -> Self {
-        let (router, snapshot) = {
+        let (router, initial) = {
             let guard = self.read();
             let router = match &*guard {
                 Backend::Sharded(store) => store.router(),
                 Backend::Durable(_) => ShardRouter::new(1),
                 Backend::Memory { .. } => ShardRouter::new(shards),
             };
-            let snapshot =
-                (!router.is_single()).then(|| RwLock::new(Arc::new(guard.graph().clone())));
-            (router, snapshot)
+            let initial = (!router.is_single()).then(|| Arc::new(guard.graph().clone()));
+            (router, initial)
         };
         self.router = router;
-        self.snapshot = snapshot;
+        self.pinned = Mutex::new(initial.iter().map(Arc::downgrade).collect());
+        self.snapshot = initial.map(RwLock::new);
         self.watermark = Mutex::new(ShardWatermark::new(self.router.shards()));
         self
     }
@@ -475,12 +484,50 @@ impl Engine {
     /// Publishes the current backend state as the new read snapshot
     /// (multi-shard engines only; a no-op at one shard). Callers hold
     /// the backend write lock, so publications happen in commit order.
+    /// The whole step — clone (structural sharing makes it O(structure
+    /// changed by the batch)), slot swap, and the drop of the previous
+    /// epoch's last unpinned reference — lands in the
+    /// `hygraph_commit_publish_us` histogram: it is the per-commit cost
+    /// snapshot publication adds to the write path.
     fn publish(&self, hg: &HyGraph) {
         if let Some(slot) = &self.snapshot {
+            let start = Instant::now();
             let next = Arc::new(hg.clone());
-            *slot.write().unwrap_or_else(|e| e.into_inner()) = next;
+            let retired = std::mem::replace(
+                &mut *slot.write().unwrap_or_else(|e| e.into_inner()),
+                Arc::clone(&next),
+            );
             self.epoch.fetch_add(1, Ordering::Release);
+            drop(retired);
+            if let Some(m) = hygraph_metrics::get() {
+                m.shard.commit_publish_us.observe_duration(start.elapsed());
+            }
+            let mut pinned = self.pinned.lock().unwrap_or_else(|e| e.into_inner());
+            pinned.retain(|w| w.strong_count() > 0);
+            pinned.push(Arc::downgrade(&next));
         }
+    }
+
+    /// Pins the currently published snapshot — the handle a long-running
+    /// reader (an export, an analytics scan, the bench harness) holds to
+    /// keep one epoch stable across many queries. `None` on single-shard
+    /// engines, which have no snapshot plane. While the returned `Arc`
+    /// lives, that epoch counts into the `hygraph_snapshot_pinned`
+    /// gauge.
+    pub fn pin_snapshot(&self) -> Option<Arc<HyGraph>> {
+        self.snapshot
+            .as_ref()
+            .map(|slot| Arc::clone(&slot.read().unwrap_or_else(|e| e.into_inner())))
+    }
+
+    /// How many published snapshot versions are currently alive: the
+    /// slot's own epoch plus every retired epoch a reader still pins.
+    /// `0` on single-shard engines. Prunes released epochs as a side
+    /// effect.
+    pub fn pinned_snapshots(&self) -> usize {
+        let mut pinned = self.pinned.lock().unwrap_or_else(|e| e.into_inner());
+        pinned.retain(|w| w.strong_count() > 0);
+        pinned.len()
     }
 
     /// How many shards this engine partitions its commit/storage plane
@@ -549,6 +596,13 @@ impl Engine {
     /// Called on every [`Request::Stats`]; the periodic metrics logger
     /// reaches it the same way.
     fn report_shard_metrics(&self) {
+        let Some(m) = hygraph_metrics::get() else {
+            return;
+        };
+        // the pinned-snapshot gauge covers every multi-shard engine,
+        // memory-backed included — it reads the snapshot plane, not the
+        // store
+        m.shard.snapshot_pinned.set(self.pinned_snapshots() as i64);
         let Some(ShardPositions { lanes, frontiers }) = self.shard_positions() else {
             return;
         };
@@ -556,9 +610,7 @@ impl Engine {
             let mut wm = self.watermark.lock().unwrap_or_else(|e| e.into_inner());
             wm.observe_frontiers(&frontiers)
         };
-        if let Some(m) = hygraph_metrics::get() {
-            m.shard.set_lanes(&lanes, watermark);
-        }
+        m.shard.set_lanes(&lanes, watermark);
     }
 
     /// Runs `f` against the instance under the read lock — how tests

@@ -650,6 +650,13 @@ impl Server {
         &self.shared.as_ref().expect("server not shut down").settings
     }
 
+    /// The shared engine this server executes against — lets tests and
+    /// the bench harness pin snapshot epochs ([`Engine::pin_snapshot`])
+    /// alongside live wire traffic.
+    pub fn engine(&self) -> Arc<Engine> {
+        Arc::clone(&self.shared.as_ref().expect("server not shut down").engine)
+    }
+
     /// A snapshot of the request counters.
     pub fn stats(&self) -> ServerStats {
         snapshot_stats(&self.shared.as_ref().expect("server not shut down").stats)

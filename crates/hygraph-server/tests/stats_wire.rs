@@ -9,7 +9,7 @@
 use hygraph_core::HyGraph;
 use hygraph_metrics::Snapshot;
 use hygraph_persist::HgMutation;
-use hygraph_server::{Backend, Client, Request, Server};
+use hygraph_server::{Backend, Client, Engine, Request, Server};
 use hygraph_types::net::ServerConfig;
 use hygraph_types::{Label, PropertyMap};
 use std::sync::Mutex;
@@ -183,6 +183,70 @@ fn ts_compression_metrics_cross_the_wire() {
     // undo this test's gauge contributions so other bracketing tests in
     // this binary keep seeing clean deltas
     let _ = st.drop_series(id);
+    server.shutdown().expect("shutdown");
+}
+
+/// Snapshot-publication instruments (v7) cross the wire: on a
+/// multi-shard engine, two `Stats` calls bracket `K` committed batches
+/// and the `hygraph_commit_publish_us` histogram gains exactly `K`
+/// observations — one per publication. The `hygraph_snapshot_pinned`
+/// gauge reads 1 with no readers (only the slot's current epoch is
+/// alive), rises to 2 while a held pin keeps a retired epoch live
+/// across a commit, and falls back to 1 once the pin drops.
+#[test]
+fn snapshot_publication_metrics_cross_the_wire() {
+    let _g = guard();
+    let engine = Engine::with_plan_cache(Backend::memory(HyGraph::new()), 8).with_shards(4);
+    let server = Server::serve_engine(engine, &config(2, 16, 5_000)).expect("serve");
+    let engine = server.engine();
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+
+    let mutation = || HgMutation::AddPgVertex {
+        labels: vec![Label::new("User")],
+        props: PropertyMap::new(),
+        validity: hygraph_types::Interval::ALL,
+    };
+    let before = c.stats().expect("stats before");
+    const COMMITS: u64 = 6;
+    for _ in 0..COMMITS {
+        c.mutate(mutation()).expect("mutate");
+    }
+    let after = c.stats().expect("stats after");
+    assert_eq!(
+        after.shard.commit_publish_us.count - before.shard.commit_publish_us.count,
+        COMMITS,
+        "every committed batch published exactly one snapshot"
+    );
+    assert_eq!(
+        after.shard.snapshot_pinned, 1,
+        "with no readers only the current epoch is alive"
+    );
+
+    // pin the current epoch, then retire it with another commit: both
+    // the pinned epoch and the new current one are alive
+    let pin = engine.pin_snapshot().expect("multi-shard engines pin");
+    c.mutate(mutation()).expect("mutate past the pin");
+    let held = c.stats().expect("stats with held pin");
+    assert_eq!(
+        held.shard.snapshot_pinned, 2,
+        "a held pin keeps its retired epoch alive"
+    );
+    assert!(
+        held.render_text().contains("hygraph_snapshot_pinned 2"),
+        "the gauge reaches the text exposition"
+    );
+    drop(pin);
+    let released = c.stats().expect("stats after release");
+    assert_eq!(
+        released.shard.snapshot_pinned, 1,
+        "dropping the pin releases the retired epoch"
+    );
+
+    // the extended (v7) snapshot still round-trips its codec exactly
+    let bytes = released.to_bytes();
+    let decoded = Snapshot::from_bytes(&bytes).expect("decode");
+    assert_eq!(decoded, released);
+    assert_eq!(decoded.to_bytes(), bytes);
     server.shutdown().expect("shutdown");
 }
 

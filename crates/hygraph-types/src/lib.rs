@@ -19,6 +19,7 @@ pub mod ids;
 pub mod interval;
 pub mod net;
 pub mod parallel;
+pub mod pmap;
 pub mod property;
 pub mod shard;
 pub mod time;
